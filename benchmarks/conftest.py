@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+Sizing comes from :mod:`repro.bench.config`: the default ``ci`` profile
+runs every figure in minutes at a reduced sensor resolution; set
+``REPRO_BENCH_PROFILE=full`` for the paper's 2000 px images and wider
+sweeps. Cell sizes are specified in paper-scale pixels (at 2000 px) and
+mapped to the active resolution preserving their physical mm size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EvaluationWorkload, active_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return active_profile()
+
+
+@pytest.fixture(scope="session")
+def workload(profile):
+    """The evaluation build, rendered once per session."""
+    return EvaluationWorkload(image_px=profile.image_px, layers=profile.layers, seed=7)

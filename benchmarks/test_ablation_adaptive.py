@@ -1,0 +1,101 @@
+"""A5 ablation — static (historical) vs adaptive (online) thresholds.
+
+The paper calibrates thresholds once from historical jobs. On a drifting
+process (lens fouling, powder aging — modeled by the twin's
+``drift_per_layer``) a static band eventually flags every healthy cell,
+while the EWMA-adaptive detector re-centers per layer and keeps the
+false-positive rate at its calibrated level — without losing the seeded
+defects, which are *local* deviations from the current baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.bench import format_table, save_json
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.core.functions import LabelSpecimenCellsAdaptive
+
+DRIFT_PER_LAYER = -0.002
+LAYERS = 60
+
+
+def _run(profile, adaptive: bool, defect_rate: float, seed: int):
+    edge = profile.scale_cell_edge(20)
+    job = make_job("drifting", seed=seed, defect_rate_per_stack=defect_rate)
+    renderer = OTImageRenderer(
+        image_px=profile.image_px, seed=seed, drift_per_layer=DRIFT_PER_LAYER
+    )
+    records = [BuildDataset(job, renderer).layer_record(i) for i in range(LAYERS)]
+    reference = make_job("ref", seed=1, defect_rate_per_stack=0.0)
+    reference_images = [
+        BuildDataset(reference, OTImageRenderer(image_px=profile.image_px, seed=1))
+        .layer_record(i).image
+        for i in range(3)
+    ]
+    config = UseCaseConfig(
+        image_px=profile.image_px, cell_edge_px=edge, window_layers=10,
+        vectorized=True,
+    )
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, edge,
+        regions=specimen_regions_px(job.specimens, profile.image_px),
+    )
+    detect_override = (
+        LabelSpecimenCellsAdaptive(strata.kv, edge, alpha=0.3) if adaptive else None
+    )
+    pipeline = build_use_case(
+        iter(records), iter(records), config, strata=strata,
+        detect_override=detect_override,
+    )
+    strata.deploy()
+    return pipeline.detect_fn.events_emitted, pipeline.cells_evaluated
+
+
+_rows: list[list] = []
+
+
+@pytest.mark.parametrize("variant", ["static", "adaptive"])
+def test_ablation_adaptive_clean_drift(benchmark, profile, variant):
+    events, cells = benchmark.pedantic(
+        lambda: _run(profile, adaptive=(variant == "adaptive"), defect_rate=0.0, seed=3),
+        rounds=1, iterations=1,
+    )
+    fp_rate = events / cells
+    _rows.append([variant, "clean+drift", events, cells, round(fp_rate * 100, 3)])
+    benchmark.extra_info.update(variant=variant, false_events=events)
+    if variant == "adaptive":
+        assert fp_rate < 0.01, "adaptive must hold the FP rate under drift"
+
+
+@pytest.mark.parametrize("variant", ["static", "adaptive"])
+def test_ablation_adaptive_defects_drift(benchmark, profile, variant):
+    events, cells = benchmark.pedantic(
+        lambda: _run(profile, adaptive=(variant == "adaptive"), defect_rate=1.0, seed=7),
+        rounds=1, iterations=1,
+    )
+    _rows.append([variant, "defects+drift", events, cells, round(events / cells * 100, 3)])
+    if variant == "adaptive":
+        assert events > 0, "adaptive must still catch the seeded (local) defects"
+
+
+def test_ablation_adaptive_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_rows) == 4
+    print("\n=== Ablation A5: static vs adaptive thresholds under drift ===")
+    print(format_table(["variant", "workload", "events", "cells", "event_%"], _rows))
+    save_json(
+        "ablation_adaptive",
+        {f"{row[0]}/{row[1]}": {"events": row[2], "cells": row[3]} for row in _rows},
+    )
+    clean = {row[0]: row[2] for row in _rows if row[1] == "clean+drift"}
+    # static floods with false events; adaptive stays quiet
+    assert clean["adaptive"] * 10 < clean["static"]

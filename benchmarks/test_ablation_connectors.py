@@ -1,0 +1,85 @@
+"""A4 ablation — direct streams vs pub/sub module connectors.
+
+Figure 2 decouples STRATA's modules with pub/sub connectors so detection
+methods can be deployed/decommissioned independently; the cost is an
+extra produce/consume hop per tuple crossing a module boundary. This
+ablation measures that hop's latency impact on the full use case.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, save_json
+from repro.bench.harness import run_latency_experiment
+from repro.core import Strata, UseCaseConfig, build_use_case, calibrate_job, specimen_regions_px
+from repro.spe import CollectingSink
+
+_results: dict[str, object] = {}
+
+
+def _run(profile, workload, connector_mode):
+    """Threaded full-pipeline run; per-layer latency via lockstep harness."""
+    config = UseCaseConfig(
+        image_px=profile.image_px,
+        cell_edge_px=profile.scale_cell_edge(20),
+        window_layers=10,
+    )
+    # run_latency_experiment builds its own Strata in direct mode; for the
+    # pubsub variant we reproduce its lockstep wiring with connector_mode.
+    from repro.bench.harness import (
+        _LockstepCoordinator,
+        _LockstepOTSource,
+        _LockstepSink,
+    )
+
+    records = workload.records[: min(len(workload), 10)]
+    strata = Strata(engine_mode="threaded", connector_mode=connector_mode)
+    coordinator = _LockstepCoordinator(results_per_layer=len(workload.job.specimens))
+    sink = _LockstepSink(coordinator)
+    ot_source = _LockstepOTSource(iter(records), coordinator)
+    build_use_case(
+        iter(records), iter(records), config, strata=strata, sink=sink,
+        ot_source=ot_source,
+    )
+    calibrate_job(
+        strata.kv, workload.job.job_id, workload.reference_images(),
+        config.cell_edge_px,
+        regions=specimen_regions_px(workload.job.specimens, profile.image_px),
+    )
+    strata.deploy()
+    per_layer: dict[tuple, float] = {}
+    for t, latency in zip(sink.results, sink.latency.samples()):
+        key = (t.job, t.layer)
+        per_layer[key] = max(per_layer.get(key, 0.0), latency)
+    return list(per_layer.values())
+
+
+@pytest.mark.parametrize("mode", ["direct", "pubsub"])
+def test_ablation_connector_mode(benchmark, profile, workload, mode):
+    latencies = benchmark.pedantic(
+        lambda: _run(profile, workload, mode), rounds=1, iterations=1
+    )
+    from repro.spe import summarize
+
+    _results[mode] = summarize(latencies)
+    benchmark.extra_info.update(
+        mode=mode, median_ms=round(_results[mode].median * 1e3, 2)
+    )
+
+
+def test_ablation_connector_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_results) == 2
+    rows = [
+        [mode, round(s.median * 1e3, 2), round(s.maximum * 1e3, 2)]
+        for mode, s in sorted(_results.items())
+    ]
+    print("\n=== Ablation A4: direct streams vs pub/sub connectors (ms) ===")
+    print(format_table(["connector_mode", "median_ms", "max_ms"], rows))
+    save_json(
+        "ablation_connectors",
+        {mode: s.as_row(1e3) for mode, s in _results.items()},
+    )
+    # both must stay within the QoS budget; the hop cost is the delta
+    assert _results["pubsub"].maximum < profile.qos_seconds

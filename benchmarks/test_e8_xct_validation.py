@@ -1,0 +1,117 @@
+"""E8 (extension) — online predictions vs simulated post-build XCT.
+
+Closes the qualification loop the evaluation build was designed for: the
+witness cylinders exist "to later measure the three-dimensional
+distribution of process defects with X-ray Computed Tomography" (§5).
+Here the online pipeline's per-height anomaly density around each witness
+cylinder is correlated against the cylinder's simulated XCT porosity
+profile. A monitoring system is useful exactly when this correlation is
+strong: online hot/cold clusters must predict where the destructive scan
+will find pores.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.am import BuildDataset, OTImageRenderer, make_job, scan_job
+from repro.bench import format_table, save_json
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+
+LAYERS = 100  # 4 one-mm z-bins at 40 um layers
+BIN_MM = 1.0
+
+
+def test_e8_online_vs_xct_correlation(benchmark, profile):
+    job = make_job("xct-eval", seed=13, defect_rate_per_stack=1.2)
+    renderer = OTImageRenderer(image_px=profile.image_px, seed=13)
+    records = [BuildDataset(job, renderer).layer_record(i) for i in range(LAYERS)]
+    reference = make_job("xct-ref", seed=1, defect_rate_per_stack=0.0)
+    reference_images = [
+        BuildDataset(reference, OTImageRenderer(image_px=profile.image_px, seed=1))
+        .layer_record(i).image
+        for i in range(3)
+    ]
+    edge = profile.scale_cell_edge(20)
+    config = UseCaseConfig(
+        image_px=profile.image_px, cell_edge_px=edge, window_layers=10,
+        vectorized=True,
+    )
+
+    def run():
+        strata = Strata(engine_mode="threaded")
+        calibrate_job(
+            strata.kv, job.job_id, reference_images, edge,
+            regions=specimen_regions_px(job.specimens, profile.image_px),
+        )
+        pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+        strata.deploy()
+        return pipeline
+
+    pipeline = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # --- online indicator: event density near each witness cylinder ------
+    px_per_mm = profile.image_px / 250.0
+    thickness = config.layer_thickness_mm
+    num_bins = int(LAYERS * thickness / BIN_MM)
+    by_specimen = {s.specimen_id: s for s in job.specimens}
+    # (specimen, cylinder, bin) -> unique event cells observed
+    online: dict[tuple[str, int, int], set] = {}
+    capture_mm = 3.0  # cylinder radius 2 mm + one coarse cell of slack
+    for t in pipeline.sink.results:
+        bin_index = int(t.layer * thickness / BIN_MM)
+        if bin_index >= num_bins:
+            continue
+        specimen = by_specimen[t.specimen]
+        for cluster in t.payload["clusters"]:
+            cx, cy, _ = cluster["centroid"]
+            for ci, cyl in enumerate(specimen.cylinders):
+                if (cx - cyl.center_x) ** 2 + (cy - cyl.center_y) ** 2 <= capture_mm**2:
+                    online.setdefault((t.specimen, ci, bin_index), set()).add(
+                        (cluster["cluster_id"], t.layer)
+                    )
+
+    online_scores = []
+    xct_scores = []
+    profiles = scan_job(job, bin_height_mm=BIN_MM, max_height_mm=LAYERS * thickness)
+    for xct in profiles:
+        for bin_index in range(min(num_bins, xct.num_bins)):
+            key = (xct.specimen_id, xct.cylinder_index, bin_index)
+            online_scores.append(len(online.get(key, ())))
+            xct_scores.append(xct.porosity[bin_index])
+
+    rho, pvalue = stats.spearmanr(online_scores, xct_scores)
+    porous_bins = sum(1 for p in xct_scores if p > 0.01)
+    hit_bins = sum(
+        1 for o, p in zip(online_scores, xct_scores) if p > 0.01 and o > 0
+    )
+    rows = [
+        ["(cylinder, z-bin) samples", len(xct_scores)],
+        ["porous bins (XCT > 1%)", porous_bins],
+        ["porous bins flagged online", hit_bins],
+        ["Spearman rho", round(float(rho), 3)],
+        ["p-value", f"{pvalue:.2e}"],
+    ]
+    print("\n=== E8: online anomaly density vs XCT porosity ===")
+    print(format_table(["metric", "value"], rows))
+    save_json(
+        "e8_xct_validation",
+        {"spearman_rho": float(rho), "p_value": float(pvalue),
+         "samples": len(xct_scores), "porous_bins": porous_bins,
+         "hit_bins": hit_bins},
+    )
+    benchmark.extra_info.update(spearman_rho=round(float(rho), 3))
+
+    assert porous_bins >= 5, "workload must produce porous cylinder bins"
+    assert hit_bins / porous_bins >= 0.6, "online monitoring must flag most porous bins"
+    assert rho > 0.4 and pvalue < 0.01, (
+        f"online/XCT correlation too weak: rho={rho:.3f}, p={pvalue:.1e}"
+    )

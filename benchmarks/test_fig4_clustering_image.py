@@ -1,0 +1,92 @@
+"""E1 / Figure 4 — OT image of a specimen and its thermal-energy clustering.
+
+The paper's Figure 4 shows one specimen's OT image next to the clustering
+of its anomalous regions. This benchmark runs the Alg. 1 pipeline with
+``render_cluster_image`` enabled, picks the specimen with the most
+clustered events, and emits both images (ASCII preview on stdout, raw
+arrays in the JSON payload's summary statistics).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench import (
+    EvaluationWorkload,
+    render_ascii_image,
+    run_latency_experiment,
+    save_json,
+)
+from repro.bench.harness import _LockstepOTSource  # noqa: F401  (doc pointer)
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+
+
+def _run_fig4(profile, workload: EvaluationWorkload):
+    config = UseCaseConfig(
+        image_px=profile.image_px,
+        cell_edge_px=profile.scale_cell_edge(20),
+        window_layers=10,
+        render_cluster_image=True,
+    )
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv,
+        workload.job.job_id,
+        workload.reference_images(),
+        config.cell_edge_px,
+        regions=specimen_regions_px(workload.job.specimens, profile.image_px),
+    )
+    records = workload.records
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    strata.deploy()
+    return pipeline, records
+
+
+def test_fig4_specimen_image_and_clusters(benchmark, profile, workload):
+    pipeline, records = benchmark.pedantic(
+        lambda: _run_fig4(profile, workload), rounds=1, iterations=1
+    )
+    results = pipeline.sink.results
+    assert results, "pipeline produced no aggregator reports"
+    # pick the most defective (specimen, layer) report, as the paper's
+    # figure shows a specimen with visible clusters
+    best = max(results, key=lambda t: t.payload["num_events"])
+    assert best.payload["num_clusters"] > 0, "no clusters found to render"
+
+    spec_map = records[0].parameters["specimen_map"]
+    x_min, y_min, x_max, y_max = spec_map[best.specimen]
+    scale = profile.image_px / 250.0
+    r0, r1 = int(y_min * scale), int(y_max * scale)
+    c0, c1 = int(x_min * scale), int(x_max * scale)
+    ot_crop = records[best.layer].image[r0:r1, c0:c1]
+    cluster_image = best.payload["cluster_image"]
+
+    step = max(1, ot_crop.shape[0] // 40)
+    print(f"\n=== Figure 4 (specimen {best.specimen}, layer {best.layer}) ===")
+    print("--- OT image (light emission) ---")
+    print(render_ascii_image(ot_crop[::step, ::step]))
+    print("--- clusters (0 bg, 1 noise, >=2 cluster ids) ---")
+    print(render_ascii_image(np.asarray(cluster_image)))
+    print(
+        f"events={best.payload['num_events']} clusters={best.payload['num_clusters']}"
+    )
+
+    save_json(
+        "fig4_clustering",
+        {
+            "profile": profile.name,
+            "specimen": best.specimen,
+            "layer": best.layer,
+            "num_events": best.payload["num_events"],
+            "num_clusters": best.payload["num_clusters"],
+            "clusters": best.payload["clusters"],
+        },
+    )
+    benchmark.extra_info["num_clusters"] = best.payload["num_clusters"]
+    benchmark.extra_info["num_events"] = best.payload["num_events"]

@@ -1,0 +1,120 @@
+"""E2 / Figure 5 — latency boxplots vs cell size.
+
+Paper: "we variate the length of the cell edge so that isolateCell
+separates cells with sizes varying from 40x40 to 2x2 pixels (5 to
+0.25 mm^2) ... the smaller the area of a cell, the higher the number of
+cells to be analyzed within and across layers, and the higher the
+processing latency. STRATA is always able to meet the QoS threshold
+[3 s] for all cell sizes."
+
+Expected shape here: per-layer latency grows monotonically as the cell
+edge shrinks and stays below the QoS threshold at the evaluated scale.
+Cell edges are given in paper-scale pixels (2000 px sensor) and mapped to
+the active profile's resolution preserving the physical size; edges that
+collapse to the same pixel size at a reduced resolution are skipped.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bench import (
+    BOXPLOT_HEADERS,
+    boxplot_row,
+    format_table,
+    run_latency_experiment,
+    save_json,
+)
+from repro.core import UseCaseConfig
+
+#: paper cell edges at the 2000 px sensor (5 ... 0.25 mm edge)
+PAPER_EDGES_PX = [40, 20, 10, 5, 2]
+
+_results: dict[int, object] = {}
+_measured_edges: set[int] = set()
+
+
+@pytest.fixture(scope="module")
+def latency_layers(profile):
+    # lockstep latency needs enough layers for a stable boxplot; beyond
+    # ~12 the distribution is stationary and time is better spent elsewhere
+    return min(profile.layers, 12)
+
+
+def _sliced_workload(workload, layers):
+    records = list(itertools.islice(iter(workload.records), layers))
+
+    class _Sliced:
+        job = workload.job
+
+        @property
+        def records(self):
+            return list(records)
+
+        def reference_images(self, count=5):
+            return workload.reference_images(count)
+
+    sliced = _Sliced()
+    sliced.job = workload.job
+    return sliced
+
+
+@pytest.mark.parametrize("paper_edge", PAPER_EDGES_PX)
+def test_fig5_latency_for_cell_size(benchmark, profile, workload, paper_edge, latency_layers):
+    edge = profile.scale_cell_edge(paper_edge)
+    if edge in _measured_edges:
+        pytest.skip(f"{paper_edge}px maps to already-measured {edge}px at this profile")
+    _measured_edges.add(edge)
+    config = UseCaseConfig(
+        image_px=profile.image_px, cell_edge_px=edge, window_layers=10
+    )
+    sliced = _sliced_workload(workload, latency_layers)
+    run = benchmark.pedantic(
+        lambda: run_latency_experiment(sliced, config), rounds=1, iterations=1
+    )
+    _results[paper_edge] = run
+    assert run.per_layer_latencies, "no latency samples"
+    if profile.name == "ci":
+        # the paper's QoS claim, checked at the scaled operating point
+        assert run.meets_qos(profile.qos_seconds), (
+            f"cell edge {edge}px exceeded the {profile.qos_seconds}s QoS"
+        )
+    summary = run.summary
+    benchmark.extra_info.update(
+        cell_edge_px=edge,
+        cell_mm=round(config.cell_edge_mm, 3),
+        median_ms=round(summary.median * 1e3, 2),
+        max_ms=round(summary.maximum * 1e3, 2),
+        cells=run.cells_evaluated,
+    )
+
+
+def test_fig5_report_and_trend(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
+    assert len(_results) >= 3, "run the parametrized benches first"
+    edges = [e for e in PAPER_EDGES_PX if e in _results]
+    rows = []
+    for paper_edge in edges:
+        run = _results[paper_edge]
+        label = f"{paper_edge}px@2000({run.config.cell_edge_mm:.2f}mm)"
+        rows.append(boxplot_row(label, run.summary))
+    print("\n=== Figure 5: latency (ms) vs cell size ===")
+    print(format_table(BOXPLOT_HEADERS, rows))
+    print(f"QoS threshold: {profile.qos_seconds * 1e3:.0f} ms")
+    save_json(
+        "fig5_latency_vs_cell_size",
+        {
+            "profile": profile.name,
+            "qos_seconds": profile.qos_seconds,
+            "rows": {str(edge): _results[edge].summary.as_row(1e3) for edge in edges},
+        },
+    )
+    # the paper's trend: smaller cells -> more cells -> higher latency
+    medians = [_results[edge].summary.median for edge in edges]
+    cells = [_results[edge].cells_evaluated for edge in edges]
+    assert cells == sorted(cells), "cell count must grow as the edge shrinks"
+    assert medians[-1] > medians[0], (
+        "finest cells must be slower than coarsest (paper Figure 5 trend)"
+    )

@@ -1,0 +1,92 @@
+"""E3 / Figure 6 — latency boxplots vs the inter-layer window L.
+
+Paper: "we investigate the effect of changing the number of previous
+layers clustered together in method correlateEvents (parameter L) ...
+we variate L from 5 layers (0.2 mm) to 80 layers (3.2 mm). Also in this
+case, despite the expected growth trend, all reported latency values are
+lower than the QoS threshold."
+
+Expected shape: latency grows with L (more accumulated events to cluster
+per trigger) while staying under the QoS threshold at the evaluated scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    BOXPLOT_HEADERS,
+    EvaluationWorkload,
+    boxplot_row,
+    format_table,
+    run_latency_experiment,
+    save_json,
+)
+from repro.core import UseCaseConfig
+
+#: the paper's L sweep (0.2 mm ... 3.2 mm of build height at 40 um layers)
+WINDOW_LAYERS = [5, 10, 20, 40, 80]
+
+_results: dict[int, object] = {}
+
+
+@pytest.fixture(scope="module")
+def fig6_workload(profile):
+    """Figure 6 needs enough layers to (mostly) fill the largest window."""
+    layers = max(profile.layers, WINDOW_LAYERS[-1] + 10)
+    return EvaluationWorkload(image_px=profile.image_px, layers=layers, seed=7)
+
+
+@pytest.mark.parametrize("window", WINDOW_LAYERS)
+def test_fig6_latency_for_window(benchmark, profile, fig6_workload, window):
+    config = UseCaseConfig(
+        image_px=profile.image_px,
+        cell_edge_px=profile.scale_cell_edge(20),
+        window_layers=window,
+    )
+    run = benchmark.pedantic(
+        lambda: run_latency_experiment(fig6_workload, config, warmup_layers=4),
+        rounds=1,
+        iterations=1,
+    )
+    _results[window] = run
+    if profile.name == "ci":
+        assert run.meets_qos(profile.qos_seconds), (
+            f"L={window} exceeded the {profile.qos_seconds}s QoS"
+        )
+    summary = run.summary
+    benchmark.extra_info.update(
+        window_layers=window,
+        build_mm=round(window * config.layer_thickness_mm, 2),
+        median_ms=round(summary.median * 1e3, 2),
+        max_ms=round(summary.maximum * 1e3, 2),
+    )
+
+
+def test_fig6_report_and_trend(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
+    assert len(_results) == len(WINDOW_LAYERS), "run the parametrized benches first"
+    rows = [
+        boxplot_row(f"L={window}({window * 0.04:.1f}mm)", _results[window].summary)
+        for window in WINDOW_LAYERS
+    ]
+    print("\n=== Figure 6: latency (ms) vs inter-layer window L ===")
+    print(format_table(BOXPLOT_HEADERS, rows))
+    print(f"QoS threshold: {profile.qos_seconds * 1e3:.0f} ms")
+    save_json(
+        "fig6_latency_vs_layers",
+        {
+            "profile": profile.name,
+            "qos_seconds": profile.qos_seconds,
+            "rows": {str(w): _results[w].summary.as_row(1e3) for w in WINDOW_LAYERS},
+        },
+    )
+    # growth trend: the largest window must be slower than the smallest
+    assert (
+        _results[WINDOW_LAYERS[-1]].summary.median
+        > _results[WINDOW_LAYERS[0]].summary.median * 0.9
+    ), "latency should not shrink as L grows (paper Figure 6 trend)"
+    assert (
+        _results[WINDOW_LAYERS[-1]].summary.mean
+        >= _results[WINDOW_LAYERS[0]].summary.mean
+    )

@@ -1,0 +1,127 @@
+"""E4 / Figure 7 — throughput and latency vs offered OT images/s.
+
+Paper: "input data is replayed as fast as possible ... the throughput
+initially grows linearly with the number of OT image/s fed to the query
+while the latency remains low until the query processing capacity is
+exceeded, the throughput flattens and the latency grows with a steeper
+curve ... the throughput curve for the 10x10 cells reaches the max value
+and flattens before that of the 20x20 cells (at approximately one-fourth
+..., since each 20x20 cell corresponds to 4 10x10 cells)."
+
+Expected shapes:
+  * throughput ~= offered rate below saturation, then flat;
+  * latency blows up past the knee;
+  * the finer-cell configuration saturates at ~1/4 the image rate and
+    both configurations cap at a similar cells/s ceiling.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table, run_throughput_experiment, save_json
+from repro.core import UseCaseConfig
+
+#: the paper's two cell sizes at the 2000 px sensor
+PAPER_EDGES_PX = [20, 10]
+#: offered OT images/s sweep
+OFFERED_RATES = [2, 4, 8, 16, 32, 64]
+
+_results: dict[tuple[int, float], object] = {}
+
+
+def _total_images(rate: float) -> int:
+    # long enough for a stable measurement, short enough to keep the
+    # saturated runs (achieved << offered) bounded in wall time
+    return int(max(24, min(120, rate * 3)))
+
+
+@pytest.mark.parametrize("paper_edge", PAPER_EDGES_PX)
+@pytest.mark.parametrize("rate", OFFERED_RATES)
+def test_fig7_point(benchmark, profile, workload, paper_edge, rate):
+    edge = profile.scale_cell_edge(paper_edge)
+    config = UseCaseConfig(
+        image_px=profile.image_px, cell_edge_px=edge, window_layers=10
+    )
+    run = benchmark.pedantic(
+        lambda: run_throughput_experiment(
+            workload, config, offered_images_s=float(rate), total_images=_total_images(rate)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    _results[(paper_edge, float(rate))] = run
+    benchmark.extra_info.update(
+        cell_edge_px=edge,
+        offered_images_s=rate,
+        achieved_images_s=round(run.achieved_images_s, 2),
+        kcells_s=round(run.kcells_per_second, 1),
+        mean_latency_ms=round(run.mean_latency_s * 1e3, 2),
+    )
+
+
+def test_fig7_report_and_shape(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
+    assert len(_results) == len(PAPER_EDGES_PX) * len(OFFERED_RATES)
+    headers = [
+        "cell", "offered_img_s", "achieved_img_s", "kcells_s",
+        "mean_lat_ms", "p99_lat_ms",
+    ]
+    rows = []
+    for paper_edge in PAPER_EDGES_PX:
+        for rate in OFFERED_RATES:
+            run = _results[(paper_edge, float(rate))]
+            rows.append([
+                f"{paper_edge}x{paper_edge}", rate,
+                round(run.achieved_images_s, 1),
+                round(run.kcells_per_second, 1),
+                round(run.mean_latency_s * 1e3, 1),
+                round(run.p99_latency_s * 1e3, 1),
+            ])
+    print("\n=== Figure 7: throughput & latency vs offered OT images/s ===")
+    print(format_table(headers, rows))
+    save_json(
+        "fig7_throughput_latency",
+        {
+            "profile": profile.name,
+            "series": {
+                f"{edge}px": {
+                    str(rate): {
+                        "achieved_images_s": _results[(edge, float(rate))].achieved_images_s,
+                        "kcells_s": _results[(edge, float(rate))].kcells_per_second,
+                        "mean_latency_s": _results[(edge, float(rate))].mean_latency_s,
+                    }
+                    for rate in OFFERED_RATES
+                }
+                for edge in PAPER_EDGES_PX
+            },
+        },
+    )
+
+    coarse = [_results[(PAPER_EDGES_PX[0], float(r))] for r in OFFERED_RATES]
+    fine = [_results[(PAPER_EDGES_PX[1], float(r))] for r in OFFERED_RATES]
+
+    # shape 1: below saturation, achieved tracks offered (linear region)
+    assert coarse[0].achieved_images_s == pytest.approx(
+        OFFERED_RATES[0], rel=0.35
+    ), "lowest offered rate should be sustained"
+
+    # shape 2: the finest configuration saturates below the coarse one
+    coarse_cap = max(r.achieved_images_s for r in coarse)
+    fine_cap = max(r.achieved_images_s for r in fine)
+    assert fine_cap < coarse_cap, (
+        "finer cells must saturate at a lower image rate (paper Figure 7)"
+    )
+
+    # shape 3: past its knee, the fine configuration's latency has blown up
+    # relative to its unloaded latency
+    assert fine[-1].mean_latency_s > 5 * fine[0].mean_latency_s or (
+        fine[-1].achieved_images_s >= OFFERED_RATES[-1] * 0.8
+    ), "saturation must show up as a latency blow-up"
+
+    # shape 4: both configurations cap at a similar cells/s ceiling
+    # ("each 20x20 cell corresponds to 4 10x10 cells")
+    coarse_kcells = max(r.kcells_per_second for r in coarse)
+    fine_kcells = max(r.kcells_per_second for r in fine)
+    ratio = fine_kcells / coarse_kcells
+    assert 0.25 < ratio < 4.0, f"cells/s ceilings too far apart (ratio {ratio:.2f})"

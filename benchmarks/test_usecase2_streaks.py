@@ -1,0 +1,99 @@
+"""E7 (extension) — recoater-streak use case: detection quality & latency.
+
+Not a paper figure: §7 lists new defect types as future work, and this
+benchmark evaluates the recoater-streak pipeline the way the paper's
+evaluation would — detection quality against seeded ground truth plus the
+per-layer latency of the plate-wide analysis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.bench import format_table, save_json
+from repro.core import Strata, build_streak_use_case
+
+LAYERS = 50
+
+
+def test_streak_detection_quality(benchmark, profile):
+    job = make_job(
+        "streak-eval", seed=19, defect_rate_per_stack=0.3,
+        streak_rate_per_100_layers=12.0,
+    )
+    renderer = OTImageRenderer(image_px=profile.image_px, seed=19)
+    records = [BuildDataset(job, renderer).layer_record(i) for i in range(LAYERS)]
+
+    def run():
+        pipeline = build_streak_use_case(
+            iter(records), iter(records), image_px=profile.image_px,
+            strata=Strata(engine_mode="threaded"),
+        )
+        started = time.monotonic()
+        pipeline.strata.deploy()
+        return pipeline, time.monotonic() - started
+
+    pipeline, wall = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    seeded = [s for s in job.streaks if s.first_layer < LAYERS - 1]
+    reported_ys = {
+        round(s["y_mm"])
+        for t in pipeline.sink.results
+        for s in t.payload["streaks"]
+    }
+    hits = [
+        s for s in seeded
+        if any(abs(s.y_mm - y) <= 3.0 for y in reported_ys)
+    ]
+    false_ys = [
+        y for y in reported_ys
+        if not any(abs(s.y_mm - y) <= 3.0 for s in seeded)
+    ]
+    latencies = pipeline.sink.latency.samples()
+    mean_latency_ms = sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+
+    rows = [
+        ["seeded streaks", len(seeded)],
+        ["detected", len(hits)],
+        ["missed", len(seeded) - len(hits)],
+        ["false streaks", len(false_ys)],
+        ["mean latency (ms)", round(mean_latency_ms, 2)],
+        ["replay wall (s)", round(wall, 2)],
+    ]
+    print("\n=== E7: recoater-streak use case ===")
+    print(format_table(["metric", "value"], rows))
+    save_json(
+        "usecase2_streaks",
+        {
+            "seeded": len(seeded), "detected": len(hits),
+            "false": len(false_ys), "mean_latency_ms": mean_latency_ms,
+        },
+    )
+    benchmark.extra_info.update(seeded=len(seeded), detected=len(hits))
+
+    assert seeded, "workload must contain streaks"
+    assert len(hits) == len(seeded), "every persistent seeded streak must be found"
+    assert len(false_ys) == 0, f"spurious streaks reported at y={false_ys}"
+    assert mean_latency_ms / 1e3 < profile.qos_seconds
+
+
+def test_streaks_unaffected_by_thermal_blobs(benchmark, profile):
+    """Blob defects (the other defect type) must not register as streaks."""
+    job = make_job("blob-only", seed=7, defect_rate_per_stack=1.2)
+    renderer = OTImageRenderer(image_px=profile.image_px, seed=7)
+    records = [BuildDataset(job, renderer).layer_record(i) for i in range(20)]
+
+    def run():
+        pipeline = build_streak_use_case(
+            iter(records), iter(records), image_px=profile.image_px,
+            strata=Strata(engine_mode="threaded"),
+        )
+        pipeline.strata.deploy()
+        return pipeline
+
+    pipeline = benchmark.pedantic(run, rounds=1, iterations=1)
+    streaks = [s for t in pipeline.sink.results for s in t.payload["streaks"]]
+    assert streaks == [], f"thermal blobs misread as streaks: {streaks}"

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Two experts, one deployment: overlapping pipelines (§4 of the paper).
+
+"Parts of a given data pipeline can be shared by different experts and/or
+across jobs": here the Raw Data Collectors and the fuse stage are shared,
+and a thermal-anomaly expert plus a recoater-streak expert each hang
+their own analysis off the same fused stream — deployed, run, and
+reported independently inside a single STRATA deployment.
+
+Run:  python examples/overlapping_pipelines.py
+"""
+
+from __future__ import annotations
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.am.defects import RecoaterStreak
+from repro.core import (
+    DBSCANCorrelator,
+    DetectStreakRows,
+    IsolateSpecimens,
+    LabelSpecimenCells,
+    OTImageCollector,
+    PrintingParameterCollector,
+    Strata,
+    StreakCorrelator,
+    calibrate_job,
+    specimen_regions_px,
+)
+
+IMAGE_PX = 500
+CELL_EDGE_PX = 5
+LAYERS = 25
+
+
+def main() -> None:
+    job = make_job("shared-deploy", seed=11, defect_rate_per_stack=0.6)
+    job.streaks = [RecoaterStreak("R0", 140.0, 0.0, 250.0, 0.8, 5, 14, -0.3)]
+    renderer = OTImageRenderer(image_px=IMAGE_PX, seed=11)
+    records = list(BuildDataset(job, renderer).records(0, LAYERS))
+
+    strata = Strata(engine_mode="threaded")
+    reference = make_job("ref", seed=1, defect_rate_per_stack=0.0)
+    calibrate_job(
+        strata.kv, job.job_id,
+        (r.image for r in BuildDataset(reference, renderer).records(0, 5)),
+        CELL_EDGE_PX,
+        regions=specimen_regions_px(job.specimens, IMAGE_PX),
+    )
+
+    # ---- shared stages: collectors + fuse --------------------------------
+    strata.addSource(PrintingParameterCollector(iter(records)), "pp")
+    strata.addSource(OTImageCollector(iter(records)), "OT")
+    strata.fuse("OT", "pp", "OT&pp")
+
+    # ---- expert 1: thermal anomalies per specimen ------------------------
+    strata.partition("OT&pp", "spec", IsolateSpecimens(IMAGE_PX))
+    strata.detectEvent("spec", "cells", LabelSpecimenCells(strata.kv, CELL_EDGE_PX))
+    strata.correlateEvents(
+        "cells", "thermal", 10,
+        DBSCANCorrelator(
+            eps_mm=4.0, min_samples=3, px_per_mm=IMAGE_PX / 250.0,
+            layer_thickness_mm=0.04, cell_volume_mm3=2.5 * 2.5 * 0.04,
+            min_volume_mm3=0.5,
+        ),
+    )
+    thermal_sink = strata.deliver("thermal")
+
+    # ---- expert 2: recoater streaks, plate-wide --------------------------
+    strata.detectEvent("OT&pp", "bands", DetectStreakRows())
+    strata.correlateEvents(
+        "bands", "streaks", 15,
+        StreakCorrelator(px_per_mm=IMAGE_PX / 250.0, min_layers=2),
+    )
+    streak_sink = strata.deliver("streaks")
+
+    strata.deploy()
+
+    flagged = {t.specimen for t in thermal_sink.results if t.payload["num_clusters"]}
+    print(f"thermal expert: {len(thermal_sink.results)} reports; "
+          f"clusters in specimens {sorted(flagged)}")
+    best: dict[float, dict] = {}
+    for t in streak_sink.results:
+        for s in t.payload["streaks"]:
+            key = round(s["y_mm"], 1)
+            if key not in best or s["layers_observed"] > best[key]["layers_observed"]:
+                best[key] = s
+    print(f"recoater expert: {len(streak_sink.results)} reports; "
+          f"{len(best)} distinct streak(s):")
+    for y_mm in sorted(best):
+        s = best[y_mm]
+        print(f"  y={y_mm} mm, layers {s['first_layer']}-{s['last_layer']}")
+
+
+if __name__ == "__main__":
+    main()

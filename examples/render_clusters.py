@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Render a specimen's OT image and its defect clustering (Figure 4).
+
+Produces an ASCII side-by-side of the light-emission image of the most
+defective specimen and the DBSCAN clustering of its anomalous cells, plus
+PGM files (plain grayscale, viewable anywhere) under ./fig4_out/.
+
+Run:  python examples/render_clusters.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.bench import render_ascii_image
+from repro.core import Strata, UseCaseConfig, build_use_case, calibrate_job, specimen_regions_px
+
+IMAGE_PX = 500
+CELL_EDGE_PX = 5
+LAYERS = 25
+OUT_DIR = Path("fig4_out")
+
+
+def write_pgm(path: Path, image: np.ndarray) -> None:
+    """Minimal plain-PGM writer (no imaging dependency needed)."""
+    image = np.asarray(image)
+    scaled = (image.astype(float) / max(1, image.max()) * 255).astype(np.uint8)
+    lines = [f"P2\n{scaled.shape[1]} {scaled.shape[0]}\n255\n"]
+    for row in scaled:
+        lines.append(" ".join(str(v) for v in row) + "\n")
+    path.write_text("".join(lines))
+
+
+def main() -> None:
+    job = make_job("EOS-M290-fig4", seed=7)
+    renderer = OTImageRenderer(image_px=IMAGE_PX, seed=7)
+    records = list(BuildDataset(job, renderer).records(0, LAYERS))
+
+    config = UseCaseConfig(
+        image_px=IMAGE_PX, cell_edge_px=CELL_EDGE_PX, window_layers=10,
+        render_cluster_image=True,
+    )
+    strata = Strata(engine_mode="threaded")
+    reference = make_job("reference", seed=1, defect_rate_per_stack=0.0)
+    calibrate_job(
+        strata.kv, job.job_id,
+        (r.image for r in BuildDataset(reference, renderer).records(0, 5)),
+        CELL_EDGE_PX,
+        regions=specimen_regions_px(job.specimens, IMAGE_PX),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    strata.deploy()
+
+    best = max(pipeline.sink.results, key=lambda t: t.payload["num_events"])
+    spec = next(s for s in job.specimens if s.specimen_id == best.specimen)
+    r0, r1, c0, c1 = spec.footprint.to_pixels(IMAGE_PX)
+    ot_crop = records[best.layer].image[r0:r1, c0:c1]
+    cluster_image = best.payload["cluster_image"]
+
+    print(f"specimen {best.specimen}, layer {best.layer}: "
+          f"{best.payload['num_events']} anomalous cells, "
+          f"{best.payload['num_clusters']} clusters\n")
+    step = max(1, ot_crop.shape[0] // 48)
+    print("--- OT image (melt-pool light emission) ---")
+    print(render_ascii_image(ot_crop[::step, ::step]))
+    print("\n--- clustering (darker = background/noise, brighter = clusters) ---")
+    print(render_ascii_image(np.asarray(cluster_image)))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    write_pgm(OUT_DIR / "ot_specimen.pgm", ot_crop)
+    write_pgm(OUT_DIR / "clusters.pgm", np.asarray(cluster_image))
+    print(f"\nPGM files written under {OUT_DIR}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Geometry- and material-aware monitoring (the paper's §7 future work).
+
+Prints a mixed build — blocks, cylinders, cones, and hexagonal prisms —
+in IN718, and monitors it with the geometry-aware pipeline: part masks
+from the sliced shapes keep powder inside each part's bounding box out of
+the analysis, and the witness-cylinder XCT simulation closes the loop at
+the end.
+
+Run:  python examples/shaped_parts.py
+"""
+
+from __future__ import annotations
+
+from repro.am import (
+    BuildDataset,
+    OTImageRenderer,
+    default_parameters_for,
+    make_job,
+    make_shaped_job,
+    scan_job,
+)
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+
+IMAGE_PX = 500
+CELL_EDGE_PX = 5
+LAYERS = 30
+
+
+def main() -> None:
+    process = default_parameters_for("IN718")
+    job = make_shaped_job(
+        "IN718-shaped", seed=7, process=process, defect_rate_per_stack=0.8
+    )
+    shapes = {
+        s.specimen_id: type(s.shape).__name__ if s.shape else "Block"
+        for s in job.specimens
+    }
+    print("build plate (IN718, "
+          f"{process.energy_density_j_mm3:.1f} J/mm^3):")
+    for specimen_id, kind in sorted(shapes.items()):
+        print(f"  {specimen_id}: {kind}")
+
+    renderer = OTImageRenderer(image_px=IMAGE_PX, seed=7)
+    records = list(BuildDataset(job, renderer).records(0, LAYERS))
+
+    # calibrate on a defect-free IN718 reference (material-specific!)
+    reference = make_job(
+        "IN718-ref", seed=1, process=process, defect_rate_per_stack=0.0
+    )
+    reference_images = [
+        r.image for r in BuildDataset(reference, renderer).records(0, 5)
+    ]
+    config = UseCaseConfig(
+        image_px=IMAGE_PX, cell_edge_px=CELL_EDGE_PX, window_layers=10,
+        vectorized=True,
+    )
+    strata = Strata()
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, CELL_EDGE_PX,
+        regions=specimen_regions_px(job.specimens, IMAGE_PX),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    strata.deploy()
+
+    print(f"\nanalyzed {pipeline.cells_evaluated} part cells over {LAYERS} layers "
+          "(powder inside shaped bounding boxes excluded)")
+    by_specimen: dict[str, int] = {}
+    for t in pipeline.sink.results:
+        by_specimen[t.specimen] = by_specimen.get(t.specimen, 0) + t.payload["num_clusters"]
+    print(f"\n{'specimen':<10} {'shape':<14} {'cluster reports':>16}")
+    for specimen_id in sorted(by_specimen):
+        print(f"{specimen_id:<10} {shapes[specimen_id]:<14} {by_specimen[specimen_id]:>16}")
+
+    # post-build: XCT the block specimens' witness cylinders
+    blocks = [s for s in job.specimens if s.shape is None]
+    profiles = [
+        p for p in scan_job(job, max_height_mm=LAYERS * 0.04)
+        if p.specimen_id in {b.specimen_id for b in blocks}
+    ]
+    porous = [p for p in profiles if p.mean_porosity > 0]
+    print(f"\nXCT of {len(profiles)} witness cylinders (block specimens): "
+          f"{len(porous)} show porosity in the printed height")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Additive manufacturing digital twin (the PBF-LB machine substitute).
+
+Synthesizes everything the paper's testbed provided physically: the
+build-plate layout of 12 specimens, the per-stack scan strategy and its
+gas-flow interaction, deterministic defect seeding, per-layer OT image
+rendering, and a machine simulator with real-time or replay pacing.
+"""
+
+from .dataset import BuildDataset, LayerRecord
+from .defects import COLD, HOT, DefectRegion, defects_in_layer, seed_defects
+from .geometry import PAPER_IMAGE_PX, PLATE_MM, Rect, mm_to_px, px_to_mm
+from .job import PrintJob, make_job, make_shaped_job
+from .materials import MATERIALS, Material, default_parameters_for, material_for
+from .machine import (
+    RECOAT_GAP_S,
+    BuildOutcome,
+    ControlHandle,
+    PBFLBMachine,
+)
+from .ot import OTImageRenderer
+from .parameters import LayerParameters, ProcessParameters
+from .xct import XCTProfile, scan_cylinder, scan_job
+from .shapes import (
+    BlockShape,
+    ConeShape,
+    CrossSection,
+    CylinderShape,
+    PolygonShape,
+    shape_mask_px,
+)
+from .scan import (
+    GAS_FLOW_ANGLE_DEG,
+    StackScan,
+    defect_risk,
+    rotating_schedule,
+)
+from .specimen import (
+    CYLINDERS_PER_SPECIMEN,
+    SPECIMEN_HEIGHT_MM,
+    SPECIMEN_LENGTH_MM,
+    SPECIMEN_WIDTH_MM,
+    STACK_HEIGHT_MM,
+    Cylinder,
+    Specimen,
+    specimen_map,
+    standard_layout,
+)
+
+__all__ = [
+    "Rect",
+    "PLATE_MM",
+    "PAPER_IMAGE_PX",
+    "mm_to_px",
+    "px_to_mm",
+    "Specimen",
+    "Cylinder",
+    "standard_layout",
+    "specimen_map",
+    "SPECIMEN_WIDTH_MM",
+    "SPECIMEN_LENGTH_MM",
+    "SPECIMEN_HEIGHT_MM",
+    "STACK_HEIGHT_MM",
+    "CYLINDERS_PER_SPECIMEN",
+    "StackScan",
+    "rotating_schedule",
+    "defect_risk",
+    "GAS_FLOW_ANGLE_DEG",
+    "DefectRegion",
+    "seed_defects",
+    "defects_in_layer",
+    "COLD",
+    "HOT",
+    "OTImageRenderer",
+    "ProcessParameters",
+    "LayerParameters",
+    "PrintJob",
+    "make_job",
+    "make_shaped_job",
+    "Material",
+    "MATERIALS",
+    "material_for",
+    "default_parameters_for",
+    "CrossSection",
+    "BlockShape",
+    "CylinderShape",
+    "ConeShape",
+    "PolygonShape",
+    "shape_mask_px",
+    "XCTProfile",
+    "scan_cylinder",
+    "scan_job",
+    "BuildDataset",
+    "LayerRecord",
+    "PBFLBMachine",
+    "ControlHandle",
+    "BuildOutcome",
+    "RECOAT_GAP_S",
+]

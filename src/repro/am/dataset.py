@@ -1,0 +1,107 @@
+"""Replayable per-layer build datasets.
+
+A :class:`BuildDataset` couples a :class:`~repro.am.job.PrintJob` with an
+OT renderer and yields one :class:`LayerRecord` per layer: the OT image,
+the printing-parameter payload, and (for evaluation only — never visible
+to the pipeline) the ground-truth defect mask. Records are deterministic
+in the job seed, so historic-data replays (Figure 7) re-produce byte-equal
+inputs at any offered rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from .job import PrintJob
+from .ot import OTImageRenderer
+
+
+@dataclass(frozen=True)
+class LayerRecord:
+    """Everything the machine emits at the completion of one layer.
+
+    ``completed_at`` is the event time the machine stamps when the layer
+    finishes. Collectors use it as the tuple's ``tau``; when it is absent
+    (offline dataset replay) the layer index serves as the event clock.
+    A single stamp shared by every collector is what lets ``fuse`` match
+    a layer's OT image with its parameters even when several machines'
+    streams interleave with arbitrary skew.
+    """
+
+    job_id: str
+    layer: int
+    z_mm: float
+    image: np.ndarray  # (px, px) uint8 OT image
+    parameters: dict[str, Any]  # LayerParameters payload
+    truth_mask: np.ndarray | None = None  # evaluation-only ground truth
+    completed_at: float | None = None  # machine-stamped event time
+
+
+class BuildDataset:
+    """Lazily renders (and optionally caches) all layers of one job."""
+
+    def __init__(
+        self,
+        job: PrintJob,
+        renderer: OTImageRenderer,
+        with_truth: bool = False,
+        cache: bool = False,
+    ) -> None:
+        self._job = job
+        self._renderer = renderer
+        self._with_truth = with_truth
+        self._cache: dict[int, LayerRecord] | None = {} if cache else None
+
+    @property
+    def job(self) -> PrintJob:
+        return self._job
+
+    @property
+    def renderer(self) -> OTImageRenderer:
+        return self._renderer
+
+    def __len__(self) -> int:
+        return self._job.num_layers
+
+    def layer_record(self, layer: int) -> LayerRecord:
+        """Render (or fetch) the record for one layer."""
+        if not 0 <= layer < len(self):
+            raise IndexError(f"layer {layer} outside build (0..{len(self) - 1})")
+        if self._cache is not None and layer in self._cache:
+            return self._cache[layer]
+        job = self._job
+        z_mm = job.z_of_layer(layer)
+        scan = job.stack_of_layer(layer)
+        image = self._renderer.render(
+            layer, z_mm, job.specimens, scan, job.defects, job.process,
+            streaks=job.streaks,
+        )
+        truth = (
+            self._renderer.ground_truth_mask(z_mm, job.defects)
+            if self._with_truth
+            else None
+        )
+        record = LayerRecord(
+            job_id=job.job_id,
+            layer=layer,
+            z_mm=z_mm,
+            image=image,
+            parameters=job.layer_parameters(layer).as_payload(),
+            truth_mask=truth,
+        )
+        if self._cache is not None:
+            self._cache[layer] = record
+        return record
+
+    def records(self, start: int = 0, end: int | None = None) -> Iterator[LayerRecord]:
+        """Iterate layer records in build order."""
+        if end is None:
+            end = len(self)
+        for layer in range(start, min(end, len(self))):
+            yield self.layer_record(layer)
+
+    def __iter__(self) -> Iterator[LayerRecord]:
+        return self.records()

@@ -1,0 +1,196 @@
+"""Synthetic defect seeding.
+
+Defects are contiguous 3-D regions where the melt received too little or
+too much thermal energy — exactly what the use-case pipeline must find.
+Each defect is an ellipsoidal blob anchored inside one specimen, spanning
+a few consecutive layers, with an intensity offset applied to the OT
+image: *cold* defects (lack of fusion — e.g. spatter shadowing the powder)
+lower the emitted light; *hot* defects (overheating/keyholing) raise it.
+
+Seeding is driven by the per-stack scan/gas-flow risk from
+:mod:`repro.am.scan`, so defect density varies along the build height the
+way the paper's physical argument predicts, and is fully deterministic
+given the job seed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .scan import StackScan, defect_risk
+from .specimen import STACK_HEIGHT_MM, Specimen
+
+COLD = "cold"
+HOT = "hot"
+
+
+@dataclass(frozen=True)
+class DefectRegion:
+    """One seeded defect blob."""
+
+    defect_id: str
+    specimen_id: str
+    kind: str  # COLD or HOT
+    center_x_mm: float
+    center_y_mm: float
+    center_z_mm: float
+    radius_mm: float  # in-plane radius at the widest layer
+    half_depth_mm: float  # extent along the build direction
+    intensity_delta: float  # signed offset applied to normalized intensity
+
+    @property
+    def first_z(self) -> float:
+        return self.center_z_mm - self.half_depth_mm
+
+    @property
+    def last_z(self) -> float:
+        return self.center_z_mm + self.half_depth_mm
+
+    def radius_at(self, z_mm: float) -> float:
+        """In-plane radius of the blob's cross-section at height ``z_mm``.
+
+        Zero outside the blob's vertical extent (ellipsoidal profile).
+        """
+        if self.half_depth_mm <= 0:
+            return self.radius_mm if abs(z_mm - self.center_z_mm) < 1e-9 else 0.0
+        rel = (z_mm - self.center_z_mm) / self.half_depth_mm
+        if abs(rel) >= 1.0:
+            return 0.0
+        return self.radius_mm * math.sqrt(1.0 - rel * rel)
+
+    def covers_layer(self, z_mm: float) -> bool:
+        return self.radius_at(z_mm) > 0.0
+
+
+def seed_defects(
+    specimens: list[Specimen],
+    stack_scans: list[StackScan],
+    seed: int,
+    base_rate_per_stack: float = 0.55,
+    cold_fraction: float = 0.6,
+    radius_mm: tuple[float, float] = (0.5, 2.5),
+    depth_mm: tuple[float, float] = (0.1, 1.6),
+    intensity: tuple[float, float] = (0.18, 0.45),
+) -> list[DefectRegion]:
+    """Deterministically seed defects for one job.
+
+    For every (specimen, stack) pair the expected defect count is
+    ``base_rate_per_stack * defect_risk(stack)``; counts are Poisson,
+    positions uniform within the specimen footprint (with a small inset so
+    blobs stay inside), and all draws come from one seeded generator.
+    """
+    rng = np.random.default_rng(seed)
+    defects: list[DefectRegion] = []
+    counter = 0
+    for specimen in specimens:
+        fp = specimen.footprint
+        for scan in stack_scans:
+            expectation = base_rate_per_stack * defect_risk(scan)
+            count = int(rng.poisson(expectation))
+            for _ in range(count):
+                radius = float(rng.uniform(*radius_mm))
+                inset = min(radius, min(fp.width, fp.height) / 4)
+                x = float(rng.uniform(fp.x_min + inset, fp.x_max - inset))
+                y = float(rng.uniform(fp.y_min + inset, fp.y_max - inset))
+                z = float(
+                    rng.uniform(
+                        scan.stack_index * STACK_HEIGHT_MM,
+                        (scan.stack_index + 1) * STACK_HEIGHT_MM,
+                    )
+                )
+                kind = COLD if rng.random() < cold_fraction else HOT
+                delta = float(rng.uniform(*intensity))
+                defects.append(
+                    DefectRegion(
+                        defect_id=f"D{counter:04d}",
+                        specimen_id=specimen.specimen_id,
+                        kind=kind,
+                        center_x_mm=x,
+                        center_y_mm=y,
+                        center_z_mm=z,
+                        radius_mm=radius,
+                        half_depth_mm=float(rng.uniform(*depth_mm)),
+                        intensity_delta=-delta if kind == COLD else delta,
+                    )
+                )
+                counter += 1
+    return defects
+
+
+def defects_in_layer(defects: list[DefectRegion], z_mm: float) -> list[DefectRegion]:
+    """Subset of defects whose blob intersects the layer at ``z_mm``."""
+    return [d for d in defects if d.covers_layer(z_mm)]
+
+
+@dataclass(frozen=True)
+class RecoaterStreak:
+    """A recoater-blade defect: a thin under-melted line across the plate.
+
+    A nick in the blade (or a dragged particle) starves a narrow band of
+    powder along the recoating direction (+x here), so every specimen the
+    band crosses melts cold there. The streak persists over consecutive
+    layers until the blade is cleaned — a different defect *type* from the
+    local spatter blobs, with a very different spatial signature (§7
+    future work: "the type of monitored defect").
+    """
+
+    streak_id: str
+    y_mm: float  # transverse position of the band
+    x_start_mm: float
+    x_end_mm: float
+    width_mm: float
+    first_layer: int
+    last_layer: int
+    intensity_delta: float  # negative: under-melted
+
+    def __post_init__(self) -> None:
+        if self.x_end_mm <= self.x_start_mm:
+            raise ValueError("streak x-extent is inverted")
+        if self.last_layer < self.first_layer:
+            raise ValueError("streak layer span is inverted")
+        if self.width_mm <= 0:
+            raise ValueError("streak width must be positive")
+
+    def covers_layer(self, layer: int) -> bool:
+        return self.first_layer <= layer <= self.last_layer
+
+
+def seed_recoater_streaks(
+    num_layers: int,
+    seed: int,
+    expected_streaks_per_100_layers: float = 1.0,
+    plate_mm: float = 250.0,
+    width_mm: tuple[float, float] = (0.3, 0.8),
+    duration_layers: tuple[int, int] = (3, 12),
+    intensity: tuple[float, float] = (0.12, 0.3),
+) -> list[RecoaterStreak]:
+    """Deterministically seed recoater streaks over a build's layers."""
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    count = int(rng.poisson(expected_streaks_per_100_layers * num_layers / 100.0))
+    streaks: list[RecoaterStreak] = []
+    for index in range(count):
+        first = int(rng.integers(0, max(1, num_layers - duration_layers[0])))
+        duration = int(rng.integers(duration_layers[0], duration_layers[1] + 1))
+        x_start = float(rng.uniform(0.0, plate_mm * 0.3))
+        x_end = float(rng.uniform(plate_mm * 0.7, plate_mm))
+        streaks.append(
+            RecoaterStreak(
+                streak_id=f"R{index:03d}",
+                y_mm=float(rng.uniform(plate_mm * 0.05, plate_mm * 0.95)),
+                x_start_mm=x_start,
+                x_end_mm=x_end,
+                width_mm=float(rng.uniform(*width_mm)),
+                first_layer=first,
+                last_layer=min(num_layers - 1, first + duration - 1),
+                intensity_delta=-float(rng.uniform(*intensity)),
+            )
+        )
+    return streaks
+
+
+def streaks_in_layer(streaks: list[RecoaterStreak], layer: int) -> list[RecoaterStreak]:
+    """Subset of streaks active at ``layer``."""
+    return [s for s in streaks if s.covers_layer(layer)]

@@ -1,0 +1,82 @@
+"""Build-chamber geometry and mm ↔ pixel conversions.
+
+The evaluated machine (EOS M290 class) exposes a 250 x 250 mm process area
+imaged by the OT sensor as a square grayscale image (2000 x 2000 px in the
+paper, i.e. 8 px/mm). All physical coordinates in this package are in mm,
+with the origin at the front-left corner of the plate; +y points toward
+the back of the machine (the gas flow runs back -> front, i.e. -y).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: process-area edge of the reference machine, mm
+PLATE_MM = 250.0
+#: OT image edge used in the paper, px
+PAPER_IMAGE_PX = 2000
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle in plate coordinates (mm)."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError("rectangle extents are inverted")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.x_min + self.x_max) / 2, (self.y_min + self.y_max) / 2)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, x: float, y: float) -> bool:
+        return self.x_min <= x < self.x_max and self.y_min <= y < self.y_max
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two rectangles overlap (edges touching: no)."""
+        return not (
+            other.x_min >= self.x_max
+            or other.x_max <= self.x_min
+            or other.y_min >= self.y_max
+            or other.y_max <= self.y_min
+        )
+
+    def to_pixels(self, image_px: int, plate_mm: float = PLATE_MM) -> tuple[int, int, int, int]:
+        """Return (row_min, row_max, col_min, col_max) pixel bounds.
+
+        Image rows grow with +y (row 0 is the front of the machine), so a
+        pure scale maps mm to px; bounds are clipped to the image.
+        """
+        scale = image_px / plate_mm
+        col_min = max(0, int(self.x_min * scale))
+        col_max = min(image_px, int(round(self.x_max * scale)))
+        row_min = max(0, int(self.y_min * scale))
+        row_max = min(image_px, int(round(self.y_max * scale)))
+        return row_min, row_max, col_min, col_max
+
+
+def mm_to_px(value_mm: float, image_px: int, plate_mm: float = PLATE_MM) -> float:
+    """Convert a length in mm to (fractional) pixels."""
+    return value_mm * image_px / plate_mm
+
+
+def px_to_mm(value_px: float, image_px: int, plate_mm: float = PLATE_MM) -> float:
+    """Convert a length in pixels to mm."""
+    return value_px * plate_mm / image_px

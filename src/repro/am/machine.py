@@ -1,0 +1,151 @@
+"""PBF-LB machine simulator (the EOS M290 digital twin).
+
+Executes a :class:`~repro.am.job.PrintJob` layer by layer. Per layer the
+machine melts the cross-section (duration estimated from the scanned area
+and the process parameters), forwards the OT image "at the completion of
+the corresponding layer" (§5), and then spends the *recoat gap* — about
+3 seconds on the evaluated machine — removing leftover powder and
+recoating. That gap is the QoS budget for online decisions.
+
+Two pacing modes:
+
+* ``realtime=True`` — sleeps through (scaled) melt and recoat intervals,
+  for live-monitoring demos;
+* ``realtime=False`` — emits records as fast as they can be rendered, the
+  replay mode used by the throughput experiment.
+
+The machine also honours a ``ControlHandle``: the expert (or a pipeline
+sink acting for them) can request early termination, which stops the build
+before the next layer — the "timely decision" loop of §1.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from .dataset import BuildDataset, LayerRecord
+from .job import PrintJob
+from .ot import OTImageRenderer
+
+#: recoat gap of the evaluated machine, seconds (QoS threshold in §5)
+RECOAT_GAP_S = 3.0
+
+
+class ControlHandle:
+    """Thread-safe control channel from the expert back to the machine."""
+
+    def __init__(self) -> None:
+        self._terminate = threading.Event()
+        self._reason: str | None = None
+        self._lock = threading.Lock()
+
+    def request_termination(self, reason: str) -> None:
+        """Ask the machine to stop before starting another layer."""
+        with self._lock:
+            if self._reason is None:
+                self._reason = reason
+        self._terminate.set()
+
+    @property
+    def termination_requested(self) -> bool:
+        return self._terminate.is_set()
+
+    @property
+    def reason(self) -> str | None:
+        with self._lock:
+            return self._reason
+
+
+@dataclass(frozen=True)
+class BuildOutcome:
+    """Summary of one (possibly interrupted) build."""
+
+    job_id: str
+    layers_completed: int
+    total_layers: int
+    terminated_early: bool
+    termination_reason: str | None
+    wall_seconds: float
+
+
+class PBFLBMachine:
+    """Layer-by-layer executor of print jobs."""
+
+    def __init__(
+        self,
+        machine_id: str = "M290-SIM-01",
+        renderer: OTImageRenderer | None = None,
+        recoat_gap_s: float = RECOAT_GAP_S,
+        time_scale: float = 1.0,
+    ) -> None:
+        """``time_scale`` compresses real-time pacing (0.01 = 100x faster)."""
+        if time_scale <= 0:
+            raise ValueError("time_scale must be positive")
+        self.machine_id = machine_id
+        self._renderer = renderer or OTImageRenderer()
+        self._recoat_gap = recoat_gap_s
+        self._time_scale = time_scale
+
+    @property
+    def renderer(self) -> OTImageRenderer:
+        return self._renderer
+
+    def melt_time_s(self, job: PrintJob) -> float:
+        """Estimated melt duration of one layer from area and parameters.
+
+        Track length ~ area / hatch distance; duration = length / speed.
+        """
+        area_mm2 = sum(s.footprint.area for s in job.specimens)
+        track_mm = area_mm2 / job.process.hatch_distance_mm
+        return track_mm / job.process.scan_speed_mm_s
+
+    def run(
+        self,
+        job: PrintJob,
+        realtime: bool = False,
+        control: ControlHandle | None = None,
+        on_layer: Callable[[LayerRecord], None] | None = None,
+        max_layers: int | None = None,
+        with_truth: bool = False,
+    ) -> BuildOutcome:
+        """Execute ``job``, invoking ``on_layer`` per completed layer."""
+        started = time.monotonic()
+        completed = 0
+        terminated = False
+        dataset = BuildDataset(job, self._renderer, with_truth=with_truth)
+        total = len(dataset) if max_layers is None else min(max_layers, len(dataset))
+        for record in dataset.records(0, total):
+            if control is not None and control.termination_requested:
+                terminated = True
+                break
+            if realtime:
+                time.sleep(self.melt_time_s(job) * self._time_scale)
+            if on_layer is not None:
+                # Stamp the layer's completion: the single event time every
+                # collector of this record agrees on (see LayerRecord).
+                on_layer(replace(record, completed_at=time.monotonic()))
+            completed += 1
+            if realtime and completed < total:
+                time.sleep(self._recoat_gap * self._time_scale)
+        return BuildOutcome(
+            job_id=job.job_id,
+            layers_completed=completed,
+            total_layers=total,
+            terminated_early=terminated,
+            termination_reason=control.reason if control is not None else None,
+            wall_seconds=time.monotonic() - started,
+        )
+
+    def layer_stream(
+        self,
+        job: PrintJob,
+        max_layers: int | None = None,
+        with_truth: bool = False,
+    ) -> Iterator[LayerRecord]:
+        """Pull-based replay of the job's layer records (no pacing)."""
+        dataset = BuildDataset(job, self._renderer, with_truth=with_truth)
+        total = len(dataset) if max_layers is None else min(max_layers, len(dataset))
+        yield from dataset.records(0, total)

@@ -1,0 +1,127 @@
+"""Powder material library.
+
+The paper's future work (§7) names "the material used as powder" as a
+dimension the monitoring portfolio must cover: different alloys emit
+differently under the same energy input, change the optimal process
+window, and shift how much a thermal deviation matters.
+
+Each :class:`Material` carries the properties the OT renderer and the
+process model consume:
+
+* ``emissivity_scale`` — relative melt-pool light emission at the
+  material's nominal energy density (Ti-6Al-4V = 1.0 reference);
+* ``nominal_energy_density`` — center of the healthy process window,
+  J/mm^3;
+* ``process_window`` — (low, high) energy-density bounds outside of which
+  lack-of-fusion / keyhole porosity become likely;
+* ``defect_susceptibility`` — multiplier on the spatter-driven defect
+  rate (e.g. aluminium's spatter sticks more readily than titanium's).
+
+Values are representative of published PBF-LB parameter studies — they
+shape the synthetic data, they are not metallurgical reference data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .parameters import ProcessParameters
+
+
+@dataclass(frozen=True)
+class Material:
+    """One printable powder alloy."""
+
+    name: str
+    emissivity_scale: float
+    nominal_energy_density: float  # J/mm^3
+    process_window: tuple[float, float]  # J/mm^3
+    defect_susceptibility: float
+    density_g_cm3: float
+    melting_point_c: float
+
+    def window_position(self, energy_density: float) -> float:
+        """Where an energy density sits in the process window.
+
+        0.5 = window center; < 0 or > 1 = outside the window. Used by the
+        twin to scale systematic brightness and defect likelihood.
+        """
+        low, high = self.process_window
+        return (energy_density - low) / (high - low)
+
+    def in_window(self, energy_density: float) -> bool:
+        """True when ``energy_density`` lies in the healthy window."""
+        low, high = self.process_window
+        return low <= energy_density <= high
+
+
+#: reference library; keys match ``ProcessParameters.material``
+MATERIALS: dict[str, Material] = {
+    material.name: material
+    for material in (
+        Material(
+            name="Ti-6Al-4V",
+            emissivity_scale=1.0,
+            nominal_energy_density=41.7,
+            process_window=(30.0, 60.0),
+            defect_susceptibility=1.0,
+            density_g_cm3=4.43,
+            melting_point_c=1655,
+        ),
+        Material(
+            name="IN718",
+            emissivity_scale=0.92,
+            nominal_energy_density=55.0,
+            process_window=(40.0, 80.0),
+            defect_susceptibility=0.85,
+            density_g_cm3=8.19,
+            melting_point_c=1336,
+        ),
+        Material(
+            name="AlSi10Mg",
+            emissivity_scale=0.70,
+            nominal_energy_density=38.0,
+            process_window=(28.0, 55.0),
+            defect_susceptibility=1.4,
+            density_g_cm3=2.67,
+            melting_point_c=600,
+        ),
+        Material(
+            name="316L",
+            emissivity_scale=0.88,
+            nominal_energy_density=62.0,
+            process_window=(45.0, 90.0),
+            defect_susceptibility=0.9,
+            density_g_cm3=7.99,
+            melting_point_c=1400,
+        ),
+    )
+}
+
+
+def material_for(process: ProcessParameters) -> Material:
+    """The material a job prints with; unknown names fall back to Ti64.
+
+    Falling back (instead of raising) keeps externally-constructed
+    parameter sets usable — an unknown alloy renders like the reference
+    material, which is the neutral choice for synthetic data.
+    """
+    return MATERIALS.get(process.material, MATERIALS["Ti-6Al-4V"])
+
+
+def default_parameters_for(material_name: str) -> ProcessParameters:
+    """A parameter set centered in ``material_name``'s process window."""
+    material = MATERIALS[material_name]
+    # Keep speed/hatch/thickness at machine defaults; set power to land on
+    # the material's nominal energy density: P = E * v * h * t.
+    base = ProcessParameters(material=material_name)
+    power = material.nominal_energy_density * (
+        base.scan_speed_mm_s * base.hatch_distance_mm * base.layer_thickness_mm
+    )
+    return ProcessParameters(
+        laser_power_w=round(power, 1),
+        scan_speed_mm_s=base.scan_speed_mm_s,
+        hatch_distance_mm=base.hatch_distance_mm,
+        layer_thickness_mm=base.layer_thickness_mm,
+        material=material_name,
+    )

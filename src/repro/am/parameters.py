@@ -1,0 +1,77 @@
+"""Printing process parameters.
+
+The Raw Data Collector has a dedicated source for "information about the
+printing jobs submitted at the PBF-LB machine" (§5). That source publishes
+one tuple per layer, carrying the machine settings plus the specimen
+footprint map that ``isolateSpecimen`` needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ProcessParameters:
+    """Machine settings for one job (EOS M290-class defaults, Ti-6Al-4V)."""
+
+    laser_power_w: float = 280.0
+    scan_speed_mm_s: float = 1200.0
+    hatch_distance_mm: float = 0.14
+    layer_thickness_mm: float = 0.04
+    beam_diameter_um: float = 100.0
+    material: str = "Ti-6Al-4V"
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def energy_density_j_mm3(self) -> float:
+        """Volumetric energy density E = P / (v * h * t)."""
+        return self.laser_power_w / (
+            self.scan_speed_mm_s * self.hatch_distance_mm * self.layer_thickness_mm
+        )
+
+    def as_payload(self) -> dict[str, Any]:
+        """Flat dict for a tuple payload."""
+        payload = {
+            "laser_power_w": self.laser_power_w,
+            "scan_speed_mm_s": self.scan_speed_mm_s,
+            "hatch_distance_mm": self.hatch_distance_mm,
+            "layer_thickness_mm": self.layer_thickness_mm,
+            "beam_diameter_um": self.beam_diameter_um,
+            "material": self.material,
+            "energy_density_j_mm3": self.energy_density_j_mm3,
+        }
+        payload.update(self.extras)
+        return payload
+
+
+@dataclass(frozen=True)
+class LayerParameters:
+    """Per-layer record published by the Printing Parameters source.
+
+    ``specimen_shapes`` carries each part's cross-section geometry (or
+    ``None`` for full blocks) so geometry-aware pipelines can mask out
+    powder inside a part's bounding box.
+    """
+
+    layer: int
+    z_mm: float
+    stack_index: int
+    scan_angle_deg: float
+    specimen_map: dict[str, tuple[float, float, float, float]]
+    process: ProcessParameters
+    specimen_shapes: dict[str, Any] | None = None
+
+    def as_payload(self) -> dict[str, Any]:
+        payload = {
+            "z_mm": self.z_mm,
+            "stack_index": self.stack_index,
+            "scan_angle_deg": self.scan_angle_deg,
+            "specimen_map": self.specimen_map,
+        }
+        if self.specimen_shapes is not None:
+            payload["specimen_shapes"] = self.specimen_shapes
+        for key, value in self.process.as_payload().items():
+            payload[f"param_{key}"] = value
+        return payload

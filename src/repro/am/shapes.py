@@ -1,0 +1,187 @@
+"""Specimen cross-section shapes.
+
+PBF-LB melts "the 2D slices of a 3D object" (§1) — real builds are not
+rectangular blocks. The paper's future work (§7) names "the shape of the
+object being printed" as a monitoring dimension; these cross-section
+models provide it:
+
+* :class:`BlockShape` — the evaluation build's rectangular block;
+* :class:`CylinderShape` — constant circular section;
+* :class:`ConeShape` — circular section shrinking with build height;
+* :class:`PolygonShape` — arbitrary convex/concave polygon section.
+
+A shape answers one vectorized question: which (x, y) points belong to
+the part at height z. The OT renderer melts only those pixels, and the
+Printing Parameters source ships the shapes so ``isolateSpecimen`` can
+attach per-layer part masks — geometry-aware monitoring evaluates only
+cells that are actually part, so powder inside a specimen's bounding box
+never reads as a "cold" anomaly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .geometry import Rect
+
+
+class CrossSection(ABC):
+    """Geometry of one specimen's horizontal slice as a function of z."""
+
+    @abstractmethod
+    def contains(self, x_mm: np.ndarray, y_mm: np.ndarray, z_mm: float) -> np.ndarray:
+        """Boolean mask: which (x, y) points are part material at ``z``.
+
+        ``x_mm`` and ``y_mm`` are broadcastable arrays in plate mm.
+        """
+
+    @abstractmethod
+    def bounding_rect(self) -> Rect:
+        """Tightest axis-aligned rectangle containing every slice."""
+
+    def area_at(self, z_mm: float, samples: int = 64) -> float:
+        """Approximate slice area (mm^2) by uniform sampling of the bbox."""
+        rect = self.bounding_rect()
+        xs = np.linspace(rect.x_min, rect.x_max, samples)
+        ys = np.linspace(rect.y_min, rect.y_max, samples)
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        inside = self.contains(grid_x, grid_y, z_mm)
+        return float(inside.mean()) * rect.area
+
+
+class BlockShape(CrossSection):
+    """Full rectangular block: every bbox point is part at every layer."""
+
+    def __init__(self, footprint: Rect) -> None:
+        self._footprint = footprint
+
+    def contains(self, x_mm: np.ndarray, y_mm: np.ndarray, z_mm: float) -> np.ndarray:
+        fp = self._footprint
+        return (
+            (x_mm >= fp.x_min)
+            & (x_mm < fp.x_max)
+            & (y_mm >= fp.y_min)
+            & (y_mm < fp.y_max)
+        )
+
+    def bounding_rect(self) -> Rect:
+        return self._footprint
+
+
+class CylinderShape(CrossSection):
+    """Vertical cylinder: constant circular cross-section."""
+
+    def __init__(self, center_x: float, center_y: float, radius: float) -> None:
+        if radius <= 0:
+            raise ValueError("radius must be positive")
+        self._cx = center_x
+        self._cy = center_y
+        self._radius = radius
+
+    @property
+    def radius(self) -> float:
+        return self._radius
+
+    def contains(self, x_mm: np.ndarray, y_mm: np.ndarray, z_mm: float) -> np.ndarray:
+        return (x_mm - self._cx) ** 2 + (y_mm - self._cy) ** 2 <= self._radius**2
+
+    def bounding_rect(self) -> Rect:
+        return Rect(
+            self._cx - self._radius,
+            self._cy - self._radius,
+            self._cx + self._radius,
+            self._cy + self._radius,
+        )
+
+
+class ConeShape(CrossSection):
+    """Truncated cone: radius shrinks linearly from base to apex.
+
+    ``r(z) = base_radius * (1 - (1 - tip_fraction) * z / height)``; with
+    ``tip_fraction=0`` the cone closes to a point at ``height``.
+    """
+
+    def __init__(
+        self,
+        center_x: float,
+        center_y: float,
+        base_radius: float,
+        height_mm: float,
+        tip_fraction: float = 0.2,
+    ) -> None:
+        if base_radius <= 0 or height_mm <= 0:
+            raise ValueError("base_radius and height must be positive")
+        if not 0.0 <= tip_fraction <= 1.0:
+            raise ValueError("tip_fraction must be in [0, 1]")
+        self._cx = center_x
+        self._cy = center_y
+        self._base = base_radius
+        self._height = height_mm
+        self._tip = tip_fraction
+
+    def radius_at(self, z_mm: float) -> float:
+        """Slice radius at height ``z_mm`` (0 outside the cone)."""
+        if z_mm < 0 or z_mm > self._height:
+            return 0.0
+        return self._base * (1.0 - (1.0 - self._tip) * z_mm / self._height)
+
+    def contains(self, x_mm: np.ndarray, y_mm: np.ndarray, z_mm: float) -> np.ndarray:
+        radius = self.radius_at(z_mm)
+        if radius <= 0:
+            return np.zeros(np.broadcast(x_mm, y_mm).shape, dtype=bool)
+        return (x_mm - self._cx) ** 2 + (y_mm - self._cy) ** 2 <= radius**2
+
+    def bounding_rect(self) -> Rect:
+        return Rect(
+            self._cx - self._base,
+            self._cy - self._base,
+            self._cx + self._base,
+            self._cy + self._base,
+        )
+
+
+class PolygonShape(CrossSection):
+    """Constant polygonal cross-section (vectorized even-odd rule)."""
+
+    def __init__(self, vertices: list[tuple[float, float]]) -> None:
+        if len(vertices) < 3:
+            raise ValueError("a polygon needs at least 3 vertices")
+        self._vertices = np.asarray(vertices, dtype=float)
+
+    def contains(self, x_mm: np.ndarray, y_mm: np.ndarray, z_mm: float) -> np.ndarray:
+        x = np.asarray(x_mm, dtype=float)
+        y = np.asarray(y_mm, dtype=float)
+        inside = np.zeros(np.broadcast(x, y).shape, dtype=bool)
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            x1, y1 = verts[i]
+            x2, y2 = verts[(i + 1) % n]
+            crosses = (y1 > y) != (y2 > y)
+            with np.errstate(divide="ignore", invalid="ignore"):
+                x_at_y = x1 + (y - y1) * (x2 - x1) / (y2 - y1)
+            inside ^= crosses & (x < x_at_y)
+        return inside
+
+    def bounding_rect(self) -> Rect:
+        xs = self._vertices[:, 0]
+        ys = self._vertices[:, 1]
+        return Rect(float(xs.min()), float(ys.min()), float(xs.max()), float(ys.max()))
+
+
+def shape_mask_px(
+    shape: CrossSection,
+    z_mm: float,
+    row0: int,
+    row1: int,
+    col0: int,
+    col1: int,
+    px_per_mm: float,
+) -> np.ndarray:
+    """Rasterize a shape's slice over a pixel window (pixel centers)."""
+    rows = (np.arange(row0, row1, dtype=float) + 0.5) / px_per_mm
+    cols = (np.arange(col0, col1, dtype=float) + 0.5) / px_per_mm
+    grid_x, grid_y = np.meshgrid(cols, rows)
+    return shape.contains(grid_x, grid_y, z_mm)

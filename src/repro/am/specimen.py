@@ -1,0 +1,124 @@
+"""Specimens and build layout.
+
+The paper's evaluation job builds 12 blocks of 25 (w) x 50 (l) x 23 (h) mm;
+each block contains three small cylinders later sectioned with X-ray CT,
+and is divided along the build direction into 23 stacks of 1 mm, each
+scanned at its own orientation to the gas flow (§5 Data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .geometry import PLATE_MM, Rect
+
+#: paper's specimen dimensions, mm
+SPECIMEN_WIDTH_MM = 25.0
+SPECIMEN_LENGTH_MM = 50.0
+SPECIMEN_HEIGHT_MM = 23.0
+#: stack height along the build direction, mm
+STACK_HEIGHT_MM = 1.0
+#: number of XCT witness cylinders per block
+CYLINDERS_PER_SPECIMEN = 3
+CYLINDER_RADIUS_MM = 2.0
+
+
+@dataclass(frozen=True)
+class Cylinder:
+    """One witness cylinder (vertical, full specimen height)."""
+
+    center_x: float
+    center_y: float
+    radius: float = CYLINDER_RADIUS_MM
+
+
+@dataclass(frozen=True)
+class Specimen:
+    """One part on the build plate.
+
+    ``shape`` is the part's cross-section geometry (see
+    :mod:`repro.am.shapes`); ``None`` means the full rectangular block of
+    the paper's evaluation build.
+    """
+
+    specimen_id: str
+    footprint: Rect
+    height_mm: float = SPECIMEN_HEIGHT_MM
+    cylinders: tuple[Cylinder, ...] = field(default_factory=tuple)
+    shape: object | None = None  # CrossSection; object avoids an import cycle
+
+    @property
+    def num_stacks(self) -> int:
+        import math
+
+        return max(1, math.ceil(self.height_mm / STACK_HEIGHT_MM))
+
+    def stack_of_height(self, z_mm: float) -> int:
+        """Stack index containing build height ``z_mm`` (0-based)."""
+        if z_mm < 0 or z_mm >= self.height_mm:
+            raise ValueError(f"height {z_mm} outside specimen (0..{self.height_mm})")
+        return int(z_mm / STACK_HEIGHT_MM)
+
+
+def default_cylinders(footprint: Rect) -> tuple[Cylinder, ...]:
+    """Three cylinders along the specimen's long axis, as in the paper."""
+    cx = (footprint.x_min + footprint.x_max) / 2
+    length = footprint.height
+    ys = [footprint.y_min + frac * length for frac in (0.25, 0.5, 0.75)]
+    return tuple(Cylinder(cx, y) for y in ys)
+
+
+def standard_layout(
+    num_specimens: int = 12,
+    columns: int = 4,
+    margin_mm: float = 15.0,
+    plate_mm: float = PLATE_MM,
+    width_mm: float = SPECIMEN_WIDTH_MM,
+    length_mm: float = SPECIMEN_LENGTH_MM,
+    height_mm: float = SPECIMEN_HEIGHT_MM,
+) -> list[Specimen]:
+    """Arrange specimens in a grid on the plate (paper: 12 blocks).
+
+    Blocks are placed column-major in a ``columns``-wide grid with even
+    spacing inside the margins. Raises if the requested layout cannot fit.
+    """
+    if num_specimens < 1:
+        raise ValueError("need at least one specimen")
+    rows = (num_specimens + columns - 1) // columns
+    usable = plate_mm - 2 * margin_mm
+    if columns * width_mm > usable or rows * length_mm > usable:
+        raise ValueError(
+            f"{num_specimens} specimens of {width_mm}x{length_mm} mm do not fit "
+            f"in {columns} columns within a {plate_mm} mm plate"
+        )
+    gap_x = (usable - columns * width_mm) / max(1, columns - 1) if columns > 1 else 0.0
+    gap_y = (usable - rows * length_mm) / max(1, rows - 1) if rows > 1 else 0.0
+    specimens: list[Specimen] = []
+    for index in range(num_specimens):
+        row, col = divmod(index, columns)
+        x0 = margin_mm + col * (width_mm + gap_x)
+        y0 = margin_mm + row * (length_mm + gap_y)
+        footprint = Rect(x0, y0, x0 + width_mm, y0 + length_mm)
+        specimens.append(
+            Specimen(
+                specimen_id=f"S{index:02d}",
+                footprint=footprint,
+                height_mm=height_mm,
+                cylinders=default_cylinders(footprint),
+            )
+        )
+    return specimens
+
+
+def specimen_map(specimens: list[Specimen]) -> dict[str, tuple[float, float, float, float]]:
+    """Serializable footprint map: the payload the Printing Parameters
+    source ships so ``isolateSpecimen`` can split OT images (§5)."""
+    return {
+        s.specimen_id: (
+            s.footprint.x_min,
+            s.footprint.y_min,
+            s.footprint.x_max,
+            s.footprint.y_max,
+        )
+        for s in specimens
+    }

@@ -1,0 +1,76 @@
+"""Online (adaptive) thermal thresholds.
+
+Static thresholds calibrated on historical jobs (§5) assume the process
+is stationary. Real PBF-LB emission drifts — lens fouling, powder aging,
+chamber temperature — and a drifting baseline eventually pushes *healthy*
+cells outside a static band. The paper's related work (§6) points at
+streaming-ML operators as the remedy; this module provides the simplest
+robust one: an exponentially-weighted moving estimate of the healthy
+emission level that re-centers the class boundaries every layer.
+
+The band *widths* stay fixed at their calibrated values: drift moves the
+process center, while the noise structure (what "3 sigma" means) is a
+sensor property. Updates exclude cells currently outside the band, so a
+defect cannot drag the baseline toward itself (self-poisoning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .thresholds import ThermalThresholds
+
+
+class AdaptiveThresholdLearner:
+    """EWMA re-centering of calibrated thresholds.
+
+    ``alpha`` is the per-update weight of the newest layer's healthy-cell
+    median; ``0`` freezes the thresholds (static behaviour), ``1`` trusts
+    only the latest layer.
+    """
+
+    def __init__(self, initial: ThermalThresholds, alpha: float = 0.15) -> None:
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        self._alpha = alpha
+        center = (initial.cold_below + initial.warm_above) / 2.0
+        self._center = center
+        # fixed offsets of each boundary from the center
+        self._offsets = (
+            initial.very_cold_below - center,
+            initial.cold_below - center,
+            initial.warm_above - center,
+            initial.very_warm_above - center,
+        )
+        self.updates = 0
+
+    @property
+    def center(self) -> float:
+        return self._center
+
+    @property
+    def current(self) -> ThermalThresholds:
+        """Thresholds re-centered on the current baseline estimate."""
+        return ThermalThresholds(
+            very_cold_below=self._center + self._offsets[0],
+            cold_below=self._center + self._offsets[1],
+            warm_above=self._center + self._offsets[2],
+            very_warm_above=self._center + self._offsets[3],
+        )
+
+    def update(self, cell_means: np.ndarray) -> ThermalThresholds:
+        """Fold one layer's cell means into the baseline; returns current.
+
+        Only cells inside the current cold..warm band contribute — event
+        cells (defects) and powder must not steer the baseline.
+        """
+        means = np.asarray(cell_means, dtype=float).ravel()
+        thresholds = self.current
+        healthy = means[
+            (means >= thresholds.cold_below) & (means <= thresholds.warm_above)
+        ]
+        if len(healthy):
+            observed = float(np.median(healthy))
+            self._center = (1 - self._alpha) * self._center + self._alpha * observed
+            self.updates += 1
+        return self.current

@@ -1,0 +1,62 @@
+"""Five-class thermal labeling of cells (``labelCell``, Alg. 1 L6).
+
+Each cell is classified *very cold, cold, regular, warm,* or *very warm*;
+only the extreme classes become events, because those "are known to result
+in poor material structure" (§5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .thresholds import ThermalThresholds
+
+VERY_COLD = "very_cold"
+COLD = "cold"
+REGULAR = "regular"
+WARM = "warm"
+VERY_WARM = "very_warm"
+
+ALL_LABELS = (VERY_COLD, COLD, REGULAR, WARM, VERY_WARM)
+#: labels that the detectEvent step forwards as anomaly events
+EVENT_LABELS = frozenset({VERY_COLD, VERY_WARM})
+
+
+def label_cell(mean_intensity: float, thresholds: ThermalThresholds) -> str:
+    """Classify one cell's mean intensity."""
+    if mean_intensity < thresholds.very_cold_below:
+        return VERY_COLD
+    if mean_intensity < thresholds.cold_below:
+        return COLD
+    if mean_intensity > thresholds.very_warm_above:
+        return VERY_WARM
+    if mean_intensity > thresholds.warm_above:
+        return WARM
+    return REGULAR
+
+
+def is_event(label: str) -> bool:
+    """True for the labels that must be reported downstream."""
+    return label in EVENT_LABELS
+
+
+def label_grid(means: np.ndarray, thresholds: ThermalThresholds) -> np.ndarray:
+    """Vectorized labeling of a (rows, cols) cell-mean grid.
+
+    Returns an int8 grid with indices into :data:`ALL_LABELS`
+    (0=very_cold .. 4=very_warm).
+    """
+    means = np.asarray(means, dtype=float)
+    labels = np.full(means.shape, ALL_LABELS.index(REGULAR), dtype=np.int8)
+    labels[means > thresholds.warm_above] = ALL_LABELS.index(WARM)
+    labels[means > thresholds.very_warm_above] = ALL_LABELS.index(VERY_WARM)
+    labels[means < thresholds.cold_below] = ALL_LABELS.index(COLD)
+    labels[means < thresholds.very_cold_below] = ALL_LABELS.index(VERY_COLD)
+    return labels
+
+
+def event_mask(label_indices: np.ndarray) -> np.ndarray:
+    """Boolean mask of cells whose label is an event class."""
+    return (label_indices == ALL_LABELS.index(VERY_COLD)) | (
+        label_indices == ALL_LABELS.index(VERY_WARM)
+    )

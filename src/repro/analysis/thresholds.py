@@ -1,0 +1,134 @@
+"""Thermal-energy thresholds calibrated from historical data.
+
+In the use case, "too-low and too-high thermal energy values are
+identified based on whether the reported light emanation value is below or
+above a threshold value, the latter computed based on historical
+information from previous jobs" (§5). This module computes those
+thresholds from reference layers of past builds and persists them in the
+key-value store, where the ``detectEvent`` aggregate fetches them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..kvstore.api import KVStore
+from .cells import cell_means
+
+#: key prefix under which thresholds live in the KV store
+THRESHOLD_KEY_PREFIX = "thresholds"
+
+
+@dataclass(frozen=True)
+class ThermalThresholds:
+    """Class boundaries over mean cell intensity (0..255 scale).
+
+    Cells are classified very-cold / cold / regular / warm / very-warm by
+    the four increasing boundaries; only the extreme classes are reported
+    as events.
+    """
+
+    very_cold_below: float
+    cold_below: float
+    warm_above: float
+    very_warm_above: float
+
+    def __post_init__(self) -> None:
+        ordered = (
+            self.very_cold_below,
+            self.cold_below,
+            self.warm_above,
+            self.very_warm_above,
+        )
+        if list(ordered) != sorted(ordered):
+            raise ValueError(f"threshold boundaries must be increasing: {ordered}")
+
+    def as_payload(self) -> dict[str, float]:
+        return {
+            "very_cold_below": self.very_cold_below,
+            "cold_below": self.cold_below,
+            "warm_above": self.warm_above,
+            "very_warm_above": self.very_warm_above,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, float]) -> "ThermalThresholds":
+        """Inverse of :meth:`as_payload` (KV-store deserialization)."""
+        return cls(
+            very_cold_below=float(payload["very_cold_below"]),
+            cold_below=float(payload["cold_below"]),
+            warm_above=float(payload["warm_above"]),
+            very_warm_above=float(payload["very_warm_above"]),
+        )
+
+
+def calibrate_thresholds(
+    reference_images: Iterable[np.ndarray],
+    cell_edge_px: int,
+    cold_sigma: float = 1.5,
+    very_cold_sigma: float = 3.0,
+    warm_sigma: float = 1.5,
+    very_warm_sigma: float = 3.0,
+    melt_floor: float = 32.0,
+    min_sigma_fraction: float = 0.02,
+    regions: list[tuple[int, int, int, int]] | None = None,
+) -> ThermalThresholds:
+    """Fit thresholds to the cell-mean distribution of reference images.
+
+    Powder background (below ``melt_floor``) is excluded so the statistics
+    describe melted material only; boundaries sit at mean +/- k*sigma.
+    ``min_sigma_fraction`` floors sigma at a fraction of the mean: large
+    cells average noise almost entirely away, and without a floor the
+    band collapses until benign systematic texture (hatch stripes, contour
+    scans) reads as a thermal anomaly.
+
+    ``regions`` — optional ``(row0, row1, col0, col1)`` crops (normally the
+    specimen footprints). Cropping makes the calibration grid match the
+    pipeline's per-specimen cell grid; without it, cells straddling a
+    specimen edge mix melt with powder and inflate sigma.
+    """
+    samples: list[np.ndarray] = []
+    for image in reference_images:
+        image = np.asarray(image)
+        crops = (
+            [image]
+            if regions is None
+            else [image[r0:r1, c0:c1] for r0, r1, c0, c1 in regions]
+        )
+        for crop in crops:
+            means = cell_means(crop, cell_edge_px).ravel()
+            melted = means[means >= melt_floor]
+            if len(melted):
+                samples.append(melted)
+    if not samples:
+        raise ValueError("no melted cells found in the reference images")
+    values = np.concatenate(samples)
+    mu = float(values.mean())
+    sigma = max(float(values.std()), min_sigma_fraction * mu, 1e-9)
+    return ThermalThresholds(
+        very_cold_below=mu - very_cold_sigma * sigma,
+        cold_below=mu - cold_sigma * sigma,
+        warm_above=mu + warm_sigma * sigma,
+        very_warm_above=mu + very_warm_sigma * sigma,
+    )
+
+
+def threshold_key(job_id: str) -> str:
+    """KV-store key under which a job's thresholds are stored."""
+    return f"{THRESHOLD_KEY_PREFIX}/{job_id}"
+
+
+def store_thresholds(store: KVStore, job_id: str, thresholds: ThermalThresholds) -> None:
+    """Persist thresholds for ``job_id`` (data shared across pipelines)."""
+    store.put(threshold_key(job_id), thresholds.as_payload())
+
+
+def load_thresholds(store: KVStore, job_id: str) -> ThermalThresholds:
+    """Fetch the thresholds the detectEvent step should apply."""
+    payload = store.get(threshold_key(job_id))
+    if payload is None:
+        raise KeyError(f"no thresholds stored for job {job_id!r}")
+    return ThermalThresholds.from_payload(payload)

@@ -1,0 +1,32 @@
+"""Benchmark harness: workloads, experiment runners, reporting."""
+
+from .config import BenchProfile, active_profile
+from .harness import (
+    LatencyRun,
+    ThroughputRun,
+    run_latency_experiment,
+    run_throughput_experiment,
+)
+from .report import (
+    BOXPLOT_HEADERS,
+    boxplot_row,
+    format_table,
+    render_ascii_image,
+    save_json,
+)
+from .workload import EvaluationWorkload
+
+__all__ = [
+    "BenchProfile",
+    "active_profile",
+    "EvaluationWorkload",
+    "LatencyRun",
+    "ThroughputRun",
+    "run_latency_experiment",
+    "run_throughput_experiment",
+    "format_table",
+    "boxplot_row",
+    "BOXPLOT_HEADERS",
+    "save_json",
+    "render_ascii_image",
+]

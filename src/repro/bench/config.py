@@ -1,0 +1,66 @@
+"""Benchmark sizing profiles.
+
+The paper's testbed streams 2000 x 2000 px images from a Xeon-backed Java
+stack; a pure-Python reproduction reproduces the *shapes* of the figures
+at any image scale. Profiles pick the scale:
+
+* ``ci``    — small images / few layers; the default, finishes in minutes.
+* ``full``  — the paper's 2000 px sensor resolution and wider sweeps.
+
+Select with the ``REPRO_BENCH_PROFILE`` environment variable; individual
+knobs can be overridden via ``REPRO_BENCH_IMAGE_PX`` / ``REPRO_BENCH_LAYERS``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Resolved sizing for one benchmark session."""
+
+    name: str
+    image_px: int
+    layers: int  # layers replayed per measurement
+    repetitions: int  # experiment repetitions (paper: 5)
+    qos_seconds: float  # the recoat-gap QoS threshold (paper: 3 s)
+
+    @property
+    def px_per_mm(self) -> float:
+        return self.image_px / 250.0
+
+    def scale_cell_edge(self, paper_edge_px: int) -> int:
+        """Map a paper cell edge (at 2000 px) to this profile's resolution,
+        preserving the physical cell size in mm^2."""
+        scaled = max(1, round(paper_edge_px * self.image_px / 2000))
+        return scaled
+
+
+_PROFILES = {
+    "ci": BenchProfile(name="ci", image_px=500, layers=30, repetitions=3, qos_seconds=3.0),
+    "full": BenchProfile(
+        name="full", image_px=2000, layers=100, repetitions=5, qos_seconds=3.0
+    ),
+}
+
+
+def active_profile() -> BenchProfile:
+    """Profile selected by environment (default: ci)."""
+    name = os.environ.get("REPRO_BENCH_PROFILE", "ci")
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown REPRO_BENCH_PROFILE {name!r}; choose from {sorted(_PROFILES)}"
+        ) from None
+    image_px = int(os.environ.get("REPRO_BENCH_IMAGE_PX", profile.image_px))
+    layers = int(os.environ.get("REPRO_BENCH_LAYERS", profile.layers))
+    return BenchProfile(
+        name=profile.name,
+        image_px=image_px,
+        layers=layers,
+        repetitions=profile.repetitions,
+        qos_seconds=profile.qos_seconds,
+    )

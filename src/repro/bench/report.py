@@ -1,0 +1,69 @@
+"""Human-readable tables and machine-readable JSON for bench results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..spe.metrics import FiveNumberSummary
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> str:
+    """Fixed-width text table (what the figures' data looks like as rows)."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(value.rjust(width) for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def boxplot_row(label: Any, summary: FiveNumberSummary, scale: float = 1000.0) -> list[Any]:
+    """One boxplot as a table row (default scale: seconds -> ms)."""
+    stats = summary.as_row(scale)
+    return [
+        label,
+        stats["min"],
+        stats["q1"],
+        stats["median"],
+        stats["q3"],
+        stats["max"],
+        stats["mean"],
+        summary.count,
+    ]
+
+
+BOXPLOT_HEADERS = ["param", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms", "mean_ms", "n"]
+
+
+def save_json(name: str, payload: dict[str, Any]) -> Path:
+    """Persist a result payload under benchmarks/results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path
+
+
+def render_ascii_image(image, palette: str = " .:-=+*#%@") -> str:
+    """Render a small 2-D array as ASCII art (Figure 4 inspection aid)."""
+    import numpy as np
+
+    image = np.asarray(image, dtype=float)
+    if image.size == 0:
+        return "(empty)"
+    low, high = float(image.min()), float(image.max())
+    span = (high - low) or 1.0
+    normalized = (image - low) / span
+    indices = (normalized * (len(palette) - 1)).astype(int)
+    return "\n".join("".join(palette[i] for i in row) for row in indices)

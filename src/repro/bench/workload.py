@@ -1,0 +1,89 @@
+"""Workload generation for the evaluation experiments.
+
+Builds the paper's evaluation job (12 specimens, rotating scan stacks,
+seeded defects), renders its layers once, and replays them:
+
+* in build order at a controlled rate (Figures 5/6 pace one image at a
+  time; Figure 7 sweeps offered images/s);
+* cyclically with rewritten job ids, so throughput runs can stream more
+  images than the build has layers without re-rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..am.dataset import BuildDataset, LayerRecord
+from ..am.job import PrintJob, make_job
+from ..am.ot import OTImageRenderer
+
+
+class EvaluationWorkload:
+    """Cached layer records of the paper's evaluation build."""
+
+    def __init__(
+        self,
+        image_px: int,
+        layers: int,
+        seed: int = 7,
+        job_id: str = "EOS-M290-J1",
+        defect_rate_per_stack: float = 0.55,
+    ) -> None:
+        self._job = make_job(
+            job_id, seed=seed, defect_rate_per_stack=defect_rate_per_stack
+        )
+        self._renderer = OTImageRenderer(image_px=image_px, seed=seed)
+        layers = min(layers, self._job.num_layers)
+        dataset = BuildDataset(self._job, self._renderer)
+        self._records = [dataset.layer_record(i) for i in range(layers)]
+        self._image_px = image_px
+
+    @property
+    def job(self) -> PrintJob:
+        return self._job
+
+    @property
+    def image_px(self) -> int:
+        return self._image_px
+
+    @property
+    def records(self) -> list[LayerRecord]:
+        return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def reference_images(self, count: int = 5) -> list:
+        """Defect-free layers of a sibling job, for threshold calibration."""
+        ref_job = make_job(
+            f"{self._job.job_id}-ref", seed=1, defect_rate_per_stack=0.0
+        )
+        dataset = BuildDataset(ref_job, self._renderer)
+        return [dataset.layer_record(i).image for i in range(count)]
+
+    def replay(self, total: int) -> Iterator[LayerRecord]:
+        """Cycle the cached records up to ``total`` images.
+
+        Repetitions continue the layer numbering (layer = rep * base +
+        index) so event time stays monotonic — reusing the original layer
+        indices would rewind the event clock and make the fuse join evict
+        partners that are still needed. Semantically this replays the
+        build as one long historic stream, the Figure 7 scenario.
+        """
+        base = len(self._records)
+        if base == 0:
+            return
+        for i in range(total):
+            rep, index = divmod(i, base)
+            record = self._records[index]
+            if rep == 0:
+                yield record
+            else:
+                yield LayerRecord(
+                    job_id=record.job_id,
+                    layer=rep * base + record.layer,
+                    z_mm=rep * base * 0.04 + record.z_mm,
+                    image=record.image,
+                    parameters=record.parameters,
+                    truth_mask=record.truth_mask,
+                )

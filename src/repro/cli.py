@@ -1,0 +1,273 @@
+"""Command-line interface.
+
+``python -m repro <command>`` runs the library's main flows without
+writing any code:
+
+* ``quickstart`` — the thermal use case on a small simulated build;
+* ``monitor``    — live build with automatic early termination;
+* ``replay``     — as-fast-as-possible reprocessing of a historic build;
+* ``streaks``    — the recoater-streak use case;
+* ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .am import (
+    BuildDataset,
+    ControlHandle,
+    OTImageRenderer,
+    PBFLBMachine,
+    make_job,
+)
+from .core import (
+    LiveLayerFeed,
+    Strata,
+    UseCaseConfig,
+    build_streak_use_case,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from .spe import CallbackSink
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--image-px", type=int, default=500,
+                        help="OT sensor resolution (paper: 2000)")
+    parser.add_argument("--layers", type=int, default=20,
+                        help="layers to process")
+    parser.add_argument("--cell-edge", type=int, default=5,
+                        help="analysis cell edge, px")
+    parser.add_argument("--window", type=int, default=10,
+                        help="cross-layer window L")
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument("--defect-rate", type=float, default=0.55,
+                        help="seeded defects per stack per specimen")
+
+
+def _prepare(args: argparse.Namespace, streak_rate: float = 0.0):
+    job = make_job(
+        "cli-job", seed=args.seed, defect_rate_per_stack=args.defect_rate,
+        streak_rate_per_100_layers=streak_rate,
+    )
+    renderer = OTImageRenderer(image_px=args.image_px, seed=args.seed)
+    records = list(BuildDataset(job, renderer).records(0, args.layers))
+    reference = make_job("cli-ref", seed=1, defect_rate_per_stack=0.0)
+    reference_images = [
+        r.image for r in BuildDataset(reference, renderer).records(0, 3)
+    ]
+    return job, renderer, records, reference_images
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Run the thermal use case over a batch replay and summarize."""
+    job, _, records, reference_images = _prepare(args)
+    config = UseCaseConfig(
+        image_px=args.image_px, cell_edge_px=args.cell_edge,
+        window_layers=args.window,
+    )
+    strata = Strata()
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, args.cell_edge,
+        regions=specimen_regions_px(job.specimens, args.image_px),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    report = strata.deploy()
+    flagged = [t for t in pipeline.sink.results if t.payload["num_clusters"] > 0]
+    latency = report.latency_summary()
+    print(f"layers={args.layers} reports={len(pipeline.sink.results)} "
+          f"flagged={len(flagged)} cells={pipeline.cells_evaluated}")
+    print(f"latency: median {latency.median * 1e3:.1f} ms, "
+          f"max {latency.maximum * 1e3:.1f} ms")
+    for t in flagged[-3:]:
+        print(f"  layer {t.layer} specimen {t.specimen}: "
+              f"{t.payload['num_clusters']} cluster(s), "
+              f"{t.payload['num_events']} events")
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Run a live build with an automatic termination policy."""
+    job, renderer, _, reference_images = _prepare(args)
+    config = UseCaseConfig(
+        image_px=args.image_px, cell_edge_px=args.cell_edge,
+        window_layers=args.window,
+    )
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, args.cell_edge,
+        regions=specimen_regions_px(job.specimens, args.image_px),
+    )
+    control = ControlHandle()
+    feed = LiveLayerFeed()
+
+    def policy(t) -> None:
+        for cluster in t.payload["clusters"]:
+            if cluster["volume_mm3"] >= args.volume_budget:
+                control.request_termination(
+                    f"{cluster['volume_mm3']:.1f} mm^3 in {t.specimen} "
+                    f"at layer {t.layer}"
+                )
+
+    build_use_case(
+        feed.records(), feed.records(), config, strata=strata,
+        sink=CallbackSink("policy", policy),
+    )
+    strata.start()
+    machine = PBFLBMachine(
+        renderer=renderer, time_scale=max(args.time_scale, 1e-6)
+    )
+    outcome = machine.run(
+        job, realtime=args.time_scale > 0, control=control,
+        on_layer=feed.push, max_layers=args.layers,
+    )
+    feed.close()
+    strata.wait(timeout=600)
+    if outcome.terminated_early:
+        print(f"TERMINATED after layer {outcome.layers_completed - 1}: {control.reason}")
+    else:
+        print(f"completed {outcome.layers_completed}/{outcome.total_layers} layers "
+              f"within the {args.volume_budget} mm^3 budget")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Reprocess a historic build as fast as possible."""
+    import time
+
+    job, _, records, reference_images = _prepare(args)
+    config = UseCaseConfig(
+        image_px=args.image_px, cell_edge_px=args.cell_edge,
+        window_layers=args.window,
+    )
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, args.cell_edge,
+        regions=specimen_regions_px(job.specimens, args.image_px),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    started = time.monotonic()
+    strata.deploy()
+    wall = time.monotonic() - started
+    print(f"replayed {len(records)} layers in {wall:.2f}s "
+          f"({len(records) / wall:.1f} img/s, "
+          f"{pipeline.cells_evaluated / wall / 1e3:.1f} kcells/s)")
+    return 0
+
+
+def cmd_streaks(args: argparse.Namespace) -> int:
+    """Run the recoater-streak use case and list found streaks."""
+    job, renderer, records, _ = _prepare(args, streak_rate=args.streak_rate)
+    pipeline = build_streak_use_case(
+        iter(records), iter(records), image_px=args.image_px,
+        window_layers=args.window, strata=Strata(engine_mode="threaded"),
+    )
+    pipeline.strata.deploy()
+    reported: dict[int, dict] = {}
+    for t in pipeline.sink.results:
+        for streak in t.payload["streaks"]:
+            reported.setdefault(round(streak["y_mm"]), streak)
+    seeded = [s for s in job.streaks if s.first_layer < args.layers]
+    print(f"seeded {len(seeded)} streak(s); reported {len(reported)}")
+    for streak in reported.values():
+        print(f"  y={streak['y_mm']:.1f} mm layers "
+              f"{streak['first_layer']}-{streak['last_layer']}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Compact re-runs of the Figure 5/6/7 sweeps."""
+    from .bench import (
+        BOXPLOT_HEADERS,
+        EvaluationWorkload,
+        boxplot_row,
+        format_table,
+        run_latency_experiment,
+        run_throughput_experiment,
+    )
+
+    workload = EvaluationWorkload(image_px=args.image_px, layers=args.layers, seed=args.seed)
+    print("Figure 5 (latency vs cell size):")
+    rows = []
+    for edge in (10, 5, 2):
+        config = UseCaseConfig(
+            image_px=args.image_px, cell_edge_px=edge, window_layers=args.window
+        )
+        run = run_latency_experiment(workload, config)
+        rows.append(boxplot_row(f"{edge}px", run.summary))
+    print(format_table(BOXPLOT_HEADERS, rows))
+
+    print("\nFigure 6 (latency vs window L):")
+    rows = []
+    for window in (5, 20, 80):
+        config = UseCaseConfig(
+            image_px=args.image_px, cell_edge_px=5, window_layers=window
+        )
+        run = run_latency_experiment(workload, config)
+        rows.append(boxplot_row(f"L={window}", run.summary))
+    print(format_table(BOXPLOT_HEADERS, rows))
+
+    print("\nFigure 7 (throughput vs offered rate):")
+    rows = []
+    for rate in (8, 32, 128):
+        config = UseCaseConfig(image_px=args.image_px, cell_edge_px=5, window_layers=10)
+        run = run_throughput_experiment(
+            workload, config, offered_images_s=float(rate),
+            total_images=max(24, rate * 2),
+        )
+        rows.append([rate, round(run.achieved_images_s, 1),
+                     round(run.kcells_per_second, 1),
+                     round(run.mean_latency_s * 1e3, 1)])
+    print(format_table(["offered_img_s", "achieved", "kcells_s", "mean_lat_ms"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (one subcommand per flow)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="STRATA reproduction: data-driven PBF-LB monitoring",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sp = subparsers.add_parser("quickstart", help="thermal use case, batch replay")
+    _add_common(sp)
+    sp.set_defaults(fn=cmd_quickstart)
+
+    sp = subparsers.add_parser("monitor", help="live build with early termination")
+    _add_common(sp)
+    sp.add_argument("--volume-budget", type=float, default=2.0,
+                    help="terminate when a cluster exceeds this volume, mm^3")
+    sp.add_argument("--time-scale", type=float, default=0.01,
+                    help="real-time compression factor (0 disables pacing)")
+    sp.set_defaults(fn=cmd_monitor)
+
+    sp = subparsers.add_parser("replay", help="reprocess a historic build")
+    _add_common(sp)
+    sp.set_defaults(fn=cmd_replay)
+
+    sp = subparsers.add_parser("streaks", help="recoater-streak use case")
+    _add_common(sp)
+    sp.add_argument("--streak-rate", type=float, default=12.0,
+                    help="seeded streaks per 100 layers")
+    sp.set_defaults(fn=cmd_streaks)
+
+    sp = subparsers.add_parser("figures", help="compact Figure 5/6/7 sweeps")
+    _add_common(sp)
+    sp.set_defaults(fn=cmd_figures)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""Clustering algorithms used by STRATA's Event Aggregator.
+
+From-scratch DBSCAN (grid-accelerated) with an incremental cross-layer
+variant implementing the paper's ``correlateEvents(L, DBSCAN)`` semantics,
+plus the k-means baseline from prior defect-detection work.
+"""
+
+from .dbscan import NOISE, GridIndex, core_point_mask, dbscan
+from .incremental import (
+    ClusteringResult,
+    ClusterSummary,
+    IncrementalLayerClusterer,
+    LayerWindowClusterer,
+    summarize_clusters,
+)
+from .kmeans import inertia, kmeans, kmeans_plus_plus_init
+from .quality import detection_scores, pair_confusion, rand_index
+
+__all__ = [
+    "dbscan",
+    "GridIndex",
+    "core_point_mask",
+    "NOISE",
+    "LayerWindowClusterer",
+    "IncrementalLayerClusterer",
+    "ClusteringResult",
+    "ClusterSummary",
+    "summarize_clusters",
+    "kmeans",
+    "kmeans_plus_plus_init",
+    "inertia",
+    "rand_index",
+    "pair_confusion",
+    "detection_scores",
+]

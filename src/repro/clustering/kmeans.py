@@ -1,0 +1,95 @@
+"""k-means clustering: the prior-work baseline.
+
+The paper motivates DBSCAN by contrast with earlier defect-detection work
+that used k-means [29]; this module provides that comparator for the
+ablation benchmark (A2). Lloyd's algorithm with k-means++ seeding and a
+deterministic RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kmeans_plus_plus_init(
+    points: np.ndarray, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Choose k initial centroids with the k-means++ strategy."""
+    n = len(points)
+    centroids = np.empty((k, points.shape[1]), dtype=float)
+    first = int(rng.integers(n))
+    centroids[0] = points[first]
+    closest_sq = np.einsum("ij,ij->i", points - centroids[0], points - centroids[0])
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with chosen centroids.
+            centroids[i:] = centroids[0]
+            break
+        probs = closest_sq / total
+        choice = int(rng.choice(n, p=probs))
+        centroids[i] = points[choice]
+        dist_sq = np.einsum(
+            "ij,ij->i", points - centroids[i], points - centroids[i]
+        )
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    max_iter: int = 100,
+    tol: float = 1e-6,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Cluster ``points`` into ``k`` groups.
+
+    Returns ``(labels, centroids, iterations)``. Deterministic for a fixed
+    seed. Empty clusters are re-seeded from the point farthest from its
+    centroid, keeping exactly k clusters alive.
+    """
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    n = len(points)
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if n == 0:
+        return np.empty(0, dtype=np.int64), np.empty((0, points.shape[1])), 0
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    centroids = kmeans_plus_plus_init(points, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        # Assignment step.
+        dists = ((points[:, None, :] - centroids[None, :, :]) ** 2).sum(axis=2)
+        labels = dists.argmin(axis=1)
+        # Update step.
+        new_centroids = centroids.copy()
+        for cluster in range(k):
+            members = points[labels == cluster]
+            if len(members):
+                new_centroids[cluster] = members.mean(axis=0)
+            else:
+                farthest = int(dists.min(axis=1).argmax())
+                new_centroids[cluster] = points[farthest]
+        shift = float(np.abs(new_centroids - centroids).max())
+        centroids = new_centroids
+        if shift <= tol:
+            return labels, centroids, iteration
+    return labels, centroids, max_iter
+
+
+def inertia(points: np.ndarray, labels: np.ndarray, centroids: np.ndarray) -> float:
+    """Within-cluster sum of squared distances (k-means objective)."""
+    points = np.asarray(points, dtype=float)
+    if points.ndim == 1:
+        points = points.reshape(-1, 1)
+    total = 0.0
+    for cluster in range(len(centroids)):
+        members = points[labels == cluster]
+        if len(members):
+            diffs = members - centroids[cluster]
+            total += float(np.einsum("ij,ij->", diffs, diffs))
+    return total

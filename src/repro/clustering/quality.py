@@ -1,0 +1,63 @@
+"""Cluster quality metrics for the A2 ablation (DBSCAN vs k-means)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pair_confusion(labels_a: np.ndarray, labels_b: np.ndarray) -> tuple[int, int, int, int]:
+    """Pairwise agreement counts between two labelings.
+
+    Returns (both_same, a_same_b_diff, a_diff_b_same, both_diff) over all
+    unordered point pairs. Noise points (label < 0) are treated as
+    singleton clusters, so two noise points never count as "same".
+    """
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape:
+        raise ValueError("labelings must have equal length")
+    n = len(labels_a)
+    # Re-label noise as unique negative ids so no two noise points match.
+    a = labels_a.astype(np.int64).copy()
+    b = labels_b.astype(np.int64).copy()
+    a[a < 0] = -np.arange(1, (a < 0).sum() + 1)
+    b[b < 0] = -np.arange(1, (b < 0).sum() + 1)
+    same_a = a[:, None] == a[None, :]
+    same_b = b[:, None] == b[None, :]
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    ss = int((same_a & same_b & upper).sum())
+    sd = int((same_a & ~same_b & upper).sum())
+    ds = int((~same_a & same_b & upper).sum())
+    dd = int((~same_a & ~same_b & upper).sum())
+    return ss, sd, ds, dd
+
+
+def rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Rand index in [0, 1]; 1 means identical partitions."""
+    ss, sd, ds, dd = pair_confusion(labels_a, labels_b)
+    total = ss + sd + ds + dd
+    if total == 0:
+        return 1.0
+    return (ss + dd) / total
+
+
+def detection_scores(
+    predicted: np.ndarray, ground_truth: np.ndarray
+) -> dict[str, float]:
+    """Precision/recall/F1 of "point belongs to some cluster" vs truth mask.
+
+    ``predicted`` holds cluster labels (noise < 0); ``ground_truth`` is a
+    boolean mask of points that truly lie in a defect region.
+    """
+    predicted = np.asarray(predicted)
+    truth = np.asarray(ground_truth, dtype=bool)
+    flagged = predicted >= 0
+    tp = int((flagged & truth).sum())
+    fp = int((flagged & ~truth).sum())
+    fn = int((~flagged & truth).sum())
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return {"precision": precision, "recall": recall, "f1": f1, "tp": tp, "fp": fp, "fn": fn}

@@ -1,0 +1,352 @@
+"""The STRATA framework facade — the paper's Table 1 API.
+
+One :class:`Strata` instance owns the three data-handling components of
+Figure 2: a stream processing engine for analysis, a pub/sub broker for
+the module connectors, and a key-value store for data-at-rest. Experts
+compose pipelines by chaining the API methods over named streams::
+
+    strata = Strata()
+    strata.addSource(PrintingParameterCollector(records), "pp")
+    strata.addSource(OTImageCollector(records), "OT")
+    strata.fuse("OT", "pp", "OT&pp")
+    strata.partition("OT&pp", "spec", IsolateSpecimens(image_px))
+    strata.partition("spec", "cell", IsolateCells(edge))
+    strata.detectEvent("cell", "cellLabel", LabelCell(strata.kv))
+    strata.correlateEvents("cellLabel", "out", L, DBSCANCorrelator(...))
+    strata.deliver("out", expert_sink)
+    report = strata.deploy()
+
+Every method compiles to native operators of the underlying SPE, so
+pipelines inherit parallel execution (``parallelism=`` on the Event
+Monitor methods shards work by ``(job, specimen)``) and stay portable
+across engines. Methods keep the paper's camelCase names; snake_case
+aliases are provided for PEP 8 style.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Callable, Hashable
+
+from ..kvstore.api import KVStore
+from ..kvstore.memory import MemoryStore
+from ..pubsub.broker import Broker
+from ..spe.engine import RunReport, StreamEngine
+from ..spe.operators.filter import FilterOperator
+from ..spe.operators.join import JoinOperator
+from ..spe.query import Query
+from ..spe.sink import CollectingSink, Sink
+from ..spe.source import Source
+from ..spe.tuples import StreamTuple
+from .connectors import PubSubReaderSource, PubSubWriterSink, topic_for_stream
+from .errors import DeploymentError, PipelineDefinitionError, UnknownStreamError
+from .operators import (
+    CorrelateEventsOperator,
+    CorrelateFunction,
+    DetectEventOperator,
+    PartitionOperator,
+    UserFunction,
+)
+from .punctuation import is_punctuation
+
+#: module names, matching Figure 2
+MODULE_RAW = "raw-data-collector"
+MODULE_MONITOR = "event-monitor"
+MODULE_AGGREGATOR = "event-aggregator"
+MODULE_EXPERT = "expert"
+
+
+def _specimen_key(t: StreamTuple) -> Hashable:
+    """Shard key keeping a specimen's events and punctuation together."""
+    return (t.job, t.specimen)
+
+
+class Strata:
+    """Entry point of the framework: API methods + deployment control."""
+
+    def __init__(
+        self,
+        store: KVStore | None = None,
+        broker: Broker | None = None,
+        engine_mode: str = "threaded",
+        connector_mode: str = "direct",
+        capacity: int | None = 10_000,
+        name: str = "strata",
+    ) -> None:
+        if connector_mode not in ("direct", "pubsub"):
+            raise ValueError("connector_mode must be 'direct' or 'pubsub'")
+        if connector_mode == "pubsub" and engine_mode != "threaded":
+            raise ValueError("pub/sub connectors require the threaded engine")
+        self._store = store if store is not None else MemoryStore()
+        self._broker = broker if broker is not None else Broker()
+        self._engine = StreamEngine(mode=engine_mode, capacity=capacity)
+        self._connector_mode = connector_mode
+        self._query = Query(name, default_capacity=capacity)
+        # stream name -> (producing node name, producing module)
+        self._streams: dict[str, tuple[str, str]] = {}
+        self._uid = itertools.count()
+        self._sinks: dict[str, Sink] = {}
+        self._deployed = False
+
+    # -- Key-Value Store module (Table 1: store/get) -----------------------
+
+    @property
+    def kv(self) -> KVStore:
+        """The shared key-value store, accessible by all modules."""
+        return self._store
+
+    @property
+    def broker(self) -> Broker:
+        """The pub/sub broker backing the connectors."""
+        return self._broker
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist data-at-rest (Table 1 ``store(k, v)``)."""
+        self._store.put(key, value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Retrieve data-at-rest (Table 1 ``get(k)``)."""
+        return self._store.get(key, default)
+
+    # -- Raw Data Collector module -----------------------------------------
+
+    def addSource(self, src: Source, s_out: str) -> "Strata":
+        """Register a collector whose stream ``s_out`` feeds pipelines.
+
+        Output schema: ``<tau, job, layer, [k1:v1, k2:v2, ...]>``.
+        """
+        self._check_mutable()
+        self._check_new_stream(s_out)
+        node = f"source:{s_out}"
+        self._query.add_source(node, src)
+        self._streams[s_out] = (node, MODULE_RAW)
+        return self
+
+    # -- Event Monitor module ----------------------------------------------
+
+    def fuse(
+        self,
+        s_in1: str,
+        s_in2: str,
+        s_out: str,
+        ws: float | None = None,
+        wa: float | None = None,
+        gb: list[str] | None = None,
+    ) -> "Strata":
+        """Fuse tuples of two streams sharing ``job`` and ``layer``.
+
+        Without ``ws``/``wa`` only tuples that also share ``tau`` fuse;
+        with them, tuples falling in the same window fuse (tumbling
+        windows match by window index; for sliding windows tuples within
+        ``ws`` of each other match). ``gb`` adds payload sub-attributes to
+        the matching key. Output payload concatenates both inputs' payloads
+        (keys must be disjoint — Table 1).
+        """
+        self._check_mutable()
+        self._check_new_stream(s_out)
+        if (ws is None) != (wa is None):
+            raise PipelineDefinitionError("ws and wa must be given together")
+        gb_keys = tuple(gb or ())
+
+        if ws is None:
+            join_ws = 0.0
+
+            def group_by(t: StreamTuple) -> Hashable:
+                return (t.job, t.layer) + tuple(t.payload.get(k) for k in gb_keys)
+
+        elif ws == wa:  # tumbling: same window <=> same window index
+            join_ws = float(ws)
+            window = float(ws)
+
+            def group_by(t: StreamTuple) -> Hashable:
+                return (t.job, t.layer, math.floor(t.tau / window)) + tuple(
+                    t.payload.get(k) for k in gb_keys
+                )
+
+        else:  # sliding approximation: within ws of each other
+            join_ws = float(ws)
+
+            def group_by(t: StreamTuple) -> Hashable:
+                return (t.job, t.layer) + tuple(t.payload.get(k) for k in gb_keys)
+
+        node = f"fuse:{s_out}"
+        join = JoinOperator(node, ws=join_ws, group_by=group_by)
+        upstream1 = self._resolve_upstream(s_in1, MODULE_MONITOR)
+        upstream2 = self._resolve_upstream(s_in2, MODULE_MONITOR)
+        self._query.add_operator(node, join, [upstream1, upstream2])
+        self._streams[s_out] = (node, MODULE_MONITOR)
+        return self
+
+    def partition(
+        self,
+        s_in: str,
+        s_out: str,
+        f: UserFunction | None = None,
+        parallelism: int = 1,
+    ) -> "Strata":
+        """Split tuples into independently processable specimen portions.
+
+        ``f`` maps each input tuple to output tuples tagged with
+        ``specimen`` and ``portion``; without it, STRATA processes each
+        tuple as a whole (Table 1 defaults).
+        """
+        self._check_mutable()
+        self._check_new_stream(s_out)
+        node = f"partition:{s_out}"
+        upstream = self._resolve_upstream(s_in, MODULE_MONITOR)
+        if parallelism == 1:
+            self._query.add_operator(node, PartitionOperator(node, f), [upstream])
+        else:
+            self._query.add_operator(
+                node,
+                lambda: PartitionOperator(node, f),
+                [upstream],
+                parallelism=parallelism,
+                key_fn=_specimen_key,
+            )
+        self._streams[s_out] = (node, MODULE_MONITOR)
+        return self
+
+    def detectEvent(
+        self,
+        s_in: str,
+        s_out: str,
+        f: UserFunction,
+        parallelism: int = 1,
+    ) -> "Strata":
+        """Transform tuples into event tuples via the user function ``f``."""
+        self._check_mutable()
+        self._check_new_stream(s_out)
+        node = f"detect:{s_out}"
+        upstream = self._resolve_upstream(s_in, MODULE_MONITOR)
+        if parallelism == 1:
+            self._query.add_operator(node, DetectEventOperator(node, f), [upstream])
+        else:
+            self._query.add_operator(
+                node,
+                lambda: DetectEventOperator(node, f),
+                [upstream],
+                parallelism=parallelism,
+                key_fn=_specimen_key,
+            )
+        self._streams[s_out] = (node, MODULE_MONITOR)
+        return self
+
+    # -- Event Aggregator module --------------------------------------------
+
+    def correlateEvents(
+        self,
+        s_in: str,
+        s_out: str,
+        l: int,
+        f: CorrelateFunction,
+        parallelism: int = 1,
+    ) -> "Strata":
+        """Aggregate events per (layer, specimen) plus the previous ``l-1``
+        layers; events are grouped by specimen automatically (§4)."""
+        self._check_mutable()
+        self._check_new_stream(s_out)
+        node = f"correlate:{s_out}"
+        upstream = self._resolve_upstream(s_in, MODULE_AGGREGATOR)
+        if parallelism == 1:
+            self._query.add_operator(
+                node, CorrelateEventsOperator(node, l, f), [upstream]
+            )
+        else:
+            self._query.add_operator(
+                node,
+                lambda: CorrelateEventsOperator(node, l, f),
+                [upstream],
+                parallelism=parallelism,
+                key_fn=_specimen_key,
+            )
+        self._streams[s_out] = (node, MODULE_AGGREGATOR)
+        return self
+
+    # -- delivery & deployment ----------------------------------------------
+
+    def deliver(self, s_in: str, sink: Sink | None = None) -> Sink:
+        """Deliver a stream's results to the expert; returns the sink.
+
+        Layer-completeness punctuation is framework-internal and is
+        filtered out here, so the expert sees data tuples only.
+        """
+        self._check_mutable()
+        if sink is None:
+            sink = CollectingSink(f"expert:{s_in}")
+        uid = next(self._uid)
+        upstream = self._resolve_upstream(s_in, MODULE_EXPERT)
+        guard = f"depunct:{s_in}:{uid}"
+        self._query.add_operator(
+            guard,
+            FilterOperator(guard, lambda t: not is_punctuation(t)),
+            [upstream],
+        )
+        node = f"sink:{sink.name}:{uid}"
+        self._query.add_sink(node, sink, [guard])
+        self._sinks[node] = sink
+        return sink
+
+    def deploy(self) -> RunReport:
+        """Run the composed pipeline to completion (finite sources)."""
+        self._deployed = True
+        return self._engine.run(self._query)
+
+    def start(self) -> dict[str, Sink]:
+        """Deploy in the background (threaded engine); returns the sinks."""
+        self._deployed = True
+        return self._engine.start(self._query)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop a background deployment."""
+        self._engine.stop(timeout=timeout)
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Wait for a background deployment to finish naturally."""
+        self._engine.wait(timeout=timeout)
+
+    # -- snake_case aliases ---------------------------------------------------
+
+    add_source = addSource
+    detect_event = detectEvent
+    correlate_events = correlateEvents
+
+    # -- internals -------------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self._deployed:
+            raise DeploymentError("pipeline already deployed; create a new Strata")
+
+    def _check_new_stream(self, name: str) -> None:
+        if name in self._streams:
+            raise PipelineDefinitionError(f"stream {name!r} already defined")
+
+    def _resolve_upstream(self, stream: str, consumer_module: str) -> str:
+        """Producing node for ``stream``, bridging modules via pub/sub.
+
+        In ``pubsub`` connector mode, a stream crossing a module boundary
+        (raw -> monitor, monitor -> aggregator, any -> expert consumes
+        directly) is routed through a broker topic: the producing branch
+        ends in a writer sink and a reader source re-injects the stream
+        into the consuming module.
+        """
+        try:
+            node, module = self._streams[stream]
+        except KeyError:
+            raise UnknownStreamError(
+                f"stream {stream!r} is not produced by any API call"
+            ) from None
+        crossing = module != consumer_module and consumer_module != MODULE_EXPERT
+        if self._connector_mode != "pubsub" or not crossing:
+            return node
+        bridged = f"bridge:{stream}:{consumer_module}"
+        if (bridged, consumer_module) in self._streams.values():
+            return bridged
+        topic = topic_for_stream(stream)
+        writer = PubSubWriterSink(f"writer:{stream}", self._broker, topic)
+        reader = PubSubReaderSource(f"reader:{stream}", self._broker, topic)
+        self._query.add_sink(f"sink:{writer.name}", writer, [node])
+        self._query.add_source(bridged, reader)
+        self._streams[f"{stream}@{consumer_module}"] = (bridged, consumer_module)
+        return bridged

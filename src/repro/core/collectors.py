@@ -1,0 +1,114 @@
+"""Raw Data Collectors.
+
+"To account for the heterogeneous sensing units of PBF-LB machines, this
+module defines data-specific collectors" (§4). A collector is an SPE
+source producing the Table 1 ``addSource`` schema:
+``<tau, job, layer, [k:v, ...]>``.
+
+Event time convention: ``tau`` is the layer completion time the machine
+stamped on the record (``LayerRecord.completed_at``); offline replays
+without a stamp fall back to the layer index — the natural discrete clock
+of a PBF-LB build. Either way both collectors of one record emit the same
+``tau``, which is what lets ``fuse`` without window parameters match them
+exactly (Table 1), and in live multi-machine deployments a wall-clock
+``tau`` stays monotone across interleaved jobs regardless of per-job skew.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from typing import Iterable, Iterator
+
+from ..am.dataset import LayerRecord
+from ..spe.source import Source
+from ..spe.tuples import StreamTuple
+
+
+def _event_time(record: LayerRecord) -> float:
+    """The record's tau: machine stamp, or the layer clock for replays."""
+    if record.completed_at is not None:
+        return record.completed_at
+    return float(record.layer)
+
+
+class OTImageCollector(Source):
+    """Collects per-layer Optical Tomography images.
+
+    Wraps any iterable of :class:`LayerRecord` (a dataset replay or a live
+    machine adapter) and emits one tuple per layer with the OT image in
+    its payload.
+    """
+
+    def __init__(
+        self, records: Iterable[LayerRecord], name: str = "ot-image-collector"
+    ) -> None:
+        super().__init__(name)
+        self._records = records
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for record in self._records:
+            yield StreamTuple(
+                tau=_event_time(record),
+                job=record.job_id,
+                layer=record.layer,
+                payload={"image": record.image},
+                ingest_time=time.monotonic(),
+            )
+
+
+class PrintingParameterCollector(Source):
+    """Collects per-layer printing parameters (incl. the specimen map)."""
+
+    def __init__(
+        self, records: Iterable[LayerRecord], name: str = "printing-parameter-collector"
+    ) -> None:
+        super().__init__(name)
+        self._records = records
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for record in self._records:
+            yield StreamTuple(
+                tau=_event_time(record),
+                job=record.job_id,
+                layer=record.layer,
+                payload=dict(record.parameters),
+                ingest_time=time.monotonic(),
+            )
+
+
+class LiveLayerFeed:
+    """Push-side adapter connecting a running machine to collectors.
+
+    The machine's ``on_layer`` callback pushes each completed layer here;
+    any number of collectors iterate over :meth:`records`. ``close`` ends
+    the feed (build finished or aborted).
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self._queue: queue.Queue[LayerRecord | None] = queue.Queue(maxsize)
+        self._fanout: list[queue.Queue[LayerRecord | None]] = []
+
+    def push(self, record: LayerRecord) -> None:
+        """Deliver one completed layer to every attached collector."""
+        for q in self._fanout:
+            q.put(record)
+
+    def close(self) -> None:
+        """End the feed: all collector iterators terminate."""
+        for q in self._fanout:
+            q.put(None)
+
+    def records(self) -> Iterator[LayerRecord]:
+        """A fresh record iterator (one per collector)."""
+        q: queue.Queue[LayerRecord | None] = queue.Queue()
+        self._fanout.append(q)
+
+        def _drain() -> Iterator[LayerRecord]:
+            while True:
+                record = q.get()
+                if record is None:
+                    return
+                yield record
+
+        return _drain()

@@ -1,0 +1,87 @@
+"""Pub/sub connectors between STRATA modules.
+
+Figure 2 separates the Raw Data Collector, Event Monitor, and Event
+Aggregator with publish/subscribe connectors so detection methods can be
+"continuously deployed, run, and decommissioned" independently. These
+adapters bridge SPE streams over broker topics: a :class:`PubSubWriterSink`
+publishes every tuple of a stream to a topic (plus an end-of-stream
+sentinel when the query side closes), and a :class:`PubSubReaderSource`
+replays a topic into another query until it sees that sentinel.
+
+Connectors require the threaded engine (a reader blocks waiting for
+records); the direct fast path wires modules with plain streams instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+from ..pubsub.broker import Broker
+from ..pubsub.consumer import Consumer
+from ..pubsub.producer import Producer
+from ..spe.sink import Sink
+from ..spe.source import Source
+from ..spe.tuples import StreamTuple
+
+#: value published when the writing query side has no more tuples
+EOS_SENTINEL = "__strata_topic_eos__"
+
+_uid = itertools.count()
+
+
+def topic_for_stream(stream_name: str) -> str:
+    """Naming convention for connector topics."""
+    return f"strata.{stream_name}"
+
+
+class PubSubWriterSink(Sink):
+    """Terminates a query branch by publishing its tuples to a topic."""
+
+    def __init__(self, name: str, broker: Broker, topic: str) -> None:
+        super().__init__(name)
+        self._producer = Producer(broker)
+        self._topic = topic
+
+    @property
+    def topic(self) -> str:
+        return self._topic
+
+    def consume(self, t: StreamTuple) -> None:
+        self._producer.send(self._topic, t, key=f"{t.job}/{t.layer}", timestamp=t.tau)
+
+    def on_close(self) -> None:
+        """Publish the end-of-stream sentinel once the branch closes."""
+        self._producer.send(self._topic, EOS_SENTINEL)
+        super().on_close()
+
+
+class PubSubReaderSource(Source):
+    """Feeds a query from a topic until the EOS sentinel arrives."""
+
+    def __init__(
+        self,
+        name: str,
+        broker: Broker,
+        topic: str,
+        group: str | None = None,
+        poll_timeout: float = 0.05,
+    ) -> None:
+        super().__init__(name)
+        broker.ensure_topic(topic)
+        self._consumer = Consumer(
+            broker,
+            group or f"strata-reader-{next(_uid)}",
+            [topic],
+            auto_offset_reset="earliest",
+        )
+        self._poll_timeout = poll_timeout
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        while True:
+            for message in self._consumer.poll(timeout=self._poll_timeout):
+                if message.value == EOS_SENTINEL:
+                    return
+                # Do NOT restamp ingest_time: latency spans the connector
+                # hop too (data was available when the writer received it).
+                yield message.value

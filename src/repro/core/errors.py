@@ -1,0 +1,19 @@
+"""Exception hierarchy for the STRATA framework layer."""
+
+from __future__ import annotations
+
+
+class StrataError(Exception):
+    """Base class for STRATA API errors."""
+
+
+class UnknownStreamError(StrataError):
+    """Raised when an API method references a stream never produced."""
+
+
+class PipelineDefinitionError(StrataError):
+    """Raised when API calls compose an invalid pipeline."""
+
+
+class DeploymentError(StrataError):
+    """Raised when deployment/start/stop is driven incorrectly."""

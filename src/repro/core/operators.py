@@ -1,0 +1,183 @@
+"""STRATA API methods compiled to native operators.
+
+Each Table 1 method maps onto the §2 operator catalogue:
+
+* ``fuse``            -> Join (exact-tau, or windowed)
+* ``partition``       -> Map emitting specimen/portion-tagged tuples,
+                         plus layer-completeness punctuation
+* ``detectEvent``     -> Map applying the user's detection function
+* ``correlateEvents`` -> a stateful aggregate over (job, specimen) groups
+                         windowed by the last L layers, triggered by
+                         punctuation
+
+Keeping these as thin compositions over the SPE's native operators is the
+paper's central design point: the pipeline inherits parallel execution and
+portability from the underlying engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from ..spe.operators.base import Operator, as_tuple_list
+from ..spe.tuples import WHOLE_PORTION, WHOLE_SPECIMEN, StreamTuple
+from .punctuation import is_punctuation, make_punctuation
+
+#: partition / detectEvent user function: one tuple in, any number out
+UserFunction = Callable[[StreamTuple], StreamTuple | Iterable[StreamTuple] | None]
+#: correlateEvents user function:
+#:   (job, layer, specimen, window_events) -> payload dict(s)
+CorrelateFunction = Callable[
+    [str, int, str, list[StreamTuple]], dict[str, Any] | list[dict[str, Any]] | None
+]
+
+
+def default_partition(t: StreamTuple) -> list[StreamTuple]:
+    """Table 1 default: the whole tuple is one specimen/portion."""
+    return [t.derive(specimen=WHOLE_SPECIMEN, portion=WHOLE_PORTION)]
+
+
+class PartitionOperator(Operator):
+    """Map wrapper for ``partition(s_in, s_out, F)``.
+
+    If the inputs carry no specimen yet, this stage is the one assigning
+    it, so it also emits the layer-completeness punctuation for every
+    specimen derived from each input tuple. Punctuation arriving from an
+    upstream partition is forwarded untouched.
+    """
+
+    num_inputs = 1
+
+    def __init__(self, name: str, fn: UserFunction | None = None) -> None:
+        super().__init__(name)
+        self._fn = fn or default_partition
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        if is_punctuation(t):
+            return [t]
+        assigns_specimen = t.specimen is None
+        outputs = as_tuple_list(self._fn(t))
+        for out in outputs:
+            if out.specimen is None:
+                out.specimen = WHOLE_SPECIMEN
+            if out.portion is None:
+                out.portion = WHOLE_PORTION
+        if not assigns_specimen:
+            return outputs
+        seen: list[str] = []
+        for out in outputs:
+            if out.specimen not in seen:
+                seen.append(out.specimen)
+        if not seen:
+            seen.append(WHOLE_SPECIMEN)
+        punctuation = [make_punctuation(t, specimen) for specimen in seen]
+        return outputs + punctuation
+
+
+class DetectEventOperator(Operator):
+    """Map wrapper for ``detectEvent(s_in, s_out, F)``.
+
+    When fed directly from a source or ``fuse`` (no specimen assigned),
+    it adopts the partition defaults and emits punctuation itself, so
+    pipelines without an explicit partition step still trigger the
+    aggregator per layer.
+    """
+
+    num_inputs = 1
+
+    def __init__(self, name: str, fn: UserFunction) -> None:
+        super().__init__(name)
+        self._fn = fn
+        self.events_out = 0
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        if is_punctuation(t):
+            return [t]
+        assigns_specimen = t.specimen is None
+        if assigns_specimen:
+            t = t.derive(specimen=WHOLE_SPECIMEN, portion=WHOLE_PORTION)
+        outputs = as_tuple_list(self._fn(t))
+        for out in outputs:
+            if out.specimen is None:
+                out.specimen = t.specimen
+            if out.portion is None:
+                out.portion = t.portion
+        self.events_out += len(outputs)
+        if assigns_specimen:
+            specimens: list[str] = []
+            for out in outputs:
+                if out.specimen not in specimens:
+                    specimens.append(out.specimen)
+            if t.specimen not in specimens:
+                specimens.append(t.specimen)
+            outputs = outputs + [make_punctuation(t, s) for s in specimens]
+        return outputs
+
+
+class CorrelateEventsOperator(Operator):
+    """Stateful aggregate for ``correlateEvents(s_in, s_out, L, F)``.
+
+    Groups events by (job, specimen) — "across layers, events are
+    automatically grouped by STRATA based on the specimen they refer to"
+    (§4) — and keeps the last ``L`` layers per group. A punctuation for
+    (job, layer, specimen) triggers the user function over that group's
+    current window; layers older than the window are evicted.
+    """
+
+    num_inputs = 1
+
+    def __init__(self, name: str, window_layers: int, fn: CorrelateFunction) -> None:
+        super().__init__(name)
+        if window_layers < 1:
+            raise ValueError("L must be >= 1 layer")
+        self._window = window_layers
+        self._fn = fn
+        # (job, specimen) -> {layer -> [events]}
+        self._events: dict[tuple[str, str], dict[int, list[StreamTuple]]] = {}
+        # last punctuation tuple per group, reused as output template
+        self._last_punct: dict[tuple[str, str], StreamTuple] = {}
+        self.triggers = 0
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        group = (t.job, t.specimen)
+        if not is_punctuation(t):
+            self._events.setdefault(group, {}).setdefault(t.layer, []).append(t)
+            return []
+        self._last_punct[group] = t
+        return self._trigger(group, t)
+
+    def _trigger(self, group: tuple[str, str], punct: StreamTuple) -> list[StreamTuple]:
+        layer = punct.layer
+        per_layer = self._events.get(group, {})
+        low = layer - self._window + 1
+        window_events = [
+            event
+            for event_layer in sorted(per_layer)
+            if low <= event_layer <= layer
+            for event in per_layer[event_layer]
+        ]
+        # Evict anything that can no longer appear in a future window.
+        for event_layer in [l for l in per_layer if l < low]:
+            del per_layer[event_layer]
+        self.triggers += 1
+        payloads = self._fn(punct.job, layer, punct.specimen, window_events)
+        if payloads is None:
+            return []
+        if isinstance(payloads, dict):
+            payloads = [payloads]
+        outputs: list[StreamTuple] = []
+        for payload in payloads:
+            out = punct.derive(payload=payload, portion=None)
+            out.portion = None  # output schema of Table 1 has no portion
+            if window_events:
+                out.ingest_time = max(
+                    [e.ingest_time for e in window_events] + [punct.ingest_time]
+                )
+            outputs.append(out)
+        return outputs
+
+    def on_close(self) -> list[StreamTuple]:
+        # Nothing to flush: results are punctuation-triggered, and every
+        # layer's punctuation has already fired by the time inputs close.
+        self._events.clear()
+        return []

@@ -1,0 +1,38 @@
+"""Layer-completeness punctuation.
+
+The Event Aggregator must know when *all* events of a (job, layer,
+specimen) group have arrived so it can trigger intra-layer clustering
+without waiting for the next layer (which would add minutes of latency and
+blow the 3 s QoS budget). STRATA solves this the way SPEs traditionally
+do: with punctuation tuples.
+
+The stage that first assigns a ``specimen`` to tuples (normally the
+``partition`` step running ``isolateSpecimen``) appends, after each input
+tuple's outputs, one punctuation tuple per specimen it produced. Every
+downstream ``partition``/``detectEvent`` stage forwards punctuation
+unchanged — stream order then guarantees a punctuation reaches
+``correlateEvents`` only after every event derived from data preceding it.
+"""
+
+from __future__ import annotations
+
+from ..spe.tuples import StreamTuple
+
+#: payload key marking a punctuation tuple
+PUNCTUATION_KEY = "__strata_punctuation__"
+#: portion value carried by punctuation tuples
+PUNCTUATION_PORTION = "__punct__"
+
+
+def make_punctuation(template: StreamTuple, specimen: str) -> StreamTuple:
+    """Punctuation closing (template.job, template.layer, specimen)."""
+    return template.derive(
+        payload={PUNCTUATION_KEY: True},
+        specimen=specimen,
+        portion=PUNCTUATION_PORTION,
+    )
+
+
+def is_punctuation(t: StreamTuple) -> bool:
+    """True when ``t`` is a layer-completeness marker, not data."""
+    return PUNCTUATION_KEY in t.payload

@@ -1,0 +1,37 @@
+"""Key-value store subsystem (RocksDB substitute).
+
+Provides the data-at-rest tier of STRATA: a persistent LSM-tree store
+(:class:`LSMStore`) and an in-memory backend (:class:`MemoryStore`), both
+behind the common :class:`KVStore` interface used by the STRATA ``store``/
+``get`` API methods.
+"""
+
+from .api import KVStore, decode_value, encode_key, encode_value
+from .batch import WriteBatch
+from .bloom import BloomFilter
+from .errors import CorruptionError, InvalidKeyError, KVStoreError, StoreClosedError
+from .lsm import LSMStore
+from .memory import MemoryStore
+from .memtable import TOMBSTONE, SkipListMemtable
+from .sstable import SSTable, SSTableWriter
+from .wal import WriteAheadLog
+
+__all__ = [
+    "KVStore",
+    "LSMStore",
+    "MemoryStore",
+    "SkipListMemtable",
+    "SSTable",
+    "SSTableWriter",
+    "WriteBatch",
+    "WriteAheadLog",
+    "BloomFilter",
+    "TOMBSTONE",
+    "KVStoreError",
+    "StoreClosedError",
+    "CorruptionError",
+    "InvalidKeyError",
+    "encode_key",
+    "encode_value",
+    "decode_value",
+]

@@ -1,0 +1,118 @@
+"""Abstract key-value store interface.
+
+STRATA's modules persist and retrieve data-at-rest through this interface
+(the paper's ``store(k, v)`` / ``get(k)`` API, Table 1). Two backends are
+provided: :class:`repro.kvstore.memory.MemoryStore` (fast, in-process) and
+:class:`repro.kvstore.lsm.LSMStore` (persistent, RocksDB-like LSM tree).
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, Iterator
+
+from .errors import InvalidKeyError
+
+
+def encode_key(key: str | bytes) -> bytes:
+    """Normalize a key to ``bytes``, rejecting empty or mistyped keys."""
+    if isinstance(key, str):
+        key = key.encode("utf-8")
+    if not isinstance(key, bytes):
+        raise InvalidKeyError(f"key must be str or bytes, got {type(key).__name__}")
+    if not key:
+        raise InvalidKeyError("key must be non-empty")
+    return key
+
+
+def _json_roundtrips(value: Any) -> bool:
+    """True when JSON encoding reproduces ``value`` exactly.
+
+    ``json.dumps`` silently coerces tuples to lists (and non-string dict
+    keys to strings), so "it serialized without error" is not enough for a
+    store that must return exactly what was put.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return True
+    if isinstance(value, float):
+        return value == value and value not in (float("inf"), float("-inf"))
+    if isinstance(value, list):
+        return all(_json_roundtrips(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_roundtrips(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize an arbitrary Python value for storage.
+
+    Values that are already ``bytes`` pass through untouched; values that
+    JSON reproduces exactly are stored as JSON (portable, inspectable);
+    everything else — tuples, sets, NaN, arbitrary objects — is pickled.
+    A one-byte tag records the codec used.
+    """
+    if isinstance(value, bytes):
+        return b"b" + value
+    if _json_roundtrips(value):
+        return b"j" + json.dumps(value).encode("utf-8")
+    return b"p" + pickle.dumps(value)
+
+
+def decode_value(data: bytes) -> Any:
+    """Inverse of :func:`encode_value`."""
+    tag, body = data[:1], data[1:]
+    if tag == b"b":
+        return body
+    if tag == b"j":
+        return json.loads(body.decode("utf-8"))
+    if tag == b"p":
+        return pickle.loads(body)
+    raise ValueError(f"unknown value codec tag {tag!r}")
+
+
+class KVStore(ABC):
+    """Key-value store contract shared by all backends.
+
+    Keys are ``str`` or ``bytes``; values are arbitrary Python objects
+    (serialized transparently). Range scans iterate in lexicographic key
+    order, which STRATA uses to fetch per-job historical records.
+    """
+
+    @abstractmethod
+    def put(self, key: str | bytes, value: Any) -> None:
+        """Store ``value`` under ``key``, overwriting any previous value."""
+
+    @abstractmethod
+    def get(self, key: str | bytes, default: Any = None) -> Any:
+        """Return the value stored under ``key``, or ``default``."""
+
+    @abstractmethod
+    def delete(self, key: str | bytes) -> None:
+        """Remove ``key`` if present (idempotent)."""
+
+    @abstractmethod
+    def scan(
+        self,
+        start: str | bytes | None = None,
+        end: str | bytes | None = None,
+    ) -> Iterator[tuple[bytes, Any]]:
+        """Iterate ``(key, value)`` pairs with ``start <= key < end``."""
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release resources; further operations raise ``StoreClosedError``."""
+
+    def __contains__(self, key: str | bytes) -> bool:
+        sentinel = object()
+        return self.get(key, sentinel) is not sentinel
+
+    def __enter__(self) -> "KVStore":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

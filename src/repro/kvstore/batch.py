@@ -1,0 +1,41 @@
+"""Atomic write batches (the RocksDB ``WriteBatch`` pattern).
+
+STRATA pipelines store several related records per layer (thresholds,
+per-specimen summaries, provenance); a batch makes the group land
+atomically so a concurrent reader never sees half a layer's state.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class WriteBatch:
+    """Ordered collection of put/delete operations applied atomically."""
+
+    def __init__(self) -> None:
+        self._operations: list[tuple[str, str | bytes, Any]] = []
+
+    @property
+    def operations(self) -> list[tuple[str, str | bytes, Any]]:
+        return list(self._operations)
+
+    def put(self, key: str | bytes, value: Any) -> "WriteBatch":
+        """Queue an upsert; chainable."""
+        self._operations.append(("put", key, value))
+        return self
+
+    def delete(self, key: str | bytes) -> "WriteBatch":
+        """Queue a deletion; chainable."""
+        self._operations.append(("delete", key, None))
+        return self
+
+    def clear(self) -> None:
+        """Drop all queued operations (the batch can be reused)."""
+        self._operations.clear()
+
+    def __len__(self) -> int:
+        return len(self._operations)
+
+    def __bool__(self) -> bool:
+        return bool(self._operations)

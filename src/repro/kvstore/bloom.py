@@ -1,0 +1,65 @@
+"""Bloom filter used by SSTables to skip files that cannot hold a key."""
+
+from __future__ import annotations
+
+import hashlib
+import math
+
+
+class BloomFilter:
+    """Classic Bloom filter over ``bytes`` keys.
+
+    Sized from the expected element count and target false-positive rate;
+    serializable so it can be embedded in an SSTable footer.
+    """
+
+    def __init__(self, expected_items: int, fp_rate: float = 0.01) -> None:
+        expected_items = max(1, expected_items)
+        if not 0.0 < fp_rate < 1.0:
+            raise ValueError("fp_rate must be in (0, 1)")
+        self._num_bits = max(
+            8, int(-expected_items * math.log(fp_rate) / (math.log(2) ** 2))
+        )
+        self._num_hashes = max(1, round(self._num_bits / expected_items * math.log(2)))
+        self._bits = bytearray((self._num_bits + 7) // 8)
+
+    @property
+    def num_bits(self) -> int:
+        return self._num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    def _indexes(self, key: bytes) -> list[int]:
+        # Double hashing: two independent 64-bit halves of a single digest
+        # generate k index positions (Kirsch-Mitzenmacher).
+        digest = hashlib.blake2b(key, digest_size=16).digest()
+        h1 = int.from_bytes(digest[:8], "little")
+        h2 = int.from_bytes(digest[8:], "little") | 1
+        return [(h1 + i * h2) % self._num_bits for i in range(self._num_hashes)]
+
+    def add(self, key: bytes) -> None:
+        """Record ``key`` as a member."""
+        for idx in self._indexes(key):
+            self._bits[idx >> 3] |= 1 << (idx & 7)
+
+    def might_contain(self, key: bytes) -> bool:
+        """False means definitely absent; True means possibly present."""
+        return all(self._bits[idx >> 3] & (1 << (idx & 7)) for idx in self._indexes(key))
+
+    def to_bytes(self) -> bytes:
+        """Serialize for embedding in an SSTable footer."""
+        header = self._num_bits.to_bytes(8, "little") + self._num_hashes.to_bytes(
+            2, "little"
+        )
+        return header + bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BloomFilter":
+        """Inverse of :meth:`to_bytes`."""
+        bloom = cls.__new__(cls)
+        bloom._num_bits = int.from_bytes(data[:8], "little")
+        bloom._num_hashes = int.from_bytes(data[8:10], "little")
+        bloom._bits = bytearray(data[10:])
+        return bloom

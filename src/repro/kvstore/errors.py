@@ -1,0 +1,19 @@
+"""Exception hierarchy for the key-value store subsystem."""
+
+from __future__ import annotations
+
+
+class KVStoreError(Exception):
+    """Base class for all key-value store errors."""
+
+
+class StoreClosedError(KVStoreError):
+    """Raised when an operation is attempted on a closed store."""
+
+
+class CorruptionError(KVStoreError):
+    """Raised when on-disk data fails an integrity check."""
+
+
+class InvalidKeyError(KVStoreError):
+    """Raised when a key is empty or of the wrong type."""

@@ -1,0 +1,121 @@
+"""Skip-list memtable: the mutable in-memory tier of the LSM tree.
+
+A skip list keeps keys sorted with O(log n) expected insert/lookup and
+supports in-order iteration without a separate sort step at flush time —
+the same structure RocksDB uses for its default memtable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+_MAX_LEVEL = 16
+_P = 0.5
+
+# Sentinel distinguishing "key deleted" from "key absent". Tombstones must
+# flow into SSTables so a delete can shadow older values in lower levels.
+TOMBSTONE = b"\x00__tombstone__\x00"
+
+
+class _Node:
+    __slots__ = ("key", "value", "forward")
+
+    def __init__(self, key: bytes, value: bytes, level: int) -> None:
+        self.key = key
+        self.value = value
+        self.forward: list[Optional[_Node]] = [None] * level
+
+
+class SkipListMemtable:
+    """Sorted in-memory map from ``bytes`` keys to ``bytes`` values.
+
+    Tracks its approximate byte footprint so the LSM store can decide when
+    to rotate it into an immutable SSTable.
+    """
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._head = _Node(b"", b"", _MAX_LEVEL)
+        self._level = 1
+        self._size = 0
+        self._approx_bytes = 0
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def approximate_bytes(self) -> int:
+        """Approximate memory footprint of stored keys and values."""
+        return self._approx_bytes
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._rng.random() < _P:
+            level += 1
+        return level
+
+    def _find_predecessors(self, key: bytes) -> list[_Node]:
+        update: list[_Node] = [self._head] * _MAX_LEVEL
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[i]
+            update[i] = node
+        return update
+
+    def put(self, key: bytes, value: bytes) -> None:
+        """Insert or overwrite ``key``."""
+        update = self._find_predecessors(key)
+        node = update[0].forward[0]
+        if node is not None and node.key == key:
+            self._approx_bytes += len(value) - len(node.value)
+            node.value = value
+            return
+        level = self._random_level()
+        if level > self._level:
+            self._level = level
+        new_node = _Node(key, value, level)
+        for i in range(level):
+            new_node.forward[i] = update[i].forward[i]
+            update[i].forward[i] = new_node
+        self._size += 1
+        self._approx_bytes += len(key) + len(value) + 64
+
+    def delete(self, key: bytes) -> None:
+        """Record a deletion as a tombstone (required for LSM shadowing)."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: bytes) -> Optional[bytes]:
+        """Return the stored value, ``TOMBSTONE`` if deleted, else ``None``."""
+        node = self._head
+        for i in range(self._level - 1, -1, -1):
+            nxt = node.forward[i]
+            while nxt is not None and nxt.key < key:
+                node = nxt
+                nxt = node.forward[i]
+        node = node.forward[0]
+        if node is not None and node.key == key:
+            return node.value
+        return None
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all entries (tombstones included) in key order."""
+        node = self._head.forward[0]
+        while node is not None:
+            yield node.key, node.value
+            node = node.forward[0]
+
+    def range_items(
+        self, start: bytes | None, end: bytes | None
+    ) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with ``start <= key < end`` in key order."""
+        if start is None:
+            node = self._head.forward[0]
+        else:
+            node = self._find_predecessors(start)[0].forward[0]
+        while node is not None and (end is None or node.key < end):
+            yield node.key, node.value
+            node = node.forward[0]

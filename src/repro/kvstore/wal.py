@@ -1,0 +1,81 @@
+"""Write-ahead log for crash-safe memtable recovery.
+
+Record layout (little-endian):
+
+    [u32 crc][u32 key_len][u32 value_len][key bytes][value bytes]
+
+The CRC covers both length headers and both bodies. Replay stops at the
+first corrupt or truncated record, mirroring the torn-write tolerance of
+production WAL implementations.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from .errors import StoreClosedError
+
+_HEADER = struct.Struct("<III")
+
+
+class WriteAheadLog:
+    """Append-only durability log paired with the active memtable."""
+
+    def __init__(self, path: str | Path, sync: bool = False) -> None:
+        self._path = Path(path)
+        self._sync = sync
+        self._file = open(self._path, "ab")
+        self._closed = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def append(self, key: bytes, value: bytes) -> None:
+        """Durably record one put/delete before it reaches the memtable."""
+        if self._closed:
+            raise StoreClosedError("WAL is closed")
+        body = key + value
+        header = _HEADER.pack(0, len(key), len(value))
+        crc = zlib.crc32(header[4:] + body)
+        self._file.write(_HEADER.pack(crc, len(key), len(value)) + body)
+        self._file.flush()
+        if self._sync:
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.close()
+            self._closed = True
+
+    def remove(self) -> None:
+        """Close and delete the log file (after a successful flush)."""
+        self.close()
+        self._path.unlink(missing_ok=True)
+
+    @staticmethod
+    def replay(path: str | Path) -> Iterator[tuple[bytes, bytes]]:
+        """Yield all intact records from an existing log, oldest first."""
+        path = Path(path)
+        if not path.exists():
+            return
+        with open(path, "rb") as f:
+            data = f.read()
+        offset = 0
+        total = len(data)
+        while offset + _HEADER.size <= total:
+            crc, key_len, value_len = _HEADER.unpack_from(data, offset)
+            body_start = offset + _HEADER.size
+            body_end = body_start + key_len + value_len
+            if body_end > total:
+                return  # truncated tail
+            body = data[body_start:body_end]
+            expected = zlib.crc32(data[offset + 4 : offset + _HEADER.size] + body)
+            if crc != expected:
+                return  # corrupt record; discard it and everything after
+            yield body[:key_len], body[key_len:]
+            offset = body_end

@@ -1,0 +1,36 @@
+"""In-process publish/subscribe subsystem (Apache Kafka substitute).
+
+Implements topics, partitions, append-only offset logs, producers, and
+consumer groups. STRATA's Raw Data Connector and Event Connector run on
+this broker, decoupling the Raw Data Collector, Event Monitor, and Event
+Aggregator modules exactly as in Figure 2 of the paper.
+"""
+
+from .broker import Broker
+from .consumer import Consumer, ConsumerGroup
+from .errors import (
+    BrokerClosedError,
+    InvalidOffsetError,
+    PubSubError,
+    TopicExistsError,
+    UnknownTopicError,
+)
+from .log import PartitionLog
+from .message import Message
+from .producer import Producer
+from .topic import Topic
+
+__all__ = [
+    "Broker",
+    "Topic",
+    "PartitionLog",
+    "Message",
+    "Producer",
+    "Consumer",
+    "ConsumerGroup",
+    "PubSubError",
+    "UnknownTopicError",
+    "TopicExistsError",
+    "InvalidOffsetError",
+    "BrokerClosedError",
+]

@@ -1,0 +1,105 @@
+"""In-process message broker (the Kafka substitute).
+
+Owns topics and consumer-group offset state. Producers and consumers are
+thin clients bound to one broker instance; everything runs in-process, but
+the interaction model (topics, partitions, offsets, consumer groups,
+commit/seek/replay) mirrors Kafka so STRATA's connector layer exercises the
+same decoupling the paper's prototype gets from Kafka.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable
+
+from .errors import BrokerClosedError, TopicExistsError, UnknownTopicError
+from .topic import Topic
+
+
+class Broker:
+    """Registry of topics plus durable consumer-group offsets."""
+
+    def __init__(self) -> None:
+        self._topics: dict[str, Topic] = {}
+        # committed offsets: (group, topic, partition) -> next offset to read
+        self._commits: dict[tuple[str, str, int], int] = {}
+        self._lock = threading.RLock()
+        self._closed = False
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BrokerClosedError("broker is closed")
+
+    # -- topic management --------------------------------------------------
+
+    def create_topic(
+        self, name: str, partitions: int = 1, retention: int | None = None
+    ) -> Topic:
+        with self._lock:
+            self._check_open()
+            if name in self._topics:
+                raise TopicExistsError(f"topic {name!r} already exists")
+            topic = Topic(name, partitions, retention)
+            self._topics[name] = topic
+            return topic
+
+    def ensure_topic(
+        self, name: str, partitions: int = 1, retention: int | None = None
+    ) -> Topic:
+        """Create the topic if needed, otherwise return the existing one."""
+        with self._lock:
+            self._check_open()
+            topic = self._topics.get(name)
+            if topic is None:
+                topic = Topic(name, partitions, retention)
+                self._topics[name] = topic
+            return topic
+
+    def topic(self, name: str) -> Topic:
+        """Look up an existing topic (raises UnknownTopicError)."""
+        with self._lock:
+            self._check_open()
+            try:
+                return self._topics[name]
+            except KeyError:
+                raise UnknownTopicError(f"unknown topic {name!r}") from None
+
+    def topics(self) -> list[str]:
+        """Sorted names of all topics."""
+        with self._lock:
+            return sorted(self._topics)
+
+    def has_topic(self, name: str) -> bool:
+        """True when ``name`` exists."""
+        with self._lock:
+            return name in self._topics
+
+    # -- consumer-group offsets ---------------------------------------------
+
+    def committed(self, group: str, topic: str, partition: int) -> int | None:
+        """A group's committed next-read offset, or None."""
+        with self._lock:
+            return self._commits.get((group, topic, partition))
+
+    def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        """Durably record a group's next-read offset."""
+        if offset < 0:
+            raise ValueError("committed offset must be non-negative")
+        with self._lock:
+            self._check_open()
+            self._commits[(group, topic, partition)] = offset
+
+    def reset_group(self, group: str, topics: Iterable[str] | None = None) -> None:
+        """Drop a group's committed offsets (forces a replay-from-policy)."""
+        with self._lock:
+            selected = None if topics is None else set(topics)
+            self._commits = {
+                key: value
+                for key, value in self._commits.items()
+                if not (key[0] == group and (selected is None or key[1] in selected))
+            }
+
+    def close(self) -> None:
+        """Reject all further operations on this broker."""
+        with self._lock:
+            self._closed = True

@@ -1,0 +1,168 @@
+"""Consumer client with consumer-group semantics.
+
+A :class:`Consumer` subscribes to topics, polls records partition by
+partition, and tracks per-partition positions. Consumers sharing a group id
+share committed offsets through the broker, so a restarted consumer resumes
+where its group left off. :class:`ConsumerGroup` splits a topic's
+partitions across several consumers (static range assignment), giving the
+scale-out path the paper gets from Kafka consumer groups.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .broker import Broker
+from .errors import InvalidOffsetError
+from .message import Message
+
+
+class Consumer:
+    """Single consumer over one or more topics.
+
+    ``auto_offset_reset`` selects the start position when the group has no
+    committed offset: ``"earliest"`` replays the full retained log (used to
+    reprocess historic printing jobs), ``"latest"`` starts at the live edge.
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        group: str,
+        topics: list[str] | None = None,
+        auto_offset_reset: str = "earliest",
+        auto_commit: bool = True,
+    ) -> None:
+        if auto_offset_reset not in ("earliest", "latest"):
+            raise ValueError("auto_offset_reset must be 'earliest' or 'latest'")
+        self._broker = broker
+        self._group = group
+        self._auto_offset_reset = auto_offset_reset
+        self._auto_commit = auto_commit
+        # (topic, partition) -> next offset to read; None = not resolved yet
+        self._positions: dict[tuple[str, int], int] = {}
+        self._assignment: list[tuple[str, int]] = []
+        self._subscribed: list[str] = []
+        if topics:
+            self.subscribe(topics)
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    @property
+    def assignment(self) -> list[tuple[str, int]]:
+        return list(self._assignment)
+
+    def subscribe(self, topics: list[str]) -> None:
+        """Subscribe to all partitions of the given topics."""
+        self._subscribed = list(topics)
+        self._assignment = []
+        for name in topics:
+            topic = self._broker.topic(name)
+            for partition in range(topic.num_partitions):
+                self._assignment.append((name, partition))
+        self._resolve_positions()
+
+    def assign(self, partitions: list[tuple[str, int]]) -> None:
+        """Manually assign specific (topic, partition) pairs."""
+        self._assignment = list(partitions)
+        self._resolve_positions()
+
+    def _resolve_positions(self) -> None:
+        for name, partition in self._assignment:
+            if (name, partition) in self._positions:
+                continue
+            committed = self._broker.committed(self._group, name, partition)
+            if committed is not None:
+                self._positions[(name, partition)] = committed
+                continue
+            log = self._broker.topic(name).log(partition)
+            if self._auto_offset_reset == "earliest":
+                self._positions[(name, partition)] = log.start_offset
+            else:
+                self._positions[(name, partition)] = log.end_offset
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        """Set the next read position for one partition."""
+        if (topic, partition) not in self._assignment:
+            raise InvalidOffsetError(f"{topic}/{partition} is not assigned")
+        self._positions[(topic, partition)] = offset
+
+    def position(self, topic: str, partition: int) -> int:
+        """Next offset this consumer will read for the partition."""
+        return self._positions[(topic, partition)]
+
+    def poll(self, max_records: int = 1024, timeout: float = 0.0) -> list[Message]:
+        """Fetch available records across the assignment.
+
+        With ``timeout > 0`` the first empty pass blocks on one partition
+        waiting for data (sufficient for the single-partition connector
+        topologies STRATA deploys).
+        """
+        out: list[Message] = []
+        budget = max_records
+        for name, partition in self._assignment:
+            if budget <= 0:
+                break
+            log = self._broker.topic(name).log(partition)
+            position = self._positions[(name, partition)]
+            try:
+                records = log.read(position, budget)
+            except InvalidOffsetError:
+                # Retention trimmed past our position: skip to the oldest
+                # retained record, as Kafka's 'earliest' reset would.
+                position = log.start_offset
+                records = log.read(position, budget)
+            if records:
+                out.extend(records)
+                budget -= len(records)
+                self._positions[(name, partition)] = records[-1].offset + 1
+        if not out and timeout > 0 and self._assignment:
+            name, partition = self._assignment[0]
+            log = self._broker.topic(name).log(partition)
+            records = log.read_blocking(
+                self._positions[(name, partition)], max_records, timeout
+            )
+            if records:
+                out.extend(records)
+                self._positions[(name, partition)] = records[-1].offset + 1
+        if out and self._auto_commit:
+            self.commit()
+        return out
+
+    def commit(self) -> None:
+        """Commit current positions for the whole assignment."""
+        for (name, partition), offset in self._positions.items():
+            if (name, partition) in self._assignment:
+                self._broker.commit(self._group, name, partition, offset)
+
+    def __iter__(self) -> Iterator[Message]:
+        """Drain everything currently available (non-blocking)."""
+        while True:
+            batch = self.poll()
+            if not batch:
+                return
+            yield from batch
+
+
+class ConsumerGroup:
+    """Static range assignment of a topic's partitions over N members."""
+
+    def __init__(self, broker: Broker, group: str, topic: str, members: int) -> None:
+        if members < 1:
+            raise ValueError("a consumer group needs at least one member")
+        topic_obj = broker.topic(topic)
+        partitions = list(range(topic_obj.num_partitions))
+        self._consumers: list[Consumer] = []
+        for member in range(members):
+            share = [
+                (topic, p) for i, p in enumerate(partitions) if i % members == member
+            ]
+            consumer = Consumer(broker, group)
+            consumer.assign(share)
+            self._consumers.append(consumer)
+
+    @property
+    def members(self) -> list[Consumer]:
+        return list(self._consumers)

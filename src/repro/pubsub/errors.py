@@ -1,0 +1,23 @@
+"""Exception hierarchy for the pub/sub subsystem."""
+
+from __future__ import annotations
+
+
+class PubSubError(Exception):
+    """Base class for all pub/sub errors."""
+
+
+class UnknownTopicError(PubSubError):
+    """Raised when producing to or consuming from a non-existent topic."""
+
+
+class TopicExistsError(PubSubError):
+    """Raised when creating a topic that already exists."""
+
+
+class InvalidOffsetError(PubSubError):
+    """Raised when seeking outside a partition log's retained range."""
+
+
+class BrokerClosedError(PubSubError):
+    """Raised when an operation is attempted on a closed broker."""

@@ -1,0 +1,30 @@
+"""Message record exchanged through the broker.
+
+Mirrors the Kafka record model: an optional partitioning key, an opaque
+value, a producer-assigned event timestamp, and broker-assigned position
+(topic, partition, offset) filled in at append time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Message:
+    """One immutable record in a partition log."""
+
+    topic: str
+    partition: int
+    offset: int
+    key: str | None
+    value: Any
+    timestamp: float
+    headers: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be non-negative")
+        if self.partition < 0:
+            raise ValueError("partition must be non-negative")

@@ -1,0 +1,62 @@
+"""Topic: a named set of partition logs plus the key→partition mapping."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+from .log import PartitionLog
+
+
+class Topic:
+    """Named collection of partitions with Kafka-style key hashing.
+
+    Records with the same key always land in the same partition, which
+    preserves per-key ordering — STRATA relies on this to keep all tuples
+    of one (job, layer) in order across the Raw Data / Event connectors.
+    """
+
+    def __init__(self, name: str, partitions: int = 1, retention: int | None = None) -> None:
+        if partitions < 1:
+            raise ValueError("a topic needs at least one partition")
+        self._name = name
+        self._logs = [PartitionLog(name, p, retention) for p in range(partitions)]
+        self._round_robin = 0
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self._logs)
+
+    def partition_for(self, key: str | None) -> int:
+        """Deterministic partition choice; keyless records round-robin."""
+        if key is None:
+            partition = self._round_robin % len(self._logs)
+            self._round_robin += 1
+            return partition
+        return zlib.crc32(key.encode("utf-8")) % len(self._logs)
+
+    def log(self, partition: int) -> PartitionLog:
+        """The append-only log backing one partition."""
+        return self._logs[partition]
+
+    def append(
+        self,
+        key: str | None,
+        value: Any,
+        timestamp: float | None = None,
+        headers: dict[str, Any] | None = None,
+        partition: int | None = None,
+    ) -> tuple[int, int]:
+        """Append a record, returning its ``(partition, offset)``."""
+        if partition is None:
+            partition = self.partition_for(key)
+        offset = self._logs[partition].append(key, value, timestamp, headers)
+        return partition, offset
+
+    def end_offsets(self) -> dict[int, int]:
+        """Next-offset-to-be-written for every partition."""
+        return {log.partition: log.end_offset for log in self._logs}

@@ -1,0 +1,85 @@
+"""Stream Processing Engine (Liebre substitute).
+
+A lightweight SPE for scale-up servers: continuous queries are DAGs of
+native operators (Map, Filter, Aggregate, Join, Union) connected by bounded
+streams, run either by a thread-per-operator scheduler (the Liebre model)
+or a deterministic synchronous scheduler for tests.
+"""
+
+from .engine import RunReport, StreamEngine
+from .errors import EngineStateError, OperatorError, QueryValidationError, SPEError
+from .metrics import (
+    FiveNumberSummary,
+    LatencyRecorder,
+    OperatorStats,
+    ThroughputMeter,
+    summarize,
+)
+from .operators import (
+    AggregateOperator,
+    FilterOperator,
+    HashRouter,
+    JoinOperator,
+    MapOperator,
+    Operator,
+    UnionOperator,
+    partition_key,
+    window_indices,
+)
+from .query import Node, Query
+from .scheduler import NodeExecutor, SynchronousScheduler, ThreadedScheduler
+from .sink import CallbackSink, CollectingSink, DeadlineSink, NullSink, Sink
+from .source import (
+    CallbackSource,
+    IterableSource,
+    ListSource,
+    RateLimitedSource,
+    Source,
+)
+from .stream import END_OF_STREAM, Stream
+from .tuples import WHOLE_PORTION, WHOLE_SPECIMEN, StreamTuple
+from .watermark import WatermarkTracker
+
+__all__ = [
+    "StreamTuple",
+    "WHOLE_SPECIMEN",
+    "WHOLE_PORTION",
+    "Stream",
+    "END_OF_STREAM",
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "AggregateOperator",
+    "JoinOperator",
+    "UnionOperator",
+    "HashRouter",
+    "partition_key",
+    "window_indices",
+    "Source",
+    "ListSource",
+    "IterableSource",
+    "CallbackSource",
+    "RateLimitedSource",
+    "Sink",
+    "CollectingSink",
+    "CallbackSink",
+    "NullSink",
+    "DeadlineSink",
+    "Query",
+    "Node",
+    "StreamEngine",
+    "RunReport",
+    "SynchronousScheduler",
+    "ThreadedScheduler",
+    "NodeExecutor",
+    "WatermarkTracker",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "FiveNumberSummary",
+    "OperatorStats",
+    "summarize",
+    "SPEError",
+    "QueryValidationError",
+    "EngineStateError",
+    "OperatorError",
+]

@@ -1,0 +1,138 @@
+"""The engine facade: deploy queries, run them, collect a report.
+
+``StreamEngine`` hides scheduler selection behind a single ``run`` call for
+finite replays, and a ``start``/``stop`` pair for open-ended deployments
+(live monitoring of an ongoing print).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import EngineStateError
+from .metrics import FiveNumberSummary, OperatorStats
+from .query import Node, Query
+from .scheduler import SynchronousScheduler, ThreadedScheduler
+from .sink import Sink
+
+
+@dataclass
+class RunReport:
+    """Outcome of one query execution."""
+
+    query_name: str
+    operator_stats: dict[str, OperatorStats]
+    sinks: dict[str, Sink]
+    wall_seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def latency_summary(self, sink_name: str | None = None) -> FiveNumberSummary:
+        """Five-number latency summary of one sink (or the only sink)."""
+        sink = self._pick_sink(sink_name)
+        return sink.latency.summary()
+
+    def latency_samples(self, sink_name: str | None = None) -> list[float]:
+        """Raw per-result latency samples of one sink, seconds."""
+        return self._pick_sink(sink_name).latency.samples()
+
+    def results_delivered(self, sink_name: str | None = None) -> int:
+        """Number of results one sink received."""
+        return len(self._pick_sink(sink_name).latency)
+
+    def _pick_sink(self, sink_name: str | None) -> Sink:
+        if sink_name is not None:
+            return self.sinks[sink_name]
+        if len(self.sinks) != 1:
+            raise ValueError(f"specify a sink name; query has {sorted(self.sinks)}")
+        return next(iter(self.sinks.values()))
+
+    def format(self) -> str:
+        """Human-readable per-operator summary of the run."""
+        lines = [
+            f"query {self.query_name!r}: {self.wall_seconds:.3f}s wall, "
+            f"{len(self.sinks)} sink(s)"
+        ]
+        header = f"{'node':<28} {'in':>10} {'out':>10} {'busy_s':>10}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for name in sorted(self.operator_stats):
+            stats = self.operator_stats[name]
+            lines.append(
+                f"{name:<28} {stats.tuples_in:>10} {stats.tuples_out:>10} "
+                f"{stats.processing_seconds:>10.4f}"
+            )
+        for name, sink in sorted(self.sinks.items()):
+            samples = len(sink.latency)
+            if samples:
+                summary = sink.latency.summary()
+                lines.append(
+                    f"{name}: {samples} results, latency median "
+                    f"{summary.median * 1e3:.2f} ms / max {summary.maximum * 1e3:.2f} ms"
+                )
+            else:
+                lines.append(f"{name}: 0 results")
+        return "\n".join(lines)
+
+
+class StreamEngine:
+    """Runs continuous queries with a chosen scheduling strategy."""
+
+    def __init__(self, mode: str = "threaded", capacity: int | None = 10_000) -> None:
+        if mode not in ("threaded", "sync"):
+            raise ValueError("mode must be 'threaded' or 'sync'")
+        self._mode = mode
+        self._capacity = capacity
+        self._active: ThreadedScheduler | None = None
+        self._active_nodes: list[Node] | None = None
+
+    def run(self, query: Query) -> RunReport:
+        """Execute a query until all sources are exhausted; blocking."""
+        import time
+
+        nodes = query.build(capacity=None if self._mode == "sync" else self._capacity)
+        started = time.monotonic()
+        if self._mode == "sync":
+            stats = SynchronousScheduler().run(nodes)
+        else:
+            stats = ThreadedScheduler().run(nodes)
+        wall = time.monotonic() - started
+        return RunReport(
+            query_name=query.name,
+            operator_stats=stats,
+            sinks=_sinks_of(nodes),
+            wall_seconds=wall,
+        )
+
+    def start(self, query: Query) -> dict[str, Sink]:
+        """Deploy a query in the background (threaded only)."""
+        if self._mode != "threaded":
+            raise EngineStateError("background deployment requires threaded mode")
+        if self._active is not None:
+            raise EngineStateError("a query is already running; stop() it first")
+        nodes = query.build(capacity=self._capacity)
+        self._active = ThreadedScheduler()
+        self._active_nodes = nodes
+        self._active.start(nodes)
+        return _sinks_of(nodes)
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Request shutdown of the background query and wait for it."""
+        if self._active is None:
+            return
+        self._active.stop()
+        self._active.join(timeout=timeout)
+        self._active = None
+        self._active_nodes = None
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Wait for a background query to finish naturally."""
+        if self._active is None:
+            raise EngineStateError("no query is running")
+        self._active.join(timeout=timeout)
+        self._active = None
+        self._active_nodes = None
+
+
+def _sinks_of(nodes: list[Node]) -> dict[str, Sink]:
+    return {node.name: node.sink for node in nodes if node.kind == "sink"}

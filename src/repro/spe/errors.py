@@ -1,0 +1,24 @@
+"""Exception hierarchy for the stream processing engine."""
+
+from __future__ import annotations
+
+
+class SPEError(Exception):
+    """Base class for all SPE errors."""
+
+
+class QueryValidationError(SPEError):
+    """Raised when a query graph is malformed (cycles, bad references...)."""
+
+
+class EngineStateError(SPEError):
+    """Raised when the engine is driven through an invalid state change."""
+
+
+class OperatorError(SPEError):
+    """Wraps an exception raised inside a user function, with context."""
+
+    def __init__(self, operator_name: str, original: BaseException) -> None:
+        super().__init__(f"operator {operator_name!r} failed: {original!r}")
+        self.operator_name = operator_name
+        self.original = original

@@ -1,0 +1,166 @@
+"""Latency and throughput instrumentation.
+
+The paper evaluates STRATA on two metrics (§3, §5): *latency* — the time
+from when all data leading to a result became available until the result is
+produced — and *throughput* — tuples ingested per time unit. Sinks record
+per-result latency samples; counters track throughput over the run.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FiveNumberSummary:
+    """Boxplot statistics, matching the figures in the paper."""
+
+    count: int
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+
+    def as_row(self, scale: float = 1.0) -> dict[str, float]:
+        """Render as a dict with values multiplied by ``scale``."""
+        return {
+            "count": self.count,
+            "min": self.minimum * scale,
+            "q1": self.q1 * scale,
+            "median": self.median * scale,
+            "q3": self.q3 * scale,
+            "max": self.maximum * scale,
+            "mean": self.mean * scale,
+        }
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolation quantile over pre-sorted data."""
+    if not sorted_values:
+        raise ValueError("cannot take a quantile of no samples")
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return sorted_values[low]
+    frac = position - low
+    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+
+
+def summarize(samples: list[float]) -> FiveNumberSummary:
+    """Five-number summary plus mean of a sample list."""
+    if not samples:
+        raise ValueError("cannot summarize zero samples")
+    ordered = sorted(samples)
+    return FiveNumberSummary(
+        count=len(ordered),
+        minimum=ordered[0],
+        q1=_quantile(ordered, 0.25),
+        median=_quantile(ordered, 0.5),
+        q3=_quantile(ordered, 0.75),
+        maximum=ordered[-1],
+        mean=sum(ordered) / len(ordered),
+    )
+
+
+class LatencyRecorder:
+    """Thread-safe collector of latency samples (seconds)."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, latency_seconds: float) -> None:
+        """Append one latency sample."""
+        with self._lock:
+            self._samples.append(latency_seconds)
+
+    def samples(self) -> list[float]:
+        """Copy of all recorded samples."""
+        with self._lock:
+            return list(self._samples)
+
+    def clear(self) -> None:
+        """Drop all samples."""
+        with self._lock:
+            self._samples.clear()
+
+    def summary(self) -> FiveNumberSummary:
+        """Five-number summary of the samples recorded so far."""
+        return summarize(self.samples())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+
+class ThroughputMeter:
+    """Counts processed items against wall-clock time."""
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._lock = threading.Lock()
+        self._started: float | None = None
+        self._stopped: float | None = None
+
+    def start(self) -> None:
+        """Reset the counter and start the clock."""
+        with self._lock:
+            self._started = time.monotonic()
+            self._stopped = None
+            self._count = 0
+
+    def add(self, n: int = 1) -> None:
+        """Count ``n`` processed items."""
+        with self._lock:
+            if self._started is None:
+                self._started = time.monotonic()
+            self._count += n
+
+    def stop(self) -> None:
+        """Freeze the clock (rates use the frozen interval)."""
+        with self._lock:
+            self._stopped = time.monotonic()
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def elapsed(self) -> float:
+        """Measured interval in seconds (never zero)."""
+        with self._lock:
+            if self._started is None:
+                return 0.0
+            end = self._stopped if self._stopped is not None else time.monotonic()
+            return max(end - self._started, 1e-9)
+
+    def per_second(self) -> float:
+        """Items per second over the measured interval."""
+        return self.count / self.elapsed()
+
+
+class OperatorStats:
+    """Per-operator counters surfaced by the engine's metrics report."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.tuples_in = 0
+        self.tuples_out = 0
+        self.processing_seconds = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for report rendering."""
+        return {
+            "name": self.name,
+            "in": self.tuples_in,
+            "out": self.tuples_out,
+            "busy_s": round(self.processing_seconds, 6),
+        }

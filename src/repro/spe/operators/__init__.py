@@ -1,0 +1,23 @@
+"""Native stream-processing operators (the paper's §2 catalogue)."""
+
+from .aggregate import AggregateOperator, window_indices
+from .base import Operator, as_tuple_list
+from .filter import FilterOperator
+from .join import JoinOperator
+from .map import MapOperator
+from .router import HashRouter, hash_route, partition_key
+from .union import UnionOperator
+
+__all__ = [
+    "Operator",
+    "MapOperator",
+    "FilterOperator",
+    "AggregateOperator",
+    "JoinOperator",
+    "UnionOperator",
+    "HashRouter",
+    "hash_route",
+    "partition_key",
+    "window_indices",
+    "as_tuple_list",
+]

@@ -1,0 +1,97 @@
+"""Aggregate: the sliding/tumbling window operator (§2).
+
+Maintains, per group-by key, windows of size ``WS`` and advance ``WA``
+over event time. For each key, windows cover the periods
+``[l*WA, l*WA + WS)`` for natural ``l`` — the exact formulation used in the
+paper. A window is emitted once the operator's watermark passes the window
+end (no tuple with a smaller ``tau`` can still arrive), and all remaining
+windows are flushed when the input closes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Hashable
+
+from ..tuples import StreamTuple
+from ..watermark import WatermarkTracker
+from .base import Operator
+
+GroupByFunction = Callable[[StreamTuple], Hashable]
+#: receives (key, window_start, window_end, tuples) and returns the output payload
+AggregateFunction = Callable[[Hashable, float, float, list[StreamTuple]], dict[str, Any]]
+
+
+def window_indices(tau: float, ws: float, wa: float) -> list[int]:
+    """All window indices ``l`` whose period ``[l*WA, l*WA+WS)`` contains tau."""
+    if tau < 0:
+        raise ValueError("event time must be non-negative")
+    last = math.floor(tau / wa)
+    first = math.floor((tau - ws) / wa) + 1
+    return [l for l in range(max(first, 0), last + 1)]
+
+
+class AggregateOperator(Operator):
+    """Event-time windowed aggregation with optional group-by."""
+
+    num_inputs = 1
+
+    def __init__(
+        self,
+        name: str,
+        ws: float,
+        wa: float,
+        fn: AggregateFunction,
+        group_by: GroupByFunction | None = None,
+        slack: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        if ws <= 0 or wa <= 0:
+            raise ValueError("WS and WA must be positive")
+        if wa > ws:
+            raise ValueError("WA must not exceed WS (windows must cover the stream)")
+        self._ws = ws
+        self._wa = wa
+        self._fn = fn
+        self._group_by = group_by or (lambda t: None)
+        # (key, window_index) -> buffered tuples
+        self._windows: dict[tuple[Hashable, int], list[StreamTuple]] = {}
+        self._tracker = WatermarkTracker(1, slack)
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        key = self._group_by(t)
+        for index in window_indices(t.tau, self._ws, self._wa):
+            self._windows.setdefault((key, index), []).append(t)
+        watermark = self._tracker.observe(0, t.tau)
+        return self._emit_ripe(watermark)
+
+    def _emit_ripe(self, watermark: float) -> list[StreamTuple]:
+        ripe = [
+            (key, index)
+            for (key, index) in self._windows
+            if index * self._wa + self._ws <= watermark
+        ]
+        out: list[StreamTuple] = []
+        # Emit deterministically: by window end, then by key representation.
+        for key, index in sorted(ripe, key=lambda ki: (ki[1], repr(ki[0]))):
+            out.append(self._emit_window(key, index))
+        return out
+
+    def _emit_window(self, key: Hashable, index: int) -> StreamTuple:
+        tuples = self._windows.pop((key, index))
+        start = index * self._wa
+        end = start + self._ws
+        payload = self._fn(key, start, end, list(tuples))
+        template = tuples[-1]
+        result = template.derive(payload=payload, tau=end)
+        result.ingest_time = max(t.ingest_time for t in tuples)
+        return result
+
+    def on_close(self) -> list[StreamTuple]:
+        """Flush every still-open window (input exhausted)."""
+        watermark = self._tracker.close_input(0)
+        return self._emit_ripe(watermark)
+
+    @property
+    def open_windows(self) -> int:
+        return len(self._windows)

@@ -1,0 +1,49 @@
+"""Operator contract shared by every native operator.
+
+Operators are the vertices of a continuous query's DAG (§2). Each operator
+consumes tuples from one or more inputs and emits zero or more tuples per
+invocation. Stateful operators additionally flush pending state when their
+inputs close (``on_close``), so finite replays terminate with complete
+results.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+from ..tuples import StreamTuple
+
+
+class Operator(ABC):
+    """Base class for all native operators."""
+
+    #: number of input streams the operator consumes (1 for most, 2 for Join)
+    num_inputs: int = 1
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @abstractmethod
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        """Consume one tuple from input ``input_index``; return outputs."""
+
+    def on_input_closed(self, input_index: int) -> list[StreamTuple]:
+        """One input reached end-of-stream; may release held-back results."""
+        return []
+
+    def on_close(self) -> list[StreamTuple]:
+        """All inputs closed: flush any remaining state."""
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def as_tuple_list(result: StreamTuple | Iterable[StreamTuple] | None) -> list[StreamTuple]:
+    """Normalize a user function's return value to a list of tuples."""
+    if result is None:
+        return []
+    if isinstance(result, StreamTuple):
+        return [result]
+    return list(result)

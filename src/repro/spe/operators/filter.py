@@ -1,0 +1,29 @@
+"""Filter: forwards or discards tuples based on a predicate (§2)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..tuples import StreamTuple
+from .base import Operator
+
+FilterPredicate = Callable[[StreamTuple], bool]
+
+
+class FilterOperator(Operator):
+    """Forwards a tuple only when the predicate holds."""
+
+    num_inputs = 1
+
+    def __init__(self, name: str, predicate: FilterPredicate) -> None:
+        super().__init__(name)
+        self._predicate = predicate
+        self.passed = 0
+        self.dropped = 0
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        if self._predicate(t):
+            self.passed += 1
+            return [t]
+        self.dropped += 1
+        return []

@@ -1,0 +1,29 @@
+"""Map: the stateless 1→N transformation operator (§2).
+
+The paper's Map "produces an arbitrary number of output tuples for each
+input tuple by selecting one or more of the input tuples' sub-attributes,
+optionally applying functions to them". The user function receives the
+input tuple and returns a tuple, a list of tuples, or ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..tuples import StreamTuple
+from .base import Operator, as_tuple_list
+
+MapFunction = Callable[[StreamTuple], StreamTuple | Iterable[StreamTuple] | None]
+
+
+class MapOperator(Operator):
+    """Applies a user function to every tuple."""
+
+    num_inputs = 1
+
+    def __init__(self, name: str, fn: MapFunction) -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        return as_tuple_list(self._fn(t))

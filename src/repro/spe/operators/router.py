@@ -1,0 +1,51 @@
+"""Key routing for operator parallelism.
+
+The paper's API methods "can be executed in a distributed, parallel,
+elastic fashion by the underlying SPEs" because they compose native
+operators. Our engine realizes the parallel part by sharding a stateful
+operator into N replicas behind a hash router: tuples with the same key
+always reach the same replica, so keyed state stays consistent.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Callable, Hashable
+
+from ..tuples import StreamTuple
+
+KeyFunction = Callable[[StreamTuple], Hashable]
+
+
+def partition_key(t: StreamTuple) -> Hashable:
+    """Default shard key: the paper's disjoint-analysis unit.
+
+    ``(job, specimen, portion)`` — layer portions that refer to different
+    specimens (or different portions of one specimen) can be analyzed in a
+    pipelined/parallel fashion (§4).
+    """
+    return (t.job, t.specimen, t.portion)
+
+
+def hash_route(key: Hashable, num_shards: int) -> int:
+    """Stable mapping from a key to a shard index."""
+    digest = zlib.crc32(repr(key).encode("utf-8"))
+    return digest % num_shards
+
+
+class HashRouter:
+    """Routes tuples to one of ``num_shards`` outputs by key hash."""
+
+    def __init__(self, num_shards: int, key_fn: KeyFunction | None = None) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        self._num_shards = num_shards
+        self._key_fn = key_fn or partition_key
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    def route(self, t: StreamTuple) -> int:
+        """Shard index for ``t`` (stable per key)."""
+        return hash_route(self._key_fn(t), self._num_shards)

@@ -1,0 +1,19 @@
+"""Union: merges multiple input streams into one, order-agnostic."""
+
+from __future__ import annotations
+
+from ..tuples import StreamTuple
+from .base import Operator
+
+
+class UnionOperator(Operator):
+    """Forwards every input tuple unchanged, from any input."""
+
+    def __init__(self, name: str, num_inputs: int = 2) -> None:
+        super().__init__(name)
+        if num_inputs < 1:
+            raise ValueError("union needs at least one input")
+        self.num_inputs = num_inputs
+
+    def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
+        return [t]

@@ -1,0 +1,260 @@
+"""Schedulers: drive a materialized query graph to completion.
+
+Two execution strategies, one node semantics:
+
+* :class:`ThreadedScheduler` — one thread per node with bounded blocking
+  queues, the Liebre execution model; used for all latency/throughput
+  measurements because tuples flow as soon as they are produced.
+* :class:`SynchronousScheduler` — a deterministic single-threaded
+  topological drain; used by tests and anywhere reproducibility matters
+  more than timing fidelity.
+
+Both share :class:`NodeExecutor`, which implements the per-node protocol:
+process data items, react to per-input end-of-stream, flush on full close,
+and propagate the end-of-stream marker downstream exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .errors import OperatorError
+from .metrics import OperatorStats
+from .query import Node
+from .stream import END_OF_STREAM, Stream
+from .tuples import StreamTuple
+
+
+class NodeExecutor:
+    """Uniform execution wrapper around one query node."""
+
+    def __init__(self, node: Node, stop_event: threading.Event | None = None) -> None:
+        self.node = node
+        self.stats = OperatorStats(node.name)
+        self._closed_inputs: set[int] = set()
+        self._finalized = False
+        self._stop_event = stop_event
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def open_inputs(self) -> list[int]:
+        return [
+            i for i in range(len(self.node.inputs)) if i not in self._closed_inputs
+        ]
+
+    def _emit(self, tuples: list[StreamTuple]) -> None:
+        for t in tuples:
+            self.stats.tuples_out += 1
+            for stream in self.node.route(t):
+                if self._stop_event is None:
+                    stream.put(t)
+                    continue
+                # Cooperative shutdown: a downstream consumer may already
+                # have exited without draining; never block forever on a
+                # full queue once stop was requested — drop instead.
+                while not stream.put(t, timeout=0.1):
+                    if self._stop_event.is_set():
+                        break
+
+    def handle(self, input_index: int, item: object) -> None:
+        """Process one item (data tuple or EOS marker) from one input."""
+        node = self.node
+        if item is END_OF_STREAM:
+            if input_index in self._closed_inputs:
+                return
+            self._closed_inputs.add(input_index)
+            if node.kind == "operator":
+                self._run_operator(node.operator.on_input_closed, input_index)
+            if len(self._closed_inputs) == len(node.inputs):
+                self.finalize()
+            return
+        self.stats.tuples_in += 1
+        started = time.perf_counter()
+        if node.kind == "operator":
+            self._run_operator(node.operator.process, input_index, item)
+        elif node.kind == "sink":
+            node.sink.accept(item)
+        self.stats.processing_seconds += time.perf_counter() - started
+
+    def _run_operator(self, fn, *args: object) -> None:
+        try:
+            outputs = fn(*args)
+        except Exception as exc:
+            raise OperatorError(self.node.name, exc) from exc
+        if outputs:
+            self._emit(outputs)
+
+    def finalize(self) -> None:
+        """Flush remaining state and propagate EOS downstream (idempotent)."""
+        if self._finalized:
+            return
+        self._finalized = True
+        node = self.node
+        if node.kind == "operator":
+            self._run_operator(node.operator.on_close)
+        elif node.kind == "sink":
+            node.sink.on_close()
+        for stream in node.outputs:
+            stream.put(END_OF_STREAM)
+
+
+class SynchronousScheduler:
+    """Deterministic single-threaded drain in topological order."""
+
+    def __init__(self, batch_size: int = 256) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self._batch_size = batch_size
+
+    def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
+        executors = [NodeExecutor(node) for node in nodes]
+        source_iters = {
+            ex.node.name: iter(ex.node.source)
+            for ex in executors
+            if ex.node.kind == "source"
+        }
+        while True:
+            progressed = False
+            for ex in executors:
+                if ex.finalized:
+                    continue
+                if ex.node.kind == "source":
+                    progressed |= self._step_source(ex, source_iters)
+                else:
+                    progressed |= self._step_consumer(ex)
+            if not progressed and all(ex.finalized for ex in executors):
+                return {ex.node.name: ex.stats for ex in executors}
+            if not progressed:
+                # No data moved but someone is unfinalized: only possible if
+                # an upstream EOS has not been consumed yet; loop once more.
+                if not any(self._step_consumer(ex) for ex in executors if not ex.finalized):
+                    unfinished = [ex.node.name for ex in executors if not ex.finalized]
+                    if unfinished and all(
+                        ex.node.kind != "source" for ex in executors if not ex.finalized
+                    ):
+                        raise RuntimeError(f"query stalled; unfinished nodes: {unfinished}")
+
+    def _step_source(self, ex: NodeExecutor, source_iters: dict) -> bool:
+        iterator = source_iters[ex.node.name]
+        progressed = False
+        for _ in range(self._batch_size):
+            t = next(iterator, None)
+            if t is None:
+                ex.finalize()
+                return True
+            ex.stats.tuples_out += 1
+            for stream in ex.node.route(t):
+                stream.put(t)
+            progressed = True
+        return progressed
+
+    def _step_consumer(self, ex: NodeExecutor) -> bool:
+        progressed = False
+        for index in list(ex.open_inputs):
+            stream = ex.node.inputs[index]
+            for _ in range(self._batch_size):
+                item = stream.try_get()
+                if item is None:
+                    break
+                ex.handle(index, item)
+                progressed = True
+                if item is END_OF_STREAM:
+                    break
+        return progressed
+
+
+class ThreadedScheduler:
+    """Liebre-style execution: one thread per node, blocking bounded queues."""
+
+    def __init__(self, poll_timeout: float = 0.02) -> None:
+        self._poll_timeout = poll_timeout
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._error: list[BaseException] = []
+        self._error_lock = threading.Lock()
+
+    def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
+        """Run to completion (all sources exhausted, all sinks closed)."""
+        executors = self.start(nodes)
+        self.join()
+        return {ex.node.name: ex.stats for ex in executors}
+
+    def start(self, nodes: list[Node]) -> list[NodeExecutor]:
+        """Launch node threads; returns executors for metric access."""
+        self._stop.clear()
+        executors = [NodeExecutor(node, stop_event=self._stop) for node in nodes]
+        for ex in executors:
+            target = self._source_loop if ex.node.kind == "source" else self._consumer_loop
+            thread = threading.Thread(
+                target=self._guarded, args=(target, ex), name=f"spe-{ex.node.name}", daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+        return executors
+
+    def _guarded(self, target, ex: NodeExecutor) -> None:
+        try:
+            target(ex)
+        except BaseException as exc:  # propagate to join()
+            with self._error_lock:
+                self._error.append(exc)
+            self._stop.set()
+
+    def _source_loop(self, ex: NodeExecutor) -> None:
+        for t in ex.node.source:
+            if self._stop.is_set():
+                break
+            ex.stats.tuples_out += 1
+            for stream in ex.node.route(t):
+                while not stream.put(t, timeout=0.2):
+                    if self._stop.is_set():
+                        return
+        ex.finalize()
+
+    def _consumer_loop(self, ex: NodeExecutor) -> None:
+        while not ex.finalized and not self._stop.is_set():
+            moved = False
+            for index in list(ex.open_inputs):
+                stream = ex.node.inputs[index]
+                item = stream.try_get()
+                if item is None:
+                    continue
+                ex.handle(index, item)
+                moved = True
+            if not moved and not ex.finalized:
+                self._block_on_any_input(ex)
+        if self._stop.is_set() and not ex.finalized:
+            # Cooperative shutdown: propagate EOS so downstream exits too.
+            ex.finalize()
+
+    def _block_on_any_input(self, ex: NodeExecutor) -> None:
+        open_inputs = ex.open_inputs
+        if not open_inputs:
+            return
+        # Block briefly on the first open input; the timeout bounds how long
+        # we ignore the other inputs and the stop flag.
+        stream = ex.node.inputs[open_inputs[0]]
+        item = stream.get(timeout=self._poll_timeout)
+        if item is not None:
+            ex.handle(open_inputs[0], item)
+
+    def stop(self) -> None:
+        """Request cooperative shutdown of all node threads."""
+        self._stop.set()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait for every node thread; re-raise the first node error."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        with self._error_lock:
+            if self._error:
+                raise self._error[0]

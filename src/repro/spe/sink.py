@@ -1,0 +1,131 @@
+"""Sinks: where query results leave the system.
+
+Sinks deliver results to the expert (§2) and are also the measurement
+point for end-to-end latency: each accepted tuple's ``ingest_time`` marks
+when all of its contributing data was available, so the sink records
+``now - ingest_time`` per result — the paper's latency definition (§3).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from .metrics import LatencyRecorder, ThroughputMeter
+from .tuples import StreamTuple
+
+
+class Sink(ABC):
+    """Base class for result consumers."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latency = LatencyRecorder()
+        self.throughput = ThroughputMeter()
+
+    def accept(self, t: StreamTuple) -> None:
+        """Record metrics, then hand the tuple to the concrete sink."""
+        self.latency.record(t.latency_from(time.monotonic()))
+        self.throughput.add()
+        self.consume(t)
+
+    @abstractmethod
+    def consume(self, t: StreamTuple) -> None:
+        """Deliver one result tuple."""
+
+    def on_close(self) -> None:
+        """Called when the query finished feeding this sink."""
+        self.throughput.stop()
+
+
+class CollectingSink(Sink):
+    """Buffers every result for later inspection (tests, benches)."""
+
+    def __init__(self, name: str = "collect") -> None:
+        super().__init__(name)
+        self._results: list[StreamTuple] = []
+        self._lock = threading.Lock()
+
+    def consume(self, t: StreamTuple) -> None:
+        with self._lock:
+            self._results.append(t)
+
+    @property
+    def results(self) -> list[StreamTuple]:
+        with self._lock:
+            return list(self._results)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._results)
+
+
+class CallbackSink(Sink):
+    """Invokes a user callback per result (the 'expert' integration point)."""
+
+    def __init__(self, name: str, fn: Callable[[StreamTuple], None]) -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def consume(self, t: StreamTuple) -> None:
+        self._fn(t)
+
+
+class NullSink(Sink):
+    """Discards results but still records metrics (pure benchmarking)."""
+
+    def __init__(self, name: str = "null") -> None:
+        super().__init__(name)
+
+    def consume(self, t: StreamTuple) -> None:
+        return None
+
+
+class DeadlineSink(Sink):
+    """Decorates another sink with a QoS deadline check.
+
+    §3 notes that "there might be strict QoS deadlines indicating the
+    maximum latency tolerated in producing a certain result" — for PBF-LB,
+    the ~3 s recoat gap. Every result whose end-to-end latency exceeds
+    ``qos_seconds`` is counted and reported to ``on_violation`` (with the
+    offending tuple and its latency) before being forwarded to the inner
+    sink, so an operator console can alarm on missed deadlines.
+    """
+
+    def __init__(
+        self,
+        inner: Sink,
+        qos_seconds: float,
+        on_violation: Callable[[StreamTuple, float], None] | None = None,
+    ) -> None:
+        if qos_seconds <= 0:
+            raise ValueError("qos_seconds must be positive")
+        super().__init__(f"qos[{inner.name}]")
+        self._inner = inner
+        self._qos = qos_seconds
+        self._on_violation = on_violation
+        self.violations = 0
+        self.delivered = 0
+
+    @property
+    def inner(self) -> Sink:
+        return self._inner
+
+    @property
+    def violation_rate(self) -> float:
+        return self.violations / self.delivered if self.delivered else 0.0
+
+    def consume(self, t: StreamTuple) -> None:
+        latency = t.latency_from(time.monotonic())
+        self.delivered += 1
+        if latency > self._qos:
+            self.violations += 1
+            if self._on_violation is not None:
+                self._on_violation(t, latency)
+        self._inner.accept(t)
+
+    def on_close(self) -> None:
+        self._inner.on_close()
+        super().on_close()

@@ -1,0 +1,125 @@
+"""Streams: bounded queues connecting operators.
+
+Liebre connects operators through bounded in-memory queues; a full queue
+blocks the producer, which is how back-pressure propagates upstream to the
+sources. ``END_OF_STREAM`` is a control marker a producer appends when it
+will emit nothing more; multi-producer streams count markers until all
+producers are done.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+
+class EndOfStream:
+    """Sentinel marking that one producer of a stream has finished."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<END_OF_STREAM>"
+
+
+END_OF_STREAM = EndOfStream()
+
+
+class Stream:
+    """Thread-safe bounded FIFO carrying tuples between two query nodes."""
+
+    def __init__(self, name: str, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("stream capacity must be positive")
+        self.name = name
+        self._capacity = capacity
+        self._items: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._producers_done = 0
+        self._num_producers = 1
+        self.produced = 0
+        self.consumed = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def set_num_producers(self, count: int) -> None:
+        """Declare how many EOS markers close the stream (default 1)."""
+        if count < 1:
+            raise ValueError("a stream needs at least one producer")
+        self._num_producers = count
+
+    def put(self, item: Any, timeout: float | None = None) -> bool:
+        """Append one item, blocking while full (back-pressure).
+
+        Returns False only if ``timeout`` elapsed with the queue still full.
+        EOS markers bypass the capacity check so shutdown never deadlocks.
+        """
+        with self._not_full:
+            if item is END_OF_STREAM:
+                self._producers_done += 1
+                if self._producers_done >= self._num_producers:
+                    self._items.append(END_OF_STREAM)
+                    self._not_empty.notify_all()
+                return True
+            while len(self._items) >= self._capacity:
+                if not self._not_full.wait(timeout):
+                    return False
+            self._items.append(item)
+            self.produced += 1
+            self._not_empty.notify()
+            return True
+
+    def get(self, timeout: float | None = None) -> Any | None:
+        """Pop one item, blocking while empty; ``None`` on timeout.
+
+        The EOS marker is returned (once) when all producers finished, and
+        left visible to subsequent calls so multiple pollers see it.
+        """
+        with self._not_empty:
+            while not self._items:
+                if not self._not_empty.wait(timeout):
+                    return None
+            item = self._items[0]
+            if item is END_OF_STREAM:
+                return END_OF_STREAM
+            self._items.popleft()
+            self.consumed += 1
+            self._not_full.notify()
+            return item
+
+    def try_get(self) -> Any | None:
+        """Non-blocking pop; ``None`` when empty."""
+        return self.get(timeout=0.0)
+
+    def drain(self, max_items: int | None = None) -> list[Any]:
+        """Pop up to ``max_items`` data items without blocking."""
+        out: list[Any] = []
+        with self._not_empty:
+            while self._items and (max_items is None or len(out) < max_items):
+                if self._items[0] is END_OF_STREAM:
+                    break
+                out.append(self._items.popleft())
+                self.consumed += 1
+            if out:
+                self._not_full.notify_all()
+        return out
+
+    def _closed(self) -> bool:
+        return bool(self._items) and self._items[0] is END_OF_STREAM
+
+    def at_eos(self) -> bool:
+        """True when the next visible item is the end-of-stream marker."""
+        with self._lock:
+            return self._closed()
+
+    def __len__(self) -> int:
+        with self._lock:
+            count = len(self._items)
+            if count and self._items[0] is END_OF_STREAM:
+                count -= 1
+            return count

@@ -1,0 +1,139 @@
+"""Stream tuples: the unit of data flowing through queries.
+
+The paper's tuple model (§2) has two parts: *metadata* carrying the event
+timestamp ``tau`` plus other sub-attributes, and a *payload* of key-value
+sub-attributes. STRATA fixes the metadata schema to
+``(tau, job, layer, specimen, portion)`` (Table 1); ``specimen``/``portion``
+are ``None`` until a ``partition`` step assigns them.
+
+``ingest_time`` is not part of the paper's logical schema: it records the
+wall-clock instant at which the datum entered the system and is carried
+through every derived tuple so sinks can measure end-to-end latency exactly
+as the paper defines it (time from *all inputs available* to result).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping
+
+# Default identifiers used when no partition function has run yet: the whole
+# layer is treated as a single specimen/portion (paper, Table 1 `partition`).
+WHOLE_SPECIMEN = "__whole__"
+WHOLE_PORTION = "__whole__"
+
+
+class StreamTuple:
+    """Immutable-by-convention record with metadata and payload."""
+
+    __slots__ = ("tau", "job", "layer", "specimen", "portion", "payload", "ingest_time")
+
+    def __init__(
+        self,
+        tau: float,
+        job: str,
+        layer: int,
+        payload: Mapping[str, Any] | None = None,
+        specimen: str | None = None,
+        portion: str | None = None,
+        ingest_time: float | None = None,
+    ) -> None:
+        self.tau = float(tau)
+        self.job = job
+        self.layer = int(layer)
+        self.specimen = specimen
+        self.portion = portion
+        self.payload: dict[str, Any] = dict(payload or {})
+        self.ingest_time = time.monotonic() if ingest_time is None else ingest_time
+
+    # -- derivation helpers (keep lineage: ingest_time is inherited) ------
+
+    def derive(
+        self,
+        payload: Mapping[str, Any] | None = None,
+        tau: float | None = None,
+        specimen: str | None = None,
+        portion: str | None = None,
+        layer: int | None = None,
+    ) -> "StreamTuple":
+        """Create a downstream tuple inheriting metadata not overridden."""
+        return StreamTuple(
+            tau=self.tau if tau is None else tau,
+            job=self.job,
+            layer=self.layer if layer is None else layer,
+            payload=self.payload if payload is None else payload,
+            specimen=self.specimen if specimen is None else specimen,
+            portion=self.portion if portion is None else portion,
+            ingest_time=self.ingest_time,
+        )
+
+    @staticmethod
+    def fused(
+        left: "StreamTuple", right: "StreamTuple", tau: float | None = None
+    ) -> "StreamTuple":
+        """Concatenate two tuples' payloads (the `fuse` output schema).
+
+        The fused tuple's ``ingest_time`` is the *latest* of the two inputs:
+        latency counts from the moment all contributing data was available.
+        Duplicate payload keys violate the API contract (Table 1) and raise.
+        """
+        overlap = left.payload.keys() & right.payload.keys()
+        if overlap:
+            raise ValueError(f"fuse requires unique payload keys; duplicates: {sorted(overlap)}")
+        merged = {**left.payload, **right.payload}
+        return StreamTuple(
+            tau=left.tau if tau is None else tau,
+            job=left.job,
+            layer=left.layer,
+            payload=merged,
+            specimen=left.specimen if left.specimen is not None else right.specimen,
+            portion=left.portion if left.portion is not None else right.portion,
+            ingest_time=max(left.ingest_time, right.ingest_time),
+        )
+
+    def latency_from(self, now: float | None = None) -> float:
+        """Seconds elapsed since this tuple's data became available."""
+        if now is None:
+            now = time.monotonic()
+        return now - self.ingest_time
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        keys = ",".join(sorted(self.payload))
+        return (
+            f"StreamTuple(tau={self.tau:.3f}, job={self.job!r}, layer={self.layer}, "
+            f"specimen={self.specimen!r}, portion={self.portion!r}, payload_keys=[{keys}])"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, StreamTuple):
+            return NotImplemented
+        return (
+            self.tau == other.tau
+            and self.job == other.job
+            and self.layer == other.layer
+            and self.specimen == other.specimen
+            and self.portion == other.portion
+            and _payload_equal(self.payload, other.payload)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.tau, self.job, self.layer, self.specimen, self.portion))
+
+
+def _payload_equal(a: dict[str, Any], b: dict[str, Any]) -> bool:
+    if a.keys() != b.keys():
+        return False
+    for key, value in a.items():
+        other = b[key]
+        try:
+            import numpy as np
+
+            if isinstance(value, np.ndarray) or isinstance(other, np.ndarray):
+                if not np.array_equal(value, other):
+                    return False
+                continue
+        except ImportError:  # pragma: no cover
+            pass
+        if value != other:
+            return False
+    return True

@@ -1,0 +1,43 @@
+"""Event-time progress tracking.
+
+Stateful operators (Aggregate, Join) must know when an event-time window
+can no longer receive tuples. Each input's watermark is the highest ``tau``
+observed minus an allowed out-of-orderness slack; an operator's watermark
+is the minimum across its inputs, so a slow input holds results back rather
+than letting them be emitted incomplete.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class WatermarkTracker:
+    """Minimum-across-inputs watermark with per-input slack."""
+
+    def __init__(self, num_inputs: int, slack: float = 0.0) -> None:
+        if num_inputs < 1:
+            raise ValueError("need at least one input")
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        self._slack = slack
+        self._per_input = [-math.inf] * num_inputs
+
+    def observe(self, input_index: int, tau: float) -> float:
+        """Record an event time on one input; returns the new watermark."""
+        if tau > self._per_input[input_index]:
+            self._per_input[input_index] = tau
+        return self.watermark
+
+    def close_input(self, input_index: int) -> float:
+        """Mark one input as finished (it no longer holds the watermark)."""
+        self._per_input[input_index] = math.inf
+        return self.watermark
+
+    @property
+    def watermark(self) -> float:
+        """Largest event time below which no more tuples are expected."""
+        low = min(self._per_input)
+        if math.isinf(low):
+            return low
+        return low - self._slack

@@ -1,0 +1,92 @@
+"""Defect seeding: determinism, geometry, risk weighting."""
+
+import pytest
+
+from repro.am import (
+    COLD,
+    HOT,
+    DefectRegion,
+    defects_in_layer,
+    rotating_schedule,
+    seed_defects,
+    standard_layout,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    specimens = standard_layout()
+    scans = rotating_schedule(23)
+    return specimens, scans
+
+
+def test_deterministic_for_seed(setup):
+    specimens, scans = setup
+    a = seed_defects(specimens, scans, seed=42)
+    b = seed_defects(specimens, scans, seed=42)
+    assert a == b
+    c = seed_defects(specimens, scans, seed=43)
+    assert a != c
+
+
+def test_zero_rate_means_no_defects(setup):
+    specimens, scans = setup
+    assert seed_defects(specimens, scans, seed=1, base_rate_per_stack=0.0) == []
+
+
+def test_defects_inside_their_specimen(setup):
+    specimens, scans = setup
+    by_id = {s.specimen_id: s for s in specimens}
+    for defect in seed_defects(specimens, scans, seed=7):
+        footprint = by_id[defect.specimen_id].footprint
+        assert footprint.contains(defect.center_x_mm, defect.center_y_mm)
+        assert 0.0 <= defect.center_z_mm <= 23.0
+
+
+def test_kinds_and_signs(setup):
+    specimens, scans = setup
+    defects = seed_defects(specimens, scans, seed=7)
+    assert defects, "expected some defects at the default rate"
+    for defect in defects:
+        if defect.kind == COLD:
+            assert defect.intensity_delta < 0
+        else:
+            assert defect.kind == HOT
+            assert defect.intensity_delta > 0
+
+
+def test_radius_profile_ellipsoidal():
+    defect = DefectRegion(
+        defect_id="D", specimen_id="S", kind=HOT,
+        center_x_mm=0, center_y_mm=0, center_z_mm=5.0,
+        radius_mm=2.0, half_depth_mm=1.0, intensity_delta=0.3,
+    )
+    assert defect.radius_at(5.0) == pytest.approx(2.0)  # widest at center
+    assert defect.radius_at(4.0) == 0.0  # vertical extent boundary
+    assert defect.radius_at(6.1) == 0.0
+    mid = defect.radius_at(5.5)
+    assert 0 < mid < 2.0
+    assert defect.covers_layer(5.5)
+    assert not defect.covers_layer(7.0)
+
+
+def test_defects_in_layer_filters(setup):
+    specimens, scans = setup
+    defects = seed_defects(specimens, scans, seed=7)
+    layer = defects_in_layer(defects, 0.5)
+    assert all(d.covers_layer(0.5) for d in layer)
+    assert len(layer) <= len(defects)
+
+
+def test_risk_weighting_shapes_distribution(setup):
+    """High-risk stacks must accumulate clearly more defects."""
+    specimens, scans = setup
+    defects = seed_defects(specimens, scans, seed=11, base_rate_per_stack=2.0)
+    from repro.am import defect_risk
+
+    high_risk_stacks = {s.stack_index for s in scans if defect_risk(s) > 0.8}
+    low_risk_stacks = {s.stack_index for s in scans if defect_risk(s) < 0.2}
+    by_stack = lambda stacks: sum(  # noqa: E731
+        1 for d in defects if int(d.center_z_mm) in stacks
+    )
+    assert by_stack(high_risk_stacks) > 2 * max(1, by_stack(low_risk_stacks))

@@ -1,0 +1,51 @@
+"""Plate geometry and unit conversions."""
+
+import pytest
+
+from repro.am import PLATE_MM, Rect, mm_to_px, px_to_mm
+
+
+def test_rect_properties():
+    r = Rect(10, 20, 35, 70)
+    assert r.width == 25
+    assert r.height == 50
+    assert r.center == (22.5, 45)
+    assert r.area == 1250
+
+
+def test_rect_inverted_rejected():
+    with pytest.raises(ValueError):
+        Rect(10, 0, 5, 10)
+
+
+def test_contains_half_open():
+    r = Rect(0, 0, 10, 10)
+    assert r.contains(0, 0)
+    assert r.contains(9.99, 9.99)
+    assert not r.contains(10, 5)
+    assert not r.contains(-0.1, 5)
+
+
+def test_intersects():
+    a = Rect(0, 0, 10, 10)
+    assert a.intersects(Rect(5, 5, 15, 15))
+    assert not a.intersects(Rect(10, 0, 20, 10))  # touching edges don't overlap
+    assert not a.intersects(Rect(20, 20, 30, 30))
+
+
+def test_to_pixels_scale():
+    r = Rect(0, 0, 125, 250)
+    r0, r1, c0, c1 = r.to_pixels(1000, plate_mm=250)
+    assert (r0, r1, c0, c1) == (0, 1000, 0, 500)
+
+
+def test_to_pixels_clipped():
+    r = Rect(-10, -10, 300, 300)
+    r0, r1, c0, c1 = r.to_pixels(100, plate_mm=250)
+    assert (r0, c0) == (0, 0)
+    assert (r1, c1) == (100, 100)
+
+
+def test_mm_px_roundtrip():
+    assert px_to_mm(mm_to_px(12.5, 2000), 2000) == pytest.approx(12.5)
+    assert mm_to_px(PLATE_MM, 2000) == 2000

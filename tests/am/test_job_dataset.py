@@ -1,0 +1,87 @@
+"""Print jobs and replayable datasets."""
+
+import numpy as np
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, ProcessParameters, make_job
+
+
+def test_make_job_paper_shape(test_job):
+    assert len(test_job.specimens) == 12
+    assert len(test_job.stack_scans) == 23
+    assert test_job.num_layers == 575  # 23 mm / 0.04 mm
+
+
+def test_z_and_stack_of_layer(test_job):
+    assert test_job.z_of_layer(0) == 0.0
+    assert test_job.z_of_layer(25) == pytest.approx(1.0)
+    assert test_job.stack_of_layer(0).stack_index == 0
+    assert test_job.stack_of_layer(25).stack_index == 1
+    assert test_job.stack_of_layer(574).stack_index == 22
+
+
+def test_layer_parameters_payload(test_job):
+    params = test_job.layer_parameters(3)
+    payload = params.as_payload()
+    assert payload["z_mm"] == pytest.approx(0.12)
+    assert payload["stack_index"] == 0
+    assert "specimen_map" in payload
+    assert len(payload["specimen_map"]) == 12
+    assert payload["param_material"] == "Ti-6Al-4V"
+    assert payload["param_energy_density_j_mm3"] > 0
+
+
+def test_energy_density_formula():
+    p = ProcessParameters(
+        laser_power_w=280, scan_speed_mm_s=1200, hatch_distance_mm=0.14,
+        layer_thickness_mm=0.04,
+    )
+    assert p.energy_density_j_mm3 == pytest.approx(280 / (1200 * 0.14 * 0.04))
+
+
+def test_shrunk_job():
+    job = make_job("small", specimen_height_mm=2.0)
+    assert job.num_layers == 50
+    assert len(job.stack_scans) == 2
+
+
+def test_dataset_records(test_job, renderer):
+    dataset = BuildDataset(test_job, renderer)
+    assert len(dataset) == 575
+    record = dataset.layer_record(5)
+    assert record.layer == 5
+    assert record.job_id == test_job.job_id
+    assert record.image.shape == (renderer.image_px, renderer.image_px)
+    assert record.truth_mask is None
+
+
+def test_dataset_truth_opt_in(test_job, renderer):
+    dataset = BuildDataset(test_job, renderer, with_truth=True)
+    record = dataset.layer_record(0)
+    assert record.truth_mask is not None
+    assert record.truth_mask.shape == record.image.shape
+
+
+def test_dataset_cache_returns_same_object(test_job, renderer):
+    dataset = BuildDataset(test_job, renderer, cache=True)
+    assert dataset.layer_record(1) is dataset.layer_record(1)
+
+
+def test_dataset_determinism(test_job):
+    a = BuildDataset(test_job, OTImageRenderer(image_px=200, seed=9)).layer_record(2)
+    b = BuildDataset(test_job, OTImageRenderer(image_px=200, seed=9)).layer_record(2)
+    assert np.array_equal(a.image, b.image)
+
+
+def test_dataset_bounds(test_job, renderer):
+    dataset = BuildDataset(test_job, renderer)
+    with pytest.raises(IndexError):
+        dataset.layer_record(575)
+    with pytest.raises(IndexError):
+        dataset.layer_record(-1)
+
+
+def test_records_iteration(test_job, renderer):
+    dataset = BuildDataset(test_job, renderer)
+    got = list(dataset.records(3, 6))
+    assert [r.layer for r in got] == [3, 4, 5]

@@ -1,0 +1,96 @@
+"""PBF-LB machine simulator: execution, pacing, control loop."""
+
+import pytest
+
+from repro.am import ControlHandle, OTImageRenderer, PBFLBMachine, make_job
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return PBFLBMachine(renderer=OTImageRenderer(image_px=200, seed=7))
+
+
+@pytest.fixture(scope="module")
+def small_job():
+    return make_job("J-small", seed=7, specimen_height_mm=0.4)  # 10 layers
+
+
+def test_run_completes_all_layers(machine, small_job):
+    seen = []
+    outcome = machine.run(small_job, on_layer=seen.append)
+    assert outcome.layers_completed == 10
+    assert outcome.total_layers == 10
+    assert not outcome.terminated_early
+    assert [r.layer for r in seen] == list(range(10))
+
+
+def test_max_layers_cap(machine, small_job):
+    outcome = machine.run(small_job, max_layers=4)
+    assert outcome.layers_completed == 4
+    assert outcome.total_layers == 4
+
+
+def test_early_termination_via_control(machine, small_job):
+    control = ControlHandle()
+    seen = []
+
+    def on_layer(record):
+        seen.append(record)
+        if record.layer == 2:
+            control.request_termination("cluster volume exceeded")
+
+    outcome = machine.run(small_job, control=control, on_layer=on_layer)
+    assert outcome.terminated_early
+    assert outcome.termination_reason == "cluster volume exceeded"
+    assert outcome.layers_completed == 3  # stops before the next layer
+
+
+def test_control_first_reason_wins():
+    control = ControlHandle()
+    control.request_termination("first")
+    control.request_termination("second")
+    assert control.reason == "first"
+
+
+def test_realtime_pacing_scaled(small_job):
+    machine = PBFLBMachine(
+        renderer=OTImageRenderer(image_px=200, seed=7),
+        recoat_gap_s=3.0,
+        time_scale=0.001,  # melt ~89 s/layer and 3 s recoat, 1000x compressed
+    )
+    expected_per_layer = machine.melt_time_s(small_job) * 0.001
+    outcome = machine.run(small_job, realtime=True, max_layers=3)
+    # 3 melts plus 2 recoat gaps, all scaled
+    assert outcome.wall_seconds >= 3 * expected_per_layer + 2 * 3.0 * 0.001
+
+
+def test_melt_time_positive(machine, small_job):
+    assert machine.melt_time_s(small_job) > 0
+
+
+def test_layer_stream(machine, small_job):
+    records = list(machine.layer_stream(small_job, max_layers=5))
+    assert [r.layer for r in records] == list(range(5))
+
+
+def test_invalid_time_scale():
+    with pytest.raises(ValueError):
+        PBFLBMachine(time_scale=0)
+
+
+def test_with_truth_flag(machine, small_job):
+    records = list(machine.layer_stream(small_job, max_layers=1, with_truth=True))
+    assert records[0].truth_mask is not None
+
+
+def test_run_stamps_completion_time(machine, small_job):
+    seen = []
+    machine.run(small_job, on_layer=seen.append, max_layers=3)
+    stamps = [r.completed_at for r in seen]
+    assert all(s is not None for s in stamps)
+    assert stamps == sorted(stamps)
+
+
+def test_layer_stream_has_no_stamp(machine, small_job):
+    records = list(machine.layer_stream(small_job, max_layers=2))
+    assert all(r.completed_at is None for r in records)

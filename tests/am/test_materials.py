@@ -1,0 +1,66 @@
+"""Powder material library and its couplings."""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    MATERIALS,
+    BuildDataset,
+    OTImageRenderer,
+    ProcessParameters,
+    default_parameters_for,
+    make_job,
+    material_for,
+)
+
+
+def test_library_contents():
+    assert {"Ti-6Al-4V", "IN718", "AlSi10Mg", "316L"} <= set(MATERIALS)
+    for material in MATERIALS.values():
+        low, high = material.process_window
+        assert low < material.nominal_energy_density < high
+        assert material.emissivity_scale > 0
+        assert material.defect_susceptibility > 0
+
+
+def test_material_for_known_and_fallback():
+    assert material_for(ProcessParameters(material="IN718")).name == "IN718"
+    assert material_for(ProcessParameters(material="unobtainium")).name == "Ti-6Al-4V"
+
+
+def test_window_position():
+    ti = MATERIALS["Ti-6Al-4V"]
+    low, high = ti.process_window
+    assert ti.window_position(low) == 0.0
+    assert ti.window_position(high) == 1.0
+    assert ti.in_window(ti.nominal_energy_density)
+    assert not ti.in_window(high + 1)
+
+
+def test_default_parameters_land_in_window():
+    for name, material in MATERIALS.items():
+        params = default_parameters_for(name)
+        assert params.material == name
+        assert params.energy_density_j_mm3 == pytest.approx(
+            material.nominal_energy_density, rel=0.01
+        )
+
+
+def test_emissivity_changes_rendered_brightness():
+    ti_job = make_job("ti", seed=3, process=default_parameters_for("Ti-6Al-4V"))
+    al_job = make_job("al", seed=3, process=default_parameters_for("AlSi10Mg"))
+    renderer = OTImageRenderer(image_px=200, seed=3)
+    ti_img = BuildDataset(ti_job, renderer).layer_record(0).image
+    al_img = BuildDataset(al_job, renderer).layer_record(0).image
+    fp = ti_job.specimens[0].footprint
+    r0, r1, c0, c1 = fp.to_pixels(200)
+    # aluminium emits less at its nominal energy density
+    assert al_img[r0:r1, c0:c1].mean() < ti_img[r0:r1, c0:c1].mean() - 20
+
+
+def test_susceptibility_scales_defect_count():
+    tough = make_job("t", seed=9, process=default_parameters_for("IN718"),
+                     defect_rate_per_stack=1.0)
+    fragile = make_job("f", seed=9, process=default_parameters_for("AlSi10Mg"),
+                       defect_rate_per_stack=1.0)
+    assert len(fragile.defects) > len(tough.defects)

@@ -1,0 +1,131 @@
+"""OT image synthesis: determinism, structure, ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    COLD,
+    HOT,
+    DefectRegion,
+    OTImageRenderer,
+    ProcessParameters,
+    StackScan,
+    standard_layout,
+)
+
+PX = 250
+
+
+@pytest.fixture(scope="module")
+def specimens():
+    return standard_layout()
+
+
+@pytest.fixture(scope="module")
+def scan():
+    return StackScan(0, 45.0)
+
+
+def render(specimens, scan, defects=(), seed=3, process=None, px=PX):
+    renderer = OTImageRenderer(image_px=px, seed=seed)
+    return renderer.render(0, 0.0, specimens, scan, list(defects), process)
+
+
+def test_shape_and_dtype(specimens, scan):
+    image = render(specimens, scan)
+    assert image.shape == (PX, PX)
+    assert image.dtype == np.uint8
+
+
+def test_deterministic_per_seed(specimens, scan):
+    a = render(specimens, scan, seed=5)
+    b = render(specimens, scan, seed=5)
+    c = render(specimens, scan, seed=6)
+    assert np.array_equal(a, b)
+    assert not np.array_equal(a, c)
+
+
+def test_melt_brighter_than_powder(specimens, scan):
+    image = render(specimens, scan)
+    fp = specimens[0].footprint
+    r0, r1, c0, c1 = fp.to_pixels(PX)
+    melt_mean = image[r0:r1, c0:c1].mean()
+    powder_mean = image[:10, :10].mean()
+    assert melt_mean > powder_mean + 50
+
+
+def test_cold_defect_darkens(specimens, scan):
+    defect = DefectRegion(
+        "D0", "S00", COLD,
+        center_x_mm=specimens[0].footprint.center[0],
+        center_y_mm=specimens[0].footprint.center[1],
+        center_z_mm=0.0, radius_mm=4.0, half_depth_mm=1.0, intensity_delta=-0.4,
+    )
+    clean = render(specimens, scan)
+    dirty = render(specimens, scan, [defect])
+    scale = PX / 250.0
+    cx = int(defect.center_x_mm * scale)
+    cy = int(defect.center_y_mm * scale)
+    patch = (slice(cy - 2, cy + 2), slice(cx - 2, cx + 2))
+    assert dirty[patch].mean() < clean[patch].mean() - 30
+
+
+def test_hot_defect_brightens(specimens, scan):
+    defect = DefectRegion(
+        "D0", "S00", HOT,
+        center_x_mm=specimens[0].footprint.center[0],
+        center_y_mm=specimens[0].footprint.center[1],
+        center_z_mm=0.0, radius_mm=4.0, half_depth_mm=1.0, intensity_delta=0.4,
+    )
+    clean = render(specimens, scan)
+    dirty = render(specimens, scan, [defect])
+    scale = PX / 250.0
+    cx = int(defect.center_x_mm * scale)
+    cy = int(defect.center_y_mm * scale)
+    patch = (slice(cy - 2, cy + 2), slice(cx - 2, cx + 2))
+    assert dirty[patch].mean() > clean[patch].mean() + 30
+
+
+def test_defect_outside_vertical_extent_invisible(specimens, scan):
+    defect = DefectRegion(
+        "D0", "S00", HOT,
+        center_x_mm=specimens[0].footprint.center[0],
+        center_y_mm=specimens[0].footprint.center[1],
+        center_z_mm=10.0, radius_mm=4.0, half_depth_mm=0.5, intensity_delta=0.4,
+    )
+    renderer = OTImageRenderer(image_px=PX, seed=3)
+    at_layer = renderer.render(0, 10.0, specimens, scan, [defect])
+    away = renderer.render(0, 0.0, specimens, scan, [defect])
+    clean = renderer.render(0, 0.0, specimens, scan, [])
+    assert np.array_equal(away, clean)
+    assert not np.array_equal(at_layer, clean)
+
+
+def test_energy_density_scales_brightness(specimens, scan):
+    low = ProcessParameters(laser_power_w=180.0)
+    high = ProcessParameters(laser_power_w=340.0)
+    dim = render(specimens, scan, process=low)
+    bright = render(specimens, scan, process=high)
+    fp = specimens[0].footprint
+    r0, r1, c0, c1 = fp.to_pixels(PX)
+    assert bright[r0:r1, c0:c1].mean() > dim[r0:r1, c0:c1].mean() + 20
+
+
+def test_ground_truth_mask_covers_defect(specimens):
+    defect = DefectRegion(
+        "D0", "S00", HOT,
+        center_x_mm=30.0, center_y_mm=30.0, center_z_mm=0.0,
+        radius_mm=5.0, half_depth_mm=1.0, intensity_delta=0.3,
+    )
+    renderer = OTImageRenderer(image_px=PX, seed=1)
+    mask = renderer.ground_truth_mask(0.0, [defect])
+    assert mask.dtype == bool
+    scale = PX / 250.0
+    assert mask[int(30 * scale), int(30 * scale)]
+    assert mask.sum() == pytest.approx(np.pi * (5 * scale) ** 2, rel=0.3)
+    assert not renderer.ground_truth_mask(5.0, [defect]).any()
+
+
+def test_image_px_validation():
+    with pytest.raises(ValueError):
+        OTImageRenderer(image_px=4)

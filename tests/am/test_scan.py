@@ -1,0 +1,45 @@
+"""Scan schedule and gas-flow risk model."""
+
+import pytest
+
+from repro.am import StackScan, defect_risk, rotating_schedule
+
+
+def test_angle_to_gas_flow_range():
+    for angle in range(0, 360, 5):
+        scan = StackScan(0, float(angle))
+        assert 0.0 <= scan.angle_to_gas_flow_deg <= 90.0
+
+
+def test_parallel_and_perpendicular():
+    # gas flow axis is vertical (270 deg); a 90-deg scan runs along it
+    assert StackScan(0, 90.0).angle_to_gas_flow_deg == pytest.approx(0.0)
+    assert StackScan(0, 270.0).angle_to_gas_flow_deg == pytest.approx(0.0)
+    assert StackScan(0, 0.0).angle_to_gas_flow_deg == pytest.approx(90.0)
+    assert StackScan(0, 180.0).angle_to_gas_flow_deg == pytest.approx(90.0)
+
+
+def test_risk_bounds_and_extremes():
+    risks = [defect_risk(StackScan(0, float(a))) for a in range(0, 180, 5)]
+    assert all(0.0 <= r <= 1.0 for r in risks)
+    assert defect_risk(StackScan(0, 90.0)) == pytest.approx(1.0)  # parallel: worst
+    assert defect_risk(StackScan(0, 0.0)) == pytest.approx(0.0)  # perpendicular: best
+
+
+def test_risk_monotone_from_perpendicular_to_parallel():
+    risks = [defect_risk(StackScan(0, float(a))) for a in range(0, 91, 5)]
+    assert risks == sorted(risks)
+
+
+def test_rotating_schedule_covers_range():
+    scans = rotating_schedule(23)
+    assert len(scans) == 23
+    assert [s.stack_index for s in scans] == list(range(23))
+    angles = {s.angle_deg for s in scans}
+    assert len(angles) >= 12  # sweeps a substantial angular range
+    assert all(0 <= s.angle_deg < 180 for s in scans)
+
+
+def test_schedule_starts_at_high_risk():
+    scans = rotating_schedule(23)
+    assert defect_risk(scans[0]) == pytest.approx(1.0)

@@ -1,0 +1,96 @@
+"""Mixed-geometry builds: rendering and job wiring."""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    BlockShape,
+    BuildDataset,
+    ConeShape,
+    CylinderShape,
+    OTImageRenderer,
+    PolygonShape,
+    make_shaped_job,
+)
+
+PX = 250
+
+
+@pytest.fixture(scope="module")
+def shaped_job():
+    return make_shaped_job("shaped", seed=7, defect_rate_per_stack=0.0)
+
+
+@pytest.fixture(scope="module")
+def dataset(shaped_job):
+    return BuildDataset(shaped_job, OTImageRenderer(image_px=PX, seed=7), cache=True)
+
+
+def test_layout_mixes_shapes(shaped_job):
+    kinds = [type(s.shape).__name__ if s.shape else "Block" for s in shaped_job.specimens]
+    assert "Block" in kinds
+    assert "CylinderShape" in kinds
+    assert "ConeShape" in kinds
+    assert "PolygonShape" in kinds
+
+
+def test_parameters_ship_shapes(shaped_job):
+    payload = shaped_job.layer_parameters(0).as_payload()
+    shapes = payload["specimen_shapes"]
+    assert set(shapes) == {s.specimen_id for s in shaped_job.specimens}
+    assert shapes["S00"] is None  # block slots ship no shape
+    assert isinstance(shapes["S01"], CylinderShape)
+
+
+def test_unshaped_job_ships_no_shapes(test_job):
+    assert "specimen_shapes" not in test_job.layer_parameters(0).as_payload()
+
+
+def test_cylinder_corners_stay_powder(shaped_job, dataset):
+    record = dataset.layer_record(2)
+    cylinder_specimen = shaped_job.specimens[1]
+    r0, r1, c0, c1 = cylinder_specimen.footprint.to_pixels(PX)
+    crop = record.image[r0:r1, c0:c1]
+    assert crop[:2, :2].mean() < 30  # powder corner
+    mid_r, mid_c = crop.shape[0] // 2, crop.shape[1] // 2
+    assert crop[mid_r - 1 : mid_r + 1, mid_c - 1 : mid_c + 1].mean() > 100  # melt
+
+
+def test_cone_section_shrinks_with_height(shaped_job, dataset):
+    cone_specimen = shaped_job.specimens[2]
+    assert isinstance(cone_specimen.shape, ConeShape)
+    r0, r1, c0, c1 = cone_specimen.footprint.to_pixels(PX)
+
+    def melted_px(layer):
+        crop = dataset.layer_record(layer).image[r0:r1, c0:c1]
+        return int((crop > 80).sum())
+
+    low = melted_px(0)
+    # 5 mm higher: 125 layers at 0.04 mm
+    high = melted_px(124)
+    assert high < low
+
+
+def test_blocks_render_like_unshaped(shaped_job, dataset, test_job, renderer):
+    """Slot 0 is a plain block: pixels must match the all-block build."""
+    record = dataset.layer_record(0)
+    reference = BuildDataset(
+        make_shaped_job("shaped-ref", seed=7, defect_rate_per_stack=0.0),
+        OTImageRenderer(image_px=PX, seed=7),
+    ).layer_record(0)
+    block = shaped_job.specimens[0]
+    r0, r1, c0, c1 = block.footprint.to_pixels(PX)
+    assert np.array_equal(record.image[r0:r1, c0:c1], reference.image[r0:r1, c0:c1])
+
+
+def test_defect_on_shaped_part_does_not_smudge_powder():
+    job = make_shaped_job("shaped-d", seed=7, defect_rate_per_stack=1.5)
+    clean = make_shaped_job("shaped-d", seed=7, defect_rate_per_stack=0.0)
+    renderer = OTImageRenderer(image_px=PX, seed=7)
+    dirty_img = BuildDataset(job, renderer).layer_record(3).image
+    clean_img = BuildDataset(clean, renderer).layer_record(3).image
+    # wherever the clean image is powder, the dirty one must be powder too
+    powder = clean_img < 25
+    assert np.abs(
+        dirty_img[powder].astype(int) - clean_img[powder].astype(int)
+    ).max() <= 1

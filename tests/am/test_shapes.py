@@ -1,0 +1,111 @@
+"""Cross-section shapes and rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.am import (
+    BlockShape,
+    ConeShape,
+    CylinderShape,
+    PolygonShape,
+    Rect,
+    shape_mask_px,
+)
+
+
+class TestBlockShape:
+    def test_contains_is_footprint(self):
+        shape = BlockShape(Rect(10, 10, 20, 30))
+        x = np.array([15.0, 5.0, 20.0])
+        y = np.array([20.0, 20.0, 20.0])
+        assert shape.contains(x, y, 0.0).tolist() == [True, False, False]
+
+    def test_bounding_rect(self):
+        rect = Rect(0, 0, 5, 5)
+        assert BlockShape(rect).bounding_rect() == rect
+
+
+class TestCylinderShape:
+    def test_contains_circle(self):
+        shape = CylinderShape(10, 10, 3)
+        assert shape.contains(np.array(10.0), np.array(10.0), 0.0)
+        assert shape.contains(np.array(13.0), np.array(10.0), 5.0)  # boundary
+        assert not shape.contains(np.array(13.1), np.array(10.0), 0.0)
+
+    def test_constant_with_height(self):
+        shape = CylinderShape(0, 0, 2)
+        for z in (0.0, 10.0, 100.0):
+            assert shape.contains(np.array(1.0), np.array(1.0), z)
+
+    def test_area(self):
+        shape = CylinderShape(10, 10, 3)
+        assert shape.area_at(0.0, samples=256) == pytest.approx(np.pi * 9, rel=0.05)
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            CylinderShape(0, 0, 0)
+
+
+class TestConeShape:
+    def test_radius_shrinks(self):
+        shape = ConeShape(0, 0, base_radius=4, height_mm=10, tip_fraction=0.5)
+        assert shape.radius_at(0) == 4.0
+        assert shape.radius_at(10) == pytest.approx(2.0)
+        assert shape.radius_at(5) == pytest.approx(3.0)
+        assert shape.radius_at(-1) == 0.0
+        assert shape.radius_at(11) == 0.0
+
+    def test_contains_narrows(self):
+        shape = ConeShape(0, 0, base_radius=4, height_mm=10, tip_fraction=0.0)
+        x, y = np.array(3.0), np.array(0.0)
+        assert shape.contains(x, y, 0.0)
+        assert not shape.contains(x, y, 9.0)
+
+    def test_closed_tip_empty_slice(self):
+        shape = ConeShape(0, 0, base_radius=4, height_mm=10, tip_fraction=0.0)
+        mask = shape.contains(np.zeros(3), np.zeros(3), 10.0)
+        assert not mask.any()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ConeShape(0, 0, 0, 10)
+        with pytest.raises(ValueError):
+            ConeShape(0, 0, 1, 10, tip_fraction=2.0)
+
+
+class TestPolygonShape:
+    def test_square(self):
+        shape = PolygonShape([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert shape.contains(np.array(5.0), np.array(5.0), 0.0)
+        assert not shape.contains(np.array(15.0), np.array(5.0), 0.0)
+
+    def test_concave_polygon(self):
+        # an L-shape: the notch must be outside
+        shape = PolygonShape([(0, 0), (10, 0), (10, 4), (4, 4), (4, 10), (0, 10)])
+        assert shape.contains(np.array(2.0), np.array(8.0), 0.0)
+        assert shape.contains(np.array(8.0), np.array(2.0), 0.0)
+        assert not shape.contains(np.array(8.0), np.array(8.0), 0.0)
+
+    def test_hexagon_area(self):
+        radius = 5.0
+        verts = [
+            (radius * np.cos(np.pi / 3 * k) + 10, radius * np.sin(np.pi / 3 * k) + 10)
+            for k in range(6)
+        ]
+        shape = PolygonShape(verts)
+        expected = 3 * np.sqrt(3) / 2 * radius**2
+        assert shape.area_at(0.0, samples=256) == pytest.approx(expected, rel=0.05)
+
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            PolygonShape([(0, 0), (1, 1)])
+
+
+def test_shape_mask_px_matches_geometry():
+    shape = CylinderShape(5.0, 5.0, 4.0)
+    # 1 px per mm over the 0..10mm window
+    mask = shape_mask_px(shape, 0.0, 0, 10, 0, 10, px_per_mm=1.0)
+    assert mask.shape == (10, 10)
+    assert mask[5, 5]
+    assert not mask[0, 0]
+    assert mask.sum() == pytest.approx(np.pi * 16, rel=0.2)

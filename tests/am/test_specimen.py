@@ -1,0 +1,77 @@
+"""Specimen layout matches the paper's build description."""
+
+import pytest
+
+from repro.am import (
+    CYLINDERS_PER_SPECIMEN,
+    PLATE_MM,
+    SPECIMEN_HEIGHT_MM,
+    SPECIMEN_LENGTH_MM,
+    SPECIMEN_WIDTH_MM,
+    Specimen,
+    specimen_map,
+    standard_layout,
+)
+
+
+def test_paper_layout_dimensions():
+    specimens = standard_layout()
+    assert len(specimens) == 12
+    for s in specimens:
+        assert s.footprint.width == SPECIMEN_WIDTH_MM  # 25 mm
+        assert s.footprint.height == SPECIMEN_LENGTH_MM  # 50 mm
+        assert s.height_mm == SPECIMEN_HEIGHT_MM  # 23 mm
+        assert s.num_stacks == 23
+        assert len(s.cylinders) == CYLINDERS_PER_SPECIMEN
+
+
+def test_layout_fits_plate():
+    for s in standard_layout():
+        fp = s.footprint
+        assert 0 <= fp.x_min < fp.x_max <= PLATE_MM
+        assert 0 <= fp.y_min < fp.y_max <= PLATE_MM
+
+
+def test_layout_no_overlaps():
+    specimens = standard_layout()
+    for i, a in enumerate(specimens):
+        for b in specimens[i + 1 :]:
+            assert not a.footprint.intersects(b.footprint)
+
+
+def test_layout_does_not_fit_raises():
+    with pytest.raises(ValueError, match="do not fit"):
+        standard_layout(num_specimens=100, columns=10)
+
+
+def test_cylinders_inside_footprint():
+    for s in standard_layout():
+        for cyl in s.cylinders:
+            assert s.footprint.contains(cyl.center_x, cyl.center_y)
+            assert s.footprint.contains(cyl.center_x - cyl.radius, cyl.center_y)
+            assert s.footprint.contains(cyl.center_x + cyl.radius - 1e-9, cyl.center_y)
+
+
+def test_stack_of_height():
+    s = standard_layout()[0]
+    assert s.stack_of_height(0.0) == 0
+    assert s.stack_of_height(0.999) == 0
+    assert s.stack_of_height(1.0) == 1
+    assert s.stack_of_height(22.9) == 22
+    with pytest.raises(ValueError):
+        s.stack_of_height(23.0)
+    with pytest.raises(ValueError):
+        s.stack_of_height(-0.1)
+
+
+def test_specimen_map_serializable():
+    specimens = standard_layout(num_specimens=3)
+    mapping = specimen_map(specimens)
+    assert set(mapping) == {"S00", "S01", "S02"}
+    x_min, y_min, x_max, y_max = mapping["S00"]
+    assert (x_max - x_min, y_max - y_min) == (25.0, 50.0)
+
+
+def test_custom_height():
+    specimens = standard_layout(num_specimens=2, height_mm=5.0)
+    assert specimens[0].num_stacks == 5

@@ -1,0 +1,82 @@
+"""Recoater-streak defect model."""
+
+import numpy as np
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.am.defects import RecoaterStreak, seed_recoater_streaks, streaks_in_layer
+
+
+def test_seed_deterministic():
+    a = seed_recoater_streaks(500, seed=5, expected_streaks_per_100_layers=2.0)
+    b = seed_recoater_streaks(500, seed=5, expected_streaks_per_100_layers=2.0)
+    assert a == b
+
+
+def test_seed_rate_scales_count():
+    few = seed_recoater_streaks(500, seed=5, expected_streaks_per_100_layers=0.5)
+    many = seed_recoater_streaks(500, seed=5, expected_streaks_per_100_layers=8.0)
+    assert len(many) > len(few)
+
+
+def test_seeded_geometry_valid():
+    for streak in seed_recoater_streaks(500, seed=9, expected_streaks_per_100_layers=4.0):
+        assert 0 <= streak.first_layer <= streak.last_layer < 500
+        assert streak.x_start_mm < streak.x_end_mm
+        assert streak.width_mm > 0
+        assert streak.intensity_delta < 0
+        assert 0 <= streak.y_mm <= 250
+
+
+def test_covers_layer():
+    streak = RecoaterStreak("R", 100.0, 0.0, 250.0, 0.5, 10, 14, -0.2)
+    assert not streak.covers_layer(9)
+    assert streak.covers_layer(10)
+    assert streak.covers_layer(14)
+    assert not streak.covers_layer(15)
+    assert streaks_in_layer([streak], 12) == [streak]
+    assert streaks_in_layer([streak], 20) == []
+
+
+def test_invalid_geometry_rejected():
+    with pytest.raises(ValueError):
+        RecoaterStreak("R", 0, 10.0, 5.0, 0.5, 0, 1, -0.2)
+    with pytest.raises(ValueError):
+        RecoaterStreak("R", 0, 0.0, 5.0, 0.5, 3, 1, -0.2)
+    with pytest.raises(ValueError):
+        RecoaterStreak("R", 0, 0.0, 5.0, 0.0, 0, 1, -0.2)
+
+
+def test_streak_darkens_melt_not_powder():
+    job = make_job("s", seed=3, defect_rate_per_stack=0.0)
+    job.streaks = [RecoaterStreak("R", 125.0, 0.0, 250.0, 1.0, 0, 5, -0.3)]
+    renderer = OTImageRenderer(image_px=250, seed=3)
+    with_streak = BuildDataset(job, renderer).layer_record(2).image
+
+    clean = make_job("s", seed=3, defect_rate_per_stack=0.0)
+    without = BuildDataset(clean, renderer).layer_record(2).image
+
+    band = slice(124, 127)
+    diff = without[band].astype(int) - with_streak[band].astype(int)
+    melted = without[band] > 60
+    assert diff[melted].mean() > 30  # melt darkened
+    assert np.abs(diff[~melted]).max() <= 1  # powder untouched
+    # rows away from the streak identical
+    assert np.array_equal(with_streak[:120], without[:120])
+
+
+def test_streak_absent_outside_layer_span():
+    job = make_job("s", seed=3, defect_rate_per_stack=0.0)
+    job.streaks = [RecoaterStreak("R", 125.0, 0.0, 250.0, 1.0, 3, 5, -0.3)]
+    renderer = OTImageRenderer(image_px=250, seed=3)
+    dataset = BuildDataset(job, renderer)
+    clean = make_job("s", seed=3, defect_rate_per_stack=0.0)
+    clean_img = BuildDataset(clean, renderer).layer_record(0).image
+    assert np.array_equal(dataset.layer_record(0).image, clean_img)
+
+
+def test_make_job_streak_rate():
+    job = make_job("s", seed=5, streak_rate_per_100_layers=5.0)
+    assert len(job.streaks) > 0
+    default = make_job("s", seed=5)
+    assert default.streaks == []

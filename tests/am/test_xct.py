@@ -1,0 +1,95 @@
+"""Simulated XCT scanning of witness cylinders."""
+
+import numpy as np
+import pytest
+
+from repro.am import COLD, DefectRegion, make_job, scan_cylinder, scan_job
+from repro.am.xct import _disc_overlap_fraction
+
+
+def defect_at(specimen, x, y, z, radius=3.0, half_depth=0.5):
+    return DefectRegion(
+        defect_id="D", specimen_id=specimen.specimen_id, kind=COLD,
+        center_x_mm=x, center_y_mm=y, center_z_mm=z,
+        radius_mm=radius, half_depth_mm=half_depth, intensity_delta=-0.3,
+    )
+
+
+@pytest.fixture(scope="module")
+def job():
+    return make_job("xct", seed=7, defect_rate_per_stack=0.0)
+
+
+def test_clean_cylinder_zero_porosity(job):
+    profile = scan_cylinder(job.specimens[0], 0, [])
+    assert profile.num_bins == 23
+    assert all(p == 0.0 for p in profile.porosity)
+    assert profile.mean_porosity == 0.0
+
+
+def test_enclosing_defect_gives_max_porosity(job):
+    specimen = job.specimens[0]
+    cylinder = specimen.cylinders[1]
+    defect = defect_at(
+        specimen, cylinder.center_x, cylinder.center_y, 5.5,
+        radius=10.0, half_depth=0.51,
+    )
+    profile = scan_cylinder(specimen, 1, [defect], porosity_per_defect_overlap=0.35)
+    bin5 = profile.porosity[5]
+    assert bin5 == pytest.approx(0.35, rel=0.1)
+    assert profile.porosity[0] == 0.0
+    assert profile.porosity[10] == 0.0
+
+
+def test_offset_defect_partial_overlap(job):
+    specimen = job.specimens[0]
+    cylinder = specimen.cylinders[0]
+    # defect centered one radius away: partial overlap only
+    defect = defect_at(
+        specimen, cylinder.center_x + cylinder.radius, cylinder.center_y, 5.5,
+        radius=cylinder.radius, half_depth=0.51,
+    )
+    profile = scan_cylinder(specimen, 0, [defect])
+    assert 0.0 < profile.porosity[5] < 0.35
+
+
+def test_defect_in_other_specimen_ignored(job):
+    foreign = defect_at(job.specimens[1], 0.0, 0.0, 5.0, radius=50.0, half_depth=20.0)
+    profile = scan_cylinder(job.specimens[0], 0, [foreign])
+    assert profile.mean_porosity == 0.0
+
+
+def test_overlap_fraction_bounds(job):
+    cylinder = job.specimens[0].cylinders[0]
+    far = defect_at(job.specimens[0], cylinder.center_x + 100, cylinder.center_y, 0.0)
+    assert _disc_overlap_fraction(cylinder, far, 0.0) == 0.0
+    covering = defect_at(
+        job.specimens[0], cylinder.center_x, cylinder.center_y, 0.0, radius=50.0
+    )
+    assert _disc_overlap_fraction(cylinder, covering, 0.0) == pytest.approx(1.0)
+
+
+def test_scan_job_covers_all_cylinders(job):
+    profiles = scan_job(job)
+    assert len(profiles) == 12 * 3
+    assert {p.specimen_id for p in profiles} == {s.specimen_id for s in job.specimens}
+
+
+def test_scan_job_truncation(job):
+    profiles = scan_job(job, max_height_mm=5.0)
+    assert all(p.num_bins == 5 for p in profiles)
+
+
+def test_seeded_job_porosity_tracks_defects():
+    defective = make_job("d", seed=7, defect_rate_per_stack=2.0)
+    clean = make_job("c", seed=7, defect_rate_per_stack=0.0)
+    porosity_defective = np.mean([p.mean_porosity for p in scan_job(defective)])
+    porosity_clean = np.mean([p.mean_porosity for p in scan_job(clean)])
+    assert porosity_defective > porosity_clean == 0.0
+
+
+def test_z_of_bin():
+    job = make_job("z", seed=1, defect_rate_per_stack=0.0)
+    profile = scan_cylinder(job.specimens[0], 0, [])
+    assert profile.z_of_bin(0) == 0.5
+    assert profile.z_of_bin(22) == 22.5

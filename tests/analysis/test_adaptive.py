@@ -1,0 +1,94 @@
+"""Adaptive threshold learner."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import AdaptiveThresholdLearner, ThermalThresholds
+
+TH = ThermalThresholds(100, 110, 150, 160)  # center 130, offsets -30/-20/+20/+30
+
+
+def test_initial_state_matches_seed():
+    learner = AdaptiveThresholdLearner(TH)
+    assert learner.current == TH
+    assert learner.center == 130.0
+    assert learner.updates == 0
+
+
+def test_update_recenters_but_keeps_widths():
+    learner = AdaptiveThresholdLearner(TH, alpha=1.0)
+    updated = learner.update(np.full(100, 120.0))
+    assert learner.center == pytest.approx(120.0)
+    assert updated.cold_below == pytest.approx(100.0)
+    assert updated.warm_above == pytest.approx(140.0)
+    assert updated.warm_above - updated.cold_below == pytest.approx(
+        TH.warm_above - TH.cold_below
+    )
+
+
+def test_alpha_zero_freezes():
+    learner = AdaptiveThresholdLearner(TH, alpha=0.0)
+    learner.update(np.full(50, 115.0))
+    assert learner.current == TH
+
+
+def test_ewma_blending():
+    learner = AdaptiveThresholdLearner(TH, alpha=0.5)
+    learner.update(np.full(50, 120.0))
+    assert learner.center == pytest.approx(125.0)
+
+
+def test_outliers_do_not_steer_baseline():
+    learner = AdaptiveThresholdLearner(TH, alpha=1.0)
+    # defect cells at 60 gray are outside the cold..warm band: excluded
+    means = np.concatenate([np.full(90, 130.0), np.full(10, 60.0)])
+    learner.update(means)
+    assert learner.center == pytest.approx(130.0)
+
+
+def test_all_outlier_layer_is_skipped():
+    learner = AdaptiveThresholdLearner(TH, alpha=1.0)
+    learner.update(np.full(20, 50.0))  # everything outside the band
+    assert learner.center == 130.0
+    assert learner.updates == 0
+
+
+def test_tracks_slow_drift():
+    learner = AdaptiveThresholdLearner(TH, alpha=0.3)
+    level = 130.0
+    for _ in range(60):
+        level -= 0.5  # slow drift, well within the band per step
+        learner.update(np.random.default_rng(0).normal(level, 1.0, 200))
+    assert learner.center == pytest.approx(level, abs=2.0)
+    # a healthy cell at the drifted level is not an event
+    assert learner.current.cold_below < level < learner.current.warm_above
+
+
+def test_invalid_alpha():
+    with pytest.raises(ValueError):
+        AdaptiveThresholdLearner(TH, alpha=1.5)
+
+
+def test_masked_cell_means():
+    from repro.analysis import masked_cell_means
+
+    image = np.array(
+        [
+            [100.0, 100.0, 0.0, 0.0],
+            [100.0, 100.0, 0.0, 0.0],
+            [50.0, 50.0, 80.0, 0.0],
+            [50.0, 50.0, 80.0, 0.0],
+        ]
+    )
+    mask = image > 0
+    means = masked_cell_means(image, mask, 2)
+    assert means[0, 0] == pytest.approx(100.0)  # fully covered
+    assert means[0, 1] == 0.0  # no part pixels
+    assert means[1, 1] == pytest.approx(80.0)  # half-covered: part-only mean
+
+
+def test_masked_cell_means_shape_mismatch():
+    from repro.analysis import masked_cell_means
+
+    with pytest.raises(ValueError):
+        masked_cell_means(np.zeros((4, 4)), np.zeros((2, 2), dtype=bool), 2)

@@ -1,0 +1,74 @@
+"""Cell-grid extraction."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Cell, cell_grid_shape, cell_means, extract_cells
+
+
+def test_cell_means_exact():
+    image = np.array(
+        [
+            [0, 0, 10, 10],
+            [0, 0, 10, 10],
+            [20, 20, 30, 30],
+            [20, 20, 30, 30],
+        ]
+    )
+    means = cell_means(image, 2)
+    assert means.tolist() == [[0.0, 10.0], [20.0, 30.0]]
+
+
+def test_cell_means_crops_remainder():
+    image = np.arange(25).reshape(5, 5)
+    means = cell_means(image, 2)
+    assert means.shape == (2, 2)  # 5//2 = 2; last row/col dropped
+
+
+def test_cell_means_whole_image_single_cell():
+    image = np.full((8, 8), 7.0)
+    means = cell_means(image, 8)
+    assert means.shape == (1, 1)
+    assert means[0, 0] == 7.0
+
+
+def test_cell_means_edge_one_is_identity():
+    image = np.arange(9).reshape(3, 3).astype(float)
+    assert np.array_equal(cell_means(image, 1), image)
+
+
+def test_cell_means_invalid_edge():
+    with pytest.raises(ValueError):
+        cell_means(np.zeros((4, 4)), 0)
+
+
+def test_cell_means_tiny_image():
+    means = cell_means(np.zeros((3, 3)), 4)
+    assert means.shape == (0, 0)
+
+
+def test_extract_cells_centers_in_global_coordinates():
+    image = np.zeros((4, 6))
+    cells = extract_cells(image, 2, origin_row=100, origin_col=200)
+    assert len(cells) == 2 * 3
+    first = cells[0]
+    assert isinstance(first, Cell)
+    assert first.center_y_px == 101.0
+    assert first.center_x_px == 201.0
+    last = cells[-1]
+    assert last.center_y_px == 103.0
+    assert last.center_x_px == 205.0
+
+
+def test_extract_cells_means_match_grid():
+    rng = np.random.default_rng(0)
+    image = rng.uniform(0, 255, size=(6, 6))
+    cells = extract_cells(image, 3)
+    means = cell_means(image, 3)
+    for cell in cells:
+        assert cell.mean_intensity == pytest.approx(means[cell.row, cell.col])
+
+
+def test_cell_grid_shape():
+    assert cell_grid_shape((400, 200), 20) == (20, 10)
+    assert cell_grid_shape((401, 219), 20) == (20, 10)

@@ -1,0 +1,63 @@
+"""Five-class thermal labeling."""
+
+import numpy as np
+
+from repro.analysis import (
+    ALL_LABELS,
+    COLD,
+    REGULAR,
+    ThermalThresholds,
+    VERY_COLD,
+    VERY_WARM,
+    WARM,
+    event_mask,
+    is_event,
+    label_cell,
+    label_grid,
+)
+
+TH = ThermalThresholds(100, 110, 150, 160)
+
+
+def test_label_cell_all_classes():
+    assert label_cell(90, TH) == VERY_COLD
+    assert label_cell(105, TH) == COLD
+    assert label_cell(130, TH) == REGULAR
+    assert label_cell(155, TH) == WARM
+    assert label_cell(170, TH) == VERY_WARM
+
+
+def test_label_cell_boundaries():
+    # boundaries are exclusive: exactly-at-threshold is the milder class
+    assert label_cell(100, TH) == COLD
+    assert label_cell(110, TH) == REGULAR
+    assert label_cell(150, TH) == REGULAR
+    assert label_cell(160, TH) == WARM
+
+
+def test_is_event_only_extremes():
+    assert is_event(VERY_COLD)
+    assert is_event(VERY_WARM)
+    assert not is_event(COLD)
+    assert not is_event(WARM)
+    assert not is_event(REGULAR)
+
+
+def test_label_grid_matches_scalar():
+    rng = np.random.default_rng(0)
+    means = rng.uniform(80, 180, size=(20, 20))
+    grid = label_grid(means, TH)
+    for row in range(20):
+        for col in range(20):
+            assert ALL_LABELS[grid[row, col]] == label_cell(means[row, col], TH)
+
+
+def test_event_mask_matches_is_event():
+    means = np.array([[90.0, 105.0, 130.0], [155.0, 170.0, 99.9]])
+    mask = event_mask(label_grid(means, TH))
+    assert mask.tolist() == [[True, False, False], [False, True, True]]
+
+
+def test_label_grid_empty():
+    grid = label_grid(np.empty((0, 0)), TH)
+    assert grid.shape == (0, 0)

@@ -1,0 +1,80 @@
+"""Threshold calibration and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ThermalThresholds,
+    calibrate_thresholds,
+    load_thresholds,
+    store_thresholds,
+    threshold_key,
+)
+
+
+def uniform_image(level, size=100, noise=3.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.clip(rng.normal(level, noise, (size, size)), 0, 255)
+
+
+def test_boundaries_must_increase():
+    with pytest.raises(ValueError):
+        ThermalThresholds(100, 90, 150, 160)
+    ThermalThresholds(80, 90, 150, 160)  # valid
+
+
+def test_calibration_centered_on_reference_mean():
+    images = [uniform_image(140, seed=i) for i in range(3)]
+    th = calibrate_thresholds(images, cell_edge_px=5)
+    assert th.very_cold_below < th.cold_below < 140 < th.warm_above < th.very_warm_above
+    # symmetric by construction
+    assert (140 - th.cold_below) == pytest.approx(th.warm_above - 140, rel=0.2)
+
+
+def test_calibration_excludes_powder():
+    image = uniform_image(140)
+    image[:50, :] = 5.0  # powder region must not drag the mean down
+    th = calibrate_thresholds([image], cell_edge_px=5)
+    mid = (th.cold_below + th.warm_above) / 2
+    assert 130 < mid < 150
+
+
+def test_calibration_sigma_floor():
+    # zero-noise reference: the band must still have finite width
+    image = np.full((100, 100), 140.0)
+    th = calibrate_thresholds([image], cell_edge_px=5, min_sigma_fraction=0.02)
+    assert th.warm_above - th.cold_below >= 2 * 1.5 * 0.02 * 140 * 0.99
+
+
+def test_calibration_regions_restrict_sampling():
+    image = np.full((100, 100), 140.0)
+    image[:, 50:] = 40.0  # second half would contaminate sigma
+    th_all = calibrate_thresholds([image], cell_edge_px=10)
+    th_region = calibrate_thresholds(
+        [image], cell_edge_px=10, regions=[(0, 100, 0, 50)]
+    )
+    assert (th_all.warm_above - th_all.cold_below) > (
+        th_region.warm_above - th_region.cold_below
+    )
+
+
+def test_calibration_no_melt_raises():
+    with pytest.raises(ValueError, match="no melted cells"):
+        calibrate_thresholds([np.zeros((50, 50))], cell_edge_px=5)
+
+
+def test_store_roundtrip(kv_store):
+    th = ThermalThresholds(100, 110, 150, 160)
+    store_thresholds(kv_store, "JOB-1", th)
+    assert load_thresholds(kv_store, "JOB-1") == th
+    assert threshold_key("JOB-1") == "thresholds/JOB-1"
+
+
+def test_load_missing_raises(kv_store):
+    with pytest.raises(KeyError):
+        load_thresholds(kv_store, "ghost-job")
+
+
+def test_payload_roundtrip():
+    th = ThermalThresholds(1.0, 2.0, 3.0, 4.0)
+    assert ThermalThresholds.from_payload(th.as_payload()) == th

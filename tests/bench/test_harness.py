@@ -1,0 +1,66 @@
+"""Bench harness: lockstep latency runs and throughput runs."""
+
+import pytest
+
+from repro.bench import (
+    EvaluationWorkload,
+    run_latency_experiment,
+    run_throughput_experiment,
+)
+from repro.core import UseCaseConfig
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return EvaluationWorkload(image_px=250, layers=6, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return UseCaseConfig(image_px=250, cell_edge_px=5, window_layers=4)
+
+
+def test_latency_run_shape(workload, config):
+    run = run_latency_experiment(workload, config, warmup_layers=2)
+    assert run.results == 6 * 12  # every layer x specimen reported
+    assert len(run.per_layer_latencies) == 4  # warm-up layers dropped
+    assert all(latency > 0 for latency in run.per_layer_latencies)
+    assert run.cells_evaluated == 6 * 12 * 50
+    summary = run.summary
+    assert summary.minimum <= summary.median <= summary.maximum
+
+
+def test_latency_meets_generous_qos(workload, config):
+    run = run_latency_experiment(workload, config)
+    assert run.meets_qos(30.0)  # sanity bound, not the paper's 3 s claim
+
+
+def test_throughput_run_fields(workload, config):
+    run = run_throughput_experiment(
+        workload, config, offered_images_s=20.0, total_images=12
+    )
+    assert run.images == 12
+    assert run.cells_evaluated == 12 * 12 * 50
+    assert run.achieved_images_s > 0
+    assert run.kcells_per_second == pytest.approx(run.cells_per_second / 1000)
+    assert run.mean_latency_s >= 0
+    assert run.p99_latency_s >= run.mean_latency_s * 0.1
+
+
+def test_throughput_saturates_below_offered(workload, config):
+    """At an absurd offered rate the achieved rate must fall short."""
+    run = run_throughput_experiment(
+        workload, config, offered_images_s=100_000.0, total_images=30
+    )
+    assert run.achieved_images_s < 100_000.0
+
+
+def test_latency_grows_with_smaller_cells(workload):
+    coarse = run_latency_experiment(
+        workload, UseCaseConfig(image_px=250, cell_edge_px=25, window_layers=4)
+    )
+    fine = run_latency_experiment(
+        workload, UseCaseConfig(image_px=250, cell_edge_px=1, window_layers=4)
+    )
+    assert fine.summary.median > coarse.summary.median
+    assert fine.cells_evaluated > coarse.cells_evaluated

@@ -1,0 +1,103 @@
+"""Bench reporting helpers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    BOXPLOT_HEADERS,
+    boxplot_row,
+    format_table,
+    render_ascii_image,
+    save_json,
+)
+from repro.bench.config import BenchProfile, active_profile
+from repro.spe import summarize
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["alpha", 1.5], ["b", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, 2 rows
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equally wide
+
+
+def test_format_table_float_rendering():
+    text = format_table(["v"], [[0.123456789]])
+    assert "0.1235" in text
+
+
+def test_boxplot_row_scales_to_ms():
+    summary = summarize([0.010, 0.020, 0.030])
+    row = boxplot_row("param", summary)
+    assert row[0] == "param"
+    assert row[3] == pytest.approx(20.0)  # median in ms
+    assert row[-1] == 3
+    assert len(row) == len(BOXPLOT_HEADERS)
+
+
+def test_save_json_roundtrip(tmp_path, monkeypatch):
+    import repro.bench.report as report
+
+    monkeypatch.setattr(report, "RESULTS_DIR", tmp_path)
+    path = save_json("probe", {"a": 1, "nested": {"b": [1, 2]}})
+    assert path.exists()
+    assert json.loads(path.read_text()) == {"a": 1, "nested": {"b": [1, 2]}}
+
+
+def test_render_ascii_image_shape():
+    image = np.arange(12).reshape(3, 4)
+    art = render_ascii_image(image)
+    lines = art.splitlines()
+    assert len(lines) == 3
+    assert all(len(line) == 4 for line in lines)
+    # darkest first, brightest last
+    assert art[0] == " "
+    assert lines[-1][-1] == "@"
+
+
+def test_render_ascii_constant_image():
+    art = render_ascii_image(np.full((2, 2), 7.0))
+    assert art == "  \n  "
+
+
+def test_render_ascii_empty():
+    assert render_ascii_image(np.empty((0, 0))) == "(empty)"
+
+
+class TestProfiles:
+    def test_default_profile(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_PROFILE", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_IMAGE_PX", raising=False)
+        monkeypatch.delenv("REPRO_BENCH_LAYERS", raising=False)
+        profile = active_profile()
+        assert profile.name == "ci"
+        assert profile.qos_seconds == 3.0
+
+    def test_full_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        profile = active_profile()
+        assert profile.image_px == 2000
+        assert profile.repetitions == 5
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "ci")
+        monkeypatch.setenv("REPRO_BENCH_IMAGE_PX", "321")
+        monkeypatch.setenv("REPRO_BENCH_LAYERS", "9")
+        profile = active_profile()
+        assert profile.image_px == 321
+        assert profile.layers == 9
+
+    def test_unknown_profile_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "galactic")
+        with pytest.raises(ValueError, match="galactic"):
+            active_profile()
+
+    def test_scale_cell_edge_preserves_mm(self):
+        profile = BenchProfile("x", image_px=500, layers=1, repetitions=1, qos_seconds=3)
+        assert profile.scale_cell_edge(40) == 10  # 5 mm at 2 px/mm
+        assert profile.scale_cell_edge(20) == 5
+        assert profile.scale_cell_edge(2) == 1  # floored at 1 px
+        assert profile.px_per_mm == 2.0

@@ -1,0 +1,56 @@
+"""Workload generation and replay."""
+
+import numpy as np
+
+from repro.bench import EvaluationWorkload
+
+
+def make_workload():
+    return EvaluationWorkload(image_px=250, layers=6, seed=7)
+
+
+def test_records_cached_and_ordered():
+    workload = make_workload()
+    assert len(workload) == 6
+    assert [r.layer for r in workload.records] == list(range(6))
+
+
+def test_layers_capped_at_build_height():
+    workload = EvaluationWorkload(image_px=250, layers=10_000, seed=7)
+    assert len(workload) == workload.job.num_layers
+
+
+def test_reference_images_are_clean():
+    workload = make_workload()
+    refs = workload.reference_images(count=2)
+    assert len(refs) == 2
+    assert refs[0].shape == (250, 250)
+
+
+def test_replay_within_base_is_identity():
+    workload = make_workload()
+    replayed = list(workload.replay(4))
+    assert [r.layer for r in replayed] == [0, 1, 2, 3]
+    assert replayed[0] is workload.records[0]
+
+
+def test_replay_beyond_base_keeps_layer_monotonic():
+    workload = make_workload()
+    replayed = list(workload.replay(15))
+    layers = [r.layer for r in replayed]
+    assert layers == sorted(layers)
+    assert len(set(layers)) == 15  # strictly increasing
+    assert all(r.job_id == workload.job.job_id for r in replayed)
+
+
+def test_replay_reuses_images_without_rerendering():
+    workload = make_workload()
+    replayed = list(workload.replay(10))
+    assert np.shares_memory(replayed[6].image, workload.records[0].image)
+
+
+def test_replay_z_advances():
+    workload = make_workload()
+    replayed = list(workload.replay(13))
+    zs = [r.z_mm for r in replayed]
+    assert zs == sorted(zs)

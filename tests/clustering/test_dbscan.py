@@ -1,0 +1,107 @@
+"""DBSCAN correctness on known geometries."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import NOISE, GridIndex, core_point_mask, dbscan
+
+
+def blobs(centers, n=40, spread=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    parts = [rng.normal(c, spread, size=(n, len(c))) for c in centers]
+    return np.vstack(parts)
+
+
+def test_two_blobs_two_clusters():
+    points = blobs([(0, 0), (10, 10)])
+    labels = dbscan(points, eps=1.0, min_samples=5)
+    assert set(labels[:40]) == {labels[0]}
+    assert set(labels[40:]) == {labels[40]}
+    assert labels[0] != labels[40]
+
+
+def test_isolated_points_are_noise():
+    points = np.vstack([blobs([(0, 0)]), [(50, 50)], [(60, -60)]])
+    labels = dbscan(points, eps=1.0, min_samples=5)
+    assert labels[-1] == NOISE
+    assert labels[-2] == NOISE
+
+
+def test_chain_connectivity():
+    # a line of points spaced 0.9 with eps=1: one cluster
+    points = np.array([(0.9 * i, 0.0) for i in range(30)])
+    labels = dbscan(points, eps=1.0, min_samples=3)
+    assert len(set(labels.tolist())) == 1
+    assert labels[0] == 0
+
+
+def test_broken_chain_splits():
+    points = np.array(
+        [(0.9 * i, 0.0) for i in range(10)] + [(0.9 * i + 20, 0.0) for i in range(10)]
+    )
+    labels = dbscan(points, eps=1.0, min_samples=3)
+    assert labels[0] != labels[10]
+    assert (labels >= 0).all()
+
+
+def test_min_samples_one_every_point_core():
+    points = np.array([(0.0, 0.0), (100.0, 100.0)])
+    labels = dbscan(points, eps=1.0, min_samples=1)
+    assert set(labels.tolist()) == {0, 1}
+
+
+def test_empty_and_single():
+    assert dbscan(np.empty((0, 2)), eps=1.0, min_samples=3).size == 0
+    single = dbscan(np.array([[1.0, 2.0]]), eps=1.0, min_samples=1)
+    assert single.tolist() == [0]
+    lonely = dbscan(np.array([[1.0, 2.0]]), eps=1.0, min_samples=2)
+    assert lonely.tolist() == [NOISE]
+
+
+def test_grid_equals_naive():
+    rng = np.random.default_rng(7)
+    points = rng.uniform(0, 20, size=(300, 2))
+    grid = dbscan(points, eps=1.5, min_samples=4, use_grid=True)
+    naive = dbscan(points, eps=1.5, min_samples=4, use_grid=False)
+    assert np.array_equal(grid, naive)
+
+
+def test_3d_points():
+    points = blobs([(0, 0, 0), (5, 5, 5)], spread=0.1)
+    labels = dbscan(points, eps=0.5, min_samples=4)
+    assert labels[0] != labels[40]
+    assert (labels >= 0).all()
+
+
+def test_1d_points_reshaped():
+    labels = dbscan(np.array([0.0, 0.1, 0.2, 10.0, 10.1, 10.2]), eps=0.3, min_samples=2)
+    assert labels[0] == labels[2]
+    assert labels[3] == labels[5]
+    assert labels[0] != labels[3]
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        dbscan(np.zeros((3, 2)), eps=0.0, min_samples=2)
+    with pytest.raises(ValueError):
+        dbscan(np.zeros((3, 2)), eps=1.0, min_samples=0)
+
+
+def test_grid_index_neighbors_exact():
+    points = np.array([(0.0, 0.0), (0.5, 0.0), (1.5, 0.0), (5.0, 5.0)])
+    index = GridIndex(points, eps=1.0)
+    assert sorted(index.neighbors(0).tolist()) == [0, 1]
+    assert sorted(index.neighbors(1).tolist()) == [0, 1, 2]
+    assert index.neighbors(3).tolist() == [3]
+
+
+def test_core_point_mask():
+    points = np.array([(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (9.0, 9.0)])
+    mask = core_point_mask(points, eps=0.5, min_samples=3)
+    assert mask.tolist() == [True, True, True, False]
+
+
+def test_eps_boundary_inclusive():
+    points = np.array([(0.0, 0.0), (1.0, 0.0)])
+    labels = dbscan(points, eps=1.0, min_samples=2)
+    assert labels[0] == labels[1] == 0

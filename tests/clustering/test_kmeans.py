@@ -1,0 +1,75 @@
+"""k-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import inertia, kmeans
+
+
+def blobs(centers, n=30, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack([rng.normal(c, spread, size=(n, len(c))) for c in centers])
+
+
+def test_separates_clear_blobs():
+    points = blobs([(0, 0), (10, 10), (0, 10)])
+    labels, centroids, iterations = kmeans(points, k=3, seed=1)
+    assert len(set(labels.tolist())) == 3
+    assert iterations >= 1
+    # each blob maps to one label
+    for start in (0, 30, 60):
+        assert len(set(labels[start : start + 30].tolist())) == 1
+
+
+def test_deterministic_for_seed():
+    points = blobs([(0, 0), (5, 5)])
+    a = kmeans(points, k=2, seed=3)
+    b = kmeans(points, k=2, seed=3)
+    assert np.array_equal(a[0], b[0])
+    assert np.array_equal(a[1], b[1])
+
+
+def test_k_capped_at_n():
+    points = np.array([[0.0, 0.0], [1.0, 1.0]])
+    labels, centroids, _ = kmeans(points, k=10)
+    assert len(centroids) == 2
+    assert set(labels.tolist()) <= {0, 1}
+
+
+def test_empty_input():
+    labels, centroids, iterations = kmeans(np.empty((0, 2)), k=3)
+    assert labels.size == 0
+    assert iterations == 0
+
+
+def test_single_point():
+    labels, centroids, _ = kmeans(np.array([[5.0, 5.0]]), k=1)
+    assert labels.tolist() == [0]
+    assert centroids.tolist() == [[5.0, 5.0]]
+
+
+def test_identical_points():
+    points = np.ones((10, 2))
+    labels, centroids, _ = kmeans(points, k=3, seed=0)
+    assert (centroids == 1.0).all()
+
+
+def test_inertia_decreases_with_more_clusters():
+    points = blobs([(0, 0), (10, 10), (20, 0)], seed=2)
+    results = {}
+    for k in (1, 3):
+        labels, centroids, _ = kmeans(points, k=k, seed=0)
+        results[k] = inertia(points, labels, centroids)
+    assert results[3] < results[1]
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        kmeans(np.zeros((5, 2)), k=0)
+
+
+def test_1d_input():
+    labels, centroids, _ = kmeans(np.array([0.0, 0.1, 9.9, 10.0]), k=2, seed=0)
+    assert labels[0] == labels[1]
+    assert labels[2] == labels[3]
+    assert labels[0] != labels[2]

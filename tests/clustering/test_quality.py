@@ -1,0 +1,72 @@
+"""Cluster-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import detection_scores, pair_confusion, rand_index
+
+
+def test_identical_partitions():
+    labels = np.array([0, 0, 1, 1, 2])
+    assert rand_index(labels, labels) == 1.0
+
+
+def test_relabeled_partitions_equal():
+    a = np.array([0, 0, 1, 1])
+    b = np.array([5, 5, 2, 2])
+    assert rand_index(a, b) == 1.0
+
+
+def test_disjoint_partitions():
+    a = np.array([0, 0, 0, 0])
+    b = np.array([0, 1, 2, 3])
+    assert rand_index(a, b) == 0.0
+
+
+def test_noise_points_never_match_each_other():
+    a = np.array([-1, -1])
+    b = np.array([-1, -1])
+    ss, sd, ds, dd = pair_confusion(a, b)
+    assert ss == 0
+    assert dd == 1
+
+
+def test_pair_confusion_counts():
+    a = np.array([0, 0, 1])
+    b = np.array([0, 1, 1])
+    ss, sd, ds, dd = pair_confusion(a, b)
+    assert ss + sd + ds + dd == 3  # C(3,2)
+    assert sd == 1  # pair (0,1): same in a, diff in b
+    assert ds == 1  # pair (1,2): diff in a, same in b
+
+
+def test_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        pair_confusion(np.array([0]), np.array([0, 1]))
+
+
+def test_detection_scores_perfect():
+    predicted = np.array([0, 0, -1, -1])
+    truth = np.array([True, True, False, False])
+    scores = detection_scores(predicted, truth)
+    assert scores["precision"] == 1.0
+    assert scores["recall"] == 1.0
+    assert scores["f1"] == 1.0
+
+
+def test_detection_scores_partial():
+    predicted = np.array([0, -1, 0, -1])
+    truth = np.array([True, True, False, False])
+    scores = detection_scores(predicted, truth)
+    assert scores["precision"] == 0.5
+    assert scores["recall"] == 0.5
+    assert scores["tp"] == 1
+    assert scores["fp"] == 1
+    assert scores["fn"] == 1
+
+
+def test_detection_scores_degenerate():
+    scores = detection_scores(np.array([-1, -1]), np.array([False, False]))
+    assert scores["precision"] == 0.0
+    assert scores["recall"] == 0.0
+    assert scores["f1"] == 0.0

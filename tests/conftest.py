@@ -1,0 +1,49 @@
+"""Shared fixtures: small deterministic workloads and stores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.kvstore import MemoryStore
+
+# Small-but-real geometry: full 12-specimen plate at a coarse sensor
+# resolution keeps a layer render around a millisecond.
+TEST_IMAGE_PX = 250
+
+
+@pytest.fixture(scope="session")
+def test_job():
+    """The paper's evaluation job, deterministic seed."""
+    return make_job("JOB-TEST", seed=7)
+
+
+@pytest.fixture(scope="session")
+def clean_job():
+    """A defect-free sibling job used for calibration."""
+    return make_job("JOB-REF", seed=1, defect_rate_per_stack=0.0)
+
+
+@pytest.fixture(scope="session")
+def renderer():
+    return OTImageRenderer(image_px=TEST_IMAGE_PX, seed=7)
+
+
+@pytest.fixture(scope="session")
+def layer_records(test_job, renderer):
+    """First 8 layers of the defective job (cached, session-wide)."""
+    dataset = BuildDataset(test_job, renderer, with_truth=True, cache=True)
+    return [dataset.layer_record(i) for i in range(8)]
+
+
+@pytest.fixture(scope="session")
+def reference_images(clean_job, renderer):
+    dataset = BuildDataset(clean_job, renderer)
+    return [dataset.layer_record(i).image for i in range(3)]
+
+
+@pytest.fixture()
+def kv_store():
+    store = MemoryStore()
+    yield store
+    store.close()

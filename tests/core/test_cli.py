@@ -1,0 +1,56 @@
+"""CLI smoke tests: every subcommand runs and reports."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+SMALL = ["--image-px", "250", "--layers", "6", "--cell-edge", "5", "--window", "4"]
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_quickstart(capsys):
+    assert main(["quickstart", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "reports=72" in out
+    assert "latency" in out
+
+
+def test_replay(capsys):
+    assert main(["replay", *SMALL]) == 0
+    out = capsys.readouterr().out
+    assert "replayed 6 layers" in out
+    assert "kcells/s" in out
+
+
+def test_streaks(capsys):
+    assert main(["streaks", *SMALL, "--layers", "12", "--streak-rate", "20"]) == 0
+    out = capsys.readouterr().out
+    assert "seeded" in out
+
+
+def test_monitor_terminates_on_defect(capsys):
+    code = main([
+        "monitor", *SMALL, "--layers", "12",
+        "--volume-budget", "0.5", "--time-scale", "0",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "TERMINATED" in out or "completed" in out
+
+
+def test_monitor_clean_completes(capsys):
+    code = main([
+        "monitor", *SMALL, "--layers", "4", "--defect-rate", "0",
+        "--volume-budget", "1.0", "--time-scale", "0",
+    ])
+    assert code == 0
+    assert "completed 4/4" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,63 @@
+"""Raw Data Collectors and the live feed adapter."""
+
+import threading
+
+import numpy as np
+
+from repro.core import LiveLayerFeed, OTImageCollector, PrintingParameterCollector
+
+
+def test_ot_collector_schema(layer_records):
+    tuples = list(OTImageCollector(iter(layer_records)))
+    assert len(tuples) == len(layer_records)
+    for t, record in zip(tuples, layer_records):
+        assert t.tau == float(record.layer)  # event time = layer clock
+        assert t.job == record.job_id
+        assert t.layer == record.layer
+        assert isinstance(t.payload["image"], np.ndarray)
+
+
+def test_pp_collector_schema(layer_records):
+    tuples = list(PrintingParameterCollector(iter(layer_records)))
+    for t, record in zip(tuples, layer_records):
+        assert t.tau == float(record.layer)
+        assert "specimen_map" in t.payload
+        assert t.payload["z_mm"] == record.parameters["z_mm"]
+
+
+def test_collectors_agree_on_tau(layer_records):
+    """fuse without WS/WA needs identical tau per layer on both sources."""
+    ot = list(OTImageCollector(iter(layer_records)))
+    pp = list(PrintingParameterCollector(iter(layer_records)))
+    assert [t.tau for t in ot] == [t.tau for t in pp]
+
+
+def test_live_feed_fanout(layer_records):
+    feed = LiveLayerFeed()
+    records_a = feed.records()
+    records_b = feed.records()
+    got_a, got_b = [], []
+
+    thread_a = threading.Thread(target=lambda: got_a.extend(records_a))
+    thread_b = threading.Thread(target=lambda: got_b.extend(records_b))
+    thread_a.start()
+    thread_b.start()
+    for record in layer_records[:3]:
+        feed.push(record)
+    feed.close()
+    thread_a.join(timeout=5)
+    thread_b.join(timeout=5)
+    assert [r.layer for r in got_a] == [0, 1, 2]
+    assert [r.layer for r in got_b] == [0, 1, 2]
+
+
+def test_collectors_use_machine_stamp(layer_records):
+    import dataclasses
+
+    stamped = [
+        dataclasses.replace(r, completed_at=1000.0 + r.layer) for r in layer_records[:3]
+    ]
+    ot = list(OTImageCollector(iter(stamped)))
+    pp = list(PrintingParameterCollector(iter(stamped)))
+    assert [t.tau for t in ot] == [1000.0, 1001.0, 1002.0]
+    assert [t.tau for t in ot] == [t.tau for t in pp]

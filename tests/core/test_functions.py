@@ -1,0 +1,193 @@
+"""Use-case user functions: isolation, labeling, correlation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ThermalThresholds, store_thresholds
+from repro.core.functions import (
+    DBSCANCorrelator,
+    IsolateCells,
+    IsolateSpecimens,
+    LabelCell,
+    LabelSpecimenCells,
+)
+from repro.spe import StreamTuple
+
+TH = ThermalThresholds(100, 110, 150, 160)
+
+
+def fused_tuple(image, spec_map, layer=0):
+    return StreamTuple(
+        tau=float(layer), job="J", layer=layer,
+        payload={"image": image, "specimen_map": spec_map},
+    )
+
+
+@pytest.fixture()
+def store_with_thresholds(kv_store):
+    store_thresholds(kv_store, "J", TH)
+    return kv_store
+
+
+class TestIsolateSpecimens:
+    def test_crops_each_specimen(self):
+        image = np.zeros((100, 100), dtype=np.uint8)
+        image[20:40, 10:30] = 100  # S-a
+        image[60:80, 50:90] = 200  # S-b
+        # plate 250mm over 100px -> 2.5 mm/px
+        spec_map = {
+            "S-a": (25.0, 50.0, 75.0, 100.0),
+            "S-b": (125.0, 150.0, 225.0, 200.0),
+        }
+        outputs = IsolateSpecimens(image_px=100)(fused_tuple(image, spec_map))
+        assert [t.specimen for t in outputs] == ["S-a", "S-b"]
+        a, b = outputs
+        assert a.payload["image"].shape == (20, 20)
+        assert (a.payload["image"] == 100).all()
+        assert a.payload["origin_row"] == 20
+        assert a.payload["origin_col"] == 10
+        assert (b.payload["image"] == 200).all()
+
+    def test_skips_degenerate_footprints(self):
+        image = np.zeros((100, 100), dtype=np.uint8)
+        outputs = IsolateSpecimens(100)(fused_tuple(image, {"tiny": (0.0, 0.0, 0.1, 0.1)}))
+        assert outputs == []
+
+    def test_deterministic_specimen_order(self):
+        image = np.zeros((100, 100), dtype=np.uint8)
+        spec_map = {"B": (0, 0, 25, 25), "A": (50, 50, 75, 75)}
+        outputs = IsolateSpecimens(100)(fused_tuple(image, spec_map))
+        assert [t.specimen for t in outputs] == ["A", "B"]
+
+
+class TestIsolateCells:
+    def test_emits_cell_grid(self):
+        t = StreamTuple(
+            tau=0.0, job="J", layer=0, specimen="S",
+            payload={"image": np.arange(16).reshape(4, 4), "origin_row": 8, "origin_col": 4},
+        )
+        iso = IsolateCells(2)
+        cells = iso(t)
+        assert len(cells) == 4
+        assert iso.cells_emitted == 4
+        assert cells[0].portion == "0:0"
+        assert cells[0].payload["mean_intensity"] == pytest.approx(2.5)
+        assert cells[0].payload["center_y_px"] == 9.0
+        assert cells[0].payload["center_x_px"] == 5.0
+        assert all(c.specimen == "S" for c in cells)
+
+    def test_invalid_edge(self):
+        with pytest.raises(ValueError):
+            IsolateCells(0)
+
+
+class TestLabelCell:
+    def make_cell(self, mean):
+        return StreamTuple(
+            tau=0.0, job="J", layer=0, specimen="S", portion="0:0",
+            payload={"mean_intensity": mean, "center_x_px": 1.0, "center_y_px": 1.0},
+        )
+
+    def test_forwards_only_events(self, store_with_thresholds):
+        label = LabelCell(store_with_thresholds)
+        assert label(self.make_cell(90))[0].payload["label"] == "very_cold"
+        assert label(self.make_cell(170))[0].payload["label"] == "very_warm"
+        assert label(self.make_cell(130)) == []
+        assert label(self.make_cell(105)) == []  # cold but not very cold
+        assert label.cells_evaluated == 4
+
+    def test_missing_thresholds_raise(self, kv_store):
+        label = LabelCell(kv_store)
+        with pytest.raises(KeyError):
+            label(self.make_cell(90))
+
+    def test_threshold_cache_hits_store_once(self, store_with_thresholds):
+        label = LabelCell(store_with_thresholds)
+        label(self.make_cell(90))
+        store_with_thresholds.delete("thresholds/J")
+        label(self.make_cell(90))  # cached: no KeyError
+
+
+class TestLabelSpecimenCells:
+    def make_specimen_tuple(self, image):
+        return StreamTuple(
+            tau=0.0, job="J", layer=0, specimen="S",
+            payload={"image": image, "origin_row": 10, "origin_col": 20},
+        )
+
+    def test_vectorized_equals_scalar_path(self, store_with_thresholds):
+        rng = np.random.default_rng(3)
+        image = rng.uniform(80, 180, size=(20, 20))
+        vec = LabelSpecimenCells(store_with_thresholds, 5)
+        scalar_iso = IsolateCells(5)
+        scalar_label = LabelCell(store_with_thresholds)
+        vec_events = vec(self.make_specimen_tuple(image))
+        scalar_events = []
+        for cell in scalar_iso(self.make_specimen_tuple(image)):
+            scalar_events.extend(scalar_label(cell))
+        assert len(vec_events) == len(scalar_events)
+        key = lambda t: (t.portion, t.payload["label"])  # noqa: E731
+        assert sorted(map(key, vec_events)) == sorted(map(key, scalar_events))
+        assert vec.cells_evaluated == scalar_label.cells_evaluated
+
+    def test_event_payload_fields(self, store_with_thresholds):
+        image = np.full((10, 10), 170.0)  # everything very warm
+        events = LabelSpecimenCells(store_with_thresholds, 5)(self.make_specimen_tuple(image))
+        assert len(events) == 4
+        for e in events:
+            assert e.payload["label"] == "very_warm"
+            assert e.payload["center_y_px"] >= 10
+            assert e.payload["center_x_px"] >= 20
+
+
+class TestDBSCANCorrelator:
+    def make_events(self, positions, layer=0):
+        return [
+            StreamTuple(
+                tau=float(layer), job="J", layer=layer, specimen="S", portion=f"{i}",
+                payload={"center_x_px": x, "center_y_px": y, "mean_intensity": 90.0,
+                         "label": "very_cold"},
+            )
+            for i, (x, y) in enumerate(positions)
+        ]
+
+    def correlator(self, **kwargs):
+        defaults = dict(
+            eps_mm=2.0, min_samples=3, px_per_mm=2.0, layer_thickness_mm=0.04,
+            cell_volume_mm3=1.0,
+        )
+        defaults.update(kwargs)
+        return DBSCANCorrelator(**defaults)
+
+    def test_empty_events(self):
+        payload = self.correlator()("J", 0, "S", [])
+        assert payload == {"num_events": 0, "num_clusters": 0, "clusters": []}
+
+    def test_close_events_cluster(self):
+        events = self.make_events([(0, 0), (2, 0), (0, 2), (40, 40)])
+        payload = self.correlator()("J", 0, "S", events)
+        assert payload["num_events"] == 4
+        assert payload["num_clusters"] == 1
+        assert payload["clusters"][0]["size"] == 3
+
+    def test_min_volume_filters(self):
+        events = self.make_events([(0, 0), (2, 0), (0, 2)])
+        payload = self.correlator(min_volume_mm3=100.0)("J", 0, "S", events)
+        assert payload["num_clusters"] == 0
+
+    def test_cross_layer_clustering(self):
+        a = self.make_events([(0, 0), (2, 0), (0, 2)], layer=0)
+        b = self.make_events([(1, 1), (3, 1)], layer=1)
+        payload = self.correlator()("J", 1, "S", a + b)
+        assert payload["num_clusters"] == 1
+        assert payload["clusters"][0]["layers"] == (0, 1)
+
+    def test_render_cluster_image(self):
+        # px spacing of 8 = two render pixels apart (render scale 4)
+        events = self.make_events([(0, 0), (8, 0), (0, 8)])
+        payload = self.correlator(eps_mm=5.0, render_cluster_image=True)(
+            "J", 0, "S", events
+        )
+        image = payload["cluster_image"]
+        assert image.dtype == np.uint8
+        assert (image >= 2).sum() == 3  # three clustered cells, distinct pixels

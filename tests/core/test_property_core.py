@@ -1,0 +1,121 @@
+"""Property-based invariants of the STRATA operator layer."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core.operators import (
+    CorrelateEventsOperator,
+    DetectEventOperator,
+    PartitionOperator,
+)
+from repro.core.punctuation import is_punctuation, make_punctuation
+from repro.spe import StreamTuple
+
+specimen_names = st.sampled_from(["S0", "S1", "S2"])
+# one build: per layer, a mapping specimen -> number of detected events
+layer_plans = st.lists(
+    st.dictionaries(specimen_names, st.integers(min_value=0, max_value=4), max_size=3),
+    min_size=1,
+    max_size=12,
+)
+
+
+def drive_correlate(plans, window):
+    """Feed events + punctuation per layer; mirror with a dict model."""
+    recorded: dict[tuple[int, str], list[int]] = {}
+    op = CorrelateEventsOperator(
+        "c", window_layers=window,
+        fn=lambda job, layer, spec, events: {
+            "xs": sorted(e.payload["x"] for e in events)
+        },
+    )
+    model: dict[str, dict[int, list[int]]] = {}
+    outputs = []
+    counter = 0
+    for layer, plan in enumerate(plans):
+        for specimen in sorted(plan):
+            for _ in range(plan[specimen]):
+                event = StreamTuple(
+                    tau=float(layer), job="J", layer=layer,
+                    specimen=specimen, portion="p", payload={"x": counter},
+                )
+                model.setdefault(specimen, {}).setdefault(layer, []).append(counter)
+                op.process(0, event)
+                counter += 1
+        # every specimen gets a punctuation per layer (as partition does)
+        for specimen in ("S0", "S1", "S2"):
+            template = StreamTuple(tau=float(layer), job="J", layer=layer, payload={})
+            outs = op.process(0, make_punctuation(template, specimen))
+            for out in outs:
+                expected = sorted(
+                    x
+                    for l in range(max(0, layer - window + 1), layer + 1)
+                    for x in model.get(specimen, {}).get(l, [])
+                )
+                recorded[(layer, specimen)] = (out.payload["xs"], expected)
+            outputs.extend(outs)
+    return recorded, outputs
+
+
+@given(plans=layer_plans, window=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_correlate_window_matches_model(plans, window):
+    recorded, outputs = drive_correlate(plans, window)
+    for (layer, specimen), (got, expected) in recorded.items():
+        assert got == expected, (layer, specimen)
+    # exactly one trigger per (layer, specimen) punctuation
+    assert len(outputs) == len(plans) * 3
+
+
+@given(
+    layers=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=15),
+    fanouts=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=15),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_punctuation_always_trails_its_data(layers, fanouts):
+    op = PartitionOperator(
+        "p",
+        lambda t: [
+            t.derive(specimen=f"S{i}", portion="p")
+            for i in range(t.payload["fanout"])
+        ],
+    )
+    for layer, fanout in zip(layers, fanouts):
+        t = StreamTuple(tau=float(layer), job="J", layer=layer, payload={"fanout": fanout})
+        out = op.process(0, t)
+        seen_punct: set[str] = set()
+        for item in out:
+            if is_punctuation(item):
+                seen_punct.add(item.specimen)
+            else:
+                # data for a specimen must never follow its punctuation
+                assert item.specimen not in seen_punct
+        data_specimens = {i.specimen for i in out if not is_punctuation(i)}
+        punct_specimens = {i.specimen for i in out if is_punctuation(i)}
+        if fanout == 0:
+            from repro.spe import WHOLE_SPECIMEN
+
+            assert punct_specimens == {WHOLE_SPECIMEN}
+        else:
+            assert punct_specimens == data_specimens
+
+
+@given(
+    values=st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_detect_event_preserves_count_and_forwards_punctuation(values):
+    op = DetectEventOperator(
+        "d", lambda t: [t] if t.payload["x"] > 0 else []
+    )
+    forwarded = 0
+    for i, value in enumerate(values):
+        t = StreamTuple(
+            tau=float(i), job="J", layer=i, specimen="S", portion="p",
+            payload={"x": value},
+        )
+        forwarded += len(op.process(0, t))
+    assert forwarded == sum(1 for v in values if v > 0)
+    assert op.events_out == forwarded
+    punct = make_punctuation(StreamTuple(tau=0.0, job="J", layer=0, payload={}), "S")
+    assert op.process(0, punct) == [punct]

@@ -1,0 +1,148 @@
+"""Recoater-streak use case: detection and correlation."""
+
+import numpy as np
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.am.defects import RecoaterStreak
+from repro.core import Strata
+from repro.core.streaks import (
+    DetectStreakRows,
+    StreakCorrelator,
+    _contiguous_bands,
+    build_streak_use_case,
+)
+from repro.spe import StreamTuple
+
+PX = 250
+
+
+def test_contiguous_bands():
+    mask = np.array([False, True, True, False, True, False])
+    assert _contiguous_bands(mask) == [(1, 3), (4, 5)]
+    assert _contiguous_bands(np.array([True, True])) == [(0, 2)]
+    assert _contiguous_bands(np.array([False])) == []
+
+
+class TestDetectStreakRows:
+    def make_tuple(self, image):
+        return StreamTuple(tau=0.0, job="J", layer=0, payload={"image": image})
+
+    def synthetic_image(self, streak_rows=(), depth=60):
+        rng = np.random.default_rng(0)
+        image = rng.normal(140, 5, size=(100, 100))
+        image[:10] = 8.0  # powder margin
+        for row in streak_rows:
+            image[row] -= depth
+        return image
+
+    def test_detects_streak_band(self):
+        detect = DetectStreakRows()
+        events = detect(self.make_tuple(self.synthetic_image(streak_rows=(50, 51))))
+        assert len(events) == 1
+        assert events[0].payload["y_px"] == pytest.approx(50.5)
+        assert events[0].payload["band_rows"] == 2
+        assert events[0].payload["depression_gray"] > 30
+
+    def test_clean_image_quiet(self):
+        detect = DetectStreakRows()
+        assert detect(self.make_tuple(self.synthetic_image())) == []
+
+    def test_powder_rows_ignored(self):
+        detect = DetectStreakRows()
+        image = self.synthetic_image()
+        image[:10] = 0.0  # fully dark powder rows must not look depressed
+        assert detect(self.make_tuple(image)) == []
+
+    def test_two_separate_streaks(self):
+        detect = DetectStreakRows()
+        events = detect(self.make_tuple(self.synthetic_image(streak_rows=(30, 70))))
+        assert len(events) == 2
+        ys = sorted(e.payload["y_px"] for e in events)
+        assert ys == [30.0, 70.0]
+
+    def test_depression_threshold_respected(self):
+        detect = DetectStreakRows(depression_gray=50.0)
+        events = detect(self.make_tuple(self.synthetic_image(streak_rows=(50,), depth=30)))
+        assert events == []
+
+
+class TestStreakCorrelator:
+    def event(self, layer, y_px, depression=40.0):
+        return StreamTuple(
+            tau=float(layer), job="J", layer=layer, specimen="__whole__",
+            portion="rows", payload={
+                "y_px": y_px, "band_rows": 2, "depression_gray": depression,
+                "melted_px": 500,
+            },
+        )
+
+    def test_persistent_band_becomes_streak(self):
+        correlator = StreakCorrelator(px_per_mm=1.0, min_layers=2)
+        events = [self.event(layer, 100.0) for layer in range(3)]
+        payload = correlator("J", 2, "__whole__", events)
+        assert len(payload["streaks"]) == 1
+        streak = payload["streaks"][0]
+        assert streak["y_mm"] == pytest.approx(100.0)
+        assert (streak["first_layer"], streak["last_layer"]) == (0, 2)
+
+    def test_single_layer_band_suppressed(self):
+        correlator = StreakCorrelator(px_per_mm=1.0, min_layers=2)
+        payload = correlator("J", 0, "__whole__", [self.event(0, 100.0)])
+        assert payload["streaks"] == []
+        assert payload["num_band_events"] == 1
+
+    def test_distinct_y_positions_separate(self):
+        correlator = StreakCorrelator(px_per_mm=1.0, min_layers=2)
+        events = [self.event(layer, 50.0) for layer in range(2)]
+        events += [self.event(layer, 200.0) for layer in range(2)]
+        payload = correlator("J", 1, "__whole__", events)
+        ys = [s["y_mm"] for s in payload["streaks"]]
+        assert ys == [50.0, 200.0]
+
+    def test_empty_window(self):
+        correlator = StreakCorrelator(px_per_mm=1.0)
+        assert correlator("J", 0, "__whole__", []) == {
+            "num_band_events": 0, "streaks": [],
+        }
+
+
+class TestEndToEnd:
+    def test_detects_seeded_streaks_and_only_them(self):
+        job = make_job("streaky", seed=11, defect_rate_per_stack=0.0)
+        job.streaks = [
+            RecoaterStreak("R0", 60.0, 0.0, 250.0, 1.0, 2, 8, -0.25),
+            RecoaterStreak("R1", 190.0, 0.0, 250.0, 1.0, 5, 12, -0.3),
+        ]
+        dataset = BuildDataset(job, OTImageRenderer(image_px=PX, seed=11))
+        records = [dataset.layer_record(i) for i in range(15)]
+        pipeline = build_streak_use_case(
+            iter(records), iter(records), image_px=PX,
+            strata=Strata(engine_mode="sync"),
+        )
+        pipeline.strata.deploy()
+        reported = {
+            round(s["y_mm"] / 10)
+            for t in pipeline.sink.results
+            for s in t.payload["streaks"]
+        }
+        assert reported == {6, 19}
+
+    def test_clean_build_no_streaks(self, clean_job, renderer):
+        records = [BuildDataset(clean_job, renderer).layer_record(i) for i in range(8)]
+        pipeline = build_streak_use_case(
+            iter(records), iter(records), image_px=PX,
+            strata=Strata(engine_mode="sync"),
+        )
+        pipeline.strata.deploy()
+        assert all(t.payload["streaks"] == [] for t in pipeline.sink.results)
+
+    def test_one_report_per_layer(self, clean_job, renderer):
+        records = [BuildDataset(clean_job, renderer).layer_record(i) for i in range(5)]
+        pipeline = build_streak_use_case(
+            iter(records), iter(records), image_px=PX,
+            strata=Strata(engine_mode="sync"),
+        )
+        pipeline.strata.deploy()
+        # whole-plate analysis: exactly one aggregator report per layer
+        assert len(pipeline.sink.results) == 5

@@ -1,0 +1,64 @@
+"""Use-case configuration and pipeline assembly."""
+
+import pytest
+
+from repro.core import Strata, UseCaseConfig, build_use_case
+from repro.core.functions import LabelCell, LabelSpecimenCells
+
+
+class TestUseCaseConfig:
+    def test_paper_defaults(self):
+        config = UseCaseConfig()
+        assert config.image_px == 2000
+        assert config.px_per_mm == 8.0  # 2000 px / 250 mm, the paper's sensor
+        assert config.layer_thickness_mm == 0.04
+
+    def test_cell_edge_mm(self):
+        config = UseCaseConfig(image_px=2000, cell_edge_px=20)
+        assert config.cell_edge_mm == pytest.approx(2.5)
+        # paper: 40x40 px = 5 mm^2 ... 2x2 px = 0.25 mm^2 cells
+        assert UseCaseConfig(cell_edge_px=40).cell_edge_mm == pytest.approx(5.0)
+        assert UseCaseConfig(cell_edge_px=2).cell_edge_mm == pytest.approx(0.25)
+
+    def test_eps_default_scales_with_cell(self):
+        small = UseCaseConfig(cell_edge_px=10)
+        large = UseCaseConfig(cell_edge_px=40)
+        assert small.resolved_eps_mm < large.resolved_eps_mm
+        assert small.resolved_eps_mm == pytest.approx(1.6 * small.cell_edge_mm)
+
+    def test_eps_override(self):
+        config = UseCaseConfig(eps_mm=3.3)
+        assert config.resolved_eps_mm == 3.3
+
+    def test_cell_volume(self):
+        config = UseCaseConfig(image_px=2000, cell_edge_px=20)
+        assert config.cell_volume_mm3 == pytest.approx(2.5 * 2.5 * 0.04)
+
+
+class TestBuildUseCase:
+    def test_scalar_path_structure(self, layer_records):
+        config = UseCaseConfig(image_px=250, cell_edge_px=5, vectorized=False)
+        pipeline = build_use_case(
+            iter(layer_records), iter(layer_records), config,
+            strata=Strata(engine_mode="sync"),
+        )
+        assert isinstance(pipeline.detect_fn, LabelCell)
+        assert pipeline.cells_evaluated == 0  # nothing deployed yet
+
+    def test_vectorized_path_structure(self, layer_records):
+        config = UseCaseConfig(image_px=250, cell_edge_px=5, vectorized=True)
+        pipeline = build_use_case(
+            iter(layer_records), iter(layer_records), config,
+            strata=Strata(engine_mode="sync"),
+        )
+        assert isinstance(pipeline.detect_fn, LabelSpecimenCells)
+
+    def test_streams_registered(self, layer_records):
+        config = UseCaseConfig(image_px=250, cell_edge_px=5)
+        pipeline = build_use_case(
+            iter(layer_records), iter(layer_records), config,
+            strata=Strata(engine_mode="sync"),
+        )
+        streams = pipeline.strata._streams
+        for name in ("pp", "OT", "OT&pp", "spec", "cellLabel", "out"):
+            assert name in streams

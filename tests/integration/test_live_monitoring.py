@@ -1,0 +1,87 @@
+"""Live monitoring: machine -> pipeline -> expert feedback loop.
+
+Exercises the Figure 1B scenario end to end: a (simulated) machine prints
+while STRATA analyzes each layer online, and a sink acting for the expert
+terminates the build when a defect cluster exceeds a volume budget —
+the paper's motivating "timely decisions" loop.
+"""
+
+import threading
+
+from repro.am import ControlHandle, OTImageRenderer, PBFLBMachine, make_job
+from repro.core import (
+    LiveLayerFeed,
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.spe import CallbackSink
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+def test_live_feed_early_termination(test_job, reference_images):
+    config = UseCaseConfig(image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=6)
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, test_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(test_job.specimens, TEST_IMAGE_PX),
+    )
+
+    machine = PBFLBMachine(renderer=OTImageRenderer(image_px=TEST_IMAGE_PX, seed=7))
+    control = ControlHandle()
+    feed = LiveLayerFeed()
+
+    def expert(t):
+        for cluster in t.payload["clusters"]:
+            if cluster["volume_mm3"] >= 1.0:
+                control.request_termination(
+                    f"cluster of {cluster['volume_mm3']:.1f} mm^3 in {t.specimen}"
+                )
+
+    sink = CallbackSink("expert", expert)
+    build_use_case(
+        feed.records(), feed.records(), config, strata=strata, sink=sink
+    )
+    strata.start()
+
+    def run_build():
+        machine.run(test_job, control=control, on_layer=feed.push, max_layers=40)
+        feed.close()
+
+    builder = threading.Thread(target=run_build)
+    builder.start()
+    builder.join(timeout=120)
+    assert not builder.is_alive()
+    strata.wait(timeout=60)
+
+    assert control.termination_requested
+    assert "mm^3" in control.reason
+
+
+def test_live_feed_clean_build_completes(clean_job, reference_images):
+    config = UseCaseConfig(image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=4)
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, clean_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(clean_job.specimens, TEST_IMAGE_PX),
+    )
+    machine = PBFLBMachine(renderer=OTImageRenderer(image_px=TEST_IMAGE_PX, seed=1))
+    control = ControlHandle()
+    feed = LiveLayerFeed()
+    sink = CallbackSink(
+        "expert",
+        lambda t: control.request_termination("unexpected cluster")
+        if t.payload["num_clusters"] > 0
+        else None,
+    )
+    build_use_case(feed.records(), feed.records(), config, strata=strata, sink=sink)
+    strata.start()
+    outcome = machine.run(clean_job, control=control, on_layer=feed.push, max_layers=8)
+    feed.close()
+    strata.wait(timeout=60)
+    assert not outcome.terminated_early
+    assert outcome.layers_completed == 8

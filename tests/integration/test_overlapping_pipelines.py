@@ -1,0 +1,104 @@
+"""Overlapping pipelines: multiple experts share one deployment.
+
+§4: "distinct pipelines from one or more users can overlap" — the Raw
+Data Collector and fuse stages are shared, and the thermal-anomaly and
+recoater-streak analyses branch off the same fused stream in one query.
+"""
+
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job
+from repro.core import (
+    DBSCANCorrelator,
+    DetectStreakRows,
+    IsolateSpecimens,
+    LabelSpecimenCells,
+    OTImageCollector,
+    PrintingParameterCollector,
+    Strata,
+    StreakCorrelator,
+    calibrate_job,
+    specimen_regions_px,
+)
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+@pytest.fixture(scope="module")
+def mixed_job():
+    job = make_job("mixed", seed=11, defect_rate_per_stack=0.8)
+    from repro.am.defects import RecoaterStreak
+
+    job.streaks = [RecoaterStreak("R0", 130.0, 0.0, 250.0, 1.0, 2, 9, -0.3)]
+    return job
+
+
+@pytest.fixture(scope="module")
+def shared_run(mixed_job, reference_images):
+    records = [
+        BuildDataset(mixed_job, OTImageRenderer(image_px=TEST_IMAGE_PX, seed=11))
+        .layer_record(i)
+        for i in range(12)
+    ]
+    strata = Strata(engine_mode="threaded")
+    calibrate_job(
+        strata.kv, mixed_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(mixed_job.specimens, TEST_IMAGE_PX),
+    )
+    # shared raw data collectors and fuse stage (one per deployment)
+    strata.addSource(PrintingParameterCollector(iter(records)), "pp")
+    strata.addSource(OTImageCollector(iter(records)), "OT")
+    strata.fuse("OT", "pp", "OT&pp")
+
+    # expert 1: the thermal-anomaly pipeline
+    strata.partition("OT&pp", "spec", IsolateSpecimens(TEST_IMAGE_PX))
+    strata.detectEvent("spec", "cellLabel", LabelSpecimenCells(strata.kv, CELL_EDGE))
+    strata.correlateEvents(
+        "cellLabel", "thermal-out", 6,
+        DBSCANCorrelator(
+            eps_mm=8.0, min_samples=3, px_per_mm=TEST_IMAGE_PX / 250.0,
+            layer_thickness_mm=0.04, cell_volume_mm3=1.0,
+        ),
+    )
+    thermal_sink = strata.deliver("thermal-out")
+
+    # expert 2: the recoater-streak pipeline, branching off the same fuse
+    strata.detectEvent("OT&pp", "bands", DetectStreakRows())
+    strata.correlateEvents(
+        "bands", "streak-out", 12,
+        StreakCorrelator(px_per_mm=TEST_IMAGE_PX / 250.0, min_layers=2),
+    )
+    streak_sink = strata.deliver("streak-out")
+
+    strata.deploy()
+    return thermal_sink, streak_sink
+
+
+def test_both_experts_receive_results(shared_run):
+    thermal_sink, streak_sink = shared_run
+    assert len(thermal_sink.results) == 12 * 12  # layers x specimens
+    assert len(streak_sink.results) == 12  # layers (whole-plate analysis)
+
+
+def test_thermal_expert_sees_blob_defects(shared_run):
+    thermal_sink, _ = shared_run
+    assert sum(t.payload["num_clusters"] for t in thermal_sink.results) > 0
+
+
+def test_streak_expert_sees_the_streak(shared_run):
+    _, streak_sink = shared_run
+    streak_ys = {
+        round(s["y_mm"])
+        for t in streak_sink.results
+        for s in t.payload["streaks"]
+    }
+    assert 130 in streak_ys
+
+
+def test_pipelines_do_not_cross_contaminate(shared_run):
+    thermal_sink, streak_sink = shared_run
+    # thermal reports have thermal schema; streak reports streak schema
+    assert all("clusters" in t.payload for t in thermal_sink.results)
+    assert all("streaks" in t.payload for t in streak_sink.results)
+    assert all("streaks" not in t.payload for t in thermal_sink.results)

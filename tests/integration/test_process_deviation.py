@@ -1,0 +1,82 @@
+"""Global process deviations: wrong parameters must be caught, not adapted to.
+
+A job accidentally printed with strongly reduced laser power under-melts
+*everything*. The static pipeline flags it immediately; crucially, the
+adaptive learner's self-poisoning guard (updates use only in-band cells)
+must NOT re-center onto the deviated level — a global deviation is a
+process fault, not drift to track.
+"""
+
+import numpy as np
+
+from repro.am import BuildDataset, OTImageRenderer, ProcessParameters, make_job
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.core.functions import LabelSpecimenCellsAdaptive
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+LOW_POWER = ProcessParameters(laser_power_w=160.0)  # ~43% under nominal energy
+
+
+def run(records, job, reference_images, detect_override=None):
+    config = UseCaseConfig(
+        image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=4,
+        vectorized=True,
+    )
+    strata = Strata(engine_mode="sync" if detect_override is None else "threaded")
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(job.specimens, TEST_IMAGE_PX),
+    )
+    pipeline = build_use_case(
+        iter(records), iter(records), config, strata=strata,
+        detect_override=detect_override,
+    )
+    strata.deploy()
+    return pipeline
+
+
+def make_records(process, layers=4, seed=3):
+    job = make_job("deviated", seed=seed, defect_rate_per_stack=0.0, process=process)
+    renderer = OTImageRenderer(image_px=TEST_IMAGE_PX, seed=seed)
+    return job, [BuildDataset(job, renderer).layer_record(i) for i in range(layers)]
+
+
+def test_static_flags_global_under_melt(reference_images):
+    job, records = make_records(LOW_POWER)
+    pipeline = run(records, job, reference_images)
+    # essentially every melted cell reads very cold
+    assert pipeline.detect_fn.events_emitted > pipeline.cells_evaluated * 0.9
+
+
+def test_adaptive_guard_does_not_mask_global_deviation(reference_images):
+    job, records = make_records(LOW_POWER, layers=6)
+    # the adaptive detector reads thresholds from its own store reference
+    probe_store = Strata().kv
+    calibrate_job(
+        probe_store, job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(job.specimens, TEST_IMAGE_PX),
+    )
+    adaptive = LabelSpecimenCellsAdaptive(probe_store, CELL_EDGE, alpha=0.5)
+    pipeline = run(records, job, reference_images, detect_override=adaptive)
+    # even by the last layer, the adaptive detector still reports the
+    # under-melt: its baseline never walked down to the deviated level
+    last_layer_events = sum(
+        1 for t in pipeline.sink.results
+        if t.layer == 5 and t.payload["num_events"] > 0
+    )
+    assert last_layer_events == 12  # every specimen still flagged
+    learner = adaptive._learners[job.job_id]
+    assert learner.updates == 0  # the guard never accepted a deviated layer
+
+
+def test_nominal_power_stays_quiet(reference_images):
+    job, records = make_records(ProcessParameters())
+    pipeline = run(records, job, reference_images)
+    assert pipeline.detect_fn.events_emitted < pipeline.cells_evaluated * 0.01

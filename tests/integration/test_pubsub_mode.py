@@ -1,0 +1,59 @@
+"""Connector-mode equivalence: direct streams vs pub/sub bridging."""
+
+import pytest
+
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+    topic_for_stream,
+)
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+def run(layer_records, reference_images, test_job, connector_mode):
+    config = UseCaseConfig(image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=4)
+    strata = Strata(engine_mode="threaded", connector_mode=connector_mode)
+    calibrate_job(
+        strata.kv, test_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(test_job.specimens, TEST_IMAGE_PX),
+    )
+    pipeline = build_use_case(iter(layer_records), iter(layer_records), config, strata=strata)
+    strata.deploy()
+    return strata, pipeline
+
+
+def result_key(t):
+    return (t.job, t.layer, t.specimen, t.payload["num_events"], t.payload["num_clusters"])
+
+
+def test_pubsub_mode_equals_direct(layer_records, reference_images, test_job):
+    _, direct = run(layer_records, reference_images, test_job, "direct")
+    _, bridged = run(layer_records, reference_images, test_job, "pubsub")
+    assert sorted(map(result_key, direct.sink.results)) == sorted(
+        map(result_key, bridged.sink.results)
+    )
+
+
+def test_pubsub_mode_creates_connector_topics(layer_records, reference_images, test_job):
+    strata, _ = run(layer_records, reference_images, test_job, "pubsub")
+    topics = strata.broker.topics()
+    # raw -> monitor connectors for both sources
+    assert topic_for_stream("OT") in topics
+    assert topic_for_stream("pp") in topics
+    # monitor -> aggregator connector for the event stream
+    assert topic_for_stream("cellLabel") in topics
+
+
+def test_pubsub_requires_threaded_engine():
+    with pytest.raises(ValueError, match="threaded"):
+        Strata(engine_mode="sync", connector_mode="pubsub")
+
+
+def test_invalid_connector_mode():
+    with pytest.raises(ValueError):
+        Strata(connector_mode="carrier-pigeon")

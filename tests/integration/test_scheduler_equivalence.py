@@ -1,0 +1,127 @@
+"""Randomized pipelines: the two schedulers must agree on results.
+
+Hypothesis generates random chains of stateless and stateful operators
+over random tuple streams; the deterministic synchronous scheduler is the
+oracle for the threaded Liebre-style scheduler.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.spe import (
+    AggregateOperator,
+    CollectingSink,
+    FilterOperator,
+    JoinOperator,
+    ListSource,
+    MapOperator,
+    Query,
+    StreamEngine,
+    StreamTuple,
+)
+
+stream_data = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),  # tau/layer
+        st.integers(min_value=-50, max_value=50),  # x
+    ),
+    min_size=1,
+    max_size=40,
+).map(lambda items: sorted(items))
+
+stage_kinds = st.lists(
+    st.sampled_from(["map", "filter", "agg"]), min_size=0, max_size=4
+)
+
+
+def tuples_of(data, job="j"):
+    return [
+        StreamTuple(tau=float(tau), job=job, layer=tau, payload={"x": x})
+        for tau, x in data
+    ]
+
+
+def build_chain(data, kinds):
+    q = Query("rand", default_capacity=64)
+    q.add_source("src", ListSource("src", tuples_of(data)))
+    upstream = "src"
+    for index, kind in enumerate(kinds):
+        name = f"{kind}{index}"
+        if kind == "map":
+            op = MapOperator(name, lambda t: t.derive(payload={"x": t.payload["x"] + 1}))
+        elif kind == "filter":
+            op = FilterOperator(name, lambda t: t.payload["x"] % 2 == 0)
+        else:
+            op = AggregateOperator(
+                name, ws=8.0, wa=4.0,
+                fn=lambda k, s, e, ts: {"x": sum(t.payload["x"] for t in ts)},
+            )
+        q.add_operator(name, op, upstream)
+        upstream = name
+    sink = CollectingSink()
+    q.add_sink("out", sink, upstream)
+    return q, sink
+
+
+def result_multiset(sink):
+    return sorted((t.tau, t.layer, t.payload["x"]) for t in sink.results)
+
+
+@given(data=stream_data, kinds=stage_kinds)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_random_chain_schedulers_agree(data, kinds):
+    q_sync, sink_sync = build_chain(data, kinds)
+    q_thr, sink_thr = build_chain(data, kinds)
+    StreamEngine(mode="sync").run(q_sync)
+    StreamEngine(mode="threaded").run(q_thr)
+    assert result_multiset(sink_sync) == result_multiset(sink_thr)
+
+
+@given(left=stream_data, right=stream_data, ws=st.integers(min_value=0, max_value=5))
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_join_schedulers_agree(left, right, ws):
+    def build():
+        q = Query("randjoin", default_capacity=64)
+        q.add_source("L", ListSource("L", tuples_of(left)))
+        q.add_source(
+            "R",
+            ListSource(
+                "R",
+                [
+                    StreamTuple(tau=float(tau), job="j", layer=tau, payload={"y": x})
+                    for tau, x in right
+                ],
+            ),
+        )
+        q.add_operator(
+            "join",
+            JoinOperator(
+                "join", ws=float(ws),
+                combiner=lambda l, r: l.derive(
+                    payload={"x": l.payload["x"], "y": r.payload["y"]}
+                ),
+            ),
+            ["L", "R"],
+        )
+        sink = CollectingSink()
+        q.add_sink("out", sink, "join")
+        return q, sink
+
+    q_sync, sink_sync = build()
+    StreamEngine(mode="sync").run(q_sync)
+    sync_pairs = sorted(
+        (t.payload["x"], t.payload["y"]) for t in sink_sync.results
+    )
+    # oracle: brute-force pairs within ws
+    expected = sorted(
+        (lx, ry)
+        for lt, lx in left
+        for rt, ry in right
+        if abs(lt - rt) <= ws
+    )
+    assert sync_pairs == expected
+
+    q_thr, sink_thr = build()
+    StreamEngine(mode="threaded").run(q_thr)
+    thr_pairs = sorted((t.payload["x"], t.payload["y"]) for t in sink_thr.results)
+    assert thr_pairs == expected

@@ -1,0 +1,98 @@
+"""Geometry-aware monitoring: shaped parts through the thermal pipeline."""
+
+import pytest
+
+from repro.am import BuildDataset, OTImageRenderer, make_job, make_shaped_job
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+def run(job, layers, vectorized, reference_images, window=4):
+    renderer = OTImageRenderer(image_px=TEST_IMAGE_PX, seed=7)
+    records = [BuildDataset(job, renderer).layer_record(i) for i in range(layers)]
+    config = UseCaseConfig(
+        image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=window,
+        vectorized=vectorized,
+    )
+    strata = Strata(engine_mode="sync")
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(make_job("r", seed=1).specimens, TEST_IMAGE_PX),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    strata.deploy()
+    return pipeline
+
+
+@pytest.fixture(scope="module")
+def clean_shaped():
+    return make_shaped_job("shaped-clean", seed=7, defect_rate_per_stack=0.0)
+
+
+def test_clean_shaped_build_produces_no_events(clean_shaped, reference_images):
+    pipeline = run(clean_shaped, 6, vectorized=True, reference_images=reference_images)
+    assert pipeline.detect_fn.events_emitted == 0
+
+
+def test_shaped_paths_agree(clean_shaped, reference_images):
+    scalar = run(clean_shaped, 4, vectorized=False, reference_images=reference_images)
+    vector = run(clean_shaped, 4, vectorized=True, reference_images=reference_images)
+    assert scalar.cells_evaluated == vector.cells_evaluated
+    assert scalar.detect_fn.events_emitted == vector.detect_fn.events_emitted
+
+
+def test_shaped_cells_fewer_than_block_cells(clean_shaped, reference_images):
+    shaped = run(clean_shaped, 2, vectorized=True, reference_images=reference_images)
+    block_job = make_job("blocks", seed=7, defect_rate_per_stack=0.0)
+    blocks = run(block_job, 2, vectorized=True, reference_images=reference_images)
+    # cylinders/cones/hexagons cover less area than their bounding blocks
+    assert shaped.cells_evaluated < blocks.cells_evaluated
+
+
+def test_defective_shaped_build_finds_clusters(reference_images):
+    job = make_shaped_job("shaped-dirty", seed=7, defect_rate_per_stack=1.2)
+    pipeline = run(job, 8, vectorized=True, reference_images=reference_images, window=6)
+    clusters = sum(t.payload["num_clusters"] for t in pipeline.sink.results)
+    assert clusters > 0
+
+
+def test_cone_reports_shrink_with_height(reference_images):
+    """A cone's evaluated cell count must drop as its slice narrows."""
+    job = make_shaped_job("cone-probe", seed=7, defect_rate_per_stack=0.0)
+    renderer = OTImageRenderer(image_px=TEST_IMAGE_PX, seed=7)
+    from repro.core.functions import IsolateSpecimens, LabelSpecimenCells
+
+    iso = IsolateSpecimens(TEST_IMAGE_PX)
+    strata = Strata()
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(make_job("r", seed=1).specimens, TEST_IMAGE_PX),
+    )
+    detect = LabelSpecimenCells(strata.kv, CELL_EDGE)
+    dataset = BuildDataset(job, renderer)
+
+    def cone_cells(layer):
+        from repro.core import OTImageCollector
+
+        record = dataset.layer_record(layer)
+        tuples = list(OTImageCollector(iter([record])))
+        fused = tuples[0].derive(
+            payload={**tuples[0].payload, **record.parameters}
+        )
+        before = detect.cells_evaluated
+        for spec_tuple in iso(fused):
+            if spec_tuple.specimen == "S02":  # the cone slot
+                detect(spec_tuple)
+        return detect.cells_evaluated - before
+
+    low = cone_cells(0)
+    high = cone_cells(500)  # z = 20 mm: much narrower slice
+    assert 0 < high < low

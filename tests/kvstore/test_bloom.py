@@ -1,0 +1,51 @@
+"""Bloom filter guarantees."""
+
+import random
+
+from repro.kvstore.bloom import BloomFilter
+
+
+def test_no_false_negatives():
+    bloom = BloomFilter(expected_items=500, fp_rate=0.01)
+    keys = [f"key-{i}".encode() for i in range(500)]
+    for key in keys:
+        bloom.add(key)
+    assert all(bloom.might_contain(key) for key in keys)
+
+
+def test_false_positive_rate_reasonable():
+    bloom = BloomFilter(expected_items=1000, fp_rate=0.01)
+    for i in range(1000):
+        bloom.add(f"member-{i}".encode())
+    rng = random.Random(42)
+    probes = [f"absent-{rng.random()}".encode() for _ in range(2000)]
+    fp = sum(bloom.might_contain(p) for p in probes)
+    assert fp / len(probes) < 0.05  # generous bound over the 1% target
+
+
+def test_serialization_roundtrip():
+    bloom = BloomFilter(expected_items=100)
+    for i in range(100):
+        bloom.add(f"{i}".encode())
+    restored = BloomFilter.from_bytes(bloom.to_bytes())
+    assert restored.num_bits == bloom.num_bits
+    assert restored.num_hashes == bloom.num_hashes
+    assert all(restored.might_contain(f"{i}".encode()) for i in range(100))
+
+
+def test_empty_filter_rejects_probes_mostly():
+    bloom = BloomFilter(expected_items=10)
+    assert not bloom.might_contain(b"anything")
+
+
+def test_invalid_fp_rate():
+    import pytest
+
+    with pytest.raises(ValueError):
+        BloomFilter(10, fp_rate=1.5)
+
+
+def test_tiny_expected_items_still_works():
+    bloom = BloomFilter(expected_items=0)
+    bloom.add(b"x")
+    assert bloom.might_contain(b"x")

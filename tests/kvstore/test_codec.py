@@ -1,0 +1,104 @@
+"""Key/value codec edge cases."""
+
+import pytest
+
+from repro.kvstore import (
+    InvalidKeyError,
+    decode_value,
+    encode_key,
+    encode_value,
+)
+
+
+def test_string_keys_utf8():
+    assert encode_key("käse") == "käse".encode("utf-8")
+
+
+def test_bytes_keys_pass_through():
+    assert encode_key(b"\x00\xff") == b"\x00\xff"
+
+
+@pytest.mark.parametrize("bad", ["", b""])
+def test_empty_keys_rejected(bad):
+    with pytest.raises(InvalidKeyError):
+        encode_key(bad)
+
+
+@pytest.mark.parametrize("bad", [None, 42, 3.14, ["k"]])
+def test_non_string_keys_rejected(bad):
+    with pytest.raises(InvalidKeyError):
+        encode_key(bad)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [
+        None,
+        True,
+        0,
+        -17,
+        3.5,
+        "text",
+        "",
+        [1, "two", None],
+        {"nested": {"deep": [1, 2]}},
+    ],
+)
+def test_json_values_roundtrip(value):
+    encoded = encode_value(value)
+    assert encoded[:1] == b"j"
+    assert decode_value(encoded) == value
+
+
+def test_bytes_values_tagged_raw():
+    encoded = encode_value(b"\x00raw\xff")
+    assert encoded[:1] == b"b"
+    assert decode_value(encoded) == b"\x00raw\xff"
+
+
+def test_non_json_values_fall_back_to_pickle():
+    value = {1, 2, 3}  # sets are not JSON-serializable
+    encoded = encode_value(value)
+    assert encoded[:1] == b"p"
+    assert decode_value(encoded) == value
+
+
+def test_tuple_roundtrips_via_pickle_preserving_type():
+    value = (1, "a")
+    decoded = decode_value(encode_value(value))
+    # tuples are pickled (JSON would flatten them to lists)
+    assert decoded == (1, "a")
+    assert isinstance(decoded, tuple)
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(ValueError, match="codec tag"):
+        decode_value(b"z???")
+
+
+# property: any value built from JSON-ish + tuples/sets round-trips exactly
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False, allow_infinity=False)
+    | st.text(max_size=10)
+    | st.binary(max_size=10),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=5), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+@given(value=values)
+@settings(max_examples=120, deadline=None)
+def test_any_value_roundtrips_exactly(value):
+    decoded = decode_value(encode_value(value))
+    assert decoded == value
+    assert type(decoded) is type(value)

@@ -1,0 +1,47 @@
+"""MemoryStore honours the same contract as the LSM store."""
+
+import pytest
+
+from repro.kvstore import MemoryStore, StoreClosedError
+
+
+def test_basic_roundtrip(kv_store):
+    kv_store.put("k", {"a": 1})
+    assert kv_store.get("k") == {"a": 1}
+
+
+def test_value_isolation_from_caller_mutation(kv_store):
+    value = {"list": [1, 2]}
+    kv_store.put("k", value)
+    value["list"].append(3)
+    assert kv_store.get("k") == {"list": [1, 2]}
+
+
+def test_scan_sorted_range(kv_store):
+    for key in ("b", "a", "d", "c"):
+        kv_store.put(key, key.upper())
+    assert [k for k, _ in kv_store.scan()] == [b"a", b"b", b"c", b"d"]
+    assert [v for _, v in kv_store.scan("b", "d")] == ["B", "C"]
+
+
+def test_delete_and_len():
+    store = MemoryStore()
+    store.put("x", 1)
+    store.put("y", 2)
+    store.delete("x")
+    assert len(store) == 1
+    assert store.get("x") is None
+    store.close()
+
+
+def test_closed_store_raises():
+    store = MemoryStore()
+    store.close()
+    with pytest.raises(StoreClosedError):
+        store.put("k", 1)
+
+
+def test_bytes_keys_and_values(kv_store):
+    kv_store.put(b"raw", b"\xff\x00")
+    assert kv_store.get(b"raw") == b"\xff\x00"
+    assert kv_store.get("raw") == b"\xff\x00"  # str/bytes keys are equivalent

@@ -1,0 +1,79 @@
+"""Skip-list memtable behaviour."""
+
+import pytest
+
+from repro.kvstore.memtable import TOMBSTONE, SkipListMemtable
+
+
+def test_put_get_roundtrip():
+    table = SkipListMemtable(seed=1)
+    table.put(b"alpha", b"1")
+    table.put(b"beta", b"2")
+    assert table.get(b"alpha") == b"1"
+    assert table.get(b"beta") == b"2"
+    assert table.get(b"gamma") is None
+
+
+def test_overwrite_keeps_single_entry():
+    table = SkipListMemtable(seed=1)
+    table.put(b"k", b"v1")
+    table.put(b"k", b"v2")
+    assert table.get(b"k") == b"v2"
+    assert len(table) == 1
+
+
+def test_items_sorted():
+    table = SkipListMemtable(seed=3)
+    keys = [f"k{i:03d}".encode() for i in range(100)]
+    for key in reversed(keys):
+        table.put(key, b"x")
+    assert [k for k, _ in table.items()] == keys
+
+
+def test_delete_inserts_tombstone():
+    table = SkipListMemtable(seed=1)
+    table.put(b"k", b"v")
+    table.delete(b"k")
+    assert table.get(b"k") == TOMBSTONE
+    # tombstone flows out through iteration so a flush persists it
+    assert dict(table.items())[b"k"] == TOMBSTONE
+
+
+def test_range_items_half_open():
+    table = SkipListMemtable(seed=2)
+    for i in range(10):
+        table.put(f"{i}".encode(), str(i).encode())
+    got = [k for k, _ in table.range_items(b"3", b"7")]
+    assert got == [b"3", b"4", b"5", b"6"]
+
+
+def test_range_items_open_ends():
+    table = SkipListMemtable(seed=2)
+    for key in (b"a", b"b", b"c"):
+        table.put(key, b"x")
+    assert [k for k, _ in table.range_items(None, None)] == [b"a", b"b", b"c"]
+    assert [k for k, _ in table.range_items(b"b", None)] == [b"b", b"c"]
+    assert [k for k, _ in table.range_items(None, b"b")] == [b"a"]
+
+
+def test_approximate_bytes_grows_and_tracks_overwrites():
+    table = SkipListMemtable(seed=1)
+    table.put(b"k", b"short")
+    first = table.approximate_bytes
+    table.put(b"k", b"a-much-longer-value-than-before")
+    assert table.approximate_bytes > first
+
+
+def test_empty_table():
+    table = SkipListMemtable()
+    assert len(table) == 0
+    assert list(table.items()) == []
+    assert table.get(b"anything") is None
+
+
+@pytest.mark.parametrize("n", [1, 17, 256])
+def test_size_counts_distinct_keys(n):
+    table = SkipListMemtable(seed=5)
+    for i in range(n):
+        table.put(f"{i}".encode(), b"v")
+    assert len(table) == n

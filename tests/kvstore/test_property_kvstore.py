@@ -1,0 +1,98 @@
+"""Property-based tests: the LSM store behaves like a dict, always."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.kvstore import LSMStore, MemoryStore
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126), min_size=1, max_size=12
+)
+values = st.one_of(
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.text(max_size=30),
+    st.binary(max_size=30),
+    st.lists(st.integers(min_value=0, max_value=100), max_size=5),
+)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), keys, values),
+        st.tuples(st.just("delete"), keys, st.none()),
+        st.tuples(st.just("flush"), st.none(), st.none()),
+        st.tuples(st.just("compact"), st.none(), st.none()),
+    ),
+    max_size=60,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_lsm_store_matches_dict_model(tmp_path_factory, ops):
+    tmp_path = tmp_path_factory.mktemp("lsm")
+    model: dict[str, object] = {}
+    with LSMStore(tmp_path, memtable_bytes=512, compaction_threshold=3) as store:
+        for op, key, value in ops:
+            if op == "put":
+                store.put(key, value)
+                model[key] = value
+            elif op == "delete":
+                store.delete(key)
+                model.pop(key, None)
+            elif op == "flush":
+                store.flush()
+            else:
+                store.compact()
+        for key, expected in model.items():
+            assert store.get(key) == expected
+        scanned = {k.decode("utf-8"): v for k, v in store.scan()}
+        assert scanned == model
+
+
+@given(ops=operations)
+@settings(max_examples=40, deadline=None)
+def test_memory_store_matches_dict_model(ops):
+    model: dict[str, object] = {}
+    store = MemoryStore()
+    for op, key, value in ops:
+        if op == "put":
+            store.put(key, value)
+            model[key] = value
+        elif op == "delete":
+            store.delete(key)
+            model.pop(key, None)
+        # flush/compact are no-ops for the memory backend
+    for key, expected in model.items():
+        assert store.get(key) == expected
+    store.close()
+
+
+@given(
+    entries=st.dictionaries(keys, values, max_size=30),
+    start=keys,
+    end=keys,
+)
+@settings(max_examples=40, deadline=None)
+def test_lsm_scan_range_matches_sorted_slice(tmp_path_factory, entries, start, end):
+    tmp_path = tmp_path_factory.mktemp("scan")
+    with LSMStore(tmp_path, memtable_bytes=256) as store:
+        for key, value in entries.items():
+            store.put(key, value)
+        raw_start, raw_end = start.encode(), end.encode()
+        got = [k for k, _ in store.scan(start, end)]
+        expected = sorted(
+            k.encode() for k in entries if raw_start <= k.encode() < raw_end
+        )
+        assert got == expected
+
+
+@given(data=st.lists(st.tuples(st.binary(min_size=1, max_size=16), st.binary(max_size=32)), max_size=40))
+@settings(max_examples=40, deadline=None)
+def test_wal_replay_is_lossless(tmp_path_factory, data):
+    from repro.kvstore.wal import WriteAheadLog
+
+    path = tmp_path_factory.mktemp("wal") / "wal.log"
+    wal = WriteAheadLog(path)
+    for key, value in data:
+        wal.append(key, value)
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == data

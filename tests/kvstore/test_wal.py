@@ -1,0 +1,79 @@
+"""Write-ahead log durability and corruption handling."""
+
+from repro.kvstore.wal import WriteAheadLog
+
+
+def test_append_replay_roundtrip(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    entries = [(f"k{i}".encode(), f"v{i}".encode()) for i in range(25)]
+    for key, value in entries:
+        wal.append(key, value)
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == entries
+
+
+def test_replay_missing_file_is_empty(tmp_path):
+    assert list(WriteAheadLog.replay(tmp_path / "nope.log")) == []
+
+
+def test_replay_stops_at_truncated_tail(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"a", b"1")
+    wal.append(b"b", b"2")
+    wal.close()
+    data = path.read_bytes()
+    path.write_bytes(data[:-3])  # torn write on the last record
+    assert list(WriteAheadLog.replay(path)) == [(b"a", b"1")]
+
+
+def test_replay_stops_at_corrupt_record(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"a", b"1")
+    offset_after_first = path.stat().st_size
+    wal.append(b"b", b"2")
+    wal.append(b"c", b"3")
+    wal.close()
+    data = bytearray(path.read_bytes())
+    data[offset_after_first + 12] ^= 0xFF  # flip the key byte of record 2
+    path.write_bytes(bytes(data))
+    assert list(WriteAheadLog.replay(path)) == [(b"a", b"1")]
+
+
+def test_remove_deletes_file(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"k", b"v")
+    wal.remove()
+    assert not path.exists()
+
+
+def test_append_after_close_raises(tmp_path):
+    from repro.kvstore.errors import StoreClosedError
+    import pytest
+
+    wal = WriteAheadLog(tmp_path / "wal.log")
+    wal.close()
+    with pytest.raises(StoreClosedError):
+        wal.append(b"k", b"v")
+
+
+def test_reopen_appends(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"a", b"1")
+    wal.close()
+    wal2 = WriteAheadLog(path)
+    wal2.append(b"b", b"2")
+    wal2.close()
+    assert list(WriteAheadLog.replay(path)) == [(b"a", b"1"), (b"b", b"2")]
+
+
+def test_empty_values_roundtrip(tmp_path):
+    path = tmp_path / "wal.log"
+    wal = WriteAheadLog(path)
+    wal.append(b"k", b"")
+    wal.close()
+    assert list(WriteAheadLog.replay(path)) == [(b"k", b"")]

@@ -1,0 +1,129 @@
+"""Consumers: offsets, groups, replay, rebalancing."""
+
+import pytest
+
+from repro.pubsub import Broker, Consumer, ConsumerGroup, InvalidOffsetError, Producer
+
+
+@pytest.fixture()
+def broker():
+    b = Broker()
+    b.create_topic("events", partitions=3)
+    return b
+
+
+def fill(broker, n=30, topic="events"):
+    producer = Producer(broker)
+    for i in range(n):
+        producer.send(topic, {"i": i}, key=f"k{i % 5}")
+    return producer
+
+
+def test_earliest_reads_everything(broker):
+    fill(broker)
+    consumer = Consumer(broker, "g", ["events"])
+    values = sorted(m.value["i"] for m in consumer.poll())
+    assert values == list(range(30))
+
+
+def test_latest_skips_history(broker):
+    fill(broker)
+    consumer = Consumer(broker, "g", ["events"], auto_offset_reset="latest")
+    assert consumer.poll() == []
+    fill(broker, 5)
+    assert len(consumer.poll()) == 5
+
+
+def test_group_resume_after_restart(broker):
+    fill(broker, 10)
+    consumer = Consumer(broker, "g", ["events"])
+    assert len(consumer.poll()) == 10
+    fill(broker, 7)
+    # a new consumer with the same group id picks up where the group left off
+    resumed = Consumer(broker, "g", ["events"])
+    assert len(resumed.poll()) == 7
+
+
+def test_distinct_groups_independent(broker):
+    fill(broker, 10)
+    a = Consumer(broker, "ga", ["events"])
+    b = Consumer(broker, "gb", ["events"])
+    assert len(a.poll()) == 10
+    assert len(b.poll()) == 10
+
+
+def test_manual_commit(broker):
+    fill(broker, 10)
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    assert len(consumer.poll()) == 10
+    # nothing committed -> a sibling starts from scratch
+    sibling = Consumer(broker, "g", ["events"])
+    assert len(sibling.poll()) == 10
+    sibling.commit()
+    third = Consumer(broker, "g", ["events"])
+    assert third.poll() == []
+
+
+def test_seek_replays(broker):
+    broker2 = Broker()
+    broker2.create_topic("t", partitions=1)
+    producer = Producer(broker2)
+    for i in range(10):
+        producer.send("t", i)
+    consumer = Consumer(broker2, "g", ["t"])
+    assert len(consumer.poll()) == 10
+    consumer.seek("t", 0, 5)
+    assert [m.value for m in consumer.poll()] == [5, 6, 7, 8, 9]
+
+
+def test_seek_unassigned_partition_rejected(broker):
+    consumer = Consumer(broker, "g", ["events"])
+    with pytest.raises(InvalidOffsetError):
+        consumer.seek("events", 99, 0)
+
+
+def test_per_key_order_preserved(broker):
+    producer = Producer(broker)
+    for i in range(50):
+        producer.send("events", i, key=f"key-{i % 7}")
+    consumer = Consumer(broker, "g", ["events"])
+    per_key: dict[str, list[int]] = {}
+    for message in consumer.poll():
+        per_key.setdefault(message.key, []).append(message.value)
+    for values in per_key.values():
+        assert values == sorted(values)
+
+
+def test_consumer_group_covers_all_partitions(broker):
+    fill(broker, 30)
+    group = ConsumerGroup(broker, "g", "events", members=2)
+    seen = []
+    for member in group.members:
+        seen.extend(m.value["i"] for m in member.poll())
+    assert sorted(seen) == list(range(30))
+    # partitions split disjointly
+    assignments = [set(m.assignment) for m in group.members]
+    assert assignments[0].isdisjoint(assignments[1])
+
+
+def test_retention_fallback_to_earliest():
+    broker = Broker()
+    broker.create_topic("t", partitions=1, retention=5)
+    producer = Producer(broker)
+    consumer = Consumer(broker, "g", ["t"])
+    for i in range(20):
+        producer.send("t", i)
+    # first poll: position 0 was trimmed; consumer falls forward to start
+    values = [m.value for m in consumer.poll()]
+    assert values == [15, 16, 17, 18, 19]
+
+
+def test_iterator_drains(broker):
+    fill(broker, 12)
+    consumer = Consumer(broker, "g", ["events"])
+    assert len(list(consumer)) == 12
+
+
+def test_invalid_reset_policy(broker):
+    with pytest.raises(ValueError):
+        Consumer(broker, "g", ["events"], auto_offset_reset="whenever")

@@ -1,0 +1,61 @@
+"""Property-based pub/sub invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.pubsub import Broker, Consumer, Producer
+
+keys = st.one_of(st.none(), st.text(min_size=1, max_size=6))
+records = st.lists(st.tuples(keys, st.integers()), max_size=80)
+
+
+@given(data=records, partitions=st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_all_records_delivered_exactly_once(data, partitions):
+    broker = Broker()
+    broker.create_topic("t", partitions=partitions)
+    producer = Producer(broker)
+    for key, value in data:
+        producer.send("t", value, key=key)
+    consumer = Consumer(broker, "g", ["t"])
+    received = [m.value for m in consumer.poll(max_records=10_000)]
+    assert sorted(received) == sorted(value for _, value in data)
+    assert consumer.poll() == []  # exactly once: nothing left
+
+
+@given(data=records, partitions=st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_per_key_fifo_order(data, partitions):
+    broker = Broker()
+    broker.create_topic("t", partitions=partitions)
+    producer = Producer(broker)
+    sent: dict[str | None, list[int]] = {}
+    for key, value in data:
+        producer.send("t", value, key=key)
+        if key is not None:
+            sent.setdefault(key, []).append(value)
+    consumer = Consumer(broker, "g", ["t"])
+    got: dict[str | None, list[int]] = {}
+    for message in consumer.poll(max_records=10_000):
+        got.setdefault(message.key, []).append(message.value)
+    for key, values in sent.items():
+        assert got.get(key, []) == values
+
+
+@given(
+    data=st.lists(st.integers(), min_size=1, max_size=50),
+    split=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=50, deadline=None)
+def test_offsets_restartable_at_any_commit_point(data, split):
+    split = min(split, len(data))
+    broker = Broker()
+    broker.create_topic("t", partitions=1)
+    producer = Producer(broker)
+    for value in data:
+        producer.send("t", value)
+    first = Consumer(broker, "g", ["t"])
+    head = [m.value for m in first.poll(max_records=split)] if split else []
+    second = Consumer(broker, "g", ["t"])
+    tail = [m.value for m in second.poll(max_records=10_000)]
+    assert head + tail == data

@@ -1,0 +1,52 @@
+"""Topic partitioning semantics."""
+
+import pytest
+
+from repro.pubsub.topic import Topic
+
+
+def test_same_key_same_partition():
+    topic = Topic("t", partitions=4)
+    partitions = {topic.partition_for("job-1/layer-5") for _ in range(20)}
+    assert len(partitions) == 1
+
+
+def test_keys_spread_over_partitions():
+    topic = Topic("t", partitions=4)
+    used = {topic.partition_for(f"key-{i}") for i in range(200)}
+    assert used == {0, 1, 2, 3}
+
+
+def test_keyless_round_robin():
+    topic = Topic("t", partitions=3)
+    assigned = [topic.partition_for(None) for _ in range(6)]
+    assert assigned == [0, 1, 2, 0, 1, 2]
+
+
+def test_append_returns_partition_offset():
+    topic = Topic("t", partitions=2)
+    partition, offset = topic.append("k", "v")
+    assert offset == 0
+    partition2, offset2 = topic.append("k", "v2")
+    assert partition2 == partition
+    assert offset2 == 1
+
+
+def test_explicit_partition():
+    topic = Topic("t", partitions=3)
+    partition, _ = topic.append("k", "v", partition=2)
+    assert partition == 2
+    assert topic.log(2).end_offset == 1
+
+
+def test_end_offsets():
+    topic = Topic("t", partitions=2)
+    topic.append(None, "a", partition=0)
+    topic.append(None, "b", partition=0)
+    topic.append(None, "c", partition=1)
+    assert topic.end_offsets() == {0: 2, 1: 1}
+
+
+def test_zero_partitions_rejected():
+    with pytest.raises(ValueError):
+        Topic("t", partitions=0)

@@ -1,0 +1,112 @@
+"""Aggregate operator: window algebra and emission rules."""
+
+import pytest
+
+from repro.spe import AggregateOperator, StreamTuple, window_indices
+
+
+def make(tau, x=1, job="j"):
+    return StreamTuple(tau=tau, job=job, layer=int(tau), payload={"x": x})
+
+
+def sum_agg(key, start, end, tuples):
+    return {"sum": sum(t.payload["x"] for t in tuples), "start": start, "end": end}
+
+
+class TestWindowIndices:
+    def test_tumbling(self):
+        assert window_indices(0.0, ws=5, wa=5) == [0]
+        assert window_indices(4.99, ws=5, wa=5) == [0]
+        assert window_indices(5.0, ws=5, wa=5) == [1]
+
+    def test_sliding_membership(self):
+        # WS=10, WA=5: tau=7 belongs to windows [0,10) and [5,15)
+        assert window_indices(7.0, ws=10, wa=5) == [0, 1]
+
+    def test_boundary_exclusive(self):
+        # tau=10 is not in [0,10)
+        assert 0 not in window_indices(10.0, ws=10, wa=5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            window_indices(-1.0, ws=5, wa=5)
+
+    def test_coverage_every_tau_in_some_window(self):
+        for tau in [0.0, 0.1, 3.7, 9.999, 42.0]:
+            assert window_indices(tau, ws=4, wa=2), tau
+
+
+def test_tumbling_window_emission_on_watermark():
+    op = AggregateOperator("a", ws=5.0, wa=5.0, fn=sum_agg)
+    assert op.process(0, make(0.0)) == []
+    assert op.process(0, make(2.0)) == []
+    out = op.process(0, make(5.0))  # watermark 5.0 closes window [0,5)
+    assert len(out) == 1
+    assert out[0].payload["sum"] == 2
+    assert out[0].tau == 5.0  # output stamped with the window end
+
+
+def test_flush_on_close():
+    op = AggregateOperator("a", ws=5.0, wa=5.0, fn=sum_agg)
+    op.process(0, make(1.0, x=10))
+    out = op.on_close()
+    assert len(out) == 1
+    assert out[0].payload["sum"] == 10
+    assert op.open_windows == 0
+
+
+def test_sliding_windows_overlap():
+    op = AggregateOperator("a", ws=10.0, wa=5.0, fn=sum_agg)
+    for tau in (0.0, 3.0, 7.0):
+        op.process(0, make(tau, x=1))
+    emitted = op.on_close()
+    sums = {(t.payload["start"], t.payload["end"]): t.payload["sum"] for t in emitted}
+    assert sums[(0.0, 10.0)] == 3
+    assert sums[(5.0, 15.0)] == 1
+
+
+def test_group_by_separates_keys():
+    op = AggregateOperator(
+        "a", ws=10.0, wa=10.0, fn=sum_agg, group_by=lambda t: t.job
+    )
+    op.process(0, make(0.0, x=1, job="A"))
+    op.process(0, make(1.0, x=2, job="B"))
+    op.process(0, make(2.0, x=3, job="A"))
+    emitted = op.on_close()
+    sums = sorted(t.payload["sum"] for t in emitted)
+    assert sums == [2, 4]
+
+
+def test_slack_delays_emission():
+    op = AggregateOperator("a", ws=5.0, wa=5.0, fn=sum_agg, slack=2.0)
+    op.process(0, make(0.0))
+    assert op.process(0, make(5.0)) == []  # watermark 5-2=3 < window end
+    out = op.process(0, make(8.0))  # watermark 6 >= 5
+    assert len(out) == 1
+
+
+def test_out_of_order_within_slack_is_counted():
+    op = AggregateOperator("a", ws=10.0, wa=10.0, fn=sum_agg, slack=5.0)
+    op.process(0, make(8.0, x=1))
+    op.process(0, make(3.0, x=1))  # late but within slack
+    out = op.on_close()
+    assert out[0].payload["sum"] == 2
+
+
+def test_ingest_time_is_latest_contributor():
+    op = AggregateOperator("a", ws=10.0, wa=10.0, fn=sum_agg)
+    early = make(0.0)
+    early.ingest_time = 1.0
+    late = make(1.0)
+    late.ingest_time = 99.0
+    op.process(0, early)
+    op.process(0, late)
+    out = op.on_close()
+    assert out[0].ingest_time == 99.0
+
+
+def test_invalid_parameters():
+    with pytest.raises(ValueError):
+        AggregateOperator("a", ws=0, wa=1, fn=sum_agg)
+    with pytest.raises(ValueError):
+        AggregateOperator("a", ws=5, wa=6, fn=sum_agg)

@@ -1,0 +1,70 @@
+"""QoS deadline tracking at the sink."""
+
+import time
+
+import pytest
+
+from repro.spe import CollectingSink, DeadlineSink, StreamTuple
+
+
+def tuple_with_age(age_seconds):
+    return StreamTuple(
+        tau=0.0, job="j", layer=0, payload={},
+        ingest_time=time.monotonic() - age_seconds,
+    )
+
+
+def test_fresh_results_pass():
+    inner = CollectingSink()
+    sink = DeadlineSink(inner, qos_seconds=3.0)
+    sink.accept(tuple_with_age(0.001))
+    assert sink.violations == 0
+    assert sink.delivered == 1
+    assert len(inner.results) == 1  # still forwarded
+
+
+def test_late_results_counted_and_reported():
+    violations = []
+    inner = CollectingSink()
+    sink = DeadlineSink(
+        inner, qos_seconds=0.5,
+        on_violation=lambda t, latency: violations.append((t.layer, latency)),
+    )
+    sink.accept(tuple_with_age(2.0))
+    sink.accept(tuple_with_age(0.1))
+    assert sink.violations == 1
+    assert sink.violation_rate == pytest.approx(0.5)
+    assert len(violations) == 1
+    assert violations[0][1] >= 2.0
+    assert len(inner.results) == 2  # late results are delivered anyway
+
+
+def test_violation_rate_empty():
+    sink = DeadlineSink(CollectingSink(), qos_seconds=1.0)
+    assert sink.violation_rate == 0.0
+
+
+def test_close_propagates_to_inner():
+    inner = CollectingSink()
+    sink = DeadlineSink(inner, qos_seconds=1.0)
+    sink.on_close()  # must not raise; inner throughput stopped
+
+
+def test_invalid_qos():
+    with pytest.raises(ValueError):
+        DeadlineSink(CollectingSink(), qos_seconds=0.0)
+
+
+def test_in_pipeline():
+    from repro.spe import ListSource, Query, StreamEngine
+
+    data = [StreamTuple(tau=float(i), job="j", layer=i, payload={}) for i in range(10)]
+    inner = CollectingSink()
+    sink = DeadlineSink(inner, qos_seconds=5.0)
+    q = Query("qos")
+    q.add_source("src", ListSource("src", data))
+    q.add_sink("out", sink, "src")
+    StreamEngine(mode="sync").run(q)
+    assert sink.delivered == 10
+    assert sink.violations == 0
+    assert len(inner.results) == 10

@@ -1,0 +1,103 @@
+"""Join operator: matching, predicates, group-by, eviction."""
+
+from repro.spe import JoinOperator, StreamTuple
+
+
+def make(tau, side, layer=None, job="j", **payload):
+    return StreamTuple(
+        tau=tau, job=job, layer=int(tau) if layer is None else layer, payload=payload
+    )
+
+
+def test_exact_tau_match():
+    join = JoinOperator("j", ws=0.0)
+    assert join.process(0, make(1.0, "L", a=1)) == []
+    out = join.process(1, make(1.0, "R", b=2))
+    assert len(out) == 1
+    assert out[0].payload == {"a": 1, "b": 2}
+
+
+def test_exact_tau_mismatch():
+    join = JoinOperator("j", ws=0.0)
+    join.process(0, make(1.0, "L", a=1))
+    assert join.process(1, make(2.0, "R", b=2)) == []
+
+
+def test_window_distance_match():
+    join = JoinOperator("j", ws=5.0)
+    join.process(0, make(0.0, "L", a=1))
+    assert len(join.process(1, make(4.0, "R", b=1))) == 1
+    assert join.process(1, make(6.0, "R", b=2)) == []  # |6-0| > 5
+
+
+def test_predicate_filters_pairs():
+    join = JoinOperator(
+        "j", ws=10.0, predicate=lambda l, r: l.payload["a"] == r.payload["b"]
+    )
+    join.process(0, make(0.0, "L", a=1))
+    join.process(0, make(1.0, "L", a=2))
+    out = join.process(1, make(2.0, "R", b=2))
+    assert len(out) == 1
+    assert out[0].payload["a"] == 2
+
+
+def test_group_by_restricts_candidates():
+    join = JoinOperator("j", ws=10.0, group_by=lambda t: t.job)
+    join.process(0, make(0.0, "L", job="A", a=1))
+    assert join.process(1, make(0.0, "R", job="B", b=1)) == []
+    assert len(join.process(1, make(0.0, "R", job="A", b=1))) == 1
+
+
+def test_symmetric_one_to_many():
+    join = JoinOperator("j", ws=10.0)
+    for i in range(3):
+        join.process(0, make(float(i), "L", a=i))
+    out = join.process(1, make(1.0, "R", b=9))
+    assert len(out) == 3  # matches all buffered left tuples
+
+
+def test_left_right_roles_in_combiner():
+    seen = []
+
+    def combiner(left, right):
+        seen.append((left.payload.get("a"), right.payload.get("b")))
+        return StreamTuple.fused(left, right)
+
+    join = JoinOperator("j", ws=10.0, combiner=combiner)
+    join.process(1, make(0.0, "R", b=2))  # right arrives first
+    join.process(0, make(0.0, "L", a=1))
+    assert seen == [(1, 2)]
+
+
+def test_eviction_by_watermark():
+    join = JoinOperator("j", ws=1.0)
+    join.process(0, make(0.0, "L", a=1))
+    # advance both inputs far past 0 + ws
+    join.process(0, make(10.0, "L", a=2))
+    join.process(1, make(10.0, "R", b=1))
+    assert join.buffered == 2  # the tau=0 left tuple was evicted
+    # late right at tau=0 can no longer match
+    assert join.process(1, make(0.2, "R", b=9)) == []
+
+
+def test_slow_input_prevents_eviction():
+    join = JoinOperator("j", ws=1.0)
+    join.process(0, make(0.0, "L", a=1))
+    join.process(0, make(100.0, "L", a=2))  # left races ahead
+    # right has not advanced: watermark stays low, tau=0 left must survive
+    out = join.process(1, make(0.5, "R", b=1))
+    assert len(out) == 1
+
+
+def test_matches_counter():
+    join = JoinOperator("j", ws=0.0)
+    join.process(0, make(1.0, "L", a=1))
+    join.process(1, make(1.0, "R", b=1))
+    assert join.matches == 1
+
+
+def test_on_close_clears_state():
+    join = JoinOperator("j", ws=5.0)
+    join.process(0, make(0.0, "L", a=1))
+    assert join.on_close() == []
+    assert join.buffered == 0

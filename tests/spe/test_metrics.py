@@ -1,0 +1,77 @@
+"""Latency/throughput metric helpers."""
+
+import pytest
+
+from repro.spe.metrics import (
+    LatencyRecorder,
+    ThroughputMeter,
+    summarize,
+)
+
+
+def test_summary_five_numbers():
+    s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s.minimum == 1.0
+    assert s.median == 3.0
+    assert s.maximum == 5.0
+    assert s.q1 == 2.0
+    assert s.q3 == 4.0
+    assert s.mean == 3.0
+    assert s.count == 5
+
+
+def test_summary_interpolated_quantiles():
+    s = summarize([0.0, 10.0])
+    assert s.q1 == pytest.approx(2.5)
+    assert s.median == pytest.approx(5.0)
+    assert s.q3 == pytest.approx(7.5)
+
+
+def test_summary_single_sample():
+    s = summarize([7.0])
+    assert s.minimum == s.q1 == s.median == s.q3 == s.maximum == 7.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(ValueError):
+        summarize([])
+
+
+def test_summary_unsorted_input():
+    s = summarize([5.0, 1.0, 3.0])
+    assert s.minimum == 1.0
+    assert s.maximum == 5.0
+
+
+def test_as_row_scaling():
+    s = summarize([0.001, 0.002, 0.003])
+    row = s.as_row(scale=1000.0)
+    assert row["median"] == pytest.approx(2.0)
+    assert row["count"] == 3
+
+
+def test_latency_recorder():
+    rec = LatencyRecorder()
+    for value in (0.1, 0.2, 0.3):
+        rec.record(value)
+    assert len(rec) == 3
+    assert rec.summary().median == pytest.approx(0.2)
+    rec.clear()
+    assert len(rec) == 0
+
+
+def test_throughput_meter():
+    meter = ThroughputMeter()
+    meter.start()
+    meter.add(100)
+    meter.stop()
+    assert meter.count == 100
+    assert meter.per_second() > 0
+    assert meter.elapsed() > 0
+
+
+def test_throughput_meter_auto_start():
+    meter = ThroughputMeter()
+    meter.add(5)
+    assert meter.count == 5
+    assert meter.elapsed() > 0

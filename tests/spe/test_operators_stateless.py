@@ -1,0 +1,51 @@
+"""Map, Filter, Union behaviour."""
+
+import pytest
+
+from repro.spe import FilterOperator, MapOperator, StreamTuple, UnionOperator
+
+
+def make(x, tau=0.0):
+    return StreamTuple(tau=tau, job="j", layer=0, payload={"x": x})
+
+
+def test_map_one_to_one():
+    op = MapOperator("m", lambda t: t.derive(payload={"x": t.payload["x"] * 2}))
+    out = op.process(0, make(3))
+    assert len(out) == 1
+    assert out[0].payload["x"] == 6
+
+
+def test_map_one_to_many():
+    op = MapOperator("m", lambda t: [t, t.derive(payload={"x": 0})])
+    assert len(op.process(0, make(1))) == 2
+
+
+def test_map_one_to_none():
+    op = MapOperator("m", lambda t: None)
+    assert op.process(0, make(1)) == []
+
+
+def test_map_generator_result():
+    op = MapOperator("m", lambda t: (t.derive(payload={"x": i}) for i in range(3)))
+    assert [o.payload["x"] for o in op.process(0, make(9))] == [0, 1, 2]
+
+
+def test_filter_pass_and_drop():
+    op = FilterOperator("f", lambda t: t.payload["x"] > 0)
+    assert op.process(0, make(5)) != []
+    assert op.process(0, make(-5)) == []
+    assert op.passed == 1
+    assert op.dropped == 1
+
+
+def test_union_forwards_all_inputs():
+    op = UnionOperator("u", num_inputs=3)
+    for index in range(3):
+        out = op.process(index, make(index))
+        assert out[0].payload["x"] == index
+
+
+def test_union_invalid_inputs():
+    with pytest.raises(ValueError):
+        UnionOperator("u", num_inputs=0)

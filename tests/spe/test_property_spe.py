@@ -1,0 +1,101 @@
+"""Property-based SPE invariants: window algebra and join semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.spe import (
+    AggregateOperator,
+    JoinOperator,
+    StreamTuple,
+    window_indices,
+)
+
+# Dyadic rationals keep l*WA and l*WA+WS exact in binary floating point,
+# so the properties test window *logic* rather than float rounding at the
+# exact boundary (which real event times never hit exactly anyway).
+dyadic = st.integers(min_value=0, max_value=8000).map(lambda n: n / 8.0)
+dyadic_pos = st.integers(min_value=1, max_value=400).map(lambda n: n / 8.0)
+
+
+@given(tau=dyadic, ws=dyadic_pos, wa_num=st.integers(min_value=1, max_value=8))
+@settings(max_examples=200, deadline=None)
+def test_window_indices_cover_and_contain(tau, ws, wa_num):
+    wa = ws * wa_num / 8.0
+    indices = window_indices(tau, ws, wa)
+    # containment: tau falls inside every reported window
+    for index in indices:
+        assert index * wa <= tau < index * wa + ws
+    # coverage: at least one window holds every tau
+    assert indices
+    # completeness: windows adjacent to the reported range do NOT contain tau
+    if indices[0] > 0:
+        below = indices[0] - 1
+        assert not (below * wa <= tau < below * wa + ws)
+    above = indices[-1] + 1
+    assert not (above * wa <= tau < above * wa + ws)
+
+
+@given(
+    taus_list=st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=60),
+    ws=st.integers(min_value=1, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_aggregate_counts_every_tuple_once_in_tumbling_windows(taus_list, ws):
+    """With WS == WA every tuple lands in exactly one emitted window."""
+    taus_list = sorted(taus_list)
+    op = AggregateOperator(
+        "a", ws=float(ws), wa=float(ws),
+        fn=lambda k, s, e, ts: {"n": len(ts)},
+    )
+    emitted = []
+    for tau in taus_list:
+        emitted.extend(op.process(0, StreamTuple(tau=float(tau), job="j", layer=0, payload={})))
+    emitted.extend(op.on_close())
+    assert sum(t.payload["n"] for t in emitted) == len(taus_list)
+
+
+@given(
+    left=st.lists(st.integers(min_value=0, max_value=30), max_size=30),
+    right=st.lists(st.integers(min_value=0, max_value=30), max_size=30),
+    ws=st.integers(min_value=0, max_value=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_join_matches_exactly_the_cartesian_pairs_within_ws(left, right, ws):
+    """Streaming join output == brute-force |tl - tr| <= WS pair count.
+
+    Inputs are fed in sorted order (our sources are in-order); eviction
+    must never drop a pair that is still matchable.
+    """
+    left = sorted(left)
+    right = sorted(right)
+    join = JoinOperator(
+        "j", ws=float(ws),
+        combiner=lambda l, r: StreamTuple(tau=l.tau, job="j", layer=0, payload={}),
+    )
+    matched = 0
+    li = ri = 0
+    # interleave by tau to mimic arrival order
+    while li < len(left) or ri < len(right):
+        take_left = ri >= len(right) or (li < len(left) and left[li] <= right[ri])
+        if take_left:
+            matched += len(join.process(0, StreamTuple(tau=float(left[li]), job="j", layer=0, payload={"side": "L"})))
+            li += 1
+        else:
+            matched += len(join.process(1, StreamTuple(tau=float(right[ri]), job="j", layer=0, payload={"side": "R"})))
+            ri += 1
+    expected = sum(1 for tl in left for tr in right if abs(tl - tr) <= ws)
+    assert matched == expected
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_summary_ordering_invariant(values):
+    from repro.spe import summarize
+
+    s = summarize(values)
+    assert s.minimum <= s.q1 <= s.median <= s.q3 <= s.maximum
+    # mean is subject to float-summation rounding: allow a few ulps
+    import math
+
+    slack = 8 * math.ulp(max(abs(s.minimum), abs(s.maximum), 1.0))
+    assert s.minimum - slack <= s.mean <= s.maximum + slack

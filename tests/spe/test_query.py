@@ -1,0 +1,118 @@
+"""Query graph declaration and materialization."""
+
+import pytest
+
+from repro.spe import (
+    CollectingSink,
+    JoinOperator,
+    ListSource,
+    MapOperator,
+    Query,
+    QueryValidationError,
+    StreamTuple,
+)
+
+
+def tuples(n=3):
+    return [StreamTuple(tau=float(i), job="j", layer=i, payload={"x": i}) for i in range(n)]
+
+
+def identity(name="m"):
+    return MapOperator(name, lambda t: t)
+
+
+def test_minimal_query_builds():
+    q = Query()
+    q.add_source("src", ListSource("src", tuples()))
+    q.add_operator("m", identity(), "src")
+    q.add_sink("out", CollectingSink(), "m")
+    nodes = q.build()
+    assert [n.name for n in nodes] == ["src", "m", "out"]
+    assert len(nodes[0].outputs) == 1
+    assert nodes[1].inputs[0] is nodes[0].outputs[0]
+
+
+def test_duplicate_name_rejected():
+    q = Query()
+    q.add_source("x", ListSource("x", []))
+    with pytest.raises(QueryValidationError):
+        q.add_source("x", ListSource("x", []))
+
+
+def test_unknown_upstream_rejected():
+    q = Query()
+    with pytest.raises(QueryValidationError):
+        q.add_operator("m", identity(), "ghost")
+
+
+def test_missing_sink_rejected():
+    q = Query()
+    q.add_source("src", ListSource("src", []))
+    with pytest.raises(QueryValidationError, match="no sinks"):
+        q.build()
+
+
+def test_missing_source_rejected():
+    q = Query()
+    with pytest.raises(QueryValidationError):
+        q.build()
+
+
+def test_unconsumed_node_rejected():
+    q = Query()
+    q.add_source("src", ListSource("src", []))
+    q.add_source("orphan", ListSource("orphan", []))
+    q.add_sink("out", CollectingSink(), "src")
+    with pytest.raises(QueryValidationError, match="no consumer"):
+        q.build()
+
+
+def test_join_arity_checked():
+    q = Query()
+    q.add_source("a", ListSource("a", []))
+    q.add_operator("join", JoinOperator("join"), ["a"])
+    q.add_sink("out", CollectingSink(), "join")
+    with pytest.raises(QueryValidationError, match="expects 2 inputs"):
+        q.build()
+
+
+def test_parallel_operator_needs_factory():
+    q = Query()
+    q.add_source("src", ListSource("src", []))
+    with pytest.raises(QueryValidationError, match="factory"):
+        q.add_operator("m", identity(), "src", parallelism=2)
+
+
+def test_parallel_build_creates_router_and_replicas():
+    q = Query()
+    q.add_source("src", ListSource("src", tuples()))
+    q.add_operator("m", lambda: identity(), "src", parallelism=3)
+    q.add_sink("out", CollectingSink(), "m")
+    nodes = q.build()
+    names = [n.name for n in nodes]
+    assert "m::router" in names
+    assert {"m::0", "m::1", "m::2"} <= set(names)
+    sink_node = nodes[-1]
+    # all three replicas feed the sink's single input stream
+    assert sink_node.inputs[0]._num_producers == 3
+
+
+def test_parallel_multi_input_rejected():
+    q = Query()
+    q.add_source("a", ListSource("a", []))
+    q.add_operator("j", lambda: JoinOperator("j"), ["a"], parallelism=2)
+    q.add_sink("out", CollectingSink(), "j")
+    with pytest.raises(QueryValidationError):
+        q.build()
+
+
+def test_fanout_broadcasts_to_all_consumers():
+    q = Query()
+    q.add_source("src", ListSource("src", tuples()))
+    q.add_operator("m1", identity("m1"), "src")
+    q.add_operator("m2", identity("m2"), "src")
+    q.add_sink("o1", CollectingSink("o1"), "m1")
+    q.add_sink("o2", CollectingSink("o2"), "m2")
+    nodes = q.build()
+    src = nodes[0]
+    assert len(src.outputs) == 2

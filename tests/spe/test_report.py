@@ -1,0 +1,66 @@
+"""RunReport accessors and formatting."""
+
+import pytest
+
+from repro.spe import (
+    CollectingSink,
+    ListSource,
+    MapOperator,
+    Query,
+    StreamEngine,
+    StreamTuple,
+)
+
+
+@pytest.fixture()
+def report_and_sink():
+    q = Query("fmt")
+    data = [StreamTuple(tau=float(i), job="j", layer=i, payload={"x": i}) for i in range(10)]
+    q.add_source("src", ListSource("src", data))
+    q.add_operator("m", MapOperator("m", lambda t: t), "src")
+    sink = CollectingSink()
+    q.add_sink("out", sink, "m")
+    return StreamEngine(mode="sync").run(q), sink
+
+
+def test_results_delivered(report_and_sink):
+    report, sink = report_and_sink
+    assert report.results_delivered() == 10
+
+
+def test_latency_requires_unique_sink_or_name(report_and_sink):
+    report, _ = report_and_sink
+    assert report.latency_summary().count == 10
+    assert report.latency_summary("out").count == 10
+    with pytest.raises(KeyError):
+        report.latency_summary("nope")
+
+
+def test_format_contains_all_nodes(report_and_sink):
+    report, _ = report_and_sink
+    text = report.format()
+    for fragment in ("query 'fmt'", "src", "m", "out", "10 results", "median"):
+        assert fragment in text, fragment
+    # stats columns present and parse as a table
+    assert "busy_s" in text
+
+
+def test_format_with_zero_results():
+    q = Query("empty")
+    q.add_source("src", ListSource("src", []))
+    sink = CollectingSink()
+    q.add_sink("out", sink, "src")
+    report = StreamEngine(mode="sync").run(q)
+    assert "0 results" in report.format()
+
+
+def test_two_sinks_require_name():
+    q = Query("two")
+    data = [StreamTuple(tau=0.0, job="j", layer=0, payload={})]
+    q.add_source("src", ListSource("src", data))
+    q.add_sink("a", CollectingSink("a"), "src")
+    q.add_sink("b", CollectingSink("b"), "src")
+    report = StreamEngine(mode="sync").run(q)
+    with pytest.raises(ValueError, match="specify a sink name"):
+        report.latency_summary()
+    assert report.latency_summary("a").count == 1

@@ -1,0 +1,78 @@
+"""Source adapters: restamping and pacing."""
+
+import time
+
+import pytest
+
+from repro.spe import (
+    CallbackSource,
+    IterableSource,
+    ListSource,
+    RateLimitedSource,
+    StreamTuple,
+)
+
+
+def make(n):
+    return [
+        StreamTuple(tau=float(i), job="j", layer=i, payload={}, ingest_time=1.0)
+        for i in range(n)
+    ]
+
+
+def test_list_source_restamps_by_default():
+    source = ListSource("s", make(3))
+    before = time.monotonic()
+    out = list(source)
+    assert all(t.ingest_time >= before for t in out)
+
+
+def test_list_source_restamp_off_preserves_stamp():
+    source = ListSource("s", make(3), restamp=False)
+    assert all(t.ingest_time == 1.0 for t in source)
+
+
+def test_list_source_len_and_replayable():
+    source = ListSource("s", make(4))
+    assert len(source) == 4
+    assert len(list(source)) == 4
+    assert len(list(source)) == 4  # list sources replay
+
+
+def test_callback_source_stops_on_none():
+    items = make(3)
+
+    def poll():
+        return items.pop(0) if items else None
+
+    out = list(CallbackSource("s", poll))
+    assert len(out) == 3
+
+
+def test_iterable_source_single_pass():
+    source = IterableSource("s", iter(make(2)))
+    assert len(list(source)) == 2
+    assert list(source) == []  # generator exhausted
+
+
+def test_rate_limited_source_paces():
+    inner = ListSource("s", make(6))
+    source = RateLimitedSource(inner, rate=50.0)  # 20 ms apart
+    started = time.monotonic()
+    out = list(source)
+    elapsed = time.monotonic() - started
+    assert len(out) == 6
+    assert elapsed >= 5 / 50.0 * 0.8  # ~5 inter-arrival gaps
+
+
+def test_rate_limited_source_restamps_at_emission():
+    inner = ListSource("s", make(3), restamp=False)
+    source = RateLimitedSource(inner, rate=100.0)
+    stamps = [t.ingest_time for t in source]
+    assert stamps == sorted(stamps)
+    assert stamps[0] > 1.0  # replaced the dataset-age stamp
+
+
+def test_rate_limited_invalid_rate():
+    with pytest.raises(ValueError):
+        RateLimitedSource(ListSource("s", []), rate=0.0)

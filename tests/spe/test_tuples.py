@@ -1,0 +1,83 @@
+"""StreamTuple metadata/payload semantics."""
+
+import numpy as np
+import pytest
+
+from repro.spe import WHOLE_SPECIMEN, StreamTuple
+
+
+def make(tau=1.0, job="j", layer=1, payload=None, **kwargs):
+    return StreamTuple(tau=tau, job=job, layer=layer, payload=payload or {}, **kwargs)
+
+
+def test_basic_fields():
+    t = make(payload={"x": 1})
+    assert t.tau == 1.0
+    assert t.job == "j"
+    assert t.layer == 1
+    assert t.specimen is None
+    assert t.portion is None
+    assert t.payload == {"x": 1}
+
+
+def test_derive_inherits_and_overrides():
+    t = make(payload={"a": 1}, ingest_time=100.0)
+    d = t.derive(payload={"b": 2}, specimen="S1")
+    assert d.job == "j"
+    assert d.layer == 1
+    assert d.specimen == "S1"
+    assert d.payload == {"b": 2}
+    assert d.ingest_time == 100.0  # lineage preserved for latency
+
+
+def test_derive_without_payload_shares_content():
+    t = make(payload={"a": 1})
+    d = t.derive(specimen="S")
+    assert d.payload == {"a": 1}
+
+
+def test_fused_concatenates_payloads():
+    left = make(payload={"a": 1}, ingest_time=10.0)
+    right = make(payload={"b": 2}, ingest_time=20.0)
+    fused = StreamTuple.fused(left, right)
+    assert fused.payload == {"a": 1, "b": 2}
+    assert fused.ingest_time == 20.0  # latest input: paper's latency basis
+
+
+def test_fused_rejects_duplicate_keys():
+    left = make(payload={"x": 1})
+    right = make(payload={"x": 2})
+    with pytest.raises(ValueError, match="unique payload keys"):
+        StreamTuple.fused(left, right)
+
+
+def test_fused_inherits_specimen_from_either_side():
+    left = make(specimen="S1")
+    right = make(payload={"b": 1})
+    assert StreamTuple.fused(left, right).specimen == "S1"
+    assert StreamTuple.fused(right.derive(payload={}), left.derive(payload={"c": 1})).specimen == "S1"
+
+
+def test_latency_from():
+    t = make(ingest_time=50.0)
+    assert t.latency_from(now=53.5) == pytest.approx(3.5)
+
+
+def test_equality_with_numpy_payload():
+    image = np.arange(9).reshape(3, 3)
+    a = make(payload={"image": image})
+    b = make(payload={"image": image.copy()})
+    c = make(payload={"image": image + 1})
+    assert a == b
+    assert a != c
+
+
+def test_equality_ignores_ingest_time():
+    a = make(ingest_time=1.0)
+    b = make(ingest_time=999.0)
+    assert a == b
+
+
+def test_whole_specimen_constants():
+    t = make(specimen=WHOLE_SPECIMEN)
+    assert t.specimen == WHOLE_SPECIMEN

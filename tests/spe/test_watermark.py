@@ -1,0 +1,44 @@
+"""Watermark tracking across inputs."""
+
+import math
+
+import pytest
+
+from repro.spe import WatermarkTracker
+
+
+def test_single_input_tracks_max():
+    tracker = WatermarkTracker(1)
+    assert tracker.observe(0, 5.0) == 5.0
+    assert tracker.observe(0, 3.0) == 5.0  # out-of-order does not regress
+    assert tracker.observe(0, 9.0) == 9.0
+
+
+def test_min_across_inputs():
+    tracker = WatermarkTracker(2)
+    tracker.observe(0, 10.0)
+    assert tracker.watermark == -math.inf  # input 1 never seen
+    tracker.observe(1, 4.0)
+    assert tracker.watermark == 4.0
+
+
+def test_slack_subtracted():
+    tracker = WatermarkTracker(1, slack=2.5)
+    tracker.observe(0, 10.0)
+    assert tracker.watermark == 7.5
+
+
+def test_closed_input_released():
+    tracker = WatermarkTracker(2)
+    tracker.observe(0, 10.0)
+    tracker.close_input(1)
+    assert tracker.watermark == 10.0
+    tracker.close_input(0)
+    assert tracker.watermark == math.inf
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        WatermarkTracker(0)
+    with pytest.raises(ValueError):
+        WatermarkTracker(1, slack=-1.0)
