@@ -1,0 +1,203 @@
+"""Recovery benchmarks — checkpoint overhead and time-to-recover.
+
+Two questions the fault-tolerance subsystem must answer quantitatively:
+
+* **Overhead**: does periodic aligned checkpointing disturb the steady
+  state?  We stream the evaluation build twice — once bare, once with a
+  periodic :class:`CheckpointCoordinator` — and compare the end-to-end
+  latency distribution of delivered results against the recoat-gap QoS.
+* **Recovery time**: after a mid-build crash, how long until the pipeline
+  is live again?  State restore (rebuild + load snapshot + seek sources)
+  must fit comfortably inside one recoat gap; the suffix replay then
+  closes the result gap.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import format_table, save_json
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.kvstore.memory import MemoryStore
+from repro.recovery import ChaosInjector, CheckpointCoordinator, RecoveryCoordinator
+from repro.spe.metrics import summarize
+
+CHECKPOINT_INTERVAL_S = 0.4
+PACE_S = 0.1  # steady-state inter-layer pacing for the overhead runs
+CRASH_PACE_S = 0.25  # slower pacing so the crash run dies mid-build
+
+
+def _paced(records, delay):
+    for record in records:
+        time.sleep(delay)
+        yield record
+
+
+def _build(strata, profile, workload, pace=0.0):
+    edge = profile.scale_cell_edge(20)
+    config = UseCaseConfig(
+        image_px=profile.image_px, cell_edge_px=edge, window_layers=10,
+        vectorized=True,
+    )
+    calibrate_job(
+        strata.kv, workload.job.job_id, workload.reference_images(), edge,
+        regions=specimen_regions_px(workload.job.specimens, profile.image_px),
+    )
+    records = workload.records
+    ot = _paced(records, pace) if pace else iter(records)
+    pp = _paced(records, pace) if pace else iter(records)
+    return build_use_case(ot, pp, config, strata=strata, checkpointable=True)
+
+
+class _TimedRecovery:
+    """RecoveryCoordinator wrapper that times the restore phase alone."""
+
+    def __init__(self, store) -> None:
+        self.coordinator = RecoveryCoordinator(store)
+        self.restore_seconds = float("nan")
+
+    def __call__(self, nodes) -> None:
+        started = time.perf_counter()
+        self.coordinator(nodes)
+        self.restore_seconds = time.perf_counter() - started
+
+    @property
+    def report(self):
+        return self.coordinator.report
+
+
+_rows: list[list] = []
+_results: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("variant", ["baseline", "checkpointed"])
+def test_checkpoint_overhead(benchmark, profile, workload, variant):
+    """Steady-state latency with and without periodic checkpointing."""
+
+    def run():
+        strata = Strata(engine_mode="threaded")
+        pipeline = _build(strata, profile, workload, pace=PACE_S)
+        coordinator = None
+        if variant == "checkpointed":
+            coordinator = CheckpointCoordinator(
+                MemoryStore(), interval=CHECKPOINT_INTERVAL_S
+            )
+            strata.start(checkpointer=coordinator)
+            coordinator.start_periodic()
+        else:
+            strata.start()
+        strata.wait(timeout=600)
+        if coordinator is not None:
+            coordinator.stop()
+        epochs = len(coordinator.completed_epochs) if coordinator else 0
+        return summarize(pipeline.sink.latency.samples()), len(
+            pipeline.sink.results
+        ), epochs
+
+    summary, results, epochs = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows.append(
+        [
+            variant,
+            round(summary.median * 1000, 2),
+            round(summary.p95 * 1000, 2),
+            results,
+            epochs,
+        ]
+    )
+    _results[f"overhead/{variant}"] = {
+        "median_s": summary.median,
+        "p95_s": summary.p95,
+        "results": results,
+        "checkpoints": epochs,
+        "qos_seconds": profile.qos_seconds,
+    }
+    benchmark.extra_info.update(variant=variant, median_latency_s=summary.median)
+    assert results == profile.layers * len(workload.job.specimens)
+    # the recoat-gap QoS must hold with checkpointing enabled
+    assert summary.median <= profile.qos_seconds
+    if variant == "checkpointed":
+        assert epochs >= 2, "periodic coordinator committed too few epochs"
+
+
+def test_recovery_time(benchmark, profile, workload):
+    """Crash after two checkpoints; measure restore + replay-to-complete."""
+    ckpt_store = MemoryStore()
+    specimens = len(workload.job.specimens)
+
+    def crash_then_recover():
+        # -- run 1: checkpoint twice, then kill mid-build ---------------------
+        strata = Strata(engine_mode="threaded")
+        pipeline = _build(strata, profile, workload, pace=CRASH_PACE_S)
+        coordinator = CheckpointCoordinator(ckpt_store, retain=3)
+        strata.start(checkpointer=coordinator)
+        for _ in range(2):
+            coordinator.trigger(timeout=30.0)
+        chaos = ChaosInjector(
+            strata._engine,
+            lambda: len(pipeline.sink.results) >= 3 * specimens,
+            timeout=120.0,
+        ).start()
+        assert chaos.join(timeout=180.0), "chaos kill did not fire"
+        partial = len(pipeline.sink.results)
+
+        # -- run 2: rebuild, restore, replay the suffix -----------------------
+        strata2 = Strata(engine_mode="threaded")
+        pipeline2 = _build(strata2, profile, workload)
+        recovery = _TimedRecovery(ckpt_store)
+        started = time.perf_counter()
+        strata2.deploy(recover_from=recovery)
+        total = time.perf_counter() - started
+        assert recovery.report is not None
+        return {
+            "partial_results_at_crash": partial,
+            "checkpoints_before_crash": len(coordinator.completed_epochs),
+            "recovered_epoch": recovery.report.epoch,
+            "restore_s": recovery.restore_seconds,
+            "replay_to_complete_s": total,
+            "results_after_recovery": len(pipeline2.sink.results),
+            "duplicates_suppressed": pipeline2.sink.duplicates,
+        }
+
+    outcome = benchmark.pedantic(crash_then_recover, rounds=1, iterations=1)
+    _rows.append(
+        [
+            "recovery",
+            round(outcome["restore_s"] * 1000, 2),
+            round(outcome["replay_to_complete_s"] * 1000, 2),
+            outcome["results_after_recovery"],
+            outcome["checkpoints_before_crash"],
+        ]
+    )
+    _results["recovery"] = {**outcome, "qos_seconds": profile.qos_seconds}
+    benchmark.extra_info.update(**outcome)
+    assert outcome["checkpoints_before_crash"] >= 2
+    assert outcome["results_after_recovery"] == profile.layers * len(
+        workload.job.specimens
+    )
+    # state restore must fit inside one recoat gap
+    assert outcome["restore_s"] <= profile.qos_seconds
+
+
+def test_recovery_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_rows) == 3
+    print("\n=== Recovery: checkpoint overhead and time-to-recover ===")
+    print(
+        format_table(
+            ["run", "median/restore_ms", "p95/total_ms", "results", "ckpts"], _rows
+        )
+    )
+    save_json("recovery_time", _results)
+    overhead = _results["overhead/checkpointed"]["median_s"] - _results[
+        "overhead/baseline"
+    ]["median_s"]
+    _results["overhead/delta_median_s"] = overhead
+    save_json("recovery_time", _results)

@@ -58,6 +58,21 @@ class AdaptiveThresholdLearner:
             very_warm_above=self._center + self._offsets[3],
         )
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable learner state (EWMA center + fixed band shape)."""
+        return {
+            "alpha": self._alpha,
+            "center": self._center,
+            "offsets": list(self._offsets),
+            "updates": self.updates,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._alpha = float(state["alpha"])
+        self._center = float(state["center"])
+        self._offsets = tuple(float(o) for o in state["offsets"])
+        self.updates = int(state["updates"])
+
     def update(self, cell_means: np.ndarray) -> ThermalThresholds:
         """Fold one layer's cell means into the baseline; returns current.
 

@@ -40,11 +40,24 @@ def boxplot_row(label: Any, summary: FiveNumberSummary, scale: float = 1000.0) -
         stats["q3"],
         stats["max"],
         stats["mean"],
+        stats["p95"],
+        stats["p99"],
         summary.count,
     ]
 
 
-BOXPLOT_HEADERS = ["param", "min_ms", "q1_ms", "median_ms", "q3_ms", "max_ms", "mean_ms", "n"]
+BOXPLOT_HEADERS = [
+    "param",
+    "min_ms",
+    "q1_ms",
+    "median_ms",
+    "q3_ms",
+    "max_ms",
+    "mean_ms",
+    "p95_ms",
+    "p99_ms",
+    "n",
+]
 
 
 def save_json(name: str, payload: dict[str, Any]) -> Path:

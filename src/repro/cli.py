@@ -7,7 +7,8 @@ writing any code:
 * ``monitor``    — live build with automatic early termination;
 * ``replay``     — as-fast-as-possible reprocessing of a historic build;
 * ``streaks``    — the recoater-streak use case;
-* ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps.
+* ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps;
+* ``recover``    — checkpointed run with crash simulation and recovery.
 """
 
 from __future__ import annotations
@@ -226,6 +227,94 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_recover(args: argparse.Namespace) -> int:
+    """Checkpointed monitoring run that survives crashes across processes.
+
+    State (checkpoints and thresholds) lives in an on-disk LSM store under
+    ``--state-dir``. With ``--crash-after N`` the process hard-stops once N
+    results were delivered after at least one committed checkpoint (exit
+    code 3). Re-running without the flag recovers from the newest
+    checkpoint, replays from the checkpointed source offsets, and
+    completes the build; duplicate results are suppressed at the sink.
+    """
+    import time
+
+    from .kvstore.lsm import LSMStore
+    from .recovery import CheckpointCoordinator, RecoveryCoordinator
+
+    job, _, records, reference_images = _prepare(args)
+    config = UseCaseConfig(
+        image_px=args.image_px, cell_edge_px=args.cell_edge,
+        window_layers=args.window,
+    )
+    store = LSMStore(args.state_dir)
+    try:
+        strata = Strata(engine_mode="threaded", store=store)
+        calibrate_job(
+            strata.kv, job.job_id, reference_images, args.cell_edge,
+            regions=specimen_regions_px(job.specimens, args.image_px),
+        )
+
+        def paced(recs):
+            for record in recs:
+                if args.pace > 0:
+                    time.sleep(args.pace)
+                yield record
+
+        pipeline = build_use_case(
+            paced(records), paced(records), config, strata=strata,
+            checkpointable=True,
+        )
+        coordinator = CheckpointCoordinator(
+            store, interval=args.checkpoint_interval, retain=args.retain
+        )
+        recovery = RecoveryCoordinator(store)
+        crashed = False
+        if args.crash_after is None:
+            strata.start(checkpointer=coordinator, recover_from=recovery)
+            coordinator.start_periodic()
+            strata.wait(timeout=600)
+        else:
+            strata.start(checkpointer=coordinator, recover_from=recovery)
+            deadline = time.monotonic() + 600
+            while time.monotonic() < deadline:
+                try:
+                    coordinator.trigger(timeout=10.0)
+                except Exception:
+                    break  # sources drained: the build finished first
+                if (coordinator.completed_epochs
+                        and len(pipeline.sink.results) >= args.crash_after):
+                    strata.stop()
+                    crashed = True
+                    break
+                time.sleep(0.01)
+            if not crashed:
+                strata.wait(timeout=600)
+        coordinator.stop()
+
+        if recovery.report is not None:
+            print(f"recovered from checkpoint epoch {recovery.report.epoch} "
+                  f"({len(recovery.report.nodes_restored)} operators, "
+                  f"{len(recovery.report.sources_restored)} sources)")
+        else:
+            print("cold start (no checkpoint found)")
+        results = pipeline.sink.results
+        duplicates = getattr(pipeline.sink, "duplicates", 0)
+        epochs = list(coordinator.completed_epochs)
+        if crashed:
+            print(f"CRASHED (simulated) after {len(results)} results, "
+                  f"checkpoints committed: {epochs}")
+            print(f"re-run without --crash-after to recover from "
+                  f"{args.state_dir}")
+            return 3
+        flagged = [t for t in results if t.payload["num_clusters"] > 0]
+        print(f"completed: reports={len(results)} flagged={len(flagged)} "
+              f"checkpoints={epochs} replay_duplicates_suppressed={duplicates}")
+        return 0
+    finally:
+        store.close()
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one subcommand per flow)."""
     parser = argparse.ArgumentParser(
@@ -259,6 +348,22 @@ def build_parser() -> argparse.ArgumentParser:
     sp = subparsers.add_parser("figures", help="compact Figure 5/6/7 sweeps")
     _add_common(sp)
     sp.set_defaults(fn=cmd_figures)
+
+    sp = subparsers.add_parser(
+        "recover", help="checkpointed run with crash simulation and recovery"
+    )
+    _add_common(sp)
+    sp.add_argument("--state-dir", required=True,
+                    help="directory for the persistent LSM state store")
+    sp.add_argument("--crash-after", type=int, default=None,
+                    help="simulate a crash after N results (needs >=1 checkpoint)")
+    sp.add_argument("--retain", type=int, default=3,
+                    help="checkpoints to keep")
+    sp.add_argument("--checkpoint-interval", type=float, default=1.0,
+                    help="seconds between automatic checkpoints")
+    sp.add_argument("--pace", type=float, default=0.05,
+                    help="seconds between layer arrivals (0 = flat out)")
+    sp.set_defaults(fn=cmd_recover)
 
     return parser
 

@@ -125,6 +125,16 @@ class LayerWindowClusterer:
     def window_layers(self) -> int:
         return self._window_layers
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Checkpointable window contents (the L retained layers)."""
+        return {"layers": [(layer, xy.copy()) for layer, xy in self._layers]}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._layers = deque(
+            (int(layer), np.asarray(xy, dtype=float).reshape(-1, 2))
+            for layer, xy in state["layers"]
+        )
+
     def observe_layer(self, layer: int, xy_points: np.ndarray) -> ClusteringResult:
         """Add one completed layer's event points and cluster the window."""
         xy_points = np.asarray(xy_points, dtype=float).reshape(-1, 2)
@@ -177,6 +187,12 @@ class IncrementalLayerClusterer(LayerWindowClusterer):
     def __init__(self, *args: float, **kwargs: float) -> None:
         super().__init__(*args, **kwargs)
         self._cached: ClusteringResult | None = None
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        super().restore_state(state)
+        # The cached result belongs to the pre-crash instance; recompute
+        # lazily from the restored window on the next observe_layer.
+        self._cached = None
 
     def observe_layer(self, layer: int, xy_points: np.ndarray) -> ClusteringResult:
         xy_points = np.asarray(xy_points, dtype=float).reshape(-1, 2)

@@ -32,6 +32,7 @@ from typing import Any, Callable, Hashable
 from ..kvstore.api import KVStore
 from ..kvstore.memory import MemoryStore
 from ..pubsub.broker import Broker
+from ..recovery.source import CheckpointableSource
 from ..spe.engine import RunReport, StreamEngine
 from ..spe.operators.filter import FilterOperator
 from ..spe.operators.join import JoinOperator
@@ -111,13 +112,20 @@ class Strata:
 
     # -- Raw Data Collector module -----------------------------------------
 
-    def addSource(self, src: Source, s_out: str) -> "Strata":
+    def addSource(
+        self, src: Source, s_out: str, checkpointable: bool = False
+    ) -> "Strata":
         """Register a collector whose stream ``s_out`` feeds pipelines.
 
         Output schema: ``<tau, job, layer, [k1:v1, k2:v2, ...]>``.
+        ``checkpointable=True`` wraps the source so checkpoint barriers can
+        be injected into its stream (required to ``deploy``/``start`` with
+        a checkpoint coordinator); already-wrapped sources pass through.
         """
         self._check_mutable()
         self._check_new_stream(s_out)
+        if checkpointable and not hasattr(src, "request_barrier"):
+            src = CheckpointableSource(src)
         node = f"source:{s_out}"
         self._query.add_source(node, src)
         self._streams[s_out] = (node, MODULE_RAW)
@@ -288,15 +296,47 @@ class Strata:
         self._sinks[node] = sink
         return sink
 
-    def deploy(self) -> RunReport:
-        """Run the composed pipeline to completion (finite sources)."""
-        self._deployed = True
-        return self._engine.run(self._query)
+    def deploy(
+        self, checkpointer: Any | None = None, recover_from: Any | None = None
+    ) -> RunReport:
+        """Run the composed pipeline to completion (finite sources).
 
-    def start(self) -> dict[str, Sink]:
-        """Deploy in the background (threaded engine); returns the sinks."""
+        ``checkpointer`` (a ``repro.recovery.CheckpointCoordinator``) takes
+        aligned snapshots while the pipeline runs; ``recover_from`` (a
+        ``RecoveryCoordinator``, a KV store, or ``True`` for this
+        instance's own store) restores the newest committed checkpoint
+        into the freshly built pipeline before execution starts.
+        """
         self._deployed = True
-        return self._engine.start(self._query)
+        return self._engine.run(
+            self._query,
+            checkpointer=checkpointer,
+            on_built=self._recovery_hook(recover_from),
+        )
+
+    def start(
+        self, checkpointer: Any | None = None, recover_from: Any | None = None
+    ) -> dict[str, Sink]:
+        """Deploy in the background (threaded engine); returns the sinks.
+
+        Same ``checkpointer``/``recover_from`` semantics as :meth:`deploy`.
+        """
+        self._deployed = True
+        return self._engine.start(
+            self._query,
+            checkpointer=checkpointer,
+            on_built=self._recovery_hook(recover_from),
+        )
+
+    def _recovery_hook(self, recover_from: Any | None):
+        if recover_from is None:
+            return None
+        if callable(recover_from):  # a RecoveryCoordinator (or compatible)
+            return recover_from
+        from ..recovery.recover import RecoveryCoordinator
+
+        store = self._store if recover_from is True else recover_from
+        return RecoveryCoordinator(store)
 
     def stop(self, timeout: float = 10.0) -> None:
         """Stop a background deployment."""
@@ -345,7 +385,12 @@ class Strata:
             return bridged
         topic = topic_for_stream(stream)
         writer = PubSubWriterSink(f"writer:{stream}", self._broker, topic)
-        reader = PubSubReaderSource(f"reader:{stream}", self._broker, topic)
+        # Bridge readers are always barrier-capable: checkpointing a pubsub
+        # topology must capture the reader's broker offsets, and the wrap
+        # costs nothing when no checkpointer is attached.
+        reader = CheckpointableSource(
+            PubSubReaderSource(f"reader:{stream}", self._broker, topic)
+        )
         self._query.add_sink(f"sink:{writer.name}", writer, [node])
         self._query.add_source(bridged, reader)
         self._streams[f"{stream}@{consumer_module}"] = (bridged, consumer_module)

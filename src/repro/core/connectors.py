@@ -77,6 +77,27 @@ class PubSubReaderSource(Source):
         )
         self._poll_timeout = poll_timeout
 
+    @property
+    def consumer(self) -> Consumer:
+        return self._consumer
+
+    def offsets(self) -> list[list]:
+        """Replay positions as ``[topic, partition, next_offset]`` triples."""
+        return [
+            [topic, partition, self._consumer.position(topic, partition)]
+            for topic, partition in self._consumer.assignment
+        ]
+
+    def seek(self, offsets: list[list]) -> None:
+        """Rewind to positions previously captured by :meth:`offsets`."""
+        for topic, partition, offset in offsets:
+            self._consumer.seek(topic, int(partition), int(offset))
+
+    def commit_offsets(self, offsets: list[list]) -> None:
+        """Pin captured positions on the broker (per-partition commits)."""
+        for topic, partition, offset in offsets:
+            self._consumer.commit(topic, int(partition), int(offset))
+
     def __iter__(self) -> Iterator[StreamTuple]:
         while True:
             for message in self._consumer.poll(timeout=self._poll_timeout):

@@ -19,7 +19,12 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable
 
-from ..spe.operators.base import Operator, as_tuple_list
+from ..spe.operators.base import (
+    Operator,
+    as_tuple_list,
+    restore_callable,
+    snapshot_callable,
+)
 from ..spe.tuples import WHOLE_PORTION, WHOLE_SPECIMEN, StreamTuple
 from .punctuation import is_punctuation, make_punctuation
 
@@ -73,6 +78,13 @@ class PartitionOperator(Operator):
         punctuation = [make_punctuation(t, specimen) for specimen in seen]
         return outputs + punctuation
 
+    def snapshot_state(self) -> dict[str, Any] | None:
+        fn_state = snapshot_callable(self._fn)
+        return None if fn_state is None else {"fn": fn_state}
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        restore_callable(self._fn, state.get("fn"))
+
 
 class DetectEventOperator(Operator):
     """Map wrapper for ``detectEvent(s_in, s_out, F)``.
@@ -112,6 +124,17 @@ class DetectEventOperator(Operator):
                 specimens.append(t.specimen)
             outputs = outputs + [make_punctuation(t, s) for s in specimens]
         return outputs
+
+    def snapshot_state(self) -> dict[str, Any]:
+        state: dict[str, Any] = {"events_out": self.events_out}
+        fn_state = snapshot_callable(self._fn)
+        if fn_state is not None:
+            state["fn"] = fn_state
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self.events_out = int(state["events_out"])
+        restore_callable(self._fn, state.get("fn"))
 
 
 class CorrelateEventsOperator(Operator):
@@ -175,6 +198,34 @@ class CorrelateEventsOperator(Operator):
                 )
             outputs.append(out)
         return outputs
+
+    def snapshot_state(self) -> dict[str, Any]:
+        """The full L-layer event window per (job, specimen) group.
+
+        This is the state the 3 s recoat-gap QoS cannot afford to rebuild
+        from scratch after a crash: up to L layers of events per specimen.
+        """
+        state: dict[str, Any] = {
+            "events": {
+                group: {layer: list(events) for layer, events in per_layer.items()}
+                for group, per_layer in self._events.items()
+            },
+            "last_punct": dict(self._last_punct),
+            "triggers": self.triggers,
+        }
+        fn_state = snapshot_callable(self._fn)
+        if fn_state is not None:
+            state["fn"] = fn_state
+        return state
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._events = {
+            group: {int(layer): list(events) for layer, events in per_layer.items()}
+            for group, per_layer in state["events"].items()
+        }
+        self._last_punct = dict(state["last_punct"])
+        self.triggers = int(state["triggers"])
+        restore_callable(self._fn, state.get("fn"))
 
     def on_close(self) -> list[StreamTuple]:
         # Nothing to flush: results are punctuation-triggered, and every

@@ -130,6 +130,7 @@ def build_use_case(
     ot_source: Source | None = None,
     pp_source: Source | None = None,
     detect_override: LabelSpecimenCells | LabelCell | None = None,
+    checkpointable: bool = False,
 ) -> UseCasePipeline:
     """Compose Algorithm 1 on a Strata instance.
 
@@ -139,16 +140,32 @@ def build_use_case(
     the bench harness to pace arrivals); when given, the corresponding
     records iterable is ignored. ``detect_override`` swaps in a custom
     detect function (e.g. the adaptive-threshold variant) in the
-    vectorized slot.
+    vectorized slot. ``checkpointable=True`` wraps both collectors for
+    barrier injection and the expert sink in a
+    :class:`~repro.recovery.dedup.DedupSink`, making the pipeline ready
+    for ``deploy(checkpointer=...)`` / crash recovery.
     """
     if strata is None:
         strata = Strata()
     if sink is None:
         sink = CollectingSink("expert")
+    if checkpointable:
+        from ..recovery.dedup import DedupSink
+
+        if not isinstance(sink, DedupSink):
+            sink = DedupSink(sink)
 
     # Alg. 1 L1-L2: raw data collectors.
-    strata.addSource(pp_source or PrintingParameterCollector(pp_records), "pp")
-    strata.addSource(ot_source or OTImageCollector(ot_records), "OT")
+    strata.addSource(
+        pp_source or PrintingParameterCollector(pp_records),
+        "pp",
+        checkpointable=checkpointable,
+    )
+    strata.addSource(
+        ot_source or OTImageCollector(ot_records),
+        "OT",
+        checkpointable=checkpointable,
+    )
     # Alg. 1 L3: fuse OT images with printing parameters (same tau/job/layer).
     strata.fuse("OT", "pp", "OT&pp")
     # Alg. 1 L4: isolate the pixels of each specimen.

@@ -131,11 +131,41 @@ class Consumer:
             self.commit()
         return out
 
-    def commit(self) -> None:
-        """Commit current positions for the whole assignment."""
-        for (name, partition), offset in self._positions.items():
-            if (name, partition) in self._assignment:
-                self._broker.commit(self._group, name, partition, offset)
+    def commit(
+        self,
+        topic: str | None = None,
+        partition: int | None = None,
+        offset: int | None = None,
+    ) -> None:
+        """Commit offsets to the broker.
+
+        Without arguments, commits the current position of every assigned
+        partition (the legacy whole-assignment behavior). With ``topic`` and
+        ``partition``, commits just that partition — at ``offset`` when
+        given, else at its current position. Per-partition commits let a
+        checkpoint coordinator pin exactly the offsets captured at a
+        barrier, independent of how far the consumer has read since.
+        """
+        if topic is None:
+            if partition is not None or offset is not None:
+                raise ValueError("partition/offset require a topic")
+            for (name, part), position in self._positions.items():
+                if (name, part) in self._assignment:
+                    self._broker.commit(self._group, name, part, position)
+            return
+        if partition is None:
+            raise ValueError("per-partition commit requires a partition")
+        if offset is None:
+            if (topic, partition) not in self._positions:
+                raise InvalidOffsetError(f"{topic}/{partition} has no position")
+            offset = self._positions[(topic, partition)]
+        if offset < 0:
+            raise InvalidOffsetError(f"cannot commit negative offset {offset}")
+        self._broker.commit(self._group, topic, partition, offset)
+
+    def committed(self, topic: str, partition: int) -> int | None:
+        """Offset last committed for this group+partition (None if never)."""
+        return self._broker.committed(self._group, topic, partition)
 
     def __iter__(self) -> Iterator[Message]:
         """Drain everything currently available (non-blocking)."""

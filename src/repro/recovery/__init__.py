@@ -1,0 +1,43 @@
+"""Checkpointing & crash recovery (the fault-tolerance tier of STRATA).
+
+The paper's middleware must survive component failures without losing the
+per-cell/per-specimen monitoring state accumulated over a multi-hour print.
+This package implements Chandy–Lamport-style *aligned checkpoint barriers*:
+
+* :class:`CheckpointCoordinator` injects barriers at the sources and
+  commits each epoch's snapshots to a :mod:`repro.kvstore` backend,
+  manifest record strictly last (atomic visibility).
+* :class:`CheckpointableSource` wraps any SPE source so barriers enter the
+  stream at exact cut points, with pubsub offsets or replay counts
+  captured at injection.
+* :class:`RecoveryCoordinator` restores a rebuilt pipeline from the newest
+  committed epoch and seeks sources back for replay.
+* :class:`DedupSink` suppresses replayed results for effectively-exactly-
+  once delivery to the expert.
+* :mod:`~repro.recovery.chaos` kills pipelines mid-build so tests can
+  prove all of the above.
+"""
+
+from .chaos import ChaosError, ChaosInjector, CrashingFunction
+from .coordinator import CheckpointCoordinator
+from .dedup import DedupSink, result_identity
+from .errors import CheckpointConfigError, NoCheckpointError, RecoveryError
+from .recover import RecoveryCoordinator, RecoveryReport
+from .source import CheckpointableSource
+from .storage import CheckpointStorage
+
+__all__ = [
+    "CheckpointCoordinator",
+    "CheckpointStorage",
+    "CheckpointableSource",
+    "RecoveryCoordinator",
+    "RecoveryReport",
+    "DedupSink",
+    "result_identity",
+    "ChaosInjector",
+    "CrashingFunction",
+    "ChaosError",
+    "RecoveryError",
+    "CheckpointConfigError",
+    "NoCheckpointError",
+]

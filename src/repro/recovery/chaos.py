@@ -1,0 +1,87 @@
+"""Chaos harness: kill a running pipeline mid-build, on purpose.
+
+Recovery code that is only exercised by clean shutdowns is recovery code
+that does not work. :class:`ChaosInjector` watches a running engine from a
+background thread and stops it the moment a user condition holds (e.g.
+"two checkpoints committed and five results delivered"), simulating an
+operator/consumer crash at an adversarial moment. :class:`CrashingFunction`
+injects a failure *inside* an operator instead, killing the node thread
+through the engine's error path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from ..spe.tuples import StreamTuple
+
+
+class ChaosError(RuntimeError):
+    """The failure injected by chaos tooling."""
+
+
+class ChaosInjector:
+    """Stops an engine (crash-style) once a trigger condition holds."""
+
+    def __init__(
+        self,
+        engine: Any,
+        condition: Callable[[], bool],
+        poll_interval: float = 0.005,
+        timeout: float = 30.0,
+    ) -> None:
+        self._engine = engine
+        self._condition = condition
+        self._poll_interval = poll_interval
+        self._timeout = timeout
+        self._thread: threading.Thread | None = None
+        self.fired = threading.Event()
+        self.timed_out = False
+
+    def start(self) -> "ChaosInjector":
+        self._thread = threading.Thread(
+            target=self._watch, name="chaos-injector", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _watch(self) -> None:
+        deadline = self._timeout / self._poll_interval
+        polls = 0
+        while polls < deadline:
+            if self._condition():
+                # Hard stop: node threads abandon queued work, exactly what
+                # a crashed process would leave behind.
+                self._engine.stop()
+                self.fired.set()
+                return
+            threading.Event().wait(self._poll_interval)
+            polls += 1
+        self.timed_out = True
+
+    def join(self, timeout: float | None = None) -> bool:
+        """Wait until the kill fired (True) or the watcher gave up."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+        return self.fired.is_set()
+
+
+class CrashingFunction:
+    """Map-function wrapper that raises after N tuples pass through.
+
+    Stateless by design (``ChaosError`` is the product, not the state), so
+    it composes with checkpointable functions via MapOperator delegation.
+    """
+
+    def __init__(self, fn: Callable[[StreamTuple], Any], crash_after: int) -> None:
+        if crash_after < 0:
+            raise ValueError("crash_after must be non-negative")
+        self._fn = fn
+        self._remaining = crash_after
+
+    def __call__(self, t: StreamTuple) -> Any:
+        if self._remaining <= 0:
+            raise ChaosError("injected operator crash")
+        self._remaining -= 1
+        return self._fn(t)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the checkpoint/recovery subsystem."""
+
+from __future__ import annotations
+
+from ..spe.errors import SPEError
+
+
+class RecoveryError(SPEError):
+    """Base class for checkpoint and recovery failures."""
+
+
+class CheckpointConfigError(RecoveryError):
+    """Raised when a query cannot be checkpointed as configured.
+
+    Typically: a source that cannot carry barriers, so downstream
+    operators would block forever waiting for alignment.
+    """
+
+
+class NoCheckpointError(RecoveryError):
+    """Raised when recovery is requested but no committed epoch exists."""

@@ -1,0 +1,116 @@
+"""Post-crash recovery: restore a rebuilt pipeline from the last checkpoint.
+
+A :class:`RecoveryCoordinator` is used as the engine's ``on_built`` hook:
+the caller rebuilds the *same* query topology (same node names), and the
+coordinator — between ``query.build()`` and scheduler start — looks up the
+newest committed epoch, restores every manifested node's state, and seeks
+every source back to its captured position. The sources then replay the
+post-checkpoint suffix; sink-side dedup absorbs any overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..kvstore.api import KVStore
+from ..spe.query import Node
+from .errors import NoCheckpointError, RecoveryError
+from .storage import CheckpointStorage
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery pass restored."""
+
+    epoch: int
+    nodes_restored: list[str] = field(default_factory=list)
+    sources_restored: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # a report means recovery happened
+        return True
+
+
+class RecoveryCoordinator:
+    """Restores operator/sink/source state captured by a checkpoint."""
+
+    def __init__(
+        self,
+        store: KVStore | CheckpointStorage,
+        epoch: int | None = None,
+        strict: bool = True,
+        require_checkpoint: bool = False,
+    ) -> None:
+        self.storage = (
+            store if isinstance(store, CheckpointStorage) else CheckpointStorage(store)
+        )
+        self._epoch = epoch
+        self._strict = strict
+        self._require = require_checkpoint
+        self.report: RecoveryReport | None = None
+
+    def latest_epoch(self) -> int | None:
+        return self.storage.latest_epoch()
+
+    def __call__(self, nodes: list[Node]) -> None:
+        """Engine ``on_built`` hook signature."""
+        self.restore(nodes)
+
+    def restore(self, nodes: list[Node]) -> RecoveryReport | None:
+        """Restore state into materialized nodes; None on a cold start."""
+        epoch = self._epoch if self._epoch is not None else self.storage.latest_epoch()
+        if epoch is None:
+            if self._require:
+                raise NoCheckpointError("no committed checkpoint epoch found")
+            self.report = None
+            return None
+        manifest = self.storage.load_manifest(epoch)
+        if manifest is None:
+            raise NoCheckpointError(f"epoch {epoch} has no committed manifest")
+        by_name = {node.name: node for node in nodes}
+        report = RecoveryReport(epoch=epoch)
+        for name in manifest.get("nodes", []):
+            node = by_name.get(name)
+            if node is None:
+                if self._strict:
+                    raise RecoveryError(
+                        f"checkpoint epoch {epoch} has state for unknown node "
+                        f"{name!r}; rebuild the same topology before recovering"
+                    )
+                continue
+            state = self.storage.load_node_state(epoch, name)
+            if state is None:
+                raise RecoveryError(
+                    f"manifest of epoch {epoch} lists {name!r} but its state "
+                    "record is missing (corrupt checkpoint)"
+                )
+            if node.kind == "operator":
+                node.operator.restore_state(state)
+            elif node.kind == "sink":
+                node.sink.restore_state(state)
+            else:
+                raise RecoveryError(f"node {name!r} is a source, not a state holder")
+            report.nodes_restored.append(name)
+        for name in manifest.get("sources", []):
+            node = by_name.get(name)
+            if node is None or node.kind != "source":
+                if self._strict:
+                    raise RecoveryError(
+                        f"checkpoint epoch {epoch} captured source {name!r} "
+                        "which the rebuilt query does not declare"
+                    )
+                continue
+            position = self.storage.load_source_position(epoch, name)
+            if position is None:
+                raise RecoveryError(
+                    f"manifest of epoch {epoch} lists source {name!r} but its "
+                    "position record is missing (corrupt checkpoint)"
+                )
+            if not hasattr(node.source, "restore_position"):
+                raise RecoveryError(
+                    f"source node {name!r} cannot replay; wrap it in "
+                    "repro.recovery.CheckpointableSource"
+                )
+            node.source.restore_position(position)
+            report.sources_restored.append(name)
+        self.report = report
+        return report

@@ -1,0 +1,110 @@
+"""Barrier-capable source wrapper.
+
+:class:`CheckpointableSource` decorates any SPE source so the checkpoint
+coordinator can inject :class:`~repro.spe.barrier.CheckpointBarrier` items
+into its tuple stream. The barrier is yielded *by the source's own
+iterator, between tuples*, which is the only place where the source's
+replay position exactly matches the barrier's position in the stream —
+injecting from another thread would race against in-flight tuples.
+
+Two position models, chosen by duck-typing the inner source:
+
+* **pubsub** — the inner source exposes ``offsets()``/``seek()`` (e.g.
+  :class:`~repro.core.connectors.PubSubReaderSource`); positions are
+  per-partition broker offsets and restore is an exact seek.
+* **count** — any other source; the position is the number of tuples
+  emitted, and restore skips that many tuples on the next iteration
+  (correct whenever the source replays deterministically, which holds for
+  the replayed-print datasets this repo uses).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from ..spe.barrier import CheckpointBarrier
+from ..spe.source import Source
+from ..spe.tuples import StreamTuple
+
+#: (source_name, epoch, position) — invoked at the exact injection point
+OffsetCallback = Callable[[str, int, dict], None]
+
+KIND_PUBSUB = "pubsub"
+KIND_COUNT = "count"
+
+
+class CheckpointableSource(Source):
+    """Wraps a source so barriers can be injected at exact cut points."""
+
+    def __init__(self, inner: Source, name: str | None = None) -> None:
+        super().__init__(name or inner.name)
+        self._inner = inner
+        self._lock = threading.Lock()
+        self._pending: list[tuple[CheckpointBarrier, OffsetCallback | None]] = []
+        self._emitted = 0
+        self._skip = 0
+
+    @property
+    def inner(self) -> Source:
+        return self._inner
+
+    @property
+    def emitted(self) -> int:
+        """Tuples emitted so far (excludes barriers and skipped replays)."""
+        return self._emitted
+
+    def request_barrier(
+        self, barrier: CheckpointBarrier, on_inject: OffsetCallback | None = None
+    ) -> None:
+        """Ask the source to emit ``barrier`` before its next tuple.
+
+        Thread-safe; the barrier is injected by the source's own thread, at
+        which point ``on_inject`` receives the captured position.
+        """
+        with self._lock:
+            self._pending.append((barrier, on_inject))
+
+    def position(self) -> dict[str, Any]:
+        """Current replay position in a restore_position-compatible dict."""
+        if hasattr(self._inner, "offsets"):
+            return {"kind": KIND_PUBSUB, "offsets": self._inner.offsets()}
+        return {"kind": KIND_COUNT, "emitted": self._emitted}
+
+    def restore_position(self, position: dict[str, Any]) -> None:
+        """Rewind/advance so the next tuple is the one after the cut."""
+        kind = position["kind"]
+        if kind == KIND_PUBSUB:
+            self._inner.seek(position["offsets"])
+        elif kind == KIND_COUNT:
+            self._skip = int(position["emitted"])
+            self._emitted = 0
+        else:
+            raise ValueError(f"unknown source position kind {kind!r}")
+
+    def _drain(self) -> Iterator[CheckpointBarrier]:
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for barrier, on_inject in pending:
+            if on_inject is not None:
+                on_inject(self.name, barrier.epoch, self.position())
+            yield barrier
+
+    def __iter__(self) -> Iterator[StreamTuple | CheckpointBarrier]:
+        iterator = iter(self._inner)
+        while True:
+            # Drain BEFORE pulling the next tuple: once a tuple is pulled,
+            # a pubsub inner's offsets already point past it, so a barrier
+            # taken then would both replay the tuple and have emitted it.
+            yield from self._drain()
+            try:
+                t = next(iterator)
+            except StopIteration:
+                yield from self._drain()
+                return
+            if self._skip > 0:
+                self._skip -= 1
+                self._emitted += 1
+                continue
+            yield t
+            self._emitted += 1

@@ -6,8 +6,15 @@ streams, run either by a thread-per-operator scheduler (the Liebre model)
 or a deterministic synchronous scheduler for tests.
 """
 
+from .barrier import CheckpointBarrier, is_barrier
 from .engine import RunReport, StreamEngine
-from .errors import EngineStateError, OperatorError, QueryValidationError, SPEError
+from .errors import (
+    EngineStateError,
+    MetricsError,
+    OperatorError,
+    QueryValidationError,
+    SPEError,
+)
 from .metrics import (
     FiveNumberSummary,
     LatencyRecorder,
@@ -81,5 +88,8 @@ __all__ = [
     "SPEError",
     "QueryValidationError",
     "EngineStateError",
+    "MetricsError",
     "OperatorError",
+    "CheckpointBarrier",
+    "is_barrier",
 ]

@@ -1,0 +1,45 @@
+"""Checkpoint barriers: the control punctuation of aligned snapshots.
+
+Chandy–Lamport-style asynchronous snapshots adapted to streams (the
+Flink/ABS model): a :class:`CheckpointBarrier` is injected at the sources
+and flows *in-band* with data tuples, so the position of the barrier in
+every stream defines one consistent cut through the whole dataflow. A
+stateful node snapshots its state exactly when it has seen the barrier of
+an epoch on **all** of its inputs (alignment); inputs whose barrier
+already arrived are blocked until the slowest input catches up, so no
+post-barrier tuple can leak into the snapshot.
+
+Barriers are deliberately not :class:`~repro.spe.tuples.StreamTuple`
+instances: operators never see them (the scheduler intercepts them), they
+carry no event time, and they are broadcast to every output of a node —
+including all replicas behind a hash router.
+"""
+
+from __future__ import annotations
+
+
+class CheckpointBarrier:
+    """In-band marker delimiting checkpoint epoch ``epoch``."""
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, epoch: int) -> None:
+        if epoch < 0:
+            raise ValueError("checkpoint epoch must be non-negative")
+        self.epoch = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointBarrier(epoch={self.epoch})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CheckpointBarrier):
+            return NotImplemented
+        return self.epoch == other.epoch
+
+    def __hash__(self) -> int:
+        return hash(("__checkpoint_barrier__", self.epoch))
+
+
+def is_barrier(item: object) -> bool:
+    """True when a stream item is a checkpoint barrier, not data."""
+    return isinstance(item, CheckpointBarrier)

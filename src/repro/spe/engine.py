@@ -8,13 +8,17 @@ finite replays, and a ``start``/``stop`` pair for open-ended deployments
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from .errors import EngineStateError
 from .metrics import FiveNumberSummary, OperatorStats
 from .query import Node, Query
 from .scheduler import SynchronousScheduler, ThreadedScheduler
 from .sink import Sink
+
+# Hook invoked with the materialized nodes after build, before execution.
+# Recovery uses it to restore operator state and seek sources.
+BuildHook = Callable[[list[Node]], None]
 
 
 @dataclass
@@ -86,16 +90,50 @@ class StreamEngine:
         self._active: ThreadedScheduler | None = None
         self._active_nodes: list[Node] | None = None
 
-    def run(self, query: Query) -> RunReport:
+    def _prepare(
+        self,
+        query: Query,
+        checkpointer: Any | None,
+        on_built: BuildHook | None,
+        capacity: int | None,
+    ):
+        """Build the query, bind the checkpointer, run recovery hooks."""
+        nodes = query.build(capacity=capacity)
+        listener = None
+        if checkpointer is not None:
+            # Duck-typed so repro.spe never imports repro.recovery: any
+            # object with bind(nodes) + on_node_snapshot(name, epoch, state).
+            checkpointer.bind(nodes)
+            listener = checkpointer.on_node_snapshot
+        if on_built is not None:
+            on_built(nodes)
+        return nodes, listener
+
+    def run(
+        self,
+        query: Query,
+        checkpointer: Any | None = None,
+        on_built: BuildHook | None = None,
+        batch_size: int | None = None,
+    ) -> RunReport:
         """Execute a query until all sources are exhausted; blocking."""
         import time
 
-        nodes = query.build(capacity=None if self._mode == "sync" else self._capacity)
+        nodes, listener = self._prepare(
+            query,
+            checkpointer,
+            on_built,
+            capacity=None if self._mode == "sync" else self._capacity,
+        )
         started = time.monotonic()
         if self._mode == "sync":
-            stats = SynchronousScheduler().run(nodes)
+            scheduler = SynchronousScheduler(
+                checkpoint_listener=listener,
+                **({} if batch_size is None else {"batch_size": batch_size}),
+            )
         else:
-            stats = ThreadedScheduler().run(nodes)
+            scheduler = ThreadedScheduler(checkpoint_listener=listener)
+        stats = scheduler.run(nodes)
         wall = time.monotonic() - started
         return RunReport(
             query_name=query.name,
@@ -104,14 +142,21 @@ class StreamEngine:
             wall_seconds=wall,
         )
 
-    def start(self, query: Query) -> dict[str, Sink]:
+    def start(
+        self,
+        query: Query,
+        checkpointer: Any | None = None,
+        on_built: BuildHook | None = None,
+    ) -> dict[str, Sink]:
         """Deploy a query in the background (threaded only)."""
         if self._mode != "threaded":
             raise EngineStateError("background deployment requires threaded mode")
         if self._active is not None:
             raise EngineStateError("a query is already running; stop() it first")
-        nodes = query.build(capacity=self._capacity)
-        self._active = ThreadedScheduler()
+        nodes, listener = self._prepare(
+            query, checkpointer, on_built, capacity=self._capacity
+        )
+        self._active = ThreadedScheduler(checkpoint_listener=listener)
         self._active_nodes = nodes
         self._active.start(nodes)
         return _sinks_of(nodes)

@@ -15,6 +15,14 @@ class EngineStateError(SPEError):
     """Raised when the engine is driven through an invalid state change."""
 
 
+class MetricsError(SPEError, ValueError):
+    """Raised when a metrics computation is given unusable samples.
+
+    Subclasses ``ValueError`` so callers that predate the typed hierarchy
+    keep working, but lets new code catch metrics problems specifically.
+    """
+
+
 class OperatorError(SPEError):
     """Wraps an exception raised inside a user function, with context."""
 

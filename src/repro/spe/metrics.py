@@ -13,10 +13,17 @@ import threading
 import time
 from dataclasses import dataclass
 
+from .errors import MetricsError
+
 
 @dataclass(frozen=True)
 class FiveNumberSummary:
-    """Boxplot statistics, matching the figures in the paper."""
+    """Boxplot statistics, matching the figures in the paper.
+
+    Extended with the tail percentiles (p95/p99) that QoS analysis needs:
+    the recoat-gap deadline is a guarantee about the *worst* results, which
+    the inter-quartile box hides.
+    """
 
     count: int
     minimum: float
@@ -25,6 +32,8 @@ class FiveNumberSummary:
     q3: float
     maximum: float
     mean: float
+    p95: float = math.nan
+    p99: float = math.nan
 
     def as_row(self, scale: float = 1.0) -> dict[str, float]:
         """Render as a dict with values multiplied by ``scale``."""
@@ -36,13 +45,15 @@ class FiveNumberSummary:
             "q3": self.q3 * scale,
             "max": self.maximum * scale,
             "mean": self.mean * scale,
+            "p95": self.p95 * scale,
+            "p99": self.p99 * scale,
         }
 
 
 def _quantile(sorted_values: list[float], q: float) -> float:
     """Linear-interpolation quantile over pre-sorted data."""
     if not sorted_values:
-        raise ValueError("cannot take a quantile of no samples")
+        raise MetricsError("cannot take a quantile of no samples")
     if len(sorted_values) == 1:
         return sorted_values[0]
     position = q * (len(sorted_values) - 1)
@@ -55,9 +66,9 @@ def _quantile(sorted_values: list[float], q: float) -> float:
 
 
 def summarize(samples: list[float]) -> FiveNumberSummary:
-    """Five-number summary plus mean of a sample list."""
+    """Five-number summary plus mean and tail percentiles of a sample list."""
     if not samples:
-        raise ValueError("cannot summarize zero samples")
+        raise MetricsError("cannot summarize zero samples")
     ordered = sorted(samples)
     return FiveNumberSummary(
         count=len(ordered),
@@ -67,6 +78,8 @@ def summarize(samples: list[float]) -> FiveNumberSummary:
         q3=_quantile(ordered, 0.75),
         maximum=ordered[-1],
         mean=sum(ordered) / len(ordered),
+        p95=_quantile(ordered, 0.95),
+        p99=_quantile(ordered, 0.99),
     )
 
 
@@ -95,6 +108,15 @@ class LatencyRecorder:
     def summary(self) -> FiveNumberSummary:
         """Five-number summary of the samples recorded so far."""
         return summarize(self.samples())
+
+    def snapshot(self) -> list[float]:
+        """Samples as a checkpointable list."""
+        return self.samples()
+
+    def restore(self, samples: list[float]) -> None:
+        """Replace all samples with a checkpointed list."""
+        with self._lock:
+            self._samples = [float(s) for s in samples]
 
     def __len__(self) -> int:
         with self._lock:

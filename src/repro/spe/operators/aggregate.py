@@ -92,6 +92,17 @@ class AggregateOperator(Operator):
         watermark = self._tracker.close_input(0)
         return self._emit_ripe(watermark)
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Open windows plus watermark progress (checkpoint protocol)."""
+        return {
+            "windows": {key: list(tuples) for key, tuples in self._windows.items()},
+            "tracker": self._tracker.snapshot(),
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self._windows = {key: list(tuples) for key, tuples in state["windows"].items()}
+        self._tracker.restore(state["tracker"])
+
     @property
     def open_windows(self) -> int:
         return len(self._windows)

@@ -5,12 +5,20 @@ consumes tuples from one or more inputs and emits zero or more tuples per
 invocation. Stateful operators additionally flush pending state when their
 inputs close (``on_close``), so finite replays terminate with complete
 results.
+
+Operators also participate in the checkpointing protocol of
+:mod:`repro.recovery`: ``snapshot_state`` captures everything an operator
+would need to continue after a crash, and ``restore_state`` re-installs a
+snapshot into a freshly built operator of the same kind. Stateless
+operators return ``None`` (nothing to persist); the scheduler invokes
+``snapshot_state`` exactly when an epoch's checkpoint barrier has been
+seen on every input, so the snapshot sits on a consistent cut.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from typing import Any, Iterable
 
 from ..tuples import StreamTuple
 
@@ -36,8 +44,43 @@ class Operator(ABC):
         """All inputs closed: flush any remaining state."""
         return []
 
+    # -- checkpointing protocol -------------------------------------------
+
+    def snapshot_state(self) -> dict[str, Any] | None:
+        """State to persist at a checkpoint barrier; ``None`` = stateless."""
+        return None
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        """Re-install a snapshot produced by :meth:`snapshot_state`."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no restorable state"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}({self.name!r})"
+
+
+def snapshot_callable(fn: object) -> dict[str, Any] | None:
+    """Snapshot a wrapped user function, if it supports the protocol.
+
+    Map-like operators delegate their state to the user function they wrap
+    (e.g. the use case's adaptive threshold learner); plain lambdas simply
+    return ``None``.
+    """
+    snap = getattr(fn, "snapshot_state", None)
+    return snap() if callable(snap) else None
+
+
+def restore_callable(fn: object, state: dict[str, Any] | None) -> None:
+    """Inverse of :func:`snapshot_callable` (no-op for ``None`` state)."""
+    if state is None:
+        return
+    restore = getattr(fn, "restore_state", None)
+    if not callable(restore):
+        raise NotImplementedError(
+            f"{type(fn).__name__} has snapshotted state but no restore_state"
+        )
+    restore(state)
 
 
 def as_tuple_list(result: StreamTuple | Iterable[StreamTuple] | None) -> list[StreamTuple]:

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..tuples import StreamTuple
-from .base import Operator
+from .base import Operator, restore_callable, snapshot_callable
 
 FilterPredicate = Callable[[StreamTuple], bool]
 
@@ -27,3 +27,15 @@ class FilterOperator(Operator):
             return [t]
         self.dropped += 1
         return []
+
+    def snapshot_state(self) -> dict[str, object]:
+        state: dict[str, object] = {"passed": self.passed, "dropped": self.dropped}
+        predicate_state = snapshot_callable(self._predicate)
+        if predicate_state is not None:
+            state["predicate"] = predicate_state
+        return state
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.passed = int(state["passed"])
+        self.dropped = int(state["dropped"])
+        restore_callable(self._predicate, state.get("predicate"))

@@ -95,6 +95,30 @@ class JoinOperator(Operator):
             side.clear()
         return []
 
+    def snapshot_state(self) -> dict[str, object]:
+        """Both sides' buffers plus watermark progress (checkpoint protocol).
+
+        Taken only once barriers aligned on both inputs, so the buffers
+        reflect exactly the tuples preceding the epoch's cut on each side.
+        """
+        return {
+            "buffers": [
+                {key: list(buf) for key, buf in side.items()}
+                for side in self._buffers
+            ],
+            "tracker": self._tracker.snapshot(),
+            "matches": self.matches,
+        }
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        left, right = state["buffers"]
+        self._buffers = (
+            {key: deque(buf) for key, buf in left.items()},
+            {key: deque(buf) for key, buf in right.items()},
+        )
+        self._tracker.restore(state["tracker"])
+        self.matches = int(state["matches"])
+
     @property
     def buffered(self) -> int:
         return sum(len(buf) for side in self._buffers for buf in side.values())

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from ..tuples import StreamTuple
-from .base import Operator, as_tuple_list
+from .base import Operator, as_tuple_list, restore_callable, snapshot_callable
 
 MapFunction = Callable[[StreamTuple], StreamTuple | Iterable[StreamTuple] | None]
 
@@ -27,3 +27,11 @@ class MapOperator(Operator):
 
     def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
         return as_tuple_list(self._fn(t))
+
+    def snapshot_state(self) -> dict[str, object] | None:
+        """Delegate to the user function when it carries state."""
+        fn_state = snapshot_callable(self._fn)
+        return None if fn_state is None else {"fn": fn_state}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        restore_callable(self._fn, state.get("fn"))

@@ -18,23 +18,40 @@ from __future__ import annotations
 
 import threading
 import time
+from typing import Callable
 
+from .barrier import CheckpointBarrier, is_barrier
 from .errors import OperatorError
 from .metrics import OperatorStats
 from .query import Node
 from .stream import END_OF_STREAM, Stream
 from .tuples import StreamTuple
 
+# (node_name, epoch, state-or-None) — invoked once a node snapshots at an
+# aligned barrier. ``None`` state means the node is stateless but did align.
+CheckpointListener = Callable[[str, int, "dict | None"], None]
+
 
 class NodeExecutor:
     """Uniform execution wrapper around one query node."""
 
-    def __init__(self, node: Node, stop_event: threading.Event | None = None) -> None:
+    def __init__(
+        self,
+        node: Node,
+        stop_event: threading.Event | None = None,
+        checkpoint_listener: CheckpointListener | None = None,
+    ) -> None:
         self.node = node
         self.stats = OperatorStats(node.name)
         self._closed_inputs: set[int] = set()
         self._finalized = False
         self._stop_event = stop_event
+        self._checkpoint_listener = checkpoint_listener
+        # Chandy–Lamport alignment: epoch -> input_index -> barriers seen.
+        # An input is aligned for an epoch once it delivered one barrier per
+        # producer feeding it (or closed); while aligned-but-waiting it is
+        # *blocked* so no post-barrier tuple sneaks into the snapshot.
+        self._barrier_seen: dict[int, dict[int, int]] = {}
 
     @property
     def finalized(self) -> bool:
@@ -46,22 +63,51 @@ class NodeExecutor:
             i for i in range(len(self.node.inputs)) if i not in self._closed_inputs
         ]
 
+    @property
+    def ready_inputs(self) -> list[int]:
+        """Open inputs a scheduler may consume from right now.
+
+        Inputs already aligned for the oldest in-flight barrier epoch are
+        excluded until every input catches up (barrier alignment).
+        """
+        if not self._barrier_seen:
+            return self.open_inputs
+        epoch = min(self._barrier_seen)
+        return [
+            i for i in self.open_inputs if not self._input_aligned(epoch, i)
+        ]
+
+    def input_blocked(self, input_index: int) -> bool:
+        """True when barrier alignment currently blocks this input."""
+        if not self._barrier_seen:
+            return False
+        return self._input_aligned(min(self._barrier_seen), input_index)
+
+    def _input_aligned(self, epoch: int, input_index: int) -> bool:
+        if input_index in self._closed_inputs:
+            return True
+        seen = self._barrier_seen.get(epoch, {}).get(input_index, 0)
+        return seen >= self.node.inputs[input_index].num_producers
+
     def _emit(self, tuples: list[StreamTuple]) -> None:
         for t in tuples:
             self.stats.tuples_out += 1
             for stream in self.node.route(t):
-                if self._stop_event is None:
-                    stream.put(t)
-                    continue
-                # Cooperative shutdown: a downstream consumer may already
-                # have exited without draining; never block forever on a
-                # full queue once stop was requested — drop instead.
-                while not stream.put(t, timeout=0.1):
-                    if self._stop_event.is_set():
-                        break
+                self._put(stream, t)
+
+    def _put(self, stream: Stream, item: object) -> None:
+        if self._stop_event is None:
+            stream.put(item)
+            return
+        # Cooperative shutdown: a downstream consumer may already
+        # have exited without draining; never block forever on a
+        # full queue once stop was requested — drop instead.
+        while not stream.put(item, timeout=0.1):
+            if self._stop_event.is_set():
+                break
 
     def handle(self, input_index: int, item: object) -> None:
-        """Process one item (data tuple or EOS marker) from one input."""
+        """Process one item (data tuple, barrier, or EOS) from one input."""
         node = self.node
         if item is END_OF_STREAM:
             if input_index in self._closed_inputs:
@@ -69,8 +115,14 @@ class NodeExecutor:
             self._closed_inputs.add(input_index)
             if node.kind == "operator":
                 self._run_operator(node.operator.on_input_closed, input_index)
+            # A closed input can never deliver its barrier; it counts as
+            # aligned so in-flight epochs still complete during shutdown.
+            self._recheck_alignment()
             if len(self._closed_inputs) == len(node.inputs):
                 self.finalize()
+            return
+        if is_barrier(item):
+            self._on_barrier(input_index, item)
             return
         self.stats.tuples_in += 1
         started = time.perf_counter()
@@ -88,11 +140,49 @@ class NodeExecutor:
         if outputs:
             self._emit(outputs)
 
+    def _on_barrier(self, input_index: int, barrier: CheckpointBarrier) -> None:
+        counts = self._barrier_seen.setdefault(barrier.epoch, {})
+        counts[input_index] = counts.get(input_index, 0) + 1
+        self._check_alignment(barrier.epoch)
+
+    def _recheck_alignment(self) -> None:
+        for epoch in sorted(self._barrier_seen):
+            self._check_alignment(epoch)
+
+    def _check_alignment(self, epoch: int) -> None:
+        if epoch not in self._barrier_seen:
+            return
+        if not all(
+            self._input_aligned(epoch, i) for i in range(len(self.node.inputs))
+        ):
+            return
+        del self._barrier_seen[epoch]
+        self._complete_checkpoint(epoch)
+
+    def _complete_checkpoint(self, epoch: int) -> None:
+        """Snapshot at the aligned cut, then forward the barrier downstream."""
+        node = self.node
+        state: dict | None = None
+        if node.kind == "operator":
+            state = node.operator.snapshot_state()
+        elif node.kind == "sink":
+            state = node.sink.snapshot_state()
+        if self._checkpoint_listener is not None:
+            self._checkpoint_listener(node.name, epoch, state)
+        # Broadcast to every output stream (bypassing any hash router: a
+        # barrier belongs to all replicas, not one key's partition).
+        barrier = CheckpointBarrier(epoch)
+        for stream in node.outputs:
+            self._put(stream, barrier)
+
     def finalize(self) -> None:
         """Flush remaining state and propagate EOS downstream (idempotent)."""
         if self._finalized:
             return
         self._finalized = True
+        # Epochs still aligning at shutdown are abandoned: the coordinator
+        # never sees their manifest, so recovery ignores them.
+        self._barrier_seen.clear()
         node = self.node
         if node.kind == "operator":
             self._run_operator(node.operator.on_close)
@@ -105,13 +195,21 @@ class NodeExecutor:
 class SynchronousScheduler:
     """Deterministic single-threaded drain in topological order."""
 
-    def __init__(self, batch_size: int = 256) -> None:
+    def __init__(
+        self,
+        batch_size: int = 256,
+        checkpoint_listener: CheckpointListener | None = None,
+    ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self._batch_size = batch_size
+        self._checkpoint_listener = checkpoint_listener
 
     def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
-        executors = [NodeExecutor(node) for node in nodes]
+        executors = [
+            NodeExecutor(node, checkpoint_listener=self._checkpoint_listener)
+            for node in nodes
+        ]
         source_iters = {
             ex.node.name: iter(ex.node.source)
             for ex in executors
@@ -146,6 +244,12 @@ class SynchronousScheduler:
             if t is None:
                 ex.finalize()
                 return True
+            if is_barrier(t):
+                # Barriers go to every output, ignoring hash routers.
+                for stream in ex.node.outputs:
+                    stream.put(t)
+                progressed = True
+                continue
             ex.stats.tuples_out += 1
             for stream in ex.node.route(t):
                 stream.put(t)
@@ -154,7 +258,7 @@ class SynchronousScheduler:
 
     def _step_consumer(self, ex: NodeExecutor) -> bool:
         progressed = False
-        for index in list(ex.open_inputs):
+        for index in list(ex.ready_inputs):
             stream = ex.node.inputs[index]
             for _ in range(self._batch_size):
                 item = stream.try_get()
@@ -162,7 +266,7 @@ class SynchronousScheduler:
                     break
                 ex.handle(index, item)
                 progressed = True
-                if item is END_OF_STREAM:
+                if item is END_OF_STREAM or ex.input_blocked(index):
                     break
         return progressed
 
@@ -170,8 +274,13 @@ class SynchronousScheduler:
 class ThreadedScheduler:
     """Liebre-style execution: one thread per node, blocking bounded queues."""
 
-    def __init__(self, poll_timeout: float = 0.02) -> None:
+    def __init__(
+        self,
+        poll_timeout: float = 0.02,
+        checkpoint_listener: CheckpointListener | None = None,
+    ) -> None:
         self._poll_timeout = poll_timeout
+        self._checkpoint_listener = checkpoint_listener
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._error: list[BaseException] = []
@@ -186,7 +295,14 @@ class ThreadedScheduler:
     def start(self, nodes: list[Node]) -> list[NodeExecutor]:
         """Launch node threads; returns executors for metric access."""
         self._stop.clear()
-        executors = [NodeExecutor(node, stop_event=self._stop) for node in nodes]
+        executors = [
+            NodeExecutor(
+                node,
+                stop_event=self._stop,
+                checkpoint_listener=self._checkpoint_listener,
+            )
+            for node in nodes
+        ]
         for ex in executors:
             target = self._source_loop if ex.node.kind == "source" else self._consumer_loop
             thread = threading.Thread(
@@ -208,6 +324,13 @@ class ThreadedScheduler:
         for t in ex.node.source:
             if self._stop.is_set():
                 break
+            if is_barrier(t):
+                # Barriers go to every output, ignoring hash routers.
+                for stream in ex.node.outputs:
+                    while not stream.put(t, timeout=0.2):
+                        if self._stop.is_set():
+                            return
+                continue
             ex.stats.tuples_out += 1
             for stream in ex.node.route(t):
                 while not stream.put(t, timeout=0.2):
@@ -218,7 +341,7 @@ class ThreadedScheduler:
     def _consumer_loop(self, ex: NodeExecutor) -> None:
         while not ex.finalized and not self._stop.is_set():
             moved = False
-            for index in list(ex.open_inputs):
+            for index in list(ex.ready_inputs):
                 stream = ex.node.inputs[index]
                 item = stream.try_get()
                 if item is None:
@@ -232,15 +355,19 @@ class ThreadedScheduler:
             ex.finalize()
 
     def _block_on_any_input(self, ex: NodeExecutor) -> None:
-        open_inputs = ex.open_inputs
-        if not open_inputs:
+        ready = ex.ready_inputs
+        if not ready:
+            # Every open input is barrier-blocked: wait for the laggards'
+            # barriers to arrive (delivered by other node threads).
+            if ex.open_inputs:
+                time.sleep(self._poll_timeout)
             return
-        # Block briefly on the first open input; the timeout bounds how long
-        # we ignore the other inputs and the stop flag.
-        stream = ex.node.inputs[open_inputs[0]]
+        # Block briefly on the first ready input; the timeout bounds how
+        # long we ignore the other inputs and the stop flag.
+        stream = ex.node.inputs[ready[0]]
         item = stream.get(timeout=self._poll_timeout)
         if item is not None:
-            ex.handle(open_inputs[0], item)
+            ex.handle(ready[0], item)
 
     def stop(self) -> None:
         """Request cooperative shutdown of all node threads."""

@@ -35,6 +35,13 @@ class Sink(ABC):
     def consume(self, t: StreamTuple) -> None:
         """Deliver one result tuple."""
 
+    def snapshot_state(self) -> dict[str, object] | None:
+        """Checkpointable sink state; the base captures latency samples."""
+        return {"latency": self.latency.snapshot()}
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        self.latency.restore(state["latency"])
+
     def on_close(self) -> None:
         """Called when the query finished feeding this sink."""
         self.throughput.stop()
@@ -60,6 +67,17 @@ class CollectingSink(Sink):
     def __len__(self) -> int:
         with self._lock:
             return len(self._results)
+
+    def snapshot_state(self) -> dict[str, object]:
+        base = super().snapshot_state() or {}
+        with self._lock:
+            base["results"] = list(self._results)
+        return base
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        super().restore_state(state)
+        with self._lock:
+            self._results = list(state["results"])
 
 
 class CallbackSink(Sink):
@@ -125,6 +143,22 @@ class DeadlineSink(Sink):
             if self._on_violation is not None:
                 self._on_violation(t, latency)
         self._inner.accept(t)
+
+    def snapshot_state(self) -> dict[str, object]:
+        base = super().snapshot_state() or {}
+        base["violations"] = self.violations
+        base["delivered"] = self.delivered
+        inner_state = self._inner.snapshot_state()
+        if inner_state is not None:
+            base["inner"] = inner_state
+        return base
+
+    def restore_state(self, state: dict[str, object]) -> None:
+        super().restore_state(state)
+        self.violations = int(state["violations"])
+        self.delivered = int(state["delivered"])
+        if "inner" in state:
+            self._inner.restore_state(state["inner"])
 
     def on_close(self) -> None:
         self._inner.on_close()

@@ -47,6 +47,11 @@ class Stream:
     def capacity(self) -> int:
         return self._capacity
 
+    @property
+    def num_producers(self) -> int:
+        """How many producers feed this stream (= barriers/EOS to align)."""
+        return self._num_producers
+
     def set_num_producers(self, count: int) -> None:
         """Declare how many EOS markers close the stream (default 1)."""
         if count < 1:

@@ -41,3 +41,18 @@ class WatermarkTracker:
         if math.isinf(low):
             return low
         return low - self._slack
+
+    def snapshot(self) -> dict[str, object]:
+        """Checkpointable view of the tracker's progress."""
+        return {"per_input": list(self._per_input), "slack": self._slack}
+
+    def restore(self, state: dict[str, object]) -> None:
+        """Re-install a snapshot taken by :meth:`snapshot`."""
+        per_input = list(state["per_input"])
+        if len(per_input) != len(self._per_input):
+            raise ValueError(
+                f"snapshot tracks {len(per_input)} inputs, tracker has "
+                f"{len(self._per_input)}"
+            )
+        self._per_input = per_input
+        self._slack = float(state["slack"])

@@ -127,3 +127,95 @@ def test_iterator_drains(broker):
 def test_invalid_reset_policy(broker):
     with pytest.raises(ValueError):
         Consumer(broker, "g", ["events"], auto_offset_reset="whenever")
+
+
+# -- per-partition commit (checkpoint offset pinning) ------------------------
+
+
+def test_committed_none_before_any_commit(broker):
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    assert consumer.committed("events", 0) is None
+
+
+def test_per_partition_commit_explicit_offset(broker):
+    fill(broker, 30)
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    consumer.poll()
+    consumer.commit("events", 1, 4)
+    assert consumer.committed("events", 1) == 4
+    # the other partitions stay uncommitted
+    assert consumer.committed("events", 0) is None
+    assert consumer.committed("events", 2) is None
+
+
+def test_per_partition_commit_defaults_to_position(broker):
+    fill(broker, 30)
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    consumer.poll()
+    consumer.commit("events", 0)
+    assert consumer.committed("events", 0) == consumer.position("events", 0)
+
+
+def test_per_partition_commit_independent_of_read_position(broker):
+    """A checkpoint pins the barrier offset, not how far we read since."""
+    fill(broker, 30)
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    consumer.poll()  # read everything
+    consumer.commit("events", 0, 2)  # ... but pin an earlier cut
+    resumed = Consumer(broker, "g", ["events"])
+    assert resumed.position("events", 0) == 2
+
+
+def test_commit_partition_without_topic_rejected(broker):
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    with pytest.raises(ValueError):
+        consumer.commit(partition=0)
+    with pytest.raises(ValueError):
+        consumer.commit(offset=3)
+
+
+def test_commit_without_partition_rejected(broker):
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    with pytest.raises(ValueError):
+        consumer.commit("events")
+
+
+def test_commit_negative_offset_rejected(broker):
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    with pytest.raises(InvalidOffsetError):
+        consumer.commit("events", 0, -1)
+
+
+def test_commit_unknown_position_rejected(broker):
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    with pytest.raises(InvalidOffsetError):
+        consumer.commit("events", 99)
+
+
+def test_commit_then_rebalance_resumes_at_commit(broker):
+    """Offsets committed per partition survive a group rebalance."""
+    fill(broker, 30)
+    first = Consumer(broker, "g", ["events"], auto_commit=False)
+    first.poll()
+    for partition in range(3):
+        first.commit("events", partition, 3)
+    # rebalance: two fresh members split the same partitions
+    group = ConsumerGroup(broker, "g", "events", members=2)
+    seen = []
+    for member in group.members:
+        seen.extend(m.offset for m in member.poll())
+    # every partition resumed at offset 3 -> offsets 0..2 never re-read
+    assert min(seen) == 3
+    assert len(seen) == 30 - 3 * 3
+
+
+def test_rebalance_mixed_commit_state(broker):
+    """Partitions without a commit fall back to the reset policy."""
+    fill(broker, 30)
+    consumer = Consumer(broker, "g", ["events"], auto_commit=False)
+    consumer.poll()
+    consumer.commit("events", 0, 5)  # only partition 0 has a cut
+    resumed = Consumer(broker, "g", ["events"])
+    assert resumed.position("events", 0) == 5
+    assert resumed.position("events", 1) == 0  # earliest
+    assert resumed.position("events", 2) == 0

@@ -1,0 +1,55 @@
+"""Shared helpers for recovery tests: small checkpointable SPE queries."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.spe import IterableSource, Query, StreamTuple
+from repro.recovery import CheckpointableSource
+
+
+def make_tuples(n, job="j"):
+    return [
+        StreamTuple(tau=float(i), job=job, layer=i, payload={"x": i}) for i in range(n)
+    ]
+
+
+def paced(items, delay=0.01):
+    for item in items:
+        if delay:
+            time.sleep(delay)
+        yield item
+
+
+@pytest.fixture()
+def chain_query_factory():
+    """Builds src -> stateful sum -> sink, with a paced checkpointable source."""
+    from repro.spe import CollectingSink, MapOperator
+
+    def build(n=40, delay=0.01, sink=None):
+        class RunningSum:
+            def __init__(self):
+                self.total = 0
+
+            def __call__(self, t):
+                self.total += t.payload["x"]
+                return t.derive(payload={"x": t.payload["x"], "sum": self.total})
+
+            def snapshot_state(self):
+                return {"total": self.total}
+
+            def restore_state(self, state):
+                self.total = int(state["total"])
+
+        fn = RunningSum()
+        q = Query("chain")
+        source = CheckpointableSource(IterableSource("src", paced(make_tuples(n), delay)))
+        q.add_source("src", source)
+        q.add_operator("sum", MapOperator("sum", fn), "src")
+        sink = sink or CollectingSink("out")
+        q.add_sink("out", sink, "sum")
+        return q, source, fn, sink
+
+    return build

@@ -1,0 +1,89 @@
+"""Chaos harness: condition-triggered kills and in-operator crashes."""
+
+import pytest
+
+from repro.kvstore.memory import MemoryStore
+from repro.recovery import (
+    ChaosError,
+    ChaosInjector,
+    CheckpointCoordinator,
+    CrashingFunction,
+    RecoveryCoordinator,
+)
+from repro.spe import StreamEngine
+
+
+def test_injector_kills_on_condition(chain_query_factory):
+    query, _, _, sink = chain_query_factory(n=500, delay=0.01)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query)
+    chaos = ChaosInjector(engine, lambda: len(sink.results) >= 5).start()
+    assert chaos.join(timeout=30.0)
+    assert chaos.fired.is_set()
+    assert not chaos.timed_out
+    # hard stop: far fewer than the 500 offered tuples arrived
+    assert 5 <= len(sink.results) < 500
+
+
+def test_injector_times_out_when_condition_never_holds(chain_query_factory):
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query)
+    engine.wait(timeout=30)
+    chaos = ChaosInjector(engine, lambda: False, timeout=0.1).start()
+    assert chaos.join(timeout=5.0) is False
+    assert chaos.timed_out
+
+
+def test_kill_then_recover_completes(chain_query_factory):
+    """The canonical chaos loop: checkpoint, kill, recover, finish."""
+    store = MemoryStore()
+    query, _, _, sink = chain_query_factory(n=120, delay=0.01)
+    coordinator = CheckpointCoordinator(store)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    coordinator.trigger(timeout=10.0)
+    chaos = ChaosInjector(
+        engine,
+        lambda: bool(coordinator.completed_epochs) and len(sink.results) >= 10,
+    ).start()
+    assert chaos.join(timeout=30.0)
+
+    recovery = RecoveryCoordinator(store)
+    query2, _, _, sink2 = chain_query_factory(n=120, delay=0.0)
+    StreamEngine(mode="sync").run(query2, on_built=recovery)
+    assert recovery.report is not None
+    assert [t.payload["x"] for t in sink2.results] == list(range(120))
+    assert sink2.results[-1].payload["sum"] == sum(range(120))
+
+
+def test_crashing_function_raises_after_n():
+    fn = CrashingFunction(lambda t: t, crash_after=3)
+    for i in range(3):
+        assert fn(i) == i
+    with pytest.raises(ChaosError):
+        fn(99)
+
+
+def test_crashing_function_inside_query(chain_query_factory):
+    """An in-operator crash takes the node down via the engine error path;
+    the partial results before the crash are still in the sink."""
+    from repro.spe import CollectingSink, IterableSource, MapOperator, Query
+
+    from .conftest import make_tuples, paced
+
+    q = Query("crashing")
+    from repro.recovery import CheckpointableSource
+
+    source = CheckpointableSource(IterableSource("src", paced(make_tuples(50), 0.005)))
+    q.add_source("src", source)
+    q.add_operator(
+        "boom", MapOperator("boom", CrashingFunction(lambda t: t, crash_after=20)), "src"
+    )
+    sink = CollectingSink("out")
+    q.add_sink("out", sink, "boom")
+    engine = StreamEngine(mode="threaded")
+    engine.start(q)
+    with pytest.raises(Exception):
+        engine.wait(timeout=30)
+    assert len(sink.results) <= 20

@@ -1,0 +1,164 @@
+"""Checkpoint coordinator: epochs, commit atomicity, retention, daemon."""
+
+import threading
+import time
+
+import pytest
+
+from repro.kvstore.memory import MemoryStore
+from repro.recovery import (
+    CheckpointConfigError,
+    CheckpointCoordinator,
+    CheckpointStorage,
+)
+from repro.spe import CollectingSink, ListSource, Query, StreamEngine
+
+from .conftest import make_tuples
+
+
+def test_trigger_commits_manifest(chain_query_factory):
+    query, _, fn, sink = chain_query_factory(n=60, delay=0.01)
+    store = MemoryStore()
+    coordinator = CheckpointCoordinator(store)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    epoch = coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    assert epoch == 0
+    storage = coordinator.storage
+    manifest = storage.load_manifest(0)
+    assert manifest is not None
+    assert "sum" in manifest["nodes"]
+    assert manifest["sources"] == ["src"]
+    assert storage.load_node_state(0, "sum") is not None
+    position = storage.load_source_position(0, "src")
+    assert position["kind"] == "count"
+    assert 0 <= position["emitted"] <= 60
+    assert coordinator.last_duration is not None
+
+
+def test_snapshot_matches_source_cut(chain_query_factory):
+    """The operator snapshot must reflect exactly the pre-barrier prefix."""
+    query, _, fn, sink = chain_query_factory(n=50, delay=0.01)
+    store = MemoryStore()
+    coordinator = CheckpointCoordinator(store)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    emitted = coordinator.storage.load_source_position(0, "src")["emitted"]
+    total = coordinator.storage.load_node_state(0, "sum")["fn"]["total"]
+    assert total == sum(range(emitted))
+
+
+def test_multiple_epochs_in_one_run(chain_query_factory):
+    query, _, _, _ = chain_query_factory(n=80, delay=0.01)
+    coordinator = CheckpointCoordinator(MemoryStore())
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    first = coordinator.trigger(timeout=10.0)
+    second = coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    assert (first, second) == (0, 1)
+    assert coordinator.storage.epochs() == [0, 1]
+    # later epoch saw at least as much of the stream
+    pos0 = coordinator.storage.load_source_position(0, "src")["emitted"]
+    pos1 = coordinator.storage.load_source_position(1, "src")["emitted"]
+    assert pos1 >= pos0
+
+
+def test_epoch_numbering_continues_across_runs(chain_query_factory):
+    store = MemoryStore()
+    for expected_epoch in (0, 1):
+        query, _, _, _ = chain_query_factory(n=40, delay=0.01)
+        coordinator = CheckpointCoordinator(store)
+        engine = StreamEngine(mode="threaded")
+        engine.start(query, checkpointer=coordinator)
+        assert coordinator.trigger(timeout=10.0) == expected_epoch
+        engine.wait(timeout=30)
+    assert CheckpointStorage(store).epochs() == [0, 1]
+
+
+def test_retain_applied_on_commit(chain_query_factory):
+    query, _, _, _ = chain_query_factory(n=200, delay=0.005)
+    coordinator = CheckpointCoordinator(MemoryStore(), retain=2)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    for _ in range(4):
+        coordinator.trigger(timeout=10.0)
+    engine.stop()
+    assert coordinator.storage.epochs() == [2, 3]
+
+
+def test_on_epoch_committed_callback(chain_query_factory):
+    committed = []
+    query, _, _, _ = chain_query_factory(n=60, delay=0.01)
+    coordinator = CheckpointCoordinator(
+        MemoryStore(), on_epoch_committed=committed.append
+    )
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    assert committed == [0]
+
+
+def test_unbound_coordinator_rejects_checkpoints():
+    coordinator = CheckpointCoordinator(MemoryStore())
+    with pytest.raises(CheckpointConfigError):
+        coordinator.request_checkpoint()
+
+
+def test_bind_rejects_plain_sources():
+    q = Query("plain")
+    q.add_source("src", ListSource("src", make_tuples(3)))
+    q.add_sink("out", CollectingSink("out"), "src")
+    coordinator = CheckpointCoordinator(MemoryStore())
+    engine = StreamEngine(mode="sync")
+    with pytest.raises(CheckpointConfigError):
+        engine.run(q, checkpointer=coordinator)
+
+
+def test_interval_and_retain_validation():
+    with pytest.raises(ValueError):
+        CheckpointCoordinator(MemoryStore(), interval=0)
+    with pytest.raises(ValueError):
+        CheckpointCoordinator(MemoryStore(), retain=0)
+    with pytest.raises(CheckpointConfigError):
+        CheckpointCoordinator(MemoryStore()).start_periodic()
+
+
+def test_periodic_daemon_commits_epochs(chain_query_factory):
+    query, _, _, _ = chain_query_factory(n=150, delay=0.01)
+    coordinator = CheckpointCoordinator(MemoryStore(), interval=0.05)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    coordinator.start_periodic()
+    deadline = time.monotonic() + 10
+    while len(coordinator.completed_epochs) < 2 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    engine.stop()
+    coordinator.stop()
+    assert len(coordinator.completed_epochs) >= 2
+
+
+def test_wait_for_completed_epoch_returns_true(chain_query_factory):
+    query, _, _, _ = chain_query_factory(n=60, delay=0.01)
+    coordinator = CheckpointCoordinator(MemoryStore())
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    epoch = coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    assert coordinator.wait_for(epoch, timeout=0.1) is True
+
+
+def test_checkpoint_after_drain_times_out(chain_query_factory):
+    """A barrier injected after the source finished can never complete."""
+    query, _, _, _ = chain_query_factory(n=3, delay=0.0)
+    coordinator = CheckpointCoordinator(MemoryStore())
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    engine.wait(timeout=30)
+    with pytest.raises(TimeoutError):
+        coordinator.trigger(timeout=0.2)
+    assert coordinator.storage.epochs() == []

@@ -1,0 +1,94 @@
+"""DedupSink: duplicate suppression and checkpointed seen-set."""
+
+from repro.recovery import DedupSink
+from repro.recovery.dedup import result_identity
+from repro.spe import CollectingSink, StreamTuple
+
+
+def t(tau, layer=0, specimen="s1"):
+    return StreamTuple(
+        tau=float(tau), job="J", layer=layer, specimen=specimen,
+        payload={"x": tau}, ingest_time=0.0,
+    )
+
+
+def test_duplicates_dropped():
+    sink = DedupSink(CollectingSink("inner"))
+    for x in (t(0), t(1), t(0), t(1), t(2)):
+        sink.accept(x)
+    assert [r.payload["x"] for r in sink.results] == [0.0, 1.0, 2.0]
+    assert sink.duplicates == 2
+    assert sink.seen == 3
+
+
+def test_identity_spans_full_metadata():
+    """Same tau but different layer/specimen are distinct results."""
+    sink = DedupSink(CollectingSink("inner"))
+    sink.accept(t(1, layer=0, specimen="a"))
+    sink.accept(t(1, layer=0, specimen="b"))
+    sink.accept(t(1, layer=1, specimen="a"))
+    assert len(sink.results) == 3
+    assert sink.duplicates == 0
+
+
+def test_custom_key_fn():
+    sink = DedupSink(CollectingSink("inner"), key_fn=lambda x: x.layer)
+    sink.accept(t(0, layer=5))
+    sink.accept(t(99, layer=5))  # same layer -> dropped
+    assert len(sink.results) == 1
+
+
+def test_seen_set_survives_snapshot_roundtrip():
+    a = DedupSink(CollectingSink("inner"))
+    a.accept(t(0))
+    a.accept(t(1))
+    state = a.snapshot_state()
+    b = DedupSink(CollectingSink("inner"))
+    b.restore_state(state)
+    # replayed duplicates of checkpointed deliveries are suppressed
+    b.accept(t(0))
+    b.accept(t(1))
+    b.accept(t(2))
+    assert [r.payload["x"] for r in b.results] == [0.0, 1.0, 2.0]
+    assert b.duplicates == 2
+
+
+def test_restore_retuples_codec_lists():
+    """Keys round-trip through the KV codec as lists; they must still
+    compare equal to freshly computed tuple keys."""
+    a = DedupSink(CollectingSink("inner"))
+    a.accept(t(0))
+    state = a.snapshot_state()
+    state["seen"] = [list(key) for key in state["seen"]]  # what the codec does
+    b = DedupSink(CollectingSink("inner"))
+    b.restore_state(state)
+    b.accept(t(0))
+    assert b.duplicates == 1
+
+
+def test_inner_state_checkpointed_alongside():
+    a = DedupSink(CollectingSink("inner"))
+    a.accept(t(0))
+    state = a.snapshot_state()
+    assert "inner" in state
+    b = DedupSink(CollectingSink("inner"))
+    b.restore_state(state)
+    assert len(b.inner.results) == 1
+
+
+def test_result_identity_shape():
+    key = result_identity(t(3, layer=7, specimen="s2"))
+    assert key == (3.0, "J", 7, "s2", None)
+
+
+def test_on_close_propagates():
+    closed = []
+
+    class TrackingSink(CollectingSink):
+        def on_close(self):
+            closed.append(self.name)
+            super().on_close()
+
+    sink = DedupSink(TrackingSink("inner"))
+    sink.on_close()
+    assert closed == ["inner"]

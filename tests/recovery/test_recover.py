@@ -1,0 +1,119 @@
+"""RecoveryCoordinator: epoch resolution, strictness, corrupt checkpoints."""
+
+import pytest
+
+from repro.kvstore.memory import MemoryStore
+from repro.recovery import (
+    CheckpointCoordinator,
+    NoCheckpointError,
+    RecoveryCoordinator,
+    RecoveryError,
+)
+from repro.recovery.storage import CheckpointStorage
+from repro.spe import StreamEngine
+
+
+def checkpointed_store(chain_query_factory, epochs=1, n=60):
+    store = MemoryStore()
+    query, _, _, _ = chain_query_factory(n=n, delay=0.01)
+    coordinator = CheckpointCoordinator(store)
+    engine = StreamEngine(mode="threaded")
+    engine.start(query, checkpointer=coordinator)
+    for _ in range(epochs):
+        coordinator.trigger(timeout=10.0)
+    engine.wait(timeout=30)
+    return store
+
+
+def test_cold_start_without_checkpoint(chain_query_factory):
+    recovery = RecoveryCoordinator(MemoryStore())
+    query, _, _, sink = chain_query_factory(n=10, delay=0.0)
+    StreamEngine(mode="sync").run(query, on_built=recovery)
+    assert recovery.report is None
+    assert len(sink.results) == 10
+
+
+def test_require_checkpoint_raises_on_cold_start(chain_query_factory):
+    recovery = RecoveryCoordinator(MemoryStore(), require_checkpoint=True)
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    with pytest.raises(NoCheckpointError):
+        StreamEngine(mode="sync").run(query, on_built=recovery)
+
+
+def test_recovery_resumes_from_cut(chain_query_factory):
+    store = checkpointed_store(chain_query_factory)
+    storage = CheckpointStorage(store)
+    cut = storage.load_source_position(0, "src")["emitted"]
+    recovery = RecoveryCoordinator(store)
+    query, source, fn, sink = chain_query_factory(n=60, delay=0.0)
+    StreamEngine(mode="sync").run(query, on_built=recovery)
+    assert recovery.report.epoch == 0
+    assert recovery.report.sources_restored == ["src"]
+    assert "sum" in recovery.report.nodes_restored
+    # restored sink state carries the pre-cut prefix; the replay appends
+    # exactly the suffix — one result per input, no loss, no duplication
+    assert [t.payload["x"] for t in sink.results] == list(range(60))
+    assert sink.results[cut].payload["x"] == cut
+    assert sink.results[-1].payload["sum"] == sum(range(60))
+
+
+def test_explicit_epoch_selection(chain_query_factory):
+    store = checkpointed_store(chain_query_factory, epochs=2, n=80)
+    storage = CheckpointStorage(store)
+    assert storage.epochs() == [0, 1]
+    cut0 = storage.load_source_position(0, "src")["emitted"]
+    recovery = RecoveryCoordinator(store, epoch=0)
+    query, _, _, sink = chain_query_factory(n=80, delay=0.0)
+    StreamEngine(mode="sync").run(query, on_built=recovery)
+    assert recovery.report.epoch == 0
+    assert [t.payload["x"] for t in sink.results] == list(range(80))
+    assert sink.results[cut0].payload["x"] == cut0
+
+
+def test_missing_manifest_for_explicit_epoch(chain_query_factory):
+    recovery = RecoveryCoordinator(MemoryStore(), epoch=7)
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    with pytest.raises(NoCheckpointError):
+        StreamEngine(mode="sync").run(query, on_built=recovery)
+
+
+def test_strict_rejects_unknown_node(chain_query_factory):
+    """Recovering into a different topology is an error by default."""
+    store = MemoryStore()
+    storage = CheckpointStorage(store)
+    storage.save_node_state(0, "ghost", {"x": 1})
+    storage.commit_manifest(0, {"epoch": 0, "nodes": ["ghost"], "sources": []})
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    with pytest.raises(RecoveryError):
+        StreamEngine(mode="sync").run(query, on_built=RecoveryCoordinator(store))
+
+
+def test_lenient_skips_unknown_node(chain_query_factory):
+    store = MemoryStore()
+    storage = CheckpointStorage(store)
+    storage.save_node_state(0, "ghost", {"x": 1})
+    storage.commit_manifest(0, {"epoch": 0, "nodes": ["ghost"], "sources": []})
+    recovery = RecoveryCoordinator(store, strict=False)
+    query, _, _, sink = chain_query_factory(n=5, delay=0.0)
+    StreamEngine(mode="sync").run(query, on_built=recovery)
+    assert recovery.report.nodes_restored == []
+    assert len(sink.results) == 5
+
+
+def test_corrupt_checkpoint_missing_state_record(chain_query_factory):
+    """A manifest that lists a node whose record is gone must fail loudly."""
+    store = checkpointed_store(chain_query_factory)
+    storage = CheckpointStorage(store)
+    store.delete(storage.node_key(0, "sum"))
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    with pytest.raises(RecoveryError):
+        StreamEngine(mode="sync").run(query, on_built=RecoveryCoordinator(store))
+
+
+def test_corrupt_checkpoint_missing_source_record(chain_query_factory):
+    store = checkpointed_store(chain_query_factory)
+    storage = CheckpointStorage(store)
+    store.delete(storage.source_key(0, "src"))
+    query, _, _, _ = chain_query_factory(n=5, delay=0.0)
+    with pytest.raises(RecoveryError):
+        StreamEngine(mode="sync").run(query, on_built=RecoveryCoordinator(store))
