@@ -1,0 +1,156 @@
+"""Plan-compiler speedup — fig7-style throughput per optimizer pass.
+
+Replays the evaluation build "as fast as possible" (offered rate far above
+capacity) through the Alg. 1 pipeline at a fine cell size, where per-cell
+tuple transport — queue locks, condvar wake-ups, thread hops — dominates
+the analytics. The ablation isolates each pass of
+:mod:`repro.spe.plan`: operator fusion, batched edge transport, the two
+combined, and keyed replication on top.
+
+Acceptance (ISSUE 2): fusion + batching must sustain at least 2x the
+throughput of the unoptimized threaded plan. Results land in
+``BENCH_fusion.json`` at the repository root so CI can archive them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import EvaluationWorkload, format_table, run_throughput_experiment
+from repro.core import UseCaseConfig
+from repro.spe import PlanConfig
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_fusion.json"
+
+#: offered OT images/s — far above capacity, so runs measure saturation
+OFFERED_RATE = 256.0
+
+VARIANTS: dict[str, PlanConfig | None] = {
+    "baseline": None,
+    "fusion": PlanConfig(fusion=True, edge_batch_size=1),
+    "batching": PlanConfig(fusion=False, edge_batch_size=32),
+    "fusion+batching": PlanConfig(fusion=True, edge_batch_size=32),
+    "fusion+batching+replication": PlanConfig(
+        fusion=True, edge_batch_size=32, parallelism=4
+    ),
+}
+
+_results: dict[str, object] = {}
+
+
+def _total_images() -> int:
+    return int(os.environ.get("REPRO_BENCH_FUSION_IMAGES", 24))
+
+
+def _rounds() -> int:
+    return int(os.environ.get("REPRO_BENCH_FUSION_ROUNDS", 2))
+
+
+@pytest.fixture(scope="module")
+def transport_workload(profile):
+    """Evaluation build with sparse defects: transport-bound by design.
+
+    The optimizer ablation measures *edge transport* (queue locks, condvar
+    wake-ups, thread hops), so the workload keeps the DBSCAN correlation
+    step off the critical path — dense defect clusters would bury the
+    transport signal under analytics compute common to every variant.
+    """
+    return EvaluationWorkload(
+        image_px=profile.image_px,
+        layers=profile.layers,
+        seed=7,
+        defect_rate_per_stack=0.02,
+    )
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_fusion_speedup_variant(benchmark, profile, transport_workload, variant):
+    config = UseCaseConfig(
+        image_px=profile.image_px,
+        cell_edge_px=profile.scale_cell_edge(10),  # fine cells: transport-bound
+        window_layers=10,
+    )
+    runs: list = []
+
+    def run_once():
+        run = run_throughput_experiment(
+            transport_workload,
+            config,
+            offered_images_s=OFFERED_RATE,
+            total_images=_total_images(),
+            optimize=VARIANTS[variant],
+        )
+        runs.append(run)
+        return run
+
+    benchmark.pedantic(run_once, rounds=_rounds(), iterations=1)
+    # best-of-N: saturation throughput is a capacity, so scheduling noise
+    # only ever subtracts from it
+    run = max(runs, key=lambda r: r.achieved_images_s)
+    _results[variant] = run
+    benchmark.extra_info.update(
+        variant=variant,
+        achieved_images_s=round(run.achieved_images_s, 2),
+        kcells_s=round(run.kcells_per_second, 1),
+        mean_latency_ms=round(run.mean_latency_s * 1e3, 2),
+    )
+
+
+def test_fusion_speedup_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
+    assert len(_results) == len(VARIANTS)
+    rows = [
+        [
+            name,
+            round(run.achieved_images_s, 2),
+            round(run.kcells_per_second, 1),
+            round(run.mean_latency_s * 1e3, 1),
+            round(run.p99_latency_s * 1e3, 1),
+        ]
+        for name, run in _results.items()
+    ]
+    print("\n=== Plan compiler: throughput & latency per optimizer pass ===")
+    print(
+        format_table(
+            ["variant", "achieved_img_s", "kcells_s", "mean_lat_ms", "p99_lat_ms"],
+            rows,
+        )
+    )
+
+    baseline = _results["baseline"]
+    optimized = _results["fusion+batching"]
+    speedup = optimized.achieved_images_s / baseline.achieved_images_s
+    payload = {
+        "profile": profile.name,
+        "offered_images_s": OFFERED_RATE,
+        "total_images": _total_images(),
+        "cell_edge_px": profile.scale_cell_edge(10),
+        "variants": {
+            name: {
+                "plan": plan.describe() if plan is not None else "off",
+                "achieved_images_s": run.achieved_images_s,
+                "kcells_per_second": run.kcells_per_second,
+                "mean_latency_s": run.mean_latency_s,
+                "p99_latency_s": run.p99_latency_s,
+                "cells_evaluated": run.cells_evaluated,
+                "wall_seconds": run.wall_seconds,
+            }
+            for (name, plan), run in zip(VARIANTS.items(), _results.values())
+        },
+        "speedup_fusion_batch": speedup,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"speedup (fusion+batching over baseline): {speedup:.2f}x -> {BENCH_JSON}")
+
+    # every variant evaluates the identical workload
+    assert all(
+        run.cells_evaluated == baseline.cells_evaluated for run in _results.values()
+    )
+    # ISSUE 2 acceptance: >= 2x throughput from fusion + batched transport
+    assert speedup >= 2.0, (
+        f"fusion+batching reached only {speedup:.2f}x over the unoptimized plan"
+    )

@@ -149,8 +149,13 @@ def run_latency_experiment(
     config: UseCaseConfig,
     warmup_layers: int = 2,
     engine_mode: str = "threaded",
+    optimize: object | None = None,
 ) -> LatencyRun:
-    """Lockstep replay of the workload; per-layer latency samples."""
+    """Lockstep replay of the workload; per-layer latency samples.
+
+    ``optimize`` is forwarded to :meth:`Strata.deploy` (``None``/``False``,
+    ``True``, or a :class:`~repro.spe.plan.PlanConfig`).
+    """
     records = workload.records
     strata = Strata(engine_mode=engine_mode)
     coordinator = _LockstepCoordinator(results_per_layer=len(workload.job.specimens))
@@ -166,7 +171,7 @@ def run_latency_experiment(
     )
     _prepare(workload, config, strata)
     started = time.monotonic()
-    report = strata.deploy()
+    report = strata.deploy(optimize=optimize)
     wall = time.monotonic() - started
     per_layer = _per_layer_latency(sink.results, sink.latency.samples())
     # Drop warm-up layers: first images pay one-time costs (threshold
@@ -219,8 +224,13 @@ def run_throughput_experiment(
     config: UseCaseConfig,
     offered_images_s: float,
     total_images: int,
+    optimize: object | None = None,
 ) -> ThroughputRun:
-    """Replay ``total_images`` at ``offered_images_s``; measure saturation."""
+    """Replay ``total_images`` at ``offered_images_s``; measure saturation.
+
+    ``optimize`` is forwarded to :meth:`Strata.deploy`, so the fig7 sweep
+    can ablate the plan compiler's passes.
+    """
     strata = Strata(engine_mode="threaded")
     ot_records = list(workload.replay(total_images))
     pp_records = ot_records  # parameters replayed alongside, unpaced
@@ -236,7 +246,7 @@ def run_throughput_experiment(
     )
     _prepare(workload, config, strata)
     started = time.monotonic()
-    report = strata.deploy()
+    report = strata.deploy(optimize=optimize)
     wall = time.monotonic() - started
     latencies = report.latency_samples()
     cells = pipeline.cells_evaluated

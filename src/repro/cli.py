@@ -33,7 +33,7 @@ from .core import (
     calibrate_job,
     specimen_regions_px,
 )
-from .spe import CallbackSink
+from .spe import CallbackSink, PlanConfig
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -48,6 +48,32 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=7, help="workload seed")
     parser.add_argument("--defect-rate", type=float, default=0.55,
                         help="seeded defects per stack per specimen")
+    parser.add_argument("--explain", action="store_true",
+                        help="print the compiled query plan before running")
+    parser.add_argument("--no-optimize", action="store_true",
+                        help="disable the plan compiler entirely")
+    parser.add_argument("--no-fusion", action="store_true",
+                        help="keep operators unfused (one thread per operator)")
+    parser.add_argument("--batch-size", type=int, default=32,
+                        help="tuples per queue entry on threaded edges (1 = unbatched)")
+    parser.add_argument("--parallelism", type=int, default=1,
+                        help="replicate keyed stages N-ways behind a hash router")
+
+
+def _plan_of(args: argparse.Namespace) -> PlanConfig | None:
+    """Plan compiler configuration from the common CLI knobs."""
+    if args.no_optimize:
+        return None
+    return PlanConfig(
+        fusion=not args.no_fusion,
+        edge_batch_size=args.batch_size,
+        parallelism=args.parallelism,
+    )
+
+
+def _maybe_explain(args: argparse.Namespace, strata: Strata, plan) -> None:
+    if args.explain:
+        print(strata.explain(optimize=plan))
 
 
 def _prepare(args: argparse.Namespace, streak_rate: float = 0.0):
@@ -77,7 +103,9 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
-    report = strata.deploy()
+    plan = _plan_of(args)
+    _maybe_explain(args, strata, plan)
+    report = strata.deploy(optimize=plan)
     flagged = [t for t in pipeline.sink.results if t.payload["num_clusters"] > 0]
     latency = report.latency_summary()
     print(f"layers={args.layers} reports={len(pipeline.sink.results)} "
@@ -118,7 +146,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         feed.records(), feed.records(), config, strata=strata,
         sink=CallbackSink("policy", policy),
     )
-    strata.start()
+    plan = _plan_of(args)
+    _maybe_explain(args, strata, plan)
+    strata.start(optimize=plan)
     machine = PBFLBMachine(
         renderer=renderer, time_scale=max(args.time_scale, 1e-6)
     )
@@ -151,8 +181,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    plan = _plan_of(args)
+    _maybe_explain(args, strata, plan)
     started = time.monotonic()
-    strata.deploy()
+    strata.deploy(optimize=plan)
     wall = time.monotonic() - started
     print(f"replayed {len(records)} layers in {wall:.2f}s "
           f"({len(records) / wall:.1f} img/s, "
@@ -167,7 +199,9 @@ def cmd_streaks(args: argparse.Namespace) -> int:
         iter(records), iter(records), image_px=args.image_px,
         window_layers=args.window, strata=Strata(engine_mode="threaded"),
     )
-    pipeline.strata.deploy()
+    plan = _plan_of(args)
+    _maybe_explain(args, pipeline.strata, plan)
+    pipeline.strata.deploy(optimize=plan)
     reported: dict[int, dict] = {}
     for t in pipeline.sink.results:
         for streak in t.payload["streaks"]:
@@ -191,6 +225,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         run_throughput_experiment,
     )
 
+    plan = _plan_of(args)
     workload = EvaluationWorkload(image_px=args.image_px, layers=args.layers, seed=args.seed)
     print("Figure 5 (latency vs cell size):")
     rows = []
@@ -198,7 +233,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         config = UseCaseConfig(
             image_px=args.image_px, cell_edge_px=edge, window_layers=args.window
         )
-        run = run_latency_experiment(workload, config)
+        run = run_latency_experiment(workload, config, optimize=plan)
         rows.append(boxplot_row(f"{edge}px", run.summary))
     print(format_table(BOXPLOT_HEADERS, rows))
 
@@ -208,7 +243,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         config = UseCaseConfig(
             image_px=args.image_px, cell_edge_px=5, window_layers=window
         )
-        run = run_latency_experiment(workload, config)
+        run = run_latency_experiment(workload, config, optimize=plan)
         rows.append(boxplot_row(f"L={window}", run.summary))
     print(format_table(BOXPLOT_HEADERS, rows))
 
@@ -218,7 +253,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         config = UseCaseConfig(image_px=args.image_px, cell_edge_px=5, window_layers=10)
         run = run_throughput_experiment(
             workload, config, offered_images_s=float(rate),
-            total_images=max(24, rate * 2),
+            total_images=max(24, rate * 2), optimize=plan,
         )
         rows.append([rate, round(run.achieved_images_s, 1),
                      round(run.kcells_per_second, 1),
@@ -269,13 +304,17 @@ def cmd_recover(args: argparse.Namespace) -> int:
             store, interval=args.checkpoint_interval, retain=args.retain
         )
         recovery = RecoveryCoordinator(store)
+        plan = _plan_of(args)
+        _maybe_explain(args, strata, plan)
         crashed = False
         if args.crash_after is None:
-            strata.start(checkpointer=coordinator, recover_from=recovery)
+            strata.start(checkpointer=coordinator, recover_from=recovery,
+                         optimize=plan)
             coordinator.start_periodic()
             strata.wait(timeout=600)
         else:
-            strata.start(checkpointer=coordinator, recover_from=recovery)
+            strata.start(checkpointer=coordinator, recover_from=recovery,
+                         optimize=plan)
             deadline = time.monotonic() + 600
             while time.monotonic() < deadline:
                 try:

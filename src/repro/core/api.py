@@ -84,8 +84,12 @@ class Strata:
         self._engine = StreamEngine(mode=engine_mode, capacity=capacity)
         self._connector_mode = connector_mode
         self._query = Query(name, default_capacity=capacity)
+        self._capacity = capacity
         # stream name -> (producing node name, producing module)
         self._streams: dict[str, tuple[str, str]] = {}
+        # streams whose tuples carry a specimen assignment: stages keyed by
+        # (job, specimen) downstream of these are safe to replicate.
+        self._keyed_streams: set[str] = set()
         self._uid = itertools.count()
         self._sinks: dict[str, Sink] = {}
         self._deployed = False
@@ -184,6 +188,8 @@ class Strata:
         upstream2 = self._resolve_upstream(s_in2, MODULE_MONITOR)
         self._query.add_operator(node, join, [upstream1, upstream2])
         self._streams[s_out] = (node, MODULE_MONITOR)
+        if s_in1 in self._keyed_streams or s_in2 in self._keyed_streams:
+            self._keyed_streams.add(s_out)
         return self
 
     def partition(
@@ -203,17 +209,19 @@ class Strata:
         self._check_new_stream(s_out)
         node = f"partition:{s_out}"
         upstream = self._resolve_upstream(s_in, MODULE_MONITOR)
-        if parallelism == 1:
-            self._query.add_operator(node, PartitionOperator(node, f), [upstream])
-        else:
-            self._query.add_operator(
-                node,
-                lambda: PartitionOperator(node, f),
-                [upstream],
-                parallelism=parallelism,
-                key_fn=_specimen_key,
-            )
+        # Always a factory: the plan compiler may clone replicas behind a
+        # hash router. Replication is only sound once tuples carry specimen
+        # keys, i.e. downstream of the first partition stage.
+        self._query.add_operator(
+            node,
+            lambda: PartitionOperator(node, f),
+            [upstream],
+            parallelism=parallelism,
+            key_fn=_specimen_key,
+            replicable=s_in in self._keyed_streams,
+        )
         self._streams[s_out] = (node, MODULE_MONITOR)
+        self._keyed_streams.add(s_out)
         return self
 
     def detectEvent(
@@ -228,17 +236,16 @@ class Strata:
         self._check_new_stream(s_out)
         node = f"detect:{s_out}"
         upstream = self._resolve_upstream(s_in, MODULE_MONITOR)
-        if parallelism == 1:
-            self._query.add_operator(node, DetectEventOperator(node, f), [upstream])
-        else:
-            self._query.add_operator(
-                node,
-                lambda: DetectEventOperator(node, f),
-                [upstream],
-                parallelism=parallelism,
-                key_fn=_specimen_key,
-            )
+        self._query.add_operator(
+            node,
+            lambda: DetectEventOperator(node, f),
+            [upstream],
+            parallelism=parallelism,
+            key_fn=_specimen_key,
+            replicable=s_in in self._keyed_streams,
+        )
         self._streams[s_out] = (node, MODULE_MONITOR)
+        self._keyed_streams.add(s_out)
         return self
 
     # -- Event Aggregator module --------------------------------------------
@@ -257,19 +264,16 @@ class Strata:
         self._check_new_stream(s_out)
         node = f"correlate:{s_out}"
         upstream = self._resolve_upstream(s_in, MODULE_AGGREGATOR)
-        if parallelism == 1:
-            self._query.add_operator(
-                node, CorrelateEventsOperator(node, l, f), [upstream]
-            )
-        else:
-            self._query.add_operator(
-                node,
-                lambda: CorrelateEventsOperator(node, l, f),
-                [upstream],
-                parallelism=parallelism,
-                key_fn=_specimen_key,
-            )
+        self._query.add_operator(
+            node,
+            lambda: CorrelateEventsOperator(node, l, f),
+            [upstream],
+            parallelism=parallelism,
+            key_fn=_specimen_key,
+            replicable=s_in in self._keyed_streams,
+        )
         self._streams[s_out] = (node, MODULE_AGGREGATOR)
+        self._keyed_streams.add(s_out)
         return self
 
     # -- delivery & deployment ----------------------------------------------
@@ -297,7 +301,10 @@ class Strata:
         return sink
 
     def deploy(
-        self, checkpointer: Any | None = None, recover_from: Any | None = None
+        self,
+        checkpointer: Any | None = None,
+        recover_from: Any | None = None,
+        optimize: Any | None = None,
     ) -> RunReport:
         """Run the composed pipeline to completion (finite sources).
 
@@ -306,27 +313,49 @@ class Strata:
         ``RecoveryCoordinator``, a KV store, or ``True`` for this
         instance's own store) restores the newest committed checkpoint
         into the freshly built pipeline before execution starts.
+
+        ``optimize`` engages the plan compiler (:mod:`repro.spe.plan`):
+        ``True`` for default fusion + batched transport, a
+        :class:`~repro.spe.plan.PlanConfig` for explicit knobs (including
+        ``parallelism`` for keyed replication), ``None``/``False`` to run
+        the graph exactly as declared. Checkpoints stay portable between
+        optimized and unoptimized deployments.
         """
         self._deployed = True
         return self._engine.run(
             self._query,
             checkpointer=checkpointer,
             on_built=self._recovery_hook(recover_from),
+            plan=optimize,
         )
 
     def start(
-        self, checkpointer: Any | None = None, recover_from: Any | None = None
+        self,
+        checkpointer: Any | None = None,
+        recover_from: Any | None = None,
+        optimize: Any | None = None,
     ) -> dict[str, Sink]:
         """Deploy in the background (threaded engine); returns the sinks.
 
-        Same ``checkpointer``/``recover_from`` semantics as :meth:`deploy`.
+        Same ``checkpointer``/``recover_from``/``optimize`` semantics as
+        :meth:`deploy`.
         """
         self._deployed = True
         return self._engine.start(
             self._query,
             checkpointer=checkpointer,
             on_built=self._recovery_hook(recover_from),
+            plan=optimize,
         )
+
+    def explain(self, optimize: Any | None = True) -> str:
+        """Render the physical plan ``deploy(optimize=...)`` would run.
+
+        Builds (but does not execute) the pipeline, applies the compiler
+        passes, and returns a plan listing — fused chains, routers, and
+        replica fan-out included.
+        """
+        return self._engine.explain(self._query, plan=optimize)
 
     def _recovery_hook(self, recover_from: Any | None):
         if recover_from is None:

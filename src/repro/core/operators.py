@@ -26,7 +26,7 @@ from ..spe.operators.base import (
     snapshot_callable,
 )
 from ..spe.tuples import WHOLE_PORTION, WHOLE_SPECIMEN, StreamTuple
-from .punctuation import is_punctuation, make_punctuation
+from .punctuation import PUNCTUATION_KEY, is_punctuation, make_punctuation
 
 #: partition / detectEvent user function: one tuple in, any number out
 UserFunction = Callable[[StreamTuple], StreamTuple | Iterable[StreamTuple] | None]
@@ -103,12 +103,14 @@ class DetectEventOperator(Operator):
         self.events_out = 0
 
     def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
-        if is_punctuation(t):
+        if PUNCTUATION_KEY in t.payload:
             return [t]
         assigns_specimen = t.specimen is None
         if assigns_specimen:
             t = t.derive(specimen=WHOLE_SPECIMEN, portion=WHOLE_PORTION)
         outputs = as_tuple_list(self._fn(t))
+        if not outputs and not assigns_specimen:
+            return outputs
         for out in outputs:
             if out.specimen is None:
                 out.specimen = t.specimen

@@ -103,7 +103,9 @@ class CheckpointCoordinator:
                     )
                 sources[node.name] = node.source
             else:
-                participants.add(node.name)
+                # A fused node acks once per constituent, under the original
+                # node names, so manifests are identical across plan shapes.
+                participants.update(node.checkpoint_names())
         with self._lock:
             self._participants = participants
             self._sources = sources

@@ -1,11 +1,20 @@
 """Post-crash recovery: restore a rebuilt pipeline from the last checkpoint.
 
 A :class:`RecoveryCoordinator` is used as the engine's ``on_built`` hook:
-the caller rebuilds the *same* query topology (same node names), and the
-coordinator — between ``query.build()`` and scheduler start — looks up the
-newest committed epoch, restores every manifested node's state, and seeks
-every source back to its captured position. The sources then replay the
-post-checkpoint suffix; sink-side dedup absorbs any overlap.
+the caller rebuilds the *same logical* query (same declared node names),
+and the coordinator — between ``query.build()`` and scheduler start —
+looks up the newest committed epoch, restores every manifested node's
+state, and seeks every source back to its captured position. The sources
+then replay the post-checkpoint suffix; sink-side dedup absorbs overlap.
+
+The rebuilt *physical* plan may differ from the one that wrote the
+checkpoint: manifest entries are matched through
+``Node.restore_state_for``, which resolves a logical name to the plain
+node, the constituent of a fused chain, or every replica sharing that
+``base_name``. So a checkpoint written by an unfused run restores into a
+fused or replicated plan and vice versa. The one unsupported direction is
+shrinking replicated state (a manifest entry ``stage::3`` has no home in
+a plan built without replication) — that raises in strict mode.
 """
 
 from __future__ import annotations
@@ -69,26 +78,25 @@ class RecoveryCoordinator:
         by_name = {node.name: node for node in nodes}
         report = RecoveryReport(epoch=epoch)
         for name in manifest.get("nodes", []):
-            node = by_name.get(name)
-            if node is None:
-                if self._strict:
-                    raise RecoveryError(
-                        f"checkpoint epoch {epoch} has state for unknown node "
-                        f"{name!r}; rebuild the same topology before recovering"
-                    )
-                continue
             state = self.storage.load_node_state(epoch, name)
             if state is None:
                 raise RecoveryError(
                     f"manifest of epoch {epoch} lists {name!r} but its state "
                     "record is missing (corrupt checkpoint)"
                 )
-            if node.kind == "operator":
-                node.operator.restore_state(state)
-            elif node.kind == "sink":
-                node.sink.restore_state(state)
-            else:
-                raise RecoveryError(f"node {name!r} is a source, not a state holder")
+            # Coverage matching, not exact-name lookup: the rebuilt plan may
+            # have fused or replicated the node that wrote this state.
+            restored = False
+            for node in nodes:
+                if node.restore_state_for(name, state):
+                    restored = True
+            if not restored:
+                if self._strict:
+                    raise RecoveryError(
+                        f"checkpoint epoch {epoch} has state for unknown node "
+                        f"{name!r}; rebuild the same topology before recovering"
+                    )
+                continue
             report.nodes_restored.append(name)
         for name in manifest.get("sources", []):
             node = by_name.get(name)

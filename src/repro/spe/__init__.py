@@ -33,6 +33,14 @@ from .operators import (
     partition_key,
     window_indices,
 )
+from .plan import (
+    FusedOperator,
+    PlanConfig,
+    compile_plan,
+    fuse_linear_chains,
+    render_plan,
+    replicate_keyed_stages,
+)
 from .query import Node, Query
 from .scheduler import NodeExecutor, SynchronousScheduler, ThreadedScheduler
 from .sink import CallbackSink, CollectingSink, DeadlineSink, NullSink, Sink
@@ -43,7 +51,7 @@ from .source import (
     RateLimitedSource,
     Source,
 )
-from .stream import END_OF_STREAM, Stream
+from .stream import END_OF_STREAM, Stream, TupleBatch
 from .tuples import WHOLE_PORTION, WHOLE_SPECIMEN, StreamTuple
 from .watermark import WatermarkTracker
 
@@ -53,6 +61,13 @@ __all__ = [
     "WHOLE_PORTION",
     "Stream",
     "END_OF_STREAM",
+    "TupleBatch",
+    "PlanConfig",
+    "FusedOperator",
+    "compile_plan",
+    "fuse_linear_chains",
+    "replicate_keyed_stages",
+    "render_plan",
     "Operator",
     "MapOperator",
     "FilterOperator",

@@ -12,6 +12,7 @@ from typing import Any, Callable
 
 from .errors import EngineStateError
 from .metrics import FiveNumberSummary, OperatorStats
+from .plan import PlanConfig, compile_plan, render_plan
 from .query import Node, Query
 from .scheduler import SynchronousScheduler, ThreadedScheduler
 from .sink import Sink
@@ -96,9 +97,11 @@ class StreamEngine:
         checkpointer: Any | None,
         on_built: BuildHook | None,
         capacity: int | None,
+        plan: PlanConfig | None = None,
     ):
-        """Build the query, bind the checkpointer, run recovery hooks."""
+        """Build the query, compile the plan, bind the checkpointer."""
         nodes = query.build(capacity=capacity)
+        nodes = compile_plan(nodes, plan)
         listener = None
         if checkpointer is not None:
             # Duck-typed so repro.spe never imports repro.recovery: any
@@ -115,15 +118,25 @@ class StreamEngine:
         checkpointer: Any | None = None,
         on_built: BuildHook | None = None,
         batch_size: int | None = None,
+        plan: PlanConfig | bool | None = None,
     ) -> RunReport:
-        """Execute a query until all sources are exhausted; blocking."""
+        """Execute a query until all sources are exhausted; blocking.
+
+        ``plan`` enables the plan compiler (:mod:`repro.spe.plan`):
+        ``True`` for defaults, a :class:`PlanConfig` for explicit knobs,
+        ``None``/``False`` to run the graph exactly as declared. The sync
+        scheduler always uses unbatched transport (it is the deterministic
+        oracle), but still honours fusion/replication rewrites.
+        """
         import time
 
+        plan = PlanConfig.resolve(plan)
         nodes, listener = self._prepare(
             query,
             checkpointer,
             on_built,
             capacity=None if self._mode == "sync" else self._capacity,
+            plan=plan,
         )
         started = time.monotonic()
         if self._mode == "sync":
@@ -132,34 +145,55 @@ class StreamEngine:
                 **({} if batch_size is None else {"batch_size": batch_size}),
             )
         else:
-            scheduler = ThreadedScheduler(checkpoint_listener=listener)
+            scheduler = self._threaded_scheduler(listener, plan)
         stats = scheduler.run(nodes)
         wall = time.monotonic() - started
-        return RunReport(
+        report = RunReport(
             query_name=query.name,
             operator_stats=stats,
             sinks=_sinks_of(nodes),
             wall_seconds=wall,
         )
+        if plan is not None:
+            report.extra["plan"] = plan.describe()
+        return report
+
+    def explain(self, query: Query, plan: PlanConfig | bool | None = True) -> str:
+        """Render the compiled plan without executing it."""
+        resolved = PlanConfig.resolve(plan)
+        nodes = compile_plan(query.build(capacity=self._capacity), resolved)
+        return render_plan(nodes, title=query.name, config=resolved)
 
     def start(
         self,
         query: Query,
         checkpointer: Any | None = None,
         on_built: BuildHook | None = None,
+        plan: PlanConfig | bool | None = None,
     ) -> dict[str, Sink]:
         """Deploy a query in the background (threaded only)."""
         if self._mode != "threaded":
             raise EngineStateError("background deployment requires threaded mode")
         if self._active is not None:
             raise EngineStateError("a query is already running; stop() it first")
+        plan = PlanConfig.resolve(plan)
         nodes, listener = self._prepare(
-            query, checkpointer, on_built, capacity=self._capacity
+            query, checkpointer, on_built, capacity=self._capacity, plan=plan
         )
-        self._active = ThreadedScheduler(checkpoint_listener=listener)
+        self._active = self._threaded_scheduler(listener, plan)
         self._active_nodes = nodes
         self._active.start(nodes)
         return _sinks_of(nodes)
+
+    @staticmethod
+    def _threaded_scheduler(listener, plan: PlanConfig | None) -> ThreadedScheduler:
+        if plan is None:
+            return ThreadedScheduler(checkpoint_listener=listener)
+        return ThreadedScheduler(
+            checkpoint_listener=listener,
+            edge_batch_size=plan.edge_batch_size,
+            linger_s=plan.linger_s,
+        )
 
     def stop(self, timeout: float = 10.0) -> None:
         """Request shutdown of the background query and wait for it."""

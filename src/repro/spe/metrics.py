@@ -9,6 +9,7 @@ per-result latency samples; counters track throughput over the run.
 from __future__ import annotations
 
 import math
+import random
 import threading
 import time
 from dataclasses import dataclass
@@ -62,16 +63,26 @@ def _quantile(sorted_values: list[float], q: float) -> float:
     if low == high:
         return sorted_values[low]
     frac = position - low
-    return sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+    value = sorted_values[low] * (1 - frac) + sorted_values[high] * frac
+    # Interpolating can round outside the bracket for subnormal inputs
+    # (e.g. 5e-324 * 0.5 rounds to 0.0); clamp to keep quantiles monotone.
+    return min(max(value, sorted_values[low]), sorted_values[high])
 
 
-def summarize(samples: list[float]) -> FiveNumberSummary:
-    """Five-number summary plus mean and tail percentiles of a sample list."""
+def summarize(
+    samples: list[float], observed_count: int | None = None
+) -> FiveNumberSummary:
+    """Five-number summary plus mean and tail percentiles of a sample list.
+
+    ``observed_count`` overrides the reported ``count`` when ``samples`` is
+    a reservoir standing in for a larger population (statistics come from
+    the reservoir, the count from the full stream of observations).
+    """
     if not samples:
         raise MetricsError("cannot summarize zero samples")
     ordered = sorted(samples)
     return FiveNumberSummary(
-        count=len(ordered),
+        count=observed_count if observed_count is not None else len(ordered),
         minimum=ordered[0],
         q1=_quantile(ordered, 0.25),
         median=_quantile(ordered, 0.5),
@@ -84,19 +95,42 @@ def summarize(samples: list[float]) -> FiveNumberSummary:
 
 
 class LatencyRecorder:
-    """Thread-safe collector of latency samples (seconds)."""
+    """Thread-safe collector of latency samples (seconds).
 
-    def __init__(self) -> None:
+    With ``capacity=None`` (the default) every sample is kept — right for
+    finite replays and tests. A bounded ``capacity`` switches to reservoir
+    sampling (Vitter's Algorithm R): memory stays constant over multi-hour
+    monitoring runs while the reservoir remains a uniform random sample of
+    everything observed; ``len()`` and summaries still report the *total*
+    number of observations.
+    """
+
+    def __init__(self, capacity: int | None = None, seed: int = 0x5157) -> None:
+        if capacity is not None and capacity < 1:
+            raise MetricsError("latency reservoir capacity must be positive")
         self._samples: list[float] = []
+        self._capacity = capacity
+        self._count = 0
+        self._rng = random.Random(seed) if capacity is not None else None
         self._lock = threading.Lock()
 
+    @property
+    def capacity(self) -> int | None:
+        return self._capacity
+
     def record(self, latency_seconds: float) -> None:
-        """Append one latency sample."""
+        """Record one latency sample (reservoir-sampled when bounded)."""
         with self._lock:
-            self._samples.append(latency_seconds)
+            self._count += 1
+            if self._capacity is None or len(self._samples) < self._capacity:
+                self._samples.append(latency_seconds)
+                return
+            slot = self._rng.randrange(self._count)
+            if slot < self._capacity:
+                self._samples[slot] = latency_seconds
 
     def samples(self) -> list[float]:
-        """Copy of all recorded samples."""
+        """Copy of the retained samples (all of them when unbounded)."""
         with self._lock:
             return list(self._samples)
 
@@ -104,23 +138,40 @@ class LatencyRecorder:
         """Drop all samples."""
         with self._lock:
             self._samples.clear()
+            self._count = 0
 
     def summary(self) -> FiveNumberSummary:
         """Five-number summary of the samples recorded so far."""
-        return summarize(self.samples())
-
-    def snapshot(self) -> list[float]:
-        """Samples as a checkpointable list."""
-        return self.samples()
-
-    def restore(self, samples: list[float]) -> None:
-        """Replace all samples with a checkpointed list."""
         with self._lock:
-            self._samples = [float(s) for s in samples]
+            return summarize(list(self._samples), observed_count=self._count)
+
+    def snapshot(self) -> list[float] | dict[str, object]:
+        """Checkpointable form: a plain list when unbounded (kept for
+        manifest compatibility), a dict carrying the true observation count
+        when reservoir-sampled."""
+        with self._lock:
+            if self._capacity is None:
+                return list(self._samples)
+            return {"count": self._count, "samples": list(self._samples)}
+
+    def restore(self, state: list[float] | dict[str, object]) -> None:
+        """Re-install a snapshot (either checkpointable form)."""
+        with self._lock:
+            if isinstance(state, dict):
+                samples = [float(s) for s in state["samples"]]
+                count = int(state["count"])
+            else:
+                samples = [float(s) for s in state]
+                count = len(samples)
+            if self._capacity is not None and len(samples) > self._capacity:
+                samples = samples[: self._capacity]
+            self._samples = samples
+            self._count = max(count, len(samples))
 
     def __len__(self) -> int:
+        """Total observations recorded (not the retained sample count)."""
         with self._lock:
-            return len(self._samples)
+            return self._count
 
 
 class ThroughputMeter:

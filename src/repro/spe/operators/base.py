@@ -85,6 +85,10 @@ def restore_callable(fn: object, state: dict[str, Any] | None) -> None:
 
 def as_tuple_list(result: StreamTuple | Iterable[StreamTuple] | None) -> list[StreamTuple]:
     """Normalize a user function's return value to a list of tuples."""
+    if type(result) is list:
+        # hot path: the list is freshly built by the function and consumed
+        # immediately by the caller, so hand it over without copying
+        return result
     if result is None:
         return []
     if isinstance(result, StreamTuple):

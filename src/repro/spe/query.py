@@ -18,6 +18,7 @@ from typing import Callable, Hashable
 from .errors import QueryValidationError
 from .operators.base import Operator
 from .operators.router import HashRouter, partition_key
+from .operators.union import UnionOperator
 from .sink import Sink
 from .source import Source
 from .stream import Stream
@@ -40,7 +41,15 @@ class _RouterOperator(Operator):
 
 
 class Node:
-    """A materialized query-graph vertex with its connecting streams."""
+    """A materialized query-graph vertex with its connecting streams.
+
+    ``base_name`` is the *logical* name a node snapshots/restores under:
+    replicas of a replicated stage share the base name of the stage they
+    clone, and fused nodes (see :mod:`repro.spe.plan`) keep each
+    constituent's base name, so recovery manifests stay portable across
+    plan shapes. ``factory``/``key_fn``/``replicable`` are plan-compiler
+    metadata: a node the replication pass may clone behind a hash router.
+    """
 
     def __init__(
         self,
@@ -50,6 +59,7 @@ class Node:
         operator: Operator | None = None,
         sink: Sink | None = None,
         router: HashRouter | None = None,
+        base_name: str | None = None,
     ) -> None:
         self.name = name
         self.kind = kind  # "source" | "operator" | "sink"
@@ -57,6 +67,10 @@ class Node:
         self.operator = operator
         self.sink = sink
         self.router = router  # non-None => hash-route outputs instead of broadcast
+        self.base_name = base_name if base_name is not None else name
+        self.factory: OperatorFactory | None = None
+        self.key_fn: KeyFunction | None = None
+        self.replicable = False
         self.inputs: list[Stream] = []
         self.outputs: list[Stream] = []
 
@@ -65,6 +79,33 @@ class Node:
         if self.router is None:
             return self.outputs
         return [self.outputs[self.router.route(t)]]
+
+    def checkpoint_names(self) -> list[str]:
+        """Names this node snapshots under (fused nodes: one per part)."""
+        if self.kind == "operator" and hasattr(self.operator, "snapshot_parts"):
+            return list(self.operator.part_names())
+        return [self.name]
+
+    def restore_state_for(self, name: str, state: dict) -> bool:
+        """Restore manifest entry ``name`` into this node if it covers it.
+
+        Matches the exact node name, the logical ``base_name`` (so a
+        manifest from an unreplicated run restores into every replica),
+        or any constituent of a fused node. Returns True on a match.
+        """
+        if self.kind == "source":
+            return False
+        if self.kind == "sink":
+            if name not in (self.name, self.base_name):
+                return False
+            self.sink.restore_state(state)
+            return True
+        if hasattr(self.operator, "restore_part"):
+            return self.operator.restore_part(name, state)
+        if name not in (self.name, self.base_name):
+            return False
+        self.operator.restore_state(state)
+        return True
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Node({self.name!r}, {self.kind})"
@@ -84,6 +125,7 @@ class _Declared:
         sink: Sink | None = None,
         parallelism: int = 1,
         key_fn: KeyFunction | None = None,
+        replicable: bool = False,
     ) -> None:
         self.name = name
         self.kind = kind
@@ -94,6 +136,7 @@ class _Declared:
         self.sink = sink
         self.parallelism = parallelism
         self.key_fn = key_fn
+        self.replicable = replicable
 
 
 class Query:
@@ -130,12 +173,16 @@ class Query:
         upstreams: list[str] | str,
         parallelism: int = 1,
         key_fn: KeyFunction | None = None,
+        replicable: bool = False,
     ) -> "Query":
         """Register an operator consuming from ``upstreams``.
 
         With ``parallelism > 1`` pass a zero-argument *factory* so each
         replica gets independent state; a bare instance is accepted only
-        for ``parallelism == 1``.
+        for ``parallelism == 1``. ``replicable=True`` (requires a factory)
+        marks the stage as safe for the plan compiler's replication pass:
+        its state is keyed by ``key_fn`` so disjoint key ranges can be
+        processed by independent replicas behind a hash router.
         """
         if isinstance(upstreams, str):
             upstreams = [upstreams]
@@ -145,6 +192,10 @@ class Query:
             raise QueryValidationError(
                 "parallel operators need a factory (each replica needs its own state)"
             )
+        if replicable and isinstance(operator, Operator):
+            raise QueryValidationError(
+                "replicable operators need a factory (each replica needs its own state)"
+            )
         decl = _Declared(
             name,
             "operator",
@@ -153,6 +204,7 @@ class Query:
             factory=None if isinstance(operator, Operator) else operator,
             parallelism=parallelism,
             key_fn=key_fn,
+            replicable=replicable,
         )
         self._declare(decl)
         return self
@@ -227,10 +279,16 @@ class Query:
         if decl.parallelism == 1:
             op = decl.operator if decl.operator is not None else decl.factory()
             node = Node(decl.name, "operator", operator=op)
+            if decl.factory is not None:
+                node.factory = decl.factory
+                node.key_fn = decl.key_fn
+                node.replicable = decl.replicable
             nodes.append(node)
             self._connect(decl.upstreams, node, producers, capacity)
             return [node]
-        # parallel: router -> N replicas
+        # parallel: router -> N replicas -> union merge. The explicit Union
+        # keeps every replica edge single-producer, so checkpoint barriers
+        # align exactly downstream of the replicated stage.
         router = Node(
             f"{decl.name}::router",
             "operator",
@@ -239,7 +297,12 @@ class Query:
         )
         nodes.append(router)
         self._connect(decl.upstreams, router, producers, capacity)
-        replicas: list[Node] = []
+        merge_name = f"{decl.name}::merge"
+        merge = Node(
+            merge_name,
+            "operator",
+            operator=UnionOperator(merge_name, num_inputs=decl.parallelism),
+        )
         for i in range(decl.parallelism):
             op = decl.factory()
             if op.num_inputs != 1:
@@ -247,13 +310,16 @@ class Query:
                     f"parallel operator {decl.name!r} must be single-input "
                     f"(got num_inputs={op.num_inputs})"
                 )
-            replica = Node(f"{decl.name}::{i}", "operator", operator=op)
+            replica = Node(f"{decl.name}::{i}", "operator", operator=op, base_name=decl.name)
             stream = Stream(f"{router.name}->{replica.name}", _cap(capacity))
             router.outputs.append(stream)
             replica.inputs.append(stream)
+            merge_stream = Stream(f"{replica.name}->{merge.name}", _cap(capacity))
+            replica.outputs.append(merge_stream)
+            merge.inputs.append(merge_stream)
             nodes.append(replica)
-            replicas.append(replica)
-        return replicas
+        nodes.append(merge)
+        return [merge]
 
     @staticmethod
     def _connect(

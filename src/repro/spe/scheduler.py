@@ -24,7 +24,7 @@ from .barrier import CheckpointBarrier, is_barrier
 from .errors import OperatorError
 from .metrics import OperatorStats
 from .query import Node
-from .stream import END_OF_STREAM, Stream
+from .stream import END_OF_STREAM, Stream, TupleBatch
 from .tuples import StreamTuple
 
 # (node_name, epoch, state-or-None) — invoked once a node snapshots at an
@@ -40,6 +40,8 @@ class NodeExecutor:
         node: Node,
         stop_event: threading.Event | None = None,
         checkpoint_listener: CheckpointListener | None = None,
+        edge_batch_size: int = 1,
+        linger_s: float = 0.005,
     ) -> None:
         self.node = node
         self.stats = OperatorStats(node.name)
@@ -47,6 +49,17 @@ class NodeExecutor:
         self._finalized = False
         self._stop_event = stop_event
         self._checkpoint_listener = checkpoint_listener
+        # Batched edge transport: with edge_batch_size > 1, emitted data
+        # tuples are buffered per output stream and shipped as one
+        # TupleBatch queue entry. Buffers are touched only by the thread
+        # driving this executor, so they need no locking; control items
+        # (barriers, EOS) always flush first, preserving in-band ordering.
+        self._edge_batch = max(1, edge_batch_size)
+        self._linger_s = linger_s
+        self._buffers: dict[int, tuple[Stream, list]] | None = None
+        if self._edge_batch > 1:
+            self._buffers = {id(s): (s, []) for s in node.outputs}
+        self._last_flush = time.monotonic()
         # Chandy–Lamport alignment: epoch -> input_index -> barriers seen.
         # An input is aligned for an epoch once it delivered one barrier per
         # producer feeding it (or closed); while aligned-but-waiting it is
@@ -90,10 +103,36 @@ class NodeExecutor:
         return seen >= self.node.inputs[input_index].num_producers
 
     def _emit(self, tuples: list[StreamTuple]) -> None:
+        buffers = self._buffers
         for t in tuples:
             self.stats.tuples_out += 1
             for stream in self.node.route(t):
-                self._put(stream, t)
+                if buffers is None:
+                    self._put(stream, t)
+                    continue
+                buf = buffers[id(stream)][1]
+                buf.append(t)
+                if len(buf) >= self._edge_batch:
+                    self._flush_stream(stream, buf)
+
+    def _flush_stream(self, stream: Stream, buf: list) -> None:
+        if not buf:
+            return
+        item = buf[0] if len(buf) == 1 else TupleBatch(buf)
+        buf.clear()
+        self._put(stream, item)
+
+    def flush_outputs(self) -> None:
+        """Ship every partially filled output batch now."""
+        if self._buffers is not None:
+            for stream, buf in self._buffers.values():
+                self._flush_stream(stream, buf)
+        self._last_flush = time.monotonic()
+
+    def maybe_flush(self, now: float) -> None:
+        """Flush buffered batches older than the linger deadline."""
+        if self._buffers is not None and now - self._last_flush >= self._linger_s:
+            self.flush_outputs()
 
     def _put(self, stream: Stream, item: object) -> None:
         if self._stop_event is None:
@@ -107,8 +146,14 @@ class NodeExecutor:
                 break
 
     def handle(self, input_index: int, item: object) -> None:
-        """Process one item (data tuple, barrier, or EOS) from one input."""
+        """Process one item (data tuple, batch, barrier, or EOS) from one input."""
         node = self.node
+        if type(item) is TupleBatch:
+            # Unbatch transparently: batches carry only data tuples, so no
+            # control transition can occur mid-batch.
+            for t in item:
+                self.handle(input_index, t)
+            return
         if item is END_OF_STREAM:
             if input_index in self._closed_inputs:
                 return
@@ -162,13 +207,22 @@ class NodeExecutor:
     def _complete_checkpoint(self, epoch: int) -> None:
         """Snapshot at the aligned cut, then forward the barrier downstream."""
         node = self.node
-        state: dict | None = None
-        if node.kind == "operator":
-            state = node.operator.snapshot_state()
-        elif node.kind == "sink":
-            state = node.sink.snapshot_state()
         if self._checkpoint_listener is not None:
-            self._checkpoint_listener(node.name, epoch, state)
+            if node.kind == "operator" and hasattr(node.operator, "snapshot_parts"):
+                # Fused node: one manifest entry per constituent, under its
+                # original node name, so manifests stay portable between
+                # fused and unfused plan shapes.
+                for part_name, state in node.operator.snapshot_parts().items():
+                    self._checkpoint_listener(part_name, epoch, state)
+            else:
+                state: dict | None = None
+                if node.kind == "operator":
+                    state = node.operator.snapshot_state()
+                elif node.kind == "sink":
+                    state = node.sink.snapshot_state()
+                self._checkpoint_listener(node.name, epoch, state)
+        # Pre-barrier data must precede the barrier in every output queue.
+        self.flush_outputs()
         # Broadcast to every output stream (bypassing any hash router: a
         # barrier belongs to all replicas, not one key's partition).
         barrier = CheckpointBarrier(epoch)
@@ -188,6 +242,7 @@ class NodeExecutor:
             self._run_operator(node.operator.on_close)
         elif node.kind == "sink":
             node.sink.on_close()
+        self.flush_outputs()
         for stream in node.outputs:
             stream.put(END_OF_STREAM)
 
@@ -278,9 +333,17 @@ class ThreadedScheduler:
         self,
         poll_timeout: float = 0.02,
         checkpoint_listener: CheckpointListener | None = None,
+        edge_batch_size: int = 1,
+        drain_batch: int = 64,
+        linger_s: float = 0.005,
     ) -> None:
+        if drain_batch < 1:
+            raise ValueError("drain_batch must be positive")
         self._poll_timeout = poll_timeout
         self._checkpoint_listener = checkpoint_listener
+        self._edge_batch_size = max(1, edge_batch_size)
+        self._drain_batch = drain_batch
+        self._linger_s = linger_s
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._error: list[BaseException] = []
@@ -300,6 +363,8 @@ class ThreadedScheduler:
                 node,
                 stop_event=self._stop,
                 checkpoint_listener=self._checkpoint_listener,
+                edge_batch_size=self._edge_batch_size if node.kind != "source" else 1,
+                linger_s=self._linger_s,
             )
             for node in nodes
         ]
@@ -343,12 +408,27 @@ class ThreadedScheduler:
             moved = False
             for index in list(ex.ready_inputs):
                 stream = ex.node.inputs[index]
-                item = stream.try_get()
-                if item is None:
+                # Bulk-drain queued data entries under one lock acquisition;
+                # drain() stops before control items (EOS, barriers), which
+                # the try_get fallback then delivers one at a time.
+                items = stream.drain(self._drain_batch)
+                if not items:
+                    item = stream.try_get()
+                    if item is None:
+                        continue
+                    ex.handle(index, item)
+                    moved = True
                     continue
-                ex.handle(index, item)
+                for item in items:
+                    ex.handle(index, item)
                 moved = True
-            if not moved and not ex.finalized:
+            if moved:
+                ex.maybe_flush(time.monotonic())
+            elif not ex.finalized:
+                # Going idle: ship partially filled output batches so
+                # downstream latency is bounded by the blocking timeout,
+                # not by how long this node stays starved.
+                ex.flush_outputs()
                 self._block_on_any_input(ex)
         if self._stop.is_set() and not ex.finalized:
             # Cooperative shutdown: propagate EOS so downstream exits too.
@@ -366,8 +446,16 @@ class ThreadedScheduler:
         # long we ignore the other inputs and the stop flag.
         stream = ex.node.inputs[ready[0]]
         item = stream.get(timeout=self._poll_timeout)
-        if item is not None:
-            ex.handle(ready[0], item)
+        if item is None:
+            return
+        ex.handle(ready[0], item)
+        if ex.finalized or ex.input_blocked(ready[0]):
+            return
+        # Opportunistic drain: whatever queued up behind the item we just
+        # waited for is consumed in the same wake-up, one lock acquisition
+        # for the whole run instead of one per item.
+        for extra in stream.drain(self._drain_batch):
+            ex.handle(ready[0], extra)
 
     def stop(self) -> None:
         """Request cooperative shutdown of all node threads."""

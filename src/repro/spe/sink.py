@@ -18,11 +18,16 @@ from .tuples import StreamTuple
 
 
 class Sink(ABC):
-    """Base class for result consumers."""
+    """Base class for result consumers.
 
-    def __init__(self, name: str) -> None:
+    ``latency_capacity`` bounds the latency-sample memory via reservoir
+    sampling (see :class:`~repro.spe.metrics.LatencyRecorder`); ``None``
+    keeps every sample, appropriate for finite replays.
+    """
+
+    def __init__(self, name: str, latency_capacity: int | None = None) -> None:
         self.name = name
-        self.latency = LatencyRecorder()
+        self.latency = LatencyRecorder(capacity=latency_capacity)
         self.throughput = ThroughputMeter()
 
     def accept(self, t: StreamTuple) -> None:
@@ -50,8 +55,8 @@ class Sink(ABC):
 class CollectingSink(Sink):
     """Buffers every result for later inspection (tests, benches)."""
 
-    def __init__(self, name: str = "collect") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "collect", latency_capacity: int | None = None) -> None:
+        super().__init__(name, latency_capacity=latency_capacity)
         self._results: list[StreamTuple] = []
         self._lock = threading.Lock()
 
@@ -83,8 +88,13 @@ class CollectingSink(Sink):
 class CallbackSink(Sink):
     """Invokes a user callback per result (the 'expert' integration point)."""
 
-    def __init__(self, name: str, fn: Callable[[StreamTuple], None]) -> None:
-        super().__init__(name)
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[StreamTuple], None],
+        latency_capacity: int | None = None,
+    ) -> None:
+        super().__init__(name, latency_capacity=latency_capacity)
         self._fn = fn
 
     def consume(self, t: StreamTuple) -> None:
@@ -94,8 +104,8 @@ class CallbackSink(Sink):
 class NullSink(Sink):
     """Discards results but still records metrics (pure benchmarking)."""
 
-    def __init__(self, name: str = "null") -> None:
-        super().__init__(name)
+    def __init__(self, name: str = "null", latency_capacity: int | None = None) -> None:
+        super().__init__(name, latency_capacity=latency_capacity)
 
     def consume(self, t: StreamTuple) -> None:
         return None
@@ -117,10 +127,11 @@ class DeadlineSink(Sink):
         inner: Sink,
         qos_seconds: float,
         on_violation: Callable[[StreamTuple, float], None] | None = None,
+        latency_capacity: int | None = None,
     ) -> None:
         if qos_seconds <= 0:
             raise ValueError("qos_seconds must be positive")
-        super().__init__(f"qos[{inner.name}]")
+        super().__init__(f"qos[{inner.name}]", latency_capacity=latency_capacity)
         self._inner = inner
         self._qos = qos_seconds
         self._on_violation = on_violation

@@ -5,6 +5,12 @@ blocks the producer, which is how back-pressure propagates upstream to the
 sources. ``END_OF_STREAM`` is a control marker a producer appends when it
 will emit nothing more; multi-producer streams count markers until all
 producers are done.
+
+Queue entries are either single tuples, control items (barriers, EOS), or
+a :class:`TupleBatch` — a contiguous run of data tuples a producer moved
+as one entry to amortize lock/condvar traffic (the plan compiler's batched
+edge transport). Capacity and the produced/consumed counters account for
+the *tuples* inside a batch, so back-pressure semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -12,6 +18,8 @@ from __future__ import annotations
 import threading
 from collections import deque
 from typing import Any
+
+from .barrier import is_barrier
 
 
 class EndOfStream:
@@ -24,6 +32,23 @@ class EndOfStream:
 
 
 END_OF_STREAM = EndOfStream()
+
+
+class TupleBatch(list):
+    """A run of data tuples transported through a stream as one queue entry.
+
+    Consumers unbatch transparently (``NodeExecutor.handle``); per-tuple
+    latency metrics are preserved because every tuple keeps its own
+    ``ingest_time``. Control items (barriers, EOS) are never batched, so
+    barrier alignment sees the exact same cut as unbatched transport.
+    """
+
+    __slots__ = ()
+
+
+def item_weight(item: Any) -> int:
+    """Tuples an entry contributes to capacity/counter accounting."""
+    return len(item) if type(item) is TupleBatch else 1
 
 
 class Stream:
@@ -40,6 +65,7 @@ class Stream:
         self._not_empty = threading.Condition(self._lock)
         self._producers_done = 0
         self._num_producers = 1
+        self._size = 0
         self.produced = 0
         self.consumed = 0
 
@@ -63,6 +89,9 @@ class Stream:
 
         Returns False only if ``timeout`` elapsed with the queue still full.
         EOS markers bypass the capacity check so shutdown never deadlocks.
+        A :class:`TupleBatch` is admitted whenever *any* capacity remains
+        (it may transiently overshoot by at most one batch), so a batch
+        never deadlocks against a capacity smaller than the batch size.
         """
         with self._not_full:
             if item is END_OF_STREAM:
@@ -71,11 +100,13 @@ class Stream:
                     self._items.append(END_OF_STREAM)
                     self._not_empty.notify_all()
                 return True
-            while len(self._items) >= self._capacity:
+            while self._size >= self._capacity:
                 if not self._not_full.wait(timeout):
                     return False
+            weight = item_weight(item)
             self._items.append(item)
-            self.produced += 1
+            self._size += weight
+            self.produced += weight
             self._not_empty.notify()
             return True
 
@@ -93,7 +124,9 @@ class Stream:
             if item is END_OF_STREAM:
                 return END_OF_STREAM
             self._items.popleft()
-            self.consumed += 1
+            weight = item_weight(item)
+            self._size -= weight
+            self.consumed += weight
             self._not_full.notify()
             return item
 
@@ -102,14 +135,23 @@ class Stream:
         return self.get(timeout=0.0)
 
     def drain(self, max_items: int | None = None) -> list[Any]:
-        """Pop up to ``max_items`` data items without blocking."""
+        """Pop up to ``max_items`` data entries without blocking.
+
+        Stops at control items — EOS *and* checkpoint barriers — so a
+        consumer draining in bulk still observes barriers one at a time at
+        the exact position producers placed them (alignment stays exact).
+        """
         out: list[Any] = []
         with self._not_empty:
             while self._items and (max_items is None or len(out) < max_items):
-                if self._items[0] is END_OF_STREAM:
+                head = self._items[0]
+                if head is END_OF_STREAM or is_barrier(head):
                     break
-                out.append(self._items.popleft())
-                self.consumed += 1
+                self._items.popleft()
+                weight = item_weight(head)
+                self._size -= weight
+                self.consumed += weight
+                out.append(head)
             if out:
                 self._not_full.notify_all()
         return out
@@ -123,8 +165,6 @@ class Stream:
             return self._closed()
 
     def __len__(self) -> int:
+        """Tuples currently queued (batches count their contents)."""
         with self._lock:
-            count = len(self._items)
-            if count and self._items[0] is END_OF_STREAM:
-                count -= 1
-            return count
+            return self._size

@@ -55,17 +55,31 @@ class StreamTuple:
         specimen: str | None = None,
         portion: str | None = None,
         layer: int | None = None,
+        copy: bool = True,
     ) -> "StreamTuple":
-        """Create a downstream tuple inheriting metadata not overridden."""
-        return StreamTuple(
-            tau=self.tau if tau is None else tau,
-            job=self.job,
-            layer=self.layer if layer is None else layer,
-            payload=self.payload if payload is None else payload,
-            specimen=self.specimen if specimen is None else specimen,
-            portion=self.portion if portion is None else portion,
-            ingest_time=self.ingest_time,
-        )
+        """Create a downstream tuple inheriting metadata not overridden.
+
+        Hot path (one call per derived tuple, millions per run): assigns
+        slots directly instead of going through ``__init__`` — inherited
+        fields are already coerced, so re-validating them per derivation
+        only costs time. ``copy=False`` hands ownership of a freshly built
+        payload dict to the new tuple without the defensive copy; the
+        caller must not touch that dict afterwards.
+        """
+        t = StreamTuple.__new__(StreamTuple)
+        t.tau = self.tau if tau is None else float(tau)
+        t.job = self.job
+        t.layer = self.layer if layer is None else int(layer)
+        t.specimen = self.specimen if specimen is None else specimen
+        t.portion = self.portion if portion is None else portion
+        if payload is None:
+            t.payload = dict(self.payload)
+        elif copy or type(payload) is not dict:
+            t.payload = dict(payload)
+        else:
+            t.payload = payload
+        t.ingest_time = self.ingest_time
+        return t
 
     @staticmethod
     def fused(

@@ -1,0 +1,432 @@
+"""Plan compiler units: PlanConfig, FusedOperator, fusion/replication passes,
+batched stream transport, and the reservoir latency recorder."""
+
+import pytest
+
+from repro.spe import (
+    END_OF_STREAM,
+    CheckpointBarrier,
+    CollectingSink,
+    FilterOperator,
+    FusedOperator,
+    JoinOperator,
+    LatencyRecorder,
+    ListSource,
+    MapOperator,
+    MetricsError,
+    Operator,
+    PlanConfig,
+    Query,
+    Stream,
+    StreamEngine,
+    StreamTuple,
+    TupleBatch,
+    compile_plan,
+    fuse_linear_chains,
+    render_plan,
+    replicate_keyed_stages,
+)
+from repro.spe.plan import _FusedPart
+from repro.spe.stream import item_weight
+
+
+def tuples(n=3):
+    return [
+        StreamTuple(tau=float(i), job="j", layer=i, payload={"x": i}) for i in range(n)
+    ]
+
+
+def bump(name="m", k=1):
+    return MapOperator(name, lambda t: t.derive(payload={"x": t.payload["x"] + k}))
+
+
+class HoldLast(Operator):
+    """Keeps the newest tuple, releasing the previous one — state that only
+    drains on close, which makes EOS flush *ordering* observable."""
+
+    num_inputs = 1
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.held = None
+
+    def process(self, input_index, t):
+        previous, self.held = self.held, t
+        return [previous] if previous is not None else []
+
+    def on_close(self):
+        return [self.held] if self.held is not None else []
+
+    def snapshot_state(self):
+        return {"held": None if self.held is None else self.held.payload["x"]}
+
+    def restore_state(self, state):
+        x = state["held"]
+        self.held = (
+            None
+            if x is None
+            else StreamTuple(tau=float(x), job="j", layer=x, payload={"x": x})
+        )
+
+
+# -- PlanConfig --------------------------------------------------------------
+
+
+def test_resolve_off_forms_return_none():
+    assert PlanConfig.resolve(None) is None
+    assert PlanConfig.resolve(False) is None
+
+
+def test_resolve_true_gives_defaults():
+    plan = PlanConfig.resolve(True)
+    assert plan == PlanConfig()
+    assert plan.fusion and plan.edge_batch_size > 1 and plan.parallelism == 1
+
+
+def test_resolve_passes_instances_through():
+    plan = PlanConfig(fusion=False, edge_batch_size=4)
+    assert PlanConfig.resolve(plan) is plan
+
+
+def test_resolve_rejects_other_types():
+    with pytest.raises(TypeError):
+        PlanConfig.resolve("fast")
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [{"edge_batch_size": 0}, {"parallelism": 0}, {"linger_s": -0.1}],
+)
+def test_config_validation(kwargs):
+    with pytest.raises(ValueError):
+        PlanConfig(**kwargs)
+
+
+# -- FusedOperator -----------------------------------------------------------
+
+
+def fused_of(*ops):
+    return FusedOperator(
+        "fused[" + "+".join(op.name for op in ops) + "]",
+        [_FusedPart(op.name, op.name, op) for op in ops],
+    )
+
+
+def test_fused_process_is_function_composition():
+    op = fused_of(bump("a", 1), bump("b", 10))
+    [out] = op.process(0, tuples(1)[0])
+    assert out.payload["x"] == 11
+
+
+def test_fused_filter_short_circuits_cascade():
+    op = fused_of(FilterOperator("f", lambda t: t.payload["x"] % 2 == 0), bump("b"))
+    assert op.process(0, tuples(2)[1]) == []
+    [out] = op.process(0, tuples(1)[0])
+    assert out.payload["x"] == 1
+
+
+def test_fused_close_preserves_unfused_flush_order():
+    """EOS drains stage by stage: what stage i releases on close still flows
+    through stages i+1..n before stage i+1 itself closes."""
+    op = fused_of(HoldLast("a"), HoldLast("b"))
+    ts = tuples(3)
+    seen = [out for t in ts for out in op.process(0, t)]
+    seen.extend(op.on_input_closed(0))
+    seen.extend(op.on_close())
+    assert [t.payload["x"] for t in seen] == [0, 1, 2]
+
+
+def test_fused_snapshot_keyed_by_original_names():
+    a, b = HoldLast("a"), HoldLast("b")
+    op = fused_of(a, b)
+    for t in tuples(2):
+        op.process(0, t)
+    state = op.snapshot_parts()
+    assert set(state) == {"a", "b"}
+    assert state["a"] == {"held": 1}
+    assert state["b"] == {"held": 0}
+
+
+def test_fused_restore_part_matches_name_and_base_name():
+    a, b = HoldLast("m::0"), HoldLast("other")
+    op = FusedOperator(
+        "fused", [_FusedPart("m::0", "m", a), _FusedPart("other", "other", b)]
+    )
+    assert op.restore_part("m", {"held": 7})  # by base_name (replica restore)
+    assert a.held.payload["x"] == 7
+    assert op.restore_part("other", {"held": 3})  # by exact name
+    assert b.held.payload["x"] == 3
+    assert not op.restore_part("ghost", {"held": 1})
+
+
+def test_fused_restore_state_rejects_unknown_constituent():
+    op = fused_of(HoldLast("a"), HoldLast("b"))
+    with pytest.raises(KeyError):
+        op.restore_state({"ghost": {"held": 1}})
+
+
+def test_fused_needs_two_single_input_parts():
+    with pytest.raises(ValueError):
+        fused_of(bump("only"))
+    with pytest.raises(ValueError):
+        fused_of(bump("a"), JoinOperator("j"))
+
+
+# -- fusion pass -------------------------------------------------------------
+
+
+def build_chain(n_ops=3):
+    q = Query()
+    q.add_source("src", ListSource("src", tuples()))
+    upstream = "src"
+    for i in range(n_ops):
+        q.add_operator(f"m{i}", bump(f"m{i}"), upstream)
+        upstream = f"m{i}"
+    q.add_sink("out", CollectingSink(), upstream)
+    return q
+
+
+def test_fuse_collapses_linear_chain():
+    nodes = build_chain(3).build()
+    fused = fuse_linear_chains(nodes)
+    assert [n.name for n in fused] == ["src", "fused[m0+m1+m2]", "out"]
+    middle = fused[1]
+    assert middle.inputs[0] is nodes[0].outputs[0]
+    assert middle.outputs[0] is fused[2].inputs[0]
+    assert middle.checkpoint_names() == ["m0", "m1", "m2"]
+
+
+def test_fused_node_restores_constituent_state():
+    nodes = fuse_linear_chains(build_chain(2).build())
+    holder = HoldLast("probe")
+    node = nodes[1]
+    node.operator._parts[0].operator = holder  # swap in a stateful part
+    assert node.restore_state_for("ghost", {"held": 5}) is False
+    assert node.restore_state_for("m0", {"held": 5})
+    assert holder.held.payload["x"] == 5
+
+
+def test_fanout_breaks_chains():
+    q = Query()
+    q.add_source("src", ListSource("src", tuples()))
+    q.add_operator("a", bump("a"), "src")
+    q.add_operator("b1", bump("b1"), "a")
+    q.add_operator("b2", bump("b2"), "a")
+    q.add_sink("o1", CollectingSink("o1"), "b1")
+    q.add_sink("o2", CollectingSink("o2"), "b2")
+    fused = fuse_linear_chains(q.build())
+    # "a" broadcasts to two streams, so nothing upstream of the fork fuses
+    assert {n.name for n in fused} == {"src", "a", "b1", "b2", "o1", "o2"}
+
+
+def test_multi_input_operator_can_terminate_but_not_join_a_chain():
+    q = Query()
+    q.add_source("s1", ListSource("s1", tuples()))
+    q.add_source("s2", ListSource("s2", tuples()))
+    q.add_operator("join", JoinOperator("join"), ["s1", "s2"])
+    q.add_operator("m1", bump("m1"), "join")
+    q.add_operator("m2", bump("m2"), "m1")
+    q.add_sink("out", CollectingSink(), "m2")
+    names = [n.name for n in fuse_linear_chains(q.build())]
+    assert names == ["s1", "s2", "join", "fused[m1+m2]", "out"]
+
+
+def test_compile_plan_none_is_identity():
+    nodes = build_chain().build()
+    assert compile_plan(nodes, None) is nodes
+
+
+def test_compile_plan_can_disable_fusion():
+    nodes = build_chain().build()
+    compiled = compile_plan(nodes, PlanConfig(fusion=False))
+    assert [n.name for n in compiled] == [n.name for n in nodes]
+
+
+# -- replication pass --------------------------------------------------------
+
+
+def by_layer(t):
+    return t.layer
+
+
+def keyed_query(n=12, stages=2):
+    q = Query()
+    q.add_source("src", ListSource("src", tuples(n)))
+    upstream = "src"
+    for i in range(stages):
+        q.add_operator(
+            f"k{i}",
+            lambda i=i: bump(f"k{i}", 10**i),
+            upstream,
+            key_fn=by_layer,
+            replicable=True,
+        )
+        upstream = f"k{i}"
+    q.add_sink("out", CollectingSink(), upstream)
+    return q
+
+
+def test_replication_builds_router_clones_and_merge():
+    nodes = replicate_keyed_stages(keyed_query().build(), 3)
+    names = [n.name for n in nodes]
+    assert "k0::router" in names
+    assert "k1::merge" in names
+    assert {"k0::0", "k0::1", "k0::2", "k1::0", "k1::1", "k1::2"} <= set(names)
+    # the adjacent keyed run replicated as ONE group: a single router/merge
+    assert "k1::router" not in names and "k0::merge" not in names
+    merge = next(n for n in nodes if n.name == "k1::merge")
+    assert len(merge.inputs) == 3
+    assert all(s.num_producers == 1 for s in merge.inputs)
+    router = next(n for n in nodes if n.name == "k0::router")
+    assert router.router.num_shards == 3
+    for node in nodes:
+        if node.name.startswith("k0::") and node.name[4:].isdigit():
+            assert node.base_name == "k0"
+
+
+def test_replication_requires_shared_key_fn():
+    q = Query()
+    q.add_source("src", ListSource("src", tuples(6)))
+    q.add_operator("a", lambda: bump("a"), "src", key_fn=by_layer, replicable=True)
+    q.add_operator(
+        "b", lambda: bump("b", 10), "a", key_fn=lambda t: t.job, replicable=True
+    )
+    q.add_sink("out", CollectingSink(), "b")
+    names = [n.name for n in replicate_keyed_stages(q.build(), 2)]
+    # different key functions -> two independent groups, each with its own cut
+    assert "a::router" in names and "a::merge" in names
+    assert "b::router" in names and "b::merge" in names
+
+
+def test_replication_parallelism_one_is_identity():
+    nodes = keyed_query().build()
+    assert replicate_keyed_stages(nodes, 1) is nodes
+
+
+def test_replicated_plan_output_matches_baseline():
+    baseline = StreamEngine(mode="sync").run(keyed_query())
+    sink = baseline.sinks["out"]
+    expected = sorted(t.payload["x"] for t in sink.results)
+    optimized = StreamEngine(mode="sync").run(
+        keyed_query(), plan=PlanConfig(parallelism=3)
+    )
+    got = sorted(t.payload["x"] for t in optimized.sinks["out"].results)
+    assert got == expected
+
+
+# -- render_plan / explain ---------------------------------------------------
+
+
+def test_render_plan_shows_fusion_and_replication():
+    config = PlanConfig(parallelism=2)
+    nodes = compile_plan(keyed_query().build(), config)
+    text = render_plan(nodes, title="q", config=config)
+    assert "fused(" in text
+    assert "x2 by key-hash" in text
+    assert "parallelism=2" in text
+
+
+def test_render_plan_reports_optimizer_off():
+    assert "optimizer: off" in render_plan(build_chain().build())
+
+
+def test_engine_explain_does_not_execute():
+    q = build_chain()
+    text = StreamEngine(mode="threaded").explain(q, plan=True)
+    assert "fused[m0+m1+m2]" in text
+    # the query is still deployable afterwards: explain only built a copy
+    report = StreamEngine(mode="sync").run(q)
+    assert len(report.sinks["out"].results) == 3
+
+
+# -- batched transport -------------------------------------------------------
+
+
+def test_item_weight_counts_batch_tuples():
+    ts = tuples(3)
+    assert item_weight(ts[0]) == 1
+    assert item_weight(TupleBatch(ts)) == 3
+
+
+def test_stream_accounts_batches_by_tuple_count():
+    s = Stream("s", capacity=10)
+    s.set_num_producers(1)
+    s.put(TupleBatch(tuples(3)))
+    assert len(s) == 3
+    got = s.get()
+    assert isinstance(got, TupleBatch) and len(got) == 3
+    assert len(s) == 0
+
+
+def test_full_stream_rejects_batch_put_with_timeout():
+    s = Stream("s", capacity=2)
+    s.set_num_producers(1)
+    # batches are admitted whenever ANY capacity remains (bounded overshoot
+    # beats deadlock), so one oversized batch goes through...
+    assert s.put(TupleBatch(tuples(3)), timeout=0.05)
+    # ...but the stream is now over capacity and refuses more until drained
+    assert not s.put(tuples(1)[0], timeout=0.05)
+    s.get()
+    assert s.put(tuples(1)[0], timeout=0.05)
+
+
+def test_drain_stops_at_barriers_and_eos():
+    s = Stream("s", capacity=100)
+    s.set_num_producers(1)
+    ts = tuples(4)
+    s.put(ts[0])
+    s.put(ts[1])
+    s.put(CheckpointBarrier(epoch=0))
+    s.put(ts[2])
+    assert s.drain() == [ts[0], ts[1]]  # bulk drain must not cross the barrier
+    assert isinstance(s.get(), CheckpointBarrier)
+    s.put(END_OF_STREAM)
+    assert s.drain() == [ts[2]]
+    assert s.get() is END_OF_STREAM
+
+
+def test_threaded_batched_run_preserves_order_and_results():
+    report = StreamEngine(mode="threaded").run(
+        build_chain(3), plan=PlanConfig(fusion=False, edge_batch_size=2)
+    )
+    xs = [t.payload["x"] for t in report.sinks["out"].results]
+    assert xs == [3, 4, 5]
+
+
+# -- reservoir latency sampling ----------------------------------------------
+
+
+def test_unbounded_recorder_keeps_everything():
+    rec = LatencyRecorder()
+    for i in range(50):
+        rec.record(float(i))
+    assert len(rec) == 50 and len(rec.samples()) == 50
+    assert rec.snapshot() == rec.samples()  # legacy list form
+
+
+def test_bounded_recorder_caps_memory_but_counts_all():
+    rec = LatencyRecorder(capacity=16)
+    for i in range(1000):
+        rec.record(float(i))
+    assert len(rec) == 1000
+    kept = rec.samples()
+    assert len(kept) == 16
+    assert all(0.0 <= v < 1000.0 for v in kept)
+    summary = rec.summary()
+    assert summary.count == 1000  # reports observations, not reservoir size
+    snap = rec.snapshot()
+    assert snap["count"] == 1000 and len(snap["samples"]) == 16
+
+
+def test_recorder_restore_accepts_both_snapshot_forms():
+    rec = LatencyRecorder(capacity=4)
+    rec.restore([1.0, 2.0, 3.0])
+    assert len(rec) == 3 and sorted(rec.samples()) == [1.0, 2.0, 3.0]
+    rec.restore({"count": 90, "samples": [1.0] * 8})
+    assert len(rec) == 90
+    assert len(rec.samples()) == 4  # truncated to this recorder's capacity
+
+
+def test_recorder_capacity_must_be_positive():
+    with pytest.raises(MetricsError):
+        LatencyRecorder(capacity=0)

@@ -92,9 +92,17 @@ def test_parallel_build_creates_router_and_replicas():
     names = [n.name for n in nodes]
     assert "m::router" in names
     assert {"m::0", "m::1", "m::2"} <= set(names)
+    assert "m::merge" in names
+    merge = next(n for n in nodes if n.name == "m::merge")
+    # every replica feeds the merge through its own single-producer stream,
+    # so barrier alignment downstream of the replicas stays exact
+    assert len(merge.inputs) == 3
+    assert all(s._num_producers == 1 for s in merge.inputs)
     sink_node = nodes[-1]
-    # all three replicas feed the sink's single input stream
-    assert sink_node.inputs[0]._num_producers == 3
+    assert sink_node.inputs[0]._num_producers == 1
+    for replica in nodes:
+        if replica.name.startswith("m::") and replica.name[3:].isdigit():
+            assert replica.base_name == "m"
 
 
 def test_parallel_multi_input_rejected():
