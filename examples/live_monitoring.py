@@ -6,12 +6,23 @@ each completed layer inside the 3-second recoat gap, and an automated
 expert policy terminates the build as soon as a defect cluster grows past
 a volume budget — "saving energy, material, time" (§1).
 
+The pipeline runs with the observability layer on: per-operator and
+per-queue metrics are scraped at the end (``--metrics-out`` appends them
+as JSON lines), and a :class:`~repro.obs.QoSWatchdog` flags every layer
+whose verdict missed the recoat-gap deadline. ``--stall-layer N`` injects
+a slow layer — its tuples reach the sink ``--stall-seconds`` late — to
+demonstrate the alert path.
+
 Run:  python examples/live_monitoring.py
+      python examples/live_monitoring.py --stall-layer 12 --metrics-out m.jsonl
 """
 
 from __future__ import annotations
 
+import argparse
 import threading
+import time
+from typing import Iterator, Sequence
 
 from repro.am import (
     BuildDataset,
@@ -28,35 +39,79 @@ from repro.core import (
     calibrate_job,
     specimen_regions_px,
 )
-from repro.spe import CallbackSink, DeadlineSink
-
-IMAGE_PX = 500
-CELL_EDGE_PX = 5
-VOLUME_BUDGET_MM3 = 2.0
-MAX_LAYERS = 60
+from repro.obs import ObsConfig, ObsContext, to_json_line
+from repro.spe import CallbackSink
+from repro.spe.source import Source
+from repro.spe.tuples import StreamTuple
 
 
-def main() -> None:
+class StallInjector(Source):
+    """Delays one layer's tuples past the QoS deadline.
+
+    Back-dates ``ingest_time`` for every tuple of the stalled layer, so
+    the sink-measured end-to-end latency exceeds the deadline exactly as
+    if an upstream stage had stalled that long — without actually
+    sleeping, which keeps demos (and the integration test) fast.
+    """
+
+    def __init__(self, inner: Source, layer: int, stall_s: float) -> None:
+        super().__init__(inner.name)
+        self._inner = inner
+        self._layer = layer
+        self._stall_s = stall_s
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for t in self._inner:
+            if t.layer == self._layer:
+                t.ingest_time = time.monotonic() - self._stall_s
+            yield t
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--image-px", type=int, default=500,
+                        help="OT sensor resolution (paper: 2000)")
+    parser.add_argument("--layers", type=int, default=60,
+                        help="layers to print")
+    parser.add_argument("--time-scale", type=float, default=0.02,
+                        help="real-time compression (0 = as fast as possible)")
+    parser.add_argument("--volume-budget", type=float, default=2.0,
+                        help="terminate past this cluster volume, mm^3")
+    parser.add_argument("--deadline", type=float, default=3.0,
+                        help="QoS deadline per layer verdict, seconds")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="append a JSONL metrics snapshot to FILE")
+    parser.add_argument("--stall-layer", type=int, default=None,
+                        help="inject a stalled layer (demonstrates QoS alerts)")
+    parser.add_argument("--stall-seconds", type=float, default=4.0,
+                        help="how late the stalled layer's tuples arrive")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_argparser().parse_args(argv)
     job = make_job("EOS-M290-live", seed=7)
-    renderer = OTImageRenderer(image_px=IMAGE_PX, seed=7)
+    renderer = OTImageRenderer(image_px=args.image_px, seed=7)
     machine = PBFLBMachine(
         renderer=renderer,
-        recoat_gap_s=3.0,
-        time_scale=0.02,  # 50x compressed real time for the demo
+        recoat_gap_s=args.deadline,
+        time_scale=args.time_scale or 0.02,
     )
 
     config = UseCaseConfig(
-        image_px=IMAGE_PX, cell_edge_px=CELL_EDGE_PX, window_layers=10,
+        image_px=args.image_px, cell_edge_px=5, window_layers=10,
         min_volume_mm3=0.2,
     )
-    strata = Strata(engine_mode="threaded")
+    obs = ObsContext(ObsConfig(qos_deadline_s=args.deadline))
+    obs.watchdog.add_callback(lambda alert: print(f"  !! {alert.format()}"))
+    strata = Strata(engine_mode="threaded", obs=obs)
     reference = make_job("reference", seed=1, defect_rate_per_stack=0.0)
     calibrate_job(
         strata.kv,
         job.job_id,
         (r.image for r in BuildDataset(reference, renderer).records(0, 5)),
-        CELL_EDGE_PX,
-        regions=specimen_regions_px(job.specimens, IMAGE_PX),
+        config.cell_edge_px,
+        regions=specimen_regions_px(job.specimens, args.image_px),
     )
 
     control = ControlHandle()
@@ -65,7 +120,7 @@ def main() -> None:
     def expert_policy(t) -> None:
         """Runs per aggregator report; decides continue/terminate."""
         for cluster in t.payload["clusters"]:
-            if cluster["volume_mm3"] >= VOLUME_BUDGET_MM3:
+            if cluster["volume_mm3"] >= args.volume_budget:
                 print(
                     f"  !! layer {t.layer}, specimen {t.specimen}: cluster of "
                     f"{cluster['volume_mm3']:.1f} mm^3 "
@@ -75,16 +130,22 @@ def main() -> None:
                     f"{cluster['volume_mm3']:.1f} mm^3 defect in {t.specimen}"
                 )
 
-    # wrap the expert policy in the recoat-gap QoS deadline check (§3)
-    sink = DeadlineSink(
-        CallbackSink("expert-policy", expert_policy),
-        qos_seconds=3.0,
-        on_violation=lambda t, latency: print(
-            f"  !! QoS violation: layer {t.layer} verdict took {latency:.2f}s"
-        ),
+    from repro.core import OTImageCollector, PrintingParameterCollector
+
+    ot_source: Source = OTImageCollector(feed.records(), name="ot-image-collector")
+    pp_source: Source = PrintingParameterCollector(
+        feed.records(), name="printing-parameter-collector"
     )
+    if args.stall_layer is not None:
+        ot_source = StallInjector(ot_source, args.stall_layer, args.stall_seconds)
+        pp_source = StallInjector(pp_source, args.stall_layer, args.stall_seconds)
+
+    # The record iterables are ignored when sources are given explicitly;
+    # the collectors above already hold their own feed subscriptions.
+    sink = CallbackSink("expert-policy", expert_policy)
     build_use_case(
-        feed.records(), feed.records(), config, strata=strata, sink=sink
+        iter(()), iter(()), config, strata=strata, sink=sink,
+        ot_source=ot_source, pp_source=pp_source,
     )
     strata.start()
 
@@ -94,13 +155,14 @@ def main() -> None:
                   f"(z = {record.z_mm:.2f} mm)")
         feed.push(record)
 
-    print(f"printing {job.job_id}: {MAX_LAYERS} layers, "
-          f"volume budget {VOLUME_BUDGET_MM3} mm^3")
+    print(f"printing {job.job_id}: {args.layers} layers, "
+          f"volume budget {args.volume_budget} mm^3, "
+          f"deadline {args.deadline}s")
     builder = threading.Thread(
         target=lambda: feed.close()
         if machine.run(
-            job, realtime=True, control=control, on_layer=progress,
-            max_layers=MAX_LAYERS,
+            job, realtime=args.time_scale > 0, control=control,
+            on_layer=progress, max_layers=args.layers,
         )
         else None
     )
@@ -108,12 +170,20 @@ def main() -> None:
     builder.join()
     strata.wait(timeout=120)
 
+    snap = strata.metrics()
+    if args.metrics_out:
+        with open(args.metrics_out, "a", encoding="utf-8") as fh:
+            fh.write(to_json_line(snap) + "\n")
+    violated = obs.watchdog.violated_layers()
+    print(f"\nqos: {len(violated)} layer(s) missed the {args.deadline}s deadline"
+          + (f" {sorted(layer for _, layer in violated)}" if violated else ""))
     if control.termination_requested:
-        print(f"\nbuild terminated early: {control.reason}")
+        print(f"build terminated early: {control.reason}")
         print("material and machine time saved; defective part never completed.")
     else:
-        print(f"\nbuild completed all {MAX_LAYERS} layers without exceeding budget.")
+        print(f"build completed all {args.layers} layers within budget.")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

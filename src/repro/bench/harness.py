@@ -150,14 +150,16 @@ def run_latency_experiment(
     warmup_layers: int = 2,
     engine_mode: str = "threaded",
     optimize: object | None = None,
+    obs: object | None = None,
 ) -> LatencyRun:
     """Lockstep replay of the workload; per-layer latency samples.
 
     ``optimize`` is forwarded to :meth:`Strata.deploy` (``None``/``False``,
-    ``True``, or a :class:`~repro.spe.plan.PlanConfig`).
+    ``True``, or a :class:`~repro.spe.plan.PlanConfig`); ``obs`` to
+    :class:`Strata` (the obs-overhead benchmark ablates instrumentation).
     """
     records = workload.records
-    strata = Strata(engine_mode=engine_mode)
+    strata = Strata(engine_mode=engine_mode, obs=obs)
     coordinator = _LockstepCoordinator(results_per_layer=len(workload.job.specimens))
     sink = _LockstepSink(coordinator)
     ot_source = _LockstepOTSource(iter(records), coordinator)
@@ -225,13 +227,15 @@ def run_throughput_experiment(
     offered_images_s: float,
     total_images: int,
     optimize: object | None = None,
+    obs: object | None = None,
 ) -> ThroughputRun:
     """Replay ``total_images`` at ``offered_images_s``; measure saturation.
 
     ``optimize`` is forwarded to :meth:`Strata.deploy`, so the fig7 sweep
-    can ablate the plan compiler's passes.
+    can ablate the plan compiler's passes; ``obs`` to :class:`Strata`, so
+    the obs-overhead benchmark can ablate instrumentation.
     """
-    strata = Strata(engine_mode="threaded")
+    strata = Strata(engine_mode="threaded", obs=obs)
     ot_records = list(workload.replay(total_images))
     pp_records = ot_records  # parameters replayed alongside, unpaced
     ot_source = RateLimitedSource(

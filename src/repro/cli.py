@@ -8,7 +8,12 @@ writing any code:
 * ``replay``     — as-fast-as-possible reprocessing of a historic build;
 * ``streaks``    — the recoater-streak use case;
 * ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps;
-* ``recover``    — checkpointed run with crash simulation and recovery.
+* ``recover``    — checkpointed run with crash simulation and recovery;
+* ``top``        — live per-operator metrics table while a build runs.
+
+Every verb accepts ``--metrics-out FILE`` to enable the observability
+layer and append JSON-lines metric snapshots (one line per scrape; the
+final scrape is always written).
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from .core import (
     calibrate_job,
     specimen_regions_px,
 )
+from .obs import ObsContext, to_json_line
 from .spe import CallbackSink, PlanConfig
 
 
@@ -58,6 +64,24 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="tuples per queue entry on threaded edges (1 = unbatched)")
     parser.add_argument("--parallelism", type=int, default=1,
                         help="replicate keyed stages N-ways behind a hash router")
+    parser.add_argument("--metrics-out", default=None, metavar="FILE",
+                        help="enable observability and append JSONL metric "
+                             "snapshots to FILE")
+
+
+def _obs_of(args: argparse.Namespace, force: bool = False) -> ObsContext | None:
+    """An observability context when the verb asked for metrics."""
+    if force or getattr(args, "metrics_out", None):
+        return ObsContext()
+    return None
+
+
+def _dump_metrics(args: argparse.Namespace, obs: ObsContext | None) -> None:
+    """Append one JSONL snapshot to ``--metrics-out`` (final scrape)."""
+    if obs is None or not getattr(args, "metrics_out", None):
+        return
+    with open(args.metrics_out, "a", encoding="utf-8") as fh:
+        fh.write(to_json_line(obs.snapshot()) + "\n")
 
 
 def _plan_of(args: argparse.Namespace) -> PlanConfig | None:
@@ -97,7 +121,8 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
         image_px=args.image_px, cell_edge_px=args.cell_edge,
         window_layers=args.window,
     )
-    strata = Strata()
+    obs = _obs_of(args)
+    strata = Strata(obs=obs)
     calibrate_job(
         strata.kv, job.job_id, reference_images, args.cell_edge,
         regions=specimen_regions_px(job.specimens, args.image_px),
@@ -106,6 +131,7 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     plan = _plan_of(args)
     _maybe_explain(args, strata, plan)
     report = strata.deploy(optimize=plan)
+    _dump_metrics(args, obs)
     flagged = [t for t in pipeline.sink.results if t.payload["num_clusters"] > 0]
     latency = report.latency_summary()
     print(f"layers={args.layers} reports={len(pipeline.sink.results)} "
@@ -126,7 +152,8 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         image_px=args.image_px, cell_edge_px=args.cell_edge,
         window_layers=args.window,
     )
-    strata = Strata(engine_mode="threaded")
+    obs = _obs_of(args)
+    strata = Strata(engine_mode="threaded", obs=obs)
     calibrate_job(
         strata.kv, job.job_id, reference_images, args.cell_edge,
         regions=specimen_regions_px(job.specimens, args.image_px),
@@ -158,6 +185,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     )
     feed.close()
     strata.wait(timeout=600)
+    _dump_metrics(args, obs)
     if outcome.terminated_early:
         print(f"TERMINATED after layer {outcome.layers_completed - 1}: {control.reason}")
     else:
@@ -175,7 +203,8 @@ def cmd_replay(args: argparse.Namespace) -> int:
         image_px=args.image_px, cell_edge_px=args.cell_edge,
         window_layers=args.window,
     )
-    strata = Strata(engine_mode="threaded")
+    obs = _obs_of(args)
+    strata = Strata(engine_mode="threaded", obs=obs)
     calibrate_job(
         strata.kv, job.job_id, reference_images, args.cell_edge,
         regions=specimen_regions_px(job.specimens, args.image_px),
@@ -186,6 +215,7 @@ def cmd_replay(args: argparse.Namespace) -> int:
     started = time.monotonic()
     strata.deploy(optimize=plan)
     wall = time.monotonic() - started
+    _dump_metrics(args, obs)
     print(f"replayed {len(records)} layers in {wall:.2f}s "
           f"({len(records) / wall:.1f} img/s, "
           f"{pipeline.cells_evaluated / wall / 1e3:.1f} kcells/s)")
@@ -195,13 +225,15 @@ def cmd_replay(args: argparse.Namespace) -> int:
 def cmd_streaks(args: argparse.Namespace) -> int:
     """Run the recoater-streak use case and list found streaks."""
     job, renderer, records, _ = _prepare(args, streak_rate=args.streak_rate)
+    obs = _obs_of(args)
     pipeline = build_streak_use_case(
         iter(records), iter(records), image_px=args.image_px,
-        window_layers=args.window, strata=Strata(engine_mode="threaded"),
+        window_layers=args.window, strata=Strata(engine_mode="threaded", obs=obs),
     )
     plan = _plan_of(args)
     _maybe_explain(args, pipeline.strata, plan)
     pipeline.strata.deploy(optimize=plan)
+    _dump_metrics(args, obs)
     reported: dict[int, dict] = {}
     for t in pipeline.sink.results:
         for streak in t.payload["streaks"]:
@@ -251,10 +283,12 @@ def cmd_figures(args: argparse.Namespace) -> int:
     rows = []
     for rate in (8, 32, 128):
         config = UseCaseConfig(image_px=args.image_px, cell_edge_px=5, window_layers=10)
+        obs = _obs_of(args)
         run = run_throughput_experiment(
             workload, config, offered_images_s=float(rate),
-            total_images=max(24, rate * 2), optimize=plan,
+            total_images=max(24, rate * 2), optimize=plan, obs=obs,
         )
+        _dump_metrics(args, obs)
         rows.append([rate, round(run.achieved_images_s, 1),
                      round(run.kcells_per_second, 1),
                      round(run.mean_latency_s * 1e3, 1)])
@@ -283,8 +317,9 @@ def cmd_recover(args: argparse.Namespace) -> int:
         window_layers=args.window,
     )
     store = LSMStore(args.state_dir)
+    obs = _obs_of(args)
     try:
-        strata = Strata(engine_mode="threaded", store=store)
+        strata = Strata(engine_mode="threaded", store=store, obs=obs)
         calibrate_job(
             strata.kv, job.job_id, reference_images, args.cell_edge,
             regions=specimen_regions_px(job.specimens, args.image_px),
@@ -330,6 +365,7 @@ def cmd_recover(args: argparse.Namespace) -> int:
             if not crashed:
                 strata.wait(timeout=600)
         coordinator.stop()
+        _dump_metrics(args, obs)
 
         if recovery.report is not None:
             print(f"recovered from checkpoint epoch {recovery.report.epoch} "
@@ -352,6 +388,105 @@ def cmd_recover(args: argparse.Namespace) -> int:
         return 0
     finally:
         store.close()
+
+
+def _render_top(snap) -> str:
+    """Render one metrics snapshot as a per-operator / per-queue table."""
+    ops: dict[str, dict[str, float]] = {}
+    for s in snap.samples:
+        op = s.label("operator")
+        if op is None:
+            continue
+        row = ops.setdefault(op, {})
+        if s.name in ("spe_tuples_in_total", "spe_tuples_out_total",
+                      "spe_busy_seconds_total"):
+            row[s.name] = s.value
+        if s.label("fused_into") is not None:
+            row["fused"] = 1.0
+    lines = [f"{'OPERATOR':<34} {'IN':>9} {'OUT':>9} {'BUSY_S':>8}"]
+    for op in sorted(ops):
+        row = ops[op]
+        name = ("  " + op) if row.get("fused") else op
+        lines.append(
+            f"{name:<34} {int(row.get('spe_tuples_in_total', 0)):>9} "
+            f"{int(row.get('spe_tuples_out_total', 0)):>9} "
+            f"{row.get('spe_busy_seconds_total', 0.0):>8.2f}"
+        )
+    queues: dict[str, dict[str, float]] = {}
+    for s in snap.samples:
+        stream = s.label("stream")
+        if stream is not None:
+            queues.setdefault(stream, {})[s.name] = s.value
+    if queues:
+        lines.append("")
+        lines.append(f"{'QUEUE':<34} {'DEPTH':>7} {'HWM':>7} {'CAP':>7}")
+        for stream in sorted(queues):
+            row = queues[stream]
+            lines.append(
+                f"{stream:<34} {int(row.get('spe_queue_depth', 0)):>7} "
+                f"{int(row.get('spe_queue_high_watermark', 0)):>7} "
+                f"{int(row.get('spe_queue_capacity', 0)):>7}"
+            )
+    lag = snap.value("strata_watermark_lag")
+    violations = snap.value("strata_qos_violations_total")
+    tail = []
+    if lag is not None:
+        tail.append(f"watermark lag {lag:.2f}s")
+    if violations is not None:
+        tail.append(f"qos violations {int(violations)}")
+    if tail:
+        lines.append("")
+        lines.append("  ".join(tail))
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Run the thermal use case and print a live per-operator table."""
+    import time
+
+    job, _, records, reference_images = _prepare(args)
+    config = UseCaseConfig(
+        image_px=args.image_px, cell_edge_px=args.cell_edge,
+        window_layers=args.window,
+    )
+    obs = _obs_of(args, force=True)
+    strata = Strata(engine_mode="threaded", obs=obs)
+    calibrate_job(
+        strata.kv, job.job_id, reference_images, args.cell_edge,
+        regions=specimen_regions_px(job.specimens, args.image_px),
+    )
+
+    def paced(recs):
+        for record in recs:
+            if args.pace > 0:
+                time.sleep(args.pace)
+            yield record
+
+    pipeline = build_use_case(
+        paced(records), paced(records), config, strata=strata
+    )
+    plan = _plan_of(args)
+    _maybe_explain(args, strata, plan)
+    strata.start(optimize=plan)
+    scrapes = 0
+    while strata.running():
+        time.sleep(args.refresh)
+        snap = obs.snapshot()
+        scrapes += 1
+        print(f"-- scrape {scrapes} --")
+        print(_render_top(snap))
+        if args.metrics_out:
+            with open(args.metrics_out, "a", encoding="utf-8") as fh:
+                fh.write(to_json_line(snap) + "\n")
+    strata.wait(timeout=600)
+    snap = obs.snapshot()
+    print("-- final --")
+    print(_render_top(snap))
+    if args.metrics_out:
+        with open(args.metrics_out, "a", encoding="utf-8") as fh:
+            fh.write(to_json_line(snap) + "\n")
+    print(f"reports={len(pipeline.sink.results)}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -403,6 +538,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--pace", type=float, default=0.05,
                     help="seconds between layer arrivals (0 = flat out)")
     sp.set_defaults(fn=cmd_recover)
+
+    sp = subparsers.add_parser(
+        "top", help="live per-operator metrics table while a build runs"
+    )
+    _add_common(sp)
+    sp.add_argument("--refresh", type=float, default=1.0,
+                    help="seconds between table refreshes")
+    sp.add_argument("--pace", type=float, default=0.05,
+                    help="seconds between layer arrivals (0 = flat out)")
+    sp.set_defaults(fn=cmd_top)
 
     return parser
 

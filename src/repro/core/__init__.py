@@ -20,6 +20,7 @@ from .errors import (
     StrataError,
     UnknownStreamError,
 )
+from .handles import StreamHandle
 from .functions import (
     DBSCANCorrelator,
     IsolateCells,
@@ -52,6 +53,7 @@ from .usecase import (
 
 __all__ = [
     "Strata",
+    "StreamHandle",
     "MODULE_RAW",
     "MODULE_MONITOR",
     "MODULE_AGGREGATOR",

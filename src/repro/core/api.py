@@ -27,10 +27,13 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from typing import Any, Callable, Hashable
 
 from ..kvstore.api import KVStore
 from ..kvstore.memory import MemoryStore
+from ..obs.context import ObsConfig, ObsContext
+from ..obs.registry import MetricsSnapshot
 from ..pubsub.broker import Broker
 from ..recovery.source import CheckpointableSource
 from ..spe.engine import RunReport, StreamEngine
@@ -42,6 +45,7 @@ from ..spe.source import Source
 from ..spe.tuples import StreamTuple
 from .connectors import PubSubReaderSource, PubSubWriterSink, topic_for_stream
 from .errors import DeploymentError, PipelineDefinitionError, UnknownStreamError
+from .handles import StreamHandle, install_snake_case_aliases
 from .operators import (
     CorrelateEventsOperator,
     CorrelateFunction,
@@ -56,6 +60,13 @@ MODULE_RAW = "raw-data-collector"
 MODULE_MONITOR = "event-monitor"
 MODULE_AGGREGATOR = "event-aggregator"
 MODULE_EXPERT = "expert"
+
+#: per-verb output schema hints (Table 1), carried on stream handles
+SCHEMA_SOURCE = "<tau, job, layer, [k1:v1, k2:v2, ...]>"
+SCHEMA_FUSE = "<tau, job, layer, [payload1 ++ payload2]>"
+SCHEMA_PARTITION = "<tau, job, layer, specimen, portion, [k1:v1, ...]>"
+SCHEMA_DETECT = "<tau, job, layer, specimen, portion, [event attrs]>"
+SCHEMA_CORRELATE = "<tau, job, layer, specimen, [result attrs]>"
 
 
 def _specimen_key(t: StreamTuple) -> Hashable:
@@ -74,6 +85,7 @@ class Strata:
         connector_mode: str = "direct",
         capacity: int | None = 10_000,
         name: str = "strata",
+        obs: ObsContext | ObsConfig | bool | None = None,
     ) -> None:
         if connector_mode not in ("direct", "pubsub"):
             raise ValueError("connector_mode must be 'direct' or 'pubsub'")
@@ -83,6 +95,9 @@ class Strata:
         self._broker = broker if broker is not None else Broker()
         self._engine = StreamEngine(mode=engine_mode, capacity=capacity)
         self._connector_mode = connector_mode
+        # observability: True for defaults, an ObsConfig/ObsContext for
+        # explicit knobs, None/False to run unobserved (zero overhead)
+        self._obs = ObsContext.resolve(obs)
         self._query = Query(name, default_capacity=capacity)
         self._capacity = capacity
         # stream name -> (producing node name, producing module)
@@ -118,13 +133,17 @@ class Strata:
 
     def addSource(
         self, src: Source, s_out: str, checkpointable: bool = False
-    ) -> "Strata":
+    ) -> StreamHandle:
         """Register a collector whose stream ``s_out`` feeds pipelines.
 
         Output schema: ``<tau, job, layer, [k1:v1, k2:v2, ...]>``.
         ``checkpointable=True`` wraps the source so checkpoint barriers can
         be injected into its stream (required to ``deploy``/``start`` with
         a checkpoint coordinator); already-wrapped sources pass through.
+
+        Returns a :class:`~repro.core.handles.StreamHandle` for ``s_out``
+        (as every stream-producing verb does) — usable both as the plain
+        stream name and as a fluent chaining/metrics handle.
         """
         self._check_mutable()
         self._check_new_stream(s_out)
@@ -133,7 +152,7 @@ class Strata:
         node = f"source:{s_out}"
         self._query.add_source(node, src)
         self._streams[s_out] = (node, MODULE_RAW)
-        return self
+        return self._handle(s_out, SCHEMA_SOURCE)
 
     # -- Event Monitor module ----------------------------------------------
 
@@ -145,7 +164,7 @@ class Strata:
         ws: float | None = None,
         wa: float | None = None,
         gb: list[str] | None = None,
-    ) -> "Strata":
+    ) -> StreamHandle:
         """Fuse tuples of two streams sharing ``job`` and ``layer``.
 
         Without ``ws``/``wa`` only tuples that also share ``tau`` fuse;
@@ -190,7 +209,7 @@ class Strata:
         self._streams[s_out] = (node, MODULE_MONITOR)
         if s_in1 in self._keyed_streams or s_in2 in self._keyed_streams:
             self._keyed_streams.add(s_out)
-        return self
+        return self._handle(s_out, SCHEMA_FUSE)
 
     def partition(
         self,
@@ -198,7 +217,7 @@ class Strata:
         s_out: str,
         f: UserFunction | None = None,
         parallelism: int = 1,
-    ) -> "Strata":
+    ) -> StreamHandle:
         """Split tuples into independently processable specimen portions.
 
         ``f`` maps each input tuple to output tuples tagged with
@@ -222,7 +241,7 @@ class Strata:
         )
         self._streams[s_out] = (node, MODULE_MONITOR)
         self._keyed_streams.add(s_out)
-        return self
+        return self._handle(s_out, SCHEMA_PARTITION)
 
     def detectEvent(
         self,
@@ -230,7 +249,7 @@ class Strata:
         s_out: str,
         f: UserFunction,
         parallelism: int = 1,
-    ) -> "Strata":
+    ) -> StreamHandle:
         """Transform tuples into event tuples via the user function ``f``."""
         self._check_mutable()
         self._check_new_stream(s_out)
@@ -246,7 +265,7 @@ class Strata:
         )
         self._streams[s_out] = (node, MODULE_MONITOR)
         self._keyed_streams.add(s_out)
-        return self
+        return self._handle(s_out, SCHEMA_DETECT)
 
     # -- Event Aggregator module --------------------------------------------
 
@@ -257,7 +276,7 @@ class Strata:
         l: int,
         f: CorrelateFunction,
         parallelism: int = 1,
-    ) -> "Strata":
+    ) -> StreamHandle:
         """Aggregate events per (layer, specimen) plus the previous ``l-1``
         layers; events are grouped by specimen automatically (§4)."""
         self._check_mutable()
@@ -274,7 +293,7 @@ class Strata:
         )
         self._streams[s_out] = (node, MODULE_AGGREGATOR)
         self._keyed_streams.add(s_out)
-        return self
+        return self._handle(s_out, SCHEMA_CORRELATE)
 
     # -- delivery & deployment ----------------------------------------------
 
@@ -320,13 +339,19 @@ class Strata:
         ``parallelism`` for keyed replication), ``None``/``False`` to run
         the graph exactly as declared. Checkpoints stay portable between
         optimized and unoptimized deployments.
+
+        With observability enabled (``Strata(obs=...)``), the run's final
+        metrics snapshot lands in ``report.extra["metrics"]`` and stays
+        queryable via :meth:`metrics` afterwards.
         """
         self._deployed = True
+        self._attach_checkpoint_metrics(checkpointer)
         return self._engine.run(
             self._query,
             checkpointer=checkpointer,
             on_built=self._recovery_hook(recover_from),
             plan=optimize,
+            obs=self._obs,
         )
 
     def start(
@@ -338,14 +363,18 @@ class Strata:
         """Deploy in the background (threaded engine); returns the sinks.
 
         Same ``checkpointer``/``recover_from``/``optimize`` semantics as
-        :meth:`deploy`.
+        :meth:`deploy`. With observability enabled, :meth:`metrics` can be
+        polled while the deployment runs — this is what the ``top`` CLI
+        verb and ``--metrics-out`` build on.
         """
         self._deployed = True
+        self._attach_checkpoint_metrics(checkpointer)
         return self._engine.start(
             self._query,
             checkpointer=checkpointer,
             on_built=self._recovery_hook(recover_from),
             plan=optimize,
+            obs=self._obs,
         )
 
     def explain(self, optimize: Any | None = True) -> str:
@@ -371,17 +400,47 @@ class Strata:
         """Stop a background deployment."""
         self._engine.stop(timeout=timeout)
 
+    def running(self) -> bool:
+        """True while a background deployment still has live node threads."""
+        return self._engine.running()
+
     def wait(self, timeout: float | None = None) -> None:
         """Wait for a background deployment to finish naturally."""
         self._engine.wait(timeout=timeout)
 
-    # -- snake_case aliases ---------------------------------------------------
+    # -- observability -------------------------------------------------------
 
-    add_source = addSource
-    detect_event = detectEvent
-    correlate_events = correlateEvents
+    @property
+    def obs(self) -> ObsContext | None:
+        """The observability context, or None when running unobserved."""
+        return self._obs
+
+    def metrics(self) -> MetricsSnapshot:
+        """A point-in-time snapshot of every pipeline metric.
+
+        Live during a background deployment (each call re-scrapes), final
+        after :meth:`deploy` returns. Without ``obs=`` enabled, returns an
+        empty snapshot rather than raising, so reporting code can run
+        unconditionally.
+        """
+        if self._obs is None:
+            return MetricsSnapshot(wall_time=time.time(), samples=[])
+        return self._obs.snapshot()
+
+    def _attach_checkpoint_metrics(self, checkpointer: Any | None) -> None:
+        """Feed checkpoint duration/size metrics into the obs registry."""
+        if (
+            self._obs is not None
+            and checkpointer is not None
+            and hasattr(checkpointer, "attach_metrics")
+        ):
+            checkpointer.attach_metrics(self._obs.registry)
 
     # -- internals -------------------------------------------------------------
+
+    def _handle(self, stream: str, schema: str | None = None) -> StreamHandle:
+        node, module = self._streams[stream]
+        return StreamHandle(stream, strata=self, node=node, module=module, schema=schema)
 
     def _check_mutable(self) -> None:
         if self._deployed:
@@ -424,3 +483,8 @@ class Strata:
         self._query.add_source(bridged, reader)
         self._streams[f"{stream}@{consumer_module}"] = (bridged, consumer_module)
         return bridged
+
+
+# PEP 8 aliases (add_source, detect_event, correlate_events): installed as
+# the same function objects, so identity checks and overrides stay exact.
+install_snake_case_aliases(Strata, ("addSource", "detectEvent", "correlateEvents"))

@@ -1,0 +1,175 @@
+"""Typed stream handles: the fluent face of the Table 1 API.
+
+Every Strata verb that produces a stream returns a :class:`StreamHandle`
+instead of a bare name. The handle *is* a ``str`` (subclass), so it passes
+unchanged anywhere a plain stream name is accepted — including older code,
+dict keys, and the positional ``s_in`` arguments of every verb — while
+adding:
+
+* pipeline context: the producing node, the owning module (Figure 2), and
+  a schema hint describing the tuples the stream carries;
+* fluent chaining: ``handle.partition(...).detectEvent(...).deliver()``
+  reads top-to-bottom like the dataflow it builds, each step returning the
+  next handle (plus a generic ``then(verb, ...)`` escape hatch);
+* observability: ``handle.metrics()`` filters the pipeline-wide snapshot
+  down to the operator producing this stream — including member-level
+  samples when the plan compiler fused it into a chain.
+
+This module also hosts the snake_case aliasing shim shared by
+:class:`~repro.core.api.Strata` and :class:`StreamHandle`: aliases are the
+*same function objects* as their camelCase originals (no wrapper, no
+DeprecationWarning machinery), so introspection, pickling of bound
+methods, and identity checks all behave.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import TYPE_CHECKING, Any
+
+from .errors import PipelineDefinitionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.registry import MetricsSnapshot
+    from ..spe.sink import Sink
+    from .api import Strata
+
+
+def snake_name(camel: str) -> str:
+    """``detectEvent`` -> ``detect_event``."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", camel).lower()
+
+
+def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
+    """Add PEP 8 aliases for camelCase methods, preserving identity.
+
+    ``setattr`` installs the very same function object under the snake
+    name, so ``obj.snake.__func__ is obj.camelCase.__func__`` holds and no
+    second code object exists to fall out of sync.
+    """
+    for camel in names:
+        alias = snake_name(camel)
+        if alias != camel:
+            setattr(cls, alias, cls.__dict__[camel])
+
+
+class StreamHandle(str):
+    """A named stream bound to the pipeline that produces it.
+
+    Being a ``str`` subclass keeps the whole API backward compatible:
+    every verb still accepts plain strings, and a handle used as a plain
+    string (printed, hashed, compared, passed to old code) behaves as the
+    bare stream name.
+    """
+
+    __slots__ = ("_strata", "node", "module", "schema")
+
+    def __new__(
+        cls,
+        name: str,
+        strata: "Strata | None" = None,
+        node: str | None = None,
+        module: str | None = None,
+        schema: str | None = None,
+    ) -> "StreamHandle":
+        self = super().__new__(cls, name)
+        self._strata = strata
+        self.node = node
+        self.module = module
+        self.schema = schema
+        return self
+
+    @property
+    def name(self) -> str:
+        """The plain stream name."""
+        return str(self)
+
+    @property
+    def strata(self) -> "Strata | None":
+        """The pipeline this handle belongs to (None for detached handles)."""
+        return self._strata
+
+    def _require_strata(self) -> "Strata":
+        if self._strata is None:
+            raise PipelineDefinitionError(
+                f"stream handle {str(self)!r} is not bound to a Strata pipeline"
+            )
+        return self._strata
+
+    # -- fluent verbs (each returns the downstream handle) ------------------
+
+    def fuse(
+        self,
+        other: str,
+        s_out: str,
+        ws: float | None = None,
+        wa: float | None = None,
+        gb: list[str] | None = None,
+    ) -> "StreamHandle":
+        """``fuse(self, other, s_out)`` on the owning pipeline."""
+        return self._require_strata().fuse(self, other, s_out, ws=ws, wa=wa, gb=gb)
+
+    def partition(
+        self, s_out: str, f: Any | None = None, parallelism: int = 1
+    ) -> "StreamHandle":
+        """``partition(self, s_out, f)`` on the owning pipeline."""
+        return self._require_strata().partition(self, s_out, f, parallelism=parallelism)
+
+    def detectEvent(
+        self, s_out: str, f: Any, parallelism: int = 1
+    ) -> "StreamHandle":
+        """``detectEvent(self, s_out, f)`` on the owning pipeline."""
+        return self._require_strata().detectEvent(
+            self, s_out, f, parallelism=parallelism
+        )
+
+    def correlateEvents(
+        self, s_out: str, l: int, f: Any, parallelism: int = 1
+    ) -> "StreamHandle":
+        """``correlateEvents(self, s_out, l, f)`` on the owning pipeline."""
+        return self._require_strata().correlateEvents(
+            self, s_out, l, f, parallelism=parallelism
+        )
+
+    def deliver(self, sink: "Sink | None" = None) -> "Sink":
+        """``deliver(self, sink)``: terminate the chain at the expert."""
+        return self._require_strata().deliver(self, sink)
+
+    def then(self, verb: str, *args: Any, **kwargs: Any) -> Any:
+        """Apply any Strata verb with this stream as its input.
+
+        ``handle.then("detectEvent", "events", fn)`` is equivalent to
+        ``strata.detectEvent(handle, "events", fn)`` — useful for verbs
+        chosen at runtime or added by subclasses.
+        """
+        strata = self._require_strata()
+        method = getattr(strata, verb, None)
+        if method is None:
+            raise PipelineDefinitionError(f"Strata has no verb {verb!r}")
+        return method(self, *args, **kwargs)
+
+    # -- observability ------------------------------------------------------
+
+    def metrics(self) -> "MetricsSnapshot":
+        """This stream's slice of the pipeline metrics snapshot.
+
+        Filters the full snapshot down to samples labelled with the
+        producing operator. When the plan compiler fused the operator into
+        a chain, member-level samples are exported under the original node
+        name, so the filter still finds them.
+        """
+        snapshot = self._require_strata().metrics()
+        if self.node is None:
+            return snapshot
+        return snapshot.filter(operator=self.node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [f"StreamHandle({str(self)!r}"]
+        if self.node:
+            parts.append(f", node={self.node!r}")
+        if self.module:
+            parts.append(f", module={self.module!r}")
+        return "".join(parts) + ")"
+
+
+install_snake_case_aliases(StreamHandle, ("detectEvent", "correlateEvents"))

@@ -138,6 +138,9 @@ class DetectEventOperator(Operator):
         self.events_out = int(state["events_out"])
         restore_callable(self._fn, state.get("fn"))
 
+    def stats_extra(self) -> dict[str, float]:
+        return {"events_detected_total": self.events_out}
+
 
 class CorrelateEventsOperator(Operator):
     """Stateful aggregate for ``correlateEvents(s_in, s_out, L, F)``.
@@ -228,6 +231,9 @@ class CorrelateEventsOperator(Operator):
         self._last_punct = dict(state["last_punct"])
         self.triggers = int(state["triggers"])
         restore_callable(self._fn, state.get("fn"))
+
+    def stats_extra(self) -> dict[str, float]:
+        return {"correlation_triggers_total": self.triggers}
 
     def on_close(self) -> list[StreamTuple]:
         # Nothing to flush: results are punctuation-triggered, and every

@@ -1,0 +1,62 @@
+"""repro.obs — pipeline-wide observability for the STRATA reproduction.
+
+Public surface:
+
+* :class:`MetricsRegistry` / :class:`MetricsSnapshot` — counters, gauges
+  and histograms collected lazily at scrape time;
+* :class:`Tracer` — sampled per-tuple span recording across the pipeline;
+* :class:`QoSWatchdog` — runtime enforcement of the 3 s recoat deadline;
+* :class:`ObsConfig` / :class:`ObsContext` — one object wiring all of the
+  above into a deployed pipeline (``Strata(obs=True)``);
+* exporters — Prometheus text format and JSON-lines snapshots.
+"""
+
+from .context import ObsConfig, ObsContext
+from .exporters import (
+    escape_label_value,
+    read_jsonl,
+    snapshot_from_dict,
+    snapshot_to_dict,
+    to_json_line,
+    to_prometheus,
+    write_jsonl,
+)
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Sample,
+    histogram_samples,
+)
+from .tracer import Span, Trace, Tracer
+from .watchdog import RECOAT_GAP_SECONDS, LayerLatency, QoSAlert, QoSWatchdog
+
+__all__ = [
+    "DEFAULT_TIME_BUCKETS",
+    "RECOAT_GAP_SECONDS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LayerLatency",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "ObsConfig",
+    "ObsContext",
+    "QoSAlert",
+    "QoSWatchdog",
+    "Sample",
+    "Span",
+    "Trace",
+    "Tracer",
+    "escape_label_value",
+    "histogram_samples",
+    "read_jsonl",
+    "snapshot_from_dict",
+    "snapshot_to_dict",
+    "to_json_line",
+    "to_prometheus",
+    "write_jsonl",
+]

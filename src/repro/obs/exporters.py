@@ -1,0 +1,139 @@
+"""Snapshot exporters: Prometheus text format and JSON lines.
+
+Both exporters render a :class:`~repro.obs.registry.MetricsSnapshot`, so
+they can run anywhere a snapshot exists — at the end of a CLI run
+(``--metrics-out``), periodically from ``strata-repro top``, or from user
+code via ``Strata.metrics()``. The Prometheus renderer follows the text
+exposition format (HELP/TYPE headers, escaped label values, cumulative
+``_bucket`` series) so the output scrapes cleanly; the JSON-lines form is
+one self-contained object per snapshot, append-friendly for long runs and
+trivially round-trippable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO
+
+from .registry import MetricsRegistry, MetricsSnapshot, Sample
+
+_PROM_KIND = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram_bucket": "histogram",
+    "histogram_sum": "histogram",
+    "histogram_count": "histogram",
+}
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format."""
+    return value.replace("\\", r"\\").replace("\n", r"\n").replace('"', r'\"')
+
+
+def escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _family_of(sample: Sample) -> str:
+    name = sample.name
+    if sample.kind in ("histogram_bucket", "histogram_sum", "histogram_count"):
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                return name[: -len(suffix)]
+    return name
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus(
+    snapshot: MetricsSnapshot, registry: MetricsRegistry | None = None
+) -> str:
+    """Render a snapshot in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_families: set[str] = set()
+    for sample in snapshot.samples:
+        family = _family_of(sample)
+        if family not in seen_families:
+            seen_families.add(family)
+            help_text = registry.help_for(family) if registry is not None else ""
+            if help_text:
+                lines.append(f"# HELP {family} {escape_help(help_text)}")
+            lines.append(f"# TYPE {family} {_PROM_KIND.get(sample.kind, 'untyped')}")
+        if sample.labels:
+            rendered = ",".join(
+                f'{key}="{escape_label_value(value)}"' for key, value in sample.labels
+            )
+            lines.append(f"{sample.name}{{{rendered}}} {_format_value(sample.value)}")
+        else:
+            lines.append(f"{sample.name} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+# -- JSON lines -------------------------------------------------------------
+
+
+def snapshot_to_dict(snapshot: MetricsSnapshot) -> dict:
+    """A JSON-serializable form of one snapshot."""
+    return {
+        "wall_time": snapshot.wall_time,
+        "samples": [
+            {
+                "name": s.name,
+                "labels": s.labels_dict(),
+                "value": s.value,
+                "kind": s.kind,
+            }
+            for s in snapshot.samples
+        ],
+    }
+
+
+def snapshot_from_dict(payload: dict) -> MetricsSnapshot:
+    """Inverse of :func:`snapshot_to_dict`."""
+    return MetricsSnapshot(
+        wall_time=float(payload["wall_time"]),
+        samples=[
+            Sample(
+                name=item["name"],
+                labels=tuple(sorted((k, v) for k, v in item["labels"].items())),
+                value=float(item["value"]),
+                kind=item.get("kind", "gauge"),
+            )
+            for item in payload["samples"]
+        ],
+    )
+
+
+def to_json_line(snapshot: MetricsSnapshot) -> str:
+    """One snapshot as a single JSON line (no trailing newline)."""
+    return json.dumps(snapshot_to_dict(snapshot), separators=(",", ":"))
+
+
+def write_jsonl(
+    path: str | Path | IO[str], snapshot: MetricsSnapshot, append: bool = True
+) -> None:
+    """Append one snapshot line to a JSON-lines file (or writable)."""
+    line = to_json_line(snapshot) + "\n"
+    if hasattr(path, "write"):
+        path.write(line)
+        return
+    mode = "a" if append else "w"
+    with open(path, mode, encoding="utf-8") as fh:
+        fh.write(line)
+
+
+def read_jsonl(path: str | Path) -> list[MetricsSnapshot]:
+    """Parse every snapshot line of a JSON-lines metrics file."""
+    snapshots: list[MetricsSnapshot] = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                snapshots.append(snapshot_from_dict(json.loads(line)))
+    return snapshots

@@ -1,0 +1,334 @@
+"""Metric primitives and the pipeline-wide registry.
+
+The registry follows the Prometheus data model — counters, gauges and
+histograms identified by a metric name plus a label set — but is tuned for
+an in-process SPE: hot-path code never talks to the registry per tuple.
+Operators, queues, sources and sinks keep their own plain counters (one
+``+= 1`` each, no locks shared across nodes), and the registry *collects*
+them lazily at snapshot time through registered collector callbacks. A
+scrape therefore costs a walk over a few hundred python objects, while the
+per-tuple cost of being observable stays at a couple of attribute updates.
+
+Direct instruments (``counter()`` / ``gauge()`` / ``histogram()``) exist
+for the colder paths — checkpoint commits, QoS violations, CLI health —
+where a lock per update is irrelevant.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+#: default processing-time buckets, seconds: 50 us .. 10 s, the range from
+#: a single cell label to a whole-layer DBSCAN correlation
+DEFAULT_TIME_BUCKETS = (
+    0.00005, 0.0002, 0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0,
+)
+
+LabelSet = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str] | None) -> LabelSet:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exported time-series point.
+
+    ``kind`` is the Prometheus metric type of the family this sample
+    belongs to; histogram families export ``histogram_bucket`` samples
+    (with an ``le`` label) plus ``_sum``/``_count`` as plain samples.
+    """
+
+    name: str
+    labels: LabelSet
+    value: float
+    kind: str = "gauge"  # "counter" | "gauge" | "histogram_bucket" | "histogram_sum" | "histogram_count"
+
+    def label(self, key: str, default: str | None = None) -> str | None:
+        for k, v in self.labels:
+            if k == key:
+                return v
+        return default
+
+    def labels_dict(self) -> dict[str, str]:
+        return dict(self.labels)
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelSet) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1.0) -> None:
+        if n < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def samples(self) -> list[Sample]:
+        return [Sample(self.name, self.labels, self._value, "counter")]
+
+
+class Gauge:
+    """A value that can go up and down; optionally callback-backed."""
+
+    __slots__ = ("name", "labels", "_value", "_fn", "_lock")
+
+    def __init__(
+        self, name: str, labels: LabelSet, fn: Callable[[], float] | None = None
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._fn = fn
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self._value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.inc(-n)
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+    def samples(self) -> list[Sample]:
+        return [Sample(self.name, self.labels, self.value, "gauge")]
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe`` is lock-protected — use it on cold paths only. Hot paths
+    (per-tuple operator timing) keep their own lock-free bucket arrays in
+    :class:`~repro.spe.metrics.OperatorStats` and export through
+    :func:`histogram_samples`.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "sum", "count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet,
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.labels = labels
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1: the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.sum += value
+            self.count += 1
+
+    def samples(self) -> list[Sample]:
+        return histogram_samples(
+            self.name, self.labels, self.bounds, self.counts, self.sum, self.count
+        )
+
+
+def histogram_samples(
+    name: str,
+    labels: LabelSet,
+    bounds: list[float],
+    counts: list[int],
+    total_sum: float,
+    total_count: int,
+) -> list[Sample]:
+    """Render raw bucket arrays as cumulative Prometheus-style samples."""
+    out: list[Sample] = []
+    cumulative = 0
+    for bound, count in zip(bounds, counts):
+        cumulative += count
+        out.append(
+            Sample(
+                f"{name}_bucket",
+                labels + (("le", format(bound, "g")),),
+                float(cumulative),
+                "histogram_bucket",
+            )
+        )
+    cumulative += counts[len(bounds)]
+    out.append(
+        Sample(
+            f"{name}_bucket", labels + (("le", "+Inf"),), float(cumulative),
+            "histogram_bucket",
+        )
+    )
+    out.append(Sample(f"{name}_sum", labels, float(total_sum), "histogram_sum"))
+    out.append(Sample(f"{name}_count", labels, float(total_count), "histogram_count"))
+    return out
+
+
+@dataclass
+class MetricsSnapshot:
+    """A self-contained point-in-time view of every registered metric."""
+
+    wall_time: float
+    samples: list[Sample] = field(default_factory=list)
+
+    def filter(self, name: str | None = None, **labels: str) -> "MetricsSnapshot":
+        """Sub-snapshot with samples matching the name prefix and labels."""
+        kept = [
+            s
+            for s in self.samples
+            if (name is None or s.name == name or s.name.startswith(name))
+            and all(s.label(k) == v for k, v in labels.items())
+        ]
+        return MetricsSnapshot(wall_time=self.wall_time, samples=kept)
+
+    def value(self, name: str, default: float | None = None, **labels: str) -> float | None:
+        """The value of the single sample matching exactly, else default."""
+        for s in self.samples:
+            if s.name == name and all(s.label(k) == v for k, v in labels.items()):
+                return s.value
+        return default
+
+    def names(self) -> list[str]:
+        return sorted({s.name for s in self.samples})
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self):
+        return iter(self.samples)
+
+
+#: a collector returns samples computed at scrape time
+Collector = Callable[[], Iterable[Sample]]
+
+
+class MetricsRegistry:
+    """Pipeline-wide metric registry: direct instruments + collectors."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[tuple[str, LabelSet], Counter | Gauge | Histogram] = {}
+        self._help: dict[str, str] = {}
+        self._collectors: dict[str, Collector] = {}
+
+    # -- direct instruments -------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labels: Mapping[str, str] | None = None
+    ) -> Counter:
+        return self._instrument(Counter, name, help, labels)
+
+    def gauge(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        fn: Callable[[], float] | None = None,
+    ) -> Gauge:
+        gauge = self._instrument(Gauge, name, help, labels)
+        if fn is not None:
+            gauge._fn = fn
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Mapping[str, str] | None = None,
+        buckets: Iterable[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = Histogram(name, key[1], buckets)
+                self._metrics[key] = metric
+                if help:
+                    self._help[name] = help
+            elif not isinstance(metric, Histogram):
+                raise TypeError(f"metric {name!r} already registered as {type(metric).__name__}")
+        return metric
+
+    def _instrument(self, cls, name: str, help: str, labels) -> "Counter | Gauge":
+        key = (name, _label_key(labels))
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = cls(name, key[1])
+                self._metrics[key] = metric
+                if help:
+                    self._help[name] = help
+            elif type(metric) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as {type(metric).__name__}"
+                )
+        return metric
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(self, key: str, collector: Collector) -> None:
+        """Install (or replace) a named scrape-time collector."""
+        with self._lock:
+            self._collectors[key] = collector
+
+    def unregister_collector(self, key: str) -> None:
+        with self._lock:
+            self._collectors.pop(key, None)
+
+    def set_help(self, name: str, help: str) -> None:
+        """Attach a HELP string to a collector-produced metric family."""
+        with self._lock:
+            self._help[name] = help
+
+    def help_for(self, name: str) -> str:
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[: -len(suffix)]
+                break
+        return self._help.get(base, self._help.get(name, ""))
+
+    # -- scraping -----------------------------------------------------------
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Collect every direct instrument and collector right now."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+            collectors = list(self._collectors.values())
+        samples: list[Sample] = []
+        for metric in metrics:
+            samples.extend(metric.samples())
+        for collector in collectors:
+            samples.extend(collector())
+        return MetricsSnapshot(wall_time=time.time(), samples=samples)

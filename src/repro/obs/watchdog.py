@@ -1,0 +1,178 @@
+"""QoS watchdog: the 3-second recoat-gap deadline as a live alarm.
+
+The paper's QoS constraint (§3, §5) is that every layer's verdict must
+arrive before the EOS M290 finishes recoating — about 3 seconds — or the
+machine prints the next layer on top of an unassessed one. The watchdog
+turns that constraint from a post-hoc benchmark assertion into runtime
+monitoring: every result delivered to any sink is checked against the
+deadline, violations raise structured alerts (callback + ``logging``) and
+feed the metrics registry, and per-layer worst-case latency is tracked so
+`strata-repro top` and the exporters can show headroom, not just averages.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..spe.tuples import StreamTuple
+from .registry import MetricsRegistry
+
+#: the EOS M290 recoat gap the paper evaluates against (§5)
+RECOAT_GAP_SECONDS = 3.0
+
+logger = logging.getLogger("repro.obs.qos")
+
+
+@dataclass(frozen=True)
+class QoSAlert:
+    """One structured deadline violation."""
+
+    job: str
+    layer: int
+    specimen: str | None
+    sink: str
+    latency_s: float
+    deadline_s: float
+    wall_time: float
+
+    def format(self) -> str:
+        return (
+            f"QoS violation: job={self.job} layer={self.layer} "
+            f"specimen={self.specimen} took {self.latency_s:.3f}s "
+            f"(deadline {self.deadline_s:.1f}s) at sink {self.sink!r}"
+        )
+
+
+@dataclass
+class LayerLatency:
+    """Worst observed end-to-end latency for one (job, layer)."""
+
+    job: str
+    layer: int
+    worst_s: float = 0.0
+    results: int = 0
+    violated: bool = False
+
+
+AlertCallback = Callable[[QoSAlert], None]
+
+
+class QoSWatchdog:
+    """Evaluates per-layer end-to-end latency against a deadline.
+
+    ``observe`` is invoked from ``Sink.accept`` for every delivered result
+    (results are per layer/specimen, i.e. a few per second, so a lock here
+    is nowhere near any hot path). Alerts fire once per (job, layer, sink)
+    so a layer with many late specimens does not flood the expert.
+    """
+
+    def __init__(
+        self,
+        deadline_s: float = RECOAT_GAP_SECONDS,
+        on_alert: AlertCallback | None = None,
+        max_alerts: int = 1024,
+        max_layers: int = 4096,
+    ) -> None:
+        if deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        self.deadline_s = deadline_s
+        self._callbacks: list[AlertCallback] = [on_alert] if on_alert else []
+        self._max_alerts = max_alerts
+        self._max_layers = max_layers
+        self._lock = threading.Lock()
+        self._layers: dict[tuple[str, int], LayerLatency] = {}
+        self._alerted: set[tuple[str, int, str]] = set()
+        self.alerts: list[QoSAlert] = []
+        self.results_observed = 0
+        self.violations = 0
+        self._violations_total = None
+        self._worst_gauge = None
+
+    def add_callback(self, callback: AlertCallback) -> None:
+        self._callbacks.append(callback)
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Export violation count / worst latency / deadline as metrics."""
+        registry.gauge(
+            "strata_qos_deadline_seconds", "configured recoat-gap QoS deadline"
+        ).set(self.deadline_s)
+        self._violations_total = registry.counter(
+            "strata_qos_violations_total", "results delivered past the QoS deadline"
+        )
+        self._worst_gauge = registry.gauge(
+            "strata_qos_worst_latency_seconds",
+            "worst per-layer end-to-end latency observed so far",
+        )
+        registry.gauge(
+            "strata_qos_layers_violated",
+            "distinct (job, layer) pairs that missed the deadline",
+            fn=lambda: float(len(self.violated_layers())),
+        )
+
+    # -- observation --------------------------------------------------------
+
+    def observe(self, t: StreamTuple, latency_s: float, sink_name: str) -> None:
+        """Record one delivered result's end-to-end latency."""
+        key = (t.job, t.layer)
+        alert: QoSAlert | None = None
+        with self._lock:
+            self.results_observed += 1
+            layer = self._layers.get(key)
+            if layer is None:
+                if len(self._layers) >= self._max_layers:
+                    # evict the oldest tracked layer; alerts already fired
+                    self._layers.pop(next(iter(self._layers)))
+                layer = self._layers[key] = LayerLatency(t.job, t.layer)
+            layer.results += 1
+            if latency_s > layer.worst_s:
+                layer.worst_s = latency_s
+                if self._worst_gauge is not None and latency_s > self._worst_gauge.value:
+                    self._worst_gauge.set(latency_s)
+            if latency_s > self.deadline_s:
+                self.violations += 1
+                layer.violated = True
+                if self._violations_total is not None:
+                    self._violations_total.inc()
+                alert_key = (t.job, t.layer, sink_name)
+                if alert_key not in self._alerted:
+                    self._alerted.add(alert_key)
+                    alert = QoSAlert(
+                        job=t.job,
+                        layer=t.layer,
+                        specimen=t.specimen,
+                        sink=sink_name,
+                        latency_s=latency_s,
+                        deadline_s=self.deadline_s,
+                        wall_time=time.time(),
+                    )
+                    if len(self.alerts) < self._max_alerts:
+                        self.alerts.append(alert)
+        if alert is not None:
+            logger.warning(alert.format())
+            for callback in self._callbacks:
+                callback(alert)
+
+    # -- queries ------------------------------------------------------------
+
+    def violated_layers(self) -> list[tuple[str, int]]:
+        with self._lock:
+            return sorted(k for k, v in self._layers.items() if v.violated)
+
+    def layer_latencies(self) -> dict[tuple[str, int], LayerLatency]:
+        with self._lock:
+            return dict(self._layers)
+
+    def worst_latency_s(self) -> float:
+        with self._lock:
+            return max((v.worst_s for v in self._layers.values()), default=0.0)
+
+    @property
+    def violation_rate(self) -> float:
+        with self._lock:
+            if not self.results_observed:
+                return 0.0
+            return self.violations / self.results_observed

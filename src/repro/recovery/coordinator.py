@@ -37,12 +37,20 @@ from .storage import CheckpointStorage
 class _Epoch:
     """Book-keeping for one in-flight checkpoint."""
 
-    __slots__ = ("pending_nodes", "pending_sources", "stateful_nodes", "started", "done")
+    __slots__ = (
+        "pending_nodes",
+        "pending_sources",
+        "stateful_nodes",
+        "state_entries",
+        "started",
+        "done",
+    )
 
     def __init__(self, nodes: set[str], sources: set[str]) -> None:
         self.pending_nodes = set(nodes)
         self.pending_sources = set(sources)
         self.stateful_nodes: set[str] = set()
+        self.state_entries = 0
         self.started = time.monotonic()
         self.done = threading.Event()
 
@@ -82,6 +90,11 @@ class CheckpointCoordinator:
         self.last_duration: float | None = None
         self._daemon: threading.Thread | None = None
         self._daemon_stop = threading.Event()
+        self._m_total: Any | None = None
+        self._m_duration: Any | None = None
+        self._m_last_duration: Any | None = None
+        self._m_entries: Any | None = None
+        self._m_epoch: Any | None = None
 
     # -- wiring -------------------------------------------------------------
 
@@ -109,6 +122,41 @@ class CheckpointCoordinator:
         with self._lock:
             self._participants = participants
             self._sources = sources
+
+    def attach_metrics(self, registry: Any) -> None:
+        """Export checkpoint health into an observability registry.
+
+        Called by ``Strata`` when the pipeline runs with ``obs=``; the
+        registry is duck-typed (``counter``/``gauge``/``histogram``) so this
+        module keeps no import on ``repro.obs``. Size is approximated by
+        the number of state entries captured per epoch — node state keys
+        plus one per source position — so the commit path never re-pickles
+        state just to weigh it.
+        """
+        self._m_total = registry.counter(
+            "strata_checkpoints_total", "checkpoint epochs committed"
+        )
+        self._m_duration = registry.histogram(
+            "strata_checkpoint_duration_seconds",
+            "barrier injection to manifest commit",
+            buckets=(0.005, 0.02, 0.1, 0.5, 2.0, 10.0),
+        )
+        self._m_last_duration = registry.gauge(
+            "strata_checkpoint_last_duration_seconds",
+            "duration of the newest committed checkpoint",
+        )
+        self._m_entries = registry.gauge(
+            "strata_checkpoint_state_entries",
+            "state entries captured by the newest committed checkpoint",
+        )
+        self._m_epoch = registry.gauge(
+            "strata_checkpoint_epoch", "newest committed checkpoint epoch"
+        )
+        registry.gauge(
+            "strata_checkpoints_inflight",
+            "checkpoint epochs currently awaiting alignment",
+            fn=lambda: float(len(self._inflight)),
+        )
 
     # -- checkpoint lifecycle ------------------------------------------------
 
@@ -167,6 +215,7 @@ class CheckpointCoordinator:
             if ep is None:
                 return
             ep.pending_sources.discard(source_name)
+            ep.state_entries += 1
             self._maybe_commit_locked(epoch, ep)
 
     def on_node_snapshot(self, node_name: str, epoch: int, state: dict | None) -> None:
@@ -180,6 +229,7 @@ class CheckpointCoordinator:
             ep.pending_nodes.discard(node_name)
             if state is not None:
                 ep.stateful_nodes.add(node_name)
+                ep.state_entries += len(state)
             self._maybe_commit_locked(epoch, ep)
 
     def _maybe_commit_locked(self, epoch: int, ep: _Epoch) -> None:
@@ -198,6 +248,12 @@ class CheckpointCoordinator:
         self.storage.commit_manifest(epoch, manifest)
         self.completed_epochs.append(epoch)
         self.last_duration = duration
+        if self._m_total is not None:
+            self._m_total.inc()
+            self._m_duration.observe(duration)
+            self._m_last_duration.set(duration)
+            self._m_entries.set(ep.state_entries)
+            self._m_epoch.set(epoch)
         if self._retain is not None:
             self.storage.retain(self._retain)
         ep.done.set()

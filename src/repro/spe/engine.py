@@ -98,8 +98,9 @@ class StreamEngine:
         on_built: BuildHook | None,
         capacity: int | None,
         plan: PlanConfig | None = None,
+        obs: Any | None = None,
     ):
-        """Build the query, compile the plan, bind the checkpointer."""
+        """Build the query, compile the plan, bind checkpointer and obs."""
         nodes = query.build(capacity=capacity)
         nodes = compile_plan(nodes, plan)
         listener = None
@@ -108,6 +109,10 @@ class StreamEngine:
             # object with bind(nodes) + on_node_snapshot(name, epoch, state).
             checkpointer.bind(nodes)
             listener = checkpointer.on_node_snapshot
+        if obs is not None:
+            # Also duck-typed (repro.obs.ObsContext): indexes streams and
+            # sinks for scrape-time collection, installs the QoS watchdog.
+            obs.bind(nodes)
         if on_built is not None:
             on_built(nodes)
         return nodes, listener
@@ -119,6 +124,7 @@ class StreamEngine:
         on_built: BuildHook | None = None,
         batch_size: int | None = None,
         plan: PlanConfig | bool | None = None,
+        obs: Any | None = None,
     ) -> RunReport:
         """Execute a query until all sources are exhausted; blocking.
 
@@ -137,15 +143,17 @@ class StreamEngine:
             on_built,
             capacity=None if self._mode == "sync" else self._capacity,
             plan=plan,
+            obs=obs,
         )
         started = time.monotonic()
         if self._mode == "sync":
             scheduler = SynchronousScheduler(
                 checkpoint_listener=listener,
+                obs=obs,
                 **({} if batch_size is None else {"batch_size": batch_size}),
             )
         else:
-            scheduler = self._threaded_scheduler(listener, plan)
+            scheduler = self._threaded_scheduler(listener, plan, obs)
         stats = scheduler.run(nodes)
         wall = time.monotonic() - started
         report = RunReport(
@@ -156,6 +164,8 @@ class StreamEngine:
         )
         if plan is not None:
             report.extra["plan"] = plan.describe()
+        if obs is not None:
+            report.extra["metrics"] = obs.snapshot()
         return report
 
     def explain(self, query: Query, plan: PlanConfig | bool | None = True) -> str:
@@ -170,6 +180,7 @@ class StreamEngine:
         checkpointer: Any | None = None,
         on_built: BuildHook | None = None,
         plan: PlanConfig | bool | None = None,
+        obs: Any | None = None,
     ) -> dict[str, Sink]:
         """Deploy a query in the background (threaded only)."""
         if self._mode != "threaded":
@@ -178,21 +189,24 @@ class StreamEngine:
             raise EngineStateError("a query is already running; stop() it first")
         plan = PlanConfig.resolve(plan)
         nodes, listener = self._prepare(
-            query, checkpointer, on_built, capacity=self._capacity, plan=plan
+            query, checkpointer, on_built, capacity=self._capacity, plan=plan, obs=obs
         )
-        self._active = self._threaded_scheduler(listener, plan)
+        self._active = self._threaded_scheduler(listener, plan, obs)
         self._active_nodes = nodes
         self._active.start(nodes)
         return _sinks_of(nodes)
 
     @staticmethod
-    def _threaded_scheduler(listener, plan: PlanConfig | None) -> ThreadedScheduler:
+    def _threaded_scheduler(
+        listener, plan: PlanConfig | None, obs: Any | None = None
+    ) -> ThreadedScheduler:
         if plan is None:
-            return ThreadedScheduler(checkpoint_listener=listener)
+            return ThreadedScheduler(checkpoint_listener=listener, obs=obs)
         return ThreadedScheduler(
             checkpoint_listener=listener,
             edge_batch_size=plan.edge_batch_size,
             linger_s=plan.linger_s,
+            obs=obs,
         )
 
     def stop(self, timeout: float = 10.0) -> None:
@@ -203,6 +217,10 @@ class StreamEngine:
         self._active.join(timeout=timeout)
         self._active = None
         self._active_nodes = None
+
+    def running(self) -> bool:
+        """True while a background query still has live node threads."""
+        return self._active is not None and self._active.alive()
 
     def wait(self, timeout: float | None = None) -> None:
         """Wait for a background query to finish naturally."""

@@ -208,7 +208,12 @@ class ThroughputMeter:
             return self._count
 
     def elapsed(self) -> float:
-        """Measured interval in seconds (never zero)."""
+        """Measured interval in seconds (0.0 if nothing was ever counted).
+
+        While the meter is live (started, not stopped) this reads
+        ``now - start``, so mid-run rates are meaningful without waiting
+        for ``stop()``.
+        """
         with self._lock:
             if self._started is None:
                 return 0.0
@@ -216,18 +221,59 @@ class ThroughputMeter:
             return max(end - self._started, 1e-9)
 
     def per_second(self) -> float:
-        """Items per second over the measured interval."""
-        return self.count / self.elapsed()
+        """Items per second over the measured interval (0.0 when idle)."""
+        elapsed = self.elapsed()
+        if elapsed == 0.0:
+            return 0.0
+        return self.count / elapsed
 
 
 class OperatorStats:
-    """Per-operator counters surfaced by the engine's metrics report."""
+    """Per-operator counters surfaced by the engine's metrics report.
+
+    All fields are plain attributes updated by exactly one executor thread
+    (each scheduler node owns its stats object), so the hot path never
+    takes a lock; the observability registry reads them racily at scrape
+    time, which is fine for monotone counters.
+    """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.tuples_in = 0
         self.tuples_out = 0
         self.processing_seconds = 0.0
+        # edge batching (populated only when the plan compiler batches edges)
+        self.batches_out = 0
+        self.batch_tuples_out = 0
+        # newest event time handled; NaN until the first tuple arrives
+        self.last_tau = math.nan
+        # optional lock-free processing-time histogram (repro.obs)
+        self.timing_bounds: tuple[float, ...] | None = None
+        self.timing_counts: list[int] | None = None
+        self.timing_total = 0
+
+    def enable_timing(self, bounds: tuple[float, ...]) -> None:
+        """Turn on per-tuple timing buckets (idempotent per bound set)."""
+        ordered = tuple(sorted(float(b) for b in bounds))
+        if not ordered:
+            raise MetricsError("timing histogram needs at least one bound")
+        if self.timing_bounds != ordered:
+            self.timing_bounds = ordered
+            self.timing_counts = [0] * (len(ordered) + 1)  # +1: overflow
+            self.timing_total = 0
+
+    def record_time(self, seconds: float) -> None:
+        """Bucket one per-tuple processing duration (call only if enabled)."""
+        lo, hi = 0, len(self.timing_bounds)
+        bounds = self.timing_bounds
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bounds[mid] < seconds:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.timing_counts[lo] += 1
+        self.timing_total += 1
 
     def as_dict(self) -> dict[str, float]:
         """Flat dict for report rendering."""

@@ -44,6 +44,14 @@ class Operator(ABC):
         """All inputs closed: flush any remaining state."""
         return []
 
+    # -- observability ----------------------------------------------------
+
+    def stats_extra(self) -> dict[str, float]:
+        """Operator-specific counters exported by repro.obs at scrape time
+        (e.g. events detected, triggers correlated). Keys become metric
+        names ``spe_operator_<key>``; values must be monotone counters."""
+        return {}
+
     # -- checkpointing protocol -------------------------------------------
 
     def snapshot_state(self) -> dict[str, Any] | None:

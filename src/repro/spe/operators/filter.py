@@ -39,3 +39,6 @@ class FilterOperator(Operator):
         self.passed = int(state["passed"])
         self.dropped = int(state["dropped"])
         restore_callable(self._predicate, state.get("predicate"))
+
+    def stats_extra(self) -> dict[str, float]:
+        return {"filter_passed_total": self.passed, "filter_dropped_total": self.dropped}

@@ -122,3 +122,6 @@ class JoinOperator(Operator):
     @property
     def buffered(self) -> int:
         return sum(len(buf) for side in self._buffers for buf in side.values())
+
+    def stats_extra(self) -> dict[str, float]:
+        return {"join_matches_total": self.matches}

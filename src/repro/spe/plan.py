@@ -124,6 +124,9 @@ class FusedOperator(Operator):
         # bound process methods, resolved once: the cascade loop runs per
         # tuple per stage and attribute lookups there are measurable
         self._processes = [part.operator.process for part in self._parts]
+        # per-constituent (tuples_in, tuples_out), populated only when
+        # observability asks for member-level stats
+        self._member_counts: list[list[int]] | None = None
 
     @property
     def parts(self) -> list[_FusedPart]:
@@ -152,6 +155,47 @@ class FusedOperator(Operator):
 
     def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
         return self._cascade([t], 0)
+
+    # -- member-level observability ---------------------------------------
+
+    def enable_member_stats(self) -> None:
+        """Count tuples in/out per constituent (repro.obs; idempotent).
+
+        Swaps the cascade for a counting variant on this *instance* only,
+        so un-observed pipelines keep the zero-overhead loop.
+        """
+        if self._member_counts is None:
+            self._member_counts = [[0, 0] for _ in self._parts]
+            self._cascade = self._cascade_counted  # type: ignore[method-assign]
+
+    def member_stats(self) -> dict[str, tuple[int, int]] | None:
+        """Per-constituent (tuples_in, tuples_out), keyed by original name."""
+        if self._member_counts is None:
+            return None
+        return {
+            part.name: (counts[0], counts[1])
+            for part, counts in zip(self._parts, self._member_counts)
+        }
+
+    def _cascade_counted(
+        self, tuples: list[StreamTuple], start: int
+    ) -> list[StreamTuple]:
+        member_counts = self._member_counts
+        for i in range(start, len(self._processes)):
+            if not tuples:
+                return tuples
+            process = self._processes[i]
+            counts = member_counts[i]
+            counts[0] += len(tuples)
+            nxt: list[StreamTuple] = []
+            extend = nxt.extend
+            for t in tuples:
+                out = process(0, t)
+                if out:
+                    extend(out)
+            counts[1] += len(nxt)
+            tuples = nxt
+        return tuples
 
     def on_input_closed(self, input_index: int) -> list[StreamTuple]:
         # Only the chain head observes the node's real input closing; what

@@ -42,9 +42,17 @@ class NodeExecutor:
         checkpoint_listener: CheckpointListener | None = None,
         edge_batch_size: int = 1,
         linger_s: float = 0.005,
+        obs=None,
     ) -> None:
         self.node = node
         self.stats = OperatorStats(node.name)
+        # Observability (repro.obs.ObsContext, duck-typed): when attached,
+        # the per-tuple extra cost is one None check plus a few attribute
+        # writes; when absent it is a single None check.
+        self._obs = obs
+        self._tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            obs.attach_executor(self)
         self._closed_inputs: set[int] = set()
         self._finalized = False
         self._stop_event = stop_event
@@ -69,6 +77,10 @@ class NodeExecutor:
     @property
     def finalized(self) -> bool:
         return self._finalized
+
+    @property
+    def edge_batch_size(self) -> int:
+        return self._edge_batch
 
     @property
     def open_inputs(self) -> list[int]:
@@ -118,6 +130,9 @@ class NodeExecutor:
     def _flush_stream(self, stream: Stream, buf: list) -> None:
         if not buf:
             return
+        stats = self.stats
+        stats.batches_out += 1
+        stats.batch_tuples_out += len(buf)
         item = buf[0] if len(buf) == 1 else TupleBatch(buf)
         buf.clear()
         self._put(stream, item)
@@ -169,13 +184,22 @@ class NodeExecutor:
         if is_barrier(item):
             self._on_barrier(input_index, item)
             return
-        self.stats.tuples_in += 1
+        stats = self.stats
+        stats.tuples_in += 1
         started = time.perf_counter()
         if node.kind == "operator":
             self._run_operator(node.operator.process, input_index, item)
         elif node.kind == "sink":
             node.sink.accept(item)
-        self.stats.processing_seconds += time.perf_counter() - started
+        duration = time.perf_counter() - started
+        stats.processing_seconds += duration
+        if self._obs is not None:
+            stats.last_tau = item.tau
+            if stats.timing_counts is not None:
+                stats.record_time(duration)
+            tracer = self._tracer
+            if tracer is not None and item.trace_id is not None:
+                tracer.record(item.trace_id, node.name, node.kind, duration, item)
 
     def _run_operator(self, fn, *args: object) -> None:
         try:
@@ -254,15 +278,19 @@ class SynchronousScheduler:
         self,
         batch_size: int = 256,
         checkpoint_listener: CheckpointListener | None = None,
+        obs=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self._batch_size = batch_size
         self._checkpoint_listener = checkpoint_listener
+        self._obs = obs
 
     def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
         executors = [
-            NodeExecutor(node, checkpoint_listener=self._checkpoint_listener)
+            NodeExecutor(
+                node, checkpoint_listener=self._checkpoint_listener, obs=self._obs
+            )
             for node in nodes
         ]
         source_iters = {
@@ -293,6 +321,8 @@ class SynchronousScheduler:
 
     def _step_source(self, ex: NodeExecutor, source_iters: dict) -> bool:
         iterator = source_iters[ex.node.name]
+        tracer = ex._tracer
+        obs_on = ex._obs is not None
         progressed = False
         for _ in range(self._batch_size):
             t = next(iterator, None)
@@ -306,6 +336,10 @@ class SynchronousScheduler:
                 progressed = True
                 continue
             ex.stats.tuples_out += 1
+            if obs_on:
+                ex.stats.last_tau = t.tau
+                if tracer is not None:
+                    tracer.at_source(ex.node.name, t)
             for stream in ex.node.route(t):
                 stream.put(t)
             progressed = True
@@ -336,6 +370,7 @@ class ThreadedScheduler:
         edge_batch_size: int = 1,
         drain_batch: int = 64,
         linger_s: float = 0.005,
+        obs=None,
     ) -> None:
         if drain_batch < 1:
             raise ValueError("drain_batch must be positive")
@@ -344,6 +379,7 @@ class ThreadedScheduler:
         self._edge_batch_size = max(1, edge_batch_size)
         self._drain_batch = drain_batch
         self._linger_s = linger_s
+        self._obs = obs
         self._threads: list[threading.Thread] = []
         self._stop = threading.Event()
         self._error: list[BaseException] = []
@@ -365,6 +401,7 @@ class ThreadedScheduler:
                 checkpoint_listener=self._checkpoint_listener,
                 edge_batch_size=self._edge_batch_size if node.kind != "source" else 1,
                 linger_s=self._linger_s,
+                obs=self._obs,
             )
             for node in nodes
         ]
@@ -386,6 +423,8 @@ class ThreadedScheduler:
             self._stop.set()
 
     def _source_loop(self, ex: NodeExecutor) -> None:
+        tracer = ex._tracer
+        obs_on = ex._obs is not None
         for t in ex.node.source:
             if self._stop.is_set():
                 break
@@ -397,6 +436,10 @@ class ThreadedScheduler:
                             return
                 continue
             ex.stats.tuples_out += 1
+            if obs_on:
+                ex.stats.last_tau = t.tau
+                if tracer is not None:
+                    tracer.at_source(ex.node.name, t)
             for stream in ex.node.route(t):
                 while not stream.put(t, timeout=0.2):
                     if self._stop.is_set():
@@ -460,6 +503,10 @@ class ThreadedScheduler:
     def stop(self) -> None:
         """Request cooperative shutdown of all node threads."""
         self._stop.set()
+
+    def alive(self) -> bool:
+        """True while at least one node thread is still running."""
+        return any(t.is_alive() for t in self._threads)
 
     def join(self, timeout: float | None = None) -> None:
         """Wait for every node thread; re-raise the first node error."""

@@ -29,11 +29,17 @@ class Sink(ABC):
         self.name = name
         self.latency = LatencyRecorder(capacity=latency_capacity)
         self.throughput = ThroughputMeter()
+        # optional (sink, tuple, latency_s) callback; repro.obs installs the
+        # QoS watchdog here so every delivered result is deadline-checked
+        self.observer: Callable[["Sink", StreamTuple, float], None] | None = None
 
     def accept(self, t: StreamTuple) -> None:
         """Record metrics, then hand the tuple to the concrete sink."""
-        self.latency.record(t.latency_from(time.monotonic()))
+        latency_s = t.latency_from(time.monotonic())
+        self.latency.record(latency_s)
         self.throughput.add()
+        if self.observer is not None:
+            self.observer(self, t, latency_s)
         self.consume(t)
 
     @abstractmethod

@@ -102,6 +102,14 @@ class RateLimitedSource(Source):
             raise ValueError("rate must be positive")
         self._inner = inner
         self._rate = rate
+        # how far behind the absolute emission schedule the last tuple was
+        # (0.0 while keeping up); exported as source lag by repro.obs
+        self.lag_s = 0.0
+        self.emitted = 0
+
+    @property
+    def rate(self) -> float:
+        return self._rate
 
     def __iter__(self) -> Iterator[StreamTuple]:
         start = time.monotonic()
@@ -110,5 +118,9 @@ class RateLimitedSource(Source):
             delay = due - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+                self.lag_s = 0.0
+            else:
+                self.lag_s = -delay
             t.ingest_time = time.monotonic()
+            self.emitted = i + 1
             yield t

@@ -68,6 +68,8 @@ class Stream:
         self._size = 0
         self.produced = 0
         self.consumed = 0
+        # deepest fill level ever observed (tuples); read by repro.obs
+        self.high_watermark = 0
 
     @property
     def capacity(self) -> int:
@@ -107,6 +109,8 @@ class Stream:
             self._items.append(item)
             self._size += weight
             self.produced += weight
+            if self._size > self.high_watermark:
+                self.high_watermark = self._size
             self._not_empty.notify()
             return True
 

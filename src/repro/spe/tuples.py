@@ -26,7 +26,10 @@ WHOLE_PORTION = "__whole__"
 class StreamTuple:
     """Immutable-by-convention record with metadata and payload."""
 
-    __slots__ = ("tau", "job", "layer", "specimen", "portion", "payload", "ingest_time")
+    __slots__ = (
+        "tau", "job", "layer", "specimen", "portion", "payload", "ingest_time",
+        "trace_id",
+    )
 
     def __init__(
         self,
@@ -45,6 +48,9 @@ class StreamTuple:
         self.portion = portion
         self.payload: dict[str, Any] = dict(payload or {})
         self.ingest_time = time.monotonic() if ingest_time is None else ingest_time
+        # observability: set by the tracer on sampled tuples, inherited by
+        # everything derived from them (repro.obs)
+        self.trace_id: str | None = None
 
     # -- derivation helpers (keep lineage: ingest_time is inherited) ------
 
@@ -79,6 +85,7 @@ class StreamTuple:
         else:
             t.payload = payload
         t.ingest_time = self.ingest_time
+        t.trace_id = self.trace_id
         return t
 
     @staticmethod
@@ -95,7 +102,7 @@ class StreamTuple:
         if overlap:
             raise ValueError(f"fuse requires unique payload keys; duplicates: {sorted(overlap)}")
         merged = {**left.payload, **right.payload}
-        return StreamTuple(
+        t = StreamTuple(
             tau=left.tau if tau is None else tau,
             job=left.job,
             layer=left.layer,
@@ -104,6 +111,8 @@ class StreamTuple:
             portion=left.portion if left.portion is not None else right.portion,
             ingest_time=max(left.ingest_time, right.ingest_time),
         )
+        t.trace_id = left.trace_id if left.trace_id is not None else right.trace_id
+        return t
 
     def latency_from(self, now: float | None = None) -> float:
         """Seconds elapsed since this tuple's data became available."""

@@ -54,3 +54,43 @@ def test_monitor_clean_completes(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_quickstart_metrics_out(tmp_path, capsys):
+    out = tmp_path / "m.jsonl"
+    assert main(["quickstart", *SMALL, "--metrics-out", str(out)]) == 0
+    from repro.obs import read_jsonl
+
+    snapshots = read_jsonl(out)
+    assert len(snapshots) == 1
+    snap = snapshots[0]
+    operators = {s.label("operator") for s in snap.filter("spe_tuples_in_total")}
+    assert any(op and op.startswith("sink:") for op in operators)
+    assert snap.filter("spe_queue_depth").samples
+
+
+def test_top_prints_table_and_writes_metrics(tmp_path, capsys):
+    out = tmp_path / "m.jsonl"
+    code = main([
+        "top", "--image-px", "120", "--layers", "4", "--cell-edge", "5",
+        "--window", "4", "--refresh", "0.2", "--pace", "0",
+        "--metrics-out", str(out),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "OPERATOR" in printed
+    assert "QUEUE" in printed
+    assert "-- final --" in printed
+    assert "reports=" in printed
+    from repro.obs import read_jsonl
+
+    assert len(read_jsonl(out)) >= 1
+
+
+def test_metrics_out_flag_on_every_verb():
+    parser = build_parser()
+    for verb in ("quickstart", "monitor", "replay", "streaks", "figures",
+                 "recover", "top"):
+        extra = ["--state-dir", "x"] if verb == "recover" else []
+        args = parser.parse_args([verb, *extra, "--metrics-out", "m.jsonl"])
+        assert args.metrics_out == "m.jsonl"

@@ -1,0 +1,79 @@
+"""Observability end to end: live pipeline -> metrics file -> QoS alerts.
+
+Drives ``examples/live_monitoring.py`` the way an operator would — with
+``--metrics-out`` and an injected stalled layer — and asserts the issue's
+acceptance criteria: the JSONL snapshot carries per-operator queue-depth
+and latency metrics, and the QoS watchdog flags the >deadline layer.
+"""
+
+import importlib.util
+from pathlib import Path
+
+from repro.obs import read_jsonl
+
+_EXAMPLE = Path(__file__).parents[2] / "examples" / "live_monitoring.py"
+
+
+def _load_example():
+    spec = importlib.util.spec_from_file_location("live_monitoring", _EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_live_monitoring_metrics_and_qos_alert(tmp_path, capsys):
+    example = _load_example()
+    out = tmp_path / "metrics.jsonl"
+    rc = example.main([
+        "--image-px", "120",
+        "--layers", "12",
+        "--time-scale", "0.002",
+        "--stall-layer", "6",
+        "--stall-seconds", "4.5",
+        "--metrics-out", str(out),
+    ])
+    assert rc == 0
+
+    snapshots = read_jsonl(str(out))
+    assert len(snapshots) == 1
+    snap = snapshots[0]
+
+    # per-operator metrics: every scheduler node reports tuple counts
+    operators = {s.label("operator") for s in snap.filter("spe_tuples_in_total")}
+    assert any(op and op.startswith("source:") for op in operators)
+    assert any(op and op.startswith("sink:") for op in operators)
+
+    # per-queue metrics: depth and high-watermark for every stream
+    depths = snap.filter("spe_queue_depth").samples
+    assert depths, "no queue depth samples in the snapshot"
+    assert all(s.label("stream") for s in depths)
+    hwms = snap.filter("spe_queue_high_watermark").samples
+    assert {s.label("stream") for s in hwms} == {s.label("stream") for s in depths}
+
+    # end-to-end latency summary at the sink
+    stats = {s.label("stat") for s in snap.filter("strata_sink_latency_seconds")}
+    assert {"median", "p95", "p99", "max"} <= stats
+
+    # the injected >3s layer was flagged by the watchdog
+    assert snap.value("strata_qos_violations_total") >= 1
+    assert snap.value("strata_qos_layers_violated") == 1
+    assert snap.value("strata_qos_worst_latency_seconds") >= 4.5
+
+    captured = capsys.readouterr()
+    assert "QoS violation" in captured.out
+    assert "layer=6" in captured.out
+
+
+def test_live_monitoring_clean_run_has_no_alerts(tmp_path):
+    example = _load_example()
+    out = tmp_path / "metrics.jsonl"
+    rc = example.main([
+        "--image-px", "120",
+        "--layers", "8",
+        "--time-scale", "0.002",
+        "--metrics-out", str(out),
+    ])
+    assert rc == 0
+    snap = read_jsonl(str(out))[0]
+    assert snap.value("strata_qos_violations_total") == 0
+    assert snap.value("strata_qos_layers_violated") == 0

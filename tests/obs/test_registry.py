@@ -1,0 +1,143 @@
+"""Metric primitives and registry semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    Sample,
+    histogram_samples,
+)
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        registry = MetricsRegistry()
+        c = registry.counter("requests_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert g.value == 8.0
+
+    def test_callback_gauge_reads_live(self):
+        box = {"v": 1.0}
+        g = MetricsRegistry().gauge("live", fn=lambda: box["v"])
+        assert g.value == 1.0
+        box["v"] = 7.0
+        assert g.value == 7.0
+
+    def test_histogram_buckets_cumulative(self):
+        h = Histogram("t", (), buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        samples = {(s.name, s.label("le")): s.value for s in h.samples()}
+        assert samples[("t_bucket", "0.1")] == 1
+        assert samples[("t_bucket", "1")] == 3
+        assert samples[("t_bucket", "10")] == 4
+        assert samples[("t_bucket", "+Inf")] == 5
+        assert samples[("t_count", None)] == 5
+        assert samples[("t_sum", None)] == pytest.approx(56.05)
+
+    def test_histogram_requires_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("t", (), buckets=())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_dedup(self):
+        registry = MetricsRegistry()
+        a = registry.counter("hits", labels={"op": "x"})
+        b = registry.counter("hits", labels={"op": "x"})
+        c = registry.counter("hits", labels={"op": "y"})
+        assert a is b
+        assert a is not c
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(TypeError):
+            registry.gauge("thing")
+        with pytest.raises(TypeError):
+            registry.histogram("thing")
+
+    def test_collector_runs_at_snapshot_time(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def collect():
+            calls.append(1)
+            return [Sample("lazy", (), float(len(calls)))]
+
+        registry.register_collector("lazy", collect)
+        assert not calls
+        assert registry.snapshot().value("lazy") == 1.0
+        assert registry.snapshot().value("lazy") == 2.0
+        registry.unregister_collector("lazy")
+        assert registry.snapshot().value("lazy") is None
+
+    def test_help_resolves_histogram_suffixes(self):
+        registry = MetricsRegistry()
+        registry.set_help("lat", "latency dist")
+        assert registry.help_for("lat_bucket") == "latency dist"
+        assert registry.help_for("lat_sum") == "latency dist"
+        assert registry.help_for("lat") == "latency dist"
+        assert registry.help_for("other") == ""
+
+    def test_concurrent_counter_increments(self):
+        c = MetricsRegistry().counter("n")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestSnapshot:
+    def _snap(self):
+        return MetricsSnapshot(
+            wall_time=1.0,
+            samples=[
+                Sample("in_total", (("op", "a"),), 5.0, "counter"),
+                Sample("in_total", (("op", "b"),), 7.0, "counter"),
+                Sample("depth", (("stream", "q1"),), 3.0),
+            ],
+        )
+
+    def test_filter_by_name_prefix_and_labels(self):
+        snap = self._snap()
+        assert len(snap.filter("in_total")) == 2
+        assert len(snap.filter(op="a")) == 1
+        assert len(snap.filter("in_total", op="b")) == 1
+        assert snap.filter("in_total", op="b").samples[0].value == 7.0
+
+    def test_value_and_names(self):
+        snap = self._snap()
+        assert snap.value("depth", stream="q1") == 3.0
+        assert snap.value("missing") is None
+        assert snap.value("missing", default=0.0) == 0.0
+        assert snap.names() == ["depth", "in_total"]
+
+    def test_histogram_samples_monotone(self):
+        samples = histogram_samples("h", (), [0.1, 1.0], [2, 3, 1], 4.2, 6)
+        buckets = [s.value for s in samples if s.name == "h_bucket"]
+        assert buckets == sorted(buckets)
+        assert buckets[-1] == 6.0

@@ -1,0 +1,89 @@
+"""Sampled tracing: stamping, span recording, FIFO eviction."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.spe.tuples import StreamTuple
+
+
+def _tuple(layer=0):
+    return StreamTuple(tau=float(layer), job="j", layer=layer, payload={})
+
+
+class TestSampling:
+    def test_every_nth_tuple_is_stamped(self):
+        tracer = Tracer(sample_every=4)
+        stamped = []
+        for i in range(10):
+            t = _tuple(i)
+            tracer.at_source("src", t)
+            if t.trace_id is not None:
+                stamped.append(i)
+        assert stamped == [0, 4, 8]
+        assert tracer.sampled == 3
+
+    def test_trace_id_encodes_source_and_seq(self):
+        tracer = Tracer(sample_every=1)
+        t = _tuple()
+        tracer.at_source("source:OT", t)
+        assert t.trace_id == "source:OT#0"
+
+    def test_sources_sample_independently(self):
+        tracer = Tracer(sample_every=2)
+        for i in range(4):
+            tracer.at_source("a", _tuple(i))
+        tracer.at_source("b", _tuple(0))
+        assert sorted(tracer.trace_ids()) == ["a#0", "a#2", "b#0"]
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_every=0)
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+class TestSpans:
+    def test_spans_accumulate_in_order(self):
+        tracer = Tracer(sample_every=1)
+        t = _tuple(layer=3)
+        tracer.at_source("src", t)
+        tracer.record(t.trace_id, "fuse", "operator", 0.01, t)
+        tracer.record(t.trace_id, "sink", "sink", 0.002, t)
+        trace = tracer.trace(t.trace_id)
+        assert trace.nodes == ["src", "fuse", "sink"]
+        assert trace.total_duration_s == pytest.approx(0.012)
+        assert trace.spans[1].layer == 3
+        assert "3 spans" in trace.format()
+
+    def test_derived_tuples_carry_the_trace_id(self):
+        tracer = Tracer(sample_every=1)
+        t = _tuple()
+        tracer.at_source("src", t)
+        child = t.derive(payload={"x": 1})
+        assert child.trace_id == t.trace_id
+
+    def test_fused_tuple_inherits_either_side(self):
+        left, right = _tuple(), _tuple()
+        left.trace_id = "a#0"
+        assert StreamTuple.fused(left, right).trace_id == "a#0"
+        left.trace_id = None
+        right.trace_id = "b#0"
+        assert StreamTuple.fused(left, right).trace_id == "b#0"
+
+
+class TestEviction:
+    def test_oldest_trace_evicted_first(self):
+        tracer = Tracer(sample_every=1, max_traces=2)
+        for i in range(3):
+            tracer.record(f"t{i}", "n", "operator", 0.0)
+        assert tracer.trace_ids() == ["t1", "t2"]
+        assert tracer.trace("t0") is None
+        assert len(tracer) == 2
+
+    def test_recording_into_live_trace_does_not_evict(self):
+        tracer = Tracer(sample_every=1, max_traces=2)
+        tracer.record("a", "n1", "operator", 0.0)
+        tracer.record("b", "n1", "operator", 0.0)
+        tracer.record("a", "n2", "operator", 0.0)
+        assert sorted(tracer.trace_ids()) == ["a", "b"]
+        assert tracer.trace("a").nodes == ["n1", "n2"]

@@ -1,0 +1,80 @@
+"""QoS watchdog: deadline checks, alert dedup, metrics export."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, QoSWatchdog, RECOAT_GAP_SECONDS
+from repro.spe.tuples import StreamTuple
+
+
+def _result(job="j", layer=0, specimen="S00"):
+    return StreamTuple(
+        tau=float(layer), job=job, layer=layer, specimen=specimen, payload={}
+    )
+
+
+class TestDeadline:
+    def test_default_deadline_is_the_recoat_gap(self):
+        assert QoSWatchdog().deadline_s == RECOAT_GAP_SECONDS == 3.0
+
+    def test_on_time_results_raise_no_alert(self):
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe(_result(), 0.5, "sink")
+        assert not dog.alerts
+        assert dog.violations == 0
+        assert dog.violation_rate == 0.0
+
+    def test_late_result_alerts_once_per_layer_and_sink(self):
+        alerts = []
+        dog = QoSWatchdog(deadline_s=1.0, on_alert=alerts.append)
+        dog.observe(_result(layer=5, specimen="S00"), 2.0, "sink")
+        dog.observe(_result(layer=5, specimen="S01"), 2.5, "sink")
+        dog.observe(_result(layer=5), 2.0, "other-sink")
+        dog.observe(_result(layer=6), 2.0, "sink")
+        assert dog.violations == 4
+        assert len(alerts) == 3  # (layer5,sink) deduped, other pairs fire
+        assert alerts[0].layer == 5 and alerts[0].sink == "sink"
+        assert "layer=5" in alerts[0].format()
+
+    def test_invalid_deadline_rejected(self):
+        with pytest.raises(ValueError):
+            QoSWatchdog(deadline_s=0)
+
+
+class TestLayerTracking:
+    def test_worst_latency_per_layer(self):
+        dog = QoSWatchdog(deadline_s=10.0)
+        dog.observe(_result(layer=1), 0.2, "s")
+        dog.observe(_result(layer=1), 0.9, "s")
+        dog.observe(_result(layer=2), 0.4, "s")
+        latencies = dog.layer_latencies()
+        assert latencies[("j", 1)].worst_s == 0.9
+        assert latencies[("j", 1)].results == 2
+        assert dog.worst_latency_s() == 0.9
+        assert dog.violated_layers() == []
+
+    def test_violated_layers_sorted(self):
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe(_result(layer=9), 5.0, "s")
+        dog.observe(_result(layer=2), 5.0, "s")
+        dog.observe(_result(layer=4), 0.5, "s")
+        assert dog.violated_layers() == [("j", 2), ("j", 9)]
+
+    def test_layer_cap_evicts_oldest(self):
+        dog = QoSWatchdog(deadline_s=1.0, max_layers=2)
+        for layer in range(3):
+            dog.observe(_result(layer=layer), 0.1, "s")
+        assert sorted(k[1] for k in dog.layer_latencies()) == [1, 2]
+
+
+class TestMetricsExport:
+    def test_attached_registry_tracks_violations(self):
+        registry = MetricsRegistry()
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.attach_metrics(registry)
+        dog.observe(_result(layer=1), 4.0, "s")
+        dog.observe(_result(layer=2), 0.3, "s")
+        snap = registry.snapshot()
+        assert snap.value("strata_qos_deadline_seconds") == 1.0
+        assert snap.value("strata_qos_violations_total") == 1.0
+        assert snap.value("strata_qos_worst_latency_seconds") == 4.0
+        assert snap.value("strata_qos_layers_violated") == 1.0

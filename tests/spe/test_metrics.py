@@ -75,3 +75,55 @@ def test_throughput_meter_auto_start():
     meter.add(5)
     assert meter.count == 5
     assert meter.elapsed() > 0
+
+
+def test_throughput_meter_never_started_reads_zero():
+    meter = ThroughputMeter()
+    assert meter.elapsed() == 0.0
+    assert meter.per_second() == 0.0  # must not raise ZeroDivisionError
+
+
+def test_throughput_meter_live_read_without_stop():
+    meter = ThroughputMeter()
+    meter.start()
+    meter.add(50)
+    live = meter.per_second()
+    assert live > 0
+    assert meter.elapsed() > 0
+    # still live: a later read covers a longer interval, so the rate drops
+    import time
+
+    time.sleep(0.01)
+    assert meter.elapsed() >= 0.01
+    assert meter.per_second() < live
+
+
+def test_throughput_meter_stop_freezes_interval():
+    import time
+
+    meter = ThroughputMeter()
+    meter.start()
+    meter.add(10)
+    meter.stop()
+    frozen = meter.elapsed()
+    time.sleep(0.01)
+    assert meter.elapsed() == frozen
+    assert meter.per_second() == pytest.approx(10 / frozen)
+
+
+def test_operator_stats_timing_histogram():
+    from repro.spe.metrics import OperatorStats
+
+    stats = OperatorStats(name="op")
+    assert stats.timing_counts is None  # off by default: zero-overhead path
+    stats.enable_timing((0.001, 0.1))
+    stats.record_time(0.0005)
+    stats.record_time(0.05)
+    stats.record_time(5.0)
+    assert stats.timing_counts == [1, 1, 1]
+    assert stats.timing_total == 3
+    # idempotent for the same bounds; conflicting bounds rejected
+    stats.enable_timing((0.001, 0.1))
+    assert stats.timing_total == 3
+    with pytest.raises(Exception):
+        stats.enable_timing(())
