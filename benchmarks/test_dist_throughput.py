@@ -1,0 +1,176 @@
+"""Distributed runtime — multi-process deployment vs in-process threading.
+
+The distributed coordinator cuts the pub/sub pipeline into stages and
+forks one worker process per stage group, wired through the networked
+broker. This benchmark replays the evaluation build through both
+deployments and holds the distributed one to two promises:
+
+* **no divergence** — the detected-event output must be identical (same
+  canonical result set) to the in-process threaded run;
+* **honest accounting** — throughput and latency of both variants land in
+  ``BENCH_dist.json`` at the repository root so CI can archive them and
+  the dist-smoke job can flag regressions.
+
+Crossing process boundaries costs serialization and socket hops, so the
+distributed variant is *expected* to be slower on a single machine at
+this workload size; the benchmark gates on correctness, not on a speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import EvaluationWorkload, format_table
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+
+BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_dist.json"
+
+WINDOW_LAYERS = 6
+
+VARIANTS: dict[str, object] = {
+    "in-process": None,  # threaded engine, pub/sub connectors, one process
+    "distributed": "workers",  # coordinator + forked stage workers
+}
+
+_results: dict[str, dict] = {}
+
+
+def _layers() -> int:
+    return int(os.environ.get("REPRO_BENCH_DIST_LAYERS", 12))
+
+
+def _workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_DIST_WORKERS", 2))
+
+
+def _result_key(t):
+    # within-layer arrival order varies between deployments, so compare
+    # the order-insensitive identity of each verdict
+    return (t.job, t.layer, t.specimen, t.payload["num_events"],
+            t.payload["num_clusters"])
+
+
+@pytest.fixture(scope="module")
+def dist_workload(profile):
+    return EvaluationWorkload(
+        image_px=profile.image_px, layers=_layers(), seed=7
+    )
+
+
+def _deploy(profile, workload: EvaluationWorkload, variant: str) -> dict:
+    config = UseCaseConfig(
+        image_px=workload.image_px,
+        cell_edge_px=profile.scale_cell_edge(20),
+        window_layers=WINDOW_LAYERS,
+    )
+    strata = Strata(engine_mode="threaded", connector_mode="pubsub")
+    calibrate_job(
+        strata.kv, workload.job.job_id, workload.reference_images(3),
+        config.cell_edge_px,
+        regions=specimen_regions_px(workload.job.specimens, workload.image_px),
+    )
+    records = workload.records
+    pipeline = build_use_case(
+        iter(records), iter(records), config, strata=strata
+    )
+    started = time.monotonic()
+    if VARIANTS[variant] is None:
+        report = strata.deploy()
+    else:
+        report = strata.deploy(distributed=_workers())
+    wall = time.monotonic() - started
+    # read latency off the expert sink itself: the pub/sub report also
+    # lists the connector writer sinks, so the report-level helper is
+    # ambiguous here
+    latency = pipeline.sink.latency.summary()
+    samples = pipeline.sink.latency.samples()
+    out = {
+        "wall_seconds": wall,
+        "achieved_images_s": len(records) / wall,
+        "results": len(pipeline.sink.results),
+        "mean_latency_s": sum(samples) / max(1, len(samples)),
+        "median_latency_s": latency.median,
+        "max_latency_s": latency.maximum,
+        "result_keys": sorted(map(_result_key, pipeline.sink.results)),
+    }
+    if variant == "distributed":
+        dist = report.extra["dist"]
+        out["workers"] = len(dist["workers"])
+        out["restarts"] = dist["restarts"]
+    return out
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS))
+def test_dist_throughput_variant(benchmark, profile, dist_workload, variant):
+    runs: list[dict] = []
+
+    def run_once():
+        run = _deploy(profile, dist_workload, variant)
+        runs.append(run)
+        return run
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)
+    run = max(runs, key=lambda r: r["achieved_images_s"])
+    _results[variant] = run
+    benchmark.extra_info.update(
+        variant=variant,
+        achieved_images_s=round(run["achieved_images_s"], 2),
+        mean_latency_ms=round(run["mean_latency_s"] * 1e3, 2),
+    )
+
+
+def test_dist_throughput_report(benchmark, profile):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
+    assert len(_results) == len(VARIANTS)
+    rows = [
+        [
+            name,
+            round(run["achieved_images_s"], 2),
+            run["results"],
+            round(run["mean_latency_s"] * 1e3, 1),
+            round(run["max_latency_s"] * 1e3, 1),
+        ]
+        for name, run in _results.items()
+    ]
+    print("\n=== Distributed deployment: multi-process vs in-process ===")
+    print(format_table(
+        ["variant", "achieved_img_s", "results", "mean_lat_ms", "max_lat_ms"],
+        rows,
+    ))
+
+    base = _results["in-process"]
+    dist = _results["distributed"]
+    payload = {
+        "profile": profile.name,
+        "layers": _layers(),
+        "workers": _workers(),
+        "window_layers": WINDOW_LAYERS,
+        "variants": {
+            name: {k: v for k, v in run.items() if k != "result_keys"}
+            for name, run in _results.items()
+        },
+        "throughput_ratio_dist_over_inproc": (
+            dist["achieved_images_s"] / base["achieved_images_s"]
+        ),
+        "results_identical": dist["result_keys"] == base["result_keys"],
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"distributed / in-process throughput: "
+          f"{payload['throughput_ratio_dist_over_inproc']:.3f}x -> {BENCH_JSON}")
+
+    # the divergence gate: a distributed deployment must not change results
+    assert dist["result_keys"] == base["result_keys"], (
+        "distributed run diverged from the in-process baseline"
+    )
+    assert dist["restarts"] == 0  # no crash-looping under normal operation

@@ -9,7 +9,9 @@ writing any code:
 * ``streaks``    — the recoater-streak use case;
 * ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps;
 * ``recover``    — checkpointed run with crash simulation and recovery;
-* ``top``        — live per-operator metrics table while a build runs.
+* ``top``        — live per-operator metrics table while a build runs;
+* ``broker``     — serve an in-process broker over TCP for remote clients;
+* ``worker``     — run pipeline stages against a remote broker.
 
 Every verb accepts ``--metrics-out FILE`` to enable the observability
 layer and append JSON-lines metric snapshots (one line per scrape; the
@@ -489,6 +491,60 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(value: str) -> tuple[str, int]:
+    host, sep, port = value.rpartition(":")
+    if not sep or not port.isdigit():
+        raise argparse.ArgumentTypeError(
+            f"broker address must be HOST:PORT, got {value!r}"
+        )
+    return (host or "127.0.0.1", int(port))
+
+
+def cmd_broker(args: argparse.Namespace) -> int:
+    """Serve a fresh broker over TCP until interrupted."""
+    import time
+
+    from .net import BrokerServer
+    from .pubsub import Broker
+
+    server = BrokerServer(
+        Broker(), host=args.host, port=args.port, allow_pickle=args.allow_pickle
+    )
+    host, port = server.start()
+    print(f"broker listening on {host}:{port} (ctrl-c to stop)")
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Rebuild a pipeline from source and run chosen stages remotely."""
+    from .dist import run_worker_from_ref
+    from .net import NetError
+    from .serde import SerdeError
+
+    if not args.list_stages and not args.stage:
+        print("error: --stage is required (or use --list-stages)", file=sys.stderr)
+        return 2
+    try:
+        return run_worker_from_ref(
+            args.pipeline,
+            args.stage or [],
+            args.broker,
+            worker_name=args.name,
+            allow_pickle=args.allow_pickle,
+            list_stages=args.list_stages,
+        )
+    except (NetError, SerdeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one subcommand per flow)."""
     parser = argparse.ArgumentParser(
@@ -548,6 +604,32 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--pace", type=float, default=0.05,
                     help="seconds between layer arrivals (0 = flat out)")
     sp.set_defaults(fn=cmd_top)
+
+    sp = subparsers.add_parser(
+        "broker", help="serve an in-process broker over TCP"
+    )
+    sp.add_argument("--host", default="127.0.0.1", help="bind address")
+    sp.add_argument("--port", type=int, default=9400,
+                    help="bind port (0 = ephemeral)")
+    sp.add_argument("--allow-pickle", action="store_true",
+                    help="accept pickle-coded values (trusted networks only)")
+    sp.set_defaults(fn=cmd_broker)
+
+    sp = subparsers.add_parser(
+        "worker", help="run pipeline stages against a remote broker"
+    )
+    sp.add_argument("--broker", type=_parse_address, required=True,
+                    metavar="HOST:PORT", help="broker server address")
+    sp.add_argument("--pipeline", required=True, metavar="MODULE:CALLABLE",
+                    help="factory returning an undeployed Strata (or Query)")
+    sp.add_argument("--stage", type=int, action="append", metavar="N",
+                    help="stage index to run (repeatable)")
+    sp.add_argument("--name", default=None, help="worker name for heartbeats")
+    sp.add_argument("--list-stages", action="store_true",
+                    help="print the pipeline's stage cut and exit")
+    sp.add_argument("--allow-pickle", action="store_true",
+                    help="send/accept pickle-coded values (trusted networks only)")
+    sp.set_defaults(fn=cmd_worker)
 
     return parser
 

@@ -121,6 +121,16 @@ class Strata:
         """The pub/sub broker backing the connectors."""
         return self._broker
 
+    @property
+    def query(self) -> Query:
+        """The logical query being composed (used by the distributed CLI)."""
+        return self._query
+
+    @property
+    def capacity(self) -> int | None:
+        """Default stream capacity passed to the engine."""
+        return self._capacity
+
     def store(self, key: str, value: Any) -> None:
         """Persist data-at-rest (Table 1 ``store(k, v)``)."""
         self._store.put(key, value)
@@ -324,6 +334,7 @@ class Strata:
         checkpointer: Any | None = None,
         recover_from: Any | None = None,
         optimize: Any | None = None,
+        distributed: Any | None = None,
     ) -> RunReport:
         """Run the composed pipeline to completion (finite sources).
 
@@ -340,10 +351,41 @@ class Strata:
         the graph exactly as declared. Checkpoints stay portable between
         optimized and unoptimized deployments.
 
+        ``distributed`` runs the deployment across worker *processes*
+        instead of threads: ``True`` forks one worker per pub/sub stage,
+        an int caps the worker count, a :class:`~repro.dist.DistConfig`
+        sets every knob. Requires ``connector_mode='pubsub'`` — the stage
+        cuts *are* the connector edges. Worker crash recovery is built in
+        (replay + dedup); the checkpointer/recovery subsystem is for the
+        in-process engine and cannot be combined with ``distributed``.
+
         With observability enabled (``Strata(obs=...)``), the run's final
         metrics snapshot lands in ``report.extra["metrics"]`` and stays
         queryable via :meth:`metrics` afterwards.
         """
+        from ..dist import DistConfig, run_distributed
+
+        dist_config = DistConfig.resolve(distributed)
+        if dist_config is not None:
+            if self._connector_mode != "pubsub":
+                raise DeploymentError(
+                    "distributed deployment requires connector_mode='pubsub' "
+                    "(stages are cut at the pub/sub connector edges)"
+                )
+            if checkpointer is not None or recover_from is not None:
+                raise DeploymentError(
+                    "distributed deployment has its own crash recovery "
+                    "(replay + dedup); checkpointer/recover_from do not apply"
+                )
+            self._deployed = True
+            return run_distributed(
+                self._query,
+                self._broker,
+                dist_config,
+                obs=self._obs,
+                capacity=self._capacity,
+                plan=optimize,
+            )
         self._deployed = True
         self._attach_checkpoint_metrics(checkpointer)
         return self._engine.run(

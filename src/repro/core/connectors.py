@@ -5,8 +5,15 @@ Aggregator with publish/subscribe connectors so detection methods can be
 "continuously deployed, run, and decommissioned" independently. These
 adapters bridge SPE streams over broker topics: a :class:`PubSubWriterSink`
 publishes every tuple of a stream to a topic (plus an end-of-stream
-sentinel when the query side closes), and a :class:`PubSubReaderSource`
-replays a topic into another query until it sees that sentinel.
+sentinel per partition when the query side closes), and a
+:class:`PubSubReaderSource` replays a topic into another query until every
+partition has delivered its sentinel.
+
+The ``broker`` argument is duck-typed: an in-process
+:class:`~repro.pubsub.broker.Broker` yields local clients, while anything
+exposing ``producer()``/``consumer()`` factories (a
+:class:`~repro.net.client.BrokerClient`) yields remote ones — the same
+connector graph runs in one process or across machines unchanged.
 
 Connectors require the threaded engine (a reader blocks waiting for
 records); the direct fast path wires modules with plain streams instead.
@@ -15,7 +22,7 @@ records); the direct fast path wires modules with plain streams instead.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator
+from typing import Any, Iterator
 
 from ..pubsub.broker import Broker
 from ..pubsub.consumer import Consumer
@@ -35,51 +42,162 @@ def topic_for_stream(stream_name: str) -> str:
     return f"strata.{stream_name}"
 
 
+def _producer_for(broker: Any) -> Any:
+    """A producer client for an in-process broker or a network endpoint."""
+    if isinstance(broker, Broker):
+        return Producer(broker)
+    if hasattr(broker, "producer"):
+        return broker.producer()
+    raise TypeError(
+        f"broker must be a Broker or expose producer(), got {type(broker).__name__}"
+    )
+
+
+def _consumer_for(
+    broker: Any,
+    group: str,
+    topics: list[str],
+    auto_offset_reset: str,
+    auto_commit: bool,
+) -> Any:
+    """A consumer client for an in-process broker or a network endpoint."""
+    if isinstance(broker, Broker):
+        return Consumer(
+            broker,
+            group,
+            topics,
+            auto_offset_reset=auto_offset_reset,
+            auto_commit=auto_commit,
+        )
+    if hasattr(broker, "consumer"):
+        return broker.consumer(
+            group,
+            topics,
+            auto_offset_reset=auto_offset_reset,
+            auto_commit=auto_commit,
+        )
+    raise TypeError(
+        f"broker must be a Broker or expose consumer(), got {type(broker).__name__}"
+    )
+
+
+def _content_key(t: StreamTuple) -> tuple:
+    """Identity of one logical record, stable across replays."""
+    return (t.tau, t.job, t.layer, t.specimen, t.portion)
+
+
 class PubSubWriterSink(Sink):
     """Terminates a query branch by publishing its tuples to a topic."""
 
-    def __init__(self, name: str, broker: Broker, topic: str) -> None:
+    def __init__(self, name: str, broker: Any, topic: str) -> None:
         super().__init__(name)
-        self._producer = Producer(broker)
+        self._producer = _producer_for(broker)
         self._topic = topic
 
     @property
     def topic(self) -> str:
         return self._topic
 
+    def rebind(self, broker: Any) -> None:
+        """Point this sink at a different broker (same topic).
+
+        The distributed runtime uses this after forking a worker: the
+        inherited producer references the coordinator's in-process broker,
+        which is unreachable from the child — rebinding swaps in a network
+        client without touching the rest of the node graph.
+        """
+        self._producer = _producer_for(broker)
+
     def consume(self, t: StreamTuple) -> None:
         self._producer.send(self._topic, t, key=f"{t.job}/{t.layer}", timestamp=t.tau)
 
     def on_close(self) -> None:
-        """Publish the end-of-stream sentinel once the branch closes."""
-        self._producer.send(self._topic, EOS_SENTINEL)
+        """Publish one end-of-stream sentinel to *every* partition.
+
+        A keyed send would land the sentinel in a single partition, and a
+        reader consuming a multi-partition topic would hang waiting on the
+        others — so the sentinel is broadcast per partition explicitly.
+        """
+        for partition in range(self._producer.partitions_of(self._topic)):
+            self._producer.send(self._topic, EOS_SENTINEL, partition=partition)
         super().on_close()
 
 
 class PubSubReaderSource(Source):
-    """Feeds a query from a topic until the EOS sentinel arrives."""
+    """Feeds a query from a topic until every partition reaches EOS.
+
+    ``dedup=True`` suppresses records whose content key
+    ``(tau, job, layer, specimen, portion)`` was already delivered — the
+    at-least-once replay filter the distributed runtime relies on when a
+    restarted upstream worker republishes its output.
+    """
 
     def __init__(
         self,
         name: str,
-        broker: Broker,
+        broker: Any,
         topic: str,
         group: str | None = None,
         poll_timeout: float = 0.05,
+        auto_commit: bool = True,
+        dedup: bool = False,
     ) -> None:
         super().__init__(name)
-        broker.ensure_topic(topic)
-        self._consumer = Consumer(
-            broker,
-            group or f"strata-reader-{next(_uid)}",
-            [topic],
-            auto_offset_reset="earliest",
-        )
+        self._broker = broker
+        self._topic = topic
+        self._group = group or f"strata-reader-{next(_uid)}"
         self._poll_timeout = poll_timeout
+        self._auto_commit = auto_commit
+        self._dedup = dedup
+        self._duplicates = 0
+        self._consumer = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self._broker.ensure_topic(self._topic)
+        self._consumer = _consumer_for(
+            self._broker,
+            self._group,
+            [self._topic],
+            auto_offset_reset="earliest",
+            auto_commit=self._auto_commit,
+        )
 
     @property
-    def consumer(self) -> Consumer:
+    def consumer(self):
         return self._consumer
+
+    @property
+    def topic(self) -> str:
+        return self._topic
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        """Replayed records dropped by the dedup filter so far."""
+        return self._duplicates
+
+    def rebind(
+        self,
+        broker: Any,
+        auto_commit: bool | None = None,
+        dedup: bool | None = None,
+    ) -> None:
+        """Reconnect to a different broker, keeping topic and group.
+
+        Used by the distributed runtime after a fork (see
+        :meth:`PubSubWriterSink.rebind`); ``auto_commit``/``dedup``
+        override the stored settings when given.
+        """
+        self._broker = broker
+        if auto_commit is not None:
+            self._auto_commit = auto_commit
+        if dedup is not None:
+            self._dedup = dedup
+        self._connect()
 
     def offsets(self) -> list[list]:
         """Replay positions as ``[topic, partition, next_offset]`` triples."""
@@ -99,10 +217,19 @@ class PubSubReaderSource(Source):
             self._consumer.commit(topic, int(partition), int(offset))
 
     def __iter__(self) -> Iterator[StreamTuple]:
-        while True:
+        pending = set(self._consumer.assignment)
+        seen: set[tuple] = set()
+        while pending:
             for message in self._consumer.poll(timeout=self._poll_timeout):
-                if message.value == EOS_SENTINEL:
-                    return
+                if isinstance(message.value, str) and message.value == EOS_SENTINEL:
+                    pending.discard((message.topic, message.partition))
+                    continue
+                if self._dedup and isinstance(message.value, StreamTuple):
+                    key = _content_key(message.value)
+                    if key in seen:
+                        self._duplicates += 1
+                        continue
+                    seen.add(key)
                 # Do NOT restamp ingest_time: latency spans the connector
                 # hop too (data was available when the writer received it).
                 yield message.value

@@ -1,0 +1,402 @@
+"""The distributed coordinator: one deploy, many processes.
+
+The coordinator owns the broker (served over TCP by
+:class:`~repro.net.server.BrokerServer`), cuts the built query into stages
+at the pub/sub connector edges, forks one worker process per stage group,
+and runs the terminal stage — the one delivering to the expert's sinks —
+in its own process so results land in the objects the user holds.
+
+Supervision is process-first: a worker that dies with a non-zero exit
+code is re-forked from the coordinator's pristine copy of its stage (up
+to ``restart_limit`` times); the replacement replays its input topics
+from the earliest offset and the content-key dedup filters downstream
+keep the final output identical. Heartbeats carry per-worker liveness and
+an observability snapshot, aggregated here and exposed through the
+Prometheus exporter (``scrape_port``).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.connectors import EOS_SENTINEL
+from ..net.server import BrokerServer
+from ..obs.exporters import snapshot_from_dict, to_prometheus
+from ..obs.registry import MetricsSnapshot, Sample
+from ..pubsub.broker import Broker
+from ..pubsub.producer import Producer
+from ..spe.engine import RunReport
+from ..spe.plan import PlanConfig, compile_plan
+from ..spe.query import Query
+from .stages import StageSpec, assign_stages, cut_stages
+from .worker import WorkerProcess, _scheduler_for
+
+logger = logging.getLogger(__name__)
+
+
+class DistError(Exception):
+    """A distributed deployment failed (worker death past the restart budget)."""
+
+
+@dataclass
+class DistConfig:
+    """Knobs for a distributed deployment.
+
+    ``workers``             worker process count (None = one per remote stage).
+    ``allow_pickle``        enable pickle frames on the loopback links; the
+                            runtime owns both endpoints, so this is the
+                            trusted-path default (standalone servers default
+                            to refusing pickle).
+    ``restart_limit``       automatic re-forks per worker before giving up.
+    ``scrape_port``         serve aggregated metrics over HTTP (None = off,
+                            0 = ephemeral port).
+    """
+
+    workers: int | None = None
+    host: str = "127.0.0.1"
+    port: int = 0
+    allow_pickle: bool = True
+    heartbeat_interval: float = 0.25
+    liveness_timeout: float = 5.0
+    restart_limit: int = 2
+    scrape_port: int | None = None
+    worker_obs: bool = True
+    start_method: str = "fork"
+    worker_join_timeout: float = 60.0
+
+    @classmethod
+    def resolve(cls, value: Any) -> "DistConfig | None":
+        """Normalize the ``distributed=`` argument of user-facing APIs."""
+        if value is None or value is False:
+            return None
+        if value is True:
+            return cls()
+        if isinstance(value, bool):  # pragma: no cover - covered above
+            return None
+        if isinstance(value, int):
+            if value < 1:
+                raise ValueError("distributed worker count must be >= 1")
+            return cls(workers=value)
+        if isinstance(value, cls):
+            return value
+        raise TypeError(
+            f"distributed must be bool, int or DistConfig, got {value!r}"
+        )
+
+
+class DistCoordinator:
+    """Runs one built query across worker processes; see module docstring."""
+
+    def __init__(
+        self,
+        query: Query,
+        broker: Broker,
+        config: DistConfig | None = None,
+        obs: Any | None = None,
+        capacity: int | None = None,
+        plan: Any | None = None,
+    ) -> None:
+        self._query = query
+        self._broker = broker
+        self._config = config if config is not None else DistConfig()
+        self._obs = obs
+        self._capacity = capacity
+        self._plan = PlanConfig.resolve(plan)
+        self._server = BrokerServer(
+            broker,
+            self._config.host,
+            self._config.port,
+            allow_pickle=self._config.allow_pickle,
+        )
+        self._stages: list[StageSpec] = []
+        self._local_stages: list[StageSpec] = []
+        self._workers: list[WorkerProcess] = []
+        self._monitor: threading.Thread | None = None
+        self._done = threading.Event()
+        self._failure: str | None = None
+        self._failure_lock = threading.Lock()
+        self._final_beats: dict[str, dict] | None = None
+        self._scrape_server: Any | None = None
+        self._started = False
+        self._stopped = False
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def stages(self) -> list[StageSpec]:
+        return list(self._stages)
+
+    @property
+    def workers(self) -> list[WorkerProcess]:
+        return list(self._workers)
+
+    @property
+    def server(self) -> BrokerServer:
+        return self._server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.address
+
+    @property
+    def scrape_address(self) -> tuple[str, int] | None:
+        if self._scrape_server is None:
+            return None
+        return self._scrape_server.server_address[:2]
+
+    def status(self) -> dict[str, Any]:
+        """Cluster status: stages, per-worker state, restarts, failures."""
+        local_dupes = sum(
+            reader.duplicates_suppressed
+            for stage in self._local_stages
+            for reader in stage.readers()
+        )
+        return {
+            "stages": [stage.describe() for stage in self._stages],
+            "workers": {worker.name: worker.status() for worker in self._workers},
+            "restarts": sum(worker.restarts for worker in self._workers),
+            "failure": self._failure,
+            "duplicates_suppressed_local": local_dupes,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Cut stages, start the server and the workers; returns the address."""
+        if self._started:
+            raise RuntimeError("coordinator already started")
+        self._started = True
+        nodes = compile_plan(
+            self._query.build(capacity=self._capacity), self._plan
+        )
+        self._stages = cut_stages(nodes)
+        groups, self._local_stages = assign_stages(
+            self._stages, self._config.workers
+        )
+        address = self._server.start()
+        # The terminal stage replays alongside restarted workers: it must
+        # never resume from commits and must drop replayed records.
+        for stage in self._local_stages:
+            for reader in stage.readers():
+                reader.rebind(self._broker, auto_commit=False, dedup=True)
+        self._workers = [
+            WorkerProcess(
+                f"worker-{i}",
+                group,
+                address,
+                allow_pickle=self._config.allow_pickle,
+                heartbeat_interval=self._config.heartbeat_interval,
+                obs=self._config.worker_obs,
+                plan=self._plan,
+                start_method=self._config.start_method,
+            )
+            for i, group in enumerate(groups)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="dist-monitor", daemon=True
+        )
+        self._monitor.start()
+        if self._config.scrape_port is not None:
+            self._start_scrape(self._config.scrape_port)
+        logger.info(
+            "distributed deployment: %d stage(s), %d worker(s) at %s:%d",
+            len(self._stages), len(self._workers), *address,
+        )
+        return address
+
+    def run(self) -> RunReport:
+        """Start (if needed), run the terminal stage to completion, report."""
+        if not self._started:
+            self.start()
+        local_nodes = [
+            node for stage in self._local_stages for node in stage.nodes
+        ]
+        if self._obs is not None:
+            self._obs.bind(local_nodes)
+        started = time.monotonic()
+        scheduler = _scheduler_for(self._plan, self._obs)
+        stats = scheduler.run(local_nodes)
+        wall = time.monotonic() - started
+        self.shutdown()
+        if self._failure is not None:
+            raise DistError(self._failure)
+        report = RunReport(
+            query_name=self._query.name,
+            operator_stats=stats,
+            sinks={
+                node.name: node.sink
+                for node in local_nodes
+                if node.kind == "sink"
+            },
+            wall_seconds=wall,
+        )
+        report.extra["dist"] = self.status()
+        if self._plan is not None:
+            report.extra["plan"] = self._plan.describe()
+        if self._obs is not None:
+            report.extra["metrics"] = self._obs.snapshot()
+        worker_metrics = self.worker_metrics()
+        if worker_metrics:
+            report.extra["worker_metrics"] = worker_metrics
+        return report
+
+    def shutdown(self) -> None:
+        """Join/terminate workers, capture final heartbeats, stop serving."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._done.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        for worker in self._workers:
+            worker.join(self._config.worker_join_timeout)
+            if worker.alive():
+                logger.warning("terminating straggler %s", worker.name)
+                worker.terminate()
+            elif worker.exitcode == 0:
+                worker.finished = True
+        self._final_beats = self._server.workers()
+        if self._scrape_server is not None:
+            self._scrape_server.shutdown()
+            self._scrape_server.server_close()
+        self._server.stop()
+
+    def stop(self) -> None:
+        """Abort: terminate workers immediately and stop serving."""
+        if self._stopped:
+            return
+        self._stopped = True
+        self._done.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        for worker in self._workers:
+            worker.terminate(timeout=1.0)
+        self._final_beats = self._server.workers()
+        if self._scrape_server is not None:
+            self._scrape_server.shutdown()
+            self._scrape_server.server_close()
+        self._server.stop()
+
+    # -- supervision ----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        while not self._done.wait(0.1):
+            for worker in self._workers:
+                if worker.finished or worker.alive():
+                    continue
+                code = worker.exitcode
+                if code is None:
+                    continue  # between incarnations
+                if code == 0:
+                    worker.finished = True
+                elif worker.restarts < self._config.restart_limit:
+                    logger.warning(
+                        "worker %s died (exit %s); restarting (attempt %d/%d)",
+                        worker.name, code,
+                        worker.restarts + 1, self._config.restart_limit,
+                    )
+                    worker.restart()
+                else:
+                    self._fail(
+                        f"worker {worker.name} exited with code {code} after "
+                        f"{worker.restarts} restart(s)"
+                    )
+
+    def _fail(self, reason: str) -> None:
+        """Record the first failure and unwedge every blocked reader."""
+        with self._failure_lock:
+            if self._failure is not None:
+                return
+            self._failure = reason
+        logger.error("distributed deployment failed: %s", reason)
+        # Readers block waiting for records that will never come; push the
+        # end-of-stream sentinel into every stage input so the pipeline
+        # drains and run() can surface the failure instead of hanging.
+        producer = Producer(self._broker)
+        topics = {
+            topic for stage in self._stages for topic in stage.input_topics
+        }
+        for topic in sorted(topics):
+            for partition in range(producer.partitions_of(topic)):
+                producer.send(topic, EOS_SENTINEL, partition=partition)
+
+    # -- metrics aggregation ---------------------------------------------------
+
+    def worker_beats(self) -> dict[str, dict]:
+        """Latest heartbeat per worker (final ones after shutdown)."""
+        if self._final_beats is not None:
+            return dict(self._final_beats)
+        return self._server.workers()
+
+    def worker_metrics(self) -> dict[str, MetricsSnapshot]:
+        """Per-worker metrics snapshots parsed from the heartbeats."""
+        out: dict[str, MetricsSnapshot] = {}
+        for name, beat in self.worker_beats().items():
+            payload = beat.get("metrics")
+            if payload:
+                out[name] = snapshot_from_dict(payload)
+        return out
+
+    def cluster_snapshot(self) -> MetricsSnapshot:
+        """One snapshot over the whole deployment, samples labeled by worker."""
+        samples: list[Sample] = []
+
+        def tagged(snapshot: MetricsSnapshot, worker: str) -> None:
+            for s in snapshot.samples:
+                labels = tuple(sorted(s.labels + (("worker", worker),)))
+                samples.append(Sample(s.name, labels, s.value, s.kind))
+
+        if self._obs is not None:
+            tagged(self._obs.snapshot(), "coordinator")
+        for name, snapshot in self.worker_metrics().items():
+            tagged(snapshot, name)
+        return MetricsSnapshot(wall_time=time.time(), samples=samples)
+
+    def _start_scrape(self, port: int) -> None:
+        from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+        coordinator = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?")[0] not in ("/", "/metrics"):
+                    self.send_error(404)
+                    return
+                body = to_prometheus(coordinator.cluster_snapshot()).encode("utf-8")
+                self.send_response(200)
+                self.send_header(
+                    "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                )
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: Any) -> None:  # silence per-request spam
+                pass
+
+        self._scrape_server = ThreadingHTTPServer((self._config.host, port), Handler)
+        threading.Thread(
+            target=self._scrape_server.serve_forever,
+            name="dist-scrape",
+            daemon=True,
+        ).start()
+
+
+def run_distributed(
+    query: Query,
+    broker: Broker,
+    config: DistConfig | None = None,
+    obs: Any | None = None,
+    capacity: int | None = None,
+    plan: Any | None = None,
+) -> RunReport:
+    """Deploy ``query`` distributed and run it to completion; blocking."""
+    return DistCoordinator(
+        query, broker, config, obs=obs, capacity=capacity, plan=plan
+    ).run()

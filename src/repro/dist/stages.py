@@ -1,0 +1,159 @@
+"""Cutting a built query DAG into distributable stages.
+
+In pub/sub connector mode, a module boundary is materialized as a writer
+sink on the producing side and a reader source on the consuming side with
+*no stream between them* — the topic is the edge. The built node graph is
+therefore already partitioned: the weakly-connected components over the
+materialized streams are exactly the paper's deployable modules. A stage
+is one such component plus the topics it consumes and produces.
+
+Stages whose sinks are all pub/sub writers are *remote-capable*: every
+edge in and out of them is a broker topic, so they can run in another
+process wired through the network. A stage delivering to an expert sink
+(an object the user holds) is *terminal* and runs in the coordinator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.connectors import PubSubReaderSource, PubSubWriterSink
+from ..spe.query import Node
+
+
+def _unwrap_source(source) -> object:
+    """Peel checkpoint wrappers (duck-typed ``.inner``) off a source."""
+    seen = set()
+    while hasattr(source, "inner") and id(source) not in seen:
+        seen.add(id(source))
+        source = source.inner
+    return source
+
+
+@dataclass
+class StageSpec:
+    """One weakly-connected component of a built query graph."""
+
+    index: int
+    nodes: list[Node]
+    input_topics: list[str] = field(default_factory=list)
+    output_topics: list[str] = field(default_factory=list)
+    terminal: bool = False
+
+    @property
+    def name(self) -> str:
+        return f"stage-{self.index}"
+
+    @property
+    def node_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def readers(self) -> list[PubSubReaderSource]:
+        """The pub/sub reader sources feeding this stage."""
+        out = []
+        for node in self.nodes:
+            if node.kind != "source":
+                continue
+            source = _unwrap_source(node.source)
+            if isinstance(source, PubSubReaderSource):
+                out.append(source)
+        return out
+
+    def writers(self) -> list[PubSubWriterSink]:
+        """The pub/sub writer sinks terminating this stage."""
+        return [
+            node.sink
+            for node in self.nodes
+            if node.kind == "sink" and isinstance(node.sink, PubSubWriterSink)
+        ]
+
+    def describe(self) -> str:
+        kind = "terminal" if self.terminal else "remote"
+        inputs = ", ".join(self.input_topics) or "-"
+        outputs = ", ".join(self.output_topics) or "-"
+        return (
+            f"{self.name} [{kind}] nodes={len(self.nodes)} "
+            f"in=[{inputs}] out=[{outputs}]"
+        )
+
+
+def cut_stages(nodes: list[Node]) -> list[StageSpec]:
+    """Partition built nodes into stages (connected components).
+
+    Components are discovered by union-find over shared stream objects and
+    returned ordered by each component's first node in build order, so
+    stage indexes are deterministic for a given query.
+    """
+    parent = list(range(len(nodes)))
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int) -> None:
+        ri, rj = find(i), find(j)
+        if ri != rj:
+            parent[max(ri, rj)] = min(ri, rj)
+
+    stream_owner: dict[int, int] = {}
+    for i, node in enumerate(nodes):
+        for stream in list(node.inputs) + list(node.outputs):
+            owner = stream_owner.setdefault(id(stream), i)
+            union(i, owner)
+
+    components: dict[int, list[Node]] = {}
+    order: list[int] = []
+    for i, node in enumerate(nodes):
+        root = find(i)
+        if root not in components:
+            components[root] = []
+            order.append(root)
+        components[root].append(node)
+
+    stages: list[StageSpec] = []
+    for index, root in enumerate(order):
+        stage = StageSpec(index=index, nodes=components[root])
+        stage.input_topics = sorted({r.topic for r in stage.readers()})
+        stage.output_topics = sorted({w.topic for w in stage.writers()})
+        stage.terminal = any(
+            node.kind == "sink" and not isinstance(node.sink, PubSubWriterSink)
+            for node in stage.nodes
+        )
+        stages.append(stage)
+    return stages
+
+
+def render_stages(stages: list[StageSpec]) -> str:
+    """Human-readable stage listing (CLI ``--list-stages``, logging)."""
+    lines = [f"{len(stages)} stage(s):"]
+    for stage in stages:
+        lines.append("  " + stage.describe())
+        for node in stage.nodes:
+            lines.append(f"      {node.kind:<8} {node.name}")
+    return "\n".join(lines)
+
+
+def assign_stages(
+    stages: list[StageSpec], workers: int | None
+) -> tuple[list[list[StageSpec]], list[StageSpec]]:
+    """Split stages into per-worker groups plus the local (terminal) set.
+
+    Remote-capable stages are dealt round-robin across ``workers``
+    processes (default: one process per stage); terminal stages stay
+    local. Raises if nothing can go remote — a direct-mode graph has no
+    pub/sub cuts and there is nothing to distribute.
+    """
+    remote = [s for s in stages if not s.terminal]
+    local = [s for s in stages if s.terminal]
+    if not remote:
+        raise ValueError(
+            "query has no remote-capable stages; distributed deployment "
+            "requires connector_mode='pubsub' module cuts"
+        )
+    count = len(remote) if workers is None else max(1, min(workers, len(remote)))
+    groups: list[list[StageSpec]] = [[] for _ in range(count)]
+    for i, stage in enumerate(remote):
+        groups[i % count].append(stage)
+    return groups, local

@@ -1,0 +1,286 @@
+"""Stage workers: the child-process runtime and its parent-side handle.
+
+:func:`run_stage` is a worker process's main: it reconnects the stage's
+pub/sub connectors to the coordinator's broker server, runs the stage
+nodes on a private :class:`~repro.spe.scheduler.ThreadedScheduler`, and
+heartbeats liveness plus an observability snapshot back to the server
+while it runs.
+
+:class:`WorkerProcess` is the coordinator-side handle. Workers are forked:
+the coordinator's copies of the stage nodes never execute locally, so they
+stay pristine in its memory, and a *restart* simply re-forks them — the
+replacement replays its input topics from the earliest retained offset
+(workers never auto-commit) and downstream dedup filters absorb the
+replayed records, which is what makes one worker restart invisible in the
+final output.
+"""
+
+from __future__ import annotations
+
+import importlib
+import logging
+import multiprocessing
+import os
+import threading
+import time
+from typing import Any
+
+from ..net.client import BrokerClient
+from ..obs.context import ObsContext
+from ..obs.exporters import snapshot_to_dict
+from ..spe.plan import PlanConfig
+from ..spe.scheduler import ThreadedScheduler
+from .stages import StageSpec, cut_stages
+
+logger = logging.getLogger(__name__)
+
+
+def _scheduler_for(plan: PlanConfig | None, obs: ObsContext | None) -> ThreadedScheduler:
+    if plan is None:
+        return ThreadedScheduler(obs=obs)
+    return ThreadedScheduler(
+        edge_batch_size=plan.edge_batch_size, linger_s=plan.linger_s, obs=obs
+    )
+
+
+def run_stage(
+    stages: list[StageSpec],
+    address: tuple[str, int],
+    worker_name: str,
+    allow_pickle: bool = True,
+    heartbeat_interval: float = 0.25,
+    obs: bool = True,
+    plan: PlanConfig | None = None,
+    incarnation: int = 0,
+) -> None:
+    """Execute one or more stages against a networked broker; blocking.
+
+    This is the target of a worker process, but runs equally in the
+    calling thread (the ``strata-repro worker`` CLI verb uses it
+    directly).
+    """
+    host, port = address
+    client = BrokerClient(host, port, allow_pickle=allow_pickle)
+    client.wait_ready(timeout=15.0)
+    stage_names = [s.name for s in stages]
+    for stage in stages:
+        for writer in stage.writers():
+            writer.rebind(client)
+        for reader in stage.readers():
+            # Never auto-commit and always dedup: a restarted incarnation
+            # must replay from earliest, and replayed records upstream of
+            # us must not be processed twice.
+            reader.rebind(client, auto_commit=False, dedup=True)
+    obs_ctx = ObsContext() if obs else None
+    nodes = [node for stage in stages for node in stage.nodes]
+    if obs_ctx is not None:
+        obs_ctx.bind(nodes)
+
+    stop_beat = threading.Event()
+    state = {"value": "running"}
+
+    def beat() -> dict:
+        return {
+            "worker": worker_name,
+            "info": {
+                "stages": stage_names,
+                "pid": os.getpid(),
+                "incarnation": incarnation,
+                "state": state["value"],
+            },
+            "metrics": (
+                snapshot_to_dict(obs_ctx.snapshot()) if obs_ctx is not None else None
+            ),
+        }
+
+    def heartbeat_loop() -> None:
+        while not stop_beat.is_set():
+            try:
+                payload = beat()
+                client.heartbeat(
+                    payload["worker"], payload["info"], payload["metrics"]
+                )
+            except Exception:  # the server vanished: nothing useful left to do
+                return
+            stop_beat.wait(heartbeat_interval)
+
+    beater = threading.Thread(
+        target=heartbeat_loop, name=f"{worker_name}-heartbeat", daemon=True
+    )
+    beater.start()
+    try:
+        scheduler = _scheduler_for(plan, obs_ctx)
+        scheduler.run(nodes)
+        state["value"] = "done"
+    except BaseException:
+        state["value"] = "failed"
+        raise
+    finally:
+        stop_beat.set()
+        beater.join(timeout=2.0)
+        try:
+            payload = beat()
+            client.heartbeat(payload["worker"], payload["info"], payload["metrics"])
+        except Exception:
+            pass
+        client.close()
+
+
+class WorkerProcess:
+    """Coordinator-side handle on one (restartable) stage worker."""
+
+    def __init__(
+        self,
+        name: str,
+        stages: list[StageSpec],
+        address: tuple[str, int],
+        allow_pickle: bool = True,
+        heartbeat_interval: float = 0.25,
+        obs: bool = True,
+        plan: PlanConfig | None = None,
+        start_method: str = "fork",
+    ) -> None:
+        if start_method != "fork":
+            # Stage nodes carry closures and live generators; only fork can
+            # hand them to a child. Other start methods go through the
+            # `strata-repro worker` CLI, which rebuilds the pipeline.
+            raise ValueError(
+                "in-process stage handoff requires the 'fork' start method; "
+                "use the 'strata-repro worker' CLI for spawn/multi-machine"
+            )
+        self.name = name
+        self.stages = stages
+        self.stage_names = [s.name for s in stages]
+        self._address = address
+        self._allow_pickle = allow_pickle
+        self._heartbeat_interval = heartbeat_interval
+        self._obs = obs
+        self._plan = plan
+        self._ctx = multiprocessing.get_context(start_method)
+        self._process: multiprocessing.process.BaseProcess | None = None
+        self.incarnation = 0
+        self.restarts = 0
+        self.finished = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._process = self._ctx.Process(
+            target=run_stage,
+            kwargs={
+                "stages": self.stages,
+                "address": self._address,
+                "worker_name": self.name,
+                "allow_pickle": self._allow_pickle,
+                "heartbeat_interval": self._heartbeat_interval,
+                "obs": self._obs,
+                "plan": self._plan,
+                "incarnation": self.incarnation,
+            },
+            name=self.name,
+            daemon=True,
+        )
+        self._process.start()
+
+    def restart(self) -> None:
+        """Terminate any live incarnation and fork a fresh one."""
+        self.terminate()
+        self.incarnation += 1
+        self.restarts += 1
+        self.start()
+
+    def alive(self) -> bool:
+        return self._process is not None and self._process.is_alive()
+
+    @property
+    def exitcode(self) -> int | None:
+        return None if self._process is None else self._process.exitcode
+
+    @property
+    def pid(self) -> int | None:
+        return None if self._process is None else self._process.pid
+
+    def join(self, timeout: float | None = None) -> None:
+        if self._process is not None:
+            self._process.join(timeout)
+
+    def kill(self) -> None:
+        """Hard-kill the current incarnation (chaos/restart testing)."""
+        if self._process is not None and self._process.is_alive():
+            self._process.kill()
+            self._process.join(timeout=5.0)
+
+    def terminate(self, timeout: float = 5.0) -> None:
+        if self._process is None:
+            return
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(timeout)
+            if self._process.is_alive():  # pragma: no cover - stubborn child
+                self._process.kill()
+                self._process.join(timeout)
+
+    def status(self) -> dict[str, Any]:
+        return {
+            "stages": self.stage_names,
+            "pid": self.pid,
+            "alive": self.alive(),
+            "exitcode": self.exitcode,
+            "incarnation": self.incarnation,
+            "restarts": self.restarts,
+            "finished": self.finished,
+        }
+
+
+# -- CLI support -------------------------------------------------------------
+
+
+def load_pipeline(ref: str):
+    """Import ``module:callable`` and build its declared query's nodes.
+
+    The callable must return a :class:`~repro.core.api.Strata` instance
+    (or a bare :class:`~repro.spe.query.Query`) with the pipeline declared
+    but not deployed. Every worker machine rebuilds the same pipeline from
+    source — the network carries only records, never code.
+    """
+    module_name, sep, attr = ref.partition(":")
+    if not sep or not attr:
+        raise ValueError(f"pipeline reference must be 'module:callable', got {ref!r}")
+    factory = getattr(importlib.import_module(module_name), attr)
+    built = factory()
+    query = getattr(built, "query", built)
+    capacity = getattr(built, "capacity", None)
+    return query.build(capacity=capacity)
+
+
+def run_worker_from_ref(
+    pipeline_ref: str,
+    stage_indexes: list[int],
+    address: tuple[str, int],
+    worker_name: str | None = None,
+    allow_pickle: bool = True,
+    list_stages: bool = False,
+) -> int:
+    """The ``strata-repro worker`` verb: rebuild, cut, run chosen stages."""
+    from .stages import render_stages
+
+    nodes = load_pipeline(pipeline_ref)
+    stages = cut_stages(nodes)
+    if list_stages:
+        print(render_stages(stages))
+        return 0
+    chosen: list[StageSpec] = []
+    for index in stage_indexes:
+        if not 0 <= index < len(stages):
+            raise ValueError(f"stage {index} out of range (pipeline has {len(stages)})")
+        if stages[index].terminal:
+            raise ValueError(
+                f"stage {index} is terminal (delivers to an expert sink); "
+                "it must run in the coordinator process"
+            )
+        chosen.append(stages[index])
+    name = worker_name or f"worker-{'-'.join(str(i) for i in stage_indexes)}"
+    started = time.monotonic()
+    run_stage(chosen, address, worker_name=name, allow_pickle=allow_pickle)
+    logger.info("worker %s finished in %.2fs", name, time.monotonic() - started)
+    return 0

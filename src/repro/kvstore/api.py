@@ -8,11 +8,13 @@ provided: :class:`repro.kvstore.memory.MemoryStore` (fast, in-process) and
 
 from __future__ import annotations
 
-import json
-import pickle
 from abc import ABC, abstractmethod
 from typing import Any, Iterator
 
+# The value codec is shared with the network wire format: repro.serde owns
+# it now; these re-exports keep the historical kvstore import surface (and
+# behaviour: pickle is always accepted when decoding stored values).
+from ..serde import _json_roundtrips, decode_value, encode_value  # noqa: F401
 from .errors import InvalidKeyError
 
 
@@ -25,54 +27,6 @@ def encode_key(key: str | bytes) -> bytes:
     if not key:
         raise InvalidKeyError("key must be non-empty")
     return key
-
-
-def _json_roundtrips(value: Any) -> bool:
-    """True when JSON encoding reproduces ``value`` exactly.
-
-    ``json.dumps`` silently coerces tuples to lists (and non-string dict
-    keys to strings), so "it serialized without error" is not enough for a
-    store that must return exactly what was put.
-    """
-    if value is None or isinstance(value, (bool, int, str)):
-        return True
-    if isinstance(value, float):
-        return value == value and value not in (float("inf"), float("-inf"))
-    if isinstance(value, list):
-        return all(_json_roundtrips(item) for item in value)
-    if isinstance(value, dict):
-        return all(
-            isinstance(key, str) and _json_roundtrips(item)
-            for key, item in value.items()
-        )
-    return False
-
-
-def encode_value(value: Any) -> bytes:
-    """Serialize an arbitrary Python value for storage.
-
-    Values that are already ``bytes`` pass through untouched; values that
-    JSON reproduces exactly are stored as JSON (portable, inspectable);
-    everything else — tuples, sets, NaN, arbitrary objects — is pickled.
-    A one-byte tag records the codec used.
-    """
-    if isinstance(value, bytes):
-        return b"b" + value
-    if _json_roundtrips(value):
-        return b"j" + json.dumps(value).encode("utf-8")
-    return b"p" + pickle.dumps(value)
-
-
-def decode_value(data: bytes) -> Any:
-    """Inverse of :func:`encode_value`."""
-    tag, body = data[:1], data[1:]
-    if tag == b"b":
-        return body
-    if tag == b"j":
-        return json.loads(body.decode("utf-8"))
-    if tag == b"p":
-        return pickle.loads(body)
-    raise ValueError(f"unknown value codec tag {tag!r}")
 
 
 class KVStore(ABC):

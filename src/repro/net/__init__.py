@@ -1,0 +1,46 @@
+"""repro.net — networked broker transport.
+
+A length-prefixed binary wire protocol (:mod:`repro.net.frames`), a TCP
+:class:`BrokerServer` exposing an in-process broker, and drop-in
+:class:`RemoteProducer`/:class:`RemoteConsumer` clients so the pub/sub
+connectors cross machine boundaries unchanged — the decoupling the paper
+gets from Kafka, over our own Kafka substitute.
+"""
+
+from .client import BrokerClient, Connection, RemoteConsumer, RemoteProducer
+from .errors import ConnectionClosedError, NetError, ProtocolError, RpcError
+from .frames import (
+    MAGIC,
+    MAX_FRAME_BYTES,
+    TYPE_ERROR,
+    TYPE_REQUEST,
+    TYPE_RESPONSE,
+    VERSION,
+    Frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from .server import BrokerServer
+
+__all__ = [
+    "BrokerClient",
+    "BrokerServer",
+    "Connection",
+    "ConnectionClosedError",
+    "Frame",
+    "MAGIC",
+    "MAX_FRAME_BYTES",
+    "NetError",
+    "ProtocolError",
+    "RemoteConsumer",
+    "RemoteProducer",
+    "RpcError",
+    "TYPE_ERROR",
+    "TYPE_REQUEST",
+    "TYPE_RESPONSE",
+    "VERSION",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,559 @@
+"""Clients for a networked broker.
+
+:class:`BrokerClient` is the connection factory plus the broker-shaped
+admin surface (``ensure_topic``/``topics``/``committed``/...) that the
+pub/sub connectors duck-type against. :class:`RemoteProducer` and
+:class:`RemoteConsumer` mirror the in-process
+:class:`~repro.pubsub.producer.Producer` / :class:`~repro.pubsub.consumer.
+Consumer` interfaces exactly, so ``PubSubWriterSink``/``PubSubReaderSource``
+work unchanged over TCP.
+
+Each producer/consumer owns a private connection: a consumer's blocking
+fetch parks its connection server-side, and sharing that socket with a
+producer in another scheduler thread would stall the whole stage. Every
+connection allows one in-flight request and verifies the response
+correlation id.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+import threading
+from typing import Any, Iterator
+
+from ..pubsub.errors import (
+    BrokerClosedError,
+    InvalidOffsetError,
+    TopicExistsError,
+    UnknownTopicError,
+)
+from ..serde import PickleRefusedError, SerdeError, decode_wire, encode_wire
+from .errors import ProtocolError, RpcError
+from .frames import (
+    MAX_FRAME_BYTES,
+    TYPE_ERROR,
+    TYPE_REQUEST,
+    Frame,
+    read_frame,
+    write_frame,
+)
+
+#: server-side exception names mapped back to local exception types
+_ERROR_TYPES: dict[str, type[Exception]] = {
+    "UnknownTopicError": UnknownTopicError,
+    "TopicExistsError": TopicExistsError,
+    "InvalidOffsetError": InvalidOffsetError,
+    "BrokerClosedError": BrokerClosedError,
+    "PickleRefusedError": PickleRefusedError,
+    "SerdeError": SerdeError,
+    "ProtocolError": ProtocolError,
+    "ValueError": ValueError,
+}
+
+
+def _raise_remote(meta: dict) -> None:
+    kind = meta.get("error", "RpcError")
+    message = meta.get("message", "")
+    exc_type = _ERROR_TYPES.get(kind)
+    if exc_type is not None:
+        raise exc_type(message)
+    raise RpcError(kind, message)
+
+
+class Connection:
+    """One socket to a broker server; single in-flight request."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._sock = socket.create_connection((host, port), timeout=10.0)
+        self._sock.settimeout(timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._max_frame = max_frame
+        self._corr = itertools.count(1)
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(
+        self, op: str, meta: dict | None = None, blobs: tuple[bytes, ...] = ()
+    ) -> Frame:
+        """Send one request and return its (validated) response frame."""
+        payload = {"op": op}
+        if meta:
+            payload.update(meta)
+        with self._lock:
+            if self._closed:
+                raise BrokerClosedError("connection is closed")
+            corr_id = next(self._corr) & 0xFFFFFFFF
+            write_frame(self._sock, Frame(TYPE_REQUEST, corr_id, payload, blobs))
+            reply = read_frame(self._sock, self._max_frame)
+        if reply.corr_id != corr_id:
+            raise ProtocolError(
+                f"response correlation id {reply.corr_id} != request {corr_id}"
+            )
+        if reply.type == TYPE_ERROR:
+            _raise_remote(reply.meta)
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+
+
+class BrokerClient:
+    """Endpoint handle: admin surface + producer/consumer factory.
+
+    Duck-types the slice of :class:`~repro.pubsub.broker.Broker` that the
+    connectors and the distributed runtime use; anything record-weight
+    goes through a dedicated :class:`RemoteProducer`/:class:`RemoteConsumer`
+    with its own connection.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        allow_pickle: bool = False,
+        timeout: float | None = 60.0,
+    ) -> None:
+        self._host = host
+        self._port = port
+        self._allow_pickle = allow_pickle
+        self._timeout = timeout
+        self._admin: Connection | None = None
+        self._lock = threading.Lock()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return (self._host, self._port)
+
+    @property
+    def allow_pickle(self) -> bool:
+        return self._allow_pickle
+
+    def connect(self) -> Connection:
+        """A fresh private connection (caller owns its lifecycle)."""
+        return Connection(self._host, self._port, timeout=self._timeout)
+
+    def _admin_conn(self) -> Connection:
+        with self._lock:
+            if self._admin is None:
+                self._admin = self.connect()
+            return self._admin
+
+    def close(self) -> None:
+        with self._lock:
+            if self._admin is not None:
+                self._admin.close()
+                self._admin = None
+
+    def __enter__(self) -> "BrokerClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- readiness ----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._admin_conn().request("ping").meta.get("ok"))
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> None:
+        """Block until the server answers a ping (connection retries)."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        last: Exception | None = None
+        while time.monotonic() < deadline:
+            try:
+                if self.ping():
+                    return
+            except (OSError, ProtocolError) as exc:
+                last = exc
+                with self._lock:
+                    if self._admin is not None:
+                        self._admin.close()
+                        self._admin = None
+            time.sleep(interval)
+        raise TimeoutError(
+            f"broker at {self._host}:{self._port} not ready within {timeout}s"
+        ) from last
+
+    # -- broker-shaped admin surface ----------------------------------------
+
+    def create_topic(
+        self, name: str, partitions: int = 1, retention: int | None = None
+    ) -> int:
+        reply = self._admin_conn().request(
+            "create_topic",
+            {"topic": name, "partitions": partitions, "retention": retention},
+        )
+        return int(reply.meta["partitions"])
+
+    def ensure_topic(
+        self, name: str, partitions: int = 1, retention: int | None = None
+    ) -> int:
+        reply = self._admin_conn().request(
+            "ensure_topic",
+            {"topic": name, "partitions": partitions, "retention": retention},
+        )
+        return int(reply.meta["partitions"])
+
+    def topics(self) -> list[str]:
+        return list(self._admin_conn().request("list_topics").meta["topics"])
+
+    def has_topic(self, name: str) -> bool:
+        return name in self.topics()
+
+    def partitions(self, topic: str) -> int:
+        return int(
+            self._admin_conn().request("partitions", {"topic": topic}).meta["partitions"]
+        )
+
+    def end_offsets(self, topic: str) -> dict[int, int]:
+        reply = self._admin_conn().request("end_offsets", {"topic": topic})
+        return {int(p): int(end) for p, end in reply.meta["offsets"].items()}
+
+    def committed(self, group: str, topic: str, partition: int) -> int | None:
+        reply = self._admin_conn().request(
+            "committed", {"group": group, "topic": topic, "partition": partition}
+        )
+        offset = reply.meta["offset"]
+        return None if offset is None else int(offset)
+
+    def commit(self, group: str, topic: str, partition: int, offset: int) -> None:
+        self._admin_conn().request(
+            "commit",
+            {"group": group, "topic": topic, "partition": partition, "offset": offset},
+        )
+
+    def reset_group(self, group: str, topics: list[str] | None = None) -> None:
+        self._admin_conn().request(
+            "reset_group", {"group": group, "topics": list(topics) if topics else None}
+        )
+
+    # -- distributed-runtime surface ----------------------------------------
+
+    def heartbeat(
+        self,
+        worker: str,
+        info: dict | None = None,
+        metrics: dict | None = None,
+    ) -> None:
+        self._admin_conn().request(
+            "heartbeat", {"worker": worker, "info": info or {}, "metrics": metrics}
+        )
+
+    def cluster(self, include_metrics: bool = False) -> dict[str, dict]:
+        reply = self._admin_conn().request(
+            "cluster", {"include_metrics": include_metrics}
+        )
+        return dict(reply.meta["workers"])
+
+    # -- client factory -------------------------------------------------------
+
+    def producer(
+        self, auto_create: bool = True, default_partitions: int = 1
+    ) -> "RemoteProducer":
+        return RemoteProducer(
+            self.connect(),
+            allow_pickle=self._allow_pickle,
+            auto_create=auto_create,
+            default_partitions=default_partitions,
+        )
+
+    def consumer(
+        self,
+        group: str,
+        topics: list[str] | None = None,
+        auto_offset_reset: str = "earliest",
+        auto_commit: bool = True,
+    ) -> "RemoteConsumer":
+        return RemoteConsumer(
+            self.connect(),
+            group,
+            topics,
+            auto_offset_reset=auto_offset_reset,
+            auto_commit=auto_commit,
+            allow_pickle=self._allow_pickle,
+        )
+
+
+class RemoteProducer:
+    """Drop-in :class:`~repro.pubsub.producer.Producer` over a connection."""
+
+    def __init__(
+        self,
+        conn: Connection,
+        allow_pickle: bool = False,
+        auto_create: bool = True,
+        default_partitions: int = 1,
+    ) -> None:
+        self._conn = conn
+        self._allow_pickle = allow_pickle
+        self._auto_create = auto_create
+        self._default_partitions = default_partitions
+        self._sent = 0
+
+    @property
+    def records_sent(self) -> int:
+        return self._sent
+
+    def send(
+        self,
+        topic: str,
+        value: Any,
+        key: str | None = None,
+        timestamp: float | None = None,
+        headers: dict[str, Any] | None = None,
+        partition: int | None = None,
+    ) -> tuple[int, int]:
+        """Publish one record; returns its ``(partition, offset)``."""
+        blob = encode_wire(value, allow_pickle=self._allow_pickle)
+        reply = self._conn.request(
+            "produce",
+            {
+                "topic": topic,
+                "key": key,
+                "timestamp": timestamp,
+                "headers": headers,
+                "partition": partition,
+                "auto_create": self._auto_create,
+                "partitions": self._default_partitions,
+            },
+            (blob,),
+        )
+        self._sent += 1
+        return int(reply.meta["partition"]), int(reply.meta["offset"])
+
+    def partitions_of(self, topic: str) -> int:
+        """Partition count of ``topic`` (for per-partition broadcasts)."""
+        return int(
+            self._conn.request("partitions", {"topic": topic}).meta["partitions"]
+        )
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+class RemoteConsumer:
+    """Drop-in :class:`~repro.pubsub.consumer.Consumer` over a connection.
+
+    Mirrors the in-process consumer faithfully, including the Kafka-style
+    behaviours the connectors rely on: position resolution from committed
+    offsets, ``auto_offset_reset``, the reset-to-earliest fallback when
+    retention trimmed past a position, and the blocking second pass on the
+    first assigned partition.
+    """
+
+    def __init__(
+        self,
+        conn: Connection,
+        group: str,
+        topics: list[str] | None = None,
+        auto_offset_reset: str = "earliest",
+        auto_commit: bool = True,
+        allow_pickle: bool = False,
+    ) -> None:
+        if auto_offset_reset not in ("earliest", "latest"):
+            raise ValueError("auto_offset_reset must be 'earliest' or 'latest'")
+        self._conn = conn
+        self._group = group
+        self._auto_offset_reset = auto_offset_reset
+        self._auto_commit = auto_commit
+        self._allow_pickle = allow_pickle
+        self._positions: dict[tuple[str, int], int] = {}
+        self._assignment: list[tuple[str, int]] = []
+        self._subscribed: list[str] = []
+        if topics:
+            self.subscribe(topics)
+
+    @property
+    def group(self) -> str:
+        return self._group
+
+    @property
+    def assignment(self) -> list[tuple[str, int]]:
+        return list(self._assignment)
+
+    def subscribe(self, topics: list[str]) -> None:
+        """Subscribe to all partitions of the given topics."""
+        self._subscribed = list(topics)
+        self._assignment = []
+        for name in topics:
+            partitions = int(
+                self._conn.request("partitions", {"topic": name}).meta["partitions"]
+            )
+            for partition in range(partitions):
+                self._assignment.append((name, partition))
+        self._resolve_positions()
+
+    def assign(self, partitions: list[tuple[str, int]]) -> None:
+        """Manually assign specific (topic, partition) pairs."""
+        self._assignment = [(t, int(p)) for t, p in partitions]
+        self._resolve_positions()
+
+    def _log_offsets(self, topic: str, partition: int) -> tuple[int, int]:
+        meta = self._conn.request(
+            "offsets", {"topic": topic, "partition": partition}
+        ).meta
+        return int(meta["start"]), int(meta["end"])
+
+    def _resolve_positions(self) -> None:
+        for name, partition in self._assignment:
+            if (name, partition) in self._positions:
+                continue
+            committed = self.committed(name, partition)
+            if committed is not None:
+                self._positions[(name, partition)] = committed
+                continue
+            start, end = self._log_offsets(name, partition)
+            self._positions[(name, partition)] = (
+                start if self._auto_offset_reset == "earliest" else end
+            )
+
+    def seek(self, topic: str, partition: int, offset: int) -> None:
+        """Set the next read position for one partition."""
+        if (topic, partition) not in self._assignment:
+            raise InvalidOffsetError(f"{topic}/{partition} is not assigned")
+        self._positions[(topic, partition)] = offset
+
+    def position(self, topic: str, partition: int) -> int:
+        """Next offset this consumer will read for the partition."""
+        return self._positions[(topic, partition)]
+
+    def _fetch(
+        self, topic: str, partition: int, max_records: int, timeout: float
+    ) -> list:
+        from ..pubsub.message import Message
+
+        try:
+            reply = self._conn.request(
+                "fetch",
+                {
+                    "topic": topic,
+                    "partition": partition,
+                    "offset": self._positions[(topic, partition)],
+                    "max_records": max_records,
+                    "timeout": timeout,
+                },
+            )
+        except InvalidOffsetError:
+            # Retention trimmed past our position: skip to the oldest
+            # retained record, as Kafka's 'earliest' reset would.
+            start, _end = self._log_offsets(topic, partition)
+            self._positions[(topic, partition)] = start
+            reply = self._conn.request(
+                "fetch",
+                {
+                    "topic": topic,
+                    "partition": partition,
+                    "offset": start,
+                    "max_records": max_records,
+                    "timeout": timeout,
+                },
+            )
+        records = []
+        for record_meta, blob in zip(reply.meta["records"], reply.blobs):
+            records.append(
+                Message(
+                    topic=topic,
+                    partition=partition,
+                    offset=int(record_meta["offset"]),
+                    key=record_meta["key"],
+                    value=decode_wire(blob, allow_pickle=self._allow_pickle),
+                    timestamp=float(record_meta["timestamp"]),
+                    headers=dict(record_meta.get("headers") or {}),
+                )
+            )
+        if records:
+            self._positions[(topic, partition)] = records[-1].offset + 1
+        return records
+
+    def poll(self, max_records: int = 1024, timeout: float = 0.0) -> list:
+        """Fetch available records across the assignment.
+
+        Same contract as the in-process consumer: one non-blocking pass
+        over every assigned partition, then — if nothing arrived and a
+        timeout was given — one blocking fetch on the first partition.
+        """
+        out: list = []
+        budget = max_records
+        for name, partition in self._assignment:
+            if budget <= 0:
+                break
+            records = self._fetch(name, partition, budget, 0.0)
+            if records:
+                out.extend(records)
+                budget -= len(records)
+        if not out and timeout > 0 and self._assignment:
+            name, partition = self._assignment[0]
+            out.extend(self._fetch(name, partition, max_records, timeout))
+        if out and self._auto_commit:
+            self.commit()
+        return out
+
+    def commit(
+        self,
+        topic: str | None = None,
+        partition: int | None = None,
+        offset: int | None = None,
+    ) -> None:
+        """Commit offsets to the broker (whole-assignment or per-partition)."""
+        if topic is None:
+            if partition is not None or offset is not None:
+                raise ValueError("partition/offset require a topic")
+            for (name, part), position in self._positions.items():
+                if (name, part) in self._assignment:
+                    self._commit_one(name, part, position)
+            return
+        if partition is None:
+            raise ValueError("per-partition commit requires a partition")
+        if offset is None:
+            if (topic, partition) not in self._positions:
+                raise InvalidOffsetError(f"{topic}/{partition} has no position")
+            offset = self._positions[(topic, partition)]
+        if offset < 0:
+            raise InvalidOffsetError(f"cannot commit negative offset {offset}")
+        self._commit_one(topic, partition, offset)
+
+    def _commit_one(self, topic: str, partition: int, offset: int) -> None:
+        self._conn.request(
+            "commit",
+            {
+                "group": self._group,
+                "topic": topic,
+                "partition": partition,
+                "offset": offset,
+            },
+        )
+
+    def committed(self, topic: str, partition: int) -> int | None:
+        """Offset last committed for this group+partition (None if never)."""
+        offset = self._conn.request(
+            "committed",
+            {"group": self._group, "topic": topic, "partition": partition},
+        ).meta["offset"]
+        return None if offset is None else int(offset)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __iter__(self) -> Iterator:
+        """Drain everything currently available (non-blocking)."""
+        while True:
+            batch = self.poll()
+            if not batch:
+                return
+            yield from batch

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the network transport."""
+
+from __future__ import annotations
+
+
+class NetError(Exception):
+    """Base class for all repro.net errors."""
+
+
+class ProtocolError(NetError):
+    """A frame violated the wire protocol (bad magic, version, size)."""
+
+
+class ConnectionClosedError(NetError):
+    """The peer closed the connection mid-exchange."""
+
+
+class RpcError(NetError):
+    """The server reported an error with no richer local mapping.
+
+    ``kind`` carries the server-side exception class name so callers can
+    still branch on failure modes the client does not model explicitly.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+        self.message = message

@@ -1,0 +1,117 @@
+"""Length-prefixed binary wire frames.
+
+Every exchange on a broker connection is one request frame answered by one
+response (or error) frame. The layout is deliberately minimal::
+
+    header   !2sBBII   magic "SR" | version | type | corr_id | body_len
+    body     !I meta_len | meta (UTF-8 JSON) | !I blob_count
+             then per blob: !I len | raw bytes
+
+The JSON ``meta`` names the operation and its scalar arguments; ``blobs``
+carry opaque payloads (serde-encoded record values) so binary data never
+rides through JSON. ``corr_id`` correlates a response with its request —
+clients check it even over a single-in-flight connection, so a desynced
+stream is detected instead of silently mis-attributed.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from dataclasses import dataclass
+
+from .errors import ConnectionClosedError, ProtocolError
+
+MAGIC = b"SR"
+VERSION = 1
+
+TYPE_REQUEST = 0
+TYPE_RESPONSE = 1
+TYPE_ERROR = 2
+
+HEADER = struct.Struct("!2sBBII")
+_U32 = struct.Struct("!I")
+
+#: refuse frames larger than this (a single OT layer image is ~4 MB at the
+#: paper's 2000 px resolution; 64 MiB leaves ample headroom)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded wire frame."""
+
+    type: int
+    corr_id: int
+    meta: dict
+    blobs: tuple[bytes, ...] = ()
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame, header included."""
+    meta = json.dumps(frame.meta, separators=(",", ":")).encode("utf-8")
+    parts = [_U32.pack(len(meta)), meta, _U32.pack(len(frame.blobs))]
+    for blob in frame.blobs:
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    body = b"".join(parts)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {len(body)} bytes exceeds the maximum")
+    header = HEADER.pack(MAGIC, VERSION, frame.type, frame.corr_id, len(body))
+    return header + body
+
+
+def decode_body(frame_type: int, corr_id: int, body: bytes) -> Frame:
+    """Parse a frame body (everything after the header)."""
+    try:
+        meta_len = _U32.unpack_from(body)[0]
+        meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
+        cursor = 4 + meta_len
+        blob_count = _U32.unpack_from(body, cursor)[0]
+        cursor += 4
+        blobs = []
+        for _ in range(blob_count):
+            blob_len = _U32.unpack_from(body, cursor)[0]
+            cursor += 4
+            blobs.append(body[cursor : cursor + blob_len])
+            cursor += blob_len
+    except (struct.error, ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"malformed frame body: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("frame meta must be a JSON object")
+    return Frame(type=frame_type, corr_id=corr_id, meta=meta, blobs=tuple(blobs))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise ConnectionClosedError."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining > 0:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosedError("peer closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket, max_frame: int = MAX_FRAME_BYTES) -> Frame:
+    """Read one complete frame from a socket."""
+    header = _recv_exact(sock, HEADER.size)
+    magic, version, frame_type, corr_id, body_len = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic {magic!r} (not a strata-repro peer?)")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    if frame_type not in (TYPE_REQUEST, TYPE_RESPONSE, TYPE_ERROR):
+        raise ProtocolError(f"unknown frame type {frame_type}")
+    if body_len > max_frame:
+        raise ProtocolError(f"frame body of {body_len} bytes exceeds the maximum")
+    body = _recv_exact(sock, body_len)
+    return decode_body(frame_type, corr_id, body)
+
+
+def write_frame(sock: socket.socket, frame: Frame) -> None:
+    """Write one complete frame to a socket."""
+    sock.sendall(encode_frame(frame))

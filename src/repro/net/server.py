@@ -1,0 +1,328 @@
+"""TCP server exposing an in-process :class:`~repro.pubsub.broker.Broker`.
+
+One :class:`BrokerServer` wraps one broker instance and serves the full
+client surface the connectors need — produce, fetch (with blocking waits),
+consumer-group commit/committed, topic admin — plus worker heartbeats for
+the distributed runtime. Each accepted connection gets its own handler
+thread; the broker itself is already thread-safe, so handlers call it
+directly. Record values cross the wire through the serde wire codec and
+are stored *decoded*, which keeps in-process producers/consumers attached
+to the same broker fully interoperable with remote ones.
+
+Pickle frames are refused by default (``allow_pickle=False``): a network
+peer must not be able to run arbitrary bytecode in the broker process.
+The distributed runtime, which owns both ends of its loopback links,
+enables pickle explicitly.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+import time
+from typing import Any
+
+from ..pubsub.broker import Broker
+from ..pubsub.errors import InvalidOffsetError
+from ..serde import decode_wire, encode_wire
+from .errors import ConnectionClosedError, ProtocolError
+from .frames import (
+    MAX_FRAME_BYTES,
+    TYPE_ERROR,
+    TYPE_REQUEST,
+    TYPE_RESPONSE,
+    Frame,
+    read_frame,
+    write_frame,
+)
+
+logger = logging.getLogger(__name__)
+
+#: cap on server-side blocking fetch waits, so a vanished client cannot
+#: park a handler thread forever on a quiet partition
+MAX_FETCH_BLOCK_S = 30.0
+
+
+class BrokerServer:
+    """Serves one broker over TCP until :meth:`stop`."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        allow_pickle: bool = False,
+        max_frame: int = MAX_FRAME_BYTES,
+    ) -> None:
+        self._broker = broker
+        self._host = host
+        self._port = port
+        self._allow_pickle = allow_pickle
+        self._max_frame = max_frame
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._lock = threading.Lock()
+        self._stopping = threading.Event()
+        # worker name -> {"info": ..., "metrics": ..., "last_seen": ...}
+        self._heartbeats: dict[str, dict[str, Any]] = {}
+
+    @property
+    def broker(self) -> Broker:
+        return self._broker
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port); valid after :meth:`start`."""
+        if self._listener is None:
+            raise RuntimeError("server is not started")
+        return self._listener.getsockname()[:2]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> tuple[str, int]:
+        """Bind, start accepting, and return the bound address."""
+        if self._listener is not None:
+            raise RuntimeError("server already started")
+        self._listener = socket.create_server(
+            (self._host, self._port), reuse_port=False
+        )
+        self._listener.settimeout(0.2)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="broker-server-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self.address
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Close the listener and every live connection."""
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        with self._lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BrokerServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    # -- worker registry (read by the dist coordinator) --------------------
+
+    def workers(self) -> dict[str, dict[str, Any]]:
+        """Latest heartbeat per worker: info, metrics, seconds since seen."""
+        now = time.monotonic()
+        with self._lock:
+            return {
+                name: {
+                    "info": beat["info"],
+                    "metrics": beat["metrics"],
+                    "age_s": now - beat["last_seen"],
+                }
+                for name, beat in self._heartbeats.items()
+            }
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed
+            conn.settimeout(None)
+            with self._lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="broker-server-conn",
+                daemon=True,
+            ).start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            while not self._stopping.is_set():
+                try:
+                    request = read_frame(conn, self._max_frame)
+                except (ConnectionClosedError, OSError):
+                    return
+                except ProtocolError as exc:
+                    self._safe_send(
+                        conn,
+                        Frame(TYPE_ERROR, 0, _error_meta(exc)),
+                    )
+                    return
+                if request.type != TYPE_REQUEST:
+                    self._safe_send(
+                        conn,
+                        Frame(
+                            TYPE_ERROR,
+                            request.corr_id,
+                            _error_meta(ProtocolError("expected a request frame")),
+                        ),
+                    )
+                    return
+                try:
+                    meta, blobs = self._dispatch(request)
+                    reply = Frame(TYPE_RESPONSE, request.corr_id, meta, tuple(blobs))
+                except Exception as exc:  # typed error travels to the client
+                    reply = Frame(TYPE_ERROR, request.corr_id, _error_meta(exc))
+                if not self._safe_send(conn, reply):
+                    return
+        finally:
+            with self._lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def _safe_send(self, conn: socket.socket, frame: Frame) -> bool:
+        try:
+            write_frame(conn, frame)
+            return True
+        except OSError:
+            return False
+
+    # -- operations ----------------------------------------------------------
+
+    def _dispatch(self, request: Frame) -> tuple[dict, list[bytes]]:
+        op = request.meta.get("op")
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise ProtocolError(f"unknown operation {op!r}")
+        return handler(request.meta, request.blobs)
+
+    def _op_ping(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        return {"ok": True}, []
+
+    def _op_produce(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        value = decode_wire(blobs[0], allow_pickle=self._allow_pickle)
+        if meta.get("auto_create", True):
+            topic = self._broker.ensure_topic(
+                meta["topic"], int(meta.get("partitions", 1))
+            )
+        else:
+            topic = self._broker.topic(meta["topic"])
+        partition, offset = topic.append(
+            meta.get("key"),
+            value,
+            meta.get("timestamp"),
+            meta.get("headers"),
+            meta.get("partition"),
+        )
+        return {"partition": partition, "offset": offset}, []
+
+    def _op_fetch(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        log = self._broker.topic(meta["topic"]).log(int(meta["partition"]))
+        offset = int(meta["offset"])
+        max_records = int(meta.get("max_records", 1024))
+        timeout = float(meta.get("timeout", 0.0))
+        if timeout > 0:
+            records = log.read_blocking(
+                offset, max_records, min(timeout, MAX_FETCH_BLOCK_S)
+            )
+        else:
+            records = log.read(offset, max_records)
+        out_records = []
+        out_blobs = []
+        for record in records:
+            out_records.append(
+                {
+                    "offset": record.offset,
+                    "key": record.key,
+                    "timestamp": record.timestamp,
+                    "headers": record.headers,
+                }
+            )
+            out_blobs.append(encode_wire(record.value, self._allow_pickle))
+        return {"records": out_records}, out_blobs
+
+    def _op_commit(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        offset = int(meta["offset"])
+        if offset < 0:
+            raise InvalidOffsetError(f"cannot commit negative offset {offset}")
+        self._broker.commit(meta["group"], meta["topic"], int(meta["partition"]), offset)
+        return {}, []
+
+    def _op_committed(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        offset = self._broker.committed(
+            meta["group"], meta["topic"], int(meta["partition"])
+        )
+        return {"offset": offset}, []
+
+    def _op_reset_group(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        self._broker.reset_group(meta["group"], meta.get("topics"))
+        return {}, []
+
+    def _op_create_topic(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        topic = self._broker.create_topic(
+            meta["topic"], int(meta.get("partitions", 1)), meta.get("retention")
+        )
+        return {"partitions": topic.num_partitions}, []
+
+    def _op_ensure_topic(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        topic = self._broker.ensure_topic(
+            meta["topic"], int(meta.get("partitions", 1)), meta.get("retention")
+        )
+        return {"partitions": topic.num_partitions}, []
+
+    def _op_list_topics(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        return {"topics": self._broker.topics()}, []
+
+    def _op_partitions(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        topic = self._broker.topic(meta["topic"])
+        return {"partitions": topic.num_partitions}, []
+
+    def _op_offsets(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        log = self._broker.topic(meta["topic"]).log(int(meta["partition"]))
+        return {"start": log.start_offset, "end": log.end_offset}, []
+
+    def _op_end_offsets(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        topic = self._broker.topic(meta["topic"])
+        return {
+            "offsets": {str(p): end for p, end in topic.end_offsets().items()}
+        }, []
+
+    def _op_heartbeat(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        with self._lock:
+            self._heartbeats[meta["worker"]] = {
+                "info": meta.get("info", {}),
+                "metrics": meta.get("metrics"),
+                "last_seen": time.monotonic(),
+            }
+        return {}, []
+
+    def _op_cluster(self, meta: dict, blobs: tuple) -> tuple[dict, list]:
+        workers = self.workers()
+        if not meta.get("include_metrics", False):
+            workers = {
+                name: {"info": w["info"], "age_s": w["age_s"]}
+                for name, w in workers.items()
+            }
+        return {"workers": workers}, []
+
+
+def _error_meta(exc: Exception) -> dict:
+    return {"error": type(exc).__name__, "message": str(exc)}

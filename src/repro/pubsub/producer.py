@@ -26,6 +26,14 @@ class Producer:
     def records_sent(self) -> int:
         return self._sent
 
+    def partitions_of(self, topic: str) -> int:
+        """Partition count of ``topic`` (for per-partition broadcasts)."""
+        if self._auto_create:
+            return self._broker.ensure_topic(
+                topic, self._default_partitions
+            ).num_partitions
+        return self._broker.topic(topic).num_partitions
+
     def send(
         self,
         topic: str,

@@ -1,0 +1,191 @@
+"""Shared serialization codecs: storage values and wire payloads.
+
+Two codecs live here, layered on the same one-byte tag scheme:
+
+* the **storage codec** (``encode_value``/``decode_value``), extracted from
+  ``repro.kvstore.api`` — bytes pass through (``b``), JSON-exact values are
+  stored as JSON (``j``), everything else pickles (``p``). The kvstore
+  keeps its historical behaviour: pickle is always accepted on decode.
+* the **wire codec** (``encode_wire``/``decode_wire``), used by
+  ``repro.net`` — adds two tags the network path needs: ``n`` for numpy
+  arrays (dtype/shape header + raw buffer, no pickle) and ``t`` for
+  :class:`~repro.spe.tuples.StreamTuple` (JSON metadata + recursively
+  encoded payload entries). On the wire, pickle frames are **refused by
+  default** in both directions — a networked broker must not execute
+  arbitrary bytecode from a peer — and only enabled explicitly
+  (``allow_pickle=True``) inside the trusted distributed runtime.
+
+Both sides share tags, so a wire frame whose value happens to be plain
+JSON is byte-identical to its stored form.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from typing import Any
+
+TAG_BYTES = b"b"
+TAG_JSON = b"j"
+TAG_PICKLE = b"p"
+TAG_NDARRAY = b"n"
+TAG_TUPLE = b"t"
+
+_U32 = struct.Struct("!I")
+
+
+class SerdeError(ValueError):
+    """Malformed or unsupported serialized data."""
+
+
+class PickleRefusedError(SerdeError):
+    """A pickle frame was seen on a path where pickle is not enabled."""
+
+
+def _json_roundtrips(value: Any) -> bool:
+    """True when JSON encoding reproduces ``value`` exactly.
+
+    ``json.dumps`` silently coerces tuples to lists (and non-string dict
+    keys to strings), so "it serialized without error" is not enough for a
+    store that must return exactly what was put.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return True
+    if isinstance(value, float):
+        return value == value and value not in (float("inf"), float("-inf"))
+    if isinstance(value, list):
+        return all(_json_roundtrips(item) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and _json_roundtrips(item)
+            for key, item in value.items()
+        )
+    return False
+
+
+# -- storage codec (kvstore) -------------------------------------------------
+
+
+def encode_value(value: Any) -> bytes:
+    """Serialize an arbitrary Python value for storage.
+
+    Values that are already ``bytes`` pass through untouched; values that
+    JSON reproduces exactly are stored as JSON (portable, inspectable);
+    everything else — tuples, sets, NaN, arbitrary objects — is pickled.
+    A one-byte tag records the codec used.
+    """
+    if isinstance(value, bytes):
+        return TAG_BYTES + value
+    if _json_roundtrips(value):
+        return TAG_JSON + json.dumps(value).encode("utf-8")
+    return TAG_PICKLE + pickle.dumps(value)
+
+
+def decode_value(data: bytes, allow_pickle: bool = True) -> Any:
+    """Inverse of :func:`encode_value`."""
+    tag, body = data[:1], data[1:]
+    if tag == TAG_BYTES:
+        return body
+    if tag == TAG_JSON:
+        return json.loads(body.decode("utf-8"))
+    if tag == TAG_PICKLE:
+        if not allow_pickle:
+            raise PickleRefusedError(
+                "refusing to unpickle: pickle frames are disabled on this path"
+            )
+        return pickle.loads(body)
+    raise SerdeError(f"unknown value codec tag {tag!r}")
+
+
+# -- wire codec (repro.net) --------------------------------------------------
+
+
+def encode_wire(value: Any, allow_pickle: bool = False) -> bytes:
+    """Serialize a value for the network, avoiding pickle where possible.
+
+    Stream tuples and numpy arrays — the payloads STRATA connectors carry —
+    get dedicated pickle-free encodings. Anything that would fall back to
+    pickle raises :class:`PickleRefusedError` at the *sender* unless
+    ``allow_pickle`` is set, so misconfiguration fails fast and loudly.
+    """
+    import numpy as np
+
+    from .spe.tuples import StreamTuple
+
+    if isinstance(value, StreamTuple):
+        keys = list(value.payload)
+        meta = json.dumps(
+            {
+                "tau": value.tau,
+                "job": value.job,
+                "layer": value.layer,
+                "specimen": value.specimen,
+                "portion": value.portion,
+                "ingest_time": value.ingest_time,
+                "trace_id": value.trace_id,
+                "keys": keys,
+            }
+        ).encode("utf-8")
+        parts = [TAG_TUPLE, _U32.pack(len(meta)), meta]
+        for key in keys:
+            blob = encode_wire(value.payload[key], allow_pickle)
+            parts.append(_U32.pack(len(blob)))
+            parts.append(blob)
+        return b"".join(parts)
+    if isinstance(value, np.ndarray) and not value.dtype.hasobject:
+        array = np.ascontiguousarray(value)
+        header = json.dumps(
+            {"dtype": array.dtype.str, "shape": list(array.shape)}
+        ).encode("utf-8")
+        return TAG_NDARRAY + _U32.pack(len(header)) + header + array.tobytes()
+    if isinstance(value, bytes):
+        return TAG_BYTES + value
+    if _json_roundtrips(value):
+        return TAG_JSON + json.dumps(value).encode("utf-8")
+    if not allow_pickle:
+        raise PickleRefusedError(
+            f"value of type {type(value).__name__} needs pickle, which is "
+            "disabled on the network path (pass allow_pickle=True on a "
+            "trusted link to enable it)"
+        )
+    return TAG_PICKLE + pickle.dumps(value)
+
+
+def decode_wire(data: bytes, allow_pickle: bool = False) -> Any:
+    """Inverse of :func:`encode_wire`; pickle gated exactly the same way."""
+    import numpy as np
+
+    from .spe.tuples import StreamTuple
+
+    tag, body = data[:1], data[1:]
+    if tag == TAG_TUPLE:
+        meta_len = _U32.unpack_from(body)[0]
+        meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
+        payload: dict[str, Any] = {}
+        cursor = 4 + meta_len
+        for key in meta["keys"]:
+            blob_len = _U32.unpack_from(body, cursor)[0]
+            cursor += 4
+            payload[key] = decode_wire(body[cursor : cursor + blob_len], allow_pickle)
+            cursor += blob_len
+        t = StreamTuple(
+            tau=meta["tau"],
+            job=meta["job"],
+            layer=meta["layer"],
+            payload=payload,
+            specimen=meta["specimen"],
+            portion=meta["portion"],
+            ingest_time=meta["ingest_time"],
+        )
+        t.trace_id = meta["trace_id"]
+        return t
+    if tag == TAG_NDARRAY:
+        header_len = _U32.unpack_from(body)[0]
+        header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
+        raw = body[4 + header_len :]
+        array = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
+        return array.reshape(header["shape"]).copy()
+    if tag in (TAG_BYTES, TAG_JSON, TAG_PICKLE):
+        return decode_value(data, allow_pickle=allow_pickle)
+    raise SerdeError(f"unknown wire codec tag {tag!r}")

@@ -8,7 +8,7 @@ from repro.core.connectors import (
     PubSubWriterSink,
     topic_for_stream,
 )
-from repro.pubsub import Broker, Consumer
+from repro.pubsub import Broker, Consumer, Producer
 from repro.spe import StreamTuple
 
 
@@ -83,3 +83,84 @@ def test_two_readers_with_distinct_groups_both_replay():
     a = list(PubSubReaderSource("r1", broker, "strata.s"))
     b = list(PubSubReaderSource("r2", broker, "strata.s"))
     assert len(a) == len(b) == 1
+
+
+def test_eos_broadcast_reaches_every_partition():
+    broker = Broker()
+    broker.create_topic("strata.s", partitions=3)
+    writer = PubSubWriterSink("w", broker, "strata.s")
+    for i in range(6):
+        writer.accept(make_tuple(i))
+    writer.on_close()
+    for partition in range(3):
+        log = broker.topic("strata.s").log(partition)
+        values = [m.value for m in log.read(0)]
+        assert values.count(EOS_SENTINEL) == 1  # one sentinel per partition
+        assert values[-1] == EOS_SENTINEL
+
+
+def test_reader_drains_multi_partition_topic():
+    broker = Broker()
+    broker.create_topic("strata.s", partitions=3)
+    writer = PubSubWriterSink("w", broker, "strata.s")
+    for i in range(9):
+        writer.accept(make_tuple(i))
+    writer.on_close()
+    reader = PubSubReaderSource("r", broker, "strata.s")
+    got = list(reader)  # would hang forever if any partition lacked its EOS
+    assert sorted(t.layer for t in got) == list(range(9))
+
+
+def test_reader_waits_for_eos_on_every_partition():
+    broker = Broker()
+    broker.create_topic("strata.s", partitions=2)
+    producer = Producer(broker)
+    producer.send("strata.s", make_tuple(0), partition=0)
+    producer.send("strata.s", EOS_SENTINEL, partition=0)
+    reader = PubSubReaderSource("r", broker, "strata.s", poll_timeout=0.01)
+    got = []
+
+    def drain():
+        got.extend(reader)
+
+    thread = threading.Thread(target=drain)
+    thread.start()
+    thread.join(timeout=0.3)
+    assert thread.is_alive()  # partition 1 has no sentinel yet
+    producer.send("strata.s", make_tuple(1), partition=1)
+    producer.send("strata.s", EOS_SENTINEL, partition=1)
+    thread.join(timeout=5)
+    assert not thread.is_alive()
+    assert sorted(t.layer for t in got) == [0, 1]
+
+
+def test_dedup_reader_suppresses_replayed_content():
+    broker = Broker()
+    writer = PubSubWriterSink("w", broker, "strata.s")
+    for _ in range(2):  # publish the same logical records twice
+        for i in range(3):
+            writer.accept(make_tuple(i))
+    writer.on_close()
+    reader = PubSubReaderSource("r", broker, "strata.s", dedup=True)
+    got = list(reader)
+    assert [t.layer for t in got] == [0, 1, 2]
+    assert reader.duplicates_suppressed == 3
+    plain = PubSubReaderSource("r2", broker, "strata.s")
+    assert len(list(plain)) == 6  # without dedup, the replay is visible
+    assert plain.duplicates_suppressed == 0
+
+
+def test_reader_rebind_keeps_group_and_overrides_flags():
+    first = Broker()
+    reader = PubSubReaderSource("r", first, "strata.s", group="g")
+    second = Broker()
+    writer = PubSubWriterSink("w", second, "strata.s")
+    writer.accept(make_tuple(0))
+    writer.accept(make_tuple(0))  # duplicate content
+    writer.on_close()
+    reader.rebind(second, auto_commit=False, dedup=True)
+    assert reader.group == "g"
+    assert [t.layer for t in list(reader)] == [0]
+    assert reader.duplicates_suppressed == 1
+    # no commit happened: the group can replay from earliest on the broker
+    assert second.committed("g", "strata.s", 0) is None

@@ -1,0 +1,196 @@
+"""Distributed runtime end-to-end: equivalence, restarts, failure paths."""
+
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.core.errors import DeploymentError
+from repro.dist import DistConfig, DistCoordinator, DistError
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+def build(layer_records, reference_images, test_job, connector_mode="pubsub"):
+    config = UseCaseConfig(
+        image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=4
+    )
+    strata = Strata(engine_mode="threaded", connector_mode=connector_mode)
+    calibrate_job(
+        strata.kv, test_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(test_job.specimens, TEST_IMAGE_PX),
+    )
+    pipeline = build_use_case(
+        iter(layer_records), iter(layer_records), config, strata=strata
+    )
+    return strata, pipeline
+
+
+def result_key(t):
+    # cluster lists may arrive in a different within-layer order across
+    # runs, so compare the order-insensitive result identity
+    return (t.job, t.layer, t.specimen, t.payload["num_events"],
+            t.payload["num_clusters"])
+
+
+@pytest.fixture(scope="module")
+def baseline(layer_records, reference_images, test_job):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    strata.deploy()
+    return sorted(map(result_key, pipeline.sink.results))
+
+
+def test_two_worker_deploy_equals_threaded(
+    layer_records, reference_images, test_job, baseline
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    report = strata.deploy(distributed=2)
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    dist = report.extra["dist"]
+    assert len(dist["workers"]) == 2
+    assert all(w["exitcode"] == 0 for w in dist["workers"].values())
+    assert dist["restarts"] == 0 and dist["failure"] is None
+
+
+def test_survives_worker_kill(
+    layer_records, reference_images, test_job, baseline
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker, DistConfig(workers=2),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+
+    def chaos():
+        time.sleep(0.05)
+        coordinator.workers[0].kill()
+
+    threading.Thread(target=chaos, daemon=True).start()
+    report = coordinator.run()
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    dist = report.extra["dist"]
+    # the kill may race natural completion on fast machines; when it lands
+    # mid-run, the restart must be recorded and absorbed
+    if dist["restarts"]:
+        assert dist["failure"] is None
+        assert dist["workers"]["worker-0"]["incarnation"] >= 1
+
+
+def test_worker_metrics_aggregated(layer_records, reference_images, test_job):
+    strata, _ = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker, DistConfig(workers=2),
+        capacity=strata.capacity,
+    )
+    report = coordinator.run()
+    metrics = report.extra["worker_metrics"]
+    assert set(metrics) == {"worker-0", "worker-1"}
+    # workers processed tuples: their schedulers exported operator counters
+    assert any(
+        s.name == "spe_tuples_out_total" and s.value > 0
+        for s in metrics["worker-0"].samples
+    )
+    merged = coordinator.cluster_snapshot()
+    workers_seen = {s.label("worker") for s in merged.samples}
+    assert {"worker-0", "worker-1"} <= workers_seen
+
+
+def test_prometheus_scrape_endpoint(layer_records, reference_images, test_job):
+    strata, _ = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, scrape_port=0),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+    try:
+        host, port = coordinator.scrape_address
+        deadline = time.monotonic() + 10
+        body = ""
+        while time.monotonic() < deadline:
+            with urllib.request.urlopen(
+                f"http://{host}:{port}/metrics", timeout=5
+            ) as response:
+                assert response.status == 200
+                body = response.read().decode("utf-8")
+            if 'worker="worker-0"' in body:
+                break
+            time.sleep(0.1)
+        assert 'worker="worker-0"' in body
+    finally:
+        coordinator.run()
+
+
+def test_permanent_worker_failure_raises(
+    layer_records, reference_images, test_job
+):
+    strata, _ = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, restart_limit=0),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+
+    def chaos():
+        time.sleep(0.05)
+        for worker in coordinator.workers:
+            worker.kill()
+
+    threading.Thread(target=chaos, daemon=True).start()
+    try:
+        coordinator.run()
+    except DistError as exc:
+        assert "exited" in str(exc)
+    else:
+        # both kills raced completion: legal on a very fast run, but the
+        # coordinator must then report a clean deployment
+        assert coordinator.status()["failure"] is None
+
+
+def test_distributed_requires_pubsub_mode(
+    layer_records, reference_images, test_job
+):
+    strata, _ = build(
+        layer_records, reference_images, test_job, connector_mode="direct"
+    )
+    with pytest.raises(DeploymentError, match="pubsub"):
+        strata.deploy(distributed=2)
+
+
+def test_distributed_rejects_checkpointer(
+    layer_records, reference_images, test_job
+):
+    strata, _ = build(layer_records, reference_images, test_job)
+    with pytest.raises(DeploymentError, match="crash recovery"):
+        strata.deploy(distributed=2, checkpointer=object())
+
+
+def test_dist_config_resolve():
+    assert DistConfig.resolve(None) is None
+    assert DistConfig.resolve(False) is None
+    assert DistConfig.resolve(True) == DistConfig()
+    assert DistConfig.resolve(3).workers == 3
+    config = DistConfig(workers=5)
+    assert DistConfig.resolve(config) is config
+    with pytest.raises(ValueError):
+        DistConfig.resolve(0)
+    with pytest.raises(TypeError):
+        DistConfig.resolve("two")
+
+
+def test_worker_process_requires_fork():
+    from repro.dist import WorkerProcess
+
+    with pytest.raises(ValueError, match="fork"):
+        WorkerProcess("w", [], ("127.0.0.1", 0), start_method="spawn")

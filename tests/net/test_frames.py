@@ -1,0 +1,102 @@
+"""Wire frame encode/decode and the socket framing layer."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.net import (
+    MAGIC,
+    TYPE_ERROR,
+    TYPE_REQUEST,
+    TYPE_RESPONSE,
+    Frame,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.net.errors import ConnectionClosedError, ProtocolError
+from repro.net.frames import HEADER, decode_body
+
+
+def roundtrip(frame: Frame) -> Frame:
+    a, b = socket.socketpair()
+    try:
+        write_frame(a, frame)
+        return read_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_frame_roundtrip_with_blobs():
+    frame = Frame(
+        type=TYPE_REQUEST, corr_id=42,
+        meta={"op": "produce", "topic": "strata.OT"},
+        blobs=(b"\x00payload", b"", b"\xffmore"),
+    )
+    assert roundtrip(frame) == frame
+
+
+def test_frame_roundtrip_all_types():
+    for frame_type in (TYPE_REQUEST, TYPE_RESPONSE, TYPE_ERROR):
+        frame = Frame(type=frame_type, corr_id=7, meta={"op": "ping"})
+        assert roundtrip(frame) == frame
+
+
+def test_bad_magic_rejected():
+    frame = encode_frame(Frame(type=TYPE_REQUEST, corr_id=1, meta={}))
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"XX" + frame[2:])
+        with pytest.raises(ProtocolError, match="magic"):
+            read_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_unknown_version_rejected():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(HEADER.pack(MAGIC, 99, TYPE_REQUEST, 1, 0))
+        with pytest.raises(ProtocolError, match="version"):
+            read_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_oversized_frame_rejected():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(HEADER.pack(MAGIC, 1, TYPE_REQUEST, 1, 1 << 30))
+        with pytest.raises(ProtocolError, match="exceeds"):
+            read_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_truncated_stream_raises_connection_closed():
+    frame = encode_frame(Frame(type=TYPE_REQUEST, corr_id=1, meta={"op": "x"}))
+    a, b = socket.socketpair()
+    try:
+        a.sendall(frame[: len(frame) - 3])
+        a.close()
+        with pytest.raises(ConnectionClosedError):
+            read_frame(b)
+    finally:
+        b.close()
+
+
+def test_malformed_body_rejected():
+    with pytest.raises(ProtocolError, match="malformed"):
+        decode_body(TYPE_REQUEST, 1, struct.pack("!I", 500) + b"{}")
+
+
+def test_non_object_meta_rejected():
+    meta = b"[1,2]"
+    body = struct.pack("!I", len(meta)) + meta + struct.pack("!I", 0)
+    with pytest.raises(ProtocolError, match="JSON object"):
+        decode_body(TYPE_REQUEST, 1, body)

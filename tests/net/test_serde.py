@@ -1,0 +1,110 @@
+"""Shared serde: storage codec extraction + pickle-free wire codec."""
+
+import numpy as np
+import pytest
+
+from repro.serde import (
+    PickleRefusedError,
+    SerdeError,
+    decode_value,
+    decode_wire,
+    encode_value,
+    encode_wire,
+)
+from repro.spe import StreamTuple
+
+
+def test_storage_codec_roundtrips():
+    for value in (b"\x00raw", {"a": [1, 2.5, None, True]}, "text", 42):
+        assert decode_value(encode_value(value)) == value
+
+
+def test_storage_codec_still_pickles_non_json():
+    # kvstore back-compat: tuples/sets fall back to pickle, decode allows it
+    value = {"key": (1, 2)}
+    assert decode_value(encode_value(value)) == value
+
+
+def test_storage_codec_unknown_tag():
+    with pytest.raises(SerdeError):
+        decode_value(b"?junk")
+
+
+def test_kvstore_reexports_shared_codec():
+    from repro import serde
+    from repro.kvstore import api
+
+    assert api.encode_value is serde.encode_value
+    assert api.decode_value is serde.decode_value
+
+
+def test_wire_json_roundtrip():
+    for value in (None, True, 3, 2.5, "s", [1, "x"], {"k": [1]}):
+        assert decode_wire(encode_wire(value)) == value
+
+
+def test_wire_bytes_roundtrip():
+    assert decode_wire(encode_wire(b"\xff\x00blob")) == b"\xff\x00blob"
+
+
+@pytest.mark.parametrize("dtype", ["<f8", "<f4", "<i4", "<u2", "|b1"])
+def test_wire_ndarray_roundtrip(dtype):
+    array = (np.arange(24) % 2).astype(np.dtype(dtype)).reshape(2, 3, 4)
+    got = decode_wire(encode_wire(array))
+    assert got.dtype == array.dtype and got.shape == array.shape
+    np.testing.assert_array_equal(got, array)
+
+
+def test_wire_ndarray_non_contiguous():
+    array = np.arange(16, dtype=np.float64).reshape(4, 4)[:, ::2]
+    np.testing.assert_array_equal(decode_wire(encode_wire(array)), array)
+
+
+def test_wire_decoded_ndarray_is_writable():
+    got = decode_wire(encode_wire(np.zeros(3)))
+    got[0] = 1.0  # frombuffer views are read-only; the codec must copy
+
+
+def test_wire_stream_tuple_roundtrip():
+    t = StreamTuple(
+        tau=3.5, job="J1", layer=7,
+        payload={"image": np.ones((4, 4), dtype=np.float32), "count": 2},
+        specimen="s0", portion="p1", ingest_time=123.25,
+    )
+    t.trace_id = "trace-9"
+    got = decode_wire(encode_wire(t))
+    assert isinstance(got, StreamTuple)
+    assert (got.tau, got.job, got.layer) == (3.5, "J1", 7)
+    assert (got.specimen, got.portion) == ("s0", "p1")
+    assert got.ingest_time == 123.25  # preserved: latency spans the hop
+    assert got.trace_id == "trace-9"
+    assert got.payload["count"] == 2
+    np.testing.assert_array_equal(got.payload["image"], t.payload["image"])
+
+
+def test_wire_refuses_pickle_by_default():
+    with pytest.raises(PickleRefusedError):
+        encode_wire({"bad": (1, 2)})  # tuple is not JSON-exact
+    blob = encode_wire({"bad": (1, 2)}, allow_pickle=True)
+    with pytest.raises(PickleRefusedError):
+        decode_wire(blob)
+    assert decode_wire(blob, allow_pickle=True) == {"bad": (1, 2)}
+
+
+def test_wire_tuple_payload_honours_pickle_gate():
+    t = StreamTuple(tau=0.0, job="J", layer=0, payload={"odd": {1, 2}})
+    with pytest.raises(PickleRefusedError):
+        encode_wire(t)
+    got = decode_wire(encode_wire(t, allow_pickle=True), allow_pickle=True)
+    assert got.payload["odd"] == {1, 2}
+
+
+def test_wire_object_ndarray_needs_pickle():
+    array = np.array([object(), object()], dtype=object)
+    with pytest.raises(PickleRefusedError):
+        encode_wire(array)
+
+
+def test_wire_unknown_tag():
+    with pytest.raises(SerdeError):
+        decode_wire(b"zoops")

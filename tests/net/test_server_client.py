@@ -1,0 +1,213 @@
+"""BrokerServer + BrokerClient: the full RPC surface over real sockets."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.net import BrokerClient, BrokerServer, ProtocolError, RpcError
+from repro.pubsub import (
+    Broker,
+    Consumer,
+    InvalidOffsetError,
+    Producer,
+    TopicExistsError,
+    UnknownTopicError,
+)
+from repro.serde import PickleRefusedError
+from repro.spe import StreamTuple
+
+
+@pytest.fixture()
+def served():
+    broker = Broker()
+    with BrokerServer(broker) as server:
+        host, port = server.address
+        with BrokerClient(host, port) as client:
+            yield broker, server, client
+
+
+def test_ping_and_wait_ready(served):
+    _, _, client = served
+    assert client.ping()
+    client.wait_ready(timeout=5.0)
+
+
+def test_wait_ready_times_out_quickly():
+    client = BrokerClient("127.0.0.1", 1)  # port 1: nothing listening
+    with pytest.raises(TimeoutError):
+        client.wait_ready(timeout=0.2, interval=0.05)
+
+
+def test_topic_admin_roundtrip(served):
+    _, _, client = served
+    client.create_topic("a", partitions=3)
+    assert client.ensure_topic("a", partitions=3) == 3
+    assert client.has_topic("a")
+    assert not client.has_topic("missing")
+    assert "a" in client.topics()
+    assert client.partitions("a") == 3
+    with pytest.raises(TopicExistsError):
+        client.create_topic("a")
+    with pytest.raises(UnknownTopicError):
+        client.partitions("missing")
+
+
+def test_produce_fetch_roundtrip(served):
+    broker, _, client = served
+    producer = client.producer()
+    for i in range(4):
+        partition, offset = producer.send(
+            "t", {"i": i}, key="k", timestamp=float(i), headers={"h": i}
+        )
+        assert (partition, offset) == (0, i)
+    assert producer.records_sent == 4
+    consumer = client.consumer("g", ["t"])
+    messages = consumer.poll()
+    assert [m.value for m in messages] == [{"i": i} for i in range(4)]
+    assert messages[0].key == "k"
+    assert messages[0].timestamp == 0.0
+    assert messages[0].headers == {"h": 0}
+    assert [m.offset for m in messages] == [0, 1, 2, 3]
+    producer.close()
+    consumer.close()
+
+
+def test_remote_and_local_clients_interoperate(served):
+    broker, _, client = served
+    # remote producer -> local consumer: the server stores decoded values
+    client.producer().send("t", {"x": 1})
+    local = Consumer(broker, "local", ["t"])
+    assert [m.value for m in local.poll()] == [{"x": 1}]
+    # local producer -> remote consumer
+    Producer(broker).send("t", {"x": 2})
+    remote = client.consumer("remote", ["t"])
+    assert [m.value for m in remote.poll()] == [{"x": 1}, {"x": 2}]
+
+
+def test_stream_tuple_with_image_over_the_wire(served):
+    _, _, client = served
+    t = StreamTuple(
+        tau=1.0, job="J", layer=3,
+        payload={"image": np.ones((8, 8), dtype=np.float32)},
+    )
+    client.producer().send("t", t, key="J/3", timestamp=t.tau)
+    got = client.consumer("g", ["t"]).poll()[0].value
+    assert isinstance(got, StreamTuple)
+    np.testing.assert_array_equal(got.payload["image"], t.payload["image"])
+
+
+def test_commit_and_committed(served):
+    _, _, client = served
+    client.ensure_topic("t")
+    assert client.committed("g", "t", 0) is None
+    client.commit("g", "t", 0, 5)
+    assert client.committed("g", "t", 0) == 5
+    client.reset_group("g")
+    assert client.committed("g", "t", 0) is None
+    with pytest.raises(InvalidOffsetError):
+        client.commit("g", "t", 0, -1)
+
+
+def test_offsets_surface(served):
+    _, _, client = served
+    producer = client.producer()
+    for i in range(3):
+        producer.send("t", {"i": i})
+    assert client.end_offsets("t") == {0: 3}
+
+
+def test_consumer_seek_position_and_manual_commit(served):
+    _, _, client = served
+    producer = client.producer()
+    for i in range(5):
+        producer.send("t", {"i": i})
+    consumer = client.consumer("g", ["t"], auto_commit=False)
+    consumer.poll()
+    assert consumer.position("t", 0) == 5
+    consumer.seek("t", 0, 2)
+    assert [m.value["i"] for m in consumer.poll()] == [2, 3, 4]
+    consumer.commit()
+    assert consumer.committed("t", 0) == 5
+    with pytest.raises(InvalidOffsetError):
+        consumer.seek("nope", 0, 0)
+
+
+def test_consumer_latest_reset_sees_only_new_records(served):
+    _, _, client = served
+    producer = client.producer()
+    producer.send("t", {"old": True})
+    consumer = client.consumer("g", ["t"], auto_offset_reset="latest")
+    assert consumer.poll() == []
+    producer.send("t", {"new": True})
+    assert [m.value for m in consumer.poll()] == [{"new": True}]
+
+
+def test_blocking_fetch_wakes_on_produce(served):
+    _, _, client = served
+    client.ensure_topic("t")
+    consumer = client.consumer("g", ["t"])
+    got = []
+
+    def drain():
+        got.extend(consumer.poll(timeout=5.0))
+
+    thread = threading.Thread(target=drain)
+    thread.start()
+    client.producer().send("t", {"x": 1})
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    assert [m.value for m in got] == [{"x": 1}]
+
+
+def test_pickle_refused_at_sender_and_server(served):
+    _, _, client = served
+    with pytest.raises(PickleRefusedError):
+        client.producer().send("t", {"bad": (1, 2)})
+
+
+def test_pickle_refusing_server_rejects_pickle_frames():
+    with BrokerServer(Broker(), allow_pickle=False) as server:
+        host, port = server.address
+        # a client that *sends* pickle to a server that refuses it
+        with BrokerClient(host, port, allow_pickle=True) as client:
+            with pytest.raises(PickleRefusedError):
+                client.producer().send("t", {"bad": (1, 2)})
+
+
+def test_pickle_allowed_end_to_end_when_enabled():
+    with BrokerServer(Broker(), allow_pickle=True) as server:
+        host, port = server.address
+        with BrokerClient(host, port, allow_pickle=True) as client:
+            client.producer().send("t", {"ok": (1, 2)})
+            got = client.consumer("g", ["t"]).poll()[0].value
+            assert got == {"ok": (1, 2)}
+
+
+def test_unknown_op_maps_to_protocol_error(served):
+    _, _, client = served
+    conn = client.connect()
+    with pytest.raises(ProtocolError, match="unknown operation"):
+        conn.request("no-such-op", {})
+    conn.close()
+
+
+def test_unmapped_server_error_becomes_rpc_error():
+    from repro.net.client import _raise_remote
+
+    with pytest.raises(RpcError) as exc_info:
+        _raise_remote({"error": "SomethingExotic", "message": "boom"})
+    assert exc_info.value.kind == "SomethingExotic"
+    assert "boom" in str(exc_info.value)
+
+
+def test_heartbeat_and_cluster(served):
+    _, server, client = served
+    client.heartbeat("w0", {"stages": ["stage-0"]}, {"wall_time": 1.0, "samples": []})
+    client.heartbeat("w1", {"stages": ["stage-1"]}, None)
+    cluster = client.cluster(include_metrics=True)
+    assert set(cluster) == {"w0", "w1"}
+    assert cluster["w0"]["info"]["stages"] == ["stage-0"]
+    assert cluster["w0"]["metrics"] == {"wall_time": 1.0, "samples": []}
+    assert cluster["w0"]["age_s"] >= 0.0
+    assert set(server.workers()) == {"w0", "w1"}

@@ -1,0 +1,104 @@
+"""Offset edge cases: commits past the end, closed brokers, retention."""
+
+import pytest
+
+from repro.pubsub import (
+    Broker,
+    BrokerClosedError,
+    Consumer,
+    InvalidOffsetError,
+    Producer,
+)
+
+
+def filled_broker(records=3, retention=None):
+    broker = Broker()
+    broker.create_topic("t", retention=retention)
+    producer = Producer(broker)
+    for i in range(records):
+        producer.send("t", {"i": i})
+    return broker
+
+
+def test_commit_beyond_log_end_is_stored_and_polls_empty():
+    broker = filled_broker(records=3)
+    broker.commit("g", "t", 0, 10)  # Kafka allows committing ahead
+    assert broker.committed("g", "t", 0) == 10
+    consumer = Consumer(broker, "g", ["t"])
+    assert consumer.position("t", 0) == 10
+    assert consumer.poll() == []  # past-the-end read is empty, not an error
+
+
+def test_committed_beyond_end_catches_up_when_records_arrive():
+    broker = filled_broker(records=3)
+    broker.commit("g", "t", 0, 5)
+    consumer = Consumer(broker, "g", ["t"])
+    producer = Producer(broker)
+    for i in range(3, 7):  # offsets 3..6: the group resumes at 5
+        producer.send("t", {"i": i})
+    assert [m.value["i"] for m in consumer.poll()] == [5, 6]
+
+
+def test_seek_unassigned_partition_raises():
+    broker = filled_broker()
+    consumer = Consumer(broker, "g", ["t"])
+    with pytest.raises(InvalidOffsetError, match="not assigned"):
+        consumer.seek("t", 7, 0)
+    with pytest.raises(InvalidOffsetError, match="not assigned"):
+        consumer.seek("other", 0, 0)
+
+
+def test_committed_offsets_survive_broker_close():
+    broker = filled_broker()
+    consumer = Consumer(broker, "g", ["t"])
+    consumer.poll()
+    broker.close()
+    # offset state stays readable after close; data-plane calls are refused
+    assert broker.committed("g", "t", 0) == 3
+    with pytest.raises(BrokerClosedError):
+        Consumer(broker, "g2", ["t"])
+    with pytest.raises(BrokerClosedError):
+        broker.commit("g", "t", 0, 4)
+
+
+def test_reopened_client_resumes_from_committed():
+    broker = filled_broker(records=5)
+    first = Consumer(broker, "g", ["t"], auto_commit=False)
+    batch = first.poll(max_records=2)
+    assert [m.value["i"] for m in batch] == [0, 1]
+    first.commit()  # position 2
+    del first  # client goes away; the group's offsets are broker state
+    second = Consumer(broker, "g", ["t"])
+    assert second.position("t", 0) == 2
+    assert [m.value["i"] for m in second.poll()] == [2, 3, 4]
+
+
+def test_retention_truncation_below_committed_resets_to_earliest():
+    broker = Broker()
+    broker.create_topic("t", retention=4)
+    producer = Producer(broker)
+    for i in range(3):
+        producer.send("t", {"i": i})
+    broker.commit("g", "t", 0, 1)
+    for i in range(3, 10):  # retention=4 trims the head to offset 6
+        producer.send("t", {"i": i})
+    log = broker.topic("t").log(0)
+    assert log.start_offset == 6
+    with pytest.raises(InvalidOffsetError):
+        log.read(1)
+    consumer = Consumer(broker, "g", ["t"])
+    assert consumer.position("t", 0) == 1  # resolved from the stale commit
+    got = [m.value["i"] for m in consumer.poll()]
+    assert got == [6, 7, 8, 9]  # reset to oldest retained, like Kafka
+    assert consumer.position("t", 0) == 10
+
+
+def test_seek_then_commit_explicit_offset_roundtrip():
+    broker = filled_broker(records=5)
+    consumer = Consumer(broker, "g", ["t"], auto_commit=False)
+    consumer.seek("t", 0, 4)
+    assert [m.value["i"] for m in consumer.poll()] == [4]
+    consumer.commit("t", 0, 2)  # pin an offset unrelated to the position
+    assert consumer.committed("t", 0) == 2
+    replay = Consumer(broker, "g", ["t"])
+    assert [m.value["i"] for m in replay.poll()] == [2, 3, 4]
