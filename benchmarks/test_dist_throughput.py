@@ -27,6 +27,7 @@ import pytest
 
 from repro.bench import EvaluationWorkload, format_table
 from repro.core import (
+    DeployConfig,
     Strata,
     UseCaseConfig,
     build_use_case,
@@ -88,7 +89,7 @@ def _deploy(profile, workload: EvaluationWorkload, variant: str) -> dict:
     if VARIANTS[variant] is None:
         report = strata.deploy()
     else:
-        report = strata.deploy(distributed=_workers())
+        report = strata.deploy(DeployConfig(dist=_workers()))
     wall = time.monotonic() - started
     # read latency off the expert sink itself: the pub/sub report also
     # lists the connector writer sinks, so the report-level helper is

@@ -20,6 +20,8 @@ import pytest
 
 from repro.bench import format_table, save_json
 from repro.core import (
+    DeployConfig,
+    RecoveryConfig,
     Strata,
     UseCaseConfig,
     build_use_case,
@@ -90,7 +92,7 @@ def test_checkpoint_overhead(benchmark, profile, workload, variant):
             coordinator = CheckpointCoordinator(
                 MemoryStore(), interval=CHECKPOINT_INTERVAL_S
             )
-            strata.start(checkpointer=coordinator)
+            strata.start(DeployConfig(recovery=RecoveryConfig(checkpointer=coordinator)))
             coordinator.start_periodic()
         else:
             strata.start()
@@ -137,7 +139,7 @@ def test_recovery_time(benchmark, profile, workload):
         strata = Strata(engine_mode="threaded")
         pipeline = _build(strata, profile, workload, pace=CRASH_PACE_S)
         coordinator = CheckpointCoordinator(ckpt_store, retain=3)
-        strata.start(checkpointer=coordinator)
+        strata.start(DeployConfig(recovery=RecoveryConfig(checkpointer=coordinator)))
         for _ in range(2):
             coordinator.trigger(timeout=30.0)
         chaos = ChaosInjector(
@@ -153,7 +155,7 @@ def test_recovery_time(benchmark, profile, workload):
         pipeline2 = _build(strata2, profile, workload)
         recovery = _TimedRecovery(ckpt_store)
         started = time.perf_counter()
-        strata2.deploy(recover_from=recovery)
+        strata2.deploy(DeployConfig(recovery=RecoveryConfig(recover_from=recovery)))
         total = time.perf_counter() - started
         assert recovery.report is not None
         return {

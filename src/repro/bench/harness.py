@@ -21,7 +21,7 @@ from typing import Iterable
 
 from ..am.dataset import LayerRecord
 from ..core.api import Strata
-from ..core.collectors import OTImageCollector, PrintingParameterCollector
+from ..core.collectors import OTImageCollector
 from ..core.usecase import (
     UseCaseConfig,
     build_use_case,
@@ -155,8 +155,9 @@ def run_latency_experiment(
     """Lockstep replay of the workload; per-layer latency samples.
 
     ``optimize`` is forwarded to :meth:`Strata.deploy` (``None``/``False``,
-    ``True``, or a :class:`~repro.spe.plan.PlanConfig`); ``obs`` to
-    :class:`Strata` (the obs-overhead benchmark ablates instrumentation).
+    ``True``, a :class:`~repro.spe.plan.PlanConfig`, or a full
+    :class:`~repro.core.deploy.DeployConfig`); ``obs`` to :class:`Strata`
+    (the obs-overhead benchmark ablates instrumentation).
     """
     records = workload.records
     strata = Strata(engine_mode=engine_mode, obs=obs)
@@ -173,7 +174,7 @@ def run_latency_experiment(
     )
     _prepare(workload, config, strata)
     started = time.monotonic()
-    report = strata.deploy(optimize=optimize)
+    report = strata.deploy(optimize)
     wall = time.monotonic() - started
     per_layer = _per_layer_latency(sink.results, sink.latency.samples())
     # Drop warm-up layers: first images pay one-time costs (threshold
@@ -231,7 +232,8 @@ def run_throughput_experiment(
 ) -> ThroughputRun:
     """Replay ``total_images`` at ``offered_images_s``; measure saturation.
 
-    ``optimize`` is forwarded to :meth:`Strata.deploy`, so the fig7 sweep
+    ``optimize`` is forwarded to :meth:`Strata.deploy` (plan shorthand or
+    a full :class:`~repro.core.deploy.DeployConfig`), so the fig7 sweep
     can ablate the plan compiler's passes; ``obs`` to :class:`Strata`, so
     the obs-overhead benchmark can ablate instrumentation.
     """
@@ -250,7 +252,7 @@ def run_throughput_experiment(
     )
     _prepare(workload, config, strata)
     started = time.monotonic()
-    report = strata.deploy(optimize=optimize)
+    report = strata.deploy(optimize)
     wall = time.monotonic() - started
     latencies = report.latency_samples()
     cells = pipeline.cells_evaluated

@@ -32,7 +32,9 @@ from .am import (
     make_job,
 )
 from .core import (
+    DeployConfig,
     LiveLayerFeed,
+    RecoveryConfig,
     Strata,
     UseCaseConfig,
     build_streak_use_case,
@@ -40,6 +42,7 @@ from .core import (
     calibrate_job,
     specimen_regions_px,
 )
+from .elastic import ElasticConfig
 from .obs import ObsContext, to_json_line
 from .spe import CallbackSink, PlanConfig
 
@@ -66,6 +69,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="tuples per queue entry on threaded edges (1 = unbatched)")
     parser.add_argument("--parallelism", type=int, default=1,
                         help="replicate keyed stages N-ways behind a hash router")
+    parser.add_argument("--elastic", action="store_true",
+                        help="rescale keyed replica groups at runtime from "
+                             "load and QoS signals")
+    parser.add_argument("--min-parallelism", type=int, default=1,
+                        help="elastic lower bound on replicas per group")
+    parser.add_argument("--max-parallelism", type=int, default=4,
+                        help="elastic upper bound on replicas per group")
+    parser.add_argument("--config", default=None, metavar="FILE",
+                        help="load the full DeployConfig from a TOML file "
+                             "(overrides the individual plan/elastic flags)")
     parser.add_argument("--metrics-out", default=None, metavar="FILE",
                         help="enable observability and append JSONL metric "
                              "snapshots to FILE")
@@ -97,9 +110,36 @@ def _plan_of(args: argparse.Namespace) -> PlanConfig | None:
     )
 
 
-def _maybe_explain(args: argparse.Namespace, strata: Strata, plan) -> None:
+def _elastic_of(args: argparse.Namespace) -> ElasticConfig | None:
+    """Elastic rescaling configuration from the common CLI knobs."""
+    if not getattr(args, "elastic", False):
+        return None
+    return ElasticConfig(
+        min_parallelism=args.min_parallelism,
+        max_parallelism=args.max_parallelism,
+    )
+
+
+def _deploy_of(args: argparse.Namespace) -> DeployConfig:
+    """One DeployConfig per verb: ``--config file.toml`` or the flags.
+
+    A config file is the whole deployment description
+    (:meth:`DeployConfig.from_dict` — unknown keys are rejected); without
+    one, the individual plan/elastic flags are assembled into the
+    equivalent config.
+    """
+    if getattr(args, "config", None):
+        import tomllib
+
+        with open(args.config, "rb") as fh:
+            data = tomllib.load(fh)
+        return DeployConfig.from_dict(data)
+    return DeployConfig(plan=_plan_of(args), elastic=_elastic_of(args))
+
+
+def _maybe_explain(args: argparse.Namespace, strata: Strata, config) -> None:
     if args.explain:
-        print(strata.explain(optimize=plan))
+        print(strata.explain(optimize=config))
 
 
 def _prepare(args: argparse.Namespace, streak_rate: float = 0.0):
@@ -130,9 +170,9 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
-    plan = _plan_of(args)
-    _maybe_explain(args, strata, plan)
-    report = strata.deploy(optimize=plan)
+    deploy_cfg = _deploy_of(args)
+    _maybe_explain(args, strata, deploy_cfg)
+    report = strata.deploy(deploy_cfg)
     _dump_metrics(args, obs)
     flagged = [t for t in pipeline.sink.results if t.payload["num_clusters"] > 0]
     latency = report.latency_summary()
@@ -175,9 +215,9 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         feed.records(), feed.records(), config, strata=strata,
         sink=CallbackSink("policy", policy),
     )
-    plan = _plan_of(args)
-    _maybe_explain(args, strata, plan)
-    strata.start(optimize=plan)
+    deploy_cfg = _deploy_of(args)
+    _maybe_explain(args, strata, deploy_cfg)
+    strata.start(deploy_cfg)
     machine = PBFLBMachine(
         renderer=renderer, time_scale=max(args.time_scale, 1e-6)
     )
@@ -212,10 +252,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
-    plan = _plan_of(args)
-    _maybe_explain(args, strata, plan)
+    deploy_cfg = _deploy_of(args)
+    _maybe_explain(args, strata, deploy_cfg)
     started = time.monotonic()
-    strata.deploy(optimize=plan)
+    strata.deploy(deploy_cfg)
     wall = time.monotonic() - started
     _dump_metrics(args, obs)
     print(f"replayed {len(records)} layers in {wall:.2f}s "
@@ -232,9 +272,9 @@ def cmd_streaks(args: argparse.Namespace) -> int:
         iter(records), iter(records), image_px=args.image_px,
         window_layers=args.window, strata=Strata(engine_mode="threaded", obs=obs),
     )
-    plan = _plan_of(args)
-    _maybe_explain(args, pipeline.strata, plan)
-    pipeline.strata.deploy(optimize=plan)
+    deploy_cfg = _deploy_of(args)
+    _maybe_explain(args, pipeline.strata, deploy_cfg)
+    pipeline.strata.deploy(deploy_cfg)
     _dump_metrics(args, obs)
     reported: dict[int, dict] = {}
     for t in pipeline.sink.results:
@@ -259,7 +299,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         run_throughput_experiment,
     )
 
-    plan = _plan_of(args)
+    deploy_cfg = _deploy_of(args)
     workload = EvaluationWorkload(image_px=args.image_px, layers=args.layers, seed=args.seed)
     print("Figure 5 (latency vs cell size):")
     rows = []
@@ -267,7 +307,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         config = UseCaseConfig(
             image_px=args.image_px, cell_edge_px=edge, window_layers=args.window
         )
-        run = run_latency_experiment(workload, config, optimize=plan)
+        run = run_latency_experiment(workload, config, optimize=deploy_cfg)
         rows.append(boxplot_row(f"{edge}px", run.summary))
     print(format_table(BOXPLOT_HEADERS, rows))
 
@@ -277,7 +317,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         config = UseCaseConfig(
             image_px=args.image_px, cell_edge_px=5, window_layers=window
         )
-        run = run_latency_experiment(workload, config, optimize=plan)
+        run = run_latency_experiment(workload, config, optimize=deploy_cfg)
         rows.append(boxplot_row(f"L={window}", run.summary))
     print(format_table(BOXPLOT_HEADERS, rows))
 
@@ -288,7 +328,7 @@ def cmd_figures(args: argparse.Namespace) -> int:
         obs = _obs_of(args)
         run = run_throughput_experiment(
             workload, config, offered_images_s=float(rate),
-            total_images=max(24, rate * 2), optimize=plan, obs=obs,
+            total_images=max(24, rate * 2), optimize=deploy_cfg, obs=obs,
         )
         _dump_metrics(args, obs)
         rows.append([rate, round(run.achieved_images_s, 1),
@@ -341,17 +381,20 @@ def cmd_recover(args: argparse.Namespace) -> int:
             store, interval=args.checkpoint_interval, retain=args.retain
         )
         recovery = RecoveryCoordinator(store)
-        plan = _plan_of(args)
-        _maybe_explain(args, strata, plan)
+        from dataclasses import replace as _replace
+
+        deploy_cfg = _replace(
+            _deploy_of(args),
+            recovery=RecoveryConfig(checkpointer=coordinator, recover_from=recovery),
+        )
+        _maybe_explain(args, strata, deploy_cfg)
         crashed = False
         if args.crash_after is None:
-            strata.start(checkpointer=coordinator, recover_from=recovery,
-                         optimize=plan)
+            strata.start(deploy_cfg)
             coordinator.start_periodic()
             strata.wait(timeout=600)
         else:
-            strata.start(checkpointer=coordinator, recover_from=recovery,
-                         optimize=plan)
+            strata.start(deploy_cfg)
             deadline = time.monotonic() + 600
             while time.monotonic() < deadline:
                 try:
@@ -436,6 +479,10 @@ def _render_top(snap) -> str:
         tail.append(f"watermark lag {lag:.2f}s")
     if violations is not None:
         tail.append(f"qos violations {int(violations)}")
+    for s in snap.samples:
+        if s.name == "elastic_parallelism":
+            group = s.label("group") or "?"
+            tail.append(f"elastic {group} x{int(s.value)}")
     if tail:
         lines.append("")
         lines.append("  ".join(tail))
@@ -467,9 +514,9 @@ def cmd_top(args: argparse.Namespace) -> int:
     pipeline = build_use_case(
         paced(records), paced(records), config, strata=strata
     )
-    plan = _plan_of(args)
-    _maybe_explain(args, strata, plan)
-    strata.start(optimize=plan)
+    deploy_cfg = _deploy_of(args)
+    _maybe_explain(args, strata, deploy_cfg)
+    strata.start(deploy_cfg)
     scrapes = 0
     while strata.running():
         time.sleep(args.refresh)

@@ -14,13 +14,14 @@ from .api import (
 )
 from .collectors import LiveLayerFeed, OTImageCollector, PrintingParameterCollector
 from .connectors import PubSubReaderSource, PubSubWriterSink, topic_for_stream
+from .deploy import DeployConfig, RecoveryConfig
 from .errors import (
+    DeployConfigError,
     DeploymentError,
     PipelineDefinitionError,
     StrataError,
     UnknownStreamError,
 )
-from .handles import StreamHandle
 from .functions import (
     DBSCANCorrelator,
     IsolateCells,
@@ -30,12 +31,7 @@ from .functions import (
     LabelSpecimenCellsAdaptive,
     make_correlator,
 )
-from .streaks import (
-    DetectStreakRows,
-    StreakCorrelator,
-    StreakPipeline,
-    build_streak_use_case,
-)
+from .handles import SinkHandle, StreamHandle
 from .operators import (
     CorrelateEventsOperator,
     DetectEventOperator,
@@ -43,6 +39,12 @@ from .operators import (
     default_partition,
 )
 from .punctuation import is_punctuation, make_punctuation
+from .streaks import (
+    DetectStreakRows,
+    StreakCorrelator,
+    StreakPipeline,
+    build_streak_use_case,
+)
 from .usecase import (
     UseCaseConfig,
     UseCasePipeline,
@@ -54,6 +56,10 @@ from .usecase import (
 __all__ = [
     "Strata",
     "StreamHandle",
+    "SinkHandle",
+    "DeployConfig",
+    "RecoveryConfig",
+    "DeployConfigError",
     "MODULE_RAW",
     "MODULE_MONITOR",
     "MODULE_AGGREGATOR",

@@ -6,21 +6,28 @@ the module connectors, and a key-value store for data-at-rest. Experts
 compose pipelines by chaining the API methods over named streams::
 
     strata = Strata()
-    strata.addSource(PrintingParameterCollector(records), "pp")
-    strata.addSource(OTImageCollector(records), "OT")
+    strata.add_source(PrintingParameterCollector(records), "pp")
+    strata.add_source(OTImageCollector(records), "OT")
     strata.fuse("OT", "pp", "OT&pp")
     strata.partition("OT&pp", "spec", IsolateSpecimens(image_px))
     strata.partition("spec", "cell", IsolateCells(edge))
-    strata.detectEvent("cell", "cellLabel", LabelCell(strata.kv))
-    strata.correlateEvents("cellLabel", "out", L, DBSCANCorrelator(...))
+    strata.detect_event("cell", "cellLabel", LabelCell(strata.kv))
+    strata.correlate_events("cellLabel", "out", L, DBSCANCorrelator(...))
     strata.deliver("out", expert_sink)
-    report = strata.deploy()
+    report = strata.deploy(DeployConfig(plan=True))
 
 Every method compiles to native operators of the underlying SPE, so
 pipelines inherit parallel execution (``parallelism=`` on the Event
 Monitor methods shards work by ``(job, specimen)``) and stay portable
-across engines. Methods keep the paper's camelCase names; snake_case
-aliases are provided for PEP 8 style.
+across engines. snake_case is the canonical method surface; the paper's
+camelCase spellings (Table 1: ``addSource``, ``detectEvent``,
+``correlateEvents``) are installed as exact aliases.
+
+Deployment is driven by one validated config object
+(:class:`~repro.core.deploy.DeployConfig` — plan compiler, distribution,
+recovery, observability, and elastic rescaling knobs in one place); the
+pre-config keyword arguments of ``deploy``/``start`` still work but emit
+a ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -28,6 +35,8 @@ from __future__ import annotations
 import itertools
 import math
 import time
+import warnings
+from dataclasses import replace as _dc_replace
 from typing import Any, Callable, Hashable
 
 from ..kvstore.api import KVStore
@@ -44,8 +53,14 @@ from ..spe.sink import CollectingSink, Sink
 from ..spe.source import Source
 from ..spe.tuples import StreamTuple
 from .connectors import PubSubReaderSource, PubSubWriterSink, topic_for_stream
-from .errors import DeploymentError, PipelineDefinitionError, UnknownStreamError
-from .handles import StreamHandle, install_snake_case_aliases
+from .deploy import DeployConfig, RecoveryConfig
+from .errors import (
+    DeployConfigError,
+    DeploymentError,
+    PipelineDefinitionError,
+    UnknownStreamError,
+)
+from .handles import StreamHandle, install_camelcase_aliases
 from .operators import (
     CorrelateEventsOperator,
     CorrelateFunction,
@@ -94,6 +109,7 @@ class Strata:
         self._store = store if store is not None else MemoryStore()
         self._broker = broker if broker is not None else Broker()
         self._engine = StreamEngine(mode=engine_mode, capacity=capacity)
+        self._engine_mode = engine_mode
         self._connector_mode = connector_mode
         # observability: True for defaults, an ObsConfig/ObsContext for
         # explicit knobs, None/False to run unobserved (zero overhead)
@@ -108,6 +124,10 @@ class Strata:
         self._uid = itertools.count()
         self._sinks: dict[str, Sink] = {}
         self._deployed = False
+        # set by config-driven deployments: the live rescale controller and
+        # a periodic checkpointer Strata itself materialized (and thus owns)
+        self._elastic: Any | None = None
+        self._ckpt_periodic: Any | None = None
 
     # -- Key-Value Store module (Table 1: store/get) -----------------------
 
@@ -141,7 +161,7 @@ class Strata:
 
     # -- Raw Data Collector module -----------------------------------------
 
-    def addSource(
+    def add_source(
         self, src: Source, s_out: str, checkpointable: bool = False
     ) -> StreamHandle:
         """Register a collector whose stream ``s_out`` feeds pipelines.
@@ -253,7 +273,7 @@ class Strata:
         self._keyed_streams.add(s_out)
         return self._handle(s_out, SCHEMA_PARTITION)
 
-    def detectEvent(
+    def detect_event(
         self,
         s_in: str,
         s_out: str,
@@ -279,7 +299,7 @@ class Strata:
 
     # -- Event Aggregator module --------------------------------------------
 
-    def correlateEvents(
+    def correlate_events(
         self,
         s_in: str,
         s_out: str,
@@ -329,53 +349,116 @@ class Strata:
         self._sinks[node] = sink
         return sink
 
-    def deploy(
-        self,
-        checkpointer: Any | None = None,
-        recover_from: Any | None = None,
-        optimize: Any | None = None,
-        distributed: Any | None = None,
-    ) -> RunReport:
+    #: legacy deploy/start keywords, mapped onto DeployConfig fields
+    _LEGACY_KEYS = ("checkpointer", "recover_from", "optimize", "distributed")
+
+    def _coerce_config(self, config: Any, legacy: dict[str, Any]) -> DeployConfig:
+        """Normalize ``deploy``/``start`` arguments into one DeployConfig."""
+        if config is not None and legacy:
+            raise DeployConfigError(
+                "pass either a DeployConfig or the legacy keyword arguments, "
+                f"not both (got config= and {', '.join(sorted(legacy))})"
+            )
+        if config is not None:
+            if isinstance(config, DeployConfig):
+                return config
+            # convenience: the optimize= shorthand values in positional use
+            if isinstance(config, bool) or config.__class__.__name__ == "PlanConfig":
+                return DeployConfig(plan=config)
+            raise DeployConfigError(
+                f"config must be a DeployConfig (or a plan shorthand), "
+                f"got {config!r}"
+            )
+        if not legacy:
+            return DeployConfig()
+        unknown = set(legacy) - set(self._LEGACY_KEYS)
+        if unknown:
+            raise TypeError(
+                f"unexpected keyword argument(s): {', '.join(sorted(unknown))}"
+            )
+        warnings.warn(
+            "the checkpointer=/recover_from=/optimize=/distributed= keywords "
+            "are deprecated; pass a DeployConfig instead, e.g. "
+            "deploy(DeployConfig(plan=..., recovery=RecoveryConfig(...)))",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        recovery = None
+        if legacy.get("checkpointer") is not None or legacy.get("recover_from") is not None:
+            recovery = RecoveryConfig(
+                checkpointer=legacy.get("checkpointer"),
+                recover_from=legacy.get("recover_from"),
+            )
+        return DeployConfig(
+            plan=legacy.get("optimize"),
+            dist=legacy.get("distributed"),
+            recovery=recovery,
+        )
+
+    def _materialize_recovery(
+        self, recovery: RecoveryConfig | None
+    ) -> tuple[Any | None, Callable | None]:
+        """Turn a RecoveryConfig into a live (checkpointer, on_built hook).
+
+        Declarative knobs build a coordinator against this instance's own
+        KV store; ``interval_s`` arms periodic mode, started from the
+        ``on_built`` hook (after the coordinator is bound to the graph)
+        and owned — i.e. stopped — by this Strata instance.
+        """
+        if recovery is None or not recovery.active:
+            return None, None
+        checkpointer = recovery.checkpointer
+        periodic = False
+        if checkpointer is None and (
+            recovery.interval_s is not None or recovery.retain is not None
+        ):
+            from ..recovery.coordinator import CheckpointCoordinator
+
+            checkpointer = CheckpointCoordinator(
+                self._store, interval=recovery.interval_s, retain=recovery.retain
+            )
+            periodic = recovery.interval_s is not None
+        restore = self._recovery_hook(recovery.recover_from)
+        if not periodic:
+            return checkpointer, restore
+        owned = checkpointer
+
+        def hook(nodes: list) -> None:
+            if restore is not None:
+                restore(nodes)
+            owned.start_periodic()
+
+        self._ckpt_periodic = owned
+        return checkpointer, hook
+
+    def deploy(self, config: DeployConfig | None = None, **legacy: Any) -> RunReport:
         """Run the composed pipeline to completion (finite sources).
 
-        ``checkpointer`` (a ``repro.recovery.CheckpointCoordinator``) takes
-        aligned snapshots while the pipeline runs; ``recover_from`` (a
-        ``RecoveryCoordinator``, a KV store, or ``True`` for this
-        instance's own store) restores the newest committed checkpoint
-        into the freshly built pipeline before execution starts.
+        ``config`` is a :class:`~repro.core.deploy.DeployConfig` grouping
+        every subsystem's knobs — plan compiler, distribution, recovery,
+        observability override, and elastic rescaling — validated as a
+        whole; invalid combinations raise
+        :class:`~repro.core.errors.DeployConfigError`.
 
-        ``optimize`` engages the plan compiler (:mod:`repro.spe.plan`):
-        ``True`` for default fusion + batched transport, a
-        :class:`~repro.spe.plan.PlanConfig` for explicit knobs (including
-        ``parallelism`` for keyed replication), ``None``/``False`` to run
-        the graph exactly as declared. Checkpoints stay portable between
-        optimized and unoptimized deployments.
+        The pre-config keywords (``checkpointer=``, ``recover_from=``,
+        ``optimize=``, ``distributed=``) still work, are mapped onto an
+        equivalent config, and emit a ``DeprecationWarning``.
 
-        ``distributed`` runs the deployment across worker *processes*
-        instead of threads: ``True`` forks one worker per pub/sub stage,
-        an int caps the worker count, a :class:`~repro.dist.DistConfig`
-        sets every knob. Requires ``connector_mode='pubsub'`` — the stage
-        cuts *are* the connector edges. Worker crash recovery is built in
-        (replay + dedup); the checkpointer/recovery subsystem is for the
-        in-process engine and cannot be combined with ``distributed``.
-
-        With observability enabled (``Strata(obs=...)``), the run's final
-        metrics snapshot lands in ``report.extra["metrics"]`` and stays
-        queryable via :meth:`metrics` afterwards.
+        With observability enabled, the run's final metrics snapshot lands
+        in ``report.extra["metrics"]``; with elastic rescaling enabled,
+        the controller's decision history lands in
+        ``report.extra["elastic"]``.
         """
-        from ..dist import DistConfig, run_distributed
-
-        dist_config = DistConfig.resolve(distributed)
+        cfg = self._coerce_config(config, legacy)
+        self._obs = cfg.resolved_obs(self._obs)
+        dist_config = cfg.resolved_dist()
         if dist_config is not None:
+            from ..dist import run_distributed
+
             if self._connector_mode != "pubsub":
-                raise DeploymentError(
+                raise DeployConfigError(
                     "distributed deployment requires connector_mode='pubsub' "
                     "(stages are cut at the pub/sub connector edges)"
-                )
-            if checkpointer is not None or recover_from is not None:
-                raise DeploymentError(
-                    "distributed deployment has its own crash recovery "
-                    "(replay + dedup); checkpointer/recover_from do not apply"
                 )
             self._deployed = True
             return run_distributed(
@@ -384,48 +467,137 @@ class Strata:
                 dist_config,
                 obs=self._obs,
                 capacity=self._capacity,
-                plan=optimize,
+                plan=cfg.plan,
+                elastic=cfg.elastic,
             )
+        checkpointer, on_built = self._materialize_recovery(cfg.recovery)
         self._deployed = True
         self._attach_checkpoint_metrics(checkpointer)
-        return self._engine.run(
-            self._query,
-            checkpointer=checkpointer,
-            on_built=self._recovery_hook(recover_from),
-            plan=optimize,
-            obs=self._obs,
-        )
+        if cfg.elastic is not None:
+            started = time.monotonic()
+            self._launch_elastic(cfg, checkpointer, on_built)
+            scheduler, nodes = self._engine.runtime()
+            controller = self._elastic
+            try:
+                self._engine.wait()
+            finally:
+                self._teardown_config_runtime()
+            report = RunReport(
+                query_name=self._query.name,
+                operator_stats={ex.node.name: ex.stats for ex in scheduler.executors},
+                sinks=StreamEngine.sinks_of(nodes),
+                wall_seconds=time.monotonic() - started,
+            )
+            report.extra["plan"] = cfg.plan.describe()
+            report.extra["elastic"] = controller.summary()
+            if self._obs is not None:
+                report.extra["metrics"] = self._obs.snapshot()
+            return report
+        try:
+            return self._engine.run(
+                self._query,
+                checkpointer=checkpointer,
+                on_built=on_built,
+                plan=cfg.plan,
+                obs=self._obs,
+            )
+        finally:
+            self._teardown_config_runtime()
 
     def start(
-        self,
-        checkpointer: Any | None = None,
-        recover_from: Any | None = None,
-        optimize: Any | None = None,
+        self, config: DeployConfig | None = None, **legacy: Any
     ) -> dict[str, Sink]:
         """Deploy in the background (threaded engine); returns the sinks.
 
-        Same ``checkpointer``/``recover_from``/``optimize`` semantics as
-        :meth:`deploy`. With observability enabled, :meth:`metrics` can be
-        polled while the deployment runs — this is what the ``top`` CLI
-        verb and ``--metrics-out`` build on.
+        Same ``config``/legacy-keyword semantics as :meth:`deploy`, except
+        distributed execution is ``deploy()``-only. With observability
+        enabled, :meth:`metrics` can be polled while the deployment runs —
+        this is what the ``top`` CLI verb and ``--metrics-out`` build on.
         """
+        cfg = self._coerce_config(config, legacy)
+        self._obs = cfg.resolved_obs(self._obs)
+        if cfg.dist is not None:
+            raise DeployConfigError(
+                "distributed deployment runs to completion and is deploy()-"
+                "only; start() backgrounds the in-process engine"
+            )
+        checkpointer, on_built = self._materialize_recovery(cfg.recovery)
         self._deployed = True
         self._attach_checkpoint_metrics(checkpointer)
+        if cfg.elastic is not None:
+            return self._launch_elastic(cfg, checkpointer, on_built)
         return self._engine.start(
             self._query,
             checkpointer=checkpointer,
-            on_built=self._recovery_hook(recover_from),
-            plan=optimize,
+            on_built=on_built,
+            plan=cfg.plan,
             obs=self._obs,
         )
+
+    def _launch_elastic(
+        self, cfg: DeployConfig, checkpointer: Any | None, on_built: Callable | None
+    ) -> dict[str, Sink]:
+        """Start the engine with rescalable groups plus the controller.
+
+        The plan's static ``parallelism`` is replaced by the elastic
+        config's starting point and replication is forced even at
+        parallelism 1, so every replicable keyed stage materializes behind
+        its hash router and stays rescalable at runtime.
+        """
+        from ..elastic import ElasticController
+
+        if self._engine_mode != "threaded":
+            raise DeployConfigError(
+                "elastic rescaling drains and re-splices live node threads; "
+                "it requires engine_mode='threaded'"
+            )
+        ec = cfg.elastic
+        effective_plan = _dc_replace(cfg.plan, parallelism=ec.start_parallelism)
+        sinks = self._engine.start(
+            self._query,
+            checkpointer=checkpointer,
+            on_built=on_built,
+            plan=effective_plan,
+            obs=self._obs,
+            force_replication=True,
+        )
+        scheduler, nodes = self._engine.runtime()
+        try:
+            controller = ElasticController(
+                scheduler,
+                nodes,
+                ec,
+                plan=effective_plan,
+                obs=self._obs,
+                checkpointer=checkpointer,
+            )
+        except Exception:
+            self._engine.stop()
+            self._teardown_config_runtime()
+            raise
+        controller.start()
+        self._elastic = controller
+        return sinks
+
+    def _teardown_config_runtime(self) -> None:
+        """Stop runtime helpers owned by a config-driven deployment."""
+        if self._elastic is not None:
+            self._elastic.stop()
+            self._elastic = None
+        if self._ckpt_periodic is not None:
+            self._ckpt_periodic.stop()
+            self._ckpt_periodic = None
 
     def explain(self, optimize: Any | None = True) -> str:
         """Render the physical plan ``deploy(optimize=...)`` would run.
 
         Builds (but does not execute) the pipeline, applies the compiler
         passes, and returns a plan listing — fused chains, routers, and
-        replica fan-out included.
+        replica fan-out included. Accepts a :class:`DeployConfig` too, in
+        which case its ``plan`` field is used.
         """
+        if isinstance(optimize, DeployConfig):
+            optimize = optimize.plan
         return self._engine.explain(self._query, plan=optimize)
 
     def _recovery_hook(self, recover_from: Any | None):
@@ -439,7 +611,13 @@ class Strata:
         return RecoveryCoordinator(store)
 
     def stop(self, timeout: float = 10.0) -> None:
-        """Stop a background deployment."""
+        """Stop a background deployment.
+
+        The elastic controller (if any) is stopped first — waiting out an
+        in-flight rescale so the graph is never torn down mid-splice —
+        then the engine's node threads.
+        """
+        self._teardown_config_runtime()
         self._engine.stop(timeout=timeout)
 
     def running(self) -> bool:
@@ -448,7 +626,15 @@ class Strata:
 
     def wait(self, timeout: float | None = None) -> None:
         """Wait for a background deployment to finish naturally."""
-        self._engine.wait(timeout=timeout)
+        try:
+            self._engine.wait(timeout=timeout)
+        finally:
+            self._teardown_config_runtime()
+
+    @property
+    def elastic(self) -> Any | None:
+        """The live rescale controller of an elastic deployment, if any."""
+        return self._elastic
 
     # -- observability -------------------------------------------------------
 
@@ -527,6 +713,6 @@ class Strata:
         return bridged
 
 
-# PEP 8 aliases (add_source, detect_event, correlate_events): installed as
-# the same function objects, so identity checks and overrides stay exact.
-install_snake_case_aliases(Strata, ("addSource", "detectEvent", "correlateEvents"))
+# Paper-parity aliases (addSource, detectEvent, correlateEvents): installed
+# as the same function objects, so identity checks and overrides stay exact.
+install_camelcase_aliases(Strata, ("add_source", "detect_event", "correlate_events"))

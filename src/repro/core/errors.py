@@ -17,3 +17,12 @@ class PipelineDefinitionError(StrataError):
 
 class DeploymentError(StrataError):
     """Raised when deployment/start/stop is driven incorrectly."""
+
+
+class DeployConfigError(DeploymentError):
+    """Raised when a :class:`~repro.core.deploy.DeployConfig` is invalid.
+
+    Subclasses :class:`DeploymentError` so code catching the broader
+    deployment failures keeps working; every rejected knob combination
+    across the deploy surface raises this one type.
+    """

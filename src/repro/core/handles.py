@@ -15,11 +15,13 @@ adding:
   down to the operator producing this stream — including member-level
   samples when the plan compiler fused it into a chain.
 
-This module also hosts the snake_case aliasing shim shared by
-:class:`~repro.core.api.Strata` and :class:`StreamHandle`: aliases are the
-*same function objects* as their camelCase originals (no wrapper, no
-DeprecationWarning machinery), so introspection, pickling of bound
-methods, and identity checks all behave.
+This module also hosts the case-aliasing shims shared by
+:class:`~repro.core.api.Strata` and :class:`StreamHandle`. snake_case is
+the *canonical* surface (the methods are defined under their PEP 8
+names); the paper's camelCase spellings are installed as aliases — the
+*same function objects*, no wrapper, no DeprecationWarning machinery — so
+Table 1 parity, introspection, pickling of bound methods, and identity
+checks all behave.
 """
 
 from __future__ import annotations
@@ -40,6 +42,12 @@ def snake_name(camel: str) -> str:
     return re.sub(r"(?<!^)(?=[A-Z])", "_", camel).lower()
 
 
+def camel_name(snake: str) -> str:
+    """``detect_event`` -> ``detectEvent``."""
+    head, *rest = snake.split("_")
+    return head + "".join(part.title() for part in rest)
+
+
 def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
     """Add PEP 8 aliases for camelCase methods, preserving identity.
 
@@ -51,6 +59,20 @@ def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
         alias = snake_name(camel)
         if alias != camel:
             setattr(cls, alias, cls.__dict__[camel])
+
+
+def install_camelcase_aliases(cls: type, names: tuple[str, ...]) -> None:
+    """Add the paper's camelCase spellings for canonical snake_case verbs.
+
+    The mirror image of :func:`install_snake_case_aliases`, used now that
+    snake_case is the defining surface: each alias is the same function
+    object as its snake_case original, so both spellings stay exact
+    synonyms under identity checks and subclass overrides.
+    """
+    for snake in names:
+        alias = camel_name(snake)
+        if alias != snake:
+            setattr(cls, alias, cls.__dict__[snake])
 
 
 class StreamHandle(str):
@@ -115,25 +137,39 @@ class StreamHandle(str):
         """``partition(self, s_out, f)`` on the owning pipeline."""
         return self._require_strata().partition(self, s_out, f, parallelism=parallelism)
 
-    def detectEvent(
+    def detect_event(
         self, s_out: str, f: Any, parallelism: int = 1
     ) -> "StreamHandle":
-        """``detectEvent(self, s_out, f)`` on the owning pipeline."""
-        return self._require_strata().detectEvent(
+        """``detect_event(self, s_out, f)`` on the owning pipeline."""
+        return self._require_strata().detect_event(
             self, s_out, f, parallelism=parallelism
         )
 
-    def correlateEvents(
+    def correlate_events(
         self, s_out: str, l: int, f: Any, parallelism: int = 1
     ) -> "StreamHandle":
-        """``correlateEvents(self, s_out, l, f)`` on the owning pipeline."""
-        return self._require_strata().correlateEvents(
+        """``correlate_events(self, s_out, l, f)`` on the owning pipeline."""
+        return self._require_strata().correlate_events(
             self, s_out, l, f, parallelism=parallelism
         )
 
-    def deliver(self, sink: "Sink | None" = None) -> "Sink":
-        """``deliver(self, sink)``: terminate the chain at the expert."""
-        return self._require_strata().deliver(self, sink)
+    def deliver(self, sink: "Sink | None" = None) -> "SinkHandle":
+        """``deliver(self, sink)``: terminate the chain at the expert.
+
+        Returns a :class:`SinkHandle` — still a stream handle (so the
+        fluent chain type is closed under every verb) that also proxies
+        the terminal sink's result surface (``.results``, ``.latency``).
+        """
+        strata = self._require_strata()
+        sink_obj = strata.deliver(self, sink)
+        return SinkHandle(
+            str(self),
+            strata=strata,
+            node=self.node,
+            module=self.module,
+            schema=self.schema,
+            sink=sink_obj,
+        )
 
     def then(self, verb: str, *args: Any, **kwargs: Any) -> Any:
         """Apply any Strata verb with this stream as its input.
@@ -164,7 +200,7 @@ class StreamHandle(str):
         return snapshot.filter(operator=self.node)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        parts = [f"StreamHandle({str(self)!r}"]
+        parts = [f"{type(self).__name__}({str(self)!r}"]
         if self.node:
             parts.append(f", node={self.node!r}")
         if self.module:
@@ -172,4 +208,48 @@ class StreamHandle(str):
         return "".join(parts) + ")"
 
 
-install_snake_case_aliases(StreamHandle, ("detectEvent", "correlateEvents"))
+class SinkHandle(StreamHandle):
+    """A stream handle whose chain ended at the expert's sink.
+
+    ``deliver`` used to be the one fluent verb that broke the chain type
+    by returning a bare :class:`~repro.spe.sink.Sink`. A ``SinkHandle``
+    keeps the stream-handle contract (name, node, module, ``metrics()``)
+    and proxies the sink's delivery surface, so
+    ``handle.deliver().results`` and ``strata.deploy()`` compose without
+    reaching back into the pipeline for the sink object.
+    """
+
+    __slots__ = ("sink",)
+
+    def __new__(
+        cls,
+        name: str,
+        strata: "Strata | None" = None,
+        node: str | None = None,
+        module: str | None = None,
+        schema: str | None = None,
+        sink: "Sink | None" = None,
+    ) -> "SinkHandle":
+        self = super().__new__(cls, name, strata, node, module, schema)
+        self.sink = sink
+        return self
+
+    def _require_sink(self) -> "Sink":
+        if self.sink is None:
+            raise PipelineDefinitionError(
+                f"sink handle {str(self)!r} is not bound to a sink"
+            )
+        return self.sink
+
+    @property
+    def results(self) -> Any:
+        """The delivered tuples (proxies the collecting sink)."""
+        return self._require_sink().results
+
+    @property
+    def latency(self) -> Any:
+        """The sink's latency recorder."""
+        return self._require_sink().latency
+
+
+install_camelcase_aliases(StreamHandle, ("detect_event", "correlate_events"))

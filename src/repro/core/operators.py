@@ -22,6 +22,7 @@ from typing import Any, Callable, Iterable
 from ..spe.operators.base import (
     Operator,
     as_tuple_list,
+    reshard_callable,
     restore_callable,
     snapshot_callable,
 )
@@ -85,6 +86,11 @@ class PartitionOperator(Operator):
     def restore_state(self, state: dict[str, Any]) -> None:
         restore_callable(self._fn, state.get("fn"))
 
+    def reshard_state(self, states, shards, route):
+        fn_states = [None if s is None else s.get("fn") for s in states]
+        fns = reshard_callable(self._fn, fn_states, shards, route)
+        return [None if f is None else {"fn": f} for f in fns]
+
 
 class DetectEventOperator(Operator):
     """Map wrapper for ``detectEvent(s_in, s_out, F)``.
@@ -137,6 +143,20 @@ class DetectEventOperator(Operator):
     def restore_state(self, state: dict[str, Any]) -> None:
         self.events_out = int(state["events_out"])
         restore_callable(self._fn, state.get("fn"))
+
+    def reshard_state(self, states, shards, route):
+        # The event counter is additive: the sum lands in shard 0 so the
+        # group-wide total survives any number of merge/split cycles.
+        total = sum(int(s["events_out"]) for s in states if s is not None)
+        fn_states = [None if s is None else s.get("fn") for s in states]
+        fns = reshard_callable(self._fn, fn_states, shards, route)
+        out: list[dict[str, Any]] = []
+        for i in range(shards):
+            state: dict[str, Any] = {"events_out": total if i == 0 else 0}
+            if fns[i] is not None:
+                state["fn"] = fns[i]
+            out.append(state)
+        return out
 
     def stats_extra(self) -> dict[str, float]:
         return {"events_detected_total": self.events_out}
@@ -231,6 +251,48 @@ class CorrelateEventsOperator(Operator):
         self._last_punct = dict(state["last_punct"])
         self.triggers = int(state["triggers"])
         restore_callable(self._fn, state.get("fn"))
+
+    def reshard_state(self, states, shards, route):
+        """Split the per-group windows along the routing key.
+
+        Assumes the group key ``(job, specimen)`` *is* the routing key —
+        true for every Strata pipeline (``correlate_events`` replicates by
+        specimen). Shards built from a different key function cannot be
+        resharded consistently and should not be marked replicable.
+        """
+        events: dict[tuple[str, str], dict[int, list]] = {}
+        last_punct: dict[tuple[str, str], Any] = {}
+        triggers = 0
+        fn_states: list[dict[str, Any] | None] = []
+        for s in states:
+            if s is None:
+                continue
+            for group, per_layer in s["events"].items():
+                dest = events.setdefault(group, {})
+                for layer, evs in per_layer.items():
+                    dest.setdefault(int(layer), []).extend(evs)
+            last_punct.update(s["last_punct"])
+            triggers += int(s["triggers"])
+            fn_states.append(s.get("fn"))
+        fns = reshard_callable(self._fn, fn_states or [None], shards, route)
+        out: list[dict[str, Any]] = []
+        for i in range(shards):
+            state: dict[str, Any] = {
+                "events": {
+                    group: {layer: list(evs) for layer, evs in per_layer.items()}
+                    for group, per_layer in events.items()
+                    if route(group) == i
+                },
+                "last_punct": {
+                    group: punct for group, punct in last_punct.items()
+                    if route(group) == i
+                },
+                "triggers": triggers if i == 0 else 0,
+            }
+            if fns[i] is not None:
+                state["fn"] = fns[i]
+            out.append(state)
+        return out
 
     def stats_extra(self) -> dict[str, float]:
         return {"correlation_triggers_total": self.triggers}

@@ -17,6 +17,7 @@ Prometheus exporter (``scrape_port``).
 
 from __future__ import annotations
 
+import dataclasses
 import logging
 import threading
 import time
@@ -24,6 +25,8 @@ from dataclasses import dataclass
 from typing import Any
 
 from ..core.connectors import EOS_SENTINEL
+from ..core.errors import DeployConfigError
+from ..elastic import ElasticConfig, ElasticController, discover_groups
 from ..net.server import BrokerServer
 from ..obs.exporters import snapshot_from_dict, to_prometheus
 from ..obs.registry import MetricsSnapshot, Sample
@@ -99,6 +102,7 @@ class DistCoordinator:
         obs: Any | None = None,
         capacity: int | None = None,
         plan: Any | None = None,
+        elastic: Any | None = None,
     ) -> None:
         self._query = query
         self._broker = broker
@@ -106,6 +110,13 @@ class DistCoordinator:
         self._obs = obs
         self._capacity = capacity
         self._plan = PlanConfig.resolve(plan)
+        self._elastic = ElasticConfig.resolve(elastic)
+        if self._elastic is not None and self._plan is None:
+            raise DeployConfigError(
+                "elastic rescaling drains and re-splices plan-compiled replica "
+                "groups; distribute with plan=True (or a PlanConfig) alongside "
+                "elastic="
+            )
         self._server = BrokerServer(
             broker,
             self._config.host,
@@ -170,8 +181,18 @@ class DistCoordinator:
         if self._started:
             raise RuntimeError("coordinator already started")
         self._started = True
+        # With elastic enabled, replication is forced (even at parallelism
+        # 1) and starts at the elastic config's starting point, so every
+        # replicable keyed stage materializes rescalable in its worker.
+        compile_cfg = self._plan
+        if self._elastic is not None:
+            compile_cfg = dataclasses.replace(
+                self._plan, parallelism=self._elastic.start_parallelism
+            )
         nodes = compile_plan(
-            self._query.build(capacity=self._capacity), self._plan
+            self._query.build(capacity=self._capacity),
+            compile_cfg,
+            force_replication=self._elastic is not None,
         )
         self._stages = cut_stages(nodes)
         groups, self._local_stages = assign_stages(
@@ -193,6 +214,7 @@ class DistCoordinator:
                 obs=self._config.worker_obs,
                 plan=self._plan,
                 start_method=self._config.start_method,
+                elastic=self._elastic,
             )
             for i, group in enumerate(groups)
         ]
@@ -221,7 +243,21 @@ class DistCoordinator:
             self._obs.bind(local_nodes)
         started = time.monotonic()
         scheduler = _scheduler_for(self._plan, self._obs)
-        stats = scheduler.run(local_nodes)
+        controller = None
+        if self._elastic is not None and discover_groups(local_nodes):
+            scheduler.start(local_nodes)
+            controller = ElasticController(
+                scheduler, local_nodes, self._elastic,
+                plan=self._plan, obs=self._obs,
+            )
+            controller.start()
+            try:
+                scheduler.join()
+            finally:
+                controller.stop()
+            stats = {ex.node.name: ex.stats for ex in scheduler.executors}
+        else:
+            stats = scheduler.run(local_nodes)
         wall = time.monotonic() - started
         self.shutdown()
         if self._failure is not None:
@@ -237,6 +273,8 @@ class DistCoordinator:
             wall_seconds=wall,
         )
         report.extra["dist"] = self.status()
+        if controller is not None:
+            report.extra["elastic"] = controller.summary()
         if self._plan is not None:
             report.extra["plan"] = self._plan.describe()
         if self._obs is not None:
@@ -395,8 +433,10 @@ def run_distributed(
     obs: Any | None = None,
     capacity: int | None = None,
     plan: Any | None = None,
+    elastic: Any | None = None,
 ) -> RunReport:
     """Deploy ``query`` distributed and run it to completion; blocking."""
     return DistCoordinator(
-        query, broker, config, obs=obs, capacity=capacity, plan=plan
+        query, broker, config, obs=obs, capacity=capacity, plan=plan,
+        elastic=elastic,
     ).run()

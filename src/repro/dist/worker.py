@@ -25,6 +25,7 @@ import threading
 import time
 from typing import Any
 
+from ..elastic import ElasticController, discover_groups
 from ..net.client import BrokerClient
 from ..obs.context import ObsContext
 from ..obs.exporters import snapshot_to_dict
@@ -52,12 +53,17 @@ def run_stage(
     obs: bool = True,
     plan: PlanConfig | None = None,
     incarnation: int = 0,
+    elastic: Any | None = None,
 ) -> None:
     """Execute one or more stages against a networked broker; blocking.
 
     This is the target of a worker process, but runs equally in the
     calling thread (the ``strata-repro worker`` CLI verb uses it
-    directly).
+    directly). With ``elastic`` (an ``ElasticConfig``), stages containing
+    keyed-replicated groups get their own rescale controller — each
+    worker scales its replicas against its private scheduler; stages
+    without such groups run unmanaged, which is the normal case for most
+    stages of a cut pipeline.
     """
     host, port = address
     client = BrokerClient(host, port, allow_pickle=allow_pickle)
@@ -110,7 +116,18 @@ def run_stage(
     beater.start()
     try:
         scheduler = _scheduler_for(plan, obs_ctx)
-        scheduler.run(nodes)
+        if elastic is not None and discover_groups(nodes):
+            scheduler.start(nodes)
+            controller = ElasticController(
+                scheduler, nodes, elastic, plan=plan, obs=obs_ctx
+            )
+            controller.start()
+            try:
+                scheduler.join()
+            finally:
+                controller.stop()
+        else:
+            scheduler.run(nodes)
         state["value"] = "done"
     except BaseException:
         state["value"] = "failed"
@@ -139,6 +156,7 @@ class WorkerProcess:
         obs: bool = True,
         plan: PlanConfig | None = None,
         start_method: str = "fork",
+        elastic: Any | None = None,
     ) -> None:
         if start_method != "fork":
             # Stage nodes carry closures and live generators; only fork can
@@ -156,6 +174,7 @@ class WorkerProcess:
         self._heartbeat_interval = heartbeat_interval
         self._obs = obs
         self._plan = plan
+        self._elastic = elastic
         self._ctx = multiprocessing.get_context(start_method)
         self._process: multiprocessing.process.BaseProcess | None = None
         self.incarnation = 0
@@ -176,6 +195,7 @@ class WorkerProcess:
                 "obs": self._obs,
                 "plan": self._plan,
                 "incarnation": self.incarnation,
+                "elastic": self._elastic,
             },
             name=self.name,
             daemon=True,

@@ -1,0 +1,33 @@
+"""repro.elastic — QoS-driven runtime rescaling.
+
+Rescales keyed-replicated operator groups while a query runs: a scoped
+aligned barrier drains the group, keyed state is re-sharded across the
+new replica count, and replacement nodes are spliced into the live
+threaded scheduler — no restart, no lost or duplicated tuples. Policies
+are pluggable; the default is a hysteresis policy driven by queue fill,
+busy fraction, and QoS watchdog alerts.
+"""
+
+from .config import ElasticConfig
+from .controller import (
+    ElasticController,
+    ElasticError,
+    ElasticGroup,
+    discover_groups,
+)
+from .policy import GroupSignals, HysteresisPolicy, ScalePolicy
+from .reshard import merge_keyed, split_keyed, split_scalar
+
+__all__ = [
+    "ElasticConfig",
+    "ElasticController",
+    "ElasticError",
+    "ElasticGroup",
+    "GroupSignals",
+    "HysteresisPolicy",
+    "ScalePolicy",
+    "discover_groups",
+    "merge_keyed",
+    "split_keyed",
+    "split_scalar",
+]

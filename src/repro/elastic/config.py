@@ -1,0 +1,80 @@
+"""Configuration for the elastic runtime controller."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Knobs for :class:`~repro.elastic.controller.ElasticController`.
+
+    ``min_parallelism``/``max_parallelism`` bound the replica count of
+    every keyed-replicated group; ``initial_parallelism`` (default: the
+    minimum) is where a deployment starts. ``tick_s`` is the signal
+    sampling period, ``cooldown_s`` the minimum spacing between rescales
+    of one group. ``adaptive_batching`` lets the controller retune edge
+    batch size between rescales, within ``batch_min``/``batch_max``.
+    ``policy`` overrides the default hysteresis policy (any object
+    implementing :class:`~repro.elastic.policy.ScalePolicy`).
+    """
+
+    min_parallelism: int = 1
+    max_parallelism: int = 4
+    initial_parallelism: int | None = None
+    tick_s: float = 0.25
+    cooldown_s: float = 2.0
+    adaptive_batching: bool = True
+    batch_min: int = 1
+    batch_max: int = 256
+    policy: Any | None = None
+
+    def __post_init__(self) -> None:
+        if self.min_parallelism < 1:
+            raise ValueError("min_parallelism must be >= 1")
+        if self.max_parallelism < self.min_parallelism:
+            raise ValueError("max_parallelism must be >= min_parallelism")
+        if self.initial_parallelism is not None and not (
+            self.min_parallelism <= self.initial_parallelism <= self.max_parallelism
+        ):
+            raise ValueError(
+                "initial_parallelism must fall within [min_parallelism, "
+                "max_parallelism]"
+            )
+        if self.tick_s <= 0:
+            raise ValueError("tick_s must be positive")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        if self.batch_min < 1:
+            raise ValueError("batch_min must be >= 1")
+        if self.batch_max < self.batch_min:
+            raise ValueError("batch_max must be >= batch_min")
+
+    @property
+    def start_parallelism(self) -> int:
+        """The replica count a fresh elastic deployment starts at."""
+        if self.initial_parallelism is not None:
+            return self.initial_parallelism
+        return self.min_parallelism
+
+    @classmethod
+    def resolve(cls, elastic: "ElasticConfig | bool | None") -> "ElasticConfig | None":
+        """Normalize the ``elastic=`` argument of user-facing APIs."""
+        if elastic is None or elastic is False:
+            return None
+        if elastic is True:
+            return cls()
+        if isinstance(elastic, cls):
+            return elastic
+        raise TypeError(
+            f"elastic must be bool, None or ElasticConfig, got {elastic!r}"
+        )
+
+    def describe(self) -> str:
+        return (
+            f"parallelism {self.min_parallelism}..{self.max_parallelism} "
+            f"(start {self.start_parallelism}), tick {self.tick_s}s, "
+            f"cooldown {self.cooldown_s}s, "
+            f"batching {'adaptive' if self.adaptive_batching else 'fixed'}"
+        )

@@ -1,0 +1,464 @@
+"""The elastic controller: QoS-driven runtime rescaling of replica groups.
+
+The controller watches the same signals an operator reads off the
+``strata-repro top`` table — boundary-queue fill, per-replica busy
+fraction, watermark lag, QoS watchdog violations — and, when its policy
+asks for a different replica count, rescales a keyed-replicated group
+*while the query runs*:
+
+1. **drain** — inject a :class:`~repro.spe.barrier.RescaleBarrier` into
+   the group's boundary stream; it aligns through router, clone chains,
+   and merge exactly like a checkpoint barrier, so when the merge absorbs
+   it every in-flight tuple of the group has been fully processed;
+2. **snapshot** — each node retires at alignment and snapshots its
+   drained state into the barrier (fused chains snapshot per constituent,
+   under the ``member::i`` shard names);
+3. **re-shard** — per member, the N shard states are merged and split
+   across the new replica count along the routing key
+   (``Operator.reshard_state``);
+4. **splice** — a fresh router/clones/merge group is built from the
+   group's :class:`~repro.spe.plan.ReplicaGroupMeta` recipe, re-fused,
+   connected to the same boundary and output streams, and handed to the
+   live :class:`~repro.spe.scheduler.ThreadedScheduler`; the checkpoint
+   coordinator and observability context are re-bound first so in-flight
+   checkpoint epochs keep committing across the rescale.
+
+Between rescales the controller optionally retunes edge batching on the
+group's executors (multiplicative increase under backlog, decrease when
+idle). Every decision is recorded as a structured event and exported
+through the metrics registry (``elastic_*`` series).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..spe.barrier import RESCALE_EPOCH_BASE, RescaleBarrier
+from ..spe.errors import PlanError, SPEError
+from ..spe.operators.router import hash_route
+from ..spe.plan import PlanConfig, ReplicaGroupMeta, build_replicated_group, fuse_linear_chains
+from ..spe.query import Node
+from ..spe.scheduler import NodeExecutor, ThreadedScheduler
+from ..spe.stream import Stream
+from .config import ElasticConfig
+from .policy import GroupSignals, HysteresisPolicy, ScalePolicy
+
+logger = logging.getLogger("repro.elastic")
+
+
+class ElasticError(SPEError):
+    """Raised when the elastic runtime cannot operate on a deployment."""
+
+
+@dataclass
+class ElasticGroup:
+    """One rescalable keyed-replicated operator group, live."""
+
+    name: str
+    meta: ReplicaGroupMeta
+    router_node: Node
+    merge_node: Node
+    nodes: list[Node]
+    boundary: Stream
+    parallelism: int
+    batch_size: int = 1
+    last_rescale: float = field(default_factory=time.monotonic)
+    # signal bookkeeping (previous-tick totals for delta computation)
+    prev_busy_s: float = 0.0
+
+    @property
+    def node_ids(self) -> set[int]:
+        return {id(n) for n in self.nodes}
+
+
+def discover_groups(nodes: list[Node]) -> list[ElasticGroup]:
+    """Find every rescalable replica group in a compiled node list.
+
+    A group is announced by its router node's ``rescale_meta`` recipe; the
+    member set is recovered by walking the streams from the router to the
+    group's merge node (clone chains may be fused, so names are not enough).
+    """
+    consumer_of = {id(s): n for n in nodes for s in n.inputs}
+    by_name = {n.name: n for n in nodes}
+    groups: list[ElasticGroup] = []
+    for node in nodes:
+        meta = getattr(node, "rescale_meta", None)
+        if meta is None:
+            continue
+        merge = by_name.get(meta.merge_name)
+        if merge is None or not node.inputs:
+            continue
+        members: list[Node] = [node]
+        seen = {id(node), id(merge)}
+        frontier = [consumer_of.get(id(s)) for s in node.outputs]
+        while frontier:
+            nxt = frontier.pop()
+            if nxt is None or id(nxt) in seen:
+                continue
+            seen.add(id(nxt))
+            members.append(nxt)
+            frontier.extend(consumer_of.get(id(s)) for s in nxt.outputs)
+        members.append(merge)
+        groups.append(
+            ElasticGroup(
+                name=meta.members[0],
+                meta=meta,
+                router_node=node,
+                merge_node=merge,
+                nodes=members,
+                boundary=node.inputs[0],
+                parallelism=node.router.num_shards,
+            )
+        )
+    return groups
+
+
+class ElasticController:
+    """Rescales keyed-replicated groups of a live threaded deployment."""
+
+    def __init__(
+        self,
+        scheduler: ThreadedScheduler,
+        nodes: list[Node],
+        config: ElasticConfig,
+        plan: PlanConfig | None = None,
+        obs: Any | None = None,
+        checkpointer: Any | None = None,
+    ) -> None:
+        self._scheduler = scheduler
+        self._nodes = nodes  # the engine's live list; spliced in place
+        self._config = config
+        self._plan = plan
+        self._obs = obs
+        self._checkpointer = checkpointer
+        self._policy: ScalePolicy = (
+            config.policy if config.policy is not None else HysteresisPolicy()
+        )
+        self.groups = discover_groups(nodes)
+        if not self.groups:
+            raise PlanError(
+                "elastic deployment found no keyed-replicated operator group "
+                "to rescale; mark at least one keyed stage replicable (or "
+                "declare parallelism) before enabling ElasticConfig"
+            )
+        base_batch = plan.edge_batch_size if plan is not None else 1
+        for group in self.groups:
+            group.batch_size = base_batch
+        self.events: deque[dict[str, Any]] = deque(maxlen=256)
+        self._rescales_up = 0
+        self._rescales_down = 0
+        self._last_rescale_s = 0.0
+        self._epoch_counter = itertools.count()
+        self._prev_qos_violations = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        if obs is not None and hasattr(obs, "registry"):
+            obs.registry.register_collector("elastic", self._collect_metrics)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ElasticError("elastic controller already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="elastic-controller", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop the control loop; waits for an in-flight rescale to finish."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout)
+            self._thread = None
+
+    def summary(self) -> dict[str, Any]:
+        """Decision history and final shape, for run reports and the CLI."""
+        return {
+            "groups": {g.name: g.parallelism for g in self.groups},
+            "rescales_up": self._rescales_up,
+            "rescales_down": self._rescales_down,
+            "last_rescale_seconds": self._last_rescale_s,
+            "events": list(self.events),
+        }
+
+    # -- control loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._config.tick_s):
+            if self._scheduler.stopping or not self._scheduler.alive():
+                return
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover - defensive: keep monitoring
+                logger.exception("elastic tick failed")
+
+    def tick(self) -> None:
+        """One sampling + decision round (public for deterministic tests)."""
+        qos_delta = self._qos_violation_delta()
+        executors = self._scheduler.executors
+        for group in self.groups:
+            signals = self._signals(group, executors, qos_delta)
+            target = self._policy.decide(group.name, signals, group.parallelism)
+            target = max(
+                self._config.min_parallelism,
+                min(self._config.max_parallelism, target),
+            )
+            if (
+                target != group.parallelism
+                and time.monotonic() - group.last_rescale >= self._config.cooldown_s
+            ):
+                self.rescale(group, target, signals=signals)
+            elif self._config.adaptive_batching:
+                self._adapt_batching(group, signals, executors)
+
+    def _qos_violation_delta(self) -> int:
+        watchdog = getattr(self._obs, "watchdog", None)
+        if watchdog is None:
+            return 0
+        total = watchdog.violations
+        delta = total - self._prev_qos_violations
+        self._prev_qos_violations = total
+        return max(0, delta)
+
+    def _group_executors(
+        self, group: ElasticGroup, executors: list[NodeExecutor]
+    ) -> list[NodeExecutor]:
+        ids = group.node_ids
+        return [ex for ex in executors if id(ex.node) in ids and not ex.retired]
+
+    def _signals(
+        self,
+        group: ElasticGroup,
+        executors: list[NodeExecutor],
+        qos_delta: int,
+    ) -> GroupSignals:
+        fill = len(group.boundary) / max(1, group.boundary.capacity)
+        group_exec = self._group_executors(group, executors)
+        busy_total = sum(ex.stats.processing_seconds for ex in group_exec)
+        busy_delta = max(0.0, busy_total - group.prev_busy_s)
+        group.prev_busy_s = busy_total
+        busy_fraction = busy_delta / (self._config.tick_s * max(1, group.parallelism))
+        source_taus = [
+            ex.stats.last_tau
+            for ex in executors
+            if ex.node.kind == "source" and not math.isnan(ex.stats.last_tau)
+        ]
+        sink_taus = [
+            ex.stats.last_tau
+            for ex in executors
+            if ex.node.kind == "sink" and not math.isnan(ex.stats.last_tau)
+        ]
+        lag = 0.0
+        if source_taus and sink_taus:
+            lag = max(0.0, max(source_taus) - min(sink_taus))
+        return GroupSignals(
+            queue_fill=fill,
+            busy_fraction=busy_fraction,
+            watermark_lag_s=lag,
+            qos_violation_delta=qos_delta,
+            parallelism=group.parallelism,
+        )
+
+    # -- adaptive batching --------------------------------------------------
+
+    def _adapt_batching(
+        self,
+        group: ElasticGroup,
+        signals: GroupSignals,
+        executors: list[NodeExecutor],
+    ) -> None:
+        """Multiplicative-increase / multiplicative-decrease batch tuning.
+
+        Backlog on the boundary means queue synchronization is worth
+        amortizing harder; an idle group pays batch linger for nothing.
+        """
+        current = group.batch_size
+        if signals.queue_fill >= 0.5:
+            target = min(self._config.batch_max, max(2, current * 2))
+        elif signals.queue_fill <= 0.05 and signals.busy_fraction <= 0.2:
+            target = max(self._config.batch_min, current // 2)
+        else:
+            return
+        if target == current:
+            return
+        group.batch_size = target
+        for ex in self._group_executors(group, executors):
+            if ex.node.kind != "source":
+                ex.set_batching(target)
+        self._record_event(
+            "batch", group, {"batch_size": target, "queue_fill": signals.queue_fill}
+        )
+
+    # -- rescale protocol ---------------------------------------------------
+
+    def rescale(
+        self,
+        group: ElasticGroup,
+        target: int,
+        signals: GroupSignals | None = None,
+    ) -> bool:
+        """Drain, re-shard, and resplice ``group`` at ``target`` replicas.
+
+        Returns False when the rescale was abandoned because the group
+        finished first (end-of-stream beat the barrier to the router) or
+        the scheduler began shutting down.
+        """
+        if target < 1:
+            raise ElasticError("target parallelism must be >= 1")
+        if target == group.parallelism:
+            return False
+        started = time.monotonic()
+        old_n = group.parallelism
+        executors = self._scheduler.executors
+        group_exec = [
+            ex for ex in executors if id(ex.node) in group.node_ids
+        ]
+        scope = frozenset(n.name for n in group.nodes)
+        epoch = RESCALE_EPOCH_BASE + next(self._epoch_counter)
+        barrier = RescaleBarrier(epoch, scope, absorb_at=group.meta.merge_name)
+        boundary = group.boundary
+        # Inject one barrier copy per boundary producer, so the router's
+        # alignment count matches the stream's producer arithmetic.
+        for _ in range(boundary.num_producers):
+            while not boundary.put(barrier, timeout=0.2):
+                if self._drain_aborted(group_exec):
+                    self._record_event("abort", group, {"phase": "inject"})
+                    return False
+        # Wait for the merge to absorb the barrier. No timeout-abort here:
+        # once the router consumed the barrier the group is retiring, and
+        # walking away would leave the dataflow headless. The only exits
+        # are absorption, end-of-stream winning the race, or shutdown.
+        while not barrier.wait_absorbed(timeout=0.2):
+            if self._drain_aborted(group_exec):
+                self._record_event("abort", group, {"phase": "drain"})
+                return False
+        snapshots = barrier.snapshots
+        new_nodes, clone_ops = build_replicated_group(
+            group.meta, target,
+            inputs=[boundary], outputs=list(group.merge_node.outputs),
+        )
+        route = lambda key: hash_route(key, target)  # noqa: E731
+        for j, member in enumerate(group.meta.members):
+            states = [snapshots.get(f"{member}::{i}") for i in range(old_n)]
+            prototype = group.meta.factories[j]()
+            new_states = prototype.reshard_state(states, target, route)
+            for i, state in enumerate(new_states):
+                if state is not None:
+                    clone_ops[f"{member}::{i}"].restore_state(state)
+        if self._plan is not None and self._plan.fusion:
+            new_nodes = fuse_linear_chains(new_nodes)
+        with self._lock:
+            self._splice_node_list(group.nodes, new_nodes)
+            if self._checkpointer is not None and hasattr(self._checkpointer, "rebind"):
+                # Before the scheduler sees the new names: in-flight epochs
+                # must expect acks from the replacement nodes, not the
+                # retired ones, or those epochs never commit.
+                self._checkpointer.rebind(self._nodes)
+            if self._obs is not None and hasattr(self._obs, "rebind"):
+                self._obs.rebind(self._nodes, retired=group_exec)
+            self._scheduler.splice(new_nodes)
+            group.nodes = new_nodes
+            group.router_node = new_nodes[0]
+            group.merge_node = new_nodes[-1]
+            group.parallelism = target
+            group.prev_busy_s = 0.0
+            group.last_rescale = time.monotonic()
+            if target > old_n:
+                self._rescales_up += 1
+            else:
+                self._rescales_down += 1
+            self._last_rescale_s = time.monotonic() - started
+        if self._config.adaptive_batching and group.batch_size > 1:
+            for ex in self._scheduler.executors:
+                if id(ex.node) in group.node_ids and ex.node.kind != "source":
+                    ex.set_batching(group.batch_size)
+        self._record_event(
+            "rescale",
+            group,
+            {
+                "from": old_n,
+                "to": target,
+                "epoch": epoch,
+                "duration_s": round(self._last_rescale_s, 6),
+                "signals": None if signals is None else vars(signals),
+            },
+        )
+        logger.info(
+            "rescaled group %s: %d -> %d replicas in %.3fs",
+            group.name, old_n, target, self._last_rescale_s,
+        )
+        return True
+
+    def _drain_aborted(self, group_exec: list[NodeExecutor]) -> bool:
+        """True when the drain can never complete (EOS won, or shutdown)."""
+        if self._scheduler.stopping or not self._scheduler.alive():
+            return True
+        return any(ex.finalized for ex in group_exec)
+
+    def _splice_node_list(self, old: list[Node], new: list[Node]) -> None:
+        ids = {id(n) for n in old}
+        positions = [i for i, n in enumerate(self._nodes) if id(n) in ids]
+        insert_at = positions[0] if positions else len(self._nodes)
+        kept_before = [
+            n for n in self._nodes[:insert_at] if id(n) not in ids
+        ]
+        kept_after = [
+            n for n in self._nodes[insert_at:] if id(n) not in ids
+        ]
+        self._nodes[:] = kept_before + new + kept_after
+
+    # -- observability ------------------------------------------------------
+
+    def _record_event(
+        self, kind: str, group: ElasticGroup, detail: dict[str, Any]
+    ) -> None:
+        event = {
+            "kind": kind,
+            "group": group.name,
+            "parallelism": group.parallelism,
+            "wall_time": time.time(),
+            **detail,
+        }
+        self.events.append(event)
+
+    def _collect_metrics(self):
+        from ..obs.registry import Sample
+
+        samples: list[Sample] = []
+        with self._lock:
+            for group in self.groups:
+                labels = (("group", group.name),)
+                samples.append(
+                    Sample("elastic_parallelism", labels, float(group.parallelism))
+                )
+                samples.append(
+                    Sample("elastic_batch_size", labels, float(group.batch_size))
+                )
+            samples.append(
+                Sample(
+                    "elastic_rescales_total", (("direction", "up"),),
+                    float(self._rescales_up), "counter",
+                )
+            )
+            samples.append(
+                Sample(
+                    "elastic_rescales_total", (("direction", "down"),),
+                    float(self._rescales_down), "counter",
+                )
+            )
+            samples.append(
+                Sample(
+                    "elastic_last_rescale_seconds", (), float(self._last_rescale_s)
+                )
+            )
+        return samples

@@ -1,0 +1,107 @@
+"""Scale policies: turn observed load signals into replica-count targets.
+
+The controller samples one :class:`GroupSignals` per replica group per
+tick and asks its policy for a target parallelism. Policies are pure
+decision logic — bounds clamping, cooldown enforcement, and the actual
+rescale mechanics stay in the controller, so a policy can be as simple as
+a pair of thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+
+@dataclass(frozen=True)
+class GroupSignals:
+    """One tick's worth of load evidence for one replica group.
+
+    ``queue_fill``          boundary-queue depth as a fraction of capacity;
+    ``busy_fraction``       mean fraction of the tick the group's replicas
+                            spent processing (0..~1 per replica);
+    ``watermark_lag_s``     event-time distance between sources and sinks;
+    ``qos_violation_delta`` QoS watchdog violations since the last tick;
+    ``parallelism``         the group's current replica count.
+    """
+
+    queue_fill: float = 0.0
+    busy_fraction: float = 0.0
+    watermark_lag_s: float = 0.0
+    qos_violation_delta: int = 0
+    parallelism: int = 1
+
+
+@runtime_checkable
+class ScalePolicy(Protocol):
+    """Pluggable decision logic for the elastic controller."""
+
+    def decide(self, group: str, signals: GroupSignals, current: int) -> int:
+        """Target replica count for ``group`` (pre-clamping)."""
+        ...
+
+
+class HysteresisPolicy:
+    """Threshold policy with streak-based hysteresis.
+
+    Scale-up is eager (doubling) and triggers after ``up_ticks``
+    consecutive overloaded ticks — or immediately on a QoS violation when
+    ``qos_boost`` is set, because a missed recoat-gap deadline means the
+    build is already printing over unassessed layers. Scale-down is
+    conservative (one replica at a time) and needs ``down_ticks``
+    consecutive idle ticks, so transient lulls between layer bursts do not
+    thrash the group.
+    """
+
+    def __init__(
+        self,
+        up_queue_fill: float = 0.5,
+        up_busy: float = 0.85,
+        down_queue_fill: float = 0.10,
+        down_busy: float = 0.35,
+        up_ticks: int = 2,
+        down_ticks: int = 6,
+        qos_boost: bool = True,
+    ) -> None:
+        self.up_queue_fill = up_queue_fill
+        self.up_busy = up_busy
+        self.down_queue_fill = down_queue_fill
+        self.down_busy = down_busy
+        self.up_ticks = max(1, up_ticks)
+        self.down_ticks = max(1, down_ticks)
+        self.qos_boost = qos_boost
+        self._up_streak: dict[str, int] = {}
+        self._down_streak: dict[str, int] = {}
+
+    def decide(self, group: str, signals: GroupSignals, current: int) -> int:
+        overloaded = (
+            signals.queue_fill >= self.up_queue_fill
+            or signals.busy_fraction >= self.up_busy
+            or signals.qos_violation_delta > 0
+        )
+        idle = (
+            signals.queue_fill <= self.down_queue_fill
+            and signals.busy_fraction <= self.down_busy
+            and signals.qos_violation_delta == 0
+        )
+        if overloaded:
+            self._down_streak[group] = 0
+            streak = self._up_streak.get(group, 0) + 1
+            self._up_streak[group] = streak
+            if self.qos_boost and signals.qos_violation_delta > 0:
+                self._up_streak[group] = 0
+                return current * 2
+            if streak >= self.up_ticks:
+                self._up_streak[group] = 0
+                return current * 2
+            return current
+        self._up_streak[group] = 0
+        if idle and current > 1:
+            streak = self._down_streak.get(group, 0) + 1
+            self._down_streak[group] = streak
+            if streak >= self.down_ticks:
+                self._down_streak[group] = 0
+                return current - 1
+            return current
+        self._down_streak[group] = 0
+        return current

@@ -1,0 +1,65 @@
+"""Keyed-state shard arithmetic: merge N shard states, split into M.
+
+The elastic controller drains a replica group's ``name::i`` shards and
+redistributes their state across a new replica count. Operators own the
+semantics of their state (``Operator.reshard_state``); the helpers here
+cover the common shape — a mapping keyed by the routing key — and are what
+the built-in operators build their implementations from.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Mapping
+
+Route = Callable[[Hashable], int]
+
+
+def merge_keyed(shards: list[Mapping[Hashable, Any] | None]) -> dict[Hashable, Any]:
+    """Union per-key mappings drained from disjoint shards.
+
+    Shards of a hash-routed group hold disjoint key ranges by
+    construction, so a duplicate key means the caller is merging shards
+    that never belonged to one group — fail loudly instead of silently
+    keeping one side.
+    """
+    merged: dict[Hashable, Any] = {}
+    for shard in shards:
+        if not shard:
+            continue
+        for key, value in shard.items():
+            if key in merged:
+                raise ValueError(
+                    f"key {key!r} present in more than one shard; shards of "
+                    f"one keyed group must hold disjoint key ranges"
+                )
+            merged[key] = value
+    return merged
+
+
+def split_keyed(
+    merged: Mapping[Hashable, Any], shards: int, route: Route
+) -> list[dict[Hashable, Any]]:
+    """Partition a merged keyed mapping across ``shards`` new replicas."""
+    if shards < 1:
+        raise ValueError("cannot split state across fewer than one shard")
+    out: list[dict[Hashable, Any]] = [{} for _ in range(shards)]
+    for key, value in merged.items():
+        index = route(key)
+        if not 0 <= index < shards:
+            raise ValueError(
+                f"route({key!r}) returned shard {index}, outside 0..{shards - 1}"
+            )
+        out[index][key] = value
+    return out
+
+
+def split_scalar(total: float | int, shards: int) -> list[float | int]:
+    """Place an additive counter's total in shard 0, zero elsewhere.
+
+    Idempotent under merge/split cycles: summing the result always gives
+    the original total back, regardless of how many rescales happened.
+    """
+    if shards < 1:
+        raise ValueError("cannot split state across fewer than one shard")
+    zero = type(total)(0)
+    return [total] + [zero] * (shards - 1)

@@ -104,6 +104,23 @@ class ObsContext:
 
     def bind(self, nodes: list[Node]) -> None:
         """Index a compiled node graph (called by the engine pre-run)."""
+        self._index(nodes, executors=[])
+
+    def rebind(self, nodes: list[Node], retired: tuple | list = ()) -> None:
+        """Re-index the graph after an elastic rescale splices nodes.
+
+        Unlike :meth:`bind`, the executor registry survives: executors for
+        nodes that kept running must keep exporting their counters, while
+        the drained replicas in ``retired`` stop being sampled. The new
+        replicas' executors arrive through :meth:`attach_executor` as the
+        scheduler launches them.
+        """
+        dropped = set(map(id, retired))
+        with self._lock:
+            kept = [ex for ex in self._executors if id(ex) not in dropped]
+        self._index(nodes, executors=kept)
+
+    def _index(self, nodes: list[Node], executors: list) -> None:
         streams: dict[int, Stream] = {}
         sinks = []
         fused = []
@@ -127,7 +144,7 @@ class ObsContext:
             self._sinks = sinks
             self._fused = fused
             self._paced_sources = paced
-            self._executors = []
+            self._executors = executors
 
     def attach_executor(self, executor) -> None:
         """Register one node executor (called by the schedulers)."""
@@ -170,7 +187,8 @@ class ObsContext:
                 samples.append(
                     Sample(
                         "spe_batch_fill_ratio", labels,
-                        stats.batch_tuples_out / stats.batches_out / max(ex.edge_batch_size, 1),
+                        stats.batch_tuples_out / stats.batches_out
+                        / max(ex.edge_batch_size, 1),
                     )
                 )
             if stats.timing_counts is not None and stats.timing_total:
@@ -232,7 +250,10 @@ class ObsContext:
             count = len(sink.latency)
             samples.append(Sample("strata_sink_results_total", labels, count, "counter"))
             samples.append(
-                Sample("strata_sink_throughput_per_second", labels, sink.throughput.per_second())
+                Sample(
+                    "strata_sink_throughput_per_second", labels,
+                    sink.throughput.per_second(),
+                )
             )
             if count:
                 summary = sink.latency.summary()
@@ -309,4 +330,8 @@ _HELP = {
     "strata_source_lag_seconds": "how far a paced source trails its schedule",
     "strata_watermark_tau": "event-time frontier at sources vs sinks",
     "strata_watermark_lag": "event-time distance between ingest and delivery",
+    "elastic_parallelism": "current replica count per elastic group",
+    "elastic_batch_size": "adaptive edge batch size per elastic group",
+    "elastic_rescales_total": "rescale operations executed, by direction",
+    "elastic_last_rescale_seconds": "duration of the newest rescale drain-splice",
 }

@@ -123,6 +123,32 @@ class CheckpointCoordinator:
             self._participants = participants
             self._sources = sources
 
+    def rebind(self, nodes: list[Node]) -> None:
+        """Re-discover participants after an elastic rescale splices nodes.
+
+        Must run *before* the scheduler splices the replacement executors:
+        ``on_node_snapshot`` discards acks from names outside an epoch's
+        pending set, so any checkpoint epoch still in flight has to expect
+        the new replica names before they can start acking. For each such
+        epoch, the retired group's outstanding names are swapped for the
+        replacement names — the rescale barrier drained the old replicas
+        after they forwarded any older checkpoint barriers, so the new
+        replicas will see (and ack) those epochs' barriers from the
+        boundary queue.
+        """
+        old_participants = self._participants
+        self.bind(nodes)
+        with self._lock:
+            added = self._participants - old_participants
+            removed = old_participants - self._participants
+            for epoch, ep in list(self._inflight.items()):
+                gone = ep.pending_nodes & removed
+                if not gone:
+                    continue
+                ep.pending_nodes -= gone
+                ep.pending_nodes |= added
+                self._maybe_commit_locked(epoch, ep)
+
     def attach_metrics(self, registry: Any) -> None:
         """Export checkpoint health into an observability registry.
 

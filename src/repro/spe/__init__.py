@@ -6,12 +6,18 @@ streams, run either by a thread-per-operator scheduler (the Liebre model)
 or a deterministic synchronous scheduler for tests.
 """
 
-from .barrier import CheckpointBarrier, is_barrier
+from .barrier import (
+    RESCALE_EPOCH_BASE,
+    CheckpointBarrier,
+    RescaleBarrier,
+    is_barrier,
+)
 from .engine import RunReport, StreamEngine
 from .errors import (
     EngineStateError,
     MetricsError,
     OperatorError,
+    PlanError,
     QueryValidationError,
     SPEError,
 )
@@ -36,6 +42,8 @@ from .operators import (
 from .plan import (
     FusedOperator,
     PlanConfig,
+    ReplicaGroupMeta,
+    build_replicated_group,
     compile_plan,
     fuse_linear_chains,
     render_plan,
@@ -64,6 +72,8 @@ __all__ = [
     "TupleBatch",
     "PlanConfig",
     "FusedOperator",
+    "ReplicaGroupMeta",
+    "build_replicated_group",
     "compile_plan",
     "fuse_linear_chains",
     "replicate_keyed_stages",
@@ -105,6 +115,9 @@ __all__ = [
     "EngineStateError",
     "MetricsError",
     "OperatorError",
+    "PlanError",
     "CheckpointBarrier",
+    "RescaleBarrier",
+    "RESCALE_EPOCH_BASE",
     "is_barrier",
 ]

@@ -17,6 +17,8 @@ including all replicas behind a hash router.
 
 from __future__ import annotations
 
+import threading
+
 
 class CheckpointBarrier:
     """In-band marker delimiting checkpoint epoch ``epoch``."""
@@ -38,6 +40,63 @@ class CheckpointBarrier:
 
     def __hash__(self) -> int:
         return hash(("__checkpoint_barrier__", self.epoch))
+
+
+#: Epoch numbers at or above this value belong to rescale barriers. Keeping
+#: the two epoch spaces disjoint means an in-flight checkpoint epoch always
+#: wins ``min()`` during alignment, so a rescale never starves a checkpoint.
+RESCALE_EPOCH_BASE = 1 << 40
+
+
+class RescaleBarrier(CheckpointBarrier):
+    """Aligned drain barrier scoped to one replicated operator group.
+
+    Rides the same alignment machinery as checkpoints, but instead of
+    persisting state it *collects* it: every node named in ``scope``
+    snapshots into the barrier (``on_snapshot``), retires itself, and
+    forwards the barrier; the node named ``absorb_at`` (the group's merge)
+    absorbs the barrier instead of forwarding, which signals the elastic
+    controller (``notify_absorbed``) that the group is fully drained.
+    """
+
+    __slots__ = ("scope", "absorb_at", "_snapshots", "_absorbed", "_lock")
+
+    def __init__(self, epoch: int, scope: frozenset[str], absorb_at: str) -> None:
+        if epoch < RESCALE_EPOCH_BASE:
+            raise ValueError("rescale epochs live at RESCALE_EPOCH_BASE and above")
+        super().__init__(epoch)
+        self.scope = frozenset(scope)
+        self.absorb_at = absorb_at
+        self._snapshots: dict[str, dict | None] = {}
+        self._absorbed = threading.Event()
+        self._lock = threading.Lock()
+
+    def on_snapshot(self, name: str, state: dict | None) -> None:
+        """Record one scope node's drained state (thread-safe)."""
+        with self._lock:
+            self._snapshots[name] = state
+
+    @property
+    def snapshots(self) -> dict[str, dict | None]:
+        with self._lock:
+            return dict(self._snapshots)
+
+    def notify_absorbed(self) -> None:
+        """The merge node consumed the barrier: the group is drained."""
+        self._absorbed.set()
+
+    def wait_absorbed(self, timeout: float | None = None) -> bool:
+        return self._absorbed.wait(timeout)
+
+    @property
+    def absorbed(self) -> bool:
+        return self._absorbed.is_set()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RescaleBarrier(epoch={self.epoch}, scope={sorted(self.scope)}, "
+            f"absorb_at={self.absorb_at!r})"
+        )
 
 
 def is_barrier(item: object) -> bool:

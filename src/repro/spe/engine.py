@@ -99,10 +99,11 @@ class StreamEngine:
         capacity: int | None,
         plan: PlanConfig | None = None,
         obs: Any | None = None,
+        force_replication: bool = False,
     ):
         """Build the query, compile the plan, bind checkpointer and obs."""
         nodes = query.build(capacity=capacity)
-        nodes = compile_plan(nodes, plan)
+        nodes = compile_plan(nodes, plan, force_replication=force_replication)
         listener = None
         if checkpointer is not None:
             # Duck-typed so repro.spe never imports repro.recovery: any
@@ -181,6 +182,7 @@ class StreamEngine:
         on_built: BuildHook | None = None,
         plan: PlanConfig | bool | None = None,
         obs: Any | None = None,
+        force_replication: bool = False,
     ) -> dict[str, Sink]:
         """Deploy a query in the background (threaded only)."""
         if self._mode != "threaded":
@@ -189,11 +191,28 @@ class StreamEngine:
             raise EngineStateError("a query is already running; stop() it first")
         plan = PlanConfig.resolve(plan)
         nodes, listener = self._prepare(
-            query, checkpointer, on_built, capacity=self._capacity, plan=plan, obs=obs
+            query, checkpointer, on_built, capacity=self._capacity, plan=plan,
+            obs=obs, force_replication=force_replication,
         )
         self._active = self._threaded_scheduler(listener, plan, obs)
         self._active_nodes = nodes
         self._active.start(nodes)
+        return _sinks_of(nodes)
+
+    def runtime(self) -> tuple[ThreadedScheduler, list[Node]]:
+        """The live scheduler and node list of a started deployment.
+
+        The returned node list is the engine's own mutable list: a rescale
+        splices replacement nodes into it in place, so reports assembled
+        after the run see the final plan shape.
+        """
+        if self._active is None or self._active_nodes is None:
+            raise EngineStateError("no query is running")
+        return self._active, self._active_nodes
+
+    @staticmethod
+    def sinks_of(nodes: list[Node]) -> dict[str, Sink]:
+        """Public helper: the sink objects of a materialized node list."""
         return _sinks_of(nodes)
 
     @staticmethod

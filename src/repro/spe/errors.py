@@ -23,6 +23,11 @@ class MetricsError(SPEError, ValueError):
     """
 
 
+class PlanError(SPEError):
+    """Raised when the plan compiler is asked for an impossible rewrite
+    (e.g. replicating a keyed group whose head declares no key function)."""
+
+
 class OperatorError(SPEError):
     """Wraps an exception raised inside a user function, with context."""
 

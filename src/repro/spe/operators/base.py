@@ -17,6 +17,7 @@ seen on every input, so the snapshot sits on a consistent cut.
 
 from __future__ import annotations
 
+import copy
 from abc import ABC, abstractmethod
 from typing import Any, Iterable
 
@@ -64,6 +65,29 @@ class Operator(ABC):
             f"{type(self).__name__} has no restorable state"
         )
 
+    # -- elastic rescaling --------------------------------------------------
+
+    def reshard_state(
+        self,
+        states: list[dict[str, Any] | None],
+        shards: int,
+        route: "Any",
+    ) -> list[dict[str, Any] | None]:
+        """Redistribute N drained shard snapshots across ``shards`` replicas.
+
+        ``states`` holds one :meth:`snapshot_state` result per old replica;
+        ``route`` maps a routing key to its new shard index (the same hash
+        the group's router will use). The default covers stateless
+        operators only — keyed operators override this to split their
+        per-key state along the routing key.
+        """
+        if all(state is None for state in states):
+            return [None] * shards
+        raise NotImplementedError(
+            f"{type(self).__name__} carries state but defines no "
+            f"reshard_state; it cannot be rescaled"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"{type(self).__name__}({self.name!r})"
 
@@ -89,6 +113,34 @@ def restore_callable(fn: object, state: dict[str, Any] | None) -> None:
             f"{type(fn).__name__} has snapshotted state but no restore_state"
         )
     restore(state)
+
+
+def reshard_callable(
+    fn: object,
+    fn_states: list[dict[str, Any] | None],
+    shards: int,
+    route: Any,
+) -> list[dict[str, Any] | None]:
+    """Redistribute wrapped-function state across ``shards`` replicas.
+
+    A user function may define its own ``reshard_state(states, shards,
+    route)``; otherwise the states are treated as cache-like (e.g. the
+    per-cell calibration cache): dict states are shallow-merged and the
+    merged copy replicated into every shard — idempotent under repeated
+    merge/split cycles, at the cost of each replica warming the same cache.
+    """
+    hook = getattr(fn, "reshard_state", None)
+    if callable(hook):
+        return hook(fn_states, shards, route)
+    present = [s for s in fn_states if s is not None]
+    if not present:
+        return [None] * shards
+    if all(isinstance(s, dict) for s in present):
+        merged: dict[str, Any] = {}
+        for s in present:
+            merged.update(s)
+        return [copy.deepcopy(merged) for _ in range(shards)]
+    return [copy.deepcopy(present[0]) for _ in range(shards)]
 
 
 def as_tuple_list(result: StreamTuple | Iterable[StreamTuple] | None) -> list[StreamTuple]:

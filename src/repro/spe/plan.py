@@ -30,11 +30,12 @@ under either plan shape restores into the other.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Iterable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
 
+from .errors import PlanError
 from .operators.base import Operator
-from .operators.router import HashRouter, partition_key
+from .operators.router import HashRouter
 from .operators.union import UnionOperator
 from .query import KeyFunction, Node, _RouterOperator
 from .stream import Stream
@@ -257,8 +258,16 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
     while that member broadcasts to exactly one output stream and does not
     hash-route (a router node may only terminate a chain, so the fused
     node keeps its routing table). Sources and sinks never fuse — they are
-    the measurement boundaries for ingest/latency accounting.
+    the measurement boundaries for ingest/latency accounting. The router
+    and merge of a rescalable replica group never fuse either: the elastic
+    controller must be able to retire and resplice them by name.
     """
+    protected: set[str] = set()
+    for node in nodes:
+        meta = getattr(node, "rescale_meta", None)
+        if meta is not None:
+            protected.add(node.name)
+            protected.add(meta.merge_name)
     consumer_of = _consumer_map(nodes)
     absorbed: set[int] = set()
     fused_for_head: dict[int, Node] = {}
@@ -266,6 +275,8 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
         if id(node) in absorbed:
             continue
         if node.kind != "operator" or len(node.inputs) != 1:
+            continue
+        if node.name in protected:
             continue
         chain = [node]
         while True:
@@ -278,7 +289,7 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
             nxt = consumer_of.get(id(stream))
             if nxt is None or nxt.kind != "operator" or len(nxt.inputs) != 1:
                 break
-            if id(nxt) in absorbed:
+            if id(nxt) in absorbed or nxt.name in protected:
                 break
             chain.append(nxt)
         if len(chain) < 2:
@@ -305,7 +316,81 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
 # -- replication pass ------------------------------------------------------
 
 
-def replicate_keyed_stages(nodes: list[Node], parallelism: int) -> list[Node]:
+@dataclass
+class ReplicaGroupMeta:
+    """Recipe for (re)building one keyed-replicated operator group.
+
+    Captured when the replication pass first rewrites a group and attached
+    to the router node (``node.rescale_meta``); the elastic controller
+    replays the recipe at a different replica count mid-run. Capacities are
+    remembered per member so respliced edges keep the original bounds.
+    """
+
+    members: list[str]
+    factories: list[Callable[[], Operator]]
+    key_fn: KeyFunction
+    router_name: str
+    merge_name: str
+    member_capacities: list[int | None] = field(default_factory=list)
+    out_capacity: int | None = None
+
+
+def build_replicated_group(
+    meta: ReplicaGroupMeta,
+    parallelism: int,
+    inputs: list[Stream],
+    outputs: list[Stream],
+) -> tuple[list[Node], dict[str, Operator]]:
+    """Materialize one replica group at ``parallelism`` from its recipe.
+
+    Returns the new nodes (router, clone chains, merge) plus the fresh
+    clone operators keyed by shard name (``member::i``) so callers can
+    restore re-sharded state into them *before* the chains are fused.
+    """
+    if parallelism < 1:
+        raise PlanError("replica group parallelism must be >= 1")
+    router = Node(
+        meta.router_name,
+        "operator",
+        operator=_RouterOperator(meta.router_name),
+        router=HashRouter(parallelism, meta.key_fn),
+    )
+    router.rescale_meta = meta
+    router.inputs = list(inputs)
+    merge = Node(
+        meta.merge_name,
+        "operator",
+        operator=UnionOperator(meta.merge_name, num_inputs=parallelism),
+    )
+    merge.outputs = list(outputs)
+    built: list[Node] = [router]
+    clone_ops: dict[str, Operator] = {}
+    for i in range(parallelism):
+        prev = router
+        for member_name, factory, capacity in zip(
+            meta.members, meta.factories, meta.member_capacities
+        ):
+            operator = factory()
+            clone = Node(
+                f"{member_name}::{i}", "operator", operator=operator,
+                base_name=member_name,
+            )
+            clone_ops[clone.name] = operator
+            stream = Stream(f"{prev.name}->{clone.name}", capacity)
+            prev.outputs.append(stream)
+            clone.inputs.append(stream)
+            built.append(clone)
+            prev = clone
+        stream = Stream(f"{prev.name}->{merge.name}", meta.out_capacity)
+        prev.outputs.append(stream)
+        merge.inputs.append(stream)
+    built.append(merge)
+    return built, clone_ops
+
+
+def replicate_keyed_stages(
+    nodes: list[Node], parallelism: int, wrap_single: bool = False
+) -> list[Node]:
     """Replicate runs of keyed stages N ways behind a hash router.
 
     Finds maximal consecutive runs of ``replicable`` nodes (factory-built,
@@ -321,9 +406,14 @@ def replicate_keyed_stages(nodes: list[Node], parallelism: int) -> list[Node]:
     recovery manifests keep restoring across plan shapes. The fusion pass
     then collapses every clone chain into a single node, so replication
     costs two extra hops (router, union) regardless of run length.
+
+    With ``wrap_single`` the rewrite also runs at ``parallelism == 1``,
+    wrapping each group in a one-way router/merge pair — the scaffolding
+    the elastic controller needs to rescale the group later.
     """
-    if parallelism <= 1:
+    if parallelism <= 1 and not wrap_single:
         return nodes
+    parallelism = max(1, parallelism)
     consumer_of = _consumer_map(nodes)
     grouped: set[int] = set()
     groups_by_head: dict[int, list[Node]] = {}
@@ -369,51 +459,45 @@ def replicate_keyed_stages(nodes: list[Node], parallelism: int) -> list[Node]:
 
 def _replicate_group(group: list[Node], parallelism: int) -> list[Node]:
     head, tail = group[0], group[-1]
-    key_fn: KeyFunction = head.key_fn or partition_key
-    router_name = f"{head.name}::router"
-    router = Node(
-        router_name,
-        "operator",
-        operator=_RouterOperator(router_name),
-        router=HashRouter(parallelism, key_fn),
+    if head.key_fn is None:
+        raise PlanError(
+            f"cannot replicate keyed stage group headed by {head.name!r}: "
+            f"the operator is marked replicable but declares no key "
+            f"function; pass key_fn= when adding it to the query"
+        )
+    meta = ReplicaGroupMeta(
+        members=[m.name for m in group],
+        factories=[m.factory for m in group],
+        key_fn=head.key_fn,
+        router_name=f"{head.name}::router",
+        merge_name=f"{tail.name}::merge",
+        member_capacities=[m.inputs[0].capacity for m in group],
+        out_capacity=tail.outputs[0].capacity,
     )
-    router.inputs = list(head.inputs)
-    merge_name = f"{tail.name}::merge"
-    merge = Node(
-        merge_name, "operator", operator=UnionOperator(merge_name, num_inputs=parallelism)
+    built, _ = build_replicated_group(
+        meta, parallelism, inputs=head.inputs, outputs=tail.outputs
     )
-    merge.outputs = list(tail.outputs)
-    built: list[Node] = [router]
-    for i in range(parallelism):
-        prev = router
-        for member in group:
-            clone = Node(
-                f"{member.name}::{i}",
-                "operator",
-                operator=member.factory(),
-                base_name=member.name,
-            )
-            stream = Stream(f"{prev.name}->{clone.name}", member.inputs[0].capacity)
-            prev.outputs.append(stream)
-            clone.inputs.append(stream)
-            built.append(clone)
-            prev = clone
-        stream = Stream(f"{prev.name}->{merge.name}", tail.outputs[0].capacity)
-        prev.outputs.append(stream)
-        merge.inputs.append(stream)
-    built.append(merge)
     return built
 
 
 # -- driver ----------------------------------------------------------------
 
 
-def compile_plan(nodes: list[Node], config: PlanConfig | None) -> list[Node]:
-    """Apply the enabled passes; ``None`` config returns the graph as-is."""
+def compile_plan(
+    nodes: list[Node], config: PlanConfig | None, force_replication: bool = False
+) -> list[Node]:
+    """Apply the enabled passes; ``None`` config returns the graph as-is.
+
+    ``force_replication`` runs the replication pass even at
+    ``parallelism == 1`` (wrapping groups in a one-way router/merge) so an
+    elastic deployment can rescale them later.
+    """
     if config is None:
         return nodes
-    if config.parallelism > 1:
-        nodes = replicate_keyed_stages(nodes, config.parallelism)
+    if config.parallelism > 1 or force_replication:
+        nodes = replicate_keyed_stages(
+            nodes, config.parallelism, wrap_single=force_replication
+        )
     if config.fusion:
         nodes = fuse_linear_chains(nodes)
     return nodes

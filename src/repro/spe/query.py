@@ -71,6 +71,10 @@ class Node:
         self.factory: OperatorFactory | None = None
         self.key_fn: KeyFunction | None = None
         self.replicable = False
+        # Set on router nodes of keyed-replicated groups: the recipe the
+        # elastic controller uses to rebuild the group at a new replica
+        # count (see repro.spe.plan.ReplicaGroupMeta).
+        self.rescale_meta = None
         self.inputs: list[Stream] = []
         self.outputs: list[Stream] = []
 
@@ -289,11 +293,25 @@ class Query:
         # parallel: router -> N replicas -> union merge. The explicit Union
         # keeps every replica edge single-producer, so checkpoint barriers
         # align exactly downstream of the replicated stage.
+        effective_key_fn = decl.key_fn or partition_key
         router = Node(
             f"{decl.name}::router",
             "operator",
             operator=_RouterOperator(f"{decl.name}::router"),
-            router=HashRouter(decl.parallelism, decl.key_fn or partition_key),
+            router=HashRouter(decl.parallelism, effective_key_fn),
+        )
+        # Same recipe shape the plan compiler's replication pass records,
+        # so declaration-parallel groups are rescalable too.
+        from .plan import ReplicaGroupMeta  # local import: plan imports query
+
+        router.rescale_meta = ReplicaGroupMeta(
+            members=[decl.name],
+            factories=[decl.factory],
+            key_fn=effective_key_fn,
+            router_name=router.name,
+            merge_name=f"{decl.name}::merge",
+            member_capacities=[_cap(capacity)],
+            out_capacity=_cap(capacity),
         )
         nodes.append(router)
         self._connect(decl.upstreams, router, producers, capacity)

@@ -20,7 +20,7 @@ import threading
 import time
 from typing import Callable
 
-from .barrier import CheckpointBarrier, is_barrier
+from .barrier import CheckpointBarrier, RescaleBarrier, is_barrier
 from .errors import OperatorError
 from .metrics import OperatorStats
 from .query import Node
@@ -64,23 +64,47 @@ class NodeExecutor:
         # (barriers, EOS) always flush first, preserving in-band ordering.
         self._edge_batch = max(1, edge_batch_size)
         self._linger_s = linger_s
-        self._buffers: dict[int, tuple[Stream, list]] | None = None
-        if self._edge_batch > 1:
-            self._buffers = {id(s): (s, []) for s in node.outputs}
+        # Buffers are always allocated so batching can be switched on at
+        # runtime (adaptive tuning); _emit fast-paths on _edge_batch <= 1.
+        self._buffers: dict[int, tuple[Stream, list]] = {
+            id(s): (s, []) for s in node.outputs
+        }
         self._last_flush = time.monotonic()
         # Chandy–Lamport alignment: epoch -> input_index -> barriers seen.
         # An input is aligned for an epoch once it delivered one barrier per
         # producer feeding it (or closed); while aligned-but-waiting it is
         # *blocked* so no post-barrier tuple sneaks into the snapshot.
         self._barrier_seen: dict[int, dict[int, int]] = {}
+        # epoch -> the barrier object that opened it. Needed because rescale
+        # barriers carry identity (scope, snapshot sink) and must be
+        # forwarded as the same object, unlike plain checkpoint barriers.
+        self._barriers: dict[int, CheckpointBarrier] = {}
+        # A retired executor belongs to a replica group that was drained by
+        # a rescale barrier; its thread exits without finalizing (no EOS).
+        self._retired = False
 
     @property
     def finalized(self) -> bool:
         return self._finalized
 
     @property
+    def retired(self) -> bool:
+        return self._retired
+
+    @property
     def edge_batch_size(self) -> int:
         return self._edge_batch
+
+    def set_batching(self, batch_size: int, linger_s: float | None = None) -> None:
+        """Retune edge batching at runtime (adaptive controller hook).
+
+        Safe to call from any thread: both knobs are atomic scalar writes;
+        the buffers themselves stay owner-thread-only. Leftover tuples in a
+        shrunken buffer ship on the owner's next flush or linger expiry.
+        """
+        self._edge_batch = max(1, int(batch_size))
+        if linger_s is not None:
+            self._linger_s = max(0.0, float(linger_s))
 
     @property
     def open_inputs(self) -> list[int]:
@@ -119,7 +143,7 @@ class NodeExecutor:
         for t in tuples:
             self.stats.tuples_out += 1
             for stream in self.node.route(t):
-                if buffers is None:
+                if self._edge_batch <= 1:
                     self._put(stream, t)
                     continue
                 buf = buffers[id(stream)][1]
@@ -139,14 +163,13 @@ class NodeExecutor:
 
     def flush_outputs(self) -> None:
         """Ship every partially filled output batch now."""
-        if self._buffers is not None:
-            for stream, buf in self._buffers.values():
-                self._flush_stream(stream, buf)
+        for stream, buf in self._buffers.values():
+            self._flush_stream(stream, buf)
         self._last_flush = time.monotonic()
 
     def maybe_flush(self, now: float) -> None:
         """Flush buffered batches older than the linger deadline."""
-        if self._buffers is not None and now - self._last_flush >= self._linger_s:
+        if now - self._last_flush >= self._linger_s:
             self.flush_outputs()
 
     def _put(self, stream: Stream, item: object) -> None:
@@ -212,6 +235,7 @@ class NodeExecutor:
     def _on_barrier(self, input_index: int, barrier: CheckpointBarrier) -> None:
         counts = self._barrier_seen.setdefault(barrier.epoch, {})
         counts[input_index] = counts.get(input_index, 0) + 1
+        self._barriers.setdefault(barrier.epoch, barrier)
         self._check_alignment(barrier.epoch)
 
     def _recheck_alignment(self) -> None:
@@ -226,30 +250,67 @@ class NodeExecutor:
         ):
             return
         del self._barrier_seen[epoch]
-        self._complete_checkpoint(epoch)
+        barrier = self._barriers.pop(epoch, None) or CheckpointBarrier(epoch)
+        if isinstance(barrier, RescaleBarrier):
+            self._complete_rescale(barrier)
+        else:
+            self._complete_checkpoint(epoch)
+
+    def _snapshot_into(self, listener, epoch: int) -> None:
+        """Deliver this node's aligned-cut state to ``listener(name, epoch, state)``."""
+        node = self.node
+        if node.kind == "operator" and hasattr(node.operator, "snapshot_parts"):
+            # Fused node: one manifest entry per constituent, under its
+            # original node name, so manifests stay portable between
+            # fused and unfused plan shapes.
+            for part_name, state in node.operator.snapshot_parts().items():
+                listener(part_name, epoch, state)
+        else:
+            state: dict | None = None
+            if node.kind == "operator":
+                state = node.operator.snapshot_state()
+            elif node.kind == "sink":
+                state = node.sink.snapshot_state()
+            listener(node.name, epoch, state)
 
     def _complete_checkpoint(self, epoch: int) -> None:
         """Snapshot at the aligned cut, then forward the barrier downstream."""
-        node = self.node
         if self._checkpoint_listener is not None:
-            if node.kind == "operator" and hasattr(node.operator, "snapshot_parts"):
-                # Fused node: one manifest entry per constituent, under its
-                # original node name, so manifests stay portable between
-                # fused and unfused plan shapes.
-                for part_name, state in node.operator.snapshot_parts().items():
-                    self._checkpoint_listener(part_name, epoch, state)
-            else:
-                state: dict | None = None
-                if node.kind == "operator":
-                    state = node.operator.snapshot_state()
-                elif node.kind == "sink":
-                    state = node.sink.snapshot_state()
-                self._checkpoint_listener(node.name, epoch, state)
+            self._snapshot_into(self._checkpoint_listener, epoch)
         # Pre-barrier data must precede the barrier in every output queue.
         self.flush_outputs()
         # Broadcast to every output stream (bypassing any hash router: a
         # barrier belongs to all replicas, not one key's partition).
         barrier = CheckpointBarrier(epoch)
+        for stream in self.node.outputs:
+            self._put(stream, barrier)
+
+    def _complete_rescale(self, barrier: RescaleBarrier) -> None:
+        """Drain protocol for one node inside a rescaling replica group.
+
+        A scope node retires: it snapshots its drained state into the
+        barrier, flushes, and forwards the *same* barrier object. The merge
+        node (``absorb_at``) absorbs the barrier instead — by then every
+        scope node upstream of it has retired (alignment guarantees their
+        pre-barrier output was fully consumed), so absorbing doubles as the
+        group-drained signal. Nodes outside the scope (possible only if a
+        barrier escapes, which the merge prevents) forward it unchanged.
+        """
+        node = self.node
+        in_scope = node.name in barrier.scope
+        if in_scope:
+            # Retire *before* forwarding: once the barrier leaves this node
+            # the controller may observe the merge absorbing it, and by then
+            # every scope node must already be out of the dataflow.
+            self._retired = True
+            self._snapshot_into(
+                lambda name, _epoch, state: barrier.on_snapshot(name, state),
+                barrier.epoch,
+            )
+        self.flush_outputs()
+        if node.name == barrier.absorb_at:
+            barrier.notify_absorbed()
+            return
         for stream in node.outputs:
             self._put(stream, barrier)
 
@@ -261,6 +322,7 @@ class NodeExecutor:
         # Epochs still aligning at shutdown are abandoned: the coordinator
         # never sees their manifest, so recovery ignores them.
         self._barrier_seen.clear()
+        self._barriers.clear()
         node = self.node
         if node.kind == "operator":
             self._run_operator(node.operator.on_close)
@@ -381,37 +443,62 @@ class ThreadedScheduler:
         self._linger_s = linger_s
         self._obs = obs
         self._threads: list[threading.Thread] = []
+        self._threads_lock = threading.Lock()
+        self._executors: list[NodeExecutor] = []
         self._stop = threading.Event()
         self._error: list[BaseException] = []
         self._error_lock = threading.Lock()
 
+    @property
+    def executors(self) -> list[NodeExecutor]:
+        """Live executors, including any spliced in by a rescale."""
+        with self._threads_lock:
+            return list(self._executors)
+
     def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
         """Run to completion (all sources exhausted, all sinks closed)."""
-        executors = self.start(nodes)
+        self.start(nodes)
         self.join()
-        return {ex.node.name: ex.stats for ex in executors}
+        return {ex.node.name: ex.stats for ex in self.executors}
 
     def start(self, nodes: list[Node]) -> list[NodeExecutor]:
         """Launch node threads; returns executors for metric access."""
         self._stop.clear()
-        executors = [
-            NodeExecutor(
-                node,
-                stop_event=self._stop,
-                checkpoint_listener=self._checkpoint_listener,
-                edge_batch_size=self._edge_batch_size if node.kind != "source" else 1,
-                linger_s=self._linger_s,
-                obs=self._obs,
-            )
-            for node in nodes
-        ]
+        executors = [self._make_executor(node) for node in nodes]
         for ex in executors:
-            target = self._source_loop if ex.node.kind == "source" else self._consumer_loop
-            thread = threading.Thread(
-                target=self._guarded, args=(target, ex), name=f"spe-{ex.node.name}", daemon=True
-            )
+            self._launch(ex)
+        return executors
+
+    def _make_executor(self, node: Node) -> NodeExecutor:
+        return NodeExecutor(
+            node,
+            stop_event=self._stop,
+            checkpoint_listener=self._checkpoint_listener,
+            edge_batch_size=self._edge_batch_size if node.kind != "source" else 1,
+            linger_s=self._linger_s,
+            obs=self._obs,
+        )
+
+    def _launch(self, ex: NodeExecutor) -> None:
+        target = self._source_loop if ex.node.kind == "source" else self._consumer_loop
+        thread = threading.Thread(
+            target=self._guarded, args=(target, ex), name=f"spe-{ex.node.name}", daemon=True
+        )
+        with self._threads_lock:
             self._threads.append(thread)
-            thread.start()
+            self._executors.append(ex)
+        thread.start()
+
+    def splice(self, nodes: list[Node]) -> list[NodeExecutor]:
+        """Add freshly built nodes to the running dataflow (rescale).
+
+        Retired executors stay in the registry (their stats remain
+        readable) but their threads have exited; the new nodes' threads
+        start consuming from the streams the retired group abandoned.
+        """
+        executors = [self._make_executor(node) for node in nodes]
+        for ex in executors:
+            self._launch(ex)
         return executors
 
     def _guarded(self, target, ex: NodeExecutor) -> None:
@@ -447,7 +534,7 @@ class ThreadedScheduler:
         ex.finalize()
 
     def _consumer_loop(self, ex: NodeExecutor) -> None:
-        while not ex.finalized and not self._stop.is_set():
+        while not ex.finalized and not ex.retired and not self._stop.is_set():
             moved = False
             for index in list(ex.ready_inputs):
                 stream = ex.node.inputs[index]
@@ -461,10 +548,16 @@ class ThreadedScheduler:
                         continue
                     ex.handle(index, item)
                     moved = True
+                    if ex.retired:
+                        break
                     continue
                 for item in items:
                     ex.handle(index, item)
                 moved = True
+                if ex.retired:
+                    break
+            if ex.retired:
+                break
             if moved:
                 ex.maybe_flush(time.monotonic())
             elif not ex.finalized:
@@ -473,9 +566,12 @@ class ThreadedScheduler:
                 # not by how long this node stays starved.
                 ex.flush_outputs()
                 self._block_on_any_input(ex)
-        if self._stop.is_set() and not ex.finalized:
+        if self._stop.is_set() and not ex.finalized and not ex.retired:
             # Cooperative shutdown: propagate EOS so downstream exits too.
             ex.finalize()
+        # A retired executor exits silently: no finalize, no EOS — its
+        # replacement (spliced in by the elastic controller) takes over
+        # the very streams this node stopped consuming.
 
     def _block_on_any_input(self, ex: NodeExecutor) -> None:
         ready = ex.ready_inputs
@@ -492,31 +588,52 @@ class ThreadedScheduler:
         if item is None:
             return
         ex.handle(ready[0], item)
-        if ex.finalized or ex.input_blocked(ready[0]):
+        if ex.finalized or ex.retired or ex.input_blocked(ready[0]):
             return
         # Opportunistic drain: whatever queued up behind the item we just
         # waited for is consumed in the same wake-up, one lock acquisition
         # for the whole run instead of one per item.
         for extra in stream.drain(self._drain_batch):
             ex.handle(ready[0], extra)
+            if ex.retired:
+                return
 
     def stop(self) -> None:
         """Request cooperative shutdown of all node threads."""
         self._stop.set()
 
+    @property
+    def stopping(self) -> bool:
+        """True once cooperative shutdown has been requested."""
+        return self._stop.is_set()
+
     def alive(self) -> bool:
         """True while at least one node thread is still running."""
-        return any(t.is_alive() for t in self._threads)
+        with self._threads_lock:
+            threads = list(self._threads)
+        return any(t.is_alive() for t in threads)
 
     def join(self, timeout: float | None = None) -> None:
-        """Wait for every node thread; re-raise the first node error."""
+        """Wait for every node thread; re-raise the first node error.
+
+        Polls the thread list because a rescale may splice new threads in
+        while we wait; joining is done only when a full pass over the
+        current list finds every thread finished.
+        """
         deadline = None if timeout is None else time.monotonic() + timeout
-        for thread in self._threads:
-            remaining = None
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-            thread.join(remaining)
-        self._threads = [t for t in self._threads if t.is_alive()]
+        while True:
+            with self._threads_lock:
+                threads = list(self._threads)
+            for thread in threads:
+                remaining = None
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                thread.join(remaining)
+            with self._threads_lock:
+                self._threads = [t for t in self._threads if t.is_alive()]
+                done = not self._threads
+            if done or (deadline is not None and time.monotonic() >= deadline):
+                break
         with self._error_lock:
             if self._error:
                 raise self._error[0]

@@ -1,0 +1,264 @@
+"""DeployConfig: validation catalogue, dict/TOML round-trip, legacy kwargs,
+and the snake_case/camelCase verb surface."""
+
+import io
+import tomllib
+
+import pytest
+
+from repro.core import (
+    DeployConfig,
+    DeployConfigError,
+    RecoveryConfig,
+    SinkHandle,
+    Strata,
+    StreamHandle,
+)
+from repro.core.errors import DeploymentError
+from repro.core.handles import camel_name, install_camelcase_aliases
+from repro.elastic import ElasticConfig
+from repro.kvstore.memory import MemoryStore
+from repro.recovery import CheckpointCoordinator
+from repro.spe import CollectingSink, ListSource, PlanConfig
+from repro.spe.tuples import StreamTuple
+
+
+def records(n=6):
+    return [
+        StreamTuple(tau=float(i), job="j", layer=i, payload={"v": i})
+        for i in range(n)
+    ]
+
+
+def simple_strata():
+    strata = Strata(engine_mode="threaded")
+    sink = CollectingSink("out")
+    strata.add_source(ListSource("src", records()), "raw").deliver(sink)
+    return strata, sink
+
+
+# -- cross-field validation ---------------------------------------------------
+
+
+class TestValidation:
+    def test_plan_and_elastic_shorthands_resolve(self):
+        config = DeployConfig(plan=True, elastic=True)
+        assert isinstance(config.plan, PlanConfig)
+        assert isinstance(config.elastic, ElasticConfig)
+
+    def test_dist_false_normalizes_to_none(self):
+        assert DeployConfig(dist=False).dist is None
+
+    def test_elastic_requires_a_plan(self):
+        with pytest.raises(DeployConfigError, match="set plan=True"):
+            DeployConfig(elastic=True)
+
+    def test_dist_excludes_recovery(self):
+        with pytest.raises(DeployConfigError, match="its own crash recovery"):
+            DeployConfig(dist=2, recovery=RecoveryConfig(interval_s=0.5))
+
+    def test_dist_with_inactive_recovery_is_fine(self):
+        config = DeployConfig(dist=2, recovery=RecoveryConfig())
+        assert config.dist == 2
+
+    def test_recovery_must_be_a_recovery_config(self):
+        with pytest.raises(DeployConfigError, match="RecoveryConfig"):
+            DeployConfig(recovery={"interval_s": 1.0})
+
+    def test_bad_plan_shorthand_raises_deploy_config_error(self):
+        with pytest.raises(DeployConfigError):
+            DeployConfig(plan="yes please")
+
+    def test_bad_elastic_shorthand_raises_deploy_config_error(self):
+        with pytest.raises(DeployConfigError):
+            DeployConfig(plan=True, elastic=3)
+
+    def test_recovery_rejects_checkpointer_plus_knobs(self):
+        coordinator = CheckpointCoordinator(MemoryStore())
+        with pytest.raises(DeployConfigError, match="not both"):
+            RecoveryConfig(checkpointer=coordinator, interval_s=0.5)
+
+    def test_recovery_validates_knob_ranges(self):
+        with pytest.raises(DeployConfigError):
+            RecoveryConfig(interval_s=0.0)
+        with pytest.raises(DeployConfigError):
+            RecoveryConfig(retain=0)
+
+    def test_every_violation_is_catchable_as_deployment_error(self):
+        with pytest.raises(DeploymentError):
+            DeployConfig(elastic=True)
+
+    def test_start_refuses_distributed(self):
+        strata, _ = simple_strata()
+        with pytest.raises(DeployConfigError, match="deploy"):
+            strata.start(DeployConfig(dist=2))
+
+    def test_elastic_requires_threaded_engine(self):
+        strata = Strata(engine_mode="sync")
+        sink = CollectingSink("out")
+        strata.add_source(ListSource("src", records()), "raw").deliver(sink)
+        with pytest.raises(DeployConfigError, match="threaded"):
+            strata.deploy(DeployConfig(plan=True, elastic=True))
+
+    def test_describe_lists_configured_subsystems(self):
+        config = DeployConfig(plan=True, elastic=ElasticConfig(max_parallelism=8))
+        text = config.describe()
+        assert "plan(" in text and "elastic(" in text
+        assert DeployConfig().describe() == "defaults"
+
+
+# -- dict / TOML round-trip ---------------------------------------------------
+
+
+class TestRoundTrip:
+    def test_from_dict_builds_sub_configs(self):
+        config = DeployConfig.from_dict({
+            "plan": {"parallelism": 2},
+            "elastic": {"min_parallelism": 1, "max_parallelism": 8},
+            "recovery": {"interval_s": 0.5, "retain": 3},
+        })
+        assert config.plan.parallelism == 2
+        assert config.elastic.max_parallelism == 8
+        assert config.recovery.retain == 3
+
+    def test_round_trip_is_identity(self):
+        config = DeployConfig.from_dict({
+            "plan": {"parallelism": 2, "fusion": True},
+            "elastic": {"max_parallelism": 8, "cooldown_s": 1.0},
+        })
+        assert DeployConfig.from_dict(config.to_dict()) == config
+
+    def test_toml_text_round_trips(self):
+        text = b"""
+        [plan]
+        parallelism = 2
+
+        [elastic]
+        max_parallelism = 8
+        adaptive_batching = false
+        """
+        config = DeployConfig.from_dict(tomllib.load(io.BytesIO(text)))
+        assert config.plan.parallelism == 2
+        assert config.elastic.adaptive_batching is False
+        assert DeployConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(DeployConfigError, match="unknown deploy config key"):
+            DeployConfig.from_dict({"plann": True})
+
+    def test_unknown_nested_key_rejected(self):
+        with pytest.raises(DeployConfigError, match=r"\[elastic\]"):
+            DeployConfig.from_dict({
+                "plan": True, "elastic": {"max_paralelism": 8},
+            })
+
+    def test_live_fields_rejected_in_tables(self):
+        with pytest.raises(DeployConfigError, match="non-serializable"):
+            DeployConfig.from_dict({"recovery": {"checkpointer": "x"}})
+
+    def test_live_objects_refuse_serialization(self):
+        coordinator = CheckpointCoordinator(MemoryStore())
+        config = DeployConfig(recovery=RecoveryConfig(checkpointer=coordinator))
+        with pytest.raises(DeployConfigError, match="live object"):
+            config.to_dict()
+
+    def test_boolean_shorthand_survives_round_trip(self):
+        config = DeployConfig.from_dict({"plan": True, "elastic": True})
+        data = config.to_dict()
+        assert DeployConfig.from_dict(data) == config
+
+
+# -- legacy keyword mapping ---------------------------------------------------
+
+
+class TestLegacyKeywords:
+    def test_optimize_kwarg_warns_but_works(self):
+        strata, sink = simple_strata()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            strata.deploy(optimize=PlanConfig(parallelism=1))
+        assert len(sink.results) == len(records())
+
+    def test_checkpointer_kwarg_maps_to_recovery_config(self):
+        coordinator = CheckpointCoordinator(MemoryStore())
+        strata = Strata(engine_mode="threaded")
+        sink = CollectingSink("out")
+        strata.add_source(
+            ListSource("src", records()), "raw", checkpointable=True
+        ).deliver(sink)
+        with pytest.warns(DeprecationWarning):
+            strata.deploy(checkpointer=coordinator)
+        assert len(sink.results) == len(records())
+
+    def test_config_plus_legacy_kwargs_rejected(self):
+        strata, _ = simple_strata()
+        with pytest.raises(DeployConfigError, match="not both"):
+            strata.deploy(DeployConfig(), optimize=True)
+
+    def test_unknown_kwarg_is_a_type_error(self):
+        strata, _ = simple_strata()
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            strata.deploy(paralelism=2)
+
+
+# -- verb surface: snake_case canonical, camelCase alias ----------------------
+
+
+class TestVerbAliases:
+    def test_camel_name_mapping(self):
+        assert camel_name("add_source") == "addSource"
+        assert camel_name("correlate_events") == "correlateEvents"
+        assert camel_name("deliver") == "deliver"
+
+    def test_strata_aliases_are_same_function_objects(self):
+        assert Strata.addSource is Strata.add_source
+        assert Strata.detectEvent is Strata.detect_event
+        assert Strata.correlateEvents is Strata.correlate_events
+
+    def test_stream_handle_aliases_are_same_function_objects(self):
+        assert StreamHandle.detectEvent is StreamHandle.detect_event
+        assert StreamHandle.correlateEvents is StreamHandle.correlate_events
+
+    def test_install_aliases_helper(self):
+        class Thing:
+            def do_work(self):
+                return "done"
+
+        install_camelcase_aliases(Thing, ("do_work",))
+        assert Thing.doWork is Thing.do_work
+        assert Thing().doWork() == "done"
+
+    def test_both_spellings_build_the_same_pipeline(self):
+        snake, snake_sink = simple_strata()
+        snake.deploy()
+        camel = Strata(engine_mode="threaded")
+        camel_sink = CollectingSink("out")
+        camel.addSource(ListSource("src", records()), "raw").deliver(camel_sink)
+        camel.deploy()
+        assert [t.payload for t in camel_sink.results] == [
+            t.payload for t in snake_sink.results
+        ]
+
+
+class TestSinkHandle:
+    def test_deliver_returns_sink_handle(self):
+        strata = Strata(engine_mode="threaded")
+        handle = (
+            strata.add_source(ListSource("src", records()), "raw")
+            .detect_event("events", lambda t: [t.derive()])
+            .deliver()
+        )
+        assert isinstance(handle, SinkHandle)
+        assert isinstance(handle, StreamHandle)  # still chains/str-compares
+        strata.deploy()
+        assert len(handle.results) == len(records())
+        assert handle.latency is not None
+
+    def test_sink_handle_wraps_explicit_sink(self):
+        strata = Strata(engine_mode="threaded")
+        sink = CollectingSink("mine")
+        handle = strata.add_source(
+            ListSource("src", records()), "raw"
+        ).deliver(sink)
+        strata.deploy()
+        assert handle.sink is sink
+        assert handle.results == sink.results
