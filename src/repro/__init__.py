@@ -1,0 +1,33 @@
+"""repro — a reproduction of the STRATA streaming middleware."""
+
+from __future__ import annotations
+
+
+def _detect_version() -> str:
+    """The installed package version, or the pyproject one on a checkout.
+
+    The repo is routinely run uninstalled (``PYTHONPATH=src``), where
+    ``importlib.metadata`` has no distribution to ask — fall back to
+    parsing ``pyproject.toml`` next to the source tree, and finally to a
+    sentinel so ``--version`` never tracebacks.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError, or no metadata backend at all
+        pass
+    try:
+        import pathlib
+        import tomllib
+
+        pyproject = pathlib.Path(__file__).resolve().parents[2] / "pyproject.toml"
+        with pyproject.open("rb") as fh:
+            return str(tomllib.load(fh)["project"]["version"])
+    except Exception:
+        return "0.0.0+unknown"
+
+
+__version__ = _detect_version()
+
+__all__ = ["__version__"]

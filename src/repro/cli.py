@@ -11,11 +11,14 @@ writing any code:
 * ``recover``    — checkpointed run with crash simulation and recovery;
 * ``top``        — live per-operator metrics table while a build runs;
 * ``broker``     — serve an in-process broker over TCP for remote clients;
-* ``worker``     — run pipeline stages against a remote broker.
+* ``worker``     — run pipeline stages against a remote broker;
+* ``serve``      — resident multi-tenant fleet control plane (HTTP API).
 
 Every verb accepts ``--metrics-out FILE`` to enable the observability
 layer and append JSON-lines metric snapshots (one line per scrape; the
-final scrape is always written).
+final scrape is always written). The resident verbs (``broker``,
+``worker``, ``serve``) shut down cleanly on SIGINT/SIGTERM: drain, then
+exit 0 — no traceback, so supervisors see an orderly stop.
 """
 
 from __future__ import annotations
@@ -538,6 +541,25 @@ def cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_signal_handlers(stop) -> None:
+    """Route SIGINT/SIGTERM into ``stop`` (a ``threading.Event``).
+
+    Resident verbs wait on the event instead of relying on
+    ``KeyboardInterrupt`` — SIGTERM (the supervisor's stop signal) never
+    raises one, and both signals should mean the same orderly drain.
+    """
+    import signal
+
+    def handler(signum: int, frame) -> None:
+        stop.set()
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, handler)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
+
 def _parse_address(value: str) -> tuple[str, int]:
     host, sep, port = value.rpartition(":")
     if not sep or not port.isdigit():
@@ -549,7 +571,7 @@ def _parse_address(value: str) -> tuple[str, int]:
 
 def cmd_broker(args: argparse.Namespace) -> int:
     """Serve a fresh broker over TCP until interrupted."""
-    import time
+    import threading
 
     from .net import BrokerServer
     from .pubsub import Broker
@@ -557,20 +579,24 @@ def cmd_broker(args: argparse.Namespace) -> int:
     server = BrokerServer(
         Broker(), host=args.host, port=args.port, allow_pickle=args.allow_pickle
     )
+    stop = threading.Event()
+    _install_signal_handlers(stop)
     host, port = server.start()
-    print(f"broker listening on {host}:{port} (ctrl-c to stop)")
+    print(f"broker listening on {host}:{port} (SIGINT/SIGTERM to stop)")
     try:
-        while True:
-            time.sleep(1.0)
-    except KeyboardInterrupt:
+        stop.wait()
+    except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
         pass
     finally:
         server.stop()
+    print("broker stopped")
     return 0
 
 
 def cmd_worker(args: argparse.Namespace) -> int:
     """Rebuild a pipeline from source and run chosen stages remotely."""
+    import signal
+
     from .dist import run_worker_from_ref
     from .net import NetError
     from .serde import SerdeError
@@ -578,6 +604,17 @@ def cmd_worker(args: argparse.Namespace) -> int:
     if not args.list_stages and not args.stage:
         print("error: --stage is required (or use --list-stages)", file=sys.stderr)
         return 2
+
+    # the worker blocks inside run_worker_from_ref; turn SIGTERM into the
+    # same stack unwind SIGINT produces, so both drain through its
+    # finally-blocks (sockets, engine) and exit 0
+    def _graceful(signum: int, frame) -> None:
+        raise KeyboardInterrupt
+
+    try:
+        signal.signal(signal.SIGTERM, _graceful)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     try:
         return run_worker_from_ref(
             args.pipeline,
@@ -587,16 +624,74 @@ def cmd_worker(args: argparse.Namespace) -> int:
             allow_pickle=args.allow_pickle,
             list_stages=args.list_stages,
         )
+    except KeyboardInterrupt:
+        print("worker interrupted; shut down cleanly", file=sys.stderr)
+        return 0
     except (NetError, SerdeError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the multi-tenant fleet control plane until signalled."""
+    import threading
+    from dataclasses import replace
+
+    from . import __version__
+    from .fleet import FleetConfig, FleetHTTPServer, FleetService
+
+    fleet_cfg = None
+    if args.config:
+        import tomllib
+
+        with open(args.config, "rb") as fh:
+            data = tomllib.load(fh)
+        fleet_cfg = DeployConfig.from_dict(data).fleet
+    if fleet_cfg is None:
+        fleet_cfg = FleetConfig()
+    overrides = {}
+    if args.host is not None:
+        overrides["host"] = args.host
+    if args.port is not None:
+        overrides["port"] = args.port
+    if overrides:
+        fleet_cfg = replace(fleet_cfg, **overrides)
+    store = None
+    if args.state_dir:
+        from .kvstore.lsm import LSMStore
+
+        store = LSMStore(args.state_dir)
+    try:
+        service = FleetService(fleet_cfg, store=store, version=__version__)
+        server = FleetHTTPServer(service)
+        stop = threading.Event()
+        _install_signal_handlers(stop)
+        server.start()
+        print(f"fleet control plane on {server.url} (SIGINT/SIGTERM to stop)",
+              flush=True)
+        try:
+            stop.wait()
+        except KeyboardInterrupt:  # pragma: no cover - handler owns SIGINT
+            pass
+        print("draining fleet ...", flush=True)
+        server.stop(drain_timeout=args.drain_timeout)
+    finally:
+        if store is not None:
+            store.close()
+    print("fleet stopped")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The repro CLI argument parser (one subcommand per flow)."""
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="STRATA reproduction: data-driven PBF-LB monitoring",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -677,6 +772,23 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--allow-pickle", action="store_true",
                     help="send/accept pickle-coded values (trusted networks only)")
     sp.set_defaults(fn=cmd_worker)
+
+    sp = subparsers.add_parser(
+        "serve", help="multi-tenant fleet control plane over HTTP"
+    )
+    sp.add_argument("--host", default=None,
+                    help="bind address (default: fleet config, 127.0.0.1)")
+    sp.add_argument("--port", type=int, default=None,
+                    help="bind port (default: fleet config, 9500; 0 = ephemeral)")
+    sp.add_argument("--config", default=None, metavar="FILE",
+                    help="TOML DeployConfig whose [fleet] table configures "
+                         "quotas, budget and bind address")
+    sp.add_argument("--state-dir", default=None, metavar="DIR",
+                    help="persist job records in an LSM store (jobs survive "
+                         "restarts; in-flight ones come back FAILED)")
+    sp.add_argument("--drain-timeout", type=float, default=30.0,
+                    help="seconds to wait for running jobs on shutdown")
+    sp.set_defaults(fn=cmd_serve)
 
     return parser
 

@@ -108,6 +108,11 @@ class DeployConfig:
                  constructed with.
     ``elastic``  QoS-driven runtime rescaling: ``True`` for defaults or an
                  :class:`~repro.elastic.ElasticConfig`.
+    ``fleet``    control-plane settings for ``strata-repro serve``:
+                 ``True`` for defaults or a
+                 :class:`~repro.fleet.FleetConfig`. Ignored by plain
+                 ``deploy()``/``start()`` — it configures the service a
+                 config file boots, not one pipeline.
     """
 
     plan: Any = None
@@ -115,6 +120,7 @@ class DeployConfig:
     recovery: RecoveryConfig | None = None
     obs: Any = None
     elastic: Any = None
+    fleet: Any = None
 
     def __post_init__(self) -> None:
         try:
@@ -122,6 +128,13 @@ class DeployConfig:
             object.__setattr__(self, "elastic", ElasticConfig.resolve(self.elastic))
         except (TypeError, ValueError) as exc:
             raise DeployConfigError(str(exc)) from exc
+        if self.fleet is not None:
+            from ..fleet.config import FleetConfig
+
+            try:
+                object.__setattr__(self, "fleet", FleetConfig.resolve(self.fleet))
+            except (TypeError, ValueError) as exc:
+                raise DeployConfigError(str(exc)) from exc
         if self.dist is False:
             object.__setattr__(self, "dist", None)
         if self.recovery is not None and not isinstance(self.recovery, RecoveryConfig):
@@ -221,6 +234,8 @@ class DeployConfig:
             parts.append("obs")
         if self.elastic is not None:
             parts.append(f"elastic({self.elastic.describe()})")
+        if self.fleet is not None:
+            parts.append(f"fleet({self.fleet.describe()})")
         return " + ".join(parts) if parts else "defaults"
 
 
@@ -229,6 +244,10 @@ def _sub_from_dict(key: str, table: dict[str, Any]) -> Any:
         from ..dist import DistConfig
 
         sub_cls: type = DistConfig
+    elif key == "fleet":
+        from ..fleet.config import FleetConfig
+
+        sub_cls = FleetConfig
     elif key in _SUB_CONFIGS:
         sub_cls = _SUB_CONFIGS[key]
     else:
@@ -238,9 +257,12 @@ def _sub_from_dict(key: str, table: dict[str, Any]) -> Any:
     unknown = set(table) - names
     rejected = (set(table) & live) | unknown
     if rejected:
+        # name offenders by their full dotted path (elastic.max_paralelism,
+        # fleet.worker_budgt, ...) so a typo deep in a TOML file points at
+        # the exact line to fix, not just the table it sits in
+        paths = ", ".join(f"{key}.{name}" for name in sorted(rejected))
         raise DeployConfigError(
-            f"unknown or non-serializable key(s) in [{key}]: "
-            f"{', '.join(sorted(rejected))}"
+            f"unknown or non-serializable key(s) in [{key}]: {paths}"
         )
     coerced = {
         name: tuple(value) if isinstance(value, list) else value

@@ -141,6 +141,11 @@ class ElasticController:
         self._policy: ScalePolicy = (
             config.policy if config.policy is not None else HysteresisPolicy()
         )
+        # live clamp for policy targets; starts at the config bounds but can
+        # be moved at runtime (set_bounds) by an external budget owner —
+        # this is how the fleet scheduler lends and reclaims replicas
+        self._min_parallelism = config.min_parallelism
+        self._max_parallelism = config.max_parallelism
         self.groups = discover_groups(nodes)
         if not self.groups:
             raise PlanError(
@@ -181,6 +186,47 @@ class ElasticController:
             self._thread.join(timeout)
             self._thread = None
 
+    @property
+    def bounds(self) -> tuple[int, int]:
+        """The live (min, max) parallelism clamp applied to policy targets."""
+        with self._lock:
+            return (self._min_parallelism, self._max_parallelism)
+
+    def set_bounds(self, min_parallelism: int, max_parallelism: int) -> None:
+        """Move the parallelism clamp at runtime (fleet bound lending).
+
+        The policy keeps making its own QoS-driven decisions; this only
+        changes the range those decisions are clamped into, taking effect
+        at the next :meth:`tick`. A shrink does not force an immediate
+        rescale — the controller drains down on its own tick cadence,
+        which is what keeps lending cheap (no barrier unless the clamp
+        actually binds).
+        """
+        min_parallelism = int(min_parallelism)
+        max_parallelism = int(max_parallelism)
+        if min_parallelism < 1:
+            raise ElasticError("min_parallelism must be >= 1")
+        if max_parallelism < min_parallelism:
+            raise ElasticError(
+                f"max_parallelism ({max_parallelism}) must be >= "
+                f"min_parallelism ({min_parallelism})"
+            )
+        with self._lock:
+            if (min_parallelism, max_parallelism) == (
+                self._min_parallelism, self._max_parallelism
+            ):
+                return
+            self._min_parallelism = min_parallelism
+            self._max_parallelism = max_parallelism
+        self.events.append(
+            {
+                "kind": "bounds",
+                "min_parallelism": min_parallelism,
+                "max_parallelism": max_parallelism,
+                "wall_time": time.time(),
+            }
+        )
+
     def summary(self) -> dict[str, Any]:
         """Decision history and final shape, for run reports and the CLI."""
         return {
@@ -209,10 +255,9 @@ class ElasticController:
         for group in self.groups:
             signals = self._signals(group, executors, qos_delta)
             target = self._policy.decide(group.name, signals, group.parallelism)
-            target = max(
-                self._config.min_parallelism,
-                min(self._config.max_parallelism, target),
-            )
+            with self._lock:
+                low, high = self._min_parallelism, self._max_parallelism
+            target = max(low, min(high, target))
             if (
                 target != group.parallelism
                 and time.monotonic() - group.last_rescale >= self._config.cooldown_s

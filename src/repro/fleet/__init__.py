@@ -1,0 +1,77 @@
+"""repro.fleet — the multi-tenant job control plane.
+
+Turns the library into a resident service: tenants POST jobs (a workload
+spec plus a :class:`~repro.core.deploy.DeployConfig` table), admission
+control enforces per-tenant quotas, a fair-share scheduler lends a bounded
+worker budget across the running jobs through their elastic controllers,
+and one Prometheus scrape covers the whole fleet with ``job``/``tenant``
+labels on every series. ``strata-repro serve`` is the front door.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, requested_parallelism
+from .config import FleetConfig
+from .errors import (
+    AdmissionError,
+    FleetError,
+    InvalidTransitionError,
+    UnknownJobError,
+)
+from .http import FleetHTTPServer
+from .registry import (
+    ACTIVE_STATES,
+    ADMITTED,
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    PENDING,
+    RUNNING,
+    TERMINAL_STATES,
+    TRANSITIONS,
+    JobRecord,
+    JobRegistry,
+    new_job_id,
+)
+from .runner import (
+    WORKLOAD_DEFAULTS,
+    WORKLOAD_KINDS,
+    JobRunner,
+    resolve_workload,
+    result_ids,
+    run_standalone,
+)
+from .scheduler import FleetScheduler, JobLease, fair_shares
+from .service import FleetService
+
+__all__ = [
+    "FleetConfig",
+    "FleetService",
+    "FleetHTTPServer",
+    "JobRegistry",
+    "JobRecord",
+    "JobRunner",
+    "JobLease",
+    "FleetScheduler",
+    "AdmissionController",
+    "AdmissionDecision",
+    "requested_parallelism",
+    "fair_shares",
+    "resolve_workload",
+    "result_ids",
+    "run_standalone",
+    "new_job_id",
+    "WORKLOAD_DEFAULTS",
+    "WORKLOAD_KINDS",
+    "FleetError",
+    "AdmissionError",
+    "UnknownJobError",
+    "InvalidTransitionError",
+    "PENDING",
+    "ADMITTED",
+    "RUNNING",
+    "COMPLETED",
+    "FAILED",
+    "CANCELLED",
+    "ACTIVE_STATES",
+    "TERMINAL_STATES",
+    "TRANSITIONS",
+]

@@ -1,0 +1,72 @@
+"""Configuration of the fleet control plane (the ``[fleet]`` TOML table)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for :class:`~repro.fleet.service.FleetService`.
+
+    ``max_jobs_per_tenant``        concurrent (pending/admitted/running)
+                                   jobs one tenant may hold.
+    ``max_parallelism_per_tenant`` summed requested parallelism across one
+                                   tenant's concurrent jobs.
+    ``worker_budget``              total replica threads the scheduler
+                                   fair-shares across all running jobs;
+                                   also the hard cap on one job's request.
+    ``min_share``                  the floor each running job is always
+                                   lent, regardless of how crowded the
+                                   fleet gets.
+    ``tick_s``                     scheduler re-share period.
+    ``host``/``port``              HTTP API bind address for ``serve``
+                                   (port 0 picks an ephemeral port).
+    ``default_tenant``             tenant assumed when a submission does
+                                   not name one.
+    """
+
+    max_jobs_per_tenant: int = 2
+    max_parallelism_per_tenant: int = 8
+    worker_budget: int = 8
+    min_share: int = 1
+    tick_s: float = 0.25
+    host: str = "127.0.0.1"
+    port: int = 9500
+    default_tenant: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.max_jobs_per_tenant < 1:
+            raise ValueError("fleet.max_jobs_per_tenant must be >= 1")
+        if self.max_parallelism_per_tenant < 1:
+            raise ValueError("fleet.max_parallelism_per_tenant must be >= 1")
+        if self.worker_budget < 1:
+            raise ValueError("fleet.worker_budget must be >= 1")
+        if self.min_share < 1:
+            raise ValueError("fleet.min_share must be >= 1")
+        if self.min_share > self.worker_budget:
+            raise ValueError("fleet.min_share cannot exceed fleet.worker_budget")
+        if self.tick_s <= 0:
+            raise ValueError("fleet.tick_s must be positive")
+        if not (0 <= self.port <= 65535):
+            raise ValueError("fleet.port must be a valid TCP port")
+        if not self.default_tenant:
+            raise ValueError("fleet.default_tenant must be non-empty")
+
+    @classmethod
+    def resolve(cls, fleet: "FleetConfig | bool | None") -> "FleetConfig | None":
+        """Normalize the ``fleet=`` argument of user-facing APIs."""
+        if fleet is None or fleet is False:
+            return None
+        if fleet is True:
+            return cls()
+        if isinstance(fleet, cls):
+            return fleet
+        raise TypeError(f"fleet must be bool, None or FleetConfig, got {fleet!r}")
+
+    def describe(self) -> str:
+        return (
+            f"budget {self.worker_budget}, "
+            f"{self.max_jobs_per_tenant} job(s)/"
+            f"{self.max_parallelism_per_tenant} replicas per tenant"
+        )

@@ -1,0 +1,33 @@
+"""Typed errors of the fleet control plane."""
+
+from __future__ import annotations
+
+
+class FleetError(Exception):
+    """Base class for every fleet control-plane error."""
+
+
+class UnknownJobError(FleetError):
+    """A job id that the registry has never seen."""
+
+
+class InvalidTransitionError(FleetError):
+    """A state change the job lifecycle machine does not allow."""
+
+
+class AdmissionError(FleetError):
+    """A job rejected by admission control, with a structured reason.
+
+    ``code`` is a stable machine-readable reason (``tenant-jobs-quota``,
+    ``tenant-parallelism-quota``, ``job-exceeds-budget``) and ``detail``
+    carries the numbers behind the decision, so the HTTP layer can return
+    a 429 body an operator's tooling can act on.
+    """
+
+    def __init__(self, code: str, message: str, detail: dict | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+        self.detail = detail if detail is not None else {}
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": str(self), "detail": self.detail}

@@ -1,0 +1,290 @@
+"""The job runner: one thread driving one tenant job end to end.
+
+A runner owns everything single-job: its own :class:`~repro.core.api.Strata`
+instance (own KV store, own broker — tenants never share pipeline state),
+its own :class:`~repro.obs.context.ObsContext` (so every metric and QoS
+alert is attributable to exactly one job), and the workload pipeline built
+from the submitted spec. The service holds one runner per RUNNING job and
+routes lifecycle calls (cancel, scrape) at it.
+
+Workload specs are plain dicts so they survive the KV store and the HTTP
+API. Two kinds ship today — ``thermal`` (Alg. 1 defect detection) and
+``streaks`` (the recoater-streak use case) — both fully deterministic in
+their ``seed``, which is what makes the fleet's divergence gate (same
+spec in-fleet and standalone must yield identical results) checkable.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from ..am import BuildDataset, OTImageRenderer, make_job
+from ..core import (
+    DeployConfig,
+    Strata,
+    UseCaseConfig,
+    build_streak_use_case,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from ..obs.context import ObsContext
+from ..obs.registry import MetricsSnapshot
+from ..spe.errors import EngineStateError
+from . import registry as states
+from .errors import FleetError
+from .registry import JobRegistry
+
+#: workload spec defaults — small enough that a job completes in seconds
+WORKLOAD_DEFAULTS: dict[str, Any] = {
+    "kind": "thermal",
+    "name": "fleet-job",
+    "image_px": 160,
+    "layers": 6,
+    "cell_edge": 8,
+    "window": 4,
+    "seed": 7,
+    "defect_rate": 0.55,
+    "streak_rate": 12.0,
+}
+
+WORKLOAD_KINDS = ("thermal", "streaks")
+
+
+def resolve_workload(spec: dict[str, Any] | None) -> dict[str, Any]:
+    """Validate a submitted workload spec and fill in the defaults."""
+    spec = dict(spec or {})
+    unknown = set(spec) - set(WORKLOAD_DEFAULTS)
+    if unknown:
+        raise ValueError(
+            f"unknown workload key(s): {', '.join(sorted(unknown))}; "
+            f"expected {', '.join(sorted(WORKLOAD_DEFAULTS))}"
+        )
+    resolved = {**WORKLOAD_DEFAULTS, **spec}
+    if resolved["kind"] not in WORKLOAD_KINDS:
+        raise ValueError(
+            f"workload kind must be one of {', '.join(WORKLOAD_KINDS)}, "
+            f"got {resolved['kind']!r}"
+        )
+    if int(resolved["layers"]) < 1:
+        raise ValueError("workload.layers must be >= 1")
+    if int(resolved["image_px"]) < 16:
+        raise ValueError("workload.image_px must be >= 16")
+    return resolved
+
+
+def _records(workload: dict[str, Any], streaks: bool):
+    job = make_job(
+        workload["name"],
+        seed=int(workload["seed"]),
+        defect_rate_per_stack=float(workload["defect_rate"]),
+        streak_rate_per_100_layers=float(workload["streak_rate"]) if streaks else 0.0,
+    )
+    renderer = OTImageRenderer(
+        image_px=int(workload["image_px"]), seed=int(workload["seed"])
+    )
+    records = list(BuildDataset(job, renderer).records(0, int(workload["layers"])))
+    return job, renderer, records
+
+
+def build_pipeline(strata: Strata, workload: dict[str, Any]):
+    """Compose the workload's pipeline on ``strata``; returns its sink."""
+    if workload["kind"] == "streaks":
+        _, _, records = _records(workload, streaks=True)
+        pipeline = build_streak_use_case(
+            iter(records),
+            iter(records),
+            image_px=int(workload["image_px"]),
+            window_layers=int(workload["window"]),
+            strata=strata,
+        )
+        return pipeline.sink
+    job, renderer, records = _records(workload, streaks=False)
+    config = UseCaseConfig(
+        image_px=int(workload["image_px"]),
+        cell_edge_px=int(workload["cell_edge"]),
+        window_layers=int(workload["window"]),
+    )
+    reference = make_job(f"{workload['name']}-ref", seed=1, defect_rate_per_stack=0.0)
+    reference_images = [
+        r.image for r in BuildDataset(reference, renderer).records(0, 3)
+    ]
+    calibrate_job(
+        strata.kv,
+        job.job_id,
+        reference_images,
+        config.cell_edge_px,
+        regions=specimen_regions_px(job.specimens, config.image_px),
+    )
+    pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
+    return pipeline.sink
+
+
+def result_ids(workload: dict[str, Any], results: list) -> list[list[Any]]:
+    """Order-independent result identities, the divergence-gate currency."""
+    if workload["kind"] == "streaks":
+        keys = [
+            [t.job, t.layer, t.specimen, len(t.payload.get("streaks", ()))]
+            for t in results
+        ]
+    else:
+        keys = [
+            [
+                t.job, t.layer, t.specimen,
+                t.payload.get("num_events"), t.payload.get("num_clusters"),
+            ]
+            for t in results
+        ]
+    return sorted(keys)
+
+
+def run_standalone(workload: dict[str, Any] | None = None) -> list[list[Any]]:
+    """One job's expected results, computed outside the fleet.
+
+    The oracle the fleet's divergence gate compares against: same spec,
+    fresh single-tenant Strata, default deployment.
+    """
+    workload = resolve_workload(workload)
+    strata = Strata(engine_mode="threaded")
+    sink = build_pipeline(strata, workload)
+    strata.deploy()
+    return result_ids(workload, sink.results)
+
+
+class JobRunner:
+    """Drives one admitted job: RUNNING -> {COMPLETED, FAILED, CANCELLED}."""
+
+    def __init__(
+        self,
+        record_id: str,
+        registry: JobRegistry,
+        workload: dict[str, Any],
+        deploy: dict[str, Any],
+        on_done: Callable[["JobRunner"], None] | None = None,
+    ) -> None:
+        self.job_id = record_id
+        self._registry = registry
+        self._workload = workload
+        self._deploy_dict = deploy
+        self._on_done = on_done
+        self.obs = ObsContext()
+        self._lock = threading.Lock()
+        self._cancel = False
+        self._started_engine = False
+        self._strata: Strata | None = None
+        self.final_snapshot: MetricsSnapshot | None = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"fleet-job-{record_id}", daemon=True
+        )
+
+    # -- service-facing surface ---------------------------------------------
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def join(self, timeout: float | None = None) -> None:
+        self._thread.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    @property
+    def controller(self) -> Any | None:
+        """The job's live ElasticController, for fleet bound lending."""
+        strata = self._strata
+        return strata.elastic if strata is not None else None
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The job's metrics right now (final snapshot once terminal)."""
+        if self.final_snapshot is not None:
+            return self.final_snapshot
+        return self.obs.snapshot()
+
+    def cancel(self) -> None:
+        """Request cancellation: stop the engine and drain its threads."""
+        with self._lock:
+            self._cancel = True
+            started = self._started_engine
+            strata = self._strata
+        if self._deploy_dict.get("dist") and started:
+            raise FleetError(
+                f"job {self.job_id!r} deployed distributed and runs to "
+                "completion; cancel applies to in-process jobs"
+            )
+        if started and strata is not None:
+            strata.stop()
+
+    # -- the run ------------------------------------------------------------
+
+    def _config(self) -> DeployConfig:
+        cfg = DeployConfig.from_dict(self._deploy_dict)
+        # every fleet job is observable under its own context, unless the
+        # submission explicitly configured its own obs knobs
+        return cfg
+
+    def _run(self) -> None:
+        started = time.monotonic()
+        summary: dict[str, Any] | None = None
+        outcome = states.COMPLETED
+        reason: str | None = None
+        try:
+            cfg = self._config()
+            distributed = cfg.dist is not None
+            strata = Strata(
+                engine_mode="threaded",
+                connector_mode="pubsub" if distributed else "direct",
+                obs=self.obs,
+            )
+            sink = build_pipeline(strata, self._workload)
+            with self._lock:
+                if self._cancel:
+                    self._finish(states.CANCELLED, "cancelled before launch", None)
+                    return
+                self._strata = strata
+            self._registry.transition(self.job_id, states.RUNNING)
+            if distributed:
+                with self._lock:
+                    self._started_engine = True
+                strata.deploy(cfg)
+            else:
+                strata.start(cfg)
+                with self._lock:
+                    self._started_engine = True
+                if self._cancel:  # cancel raced the launch
+                    strata.stop()
+                try:
+                    strata.wait(timeout=600)
+                except EngineStateError:
+                    pass  # a concurrent cancel already reaped the engine
+            wall = time.monotonic() - started
+            ids = result_ids(self._workload, list(sink.results))
+            layers = int(self._workload["layers"])
+            summary = {
+                "results": len(ids),
+                "result_ids": ids,
+                "wall_seconds": round(wall, 4),
+                "images": layers,
+                "images_per_second": round(layers / wall, 3) if wall > 0 else 0.0,
+            }
+            if self._cancel:
+                outcome, reason = states.CANCELLED, "cancelled by request"
+        except Exception as exc:
+            if self._cancel:
+                outcome, reason = states.CANCELLED, "cancelled by request"
+            else:
+                outcome, reason = states.FAILED, f"{type(exc).__name__}: {exc}"
+        self._finish(outcome, reason, summary)
+
+    def _finish(
+        self, outcome: str, reason: str | None, summary: dict[str, Any] | None
+    ) -> None:
+        self.final_snapshot = self.obs.snapshot()
+        try:
+            self._registry.transition(self.job_id, outcome, reason=reason, result=summary)
+        except Exception:
+            pass  # terminal-state race (e.g. cancel already recorded)
+        if self._on_done is not None:
+            self._on_done(self)

@@ -219,6 +219,27 @@ class MetricsSnapshot:
                 return s.value
         return default
 
+    def with_labels(self, **labels: str) -> "MetricsSnapshot":
+        """A copy with extra labels merged into every sample.
+
+        Existing labels win on collision (a sample that already says which
+        operator it came from should not be re-attributed). This is how
+        the fleet namespaces per-job snapshots: merge each job's scrape
+        with ``job=<id>, tenant=<name>`` before concatenating them into
+        one fleet-wide exposition.
+        """
+        extra = {str(k): str(v) for k, v in labels.items()}
+        relabelled = [
+            Sample(
+                s.name,
+                _label_key({**extra, **s.labels_dict()}),
+                s.value,
+                s.kind,
+            )
+            for s in self.samples
+        ]
+        return MetricsSnapshot(wall_time=self.wall_time, samples=relabelled)
+
     def names(self) -> list[str]:
         return sorted({s.name for s in self.samples})
 

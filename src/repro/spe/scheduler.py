@@ -43,6 +43,7 @@ class NodeExecutor:
         edge_batch_size: int = 1,
         linger_s: float = 0.005,
         obs=None,
+        blocking_puts: bool = True,
     ) -> None:
         self.node = node
         self.stats = OperatorStats(node.name)
@@ -56,6 +57,10 @@ class NodeExecutor:
         self._closed_inputs: set[int] = set()
         self._finalized = False
         self._stop_event = stop_event
+        # Single-threaded schedulers must never block on a full output
+        # stream — there is no concurrent consumer to drain it, so a
+        # blocking put is a self-deadlock (see Stream.put_unbounded).
+        self._blocking_puts = blocking_puts
         self._checkpoint_listener = checkpoint_listener
         # Batched edge transport: with edge_batch_size > 1, emitted data
         # tuples are buffered per output stream and shipped as one
@@ -173,6 +178,9 @@ class NodeExecutor:
             self.flush_outputs()
 
     def _put(self, stream: Stream, item: object) -> None:
+        if not self._blocking_puts:
+            stream.put_unbounded(item)
+            return
         if self._stop_event is None:
             stream.put(item)
             return
@@ -351,7 +359,10 @@ class SynchronousScheduler:
     def run(self, nodes: list[Node]) -> dict[str, OperatorStats]:
         executors = [
             NodeExecutor(
-                node, checkpoint_listener=self._checkpoint_listener, obs=self._obs
+                node,
+                checkpoint_listener=self._checkpoint_listener,
+                obs=self._obs,
+                blocking_puts=False,
             )
             for node in nodes
         ]
@@ -394,7 +405,7 @@ class SynchronousScheduler:
             if is_barrier(t):
                 # Barriers go to every output, ignoring hash routers.
                 for stream in ex.node.outputs:
-                    stream.put(t)
+                    stream.put_unbounded(t)
                 progressed = True
                 continue
             ex.stats.tuples_out += 1
@@ -403,7 +414,7 @@ class SynchronousScheduler:
                 if tracer is not None:
                     tracer.at_source(ex.node.name, t)
             for stream in ex.node.route(t):
-                stream.put(t)
+                stream.put_unbounded(t)
             progressed = True
         return progressed
 

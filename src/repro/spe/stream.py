@@ -114,6 +114,32 @@ class Stream:
             self._not_empty.notify()
             return True
 
+    def put_unbounded(self, item: Any) -> bool:
+        """Append one item without ever waiting on capacity.
+
+        For single-threaded schedulers: with no concurrent consumer to
+        drain a full queue, a blocking :meth:`put` is a self-deadlock
+        (e.g. one join step emitting more pairs than the output stream
+        holds). Back-pressure is meaningless there — the round-robin loop
+        itself bounds how much is in flight — so the queue is allowed to
+        overshoot its capacity; ``high_watermark`` still records it.
+        """
+        with self._not_full:
+            if item is END_OF_STREAM:
+                self._producers_done += 1
+                if self._producers_done >= self._num_producers:
+                    self._items.append(END_OF_STREAM)
+                    self._not_empty.notify_all()
+                return True
+            weight = item_weight(item)
+            self._items.append(item)
+            self._size += weight
+            self.produced += weight
+            if self._size > self.high_watermark:
+                self.high_watermark = self._size
+            self._not_empty.notify()
+            return True
+
     def get(self, timeout: float | None = None) -> Any | None:
         """Pop one item, blocking while empty; ``None`` on timeout.
 

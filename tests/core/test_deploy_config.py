@@ -262,3 +262,72 @@ class TestSinkHandle:
         strata.deploy()
         assert handle.sink is sink
         assert handle.results == sink.results
+
+
+# -- the [fleet] section ------------------------------------------------------
+
+
+class TestFleetSection:
+    def test_from_dict_builds_fleet_config(self):
+        from repro.fleet import FleetConfig
+
+        config = DeployConfig.from_dict({
+            "fleet": {"worker_budget": 12, "max_jobs_per_tenant": 3},
+        })
+        assert isinstance(config.fleet, FleetConfig)
+        assert config.fleet.worker_budget == 12
+        assert config.fleet.max_jobs_per_tenant == 3
+
+    def test_fleet_boolean_shorthand_and_resolve(self):
+        from repro.fleet import FleetConfig
+
+        assert DeployConfig.from_dict({"fleet": True}).fleet == FleetConfig()
+        assert DeployConfig.from_dict({"fleet": False}).fleet is None
+        assert DeployConfig().fleet is None
+        with pytest.raises(DeployConfigError):
+            DeployConfig(fleet="yes")
+
+    def test_fleet_round_trip_is_identity(self):
+        data = {
+            "fleet": {
+                "worker_budget": 6, "max_jobs_per_tenant": 2,
+                "max_parallelism_per_tenant": 4, "min_share": 1,
+                "tick_s": 0.5, "host": "0.0.0.0", "port": 0,
+                "default_tenant": "lab",
+            },
+            "plan": {"parallelism": 2},
+        }
+        config = DeployConfig.from_dict(data)
+        assert config.to_dict()["fleet"] == data["fleet"]
+        assert DeployConfig.from_dict(config.to_dict()) == config
+
+    def test_toml_text_with_fleet_table(self):
+        text = b"""
+        [fleet]
+        worker_budget = 16
+        default_tenant = "shopfloor"
+
+        [plan]
+        parallelism = 2
+        """
+        config = DeployConfig.from_dict(tomllib.load(io.BytesIO(text)))
+        assert config.fleet.worker_budget == 16
+        assert config.fleet.default_tenant == "shopfloor"
+        assert config.describe().startswith("plan(")
+        assert "fleet(" in config.describe()
+
+    def test_unknown_fleet_key_reports_dotted_path(self):
+        with pytest.raises(DeployConfigError, match=r"fleet\.worker_budgt"):
+            DeployConfig.from_dict({"fleet": {"worker_budgt": 8}})
+        with pytest.raises(DeployConfigError, match=r"\[fleet\]"):
+            DeployConfig.from_dict({"fleet": {"nope": 1}})
+
+    def test_unknown_elastic_key_reports_dotted_path(self):
+        with pytest.raises(DeployConfigError, match=r"elastic\.max_paralelism"):
+            DeployConfig.from_dict({
+                "plan": True, "elastic": {"max_paralelism": 8},
+            })
+
+    def test_invalid_fleet_values_raise_deploy_config_error(self):
+        with pytest.raises(DeployConfigError, match="worker_budget"):
+            DeployConfig.from_dict({"fleet": {"worker_budget": 0}})

@@ -119,3 +119,40 @@ def test_detect_event_preserves_count_and_forwards_punctuation(values):
     assert op.events_out == forwarded
     punct = make_punctuation(StreamTuple(tau=0.0, job="J", layer=0, payload={}), "S")
     assert op.process(0, punct) == [punct]
+
+
+# -- DeployConfig [fleet] round-trip ------------------------------------------
+
+fleet_tables = st.fixed_dictionaries(
+    {},
+    optional={
+        "max_jobs_per_tenant": st.integers(min_value=1, max_value=16),
+        "max_parallelism_per_tenant": st.integers(min_value=1, max_value=64),
+        "worker_budget": st.integers(min_value=1, max_value=64),
+        "min_share": st.just(1),
+        "tick_s": st.floats(min_value=0.01, max_value=10.0,
+                            allow_nan=False, allow_infinity=False),
+        "host": st.sampled_from(["127.0.0.1", "0.0.0.0", "::1"]),
+        "port": st.integers(min_value=0, max_value=65535),
+        "default_tenant": st.text(
+            alphabet="abcdefghijklmnopqrstuvwxyz-", min_size=1, max_size=12
+        ),
+    },
+)
+
+
+@given(table=fleet_tables)
+@settings(max_examples=60, deadline=None)
+def test_fleet_table_round_trips_exactly(table):
+    """to_dict(from_dict(x)) == x for every valid [fleet] table."""
+    from repro.core import DeployConfig
+
+    data = {"fleet": table} if table else {"fleet": True}
+    config = DeployConfig.from_dict(data)
+    serialized = config.to_dict()
+    if table:
+        assert serialized["fleet"] == {**table, **serialized["fleet"]}
+        for key, value in table.items():
+            assert serialized["fleet"][key] == value
+    assert DeployConfig.from_dict(serialized) == config
+    assert DeployConfig.from_dict(serialized).to_dict() == serialized

@@ -226,3 +226,35 @@ def test_rescale_exports_metrics_and_events(baseline):
     event = controller.events[-1]
     assert event["kind"] == "rescale"
     assert event["from"] == 1 and event["to"] == 2
+
+
+# -- runtime bound lending (the fleet scheduler's hook) ----------------------
+
+
+def test_set_bounds_moves_live_clamp(baseline):
+    from repro.elastic.controller import ElasticError
+
+    strata = Strata(engine_mode="threaded")
+    sink = build(strata, records())
+    strata.start(DeployConfig(plan=True, elastic=MANUAL))
+    controller = strata.elastic
+    assert controller.bounds == (1, 4)  # the config bounds, initially
+
+    controller.set_bounds(2, 3)
+    assert controller.bounds == (2, 3)
+    assert controller.events[-1]["kind"] == "bounds"
+    events_before = len(controller.events)
+    controller.set_bounds(2, 3)  # unchanged bounds: no event spam
+    assert len(controller.events) == events_before
+
+    with pytest.raises(ElasticError):
+        controller.set_bounds(3, 2)
+    with pytest.raises(ElasticError):
+        controller.set_bounds(0, 2)
+
+    # a binding lower bound forces the next tick to scale the group up,
+    # even though the policy itself sees no load
+    controller.tick()
+    assert controller.groups[0].parallelism >= 2
+    strata.wait(timeout=120)
+    assert payload_counts(sink) == baseline

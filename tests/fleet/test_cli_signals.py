@@ -1,0 +1,97 @@
+"""Resident CLI verbs shut down cleanly on SIGTERM/SIGINT (exit 0).
+
+These run the real console entry point in a subprocess — signal delivery
+to an in-process handler would not regression-test what a supervisor
+(systemd, Kubernetes) actually does to the process.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.request
+
+import pytest
+
+from repro import __version__
+from repro.cli import main
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def spawn(*verb_args):
+    env = {**os.environ, "PYTHONPATH": REPO_SRC}
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", *verb_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+
+
+def read_banner(proc, timeout=30.0):
+    """First stdout line; the resident verbs print it once they're up."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line:
+            return line.strip()
+    raise AssertionError("process printed no banner")
+
+
+def finish(proc, sig, timeout=30.0):
+    proc.send_signal(sig)
+    out, _ = proc.communicate(timeout=timeout)
+    return proc.returncode, out
+
+
+@pytest.mark.parametrize("sig", [signal.SIGTERM, signal.SIGINT])
+def test_serve_drains_and_exits_zero(sig):
+    proc = spawn("serve", "--port", "0")
+    try:
+        banner = read_banner(proc)
+        assert "fleet control plane on http://" in banner
+        url = banner.split("on ")[1].split(" ")[0]
+        with urllib.request.urlopen(url + "/healthz", timeout=10) as resp:
+            assert json.loads(resp.read())["status"] == "ok"
+        code, out = finish(proc, sig)
+    finally:
+        proc.kill()
+    assert code == 0, out
+    assert "draining fleet" in out
+    assert "fleet stopped" in out
+    assert "Traceback" not in out
+
+
+def test_broker_sigterm_exits_zero():
+    proc = spawn("broker", "--port", "0")
+    try:
+        banner = read_banner(proc)
+        assert "broker listening" in banner
+        code, out = finish(proc, signal.SIGTERM)
+    finally:
+        proc.kill()
+    assert code == 0, out
+    assert "broker stopped" in out
+    assert "Traceback" not in out
+
+
+def test_version_flag_prints_package_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+
+def test_version_matches_healthz():
+    """The /healthz version and --version read the same source."""
+    from repro.fleet import FleetService
+
+    service = FleetService()
+    try:
+        assert service.health()["version"] == __version__
+    finally:
+        service.drain(timeout=10.0)

@@ -1,0 +1,158 @@
+"""FleetService: submit/admit/run/cancel with real pipelines.
+
+Workloads are kept tiny (a few layers at coarse resolution) so each job
+completes in about a second; determinism of the am simulator makes the
+in-fleet vs standalone divergence check exact.
+"""
+
+import pytest
+
+from repro.core.errors import DeployConfigError
+from repro.fleet import (
+    CANCELLED,
+    COMPLETED,
+    AdmissionError,
+    FleetConfig,
+    FleetError,
+    FleetService,
+    JobRegistry,
+    run_standalone,
+)
+from repro.fleet.runner import resolve_workload
+from repro.kvstore import MemoryStore
+
+SMALL = {"layers": 3, "image_px": 96, "cell_edge": 8, "window": 3}
+
+
+@pytest.fixture()
+def service():
+    svc = FleetService(FleetConfig(worker_budget=6, tick_s=0.05))
+    yield svc
+    svc.drain(timeout=30.0)
+
+
+class TestWorkloadSpec:
+    def test_defaults_fill_in(self):
+        spec = resolve_workload({"layers": 2})
+        assert spec["kind"] == "thermal"
+        assert spec["layers"] == 2
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown workload key"):
+            resolve_workload({"layer": 2})
+
+    def test_bad_values_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            resolve_workload({"kind": "milling"})
+        with pytest.raises(ValueError, match="layers"):
+            resolve_workload({"layers": 0})
+
+
+class TestSubmission:
+    def test_job_completes_with_zero_divergence(self, service):
+        record = service.submit({"workload": SMALL})
+        assert record.tenant == "default"
+        final = service.wait(record.job_id, timeout=90)
+        assert final.state == COMPLETED
+        assert final.result["result_ids"] == run_standalone(SMALL)
+        assert final.result["images_per_second"] > 0
+        assert [t["state"] for t in final.transitions] == [
+            "PENDING", "ADMITTED", "RUNNING", "COMPLETED",
+        ]
+
+    def test_streak_workload_completes(self, service):
+        record = service.submit(
+            {"workload": {**SMALL, "kind": "streaks", "layers": 4}}
+        )
+        final = service.wait(record.job_id, timeout=90)
+        assert final.state == COMPLETED
+        assert final.result["result_ids"] == run_standalone(
+            {**SMALL, "kind": "streaks", "layers": 4}
+        )
+
+    def test_invalid_deploy_config_rejected_before_admission(self, service):
+        with pytest.raises(DeployConfigError, match="unknown deploy config key"):
+            service.submit({"workload": SMALL, "deploy": {"plam": True}})
+        assert len(service.registry) == 0
+
+    def test_fleet_section_rejected_in_submission(self, service):
+        with pytest.raises(ValueError, match="fleet"):
+            service.submit({"deploy": {"fleet": {"worker_budget": 2}}})
+
+    def test_unknown_submission_key_rejected(self, service):
+        with pytest.raises(ValueError, match="unknown submission key"):
+            service.submit({"wrkload": SMALL})
+
+    def test_quota_rejection_raises_and_counts(self, service):
+        with pytest.raises(AdmissionError) as err:
+            service.submit(
+                {"workload": SMALL, "deploy": {"plan": {"parallelism": 7}}}
+            )
+        assert err.value.code == "job-exceeds-budget"
+        assert (
+            service.metrics.snapshot().value(
+                "fleet_jobs_rejected_total", code="job-exceeds-budget"
+            )
+            == 1.0
+        )
+
+
+class TestCancel:
+    def test_cancel_running_job(self, service):
+        record = service.submit(
+            {"workload": {**SMALL, "layers": 40, "image_px": 200}}
+        )
+        cancelled = service.cancel(record.job_id, timeout=30)
+        assert cancelled.state == CANCELLED
+        # quota released: the tenant can submit again immediately
+        again = service.submit({"workload": SMALL})
+        assert service.wait(again.job_id, timeout=90).state == COMPLETED
+
+    def test_cancel_finished_job_raises(self, service):
+        record = service.submit({"workload": SMALL})
+        service.wait(record.job_id, timeout=90)
+        with pytest.raises(FleetError, match="already finished"):
+            service.cancel(record.job_id)
+
+
+class TestObservability:
+    def test_fleet_snapshot_labels_every_job_series(self, service):
+        records = [
+            service.submit({"tenant": t, "workload": SMALL})
+            for t in ("acme", "zenith")
+        ]
+        for record in records:
+            service.wait(record.job_id, timeout=90)
+        snap = service.snapshot()
+        for record in records:
+            job_series = snap.filter(job=record.job_id)
+            assert len(job_series) > 0
+            assert any(s.name.startswith("strata_") for s in job_series)
+            assert all(s.label("tenant") == record.tenant for s in job_series)
+        assert snap.value("fleet_jobs_submitted_total") == 2.0
+        assert snap.value("fleet_worker_budget") == 6.0
+
+    def test_health_reports_counts_and_version(self, service):
+        health = service.health()
+        assert health["status"] == "ok"
+        assert health["version"]
+        assert set(health["jobs"]) == {
+            "PENDING", "ADMITTED", "RUNNING", "COMPLETED", "FAILED", "CANCELLED",
+        }
+
+
+class TestPersistence:
+    def test_restart_rehydrates_and_fails_orphans(self):
+        store = MemoryStore()
+        svc = FleetService(FleetConfig(worker_budget=6, tick_s=0.05), store=store)
+        record = svc.submit({"workload": SMALL})
+        svc.wait(record.job_id, timeout=90)
+        running = svc.submit(
+            {"workload": {**SMALL, "layers": 40, "image_px": 200}}
+        )
+        # simulate a crash: the store survives, the service does not
+        reborn = JobRegistry(store)
+        reborn.load()
+        assert reborn.get(record.job_id).state == COMPLETED
+        assert reborn.get(running.job_id).state == "FAILED"
+        svc.drain(timeout=30.0)

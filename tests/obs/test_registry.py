@@ -141,3 +141,40 @@ class TestSnapshot:
         buckets = [s.value for s in samples if s.name == "h_bucket"]
         assert buckets == sorted(buckets)
         assert buckets[-1] == 6.0
+
+
+class TestWithLabels:
+    """Snapshot relabelling — the fleet's per-job namespacing primitive."""
+
+    def make_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("strata_reports_total", labels={"operator": "sink"}).inc(3)
+        registry.gauge("strata_lag").set(1.5)
+        return registry.snapshot()
+
+    def test_merges_labels_into_every_sample(self):
+        snap = self.make_snapshot().with_labels(job="job-1", tenant="acme")
+        assert len(snap) == 2
+        for sample in snap:
+            assert sample.label("job") == "job-1"
+            assert sample.label("tenant") == "acme"
+        # original labels survive alongside
+        assert snap.value(
+            "strata_reports_total", operator="sink", job="job-1"
+        ) == 3.0
+
+    def test_existing_labels_win_on_collision(self):
+        snap = self.make_snapshot().with_labels(operator="fleet")
+        assert snap.value("strata_reports_total", operator="sink") == 3.0
+        assert snap.value("strata_lag", operator="fleet") == 1.5
+
+    def test_original_snapshot_untouched(self):
+        original = self.make_snapshot()
+        original.with_labels(job="j")
+        assert all(s.label("job") is None for s in original)
+
+    def test_values_coerced_to_strings_and_sorted(self):
+        snap = MetricsSnapshot(
+            wall_time=0.0, samples=[Sample("m", (("z", "1"),), 1.0)]
+        ).with_labels(a=2)
+        assert snap.samples[0].labels == (("a", "2"), ("z", "1"))

@@ -183,3 +183,45 @@ def test_sink_latency_recorded():
     assert all(s >= 0 for s in samples)
     summary = report.latency_summary()
     assert summary.minimum <= summary.median <= summary.maximum
+
+
+def test_sync_scheduler_survives_emission_beyond_stream_capacity():
+    """One join step can emit more pairs than a bounded stream holds.
+
+    The sync scheduler is single-threaded: nothing drains a full output
+    stream while an operator is still emitting into it, so a blocking put
+    would deadlock the whole run. Capacity 4 with a 30x30 cross join
+    (900 pairs through one step) deadlocked before puts went unbounded.
+    """
+    n = 30
+    q = Query("tightjoin", default_capacity=4)
+    q.add_source("L", ListSource("L", tuples(n)))
+    q.add_source(
+        "R",
+        ListSource(
+            "R",
+            [
+                StreamTuple(tau=float(i), job="j", layer=i, payload={"y": i})
+                for i in range(n)
+            ],
+        ),
+    )
+    q.add_operator(
+        "join",
+        JoinOperator(
+            "join", ws=float(n),  # every L matches every R
+            combiner=lambda l, r: l.derive(
+                payload={"x": l.payload["x"], "y": r.payload["y"]}
+            ),
+        ),
+        ["L", "R"],
+    )
+    sink = CollectingSink()
+    q.add_sink("out", sink, "join")
+    from repro.spe.scheduler import SynchronousScheduler
+
+    nodes = q.build()
+    SynchronousScheduler().run(nodes)
+    assert len(sink.results) == n * n
+    out_stream = next(node for node in nodes if node.kind == "sink").inputs[0]
+    assert out_stream.high_watermark > out_stream.capacity  # overshoot happened
