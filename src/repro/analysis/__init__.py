@@ -1,7 +1,14 @@
 """Thermal analysis: cell extraction, threshold calibration, labeling."""
 
 from .adaptive import AdaptiveThresholdLearner
-from .cells import Cell, cell_grid_shape, cell_means, extract_cells, masked_cell_means
+from .cells import (
+    Cell,
+    cell_centers,
+    cell_grid_shape,
+    cell_means,
+    extract_cells,
+    masked_cell_means,
+)
 from .labeling import (
     ALL_LABELS,
     COLD,
@@ -10,6 +17,8 @@ from .labeling import (
     VERY_COLD,
     VERY_WARM,
     WARM,
+    connected_defects,
+    count_defect_regions,
     event_mask,
     is_event,
     label_cell,

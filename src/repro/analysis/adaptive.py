@@ -89,3 +89,32 @@ class AdaptiveThresholdLearner:
             self._center = (1 - self._alpha) * self._center + self._alpha * observed
             self.updates += 1
         return self.current
+
+    def update_batch(self, layers: "list[np.ndarray]") -> ThermalThresholds:
+        """Fold several layers' cell means in arrival order (batched path).
+
+        Semantically identical to calling :meth:`update` once per layer —
+        the EWMA recurrence is inherently sequential because each layer's
+        healthy band depends on the center the previous layer produced —
+        but each layer is pre-sorted once, after which the band filter
+        costs two binary searches instead of a full boolean scan, and the
+        median reads a contiguous slice. The median of the sorted slice
+        equals the median of the unsorted selection (same multiset), so
+        the resulting center is bit-identical.
+        """
+        alpha = self._alpha
+        center = self._center
+        lo_offset = self._offsets[1]  # cold_below - center
+        hi_offset = self._offsets[2]  # warm_above - center
+        updates = 0
+        for means in layers:
+            ordered = np.sort(np.asarray(means, dtype=float), axis=None)
+            lo = int(np.searchsorted(ordered, center + lo_offset, side="left"))
+            hi = int(np.searchsorted(ordered, center + hi_offset, side="right"))
+            if hi > lo:
+                observed = float(np.median(ordered[lo:hi]))
+                center = (1 - alpha) * center + alpha * observed
+                updates += 1
+        self._center = center
+        self.updates += updates
+        return self.current

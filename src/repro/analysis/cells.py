@@ -91,6 +91,27 @@ def extract_cells(
     return cells
 
 
+def cell_centers(
+    grid_shape: tuple[int, int],
+    cell_edge_px: int,
+    origin_row: int = 0,
+    origin_col: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Center coordinates of every cell, flattened row-major.
+
+    Returns ``(center_y_px, center_x_px)`` float arrays of length
+    rows*cols in full-image pixel coordinates. The arithmetic mirrors the
+    scalar path exactly — ``(origin + index * edge) + edge/2`` over exact
+    integer intermediates — so centers are bit-identical to
+    :func:`extract_cells` / the per-tuple ``IsolateCells`` loop.
+    """
+    rows, cols = grid_shape
+    half = cell_edge_px / 2.0
+    ys = (origin_row + np.arange(rows, dtype=np.int64) * cell_edge_px) + half
+    xs = (origin_col + np.arange(cols, dtype=np.int64) * cell_edge_px) + half
+    return np.repeat(ys, cols), np.tile(xs, rows)
+
+
 def cell_grid_shape(image_shape: tuple[int, int], cell_edge_px: int) -> tuple[int, int]:
     """(rows, cols) of the cell grid over an image of ``image_shape``."""
     return image_shape[0] // cell_edge_px, image_shape[1] // cell_edge_px

@@ -40,19 +40,46 @@ def is_event(label: str) -> bool:
     return label in EVENT_LABELS
 
 
+_VERY_COLD_IDX = ALL_LABELS.index(VERY_COLD)
+_COLD_IDX = ALL_LABELS.index(COLD)
+_REGULAR_IDX = ALL_LABELS.index(REGULAR)
+_WARM_IDX = ALL_LABELS.index(WARM)
+_VERY_WARM_IDX = ALL_LABELS.index(VERY_WARM)
+
+
 def label_grid(means: np.ndarray, thresholds: ThermalThresholds) -> np.ndarray:
-    """Vectorized labeling of a (rows, cols) cell-mean grid.
+    """Vectorized labeling of a cell-mean grid (any shape).
 
     Returns an int8 grid with indices into :data:`ALL_LABELS`
-    (0=very_cold .. 4=very_warm).
+    (0=very_cold .. 4=very_warm). Element-wise identical to
+    :func:`label_cell`, including values exactly on a threshold: two
+    binary searches classify every cell at once, with the ``side``
+    arguments chosen to reproduce the scalar path's strict comparisons
+    (``searchsorted(side="right")`` counts boundaries ``<= v``, matching
+    ``v < bound``; ``side="left"`` counts boundaries ``< v``, matching
+    ``v > bound``). Thresholds are validated non-decreasing, so both
+    boundary pairs are sorted. NaN cells (possible for fully masked
+    cells) compare false against every threshold in the scalar path and
+    are forced to *regular* here, where searchsorted would otherwise sort
+    them above every boundary.
     """
     means = np.asarray(means, dtype=float)
-    labels = np.full(means.shape, ALL_LABELS.index(REGULAR), dtype=np.int8)
-    labels[means > thresholds.warm_above] = ALL_LABELS.index(WARM)
-    labels[means > thresholds.very_warm_above] = ALL_LABELS.index(VERY_WARM)
-    labels[means < thresholds.cold_below] = ALL_LABELS.index(COLD)
-    labels[means < thresholds.very_cold_below] = ALL_LABELS.index(VERY_COLD)
-    return labels
+    flat = means.ravel()
+    cold_bounds = np.array([thresholds.very_cold_below, thresholds.cold_below])
+    warm_bounds = np.array([thresholds.warm_above, thresholds.very_warm_above])
+    # 0: v < very_cold_below, 1: v < cold_below, 2: not cold
+    cold = np.searchsorted(cold_bounds, flat, side="right")
+    # 0: not warm, 1: v > warm_above, 2: v > very_warm_above
+    warm = np.searchsorted(warm_bounds, flat, side="left")
+    labels = np.full(flat.shape, _REGULAR_IDX, dtype=np.int8)
+    labels[warm == 1] = _WARM_IDX
+    labels[warm == 2] = _VERY_WARM_IDX
+    # cold wins over warm, mirroring label_cell's branch order (the bands
+    # cannot overlap for validated thresholds; this only pins tie behavior)
+    labels[cold == 1] = _COLD_IDX
+    labels[cold == 0] = _VERY_COLD_IDX
+    labels[np.isnan(flat)] = _REGULAR_IDX
+    return labels.reshape(means.shape)
 
 
 def event_mask(label_indices: np.ndarray) -> np.ndarray:
@@ -60,3 +87,46 @@ def event_mask(label_indices: np.ndarray) -> np.ndarray:
     return (label_indices == ALL_LABELS.index(VERY_COLD)) | (
         label_indices == ALL_LABELS.index(VERY_WARM)
     )
+
+
+def connected_defects(mask: np.ndarray) -> np.ndarray:
+    """Label 4-connected components of an event mask, without cell loops.
+
+    Returns an int64 grid: 0 for background, 1..K for the K connected
+    defect regions (numbered in no particular order but deterministically
+    for a given mask). Works by synchronous min-label propagation: every
+    event cell starts with a unique label and repeatedly adopts the
+    smallest label among itself and its 4-neighborhood, all as whole-array
+    shifted minimums. Converges in O(longest defect diameter) sweeps —
+    defects are small, compact clusters, so a handful in practice.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    if mask.ndim != 2:
+        raise ValueError("connected_defects expects a 2-D mask")
+    out = np.zeros(mask.shape, dtype=np.int64)
+    if not mask.any():
+        return out
+    background = mask.size + 1  # larger than any seed label
+    labels = np.where(mask, np.arange(1, mask.size + 1).reshape(mask.shape), 0)
+    while True:
+        candidate = np.where(mask, labels, background)
+        best = candidate.copy()
+        best[1:, :] = np.minimum(best[1:, :], candidate[:-1, :])
+        best[:-1, :] = np.minimum(best[:-1, :], candidate[1:, :])
+        best[:, 1:] = np.minimum(best[:, 1:], candidate[:, :-1])
+        best[:, :-1] = np.minimum(best[:, :-1], candidate[:, 1:])
+        propagated = np.where(mask, best, 0)
+        if np.array_equal(propagated, labels):
+            break
+        labels = propagated
+    # renumber surviving labels to the compact range 1..K (0 stays 0);
+    # ravel first: the shape of a multi-dim return_inverse changed across
+    # numpy versions, a 1-D input behaves the same everywhere
+    uniques, inverse = np.unique(labels.ravel(), return_inverse=True)
+    inverse = inverse.reshape(mask.shape)
+    return inverse if uniques[0] == 0 else inverse + 1
+
+
+def count_defect_regions(mask: np.ndarray) -> int:
+    """Number of 4-connected defect regions in an event mask."""
+    return int(connected_defects(mask).max()) if np.asarray(mask).size else 0

@@ -70,6 +70,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="keep operators unfused (one thread per operator)")
     parser.add_argument("--batch-size", type=int, default=32,
                         help="tuples per queue entry on threaded edges (1 = unbatched)")
+    parser.add_argument("--no-vectorize", action="store_true",
+                        help="run fused chains tuple-at-a-time instead of "
+                             "array-at-a-time columnar kernels")
     parser.add_argument("--parallelism", type=int, default=1,
                         help="replicate keyed stages N-ways behind a hash router")
     parser.add_argument("--elastic", action="store_true",
@@ -110,6 +113,7 @@ def _plan_of(args: argparse.Namespace) -> PlanConfig | None:
         fusion=not args.no_fusion,
         edge_batch_size=args.batch_size,
         parallelism=args.parallelism,
+        vectorize=not args.no_vectorize,
     )
 
 
@@ -447,18 +451,24 @@ def _render_top(snap) -> str:
             continue
         row = ops.setdefault(op, {})
         if s.name in ("spe_tuples_in_total", "spe_tuples_out_total",
-                      "spe_busy_seconds_total"):
+                      "spe_busy_seconds_total", "spe_block_fill_ratio"):
             row[s.name] = s.value
+        if s.name == "spe_operator_mode":
+            row["mode"] = s.label("mode") or "scalar"
         if s.label("fused_into") is not None:
             row["fused"] = 1.0
-    lines = [f"{'OPERATOR':<34} {'IN':>9} {'OUT':>9} {'BUSY_S':>8}"]
+    lines = [f"{'OPERATOR':<34} {'IN':>9} {'OUT':>9} {'BUSY_S':>8} {'MODE':<12}"]
     for op in sorted(ops):
         row = ops[op]
         name = ("  " + op) if row.get("fused") else op
+        mode = row.get("mode", "") if not row.get("fused") else ""
+        fill = row.get("spe_block_fill_ratio")
+        if mode == "vectorized" and fill is not None:
+            mode = f"{mode} {fill * 100:.0f}%"
         lines.append(
             f"{name:<34} {int(row.get('spe_tuples_in_total', 0)):>9} "
             f"{int(row.get('spe_tuples_out_total', 0)):>9} "
-            f"{row.get('spe_busy_seconds_total', 0.0):>8.2f}"
+            f"{row.get('spe_busy_seconds_total', 0.0):>8.2f} {mode:<12}"
         )
     queues: dict[str, dict[str, float]] = {}
     for s in snap.samples:

@@ -11,6 +11,14 @@ expected query cost is proportional to local density instead of n.
 A naive O(n²) search is kept for the ablation benchmark (A3) and as a
 cross-check oracle in tests.
 
+Small inputs (the per-window event sets ``correlateEvents`` clusters every
+layer are a few dozen points) skip the grid entirely: one broadcast
+computes the full pairwise neighbor matrix, and the BFS expands over
+pre-extracted neighbor rows. Building the grid's buckets and candidate
+caches costs more than the O(n²) matrix until well past a thousand
+points, and the labels are identical — cluster membership in DBSCAN does
+not depend on the order neighbors are enumerated.
+
 Labels follow scikit-learn conventions: cluster ids are 0..k-1 and noise
 is ``-1``.
 """
@@ -24,6 +32,9 @@ import numpy as np
 
 NOISE = -1
 UNVISITED = -2
+
+#: below this size, a full pairwise neighbor matrix beats the grid index
+DENSE_CUTOFF = 768
 
 
 class GridIndex:
@@ -114,8 +125,22 @@ def dbscan(
         return labels
     if min_samples < 1:
         raise ValueError("min_samples must be >= 1")
+    if eps <= 0:
+        raise ValueError("eps must be positive")
 
-    if use_grid:
+    if use_grid and n <= DENSE_CUTOFF:
+        # Array-at-a-time fast path: one broadcast yields every
+        # eps-neighborhood at once. Same subtract-square-sum arithmetic as
+        # the per-point searches, so the masks are bit-identical.
+        diffs = points[:, None, :] - points[None, :, :]
+        within = np.einsum("ijk,ijk->ij", diffs, diffs) <= eps * eps
+        # one nonzero over the whole matrix, split into per-row views
+        # (every row is non-empty: a point neighbors itself)
+        i_idx, j_idx = np.nonzero(within)
+        counts = np.bincount(i_idx, minlength=n)
+        rows = np.split(j_idx, np.cumsum(counts)[:-1])
+        neighbors = rows.__getitem__
+    elif use_grid:
         index = GridIndex(points, eps)
         neighbors = index.neighbors
     else:

@@ -79,6 +79,31 @@ class PartitionOperator(Operator):
         punctuation = [make_punctuation(t, specimen) for specimen in seen]
         return outputs + punctuation
 
+    # -- columnar execution -------------------------------------------------
+
+    @property
+    def supports_block(self) -> bool:
+        """True when the user function offers an array-at-a-time variant."""
+        return hasattr(self._fn, "process_block")
+
+    def block_eligible(self, t: StreamTuple) -> bool:
+        """True when ``t`` may join a columnar block through this stage.
+
+        Punctuation and specimen-assigning tuples take the scalar path:
+        that is where layer-completeness punctuation is minted, which no
+        block kernel reproduces.
+        """
+        return t.specimen is not None and PUNCTUATION_KEY not in t.payload
+
+    def process_block(self, block: "Any") -> "Any":
+        """Array-at-a-time counterpart of :meth:`process` for eligible rows.
+
+        The function's block variant must emit rows with specimen and
+        portion assigned (both use-case kernels inherit/assign them), so
+        the scalar path's defaulting never applies here.
+        """
+        return self._fn.process_block(block)
+
     def snapshot_state(self) -> dict[str, Any] | None:
         fn_state = snapshot_callable(self._fn)
         return None if fn_state is None else {"fn": fn_state}
@@ -132,6 +157,71 @@ class DetectEventOperator(Operator):
                 specimens.append(t.specimen)
             outputs = outputs + [make_punctuation(t, s) for s in specimens]
         return outputs
+
+    def process_many(self, tuples: list[StreamTuple]) -> list[StreamTuple]:
+        """Bulk scalar path: one pass over a run of tuples.
+
+        Runs of plain event-carrying tuples go through the function's own
+        bulk method when it has one (``LabelCell.process_many`` hoists its
+        threshold lookup out of the loop); punctuation and
+        specimen-assigning tuples fall back to :meth:`process` at their
+        exact stream position, so ordering and punctuation semantics are
+        untouched.
+        """
+        fn_many = getattr(self._fn, "process_many", None)
+        if fn_many is None:
+            out: list[StreamTuple] = []
+            extend = out.extend
+            process = self.process
+            for t in tuples:
+                got = process(0, t)
+                if got:
+                    extend(got)
+            return out
+        out = []
+        extend = out.extend
+        run: list[StreamTuple] = []
+        events = 0
+        for t in tuples:
+            if t.specimen is not None and PUNCTUATION_KEY not in t.payload:
+                run.append(t)
+                continue
+            if run:
+                got = fn_many(run)
+                events += len(got)
+                extend(got)
+                run = []
+            got = self.process(0, t)
+            if got:
+                extend(got)
+        if run:
+            got = fn_many(run)
+            events += len(got)
+            extend(got)
+        self.events_out += events
+        return out
+
+    # -- columnar execution -------------------------------------------------
+
+    @property
+    def supports_block(self) -> bool:
+        """True when the user function offers an array-at-a-time variant."""
+        return hasattr(self._fn, "process_block")
+
+    def block_eligible(self, t: StreamTuple) -> bool:
+        """True when ``t`` may join a columnar block through this stage."""
+        return t.specimen is not None and PUNCTUATION_KEY not in t.payload
+
+    def process_block(self, block: "Any") -> "Any":
+        """Array-at-a-time counterpart of :meth:`process` for eligible rows.
+
+        Eligible rows carry a specimen, so the scalar path's
+        specimen-defaulting and punctuation minting never apply; the event
+        counter advances exactly as it would tuple-by-tuple.
+        """
+        out = self._fn.process_block(block)
+        self.events_out += len(out)
+        return out
 
     def snapshot_state(self) -> dict[str, Any]:
         state: dict[str, Any] = {"events_out": self.events_out}

@@ -401,7 +401,7 @@ class ElasticController:
                 if state is not None:
                     clone_ops[f"{member}::{i}"].restore_state(state)
         if self._plan is not None and self._plan.fusion:
-            new_nodes = fuse_linear_chains(new_nodes)
+            new_nodes = fuse_linear_chains(new_nodes, vectorize=self._plan.vectorize)
         with self._lock:
             self._splice_node_list(group.nodes, new_nodes)
             if self._checkpointer is not None and hasattr(self._checkpointer, "rebind"):

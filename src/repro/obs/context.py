@@ -205,7 +205,29 @@ class ObsContext:
             if not math.isnan(stats.last_tau):
                 samples.append(Sample("spe_last_tau", labels, stats.last_tau))
             if kind == "operator":
-                extra = ex.node.operator.stats_extra()
+                op = ex.node.operator
+                mode = getattr(op, "execution_mode", "scalar")
+                samples.append(
+                    Sample("spe_operator_mode", labels + (("mode", mode),), 1.0)
+                )
+                blocks_in = getattr(op, "blocks_in", 0)
+                if blocks_in:
+                    block_rows = getattr(op, "block_rows_in", 0)
+                    samples.append(
+                        Sample("spe_blocks_in_total", labels, blocks_in, "counter")
+                    )
+                    samples.append(
+                        Sample(
+                            "spe_block_rows_in_total", labels, block_rows, "counter"
+                        )
+                    )
+                    samples.append(
+                        Sample(
+                            "spe_block_fill_ratio", labels,
+                            block_rows / blocks_in / max(ex.edge_batch_size, 1),
+                        )
+                    )
+                extra = op.stats_extra()
                 for key, value in extra.items():
                     samples.append(
                         Sample(f"spe_operator_{key}", labels, float(value), "counter")
@@ -318,6 +340,10 @@ _HELP = {
     "spe_batches_out_total": "tuple batches shipped on outgoing edges",
     "spe_batch_tuples_out_total": "tuples shipped inside batches",
     "spe_batch_fill_ratio": "mean batch occupancy vs configured batch size",
+    "spe_operator_mode": "execution mode per operator (scalar or vectorized)",
+    "spe_blocks_in_total": "columnar blocks formed by a vectorized operator",
+    "spe_block_rows_in_total": "rows processed inside columnar blocks",
+    "spe_block_fill_ratio": "mean block occupancy vs configured batch size",
     "spe_last_tau": "newest event time (tau) seen by a node",
     "spe_queue_depth": "tuples currently queued on a stream",
     "spe_queue_high_watermark": "max queue depth observed on a stream",

@@ -39,10 +39,12 @@ from .operators import (
     partition_key,
     window_indices,
 )
+from .columnar import ColumnarBlock
 from .plan import (
     FusedOperator,
     PlanConfig,
     ReplicaGroupMeta,
+    VectorizedFusedOperator,
     build_replicated_group,
     compile_plan,
     fuse_linear_chains,
@@ -70,8 +72,10 @@ __all__ = [
     "Stream",
     "END_OF_STREAM",
     "TupleBatch",
+    "ColumnarBlock",
     "PlanConfig",
     "FusedOperator",
+    "VectorizedFusedOperator",
     "ReplicaGroupMeta",
     "build_replicated_group",
     "compile_plan",

@@ -275,6 +275,24 @@ class OperatorStats:
         self.timing_counts[lo] += 1
         self.timing_total += 1
 
+    def record_time_bulk(self, seconds_each: float, n: int) -> None:
+        """Bucket ``n`` equal per-tuple durations in one update.
+
+        Used by the batched fast path, where one operator call covers a
+        whole run: the run's wall time is attributed evenly, so the
+        histogram stays comparable with per-tuple recording.
+        """
+        lo, hi = 0, len(self.timing_bounds)
+        bounds = self.timing_bounds
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if bounds[mid] < seconds_each:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.timing_counts[lo] += n
+        self.timing_total += n
+
     def as_dict(self) -> dict[str, float]:
         """Flat dict for report rendering."""
         return {

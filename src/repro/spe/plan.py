@@ -53,12 +53,16 @@ class PlanConfig:
                          (1 = pass disabled).
     ``linger_s``         max time a partially filled batch may wait before
                          being flushed to its edge.
+    ``vectorize``        emit :class:`VectorizedFusedOperator` for fused
+                         chains with at least one block-capable member, so
+                         kernel-compatible stages run array-at-a-time.
     """
 
     fusion: bool = True
     edge_batch_size: int = 32
     parallelism: int = 1
     linger_s: float = 0.005
+    vectorize: bool = True
 
     def __post_init__(self) -> None:
         if self.edge_batch_size < 1:
@@ -84,6 +88,7 @@ class PlanConfig:
             f"fusion={'on' if self.fusion else 'off'}",
             f"batch={self.edge_batch_size}",
             f"parallelism={self.parallelism}",
+            f"vectorize={'on' if self.vectorize else 'off'}",
         ]
         return ", ".join(parts)
 
@@ -112,6 +117,9 @@ class FusedOperator(Operator):
 
     num_inputs = 1
 
+    #: how this chain executes tuples; read by explain()/obs/top
+    execution_mode = "scalar"
+
     def __init__(self, name: str, parts: Iterable[_FusedPart]) -> None:
         super().__init__(name)
         self._parts = list(parts)
@@ -125,6 +133,11 @@ class FusedOperator(Operator):
         # bound process methods, resolved once: the cascade loop runs per
         # tuple per stage and attribute lookups there are measurable
         self._processes = [part.operator.process for part in self._parts]
+        # bulk per-stage methods where a member offers one (used whenever a
+        # whole run of tuples traverses the chain at once)
+        self._manys = [
+            getattr(part.operator, "process_many", None) for part in self._parts
+        ]
         # per-constituent (tuples_in, tuples_out), populated only when
         # observability asks for member-level stats
         self._member_counts: list[list[int]] | None = None
@@ -139,12 +152,17 @@ class FusedOperator(Operator):
 
     def _cascade(self, tuples: list[StreamTuple], start: int) -> list[StreamTuple]:
         """Push tuples through constituents ``start..n-1``."""
-        for process in self._processes[start:]:
+        for i in range(start, len(self._processes)):
             if not tuples:
                 return tuples
             if len(tuples) == 1:
-                tuples = process(0, tuples[0])
+                tuples = self._processes[i](0, tuples[0])
                 continue
+            many = self._manys[i]
+            if many is not None:
+                tuples = many(tuples)
+                continue
+            process = self._processes[i]
             nxt: list[StreamTuple] = []
             extend = nxt.extend
             for t in tuples:
@@ -156,6 +174,15 @@ class FusedOperator(Operator):
 
     def process(self, input_index: int, t: StreamTuple) -> list[StreamTuple]:
         return self._cascade([t], 0)
+
+    def process_many(self, tuples: list[StreamTuple]) -> list[StreamTuple]:
+        """Batch counterpart of :meth:`process`: cascade a whole run.
+
+        Equivalent to processing the run tuple by tuple and concatenating
+        (each stage preserves its input order), but members that offer a
+        bulk method handle the run in one call.
+        """
+        return self._cascade(tuples, 0)
 
     # -- member-level observability ---------------------------------------
 
@@ -185,9 +212,14 @@ class FusedOperator(Operator):
         for i in range(start, len(self._processes)):
             if not tuples:
                 return tuples
-            process = self._processes[i]
             counts = member_counts[i]
             counts[0] += len(tuples)
+            many = self._manys[i]
+            if many is not None and len(tuples) > 1:
+                tuples = many(tuples)
+                counts[1] += len(tuples)
+                continue
+            process = self._processes[i]
             nxt: list[StreamTuple] = []
             extend = nxt.extend
             for t in tuples:
@@ -243,6 +275,154 @@ class FusedOperator(Operator):
         return f"FusedOperator({' + '.join(self.part_names())})"
 
 
+class VectorizedFusedOperator(FusedOperator):
+    """A fused chain whose kernel-compatible stages run array-at-a-time.
+
+    Single tuples still take the inherited scalar cascade (a one-row block
+    costs more than it saves); when a run arrives — a
+    :class:`~repro.spe.stream.TupleBatch` from a batched edge — maximal
+    groups of consecutive *block-capable* members execute block-to-block:
+    the run converts to a :class:`~repro.spe.columnar.ColumnarBlock` once
+    at the group's entry, each member's ``process_block`` transforms it
+    column-wise, and rows convert back to tuples only at the group's exit.
+    Members without a block variant (and rows a member declares
+    ineligible: punctuation, specimen-less tuples) run the scalar path at
+    their exact stream position, so ordering, punctuation semantics, and
+    every counter are identical to the scalar chain.
+
+    Eligibility is decided at group entry; block kernels must preserve the
+    eligibility invariants downstream stages rely on (they may filter or
+    fan out rows but never clear a specimen or mint punctuation — both
+    use-case kernels satisfy this by construction). Blocks additionally
+    split on payload-schema changes, since a block holds one column set.
+
+    Checkpointing, end-of-stream cascades, and member naming are inherited
+    unchanged, so snapshots and recovery manifests written under this
+    operator are byte-compatible with scalar fused and unfused plans.
+    """
+
+    execution_mode = "vectorized"
+
+    def __init__(self, name: str, parts: Iterable[_FusedPart]) -> None:
+        super().__init__(name, parts)
+        self._block_capable = [
+            bool(getattr(part.operator, "supports_block", False))
+            for part in self._parts
+        ]
+        self._block_processes = [
+            getattr(part.operator, "process_block", None) for part in self._parts
+        ]
+        self._eligibles = [
+            getattr(part.operator, "block_eligible", None) for part in self._parts
+        ]
+        # columnar transport counters (block fill ratio in repro.obs)
+        self.blocks_in = 0
+        self.block_rows_in = 0
+
+    def member_modes(self) -> dict[str, str]:
+        """Execution mode per constituent, keyed by original node name."""
+        return {
+            part.name: "block" if capable else "scalar"
+            for part, capable in zip(self._parts, self._block_capable)
+        }
+
+    def process_many(self, tuples: list[StreamTuple]) -> list[StreamTuple]:
+        items = list(tuples)
+        n = len(self._parts)
+        i = 0
+        while i < n:
+            if not items:
+                return items
+            if not self._block_capable[i]:
+                items = self._apply_scalar(items, i)
+                i += 1
+                continue
+            j = i + 1
+            while j < n and self._block_capable[j]:
+                j += 1
+            items = self._run_block_group(items, i, j)
+            i = j
+        return items
+
+    def _apply_scalar(self, tuples: list[StreamTuple], i: int) -> list[StreamTuple]:
+        """One scalar stage over a run (member stats included when on)."""
+        counts = self._member_counts[i] if self._member_counts is not None else None
+        if counts is not None:
+            counts[0] += len(tuples)
+        many = self._manys[i]
+        if many is not None:
+            out = many(tuples)
+        else:
+            process = self._processes[i]
+            out = []
+            extend = out.extend
+            for t in tuples:
+                got = process(0, t)
+                if got:
+                    extend(got)
+        if counts is not None:
+            counts[1] += len(out)
+        return out
+
+    def _run_block_group(
+        self, items: list[StreamTuple], i: int, j: int
+    ) -> list[StreamTuple]:
+        """Stages ``i..j-1`` (all block-capable) over one run of tuples."""
+        eligibles = [e for e in self._eligibles[i:j] if e is not None]
+        out: list[StreamTuple] = []
+        extend = out.extend
+        run: list[StreamTuple] = []
+        run_keys = None
+        for t in items:
+            eligible = True
+            for is_eligible in eligibles:
+                if not is_eligible(t):
+                    eligible = False
+                    break
+            if eligible:
+                keys = t.payload.keys()
+                if run and keys != run_keys:
+                    self._flush_block_run(run, i, j, extend)
+                    run = []
+                run_keys = keys
+                run.append(t)
+                continue
+            if run:
+                self._flush_block_run(run, i, j, extend)
+                run = []
+            # ineligible row: scalar through these stages, in stream order
+            seq = [t]
+            for k in range(i, j):
+                seq = self._apply_scalar(seq, k)
+                if not seq:
+                    break
+            if seq:
+                extend(seq)
+        if run:
+            self._flush_block_run(run, i, j, extend)
+        return out
+
+    def _flush_block_run(self, run: list[StreamTuple], i: int, j: int, extend) -> None:
+        from .columnar import ColumnarBlock
+
+        block = ColumnarBlock.from_tuples(run)
+        self.blocks_in += 1
+        self.block_rows_in += len(run)
+        member_counts = self._member_counts
+        for k in range(i, j):
+            if member_counts is not None:
+                member_counts[k][0] += len(block)
+            block = self._block_processes[k](block)
+            if member_counts is not None:
+                member_counts[k][1] += len(block)
+            if not len(block):
+                return
+        extend(block.to_tuples())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"VectorizedFusedOperator({' + '.join(self.part_names())})"
+
+
 # -- fusion pass -----------------------------------------------------------
 
 
@@ -250,7 +430,7 @@ def _consumer_map(nodes: list[Node]) -> dict[int, Node]:
     return {id(s): n for n in nodes for s in n.inputs}
 
 
-def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
+def fuse_linear_chains(nodes: list[Node], vectorize: bool = False) -> list[Node]:
     """Collapse linear operator chains into :class:`FusedOperator` nodes.
 
     A chain grows from a single-input operator node across edges that are
@@ -261,6 +441,13 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
     the measurement boundaries for ingest/latency accounting. The router
     and merge of a rescalable replica group never fuse either: the elastic
     controller must be able to retire and resplice them by name.
+
+    With ``vectorize``, a chain containing at least one block-capable
+    member (the operator advertises ``supports_block``) becomes a
+    :class:`VectorizedFusedOperator`; otherwise (or when every member is
+    scalar-only) a plain :class:`FusedOperator` is emitted. The decision
+    and its reason are recorded on the fused node (``execution_mode`` /
+    ``mode_reason``) for ``explain()``.
     """
     protected: set[str] = set()
     for node in nodes:
@@ -298,9 +485,27 @@ def fuse_linear_chains(nodes: list[Node]) -> list[Node]:
             absorbed.add(id(member))
         name = "fused[" + "+".join(m.name for m in chain) + "]"
         parts = [_FusedPart(m.name, m.base_name, m.operator) for m in chain]
+        capable = [
+            bool(getattr(m.operator, "supports_block", False)) for m in chain
+        ]
+        if vectorize and any(capable):
+            operator: FusedOperator = VectorizedFusedOperator(name, parts)
+            scalar_members = [m.name for m, c in zip(chain, capable) if not c]
+            reason = (
+                "scalar members: " + ", ".join(scalar_members)
+                if scalar_members
+                else None
+            )
+        else:
+            operator = FusedOperator(name, parts)
+            if not vectorize:
+                reason = "vectorize=off"
+            else:
+                reason = "no member provides a block variant"
         fused = Node(
-            name, "operator", operator=FusedOperator(name, parts), router=chain[-1].router
+            name, "operator", operator=operator, router=chain[-1].router
         )
+        fused.mode_reason = reason
         fused.inputs = list(chain[0].inputs)
         fused.outputs = list(chain[-1].outputs)
         fused_for_head[id(chain[0])] = fused
@@ -499,7 +704,7 @@ def compile_plan(
             nodes, config.parallelism, wrap_single=force_replication
         )
     if config.fusion:
-        nodes = fuse_linear_chains(nodes)
+        nodes = fuse_linear_chains(nodes, vectorize=config.vectorize)
     return nodes
 
 
@@ -526,14 +731,26 @@ def render_plan(
         if node.router is not None:
             desc += f" x{node.router.num_shards} by key-hash"
         line = f"  {node.name}  [{desc}]"
+        if node.kind == "operator" and isinstance(node.operator, FusedOperator):
+            line += f"  mode={node.operator.execution_mode}"
+            reason = getattr(node, "mode_reason", None)
+            if reason:
+                line += f" ({reason})"
         if node.inputs:
             line += "  <- " + ", ".join(s.name for s in node.inputs)
         lines.append(line)
-    fused = sum(
-        1 for n in nodes if n.kind == "operator" and isinstance(n.operator, FusedOperator)
+    fused_nodes = [
+        n for n in nodes if n.kind == "operator" and isinstance(n.operator, FusedOperator)
+    ]
+    fused = len(fused_nodes)
+    vectorized = sum(
+        1 for n in fused_nodes if isinstance(n.operator, VectorizedFusedOperator)
     )
-    lines.append(
-        f"   {len(nodes)} nodes / {n_streams} streams"
-        + (f" ({fused} fused chain{'s' if fused != 1 else ''})" if fused else "")
-    )
+    summary = f"   {len(nodes)} nodes / {n_streams} streams"
+    if fused:
+        summary += f" ({fused} fused chain{'s' if fused != 1 else ''}"
+        if vectorized:
+            summary += f", {vectorized} vectorized"
+        summary += ")"
+    lines.append(summary)
     return "\n".join(lines)

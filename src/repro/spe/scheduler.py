@@ -21,6 +21,7 @@ import time
 from typing import Callable
 
 from .barrier import CheckpointBarrier, RescaleBarrier, is_barrier
+from .columnar import ColumnarBlock
 from .errors import OperatorError
 from .metrics import OperatorStats
 from .query import Node
@@ -87,6 +88,14 @@ class NodeExecutor:
         # A retired executor belongs to a replica group that was drained by
         # a rescale barrier; its thread exits without finalizing (no EOS).
         self._retired = False
+        # Bulk fast path: operators that can take a whole TupleBatch in
+        # one call (fused chains, columnar execution). Resolved once — the
+        # operator never changes after construction.
+        self._process_many = (
+            getattr(node.operator, "process_many", None)
+            if node.kind == "operator"
+            else None
+        )
 
     @property
     def finalized(self) -> bool:
@@ -195,10 +204,25 @@ class NodeExecutor:
         """Process one item (data tuple, batch, barrier, or EOS) from one input."""
         node = self.node
         if type(item) is TupleBatch:
+            # Bulk fast path: hand the whole run to the operator in one
+            # call when it can take one. Per-tuple tracing needs the
+            # tuple-at-a-time loop, so the path only engages untraced.
+            if (
+                len(item) > 0
+                and self._process_many is not None
+                and self._tracer is None
+            ):
+                self._handle_batch(item)
+                return
             # Unbatch transparently: batches carry only data tuples, so no
             # control transition can occur mid-batch.
             for t in item:
                 self.handle(input_index, t)
+            return
+        if type(item) is ColumnarBlock:
+            # Blocks normally live *inside* a vectorized fused node; one
+            # crossing an edge re-enters as the equivalent tuple run.
+            self.handle(input_index, item.to_tuples())
             return
         if item is END_OF_STREAM:
             if input_index in self._closed_inputs:
@@ -231,6 +255,30 @@ class NodeExecutor:
             tracer = self._tracer
             if tracer is not None and item.trace_id is not None:
                 tracer.record(item.trace_id, node.name, node.kind, duration, item)
+
+    def _handle_batch(self, batch: TupleBatch) -> None:
+        """Run one TupleBatch through the operator's bulk method.
+
+        Counters advance exactly as the per-tuple loop would advance them;
+        processing time is attributed evenly across the run's tuples for
+        the per-tuple timing histogram.
+        """
+        stats = self.stats
+        n = len(batch)
+        stats.tuples_in += n
+        started = time.perf_counter()
+        try:
+            outputs = self._process_many(batch)
+        except Exception as exc:
+            raise OperatorError(self.node.name, exc) from exc
+        if outputs:
+            self._emit(outputs)
+        duration = time.perf_counter() - started
+        stats.processing_seconds += duration
+        if self._obs is not None:
+            stats.last_tau = batch[-1].tau
+            if stats.timing_counts is not None:
+                stats.record_time_bulk(duration / n, n)
 
     def _run_operator(self, fn, *args: object) -> None:
         try:

@@ -1,0 +1,228 @@
+"""Property tests: columnar kernels == scalar functions, element-wise.
+
+The vectorized operator mode (ISSUE 7) only holds if every whole-image
+kernel in :mod:`repro.analysis` is *bit-identical* to the per-cell
+function it replaces — including values exactly on a threshold, NaN
+cells, and grids that don't divide evenly into cells. Each property here
+pits a kernel against its scalar twin (or a brute-force oracle) over
+randomized inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ALL_LABELS,
+    AdaptiveThresholdLearner,
+    ThermalThresholds,
+    cell_centers,
+    cell_means,
+    connected_defects,
+    count_defect_regions,
+    event_mask,
+    extract_cells,
+    is_event,
+    label_cell,
+    label_grid,
+    masked_cell_means,
+)
+
+TH = ThermalThresholds(100, 110, 150, 160)
+
+# Intensities biased toward the decision boundaries: every threshold value
+# itself, one ulp around it, NaN, and ordinary in-band values.
+_BOUNDARY = [100.0, 110.0, 150.0, 160.0]
+_intensities = st.one_of(
+    st.sampled_from(
+        _BOUNDARY
+        + [np.nextafter(b, -np.inf) for b in _BOUNDARY]
+        + [np.nextafter(b, np.inf) for b in _BOUNDARY]
+        + [float("nan")]
+    ),
+    st.floats(min_value=0.0, max_value=260.0, allow_nan=False),
+)
+
+_grids = st.integers(min_value=1, max_value=6).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=6).flatmap(
+        lambda cols: st.lists(
+            _intensities, min_size=rows * cols, max_size=rows * cols
+        ).map(lambda vals: np.array(vals, dtype=float).reshape(rows, cols))
+    )
+)
+
+_masks = st.integers(min_value=1, max_value=8).flatmap(
+    lambda rows: st.integers(min_value=1, max_value=8).flatmap(
+        lambda cols: st.lists(
+            st.booleans(), min_size=rows * cols, max_size=rows * cols
+        ).map(lambda vals: np.array(vals, dtype=bool).reshape(rows, cols))
+    )
+)
+
+
+@given(means=_grids)
+@settings(max_examples=200, deadline=None)
+def test_label_grid_matches_label_cell_elementwise(means):
+    indices = label_grid(means, TH)
+    assert indices.shape == means.shape
+    for row in range(means.shape[0]):
+        for col in range(means.shape[1]):
+            expected = label_cell(float(means[row, col]), TH)
+            assert ALL_LABELS[indices[row, col]] == expected, (
+                f"value {means[row, col]!r} labeled "
+                f"{ALL_LABELS[indices[row, col]]}, scalar path says {expected}"
+            )
+
+
+def test_label_grid_boundary_values_are_exclusive():
+    # values exactly on a threshold take the milder class, like label_cell
+    values = np.array([_BOUNDARY])
+    got = [ALL_LABELS[i] for i in label_grid(values, TH)[0]]
+    assert got == ["cold", "regular", "regular", "warm"]
+
+
+def test_label_grid_nan_is_regular():
+    grid = np.array([[float("nan"), 50.0], [250.0, float("nan")]])
+    indices = label_grid(grid, TH)
+    assert ALL_LABELS[indices[0, 0]] == "regular" == label_cell(float("nan"), TH)
+    assert ALL_LABELS[indices[1, 1]] == "regular"
+
+
+@given(means=_grids)
+@settings(max_examples=100, deadline=None)
+def test_event_mask_matches_is_event(means):
+    indices = label_grid(means, TH)
+    mask = event_mask(indices)
+    for row in range(means.shape[0]):
+        for col in range(means.shape[1]):
+            assert mask[row, col] == is_event(ALL_LABELS[indices[row, col]])
+
+
+def _bfs_components(mask: np.ndarray) -> np.ndarray:
+    """Brute-force 4-connected labeling oracle (explicit BFS per region)."""
+    out = np.zeros(mask.shape, dtype=np.int64)
+    next_label = 0
+    for seed in zip(*np.nonzero(mask)):
+        if out[seed]:
+            continue
+        next_label += 1
+        frontier = [seed]
+        out[seed] = next_label
+        while frontier:
+            r, c = frontier.pop()
+            for nr, nc in ((r - 1, c), (r + 1, c), (r, c - 1), (r, c + 1)):
+                if (
+                    0 <= nr < mask.shape[0]
+                    and 0 <= nc < mask.shape[1]
+                    and mask[nr, nc]
+                    and not out[nr, nc]
+                ):
+                    out[nr, nc] = next_label
+                    frontier.append((nr, nc))
+    return out
+
+
+@given(mask=_masks)
+@settings(max_examples=200, deadline=None)
+def test_connected_defects_matches_bfs_oracle(mask):
+    got = connected_defects(mask)
+    oracle = _bfs_components(mask)
+    # same partition into regions (label *numbers* may differ): every
+    # kernel region maps to exactly one oracle region and vice versa
+    assert (got > 0).tolist() == mask.tolist()
+    assert got.max() == oracle.max()
+    pairs = {
+        (int(a), int(b)) for a, b in zip(got[mask].ravel(), oracle[mask].ravel())
+    }
+    assert len(pairs) == got.max(), "kernel merged or split a region"
+
+
+@given(mask=_masks)
+@settings(max_examples=100, deadline=None)
+def test_count_defect_regions_matches_oracle(mask):
+    assert count_defect_regions(mask) == int(_bfs_components(mask).max())
+
+
+def test_count_defect_regions_empty_mask():
+    assert count_defect_regions(np.zeros((0, 0), dtype=bool)) == 0
+    assert count_defect_regions(np.zeros((4, 4), dtype=bool)) == 0
+
+
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    edge=st.integers(min_value=1, max_value=7),
+    oy=st.integers(min_value=0, max_value=300),
+    ox=st.integers(min_value=0, max_value=300),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_cell_centers_bit_identical_to_extract_cells(rows, cols, edge, oy, ox, seed):
+    rng = np.random.default_rng(seed)
+    image = rng.uniform(0, 255, size=(rows * edge, cols * edge))
+    cells = extract_cells(image, edge, origin_row=oy, origin_col=ox)
+    ys, xs = cell_centers((rows, cols), edge, oy, ox)
+    assert ys.tolist() == [c.center_y_px for c in cells]
+    assert xs.tolist() == [c.center_x_px for c in cells]
+
+
+@given(
+    height=st.integers(min_value=1, max_value=20),
+    width=st.integers(min_value=1, max_value=20),
+    edge=st.integers(min_value=1, max_value=9),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_cell_means_crops_non_divisible_grids(height, width, edge, seed):
+    rng = np.random.default_rng(seed)
+    image = rng.uniform(0, 255, size=(height, width))
+    means = cell_means(image, edge)
+    if height < edge or width < edge:
+        assert means.shape == (0, 0)  # degenerate grid: no whole cell fits
+        return
+    assert means.shape == (height // edge, width // edge)
+    for row in range(means.shape[0]):
+        for col in range(means.shape[1]):
+            patch = image[
+                row * edge : (row + 1) * edge, col * edge : (col + 1) * edge
+            ]
+            # approx: the strided reduction may sum in a different order
+            assert means[row, col] == pytest.approx(patch.mean(), rel=1e-12)
+
+
+def test_masked_cell_means_part_only_average():
+    image = np.array([[200.0, 10.0], [200.0, 10.0]])
+    mask = np.array([[1.0, 0.0], [1.0, 0.0]])  # right half is powder
+    assert masked_cell_means(image, mask, 2)[0, 0] == 200.0
+    # a fully-masked-out cell reports 0, not NaN
+    assert masked_cell_means(image, np.zeros_like(mask), 2)[0, 0] == 0.0
+
+
+@given(
+    layer_count=st.integers(min_value=0, max_value=6),
+    alpha=st.sampled_from([0.0, 0.15, 0.5, 1.0]),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_update_batch_bit_identical_to_sequential_updates(layer_count, alpha, seed):
+    rng = np.random.default_rng(seed)
+    layers = [
+        rng.uniform(80, 180, size=rng.integers(1, 40)) for _ in range(layer_count)
+    ]
+    # one layer with NaN holes: batched sorting must not let them into the
+    # healthy band (update()'s boolean filter drops them as compare-false)
+    if layer_count:
+        layers[0] = np.where(rng.uniform(size=layers[0].shape) < 0.2, np.nan, layers[0])
+
+    sequential = AdaptiveThresholdLearner(TH, alpha=alpha)
+    for means in layers:
+        sequential.update(means)
+    batched = AdaptiveThresholdLearner(TH, alpha=alpha)
+    batched.update_batch(layers)
+
+    assert batched.center == sequential.center  # bit-identical, not approx
+    assert batched.updates == sequential.updates
+    assert batched.current == sequential.current

@@ -51,6 +51,21 @@ def test_monitor_clean_completes(capsys):
     assert "completed 4/4" in capsys.readouterr().out
 
 
+def test_explain_names_vectorized_chains(capsys):
+    assert main(["replay", *SMALL, "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "vectorize=on" in out
+    assert "mode=vectorized" in out
+
+
+def test_no_vectorize_flag_keeps_scalar_chains(capsys):
+    assert main(["replay", *SMALL, "--explain", "--no-vectorize"]) == 0
+    out = capsys.readouterr().out
+    assert "vectorize=off" in out
+    assert "mode=scalar (vectorize=off)" in out
+    assert "mode=vectorized" not in out
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
@@ -80,6 +95,8 @@ def test_top_prints_table_and_writes_metrics(tmp_path, capsys):
     printed = capsys.readouterr().out
     assert "OPERATOR" in printed
     assert "QUEUE" in printed
+    assert "MODE" in printed
+    assert "vectorized" in printed  # the fused chain's live execution mode
     assert "-- final --" in printed
     assert "reports=" in printed
     from repro.obs import read_jsonl

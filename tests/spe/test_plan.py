@@ -21,6 +21,7 @@ from repro.spe import (
     StreamEngine,
     StreamTuple,
     TupleBatch,
+    VectorizedFusedOperator,
     compile_plan,
     fuse_linear_chains,
     render_plan,
@@ -337,6 +338,116 @@ def test_engine_explain_does_not_execute():
     # the query is still deployable afterwards: explain only built a copy
     report = StreamEngine(mode="sync").run(q)
     assert len(report.sinks["out"].results) == 3
+
+
+# -- vectorized fusion -------------------------------------------------------
+
+
+class BlockBump(Operator):
+    """Map with a columnar twin: +k on the ``x`` column, array-at-a-time."""
+
+    num_inputs = 1
+    supports_block = True
+
+    def __init__(self, name, k=1):
+        super().__init__(name)
+        self.k = k
+
+    def process(self, input_index, t):
+        return [t.derive(payload={"x": t.payload["x"] + self.k})]
+
+    def process_block(self, block):
+        return block.with_columns(x=block.columns["x"] + self.k)
+
+
+def build_block_chain(scalar_tail=True):
+    q = Query()
+    q.add_source("src", ListSource("src", tuples(7)))
+    q.add_operator("b0", BlockBump("b0", 1), "src")
+    q.add_operator("b1", BlockBump("b1", 10), "b0")
+    tail = "b1"
+    if scalar_tail:
+        q.add_operator("m2", bump("m2", 100), "b1")
+        tail = "m2"
+    q.add_sink("out", CollectingSink(), tail)
+    return q
+
+
+def test_vectorize_selects_vectorized_operator_and_records_fallback():
+    fused = fuse_linear_chains(build_block_chain().build(), vectorize=True)
+    node = fused[1]
+    assert isinstance(node.operator, VectorizedFusedOperator)
+    assert node.operator.execution_mode == "vectorized"
+    # the scalar-only member is named as the reason the chain is mixed
+    assert node.mode_reason == "scalar members: m2"
+    assert node.operator.member_modes() == {
+        "b0": "block",
+        "b1": "block",
+        "m2": "scalar",
+    }
+
+
+def test_fully_block_capable_chain_has_no_fallback_reason():
+    fused = fuse_linear_chains(
+        build_block_chain(scalar_tail=False).build(), vectorize=True
+    )
+    node = fused[1]
+    assert isinstance(node.operator, VectorizedFusedOperator)
+    assert node.mode_reason is None
+
+
+def test_vectorize_off_emits_scalar_fusion_with_reason():
+    fused = fuse_linear_chains(build_block_chain().build(), vectorize=False)
+    node = fused[1]
+    assert type(node.operator) is FusedOperator
+    assert node.operator.execution_mode == "scalar"
+    assert node.mode_reason == "vectorize=off"
+
+
+def test_all_scalar_chain_falls_back_with_reason():
+    fused = fuse_linear_chains(build_chain(3).build(), vectorize=True)
+    node = fused[1]
+    assert type(node.operator) is FusedOperator
+    assert node.mode_reason == "no member provides a block variant"
+
+
+def test_render_plan_names_every_chain_mode():
+    config = PlanConfig(vectorize=True)
+    nodes = compile_plan(build_block_chain().build(), config)
+    text = render_plan(nodes, title="q", config=config)
+    assert "mode=vectorized (scalar members: m2)" in text
+    assert "1 fused chain, 1 vectorized" in text
+    assert "vectorize=on" in text  # config.describe() line
+
+    off = PlanConfig(vectorize=False)
+    text_off = render_plan(compile_plan(build_block_chain().build(), off), config=off)
+    assert "mode=scalar (vectorize=off)" in text_off
+    assert "vectorized" not in text_off.replace("vectorize=off", "")
+
+
+def test_describe_reports_vectorize_knob():
+    assert "vectorize=on" in PlanConfig().describe()
+    assert "vectorize=off" in PlanConfig(vectorize=False).describe()
+
+
+def test_vectorized_chain_matches_scalar_chain_output():
+    baseline = StreamEngine(mode="sync").run(build_block_chain())
+    expected = [t.payload["x"] for t in baseline.sinks["out"].results]
+    optimized = StreamEngine(mode="threaded").run(
+        build_block_chain(), plan=PlanConfig(edge_batch_size=4, vectorize=True)
+    )
+    assert [t.payload["x"] for t in optimized.sinks["out"].results] == expected
+
+
+def test_vectorized_operator_counts_blocks_and_rows():
+    fused = fuse_linear_chains(
+        build_block_chain(scalar_tail=False).build(), vectorize=True
+    )
+    op = fused[1].operator
+    out = op.process_many(tuples(5))
+    assert [t.payload["x"] for t in out] == [x + 11 for x in range(5)]
+    assert op.blocks_in == 1
+    assert op.block_rows_in == 5
 
 
 # -- batched transport -------------------------------------------------------
