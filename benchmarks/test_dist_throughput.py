@@ -2,18 +2,24 @@
 
 The distributed coordinator cuts the pub/sub pipeline into stages and
 forks one worker process per stage group, wired through the networked
-broker. This benchmark replays the evaluation build through both
-deployments and holds the distributed one to two promises:
+broker. This benchmark replays the evaluation build through the
+in-process engine and through both payload transports of the distributed
+runtime, and holds every distributed variant to two promises:
 
 * **no divergence** — the detected-event output must be identical (same
-  canonical result set) to the in-process threaded run;
-* **honest accounting** — throughput and latency of both variants land in
-  ``BENCH_dist.json`` at the repository root so CI can archive them and
-  the dist-smoke job can flag regressions.
+  canonical result set) to the in-process threaded run, per transport;
+* **honest accounting** — throughput, latency, and the per-variant
+  speedup ratios land in ``BENCH_dist.json`` at the repository root so CI
+  can archive them and the dist-smoke job can flag regressions.
 
-Crossing process boundaries costs serialization and socket hops, so the
-distributed variant is *expected* to be slower on a single machine at
-this workload size; the benchmark gates on correctness, not on a speedup.
+Crossing process boundaries costs serialization and socket hops; the shm
+transport exists to strip the payload bytes out of that cost. On a
+multi-core box the shm variant is additionally held to a speedup gate
+(``throughput_ratio_dist_over_inproc >= 1.5``); on starved runners —
+CI containers pinned to one or two cores — parallel stages cannot beat a
+single process no matter how cheap the transport is, so the gate is
+skipped (or forced either way with ``REPRO_BENCH_DIST_REQUIRE_SPEEDUP``)
+while the divergence gates always apply.
 """
 
 from __future__ import annotations
@@ -34,15 +40,15 @@ from repro.core import (
     calibrate_job,
     specimen_regions_px,
 )
+from repro.dist import DistConfig
 
 BENCH_JSON = Path(__file__).resolve().parents[1] / "BENCH_dist.json"
 
 WINDOW_LAYERS = 6
 
-VARIANTS: dict[str, object] = {
-    "in-process": None,  # threaded engine, pub/sub connectors, one process
-    "distributed": "workers",  # coordinator + forked stage workers
-}
+#: the shm speedup gate from the transport redesign: distributed-shm must
+#: beat the in-process engine by this factor when cores allow parallelism
+SHM_SPEEDUP_GATE = 1.5
 
 _results: dict[str, dict] = {}
 
@@ -53,6 +59,51 @@ def _layers() -> int:
 
 def _workers() -> int:
     return int(os.environ.get("REPRO_BENCH_DIST_WORKERS", 2))
+
+
+def _shm_workers() -> int:
+    return int(os.environ.get("REPRO_BENCH_DIST_SHM_WORKERS", 4))
+
+
+def _cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _require_speedup() -> bool:
+    forced = os.environ.get("REPRO_BENCH_DIST_REQUIRE_SPEEDUP")
+    if forced is not None:
+        return forced not in ("", "0")
+    # stage workers + coordinator need real cores to overlap; below this
+    # the OS timeslices one core and "distributed" measures context
+    # switching, not the runtime
+    return _cores() >= 4
+
+
+def _shm_dist_config(image_px: int) -> DistConfig:
+    # size slabs to the workload: one layer image plus slack, so the ring
+    # holds tens of in-flight layers without a gigabyte reservation
+    image_bytes = image_px * image_px * 8
+    return DistConfig(
+        workers=_shm_workers(),
+        transport="shm",
+        shm_slots=32,
+        shm_slab_bytes=image_bytes + (1 << 20),
+        produce_batch=8,
+    )
+
+
+def _variants(image_px: int) -> dict[str, DistConfig | None]:
+    return {
+        "in-process": None,  # threaded engine, pub/sub connectors, one process
+        "distributed-tcp": DistConfig(workers=_workers(), transport="tcp"),
+        "distributed-shm": _shm_dist_config(image_px),
+    }
+
+
+VARIANT_NAMES = ["in-process", "distributed-tcp", "distributed-shm"]
 
 
 def _result_key(t):
@@ -85,11 +136,12 @@ def _deploy(profile, workload: EvaluationWorkload, variant: str) -> dict:
     pipeline = build_use_case(
         iter(records), iter(records), config, strata=strata
     )
+    dist_config = _variants(workload.image_px)[variant]
     started = time.monotonic()
-    if VARIANTS[variant] is None:
+    if dist_config is None:
         report = strata.deploy()
     else:
-        report = strata.deploy(DeployConfig(dist=_workers()))
+        report = strata.deploy(DeployConfig(dist=dist_config))
     wall = time.monotonic() - started
     # read latency off the expert sink itself: the pub/sub report also
     # lists the connector writer sinks, so the report-level helper is
@@ -105,14 +157,15 @@ def _deploy(profile, workload: EvaluationWorkload, variant: str) -> dict:
         "max_latency_s": latency.maximum,
         "result_keys": sorted(map(_result_key, pipeline.sink.results)),
     }
-    if variant == "distributed":
+    if dist_config is not None:
         dist = report.extra["dist"]
+        out["transport"] = dist_config.transport
         out["workers"] = len(dist["workers"])
         out["restarts"] = dist["restarts"]
     return out
 
 
-@pytest.mark.parametrize("variant", list(VARIANTS))
+@pytest.mark.parametrize("variant", VARIANT_NAMES)
 def test_dist_throughput_variant(benchmark, profile, dist_workload, variant):
     runs: list[dict] = []
 
@@ -133,7 +186,7 @@ def test_dist_throughput_variant(benchmark, profile, dist_workload, variant):
 
 def test_dist_throughput_report(benchmark, profile):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only step
-    assert len(_results) == len(VARIANTS)
+    assert len(_results) == len(VARIANT_NAMES)
     rows = [
         [
             name,
@@ -144,34 +197,64 @@ def test_dist_throughput_report(benchmark, profile):
         ]
         for name, run in _results.items()
     ]
-    print("\n=== Distributed deployment: multi-process vs in-process ===")
+    print("\n=== Distributed deployment: transports vs in-process ===")
     print(format_table(
         ["variant", "achieved_img_s", "results", "mean_lat_ms", "max_lat_ms"],
         rows,
     ))
 
     base = _results["in-process"]
-    dist = _results["distributed"]
+    variants_out: dict[str, dict] = {}
+    for name, run in _results.items():
+        entry = {k: v for k, v in run.items() if k != "result_keys"}
+        if name != "in-process":
+            entry["throughput_ratio_dist_over_inproc"] = (
+                run["achieved_images_s"] / base["achieved_images_s"]
+            )
+            entry["results_identical"] = run["result_keys"] == base["result_keys"]
+        variants_out[name] = entry
+
+    shm = variants_out["distributed-shm"]
     payload = {
         "profile": profile.name,
         "layers": _layers(),
         "workers": _workers(),
+        "shm_workers": _shm_workers(),
+        "cores": _cores(),
         "window_layers": WINDOW_LAYERS,
-        "variants": {
-            name: {k: v for k, v in run.items() if k != "result_keys"}
-            for name, run in _results.items()
-        },
-        "throughput_ratio_dist_over_inproc": (
-            dist["achieved_images_s"] / base["achieved_images_s"]
+        "speedup_gate": SHM_SPEEDUP_GATE,
+        "speedup_gate_applied": _require_speedup(),
+        "variants": variants_out,
+        # headline ratio: the transport the redesign optimizes for
+        "throughput_ratio_dist_over_inproc": shm[
+            "throughput_ratio_dist_over_inproc"
+        ],
+        "results_identical": all(
+            variants_out[n]["results_identical"]
+            for n in ("distributed-tcp", "distributed-shm")
         ),
-        "results_identical": dist["result_keys"] == base["result_keys"],
     }
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"distributed / in-process throughput: "
-          f"{payload['throughput_ratio_dist_over_inproc']:.3f}x -> {BENCH_JSON}")
+    for name in ("distributed-tcp", "distributed-shm"):
+        ratio = variants_out[name]["throughput_ratio_dist_over_inproc"]
+        print(f"{name} / in-process throughput: {ratio:.3f}x")
+    print(f"-> {BENCH_JSON}")
 
-    # the divergence gate: a distributed deployment must not change results
-    assert dist["result_keys"] == base["result_keys"], (
-        "distributed run diverged from the in-process baseline"
-    )
-    assert dist["restarts"] == 0  # no crash-looping under normal operation
+    # the divergence gates: no transport may change results
+    for name in ("distributed-tcp", "distributed-shm"):
+        run = _results[name]
+        assert run["result_keys"] == base["result_keys"], (
+            f"{name} run diverged from the in-process baseline"
+        )
+        assert run["restarts"] == 0  # no crash-looping under normal operation
+
+    if _require_speedup():
+        assert shm["throughput_ratio_dist_over_inproc"] >= SHM_SPEEDUP_GATE, (
+            f"distributed-shm must be >= {SHM_SPEEDUP_GATE}x in-process on "
+            f"{_cores()} cores"
+        )
+    else:
+        print(
+            f"speedup gate skipped: {_cores()} core(s) available "
+            "(set REPRO_BENCH_DIST_REQUIRE_SPEEDUP=1 to force)"
+        )

@@ -144,6 +144,12 @@ def _deploy_of(args: argparse.Namespace) -> DeployConfig:
     return DeployConfig(plan=_plan_of(args), elastic=_elastic_of(args))
 
 
+def _connector_mode_of(deploy_cfg: DeployConfig) -> str:
+    """A ``[dist]`` table needs the pipeline built on pub/sub connectors
+    so the stage cutter has edges to cut at."""
+    return "pubsub" if deploy_cfg.dist is not None else "direct"
+
+
 def _maybe_explain(args: argparse.Namespace, strata: Strata, config) -> None:
     if args.explain:
         print(strata.explain(optimize=config))
@@ -171,13 +177,17 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
         window_layers=args.window,
     )
     obs = _obs_of(args)
-    strata = Strata(obs=obs)
+    deploy_cfg = _deploy_of(args)
+    strata = Strata(
+        engine_mode="threaded",
+        connector_mode=_connector_mode_of(deploy_cfg),
+        obs=obs,
+    )
     calibrate_job(
         strata.kv, job.job_id, reference_images, args.cell_edge,
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
-    deploy_cfg = _deploy_of(args)
     _maybe_explain(args, strata, deploy_cfg)
     report = strata.deploy(deploy_cfg)
     _dump_metrics(args, obs)
@@ -253,13 +263,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
         window_layers=args.window,
     )
     obs = _obs_of(args)
-    strata = Strata(engine_mode="threaded", obs=obs)
+    deploy_cfg = _deploy_of(args)
+    strata = Strata(
+        engine_mode="threaded",
+        connector_mode=_connector_mode_of(deploy_cfg),
+        obs=obs,
+    )
     calibrate_job(
         strata.kv, job.job_id, reference_images, args.cell_edge,
         regions=specimen_regions_px(job.specimens, args.image_px),
     )
     pipeline = build_use_case(iter(records), iter(records), config, strata=strata)
-    deploy_cfg = _deploy_of(args)
     _maybe_explain(args, strata, deploy_cfg)
     started = time.monotonic()
     strata.deploy(deploy_cfg)
@@ -587,7 +601,15 @@ def cmd_broker(args: argparse.Namespace) -> int:
     from .pubsub import Broker
 
     server = BrokerServer(
-        Broker(), host=args.host, port=args.port, allow_pickle=args.allow_pickle
+        Broker(),
+        host=args.host,
+        port=args.port,
+        allow_pickle=args.allow_pickle,
+        transport=args.transport,
+        transport_options={
+            "slots": args.shm_slots,
+            "slab_bytes": args.shm_slab_mb * 1024 * 1024,
+        },
     )
     stop = threading.Event()
     _install_signal_handlers(stop)
@@ -765,6 +787,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="bind port (0 = ephemeral)")
     sp.add_argument("--allow-pickle", action="store_true",
                     help="accept pickle-coded values (trusted networks only)")
+    sp.add_argument("--transport", choices=("tcp", "shm"), default="tcp",
+                    help="payload transport (shm = shared-memory slab ring "
+                         "for same-machine peers)")
+    sp.add_argument("--shm-slots", type=int, default=64,
+                    help="slab count of the shm ring")
+    sp.add_argument("--shm-slab-mb", type=int, default=40,
+                    help="size of each slab in MiB")
     sp.set_defaults(fn=cmd_broker)
 
     sp = subparsers.add_parser(

@@ -87,18 +87,34 @@ def _content_key(t: StreamTuple) -> tuple:
 
 
 class PubSubWriterSink(Sink):
-    """Terminates a query branch by publishing its tuples to a topic."""
+    """Terminates a query branch by publishing its tuples to a topic.
 
-    def __init__(self, name: str, broker: Any, topic: str) -> None:
+    ``batch_size > 1`` buffers tuples and publishes them through the
+    producer's ``send_batch`` (one wire round trip for the whole batch,
+    written with vectored I/O) when the producer supports it — the
+    distributed runtime turns this on via ``DistConfig.produce_batch``.
+    The buffer is always flushed before the EOS broadcast and before a
+    rebind, so batching never reorders a record after its sentinel.
+    """
+
+    def __init__(
+        self, name: str, broker: Any, topic: str, batch_size: int = 1
+    ) -> None:
         super().__init__(name)
         self._producer = _producer_for(broker)
         self._topic = topic
+        self._batch_size = max(1, int(batch_size))
+        self._buffer: list[StreamTuple] = []
 
     @property
     def topic(self) -> str:
         return self._topic
 
-    def rebind(self, broker: Any) -> None:
+    @property
+    def batch_size(self) -> int:
+        return self._batch_size
+
+    def rebind(self, broker: Any, batch_size: int | None = None) -> None:
         """Point this sink at a different broker (same topic).
 
         The distributed runtime uses this after forking a worker: the
@@ -106,9 +122,27 @@ class PubSubWriterSink(Sink):
         which is unreachable from the child — rebinding swaps in a network
         client without touching the rest of the node graph.
         """
+        self._flush()
+        if batch_size is not None:
+            self._batch_size = max(1, int(batch_size))
         self._producer = _producer_for(broker)
 
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        records = [
+            {"value": t, "key": f"{t.job}/{t.layer}", "timestamp": t.tau}
+            for t in self._buffer
+        ]
+        self._buffer.clear()
+        self._producer.send_batch(self._topic, records)
+
     def consume(self, t: StreamTuple) -> None:
+        if self._batch_size > 1 and hasattr(self._producer, "send_batch"):
+            self._buffer.append(t)
+            if len(self._buffer) >= self._batch_size:
+                self._flush()
+            return
         self._producer.send(self._topic, t, key=f"{t.job}/{t.layer}", timestamp=t.tau)
 
     def on_close(self) -> None:
@@ -117,7 +151,9 @@ class PubSubWriterSink(Sink):
         A keyed send would land the sentinel in a single partition, and a
         reader consuming a multi-partition topic would hang waiting on the
         others — so the sentinel is broadcast per partition explicitly.
+        Buffered records flush first: a sentinel must never overtake data.
         """
+        self._flush()
         for partition in range(self._producer.partitions_of(self._topic)):
             self._producer.send(self._topic, EOS_SENTINEL, partition=partition)
         super().on_close()

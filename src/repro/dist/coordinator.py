@@ -57,6 +57,16 @@ class DistConfig:
     ``restart_limit``       automatic re-forks per worker before giving up.
     ``scrape_port``         serve aggregated metrics over HTTP (None = off,
                             0 = ephemeral port).
+    ``transport``           payload transport: ``"tcp"`` (payloads in frames)
+                            or ``"shm"`` (ndarray payloads in a shared-memory
+                            slab ring; frames carry handles — the fast path
+                            when every worker shares the machine).
+    ``shm_slots``           slab count of the shm ring.
+    ``shm_slab_bytes``      byte size of each slab (must fit the largest
+                            payload array; bigger arrays ride inline).
+    ``produce_batch``       records buffered per writer sink before one
+                            batched ``produce_batch`` frame is written with
+                            vectored I/O (1 = unbatched sends).
     """
 
     workers: int | None = None
@@ -70,6 +80,10 @@ class DistConfig:
     worker_obs: bool = True
     start_method: str = "fork"
     worker_join_timeout: float = 60.0
+    transport: str = "tcp"
+    shm_slots: int = 64
+    shm_slab_bytes: int = 40 * 1024 * 1024
+    produce_batch: int = 1
 
     @classmethod
     def resolve(cls, value: Any) -> "DistConfig | None":
@@ -122,7 +136,13 @@ class DistCoordinator:
             self._config.host,
             self._config.port,
             allow_pickle=self._config.allow_pickle,
+            transport=self._config.transport,
+            transport_options={
+                "slots": self._config.shm_slots,
+                "slab_bytes": self._config.shm_slab_bytes,
+            },
         )
+        self._local_client: Any | None = None
         self._stages: list[StageSpec] = []
         self._local_stages: list[StageSpec] = []
         self._workers: list[WorkerProcess] = []
@@ -200,10 +220,22 @@ class DistCoordinator:
         )
         address = self._server.start()
         # The terminal stage replays alongside restarted workers: it must
-        # never resume from commits and must drop replayed records.
+        # never resume from commits and must drop replayed records. Under a
+        # non-tcp payload transport it must also read through a loopback
+        # client — a direct broker read would surface transport-internal
+        # payload refs (shm SlabRefs) instead of arrays.
+        reader_broker: Any = self._broker
+        if self._config.transport != "tcp":
+            from ..net.client import BrokerClient
+
+            self._local_client = BrokerClient(
+                *address, allow_pickle=self._config.allow_pickle
+            )
+            self._local_client.wait_ready(timeout=15.0)
+            reader_broker = self._local_client
         for stage in self._local_stages:
             for reader in stage.readers():
-                reader.rebind(self._broker, auto_commit=False, dedup=True)
+                reader.rebind(reader_broker, auto_commit=False, dedup=True)
         self._workers = [
             WorkerProcess(
                 f"worker-{i}",
@@ -215,6 +247,7 @@ class DistCoordinator:
                 plan=self._plan,
                 start_method=self._config.start_method,
                 elastic=self._elastic,
+                produce_batch=self._config.produce_batch,
             )
             for i, group in enumerate(groups)
         ]
@@ -303,7 +336,10 @@ class DistCoordinator:
         if self._scrape_server is not None:
             self._scrape_server.shutdown()
             self._scrape_server.server_close()
-        self._server.stop()
+        if self._local_client is not None:
+            self._local_client.close()
+        if self._server.stop():
+            logger.warning("broker server stop() hit its drain deadline")
 
     def stop(self) -> None:
         """Abort: terminate workers immediately and stop serving."""
@@ -319,6 +355,8 @@ class DistCoordinator:
         if self._scrape_server is not None:
             self._scrape_server.shutdown()
             self._scrape_server.server_close()
+        if self._local_client is not None:
+            self._local_client.close()
         self._server.stop()
 
     # -- supervision ----------------------------------------------------------

@@ -54,6 +54,7 @@ def run_stage(
     plan: PlanConfig | None = None,
     incarnation: int = 0,
     elastic: Any | None = None,
+    produce_batch: int = 1,
 ) -> None:
     """Execute one or more stages against a networked broker; blocking.
 
@@ -71,7 +72,7 @@ def run_stage(
     stage_names = [s.name for s in stages]
     for stage in stages:
         for writer in stage.writers():
-            writer.rebind(client)
+            writer.rebind(client, batch_size=produce_batch)
         for reader in stage.readers():
             # Never auto-commit and always dedup: a restarted incarnation
             # must replay from earliest, and replayed records upstream of
@@ -157,6 +158,7 @@ class WorkerProcess:
         plan: PlanConfig | None = None,
         start_method: str = "fork",
         elastic: Any | None = None,
+        produce_batch: int = 1,
     ) -> None:
         if start_method != "fork":
             # Stage nodes carry closures and live generators; only fork can
@@ -175,6 +177,7 @@ class WorkerProcess:
         self._obs = obs
         self._plan = plan
         self._elastic = elastic
+        self._produce_batch = produce_batch
         self._ctx = multiprocessing.get_context(start_method)
         self._process: multiprocessing.process.BaseProcess | None = None
         self.incarnation = 0
@@ -196,6 +199,7 @@ class WorkerProcess:
                 "plan": self._plan,
                 "incarnation": self.incarnation,
                 "elastic": self._elastic,
+                "produce_batch": self._produce_batch,
             },
             name=self.name,
             daemon=True,

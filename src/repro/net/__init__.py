@@ -1,10 +1,15 @@
 """repro.net — networked broker transport.
 
-A length-prefixed binary wire protocol (:mod:`repro.net.frames`), a TCP
-:class:`BrokerServer` exposing an in-process broker, and drop-in
-:class:`RemoteProducer`/:class:`RemoteConsumer` clients so the pub/sub
-connectors cross machine boundaries unchanged — the decoupling the paper
-gets from Kafka, over our own Kafka substitute.
+A length-prefixed binary wire protocol (:mod:`repro.net.frames`) with a
+typed op table shared by both peers (:mod:`repro.net.ops`), an async
+selector-based :class:`BrokerServer` exposing an in-process broker, and
+drop-in :class:`RemoteProducer`/:class:`RemoteConsumer` clients so the
+pub/sub connectors cross machine boundaries unchanged — the decoupling
+the paper gets from Kafka, over our own Kafka substitute.
+
+Payloads ride a pluggable transport (:mod:`repro.net.transport`): plain
+tcp everywhere, or a zero-copy shared-memory slab ring
+(:mod:`repro.net.shm`) when the peers share a machine.
 """
 
 from .client import BrokerClient, Connection, RemoteConsumer, RemoteProducer
@@ -17,30 +22,68 @@ from .frames import (
     TYPE_RESPONSE,
     VERSION,
     Frame,
+    FrameDecoder,
     encode_frame,
+    frame_iovecs,
     read_frame,
     write_frame,
+    write_frames,
 )
+from .ops import OPS, OpSpec, register_op
 from .server import BrokerServer
+from .shm import (
+    ShmProducerPlane,
+    ShmServerPlane,
+    SlabHandle,
+    SlabRing,
+    SlabRingError,
+    StaleSlabError,
+)
+from .transport import (
+    ClientTransport,
+    ServerTransport,
+    TransportSpec,
+    connect_transport,
+    make_server_transport,
+    register_transport,
+)
 
 __all__ = [
     "BrokerClient",
     "BrokerServer",
+    "ClientTransport",
     "Connection",
     "ConnectionClosedError",
     "Frame",
+    "FrameDecoder",
     "MAGIC",
     "MAX_FRAME_BYTES",
     "NetError",
+    "OPS",
+    "OpSpec",
     "ProtocolError",
     "RemoteConsumer",
     "RemoteProducer",
     "RpcError",
+    "ServerTransport",
+    "ShmProducerPlane",
+    "ShmServerPlane",
+    "SlabHandle",
+    "SlabRing",
+    "SlabRingError",
+    "StaleSlabError",
+    "TransportSpec",
     "TYPE_ERROR",
     "TYPE_REQUEST",
     "TYPE_RESPONSE",
     "VERSION",
+    "connect_transport",
     "encode_frame",
+    "frame_iovecs",
+    "make_server_transport",
     "read_frame",
+    "register_op",
+    "register_transport",
     "write_frame",
+    "write_frames",
 ]

@@ -8,6 +8,16 @@ pub/sub connectors duck-type against. :class:`RemoteProducer` and
 Consumer` interfaces exactly, so ``PubSubWriterSink``/``PubSubReaderSource``
 work unchanged over TCP.
 
+Requests are built through the typed op table in :mod:`repro.net.ops`
+(:meth:`Connection.call`), so the client has no hand-rolled meta dicts to
+drift from the server; the string :meth:`Connection.request` survives for
+raw protocol poking. On first use the client negotiates the payload
+transport (``transport`` op): a server running the shm plane advertises
+its slab ring, and a client on the same machine attaches it so ndarray
+payloads stop riding TCP. Old servers answer the negotiation with an
+unknown-op error, new clients treat that as tcp — both directions of
+version skew degrade instead of breaking.
+
 Each producer/consumer owns a private connection: a consumer's blocking
 fetch parks its connection server-side, and sharing that socket with a
 producer in another scheduler thread would stall the whole stage. Every
@@ -20,7 +30,7 @@ from __future__ import annotations
 import itertools
 import socket
 import threading
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 from ..pubsub.errors import (
     BrokerClosedError,
@@ -28,7 +38,7 @@ from ..pubsub.errors import (
     TopicExistsError,
     UnknownTopicError,
 )
-from ..serde import PickleRefusedError, SerdeError, decode_wire, encode_wire
+from ..serde import PickleRefusedError, SerdeContext, SerdeError, decode_wire, encode_wire
 from .errors import ProtocolError, RpcError
 from .frames import (
     MAX_FRAME_BYTES,
@@ -38,6 +48,18 @@ from .frames import (
     read_frame,
     write_frame,
 )
+from .ops import (
+    OPS,
+    FetchRequest,
+    LeaseRequest,
+    ProduceBatchRequest,
+    ProduceRequest,
+    ReleaseRequest,
+    parse_response,
+    request_meta,
+)
+from .shm import SlabRingError, StaleSlabError
+from .transport import ClientTransport, connect_transport
 
 #: server-side exception names mapped back to local exception types
 _ERROR_TYPES: dict[str, type[Exception]] = {
@@ -47,9 +69,16 @@ _ERROR_TYPES: dict[str, type[Exception]] = {
     "BrokerClosedError": BrokerClosedError,
     "PickleRefusedError": PickleRefusedError,
     "SerdeError": SerdeError,
+    "StaleSlabError": StaleSlabError,
+    "SlabRingError": SlabRingError,
     "ProtocolError": ProtocolError,
     "ValueError": ValueError,
 }
+
+#: a stale slab handle means the server reclaimed the slot mid-fetch; the
+#: record is materialized server-side by then, so a couple of refetches
+#: always converge
+_STALE_RETRIES = 3
 
 
 def _raise_remote(meta: dict) -> None:
@@ -100,6 +129,16 @@ class Connection:
             _raise_remote(reply.meta)
         return reply
 
+    def call(
+        self, name: str, request: Any, blobs: tuple[bytes, ...] = ()
+    ) -> tuple[Any, Frame]:
+        """Issue a typed request; returns ``(typed response, raw frame)``."""
+        spec = OPS[name]
+        meta = request_meta(name, request)
+        del meta["op"]  # request() re-adds it
+        frame = self.request(name, meta, blobs)
+        return parse_response(spec, frame.meta), frame
+
     def close(self) -> None:
         with self._lock:
             if self._closed:
@@ -133,6 +172,7 @@ class BrokerClient:
         self._timeout = timeout
         self._admin: Connection | None = None
         self._lock = threading.Lock()
+        self._transport: ClientTransport | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -163,6 +203,33 @@ class BrokerClient:
 
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
+
+    # -- payload transport ----------------------------------------------------
+
+    @property
+    def transport(self) -> ClientTransport:
+        """The negotiated payload transport (lazily resolved, cached).
+
+        Any failure to negotiate or attach — an old server that has never
+        heard of the ``transport`` op, an shm ring on another machine —
+        resolves to plain tcp.
+        """
+        with self._lock:
+            if self._transport is not None:
+                return self._transport
+        descriptor: dict[str, Any] = {"name": "tcp"}
+        try:
+            reply = self._admin_conn().request("transport")
+            advertised = reply.meta.get("transport")
+            if isinstance(advertised, dict):
+                descriptor = advertised
+        except (ProtocolError, RpcError):
+            pass  # pre-transport server: tcp it is
+        transport = connect_transport(descriptor)
+        with self._lock:
+            if self._transport is None:
+                self._transport = transport
+            return self._transport
 
     # -- readiness ----------------------------------------------------------
 
@@ -266,11 +333,27 @@ class BrokerClient:
     def producer(
         self, auto_create: bool = True, default_partitions: int = 1
     ) -> "RemoteProducer":
+        transport = self.transport
+        conn = self.connect()
+
+        def lease_fn(count: int) -> list[tuple[int, int]]:
+            response, _ = conn.call("lease", LeaseRequest(count=count))
+            return [(int(s), int(g)) for s, g in response.slots]
+
+        def release_fn(pairs: list[tuple[int, int]]) -> int:
+            response, _ = conn.call(
+                "release", ReleaseRequest(slots=[list(p) for p in pairs])
+            )
+            return int(response.released)
+
+        options = transport.producer_options(lease_fn, release_fn)
         return RemoteProducer(
-            self.connect(),
+            conn,
             allow_pickle=self._allow_pickle,
             auto_create=auto_create,
             default_partitions=default_partitions,
+            serde_options=options,
+            on_close=lambda: transport.release_producer(options),
         )
 
     def consumer(
@@ -280,6 +363,7 @@ class BrokerClient:
         auto_offset_reset: str = "earliest",
         auto_commit: bool = True,
     ) -> "RemoteConsumer":
+        transport = self.transport
         return RemoteConsumer(
             self.connect(),
             group,
@@ -287,11 +371,19 @@ class BrokerClient:
             auto_offset_reset=auto_offset_reset,
             auto_commit=auto_commit,
             allow_pickle=self._allow_pickle,
+            serde_options=transport.consumer_options(),
         )
 
 
 class RemoteProducer:
-    """Drop-in :class:`~repro.pubsub.producer.Producer` over a connection."""
+    """Drop-in :class:`~repro.pubsub.producer.Producer` over a connection.
+
+    Under the shm transport the serde context carries this connection's
+    producer plane, so eligible ndarray payloads go into leased slabs and
+    only their handles ride the socket. :meth:`send_batch` publishes many
+    records in a single ``produce_batch`` frame written with vectored I/O
+    — the path the pub/sub writer sink uses to amortize round trips.
+    """
 
     def __init__(
         self,
@@ -299,11 +391,15 @@ class RemoteProducer:
         allow_pickle: bool = False,
         auto_create: bool = True,
         default_partitions: int = 1,
+        serde_options: dict[str, Any] | None = None,
+        on_close: Callable[[], None] | None = None,
     ) -> None:
         self._conn = conn
         self._allow_pickle = allow_pickle
         self._auto_create = auto_create
         self._default_partitions = default_partitions
+        self._ctx = SerdeContext(allow_pickle, options=serde_options or {})
+        self._on_close = on_close
         self._sent = 0
 
     @property
@@ -320,22 +416,58 @@ class RemoteProducer:
         partition: int | None = None,
     ) -> tuple[int, int]:
         """Publish one record; returns its ``(partition, offset)``."""
-        blob = encode_wire(value, allow_pickle=self._allow_pickle)
-        reply = self._conn.request(
+        blob = encode_wire(value, context=self._ctx)
+        response, _ = self._conn.call(
             "produce",
-            {
-                "topic": topic,
-                "key": key,
-                "timestamp": timestamp,
-                "headers": headers,
-                "partition": partition,
-                "auto_create": self._auto_create,
-                "partitions": self._default_partitions,
-            },
+            ProduceRequest(
+                topic=topic,
+                key=key,
+                timestamp=timestamp,
+                headers=headers,
+                partition=partition,
+                auto_create=self._auto_create,
+                partitions=self._default_partitions,
+            ),
             (blob,),
         )
         self._sent += 1
-        return int(reply.meta["partition"]), int(reply.meta["offset"])
+        return int(response.partition), int(response.offset)
+
+    def send_batch(
+        self, topic: str, records: list[dict[str, Any]]
+    ) -> list[tuple[int, int]]:
+        """Publish many records to one topic in a single round trip.
+
+        Each record is a dict with ``value`` plus optional ``key`` /
+        ``timestamp`` / ``headers`` / ``partition``. Returns the
+        ``(partition, offset)`` pairs in input order.
+        """
+        if not records:
+            return []
+        blobs = tuple(
+            encode_wire(record["value"], context=self._ctx) for record in records
+        )
+        entries = [
+            {
+                "key": record.get("key"),
+                "timestamp": record.get("timestamp"),
+                "headers": record.get("headers"),
+                "partition": record.get("partition"),
+            }
+            for record in records
+        ]
+        response, _ = self._conn.call(
+            "produce_batch",
+            ProduceBatchRequest(
+                topic=topic,
+                entries=entries,
+                auto_create=self._auto_create,
+                partitions=self._default_partitions,
+            ),
+            blobs,
+        )
+        self._sent += len(records)
+        return [(int(p), int(o)) for p, o in response.results]
 
     def partitions_of(self, topic: str) -> int:
         """Partition count of ``topic`` (for per-partition broadcasts)."""
@@ -344,6 +476,12 @@ class RemoteProducer:
         )
 
     def close(self) -> None:
+        if self._on_close is not None:
+            try:
+                self._on_close()  # returns unused slab leases over the conn
+            except (OSError, BrokerClosedError, RpcError):  # pragma: no cover
+                pass
+            self._on_close = None
         self._conn.close()
 
 
@@ -365,6 +503,7 @@ class RemoteConsumer:
         auto_offset_reset: str = "earliest",
         auto_commit: bool = True,
         allow_pickle: bool = False,
+        serde_options: dict[str, Any] | None = None,
     ) -> None:
         if auto_offset_reset not in ("earliest", "latest"):
             raise ValueError("auto_offset_reset must be 'earliest' or 'latest'")
@@ -373,6 +512,7 @@ class RemoteConsumer:
         self._auto_offset_reset = auto_offset_reset
         self._auto_commit = auto_commit
         self._allow_pickle = allow_pickle
+        self._ctx = SerdeContext(allow_pickle, options=serde_options or {})
         self._positions: dict[tuple[str, int], int] = {}
         self._assignment: list[tuple[str, int]] = []
         self._subscribed: list[str] = []
@@ -433,53 +573,69 @@ class RemoteConsumer:
         """Next offset this consumer will read for the partition."""
         return self._positions[(topic, partition)]
 
+    def _fetch_frame(
+        self, topic: str, partition: int, offset: int, max_records: int, timeout: float
+    ) -> tuple[Any, Frame]:
+        return self._conn.call(
+            "fetch",
+            FetchRequest(
+                topic=topic,
+                partition=partition,
+                offset=offset,
+                max_records=max_records,
+                timeout=timeout,
+            ),
+        )
+
     def _fetch(
         self, topic: str, partition: int, max_records: int, timeout: float
     ) -> list:
         from ..pubsub.message import Message
 
-        try:
-            reply = self._conn.request(
-                "fetch",
-                {
-                    "topic": topic,
-                    "partition": partition,
-                    "offset": self._positions[(topic, partition)],
-                    "max_records": max_records,
-                    "timeout": timeout,
-                },
-            )
-        except InvalidOffsetError:
-            # Retention trimmed past our position: skip to the oldest
-            # retained record, as Kafka's 'earliest' reset would.
-            start, _end = self._log_offsets(topic, partition)
-            self._positions[(topic, partition)] = start
-            reply = self._conn.request(
-                "fetch",
-                {
-                    "topic": topic,
-                    "partition": partition,
-                    "offset": start,
-                    "max_records": max_records,
-                    "timeout": timeout,
-                },
-            )
-        records = []
-        for record_meta, blob in zip(reply.meta["records"], reply.blobs):
-            records.append(
-                Message(
-                    topic=topic,
-                    partition=partition,
-                    offset=int(record_meta["offset"]),
-                    key=record_meta["key"],
-                    value=decode_wire(blob, allow_pickle=self._allow_pickle),
-                    timestamp=float(record_meta["timestamp"]),
-                    headers=dict(record_meta.get("headers") or {}),
+        for attempt in range(_STALE_RETRIES):
+            try:
+                response, frame = self._fetch_frame(
+                    topic,
+                    partition,
+                    self._positions[(topic, partition)],
+                    max_records,
+                    timeout,
                 )
-            )
-        if records:
-            self._positions[(topic, partition)] = records[-1].offset + 1
-        return records
+            except InvalidOffsetError:
+                # Retention trimmed past our position: skip to the oldest
+                # retained record, as Kafka's 'earliest' reset would.
+                start, _end = self._log_offsets(topic, partition)
+                self._positions[(topic, partition)] = start
+                response, frame = self._fetch_frame(
+                    topic, partition, start, max_records, timeout
+                )
+            try:
+                records = []
+                for record_meta, blob in zip(response.records, frame.blobs):
+                    records.append(
+                        Message(
+                            topic=topic,
+                            partition=partition,
+                            offset=int(record_meta["offset"]),
+                            key=record_meta["key"],
+                            value=decode_wire(blob, context=self._ctx),
+                            timestamp=float(record_meta["timestamp"]),
+                            headers=dict(record_meta.get("headers") or {}),
+                        )
+                    )
+            except StaleSlabError:
+                # The server reclaimed a slab between encoding the reply
+                # and our copy-out; the record is materialized broker-side
+                # now, so the refetch returns inline bytes. Position was
+                # not advanced, so nothing is skipped.
+                continue
+            if records:
+                self._positions[(topic, partition)] = records[-1].offset + 1
+            return records
+        raise StaleSlabError(
+            f"fetch of {topic}/{partition} kept racing slab reclamation "
+            f"({_STALE_RETRIES} attempts)"
+        )
 
     def poll(self, max_records: int = 1024, timeout: float = 0.0) -> list:
         """Fetch available records across the assignment.

@@ -1,0 +1,276 @@
+"""Pluggable payload transports for broker connections.
+
+A *transport* decides how record payloads travel between peers; the
+framing, op table, and broker semantics stay identical regardless. Two
+ship in-tree:
+
+``tcp``
+    Payload bytes ride inside the frame blobs. Always works, including
+    across machines. This is the default and the fallback.
+
+``shm``
+    Payload ndarrays ride a shared-memory :class:`~repro.net.shm.SlabRing`
+    and frames carry slab handles (see :mod:`repro.net.shm`). Only
+    meaningful when every peer shares a kernel; peers that cannot attach
+    the ring silently stay on tcp.
+
+Negotiation is server-advertised: the client issues the ``transport`` op,
+receives the server's descriptor (``{"name": "shm", "ring": ...}`` or
+``{"name": "tcp"}``), and calls :func:`connect_transport` to build its
+side. Old servers answer unknown ops with a :class:`ProtocolError`, which
+the client treats as ``tcp`` — so a new client against an old broker
+degrades instead of breaking.
+
+Third-party transports register the same way the built-ins do::
+
+    register_transport(TransportSpec(name="rdma", make_server=..., connect=...))
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from .shm import (
+    SHM_MIN_BYTES,
+    ShmProducerPlane,
+    ShmServerPlane,
+    SlabRing,
+    SlabRingError,
+    attach_ring,
+)
+
+logger = logging.getLogger(__name__)
+
+#: defaults for the shm ring; sized so four in-flight 2000 px float64
+#: layer images per stage fit with headroom
+DEFAULT_SHM_SLOTS = 64
+DEFAULT_SHM_SLAB_BYTES = 40 * 1024 * 1024
+
+
+class ServerTransport:
+    """Server half of a transport: advertised to clients, hooks the codec.
+
+    The tcp base class is deliberately all no-ops — a transport only
+    overrides what it changes.
+    """
+
+    name = "tcp"
+
+    def describe(self) -> dict[str, Any]:
+        """The descriptor sent back from the ``transport`` op."""
+        return {"name": self.name}
+
+    def decode_options(self) -> dict[str, Any]:
+        """Extra :class:`~repro.serde.SerdeContext` options for produces."""
+        return {}
+
+    def encode_options(self) -> dict[str, Any]:
+        """Extra context options when the server re-encodes for a fetch."""
+        return {}
+
+    def lease(self, conn_token: int, count: int) -> list[tuple[int, int]]:
+        """Grant payload slabs to a connection (no-op on tcp)."""
+        return []
+
+    def release(self, conn_token: int, pairs: list[tuple[int, int]]) -> int:
+        """Take back unused slabs from a connection (no-op on tcp)."""
+        return 0
+
+    def on_disconnect(self, conn_token: int) -> None:
+        """A connection died; reclaim anything charged to it."""
+
+    def stats(self) -> dict[str, Any]:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+class ClientTransport:
+    """Client half: per-connection encode/decode context hooks."""
+
+    name = "tcp"
+
+    def producer_options(
+        self,
+        lease_fn: Callable[[int], list[tuple[int, int]]],
+        release_fn: Callable[[list[tuple[int, int]]], int],
+    ) -> dict[str, Any]:
+        """Encode-context options for one producer connection.
+
+        ``lease_fn``/``release_fn`` are bound to that connection's typed
+        ops so the server charges leases to the right socket.
+        """
+        return {}
+
+    def consumer_options(self) -> dict[str, Any]:
+        """Decode-context options for one consumer connection."""
+        return {}
+
+    def release_producer(self, options: dict[str, Any]) -> None:
+        """Tear down whatever :meth:`producer_options` allocated."""
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class TransportSpec:
+    """Registry row: how to build each half of a named transport."""
+
+    name: str
+    #: ``make_server(**config) -> ServerTransport``
+    make_server: Callable[..., ServerTransport]
+    #: ``connect(descriptor) -> ClientTransport | None`` (None = can't use
+    #: this transport from here, caller falls back to tcp)
+    connect: Callable[[dict[str, Any]], "ClientTransport | None"]
+
+
+TRANSPORTS: dict[str, TransportSpec] = {}
+
+
+def register_transport(spec: TransportSpec, replace: bool = False) -> TransportSpec:
+    if spec.name in TRANSPORTS and not replace:
+        raise ValueError(f"transport {spec.name!r} already registered")
+    TRANSPORTS[spec.name] = spec
+    return spec
+
+
+def make_server_transport(name: str, **config: Any) -> ServerTransport:
+    """Build the server half of the named transport.
+
+    Unknown names raise ``ValueError`` listing what is registered, so a
+    typo in ``[dist] transport`` fails loudly at deploy time rather than
+    silently running tcp.
+    """
+    spec = TRANSPORTS.get(name)
+    if spec is None:
+        known = ", ".join(sorted(TRANSPORTS))
+        raise ValueError(f"unknown transport {name!r} (registered: {known})")
+    return spec.make_server(**config)
+
+
+def connect_transport(descriptor: dict[str, Any] | None) -> ClientTransport:
+    """Build the client half for a server-advertised descriptor.
+
+    Anything unusable — no descriptor, unknown name, or the named
+    transport declining (e.g. an shm ring on another machine) — yields
+    the tcp transport. The client can always talk tcp.
+    """
+    name = (descriptor or {}).get("name", "tcp")
+    spec = TRANSPORTS.get(name)
+    if spec is None:
+        logger.info("unknown transport %r advertised; staying on tcp", name)
+        return ClientTransport()
+    client = spec.connect(descriptor or {})
+    if client is None:
+        logger.info("transport %r not usable from this process; using tcp", name)
+        return ClientTransport()
+    return client
+
+
+# -- tcp ----------------------------------------------------------------------
+
+register_transport(
+    TransportSpec(
+        name="tcp",
+        make_server=lambda **_: ServerTransport(),
+        connect=lambda descriptor: ClientTransport(),
+    )
+)
+
+
+# -- shm ----------------------------------------------------------------------
+
+
+class ShmServerTransport(ServerTransport):
+    """Server side of the shared-memory payload plane."""
+
+    name = "shm"
+
+    def __init__(
+        self,
+        slots: int = DEFAULT_SHM_SLOTS,
+        slab_bytes: int = DEFAULT_SHM_SLAB_BYTES,
+        min_bytes: int = SHM_MIN_BYTES,
+    ) -> None:
+        ring = SlabRing.create(slots=slots, slab_bytes=slab_bytes)
+        self.plane = ShmServerPlane(ring, min_bytes=min_bytes)
+
+    def describe(self) -> dict[str, Any]:
+        return self.plane.describe()
+
+    def decode_options(self) -> dict[str, Any]:
+        return {"shm_server": self.plane}
+
+    def lease(self, conn_token: int, count: int) -> list[tuple[int, int]]:
+        return self.plane.lease(conn_token, count)
+
+    def release(self, conn_token: int, pairs: list[tuple[int, int]]) -> int:
+        return self.plane.release(conn_token, pairs)
+
+    def on_disconnect(self, conn_token: int) -> None:
+        reclaimed = self.plane.reclaim_owner(conn_token)
+        if reclaimed:
+            logger.info(
+                "reclaimed %d unbound slab lease(s) from dead connection %d",
+                reclaimed,
+                conn_token,
+            )
+
+    def stats(self) -> dict[str, Any]:
+        return self.plane.stats()
+
+    def close(self) -> None:
+        self.plane.close()
+
+
+class ShmClientTransport(ClientTransport):
+    """Client side: producer planes over an attached ring."""
+
+    name = "shm"
+
+    def __init__(self, ring: SlabRing, min_bytes: int) -> None:
+        self._ring = ring
+        self._min_bytes = min_bytes
+
+    def producer_options(
+        self,
+        lease_fn: Callable[[int], list[tuple[int, int]]],
+        release_fn: Callable[[list[tuple[int, int]]], int],
+    ) -> dict[str, Any]:
+        plane = ShmProducerPlane(
+            self._ring, lease_fn, release_fn, min_bytes=self._min_bytes
+        )
+        return {"shm_producer": plane}
+
+    def consumer_options(self) -> dict[str, Any]:
+        return {"shm_ring": self._ring}
+
+    def release_producer(self, options: dict[str, Any]) -> None:
+        plane = options.get("shm_producer")
+        if plane is not None:
+            plane.close()
+
+
+def _connect_shm(descriptor: dict[str, Any]) -> ClientTransport | None:
+    name = descriptor.get("ring")
+    if not name:
+        return None
+    try:
+        ring = attach_ring(name)
+    except SlabRingError as exc:
+        logger.info("cannot attach shm ring %r (%s); using tcp", name, exc)
+        return None
+    return ShmClientTransport(ring, int(descriptor.get("min_bytes", SHM_MIN_BYTES)))
+
+
+register_transport(
+    TransportSpec(
+        name="shm",
+        make_server=ShmServerTransport,
+        connect=_connect_shm,
+    )
+)

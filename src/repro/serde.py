@@ -7,13 +7,21 @@ Two codecs live here, layered on the same one-byte tag scheme:
   stored as JSON (``j``), everything else pickles (``p``). The kvstore
   keeps its historical behaviour: pickle is always accepted on decode.
 * the **wire codec** (``encode_wire``/``decode_wire``), used by
-  ``repro.net`` — adds two tags the network path needs: ``n`` for numpy
-  arrays (dtype/shape header + raw buffer, no pickle) and ``t`` for
-  :class:`~repro.spe.tuples.StreamTuple` (JSON metadata + recursively
-  encoded payload entries). On the wire, pickle frames are **refused by
-  default** in both directions — a networked broker must not execute
-  arbitrary bytecode from a peer — and only enabled explicitly
-  (``allow_pickle=True``) inside the trusted distributed runtime.
+  ``repro.net`` — a **registry of tagged codecs** (see
+  :func:`register_codec`). The built-in entries cover numpy arrays
+  (``n``: dtype/shape header + raw buffer, no pickle) and
+  :class:`~repro.spe.tuples.StreamTuple` (``t``: JSON metadata +
+  recursively encoded payload entries) on top of the storage tags.
+  Transports add their own: the shared-memory payload plane registers an
+  ``ndarray-shm`` codec (:mod:`repro.net.shm`) whose frames carry slab
+  handles instead of pixels.
+
+Pickle on the wire is a *registry flag*, not a special case: any codec
+registered ``trusted_only=True`` (the built-in pickle fallback is the only
+one) is refused in both directions unless the caller opts in
+(``allow_pickle=True``), because a networked broker must not execute
+arbitrary bytecode from a peer. Unknown tags raise a structured
+:class:`SerdeError` whose ``tag`` attribute names the offending byte.
 
 Both sides share tags, so a wire frame whose value happens to be plain
 JSON is byte-identical to its stored form.
@@ -24,7 +32,8 @@ from __future__ import annotations
 import json
 import pickle
 import struct
-from typing import Any
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 TAG_BYTES = b"b"
 TAG_JSON = b"j"
@@ -32,11 +41,24 @@ TAG_PICKLE = b"p"
 TAG_NDARRAY = b"n"
 TAG_TUPLE = b"t"
 
+#: bumped whenever a built-in tag's byte layout changes; registered codecs
+#: carry their own semantic versions via the ``version=`` registry field
+WIRE_CODEC_VERSION = 3
+
 _U32 = struct.Struct("!I")
 
 
 class SerdeError(ValueError):
-    """Malformed or unsupported serialized data."""
+    """Malformed or unsupported serialized data.
+
+    ``tag`` names the offending codec tag byte when the failure is an
+    unknown or unusable tag (else ``None``), so callers can branch on the
+    exact codec a peer tried to use.
+    """
+
+    def __init__(self, message: str, tag: bytes | None = None) -> None:
+        super().__init__(message)
+        self.tag = tag
 
 
 class PickleRefusedError(SerdeError):
@@ -95,97 +117,282 @@ def decode_value(data: bytes, allow_pickle: bool = True) -> Any:
                 "refusing to unpickle: pickle frames are disabled on this path"
             )
         return pickle.loads(body)
-    raise SerdeError(f"unknown value codec tag {tag!r}")
+    raise SerdeError(f"unknown value codec tag {tag!r}", tag=tag)
 
 
-# -- wire codec (repro.net) --------------------------------------------------
+# -- wire codec registry (repro.net) -----------------------------------------
 
 
-def encode_wire(value: Any, allow_pickle: bool = False) -> bytes:
+@dataclass
+class SerdeContext:
+    """Per-call state threaded through codec encode/decode hooks.
+
+    ``allow_pickle`` gates every ``trusted_only`` codec; ``options`` is a
+    scratch mapping transports use to hand their payload planes to the
+    codecs they registered (e.g. the shm plane and its role on this side
+    of the link).
+    """
+
+    allow_pickle: bool = False
+    options: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WireCodec:
+    """One registered wire codec.
+
+    ``encode(value, ctx)`` returns the complete tagged byte string — it
+    normally starts with ``tag`` but may *delegate* to another codec's
+    encoding (the shm codec falls back to the plain ndarray layout when
+    its ring is full). ``decode(body, ctx)`` receives everything after the
+    tag byte. ``matches(value, ctx)`` decides whether this codec claims a
+    value on encode; codecs with ``matches=None`` are decode-only.
+    """
+
+    tag: bytes
+    encode: Callable[[Any, SerdeContext], bytes]
+    decode: Callable[[bytes, SerdeContext], Any]
+    matches: Callable[[Any, SerdeContext], bool] | None = None
+    priority: int = 0
+    trusted_only: bool = False
+    version: int = 1
+    name: str = ""
+
+
+_CODECS: dict[bytes, WireCodec] = {}
+_ENCODE_ORDER: list[WireCodec] = []
+
+
+def register_codec(
+    tag: bytes,
+    encode: Callable[[Any, SerdeContext], bytes],
+    decode: Callable[[bytes, SerdeContext], Any],
+    *,
+    matches: Callable[[Any, SerdeContext], bool] | None = None,
+    priority: int = 0,
+    trusted_only: bool = False,
+    version: int = 1,
+    name: str = "",
+    replace: bool = False,
+) -> WireCodec:
+    """Register a wire codec under a one-byte ``tag``.
+
+    Encode candidates are tried in descending ``priority`` (ties: first
+    registered wins); the first whose ``matches`` claims the value encodes
+    it. ``trusted_only=True`` puts the codec behind the pickle gate: both
+    encoding to and decoding from it require ``allow_pickle=True``.
+    Re-registering a live tag raises unless ``replace=True``.
+    """
+    if not isinstance(tag, bytes) or len(tag) != 1:
+        raise SerdeError(f"codec tag must be a single byte, got {tag!r}")
+    if tag in _CODECS and not replace:
+        raise SerdeError(
+            f"wire codec tag {tag!r} already registered "
+            f"({_CODECS[tag].name or 'unnamed'}); pass replace=True to override",
+            tag=tag,
+        )
+    codec = WireCodec(
+        tag=tag,
+        encode=encode,
+        decode=decode,
+        matches=matches,
+        priority=priority,
+        trusted_only=trusted_only,
+        version=version,
+        name=name or tag.decode("latin-1"),
+    )
+    if tag in _CODECS:
+        _ENCODE_ORDER[:] = [c for c in _ENCODE_ORDER if c.tag != tag]
+    _CODECS[tag] = codec
+    if codec.matches is not None:
+        _ENCODE_ORDER.append(codec)
+        _ENCODE_ORDER.sort(key=lambda c: -c.priority)
+    return codec
+
+
+def registered_codecs() -> dict[str, dict[str, Any]]:
+    """Public view of the registry: name, tag, version, trust, priority."""
+    return {
+        codec.name: {
+            "tag": codec.tag.decode("latin-1"),
+            "version": codec.version,
+            "trusted_only": codec.trusted_only,
+            "priority": codec.priority,
+            "encodes": codec.matches is not None,
+        }
+        for codec in _CODECS.values()
+    }
+
+
+def encode_wire(
+    value: Any, allow_pickle: bool = False, context: SerdeContext | None = None
+) -> bytes:
     """Serialize a value for the network, avoiding pickle where possible.
 
-    Stream tuples and numpy arrays — the payloads STRATA connectors carry —
-    get dedicated pickle-free encodings. Anything that would fall back to
-    pickle raises :class:`PickleRefusedError` at the *sender* unless
-    ``allow_pickle`` is set, so misconfiguration fails fast and loudly.
+    Walks the codec registry by priority; the first codec claiming the
+    value encodes it. Anything that would fall back to a ``trusted_only``
+    codec (pickle) raises :class:`PickleRefusedError` at the *sender*
+    unless ``allow_pickle`` is set, so misconfiguration fails fast and
+    loudly.
     """
-    import numpy as np
+    ctx = context if context is not None else SerdeContext(allow_pickle)
+    for codec in _ENCODE_ORDER:
+        if not codec.matches(value, ctx):
+            continue
+        if codec.trusted_only and not ctx.allow_pickle:
+            raise PickleRefusedError(
+                f"value of type {type(value).__name__} needs {codec.name}, "
+                "which is disabled on the network path (pass "
+                "allow_pickle=True on a trusted link to enable it)"
+            )
+        return codec.encode(value, ctx)
+    raise SerdeError(
+        f"no wire codec claims value of type {type(value).__name__}"
+    )  # pragma: no cover - the pickle fallback matches everything
 
-    from .spe.tuples import StreamTuple
 
-    if isinstance(value, StreamTuple):
-        keys = list(value.payload)
-        meta = json.dumps(
-            {
-                "tau": value.tau,
-                "job": value.job,
-                "layer": value.layer,
-                "specimen": value.specimen,
-                "portion": value.portion,
-                "ingest_time": value.ingest_time,
-                "trace_id": value.trace_id,
-                "keys": keys,
-            }
-        ).encode("utf-8")
-        parts = [TAG_TUPLE, _U32.pack(len(meta)), meta]
-        for key in keys:
-            blob = encode_wire(value.payload[key], allow_pickle)
-            parts.append(_U32.pack(len(blob)))
-            parts.append(blob)
-        return b"".join(parts)
-    if isinstance(value, np.ndarray) and not value.dtype.hasobject:
-        array = np.ascontiguousarray(value)
-        header = json.dumps(
-            {"dtype": array.dtype.str, "shape": list(array.shape)}
-        ).encode("utf-8")
-        return TAG_NDARRAY + _U32.pack(len(header)) + header + array.tobytes()
-    if isinstance(value, bytes):
-        return TAG_BYTES + value
-    if _json_roundtrips(value):
-        return TAG_JSON + json.dumps(value).encode("utf-8")
-    if not allow_pickle:
+def decode_wire(
+    data: bytes, allow_pickle: bool = False, context: SerdeContext | None = None
+) -> Any:
+    """Inverse of :func:`encode_wire`; the pickle gate applies symmetrically."""
+    ctx = context if context is not None else SerdeContext(allow_pickle)
+    tag = data[:1]
+    codec = _CODECS.get(tag)
+    if codec is None:
+        raise SerdeError(f"unknown wire codec tag {tag!r}", tag=tag)
+    if codec.trusted_only and not ctx.allow_pickle:
         raise PickleRefusedError(
-            f"value of type {type(value).__name__} needs pickle, which is "
-            "disabled on the network path (pass allow_pickle=True on a "
-            "trusted link to enable it)"
+            f"refusing to decode a {codec.name} frame: {codec.name} is "
+            "disabled on this path"
         )
-    return TAG_PICKLE + pickle.dumps(value)
+    return codec.decode(data[1:], ctx)
 
 
-def decode_wire(data: bytes, allow_pickle: bool = False) -> Any:
-    """Inverse of :func:`encode_wire`; pickle gated exactly the same way."""
-    import numpy as np
+# -- built-in codecs ----------------------------------------------------------
 
+
+def _encode_tuple(value: Any, ctx: SerdeContext) -> bytes:
+    keys = list(value.payload)
+    meta = json.dumps(
+        {
+            "tau": value.tau,
+            "job": value.job,
+            "layer": value.layer,
+            "specimen": value.specimen,
+            "portion": value.portion,
+            "ingest_time": value.ingest_time,
+            "trace_id": value.trace_id,
+            "keys": keys,
+        }
+    ).encode("utf-8")
+    parts = [TAG_TUPLE, _U32.pack(len(meta)), meta]
+    for key in keys:
+        blob = encode_wire(value.payload[key], context=ctx)
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def _decode_tuple(body: bytes, ctx: SerdeContext) -> Any:
     from .spe.tuples import StreamTuple
 
-    tag, body = data[:1], data[1:]
-    if tag == TAG_TUPLE:
-        meta_len = _U32.unpack_from(body)[0]
-        meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
-        payload: dict[str, Any] = {}
-        cursor = 4 + meta_len
-        for key in meta["keys"]:
-            blob_len = _U32.unpack_from(body, cursor)[0]
-            cursor += 4
-            payload[key] = decode_wire(body[cursor : cursor + blob_len], allow_pickle)
-            cursor += blob_len
-        t = StreamTuple(
-            tau=meta["tau"],
-            job=meta["job"],
-            layer=meta["layer"],
-            payload=payload,
-            specimen=meta["specimen"],
-            portion=meta["portion"],
-            ingest_time=meta["ingest_time"],
-        )
-        t.trace_id = meta["trace_id"]
-        return t
-    if tag == TAG_NDARRAY:
-        header_len = _U32.unpack_from(body)[0]
-        header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
-        raw = body[4 + header_len :]
-        array = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
-        return array.reshape(header["shape"]).copy()
-    if tag in (TAG_BYTES, TAG_JSON, TAG_PICKLE):
-        return decode_value(data, allow_pickle=allow_pickle)
-    raise SerdeError(f"unknown wire codec tag {tag!r}")
+    meta_len = _U32.unpack_from(body)[0]
+    meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
+    payload: dict[str, Any] = {}
+    cursor = 4 + meta_len
+    for key in meta["keys"]:
+        blob_len = _U32.unpack_from(body, cursor)[0]
+        cursor += 4
+        payload[key] = decode_wire(body[cursor : cursor + blob_len], context=ctx)
+        cursor += blob_len
+    t = StreamTuple(
+        tau=meta["tau"],
+        job=meta["job"],
+        layer=meta["layer"],
+        payload=payload,
+        specimen=meta["specimen"],
+        portion=meta["portion"],
+        ingest_time=meta["ingest_time"],
+    )
+    t.trace_id = meta["trace_id"]
+    return t
+
+
+def _matches_tuple(value: Any, ctx: SerdeContext) -> bool:
+    from .spe.tuples import StreamTuple
+
+    return isinstance(value, StreamTuple)
+
+
+def encode_ndarray_body(array: Any) -> bytes:
+    """The plain ndarray wire layout, tag included (shared with shm fallback)."""
+    import numpy as np
+
+    array = np.ascontiguousarray(array)
+    header = json.dumps(
+        {"dtype": array.dtype.str, "shape": list(array.shape)}
+    ).encode("utf-8")
+    return TAG_NDARRAY + _U32.pack(len(header)) + header + array.tobytes()
+
+
+def _encode_ndarray(value: Any, ctx: SerdeContext) -> bytes:
+    return encode_ndarray_body(value)
+
+
+def _decode_ndarray(body: bytes, ctx: SerdeContext) -> Any:
+    import numpy as np
+
+    header_len = _U32.unpack_from(body)[0]
+    header = json.loads(body[4 : 4 + header_len].decode("utf-8"))
+    raw = body[4 + header_len :]
+    array = np.frombuffer(raw, dtype=np.dtype(header["dtype"]))
+    return array.reshape(header["shape"]).copy()
+
+
+def _matches_ndarray(value: Any, ctx: SerdeContext) -> bool:
+    import numpy as np
+
+    return isinstance(value, np.ndarray) and not value.dtype.hasobject
+
+
+register_codec(
+    TAG_TUPLE,
+    _encode_tuple,
+    _decode_tuple,
+    matches=_matches_tuple,
+    priority=100,
+    name="stream-tuple",
+)
+register_codec(
+    TAG_NDARRAY,
+    _encode_ndarray,
+    _decode_ndarray,
+    matches=_matches_ndarray,
+    priority=80,
+    name="ndarray",
+)
+register_codec(
+    TAG_BYTES,
+    lambda value, ctx: TAG_BYTES + value,
+    lambda body, ctx: body,
+    matches=lambda value, ctx: isinstance(value, bytes),
+    priority=60,
+    name="bytes",
+)
+register_codec(
+    TAG_JSON,
+    lambda value, ctx: TAG_JSON + json.dumps(value).encode("utf-8"),
+    lambda body, ctx: json.loads(body.decode("utf-8")),
+    matches=lambda value, ctx: _json_roundtrips(value),
+    priority=40,
+    name="json",
+)
+register_codec(
+    TAG_PICKLE,
+    lambda value, ctx: TAG_PICKLE + pickle.dumps(value),
+    lambda body, ctx: pickle.loads(body),
+    matches=lambda value, ctx: True,
+    priority=-100,
+    trusted_only=True,
+    name="pickle",
+)

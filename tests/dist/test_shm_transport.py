@@ -1,0 +1,137 @@
+"""Distributed deployments over the shared-memory payload plane.
+
+The shm transport changes how payload bytes move, not what the pipeline
+computes — so every test here is an equivalence test against the
+in-process baseline, including under chaos: a killed worker dies holding
+slab leases, and the replacement's replay must still converge to the
+exact same result set while the server reclaims every orphaned slot.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.dist import DistConfig, DistCoordinator
+
+from .test_worker_runtime import build, result_key
+
+# 250 px float64 OT images are 500 KB: comfortably above SHM_MIN_BYTES,
+# so layer payloads genuinely ride the ring in these tests
+SHM_CONFIG = dict(transport="shm", shm_slots=24, shm_slab_bytes=2 * 1024 * 1024)
+
+
+@pytest.fixture(scope="module")
+def baseline(layer_records, reference_images, test_job):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    strata.deploy()
+    return sorted(map(result_key, pipeline.sink.results))
+
+
+def _ring_stats(coordinator):
+    return coordinator._server._transport.stats()
+
+
+def test_shm_deploy_equals_threaded(
+    layer_records, reference_images, test_job, baseline
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, **SHM_CONFIG),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+    stats_mid = _ring_stats(coordinator)
+    assert stats_mid["slots"] == SHM_CONFIG["shm_slots"]
+    report = coordinator.run()
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    dist = report.extra["dist"]
+    assert dist["restarts"] == 0 and dist["failure"] is None
+
+
+def test_shm_deploy_with_batching_equals_threaded(
+    layer_records, reference_images, test_job, baseline
+):
+    from repro.core.deploy import DeployConfig
+
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    report = strata.deploy(
+        DeployConfig(dist=DistConfig(workers=2, produce_batch=8, **SHM_CONFIG))
+    )
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    assert report.extra["dist"]["failure"] is None
+
+
+def test_worker_kill_under_shm_reclaims_leases_and_converges(
+    layer_records, reference_images, test_job, baseline
+):
+    """The chaos case the lease design exists for: a worker is killed while
+    it may hold leased-but-unpublished slots. The server must reclaim them
+    on disconnect (no slot leaks), and the restarted worker's replay must
+    leave the output bit-identical to the in-process run."""
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, **SHM_CONFIG),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+
+    def chaos():
+        time.sleep(0.05)
+        coordinator.workers[0].kill()
+
+    threading.Thread(target=chaos, daemon=True).start()
+    report = coordinator.run()
+
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    dist = report.extra["dist"]
+    if dist["restarts"]:
+        assert dist["failure"] is None
+        assert dist["workers"]["worker-0"]["incarnation"] >= 1
+    stats = _ring_stats(coordinator)
+    # every lease is either bound to a record or back on the free list —
+    # a kill mid-produce must not leak slots
+    assert stats["leased"] == 0
+    assert stats["free"] + stats["bound"] == stats["slots"]
+
+
+def test_shm_ring_is_unlinked_after_shutdown(
+    layer_records, reference_images, test_job
+):
+    strata, _ = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, **SHM_CONFIG),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+    ring_name = coordinator._server._transport.describe()["ring"]
+    coordinator.run()
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=ring_name)
+
+
+def test_shm_config_toml_roundtrip():
+    """`[dist] transport = "shm"` is first-class DeployConfig surface."""
+    from repro.core.deploy import DeployConfig, DeployConfigError
+
+    data = {
+        "dist": {
+            "workers": 4, "transport": "shm", "shm_slots": 32,
+            "shm_slab_bytes": 8 * 1024 * 1024, "produce_batch": 16,
+        }
+    }
+    config = DeployConfig.from_dict(data)
+    assert config.dist.transport == "shm"
+    assert config.dist.shm_slots == 32
+    assert config.dist.produce_batch == 16
+    assert DeployConfig.from_dict(config.to_dict()).dist == config.dist
+    # legacy dicts (no transport keys) load with tcp defaults
+    legacy = DeployConfig.from_dict({"dist": {"workers": 2}})
+    assert legacy.dist.transport == "tcp" and legacy.dist.produce_batch == 1
+    with pytest.raises(DeployConfigError, match="dist.transprot"):
+        DeployConfig.from_dict({"dist": {"workers": 2, "transprot": "shm"}})

@@ -1,0 +1,262 @@
+"""The pluggable transport layer: registry, negotiation, slab lifecycle."""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    BrokerClient,
+    BrokerServer,
+    ClientTransport,
+    ServerTransport,
+    TransportSpec,
+    connect_transport,
+    make_server_transport,
+    register_transport,
+)
+from repro.net.ops import LeaseRequest, ReleaseRequest
+from repro.pubsub import Broker
+
+#: small ring so tests exercise reclamation without big allocations
+SHM_OPTS = {"slots": 8, "slab_bytes": 1024 * 1024}
+
+
+@pytest.fixture()
+def shm_served():
+    broker = Broker()
+    with BrokerServer(broker, transport="shm", transport_options=SHM_OPTS) as server:
+        host, port = server.address
+        with BrokerClient(host, port) as client:
+            yield broker, server, client
+
+
+# -- registry -----------------------------------------------------------------
+
+
+def test_unknown_server_transport_fails_loudly():
+    with pytest.raises(ValueError, match=r"unknown transport 'spm'.*shm.*tcp"):
+        make_server_transport("spm")
+
+
+def test_duplicate_registration_refused():
+    spec = TransportSpec(
+        name="tcp",
+        make_server=lambda **_: ServerTransport(),
+        connect=lambda d: ClientTransport(),
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        register_transport(spec)
+    # replace=True is the escape hatch (and restores the original here)
+    register_transport(spec, replace=True)
+
+
+def test_connect_transport_always_lands_somewhere():
+    assert connect_transport(None).name == "tcp"
+    assert connect_transport({}).name == "tcp"
+    assert connect_transport({"name": "rdma-of-the-future"}).name == "tcp"
+    # shm advertised but the ring is gone (server on another machine, or
+    # torn down): degrade to tcp instead of failing the connection
+    assert connect_transport({"name": "shm"}).name == "tcp"
+    assert connect_transport({"name": "shm", "ring": "psm_nope"}).name == "tcp"
+
+
+def test_server_accepts_prebuilt_transport_instance():
+    transport = make_server_transport("shm", **SHM_OPTS)
+    with BrokerServer(Broker(), transport=transport) as server:
+        assert server._transport is transport
+        assert server._transport.describe()["name"] == "shm"
+
+
+# -- negotiation --------------------------------------------------------------
+
+
+def test_client_negotiates_shm_against_shm_server(shm_served):
+    _, server, client = shm_served
+    assert client.transport.name == "shm"
+    descriptor = server._transport.describe()
+    assert descriptor["slots"] == SHM_OPTS["slots"]
+    assert descriptor["slab_bytes"] == SHM_OPTS["slab_bytes"]
+
+
+def test_client_negotiates_tcp_against_tcp_server():
+    with BrokerServer(Broker()) as server:
+        host, port = server.address
+        with BrokerClient(host, port) as client:
+            assert client.transport.name == "tcp"
+
+
+# -- payloads through the slab ring -------------------------------------------
+
+
+def test_large_arrays_ride_slabs_and_roundtrip(shm_served):
+    _, server, client = shm_served
+    image = np.arange(300 * 300, dtype=np.float64).reshape(300, 300)  # 720 KB
+    producer = client.producer()
+    for _ in range(3):
+        producer.send("t", image)
+    assert server._transport.stats()["slabs_bound"] == 3
+    consumer = client.consumer("g", ["t"])
+    got = [m.value for m in consumer.poll(timeout=5.0)]
+    assert len(got) == 3
+    for value in got:
+        np.testing.assert_array_equal(value, image)
+    producer.close()
+    consumer.close()
+
+
+def test_small_arrays_stay_inline(shm_served):
+    _, server, client = shm_served
+    tiny = np.ones((4, 4), dtype=np.float64)  # far below SHM_MIN_BYTES
+    producer = client.producer()
+    producer.send("t", tiny)
+    assert server._transport.stats()["slabs_bound"] == 0
+    np.testing.assert_array_equal(
+        client.consumer("g", ["t"]).poll(timeout=5.0)[0].value, tiny
+    )
+
+
+def test_oversized_arrays_fall_back_inline(shm_served):
+    _, server, client = shm_served
+    big = np.zeros(SHM_OPTS["slab_bytes"] + 8, dtype=np.uint8)  # > one slab
+    client.producer().send("t", big)
+    assert server._transport.stats()["slabs_bound"] == 0
+    got = client.consumer("g", ["t"]).poll(timeout=5.0)[0].value
+    np.testing.assert_array_equal(got, big)
+
+
+def test_local_consumer_sees_shm_produced_records(shm_served):
+    """The broker stores SlabRefs; a same-process reader must go through a
+    loopback client (documented constraint), which materializes cleanly."""
+    _, server, client = shm_served
+    image = np.full((256, 256), 3.5)
+    client.producer().send("t", image)
+    host, port = server.address
+    with BrokerClient(host, port) as reader:
+        got = reader.consumer("g2", ["t"]).poll(timeout=5.0)[0].value
+    np.testing.assert_array_equal(got, image)
+
+
+# -- lease lifecycle ----------------------------------------------------------
+
+
+def test_producer_close_returns_pooled_leases(shm_served):
+    _, server, client = shm_served
+    producer = client.producer()
+    producer.send("t", np.ones((256, 256)))  # leases a batch, binds one slot
+    stats = server._transport.stats()
+    assert stats["slabs_bound"] == 1
+    assert stats["leased"] > 0  # the rest of the batch is pooled client-side
+    producer.close()
+    stats = server._transport.stats()
+    assert stats["leased"] == 0
+    assert stats["free"] == SHM_OPTS["slots"] - 1  # only the bound slot is out
+
+
+def test_dead_connection_leases_are_reclaimed(shm_served):
+    _, server, client = shm_served
+    conn = client.connect()
+    granted, _ = conn.call("lease", LeaseRequest(count=4))
+    assert len(granted.slots) == 4
+    assert server._transport.stats()["leased"] == 4
+    conn._sock.shutdown(socket.SHUT_RDWR)  # die without releasing
+    conn.close()
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if server._transport.stats()["leased"] == 0:
+            break
+        time.sleep(0.02)
+    stats = server._transport.stats()
+    assert stats["leased"] == 0
+    assert stats["leases_reclaimed"] == 4
+
+
+def test_release_ignores_foreign_and_stale_pairs(shm_served):
+    _, server, client = shm_served
+    conn_a = client.connect()
+    conn_b = client.connect()
+    granted, _ = conn_a.call("lease", LeaseRequest(count=2))
+    pairs = [list(p) for p in granted.slots]
+    # another connection cannot release slots it does not own
+    released_b, _ = conn_b.call("release", ReleaseRequest(slots=pairs))
+    assert released_b.released == 0
+    released_a, _ = conn_a.call("release", ReleaseRequest(slots=pairs))
+    assert released_a.released == 2
+    # double release is a no-op, not an error
+    released_again, _ = conn_a.call("release", ReleaseRequest(slots=pairs))
+    assert released_again.released == 0
+    conn_a.close()
+    conn_b.close()
+
+
+def test_lease_against_tcp_server_grants_nothing():
+    with BrokerServer(Broker()) as server:
+        host, port = server.address
+        with BrokerClient(host, port) as client:
+            conn = client.connect()
+            granted, _ = conn.call("lease", LeaseRequest(count=4))
+            assert granted.slots == []
+            conn.close()
+
+
+# -- server stop() drain semantics --------------------------------------------
+
+
+def test_stop_reports_clean_drain(shm_served):
+    _, server, client = shm_served
+    client.producer().send("t", np.ones((128, 128)))
+    assert server.stop() is False  # everything flushed before the deadline
+
+
+def test_stop_before_start_is_clean_and_frees_the_ring():
+    server = BrokerServer(Broker(), transport="shm", transport_options=SHM_OPTS)
+    ring_name = server._transport.describe()["ring"]
+    assert server.stop() is False
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=ring_name)
+
+
+def test_stop_is_idempotent():
+    server = BrokerServer(Broker())
+    server.start()
+    assert server.stop() is False
+    assert server.stop() is False
+
+
+def test_stop_deadline_hits_when_a_peer_refuses_to_read():
+    """A reader that never drains its socket cannot stall shutdown forever:
+    stop() gives up at the deadline and reports the truncation."""
+    broker = Broker()
+    server = BrokerServer(broker, allow_pickle=True)
+    server.start()
+    host, port = server.address
+    try:
+        with BrokerClient(host, port, allow_pickle=True) as client:
+            producer = client.producer()
+            blob = np.zeros(4 * 1024 * 1024, dtype=np.uint8)
+            for _ in range(7):  # ~28 MB pending, one fetch reply
+                producer.send("t", blob)
+            # a raw connection that requests everything and then stops reading
+            conn = client.connect()
+            conn._sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 8192)
+            from repro.net.frames import TYPE_REQUEST, Frame, write_frame
+
+            write_frame(
+                conn._sock,
+                Frame(
+                    type=TYPE_REQUEST,
+                    corr_id=1,
+                    meta={
+                        "op": "fetch", "topic": "t", "partition": 0,
+                        "offset": 0, "max_records": 1024, "timeout": 0.0,
+                    },
+                ),
+            )
+            time.sleep(0.5)  # let the server enqueue the reply
+            assert server.stop(timeout=0.5) is True
+            conn.close()
+    finally:
+        server.stop()
