@@ -34,6 +34,23 @@ from .scan import (
     defect_risk,
     rotating_schedule,
 )
+from .scanpath import (
+    LaserCalibrationSample,
+    LaserCommand,
+    MeltPoolOptics,
+    ScanTrack,
+    ThermalBuild,
+    ThermalBuildConfig,
+    ThermalLayerRecord,
+    ThermalModelParams,
+    command_schedule,
+    deposit_energy,
+    raster_tracks,
+    render_meltpool_frame,
+    suggest_overheat_threshold,
+    synthesize_laser_calibration,
+    synthesize_thermal_build,
+)
 from .specimen import (
     CYLINDERS_PER_SPECIMEN,
     SPECIMEN_HEIGHT_MM,
@@ -95,4 +112,19 @@ __all__ = [
     "ControlHandle",
     "BuildOutcome",
     "RECOAT_GAP_S",
+    "ScanTrack",
+    "raster_tracks",
+    "LaserCommand",
+    "command_schedule",
+    "deposit_energy",
+    "MeltPoolOptics",
+    "render_meltpool_frame",
+    "ThermalModelParams",
+    "ThermalLayerRecord",
+    "ThermalBuildConfig",
+    "ThermalBuild",
+    "LaserCalibrationSample",
+    "synthesize_thermal_build",
+    "synthesize_laser_calibration",
+    "suggest_overheat_threshold",
 ]

@@ -1,0 +1,573 @@
+"""AMPES-style scan-path synthesis: raster tracks, deposition, thermal twin.
+
+The OT workload renders whole-layer intensity images; the thermal
+workloads need the layer *underneath* that image — where the laser
+actually went.  This module synthesizes, per layer:
+
+* a **serpentine raster scan path** (g-code-like): parallel tracks at
+  the stack's scan orientation, spaced by the hatch distance, clipped to
+  each part's footprint, with direction alternating track-to-track;
+* a **power/speed command schedule** — the commanded setpoints plus the
+  *actual* delivered values (commanded modulated by a slow AR(1)
+  actuator drift, optionally with a commanded power spike window so
+  forecast pipelines have a predictable overheat to warn about);
+* **per-track energy deposition** onto a cell grid (line energy
+  ``e = P/v`` J/mm integrated along each track — total deposited energy
+  equals ``Σ e·length`` exactly, which the property suite asserts);
+* a **surface-temperature recursion** with known ground truth:
+  ``T_k = ambient + retention·(T_{k-1} − ambient) + coupling·E_k + w``
+  observed through additive sensor noise and optional NaN dropout;
+* a **melt-pool frame**: each track painted as a Gaussian cross-section
+  whose amplitude scales as ``P/sqrt(v)`` and width as ``sqrt(P/v)`` (the
+  melt-pool scaling the laser-parameter regressor inverts).
+
+Everything is seeded and deterministic, so accuracy gates can compare
+pipeline output against exact ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from .geometry import Rect
+
+__all__ = [
+    "ScanTrack",
+    "raster_tracks",
+    "LaserCommand",
+    "command_schedule",
+    "deposit_energy",
+    "MeltPoolOptics",
+    "render_meltpool_frame",
+    "ThermalModelParams",
+    "ThermalLayerRecord",
+    "ThermalBuildConfig",
+    "ThermalBuild",
+    "LaserCalibrationSample",
+    "synthesize_thermal_build",
+    "synthesize_laser_calibration",
+    "suggest_overheat_threshold",
+]
+
+
+@dataclass(frozen=True)
+class ScanTrack:
+    """One straight laser vector in region coordinates (mm)."""
+
+    x0_mm: float
+    y0_mm: float
+    x1_mm: float
+    y1_mm: float
+    power_w: float
+    speed_mm_s: float
+
+    @property
+    def length_mm(self) -> float:
+        return math.hypot(self.x1_mm - self.x0_mm, self.y1_mm - self.y0_mm)
+
+    @property
+    def line_energy_j_mm(self) -> float:
+        """Energy deposited per mm of track: e = P / v."""
+        return self.power_w / self.speed_mm_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.line_energy_j_mm * self.length_mm
+
+
+def raster_tracks(
+    rect: Rect,
+    angle_deg: float,
+    hatch_mm: float,
+    power_w: float,
+    speed_mm_s: float,
+) -> list[ScanTrack]:
+    """Serpentine raster fill of ``rect`` at the given scan orientation.
+
+    Tracks run parallel to the scan vector, spaced ``hatch_mm`` apart
+    along its normal (the invariant the property suite checks), clipped
+    to the rectangle, with direction alternating between consecutive
+    tracks.  The first track sits half a hatch inside the footprint so a
+    part always receives at least one track when it is wider than the
+    hatch.
+    """
+    if hatch_mm <= 0.0:
+        raise ValueError("hatch_mm must be positive")
+    theta = math.radians(angle_deg)
+    dx, dy = math.cos(theta), math.sin(theta)
+    nx, ny = -dy, dx  # unit normal to the scan direction
+    corners = (
+        (rect.x_min, rect.y_min),
+        (rect.x_min, rect.y_max),
+        (rect.x_max, rect.y_min),
+        (rect.x_max, rect.y_max),
+    )
+    offsets = [cx * nx + cy * ny for cx, cy in corners]
+    lo, hi = min(offsets), max(offsets)
+    tracks: list[ScanTrack] = []
+    offset = lo + hatch_mm / 2.0
+    index = 0
+    while offset < hi:
+        # a point on the line with this normal offset
+        bx, by = offset * nx, offset * ny
+        span = _clip_line(bx, by, dx, dy, rect)
+        offset += hatch_mm
+        if span is None:
+            continue
+        t0, t1 = span
+        x0, y0 = bx + t0 * dx, by + t0 * dy
+        x1, y1 = bx + t1 * dx, by + t1 * dy
+        if index % 2:  # serpentine: odd tracks run backwards
+            x0, y0, x1, y1 = x1, y1, x0, y0
+        tracks.append(ScanTrack(x0, y0, x1, y1, power_w, speed_mm_s))
+        index += 1
+    return tracks
+
+
+def _clip_line(
+    bx: float, by: float, dx: float, dy: float, rect: Rect
+) -> tuple[float, float] | None:
+    """Liang-Barsky: parameter range of the infinite line inside ``rect``."""
+    t0, t1 = -math.inf, math.inf
+    for base, delta, lo, hi in (
+        (bx, dx, rect.x_min, rect.x_max),
+        (by, dy, rect.y_min, rect.y_max),
+    ):
+        if abs(delta) < 1e-12:
+            if base < lo or base > hi:
+                return None
+            continue
+        ta = (lo - base) / delta
+        tb = (hi - base) / delta
+        if ta > tb:
+            ta, tb = tb, ta
+        t0 = max(t0, ta)
+        t1 = min(t1, tb)
+    if not (t1 - t0 > 1e-9):
+        return None
+    return t0, t1
+
+
+@dataclass(frozen=True)
+class LaserCommand:
+    """Power/speed pair for one layer (commanded or actual)."""
+
+    power_w: float
+    speed_mm_s: float
+
+
+def command_schedule(
+    layers: int,
+    power_w: float,
+    speed_mm_s: float,
+    *,
+    seed: int,
+    drift_pct: float = 0.03,
+    spike_layers: tuple[int, int] | None = None,
+    spike_factor: float = 1.6,
+) -> list[tuple[LaserCommand, LaserCommand]]:
+    """Per-layer ``(commanded, actual)`` pairs.
+
+    The commanded setpoints are the nominal machine parameters, with the
+    power multiplied by ``spike_factor`` inside the half-open
+    ``spike_layers`` window (the planned hot section the forecaster must
+    flag ahead of time).  The actual values modulate the commanded ones
+    by an AR(1) actuator drift with stationary deviation ``drift_pct`` —
+    the slowly wandering ground truth the reconstruction pipeline
+    recovers.
+    """
+    rng = np.random.default_rng(seed)
+    rho = 0.85
+    sigma = drift_pct * math.sqrt(1.0 - rho * rho)
+    p_drift = v_drift = 0.0
+    out: list[tuple[LaserCommand, LaserCommand]] = []
+    for layer in range(layers):
+        commanded_p = power_w
+        if spike_layers is not None and spike_layers[0] <= layer < spike_layers[1]:
+            commanded_p = power_w * spike_factor
+        p_drift = rho * p_drift + sigma * rng.standard_normal()
+        v_drift = rho * v_drift + sigma * rng.standard_normal()
+        commanded = LaserCommand(commanded_p, speed_mm_s)
+        actual = LaserCommand(
+            commanded_p * (1.0 + p_drift), speed_mm_s * (1.0 + v_drift)
+        )
+        out.append((commanded, actual))
+    return out
+
+
+def deposit_energy(
+    tracks: list[ScanTrack],
+    grid_cells: int,
+    cell_mm: float,
+    *,
+    sample_step_mm: float = 0.5,
+) -> np.ndarray:
+    """Rasterize track energy onto a ``(grid_cells, grid_cells)`` grid (J).
+
+    Each track is sampled at the midpoints of equal sub-segments no
+    longer than ``sample_step_mm``; every sample deposits its share of
+    the track energy into the cell under it.  Summing the grid therefore
+    reproduces ``Σ e·length`` exactly (up to float addition) — energy is
+    conserved by construction, not by normalization.
+    """
+    grid = np.zeros((grid_cells, grid_cells), dtype=np.float64)
+    for track in tracks:
+        length = track.length_mm
+        if length <= 0.0:
+            continue
+        n = max(1, math.ceil(length / sample_step_mm))
+        ts = (np.arange(n, dtype=np.float64) + 0.5) / n
+        xs = track.x0_mm + ts * (track.x1_mm - track.x0_mm)
+        ys = track.y0_mm + ts * (track.y1_mm - track.y0_mm)
+        cols = np.clip((xs / cell_mm).astype(np.int64), 0, grid_cells - 1)
+        rows = np.clip((ys / cell_mm).astype(np.int64), 0, grid_cells - 1)
+        np.add.at(grid, (rows, cols), track.energy_j / n)
+    return grid
+
+
+@dataclass(frozen=True)
+class MeltPoolOptics:
+    """Synthetic on-axis melt-pool sensor model.
+
+    Track cross-sections are Gaussian with amplitude
+    ``amplitude_coeff * P / sqrt(v)`` and width
+    ``width_coeff_mm * sqrt(P / v)`` — the two scalings that make power
+    and speed jointly identifiable from one frame.
+    """
+
+    amplitude_coeff: float = 15.0
+    width_coeff_mm: float = 1.25
+    melt_threshold: float = 60.0
+    noise_std: float = 2.0
+    top_k: int = 64
+
+    def amplitude(self, power_w: float, speed_mm_s: float) -> float:
+        return self.amplitude_coeff * power_w / math.sqrt(speed_mm_s)
+
+    def sigma_mm(self, power_w: float, speed_mm_s: float) -> float:
+        return self.width_coeff_mm * math.sqrt(power_w / speed_mm_s)
+
+
+def render_meltpool_frame(
+    tracks: list[ScanTrack],
+    image_px: int,
+    px_per_mm: float,
+    optics: MeltPoolOptics,
+) -> np.ndarray:
+    """Noise-free melt-pool frame: max-composed Gaussian track profiles."""
+    image = np.zeros((image_px, image_px), dtype=np.float64)
+    coords = (np.arange(image_px, dtype=np.float64) + 0.5) / px_per_mm
+    for track in tracks:
+        sigma = optics.sigma_mm(track.power_w, track.speed_mm_s)
+        amplitude = optics.amplitude(track.power_w, track.speed_mm_s)
+        reach = 4.0 * sigma
+        x_lo = min(track.x0_mm, track.x1_mm) - reach
+        x_hi = max(track.x0_mm, track.x1_mm) + reach
+        y_lo = min(track.y0_mm, track.y1_mm) - reach
+        y_hi = max(track.y0_mm, track.y1_mm) + reach
+        c0 = max(0, int(x_lo * px_per_mm))
+        c1 = min(image_px, int(math.ceil(x_hi * px_per_mm)) + 1)
+        r0 = max(0, int(y_lo * px_per_mm))
+        r1 = min(image_px, int(math.ceil(y_hi * px_per_mm)) + 1)
+        if c0 >= c1 or r0 >= r1:
+            continue
+        xs = coords[c0:c1][None, :]
+        ys = coords[r0:r1][:, None]
+        d2 = _segment_distance_sq(
+            xs, ys, track.x0_mm, track.y0_mm, track.x1_mm, track.y1_mm
+        )
+        profile = amplitude * np.exp(-d2 / (2.0 * sigma * sigma))
+        np.maximum(image[r0:r1, c0:c1], profile, out=image[r0:r1, c0:c1])
+    return image
+
+
+def _segment_distance_sq(xs, ys, x0, y0, x1, y1):
+    """Squared distance from each (ys, xs) grid point to a segment."""
+    vx, vy = x1 - x0, y1 - y0
+    norm = vx * vx + vy * vy
+    if norm < 1e-18:
+        return (xs - x0) ** 2 + (ys - y0) ** 2
+    t = np.clip(((xs - x0) * vx + (ys - y0) * vy) / norm, 0.0, 1.0)
+    px = x0 + t * vx
+    py = y0 + t * vy
+    return (xs - px) ** 2 + (ys - py) ** 2
+
+
+@dataclass(frozen=True)
+class ThermalModelParams:
+    """Surface-temperature state-space model (sensor units).
+
+    The estimator loads these from the KV store — they are the
+    calibrated machine model, not tunables baked into operator code.
+    """
+
+    ambient: float = 80.0
+    retention: float = 0.62
+    coupling_per_j: float = 55.0
+    process_var: float = 0.25
+    sensor_var: float = 2.25
+
+    def as_payload(self) -> dict[str, float]:
+        return {
+            "ambient": self.ambient,
+            "retention": self.retention,
+            "coupling_per_j": self.coupling_per_j,
+            "process_var": self.process_var,
+            "sensor_var": self.sensor_var,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, float]) -> "ThermalModelParams":
+        return cls(
+            ambient=float(payload["ambient"]),
+            retention=float(payload["retention"]),
+            coupling_per_j=float(payload["coupling_per_j"]),
+            process_var=float(payload["process_var"]),
+            sensor_var=float(payload["sensor_var"]),
+        )
+
+
+@dataclass(frozen=True)
+class ThermalLayerRecord:
+    """Everything one layer publishes, plus its hidden ground truth."""
+
+    job_id: str
+    layer: int
+    scan_angle_deg: float
+    commanded_power_w: float
+    commanded_speed_mm_s: float
+    actual_power_w: float
+    actual_speed_mm_s: float
+    track_length_mm: float
+    #: planned per-cell deposition for this layer (from commanded values)
+    energy_cells: np.ndarray
+    #: planned deposition for the *next* layer (zeros past the build top)
+    energy_next_cells: np.ndarray
+    #: hidden ground truth after this layer (actual values + process noise)
+    true_temp_cells: np.ndarray
+    #: what the sensor reports: truth + noise, NaN where samples dropped
+    measured_temp_cells: np.ndarray
+    #: on-axis melt-pool frame (actual values + sensor noise)
+    meltpool_image: np.ndarray
+
+
+def _default_parts() -> tuple[Rect, ...]:
+    return (Rect(5.0, 5.0, 27.0, 55.0), Rect(33.0, 5.0, 55.0, 55.0))
+
+
+@dataclass(frozen=True)
+class ThermalBuildConfig:
+    """Geometry, schedule, and noise model of one synthetic thermal build."""
+
+    job_id: str = "thermal-build"
+    layers: int = 30
+    region_mm: float = 60.0
+    cell_mm: float = 1.5
+    px_per_mm: float = 2.0
+    hatch_mm: float = 2.0
+    parts: tuple[Rect, ...] = field(default_factory=_default_parts)
+    power_w: float = 280.0
+    speed_mm_s: float = 1200.0
+    scan_start_deg: float = 90.0
+    scan_increment_deg: float = 15.0
+    thermal: ThermalModelParams = field(default_factory=ThermalModelParams)
+    optics: MeltPoolOptics = field(default_factory=MeltPoolOptics)
+    drift_pct: float = 0.03
+    spike_layers: tuple[int, int] | None = None
+    spike_factor: float = 1.6
+    dropout_rate: float = 0.0
+    sample_step_mm: float = 0.5
+    seed: int = 11
+
+    @property
+    def grid_cells(self) -> int:
+        return int(round(self.region_mm / self.cell_mm))
+
+    @property
+    def image_px(self) -> int:
+        return int(round(self.region_mm * self.px_per_mm))
+
+    @property
+    def cell_edge_px(self) -> int:
+        """Melt-pool pixels per thermal cell (must divide the image)."""
+        edge = self.cell_mm * self.px_per_mm
+        if abs(edge - round(edge)) > 1e-9:
+            raise ValueError(
+                f"cell_mm * px_per_mm = {edge} must be an integer pixel count"
+            )
+        return int(round(edge))
+
+    def scan_angle(self, layer: int) -> float:
+        return (self.scan_start_deg + layer * self.scan_increment_deg) % 180.0
+
+    def layer_tracks(
+        self, layer: int, power_w: float, speed_mm_s: float
+    ) -> list[ScanTrack]:
+        angle = self.scan_angle(layer)
+        tracks: list[ScanTrack] = []
+        for part in self.parts:
+            tracks.extend(
+                raster_tracks(part, angle, self.hatch_mm, power_w, speed_mm_s)
+            )
+        return tracks
+
+
+@dataclass(frozen=True)
+class ThermalBuild:
+    """A fully synthesized build: config + one record per layer."""
+
+    config: ThermalBuildConfig
+    records: list[ThermalLayerRecord]
+
+
+def synthesize_thermal_build(config: ThermalBuildConfig) -> ThermalBuild:
+    """Run the digital twin: schedule, scan, deposit, heat, observe."""
+    rng = np.random.default_rng(config.seed)
+    schedule = command_schedule(
+        config.layers,
+        config.power_w,
+        config.speed_mm_s,
+        seed=config.seed + 1,
+        drift_pct=config.drift_pct,
+        spike_layers=config.spike_layers,
+        spike_factor=config.spike_factor,
+    )
+    cells = config.grid_cells
+    # pass 1: planned (commanded) deposition per layer, so layer k can
+    # publish layer k+1's plan — the g-code is known ahead of the scan
+    planned: list[np.ndarray] = []
+    for layer, (commanded, _actual) in enumerate(schedule):
+        tracks = config.layer_tracks(layer, commanded.power_w, commanded.speed_mm_s)
+        planned.append(
+            deposit_energy(
+                tracks, cells, config.cell_mm, sample_step_mm=config.sample_step_mm
+            )
+        )
+    planned.append(np.zeros((cells, cells), dtype=np.float64))
+
+    params = config.thermal
+    truth = np.full((cells, cells), params.ambient, dtype=np.float64)
+    records: list[ThermalLayerRecord] = []
+    for layer, (commanded, actual) in enumerate(schedule):
+        tracks = config.layer_tracks(layer, actual.power_w, actual.speed_mm_s)
+        energy_actual = deposit_energy(
+            tracks, cells, config.cell_mm, sample_step_mm=config.sample_step_mm
+        )
+        process_noise = math.sqrt(params.process_var) * rng.standard_normal(
+            (cells, cells)
+        )
+        truth = (
+            params.ambient
+            + params.retention * (truth - params.ambient)
+            + params.coupling_per_j * energy_actual
+            + process_noise
+        )
+        measured = truth + math.sqrt(params.sensor_var) * rng.standard_normal(
+            (cells, cells)
+        )
+        if config.dropout_rate > 0.0:
+            dropped = rng.random((cells, cells)) < config.dropout_rate
+            measured = np.where(dropped, np.nan, measured)
+        meltpool = render_meltpool_frame(
+            tracks, config.image_px, config.px_per_mm, config.optics
+        )
+        if config.optics.noise_std > 0.0:
+            meltpool = meltpool + config.optics.noise_std * rng.standard_normal(
+                meltpool.shape
+            )
+        records.append(
+            ThermalLayerRecord(
+                job_id=config.job_id,
+                layer=layer,
+                scan_angle_deg=config.scan_angle(layer),
+                commanded_power_w=commanded.power_w,
+                commanded_speed_mm_s=commanded.speed_mm_s,
+                actual_power_w=actual.power_w,
+                actual_speed_mm_s=actual.speed_mm_s,
+                track_length_mm=sum(t.length_mm for t in tracks),
+                energy_cells=planned[layer],
+                energy_next_cells=planned[layer + 1],
+                true_temp_cells=truth.copy(),
+                measured_temp_cells=measured,
+                meltpool_image=meltpool,
+            )
+        )
+    return ThermalBuild(config=config, records=records)
+
+
+@dataclass(frozen=True)
+class LaserCalibrationSample:
+    """One reference frame with known delivered power/speed."""
+
+    power_w: float
+    speed_mm_s: float
+    track_length_mm: float
+    image: np.ndarray
+
+
+def synthesize_laser_calibration(
+    config: ThermalBuildConfig,
+    *,
+    spread: float = 0.12,
+    steps: int = 3,
+    angles: tuple[float, ...] = (90.0, 45.0, 0.0),
+    seed: int | None = None,
+) -> list[LaserCalibrationSample]:
+    """Reference sweep around the nominal setpoints for regressor fitting.
+
+    A ``steps × steps`` grid over ``±spread`` of nominal power and speed,
+    rendered at several scan angles with the production optics and noise —
+    the labelled data the recursive least-squares calibrator consumes.
+    """
+    rng = np.random.default_rng(config.seed + 101 if seed is None else seed)
+    factors = np.linspace(1.0 - spread, 1.0 + spread, steps)
+    samples: list[LaserCalibrationSample] = []
+    for angle in angles:
+        layer_config = replace(
+            config, scan_start_deg=angle, scan_increment_deg=0.0
+        )
+        for pf in factors:
+            for vf in factors:
+                power = config.power_w * float(pf)
+                speed = config.speed_mm_s * float(vf)
+                tracks = layer_config.layer_tracks(0, power, speed)
+                image = render_meltpool_frame(
+                    tracks, config.image_px, config.px_per_mm, config.optics
+                )
+                if config.optics.noise_std > 0.0:
+                    image = image + config.optics.noise_std * rng.standard_normal(
+                        image.shape
+                    )
+                samples.append(
+                    LaserCalibrationSample(
+                        power_w=power,
+                        speed_mm_s=speed,
+                        track_length_mm=sum(t.length_mm for t in tracks),
+                        image=image,
+                    )
+                )
+    return samples
+
+
+def suggest_overheat_threshold(
+    build: ThermalBuild, *, quantile: float = 0.999, margin: float = 2.0
+) -> float:
+    """Alert threshold just above normal operation's hottest cells.
+
+    Computed over the ground truth of layers *outside* the spike window,
+    so a commanded power spike predictably crosses it while steady
+    operation stays clear.
+    """
+    spike = build.config.spike_layers
+    normal = [
+        r.true_temp_cells
+        for r in build.records
+        if spike is None or not (spike[0] <= r.layer < spike[1])
+    ]
+    if not normal:
+        raise ValueError("no layers outside the spike window")
+    stacked = np.stack(normal)
+    return float(np.quantile(stacked, quantile)) + margin

@@ -7,6 +7,8 @@ writing any code:
 * ``monitor``    — live build with automatic early termination;
 * ``replay``     — as-fast-as-possible reprocessing of a historic build;
 * ``streaks``    — the recoater-streak use case;
+* ``forecast``   — streaming thermal state estimation with predictive QoS;
+* ``reconstruct``— laser power/speed reconstruction from melt-pool frames;
 * ``figures``    — compact re-runs of the paper's Figure 5/6/7 sweeps;
 * ``recover``    — checkpointed run with crash simulation and recovery;
 * ``top``        — live per-operator metrics table while a build runs;
@@ -306,6 +308,110 @@ def cmd_streaks(args: argparse.Namespace) -> int:
     for streak in reported.values():
         print(f"  y={streak['y_mm']:.1f} mm layers "
               f"{streak['first_layer']}-{streak['last_layer']}")
+    return 0
+
+
+def _thermal_build_of(args: argparse.Namespace):
+    from .am.scanpath import ThermalBuildConfig, synthesize_thermal_build
+
+    spike = None
+    if args.spike_layer is not None:
+        spike = (args.spike_layer, min(args.spike_layer + 1, args.layers - 1))
+    config = ThermalBuildConfig(
+        job_id="cli-thermal-build",
+        layers=args.layers,
+        spike_layers=spike,
+        dropout_rate=args.dropout_rate,
+        seed=args.seed,
+    )
+    return synthesize_thermal_build(config)
+
+
+def cmd_forecast(args: argparse.Namespace) -> int:
+    """Stream thermal frames through the Kalman estimator; print alerts."""
+    from .obs.watchdog import QoSWatchdog
+    from .thermal import (
+        ThermalPipelineConfig,
+        build_forecast_pipeline,
+        calibrate_thermal_job,
+        resolve_overheat_threshold,
+    )
+
+    build = _thermal_build_of(args)
+    pipe_cfg = ThermalPipelineConfig(window_layers=args.window)
+    threshold = resolve_overheat_threshold(build, pipe_cfg)
+    pipe_cfg.overheat_threshold = threshold
+    obs = _obs_of(args)
+    deploy_cfg = _deploy_of(args)
+    watchdog = QoSWatchdog()
+    strata = Strata(
+        engine_mode="threaded",
+        connector_mode=_connector_mode_of(deploy_cfg),
+        obs=obs,
+    )
+    pipeline = build_forecast_pipeline(
+        iter(build.records), iter(build.records), build.config, pipe_cfg,
+        strata=strata, watchdog=watchdog,
+    )
+    calibrate_thermal_job(strata.kv, build, laser=False)
+    _maybe_explain(args, strata, deploy_cfg)
+    strata.deploy(deploy_cfg)
+    _dump_metrics(args, obs)
+    results = pipeline.sink.results
+    realized = [t.payload["realized_rmse"] for t in results
+                if t.payload["realized_rmse"] >= 0]
+    mean_rmse = sum(realized) / len(realized) if realized else float("nan")
+    print(f"layers={args.layers} forecasts={len(results)} "
+          f"frames={pipeline.frames_processed} "
+          f"overheat_threshold={threshold:.1f}")
+    print(f"realized forecast RMSE vs measurement: {mean_rmse:.2f}")
+    alerts = watchdog.predictive_alerts()
+    print(f"predictive alerts: {len(alerts)}")
+    for alert in alerts:
+        print(f"  layer {alert.layer} {alert.specimen}: forecast "
+              f"{alert.predicted_value:.1f} > {alert.threshold:.1f} "
+              f"({alert.lead_time_s:.1f}s lead)")
+    return 0
+
+
+def cmd_reconstruct(args: argparse.Namespace) -> int:
+    """Recover laser power/speed per layer from melt-pool frames."""
+    from .thermal import (
+        ThermalPipelineConfig,
+        build_reconstruction_pipeline,
+        calibrate_thermal_job,
+    )
+
+    build = _thermal_build_of(args)
+    obs = _obs_of(args)
+    deploy_cfg = _deploy_of(args)
+    strata = Strata(
+        engine_mode="threaded",
+        connector_mode=_connector_mode_of(deploy_cfg),
+        obs=obs,
+    )
+    pipeline = build_reconstruction_pipeline(
+        iter(build.records), build.config,
+        ThermalPipelineConfig(window_layers=args.window), strata=strata,
+    )
+    calibrate_thermal_job(strata.kv, build)
+    _maybe_explain(args, strata, deploy_cfg)
+    strata.deploy(deploy_cfg)
+    _dump_metrics(args, obs)
+    results = sorted(pipeline.sink.results, key=lambda t: t.layer)
+    actual = {r.layer: (r.actual_power_w, r.actual_speed_mm_s)
+              for r in build.records}
+    print(f"layers={args.layers} reconstructions={len(results)}")
+    print(f"{'layer':>5} {'P_hat':>8} {'P_true':>8} {'v_hat':>8} {'v_true':>8}")
+    errors = []
+    for t in results:
+        power, speed = actual[t.layer]
+        errors.append(abs(t.payload["power_w_hat"] - power) / power)
+        if t.layer % max(1, args.layers // 10) == 0:
+            print(f"{t.layer:>5} {t.payload['power_w_hat']:>8.1f} {power:>8.1f} "
+                  f"{t.payload['speed_mm_s_hat']:>8.1f} {speed:>8.1f}")
+    mean_err = sum(errors) / len(errors) if errors else float("nan")
+    print(f"mean relative power error: {mean_err * 100:.2f}%")
     return 0
 
 
@@ -748,6 +854,26 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--streak-rate", type=float, default=12.0,
                     help="seeded streaks per 100 layers")
     sp.set_defaults(fn=cmd_streaks)
+
+    sp = subparsers.add_parser(
+        "forecast", help="streaming thermal state estimation + predictive QoS"
+    )
+    _add_common(sp)
+    sp.add_argument("--spike-layer", type=int, default=None,
+                    help="seed an overheat spike starting at this layer")
+    sp.add_argument("--dropout-rate", type=float, default=0.0,
+                    help="fraction of thermal cells dropped (NaN) per layer")
+    sp.set_defaults(fn=cmd_forecast)
+
+    sp = subparsers.add_parser(
+        "reconstruct", help="laser power/speed reconstruction from melt pools"
+    )
+    _add_common(sp)
+    sp.add_argument("--spike-layer", type=int, default=None,
+                    help="seed an overheat spike starting at this layer")
+    sp.add_argument("--dropout-rate", type=float, default=0.0,
+                    help="fraction of thermal cells dropped (NaN) per layer")
+    sp.set_defaults(fn=cmd_reconstruct)
 
     sp = subparsers.add_parser("figures", help="compact Figure 5/6/7 sweeps")
     _add_common(sp)

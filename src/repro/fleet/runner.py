@@ -8,10 +8,12 @@ from the submitted spec. The service holds one runner per RUNNING job and
 routes lifecycle calls (cancel, scrape) at it.
 
 Workload specs are plain dicts so they survive the KV store and the HTTP
-API. Two kinds ship today — ``thermal`` (Alg. 1 defect detection) and
-``streaks`` (the recoater-streak use case) — both fully deterministic in
-their ``seed``, which is what makes the fleet's divergence gate (same
-spec in-fleet and standalone must yield identical results) checkable.
+API. Four kinds ship today — ``thermal`` (Alg. 1 defect detection),
+``streaks`` (the recoater-streak use case), ``forecast`` (streaming
+thermal state estimation) and ``reconstruct`` (laser-parameter
+reconstruction) — all fully deterministic in their ``seed``, which is
+what makes the fleet's divergence gate (same spec in-fleet and
+standalone must yield identical results) checkable.
 """
 
 from __future__ import annotations
@@ -50,7 +52,7 @@ WORKLOAD_DEFAULTS: dict[str, Any] = {
     "streak_rate": 12.0,
 }
 
-WORKLOAD_KINDS = ("thermal", "streaks")
+WORKLOAD_KINDS = ("thermal", "streaks", "forecast", "reconstruct")
 
 
 def resolve_workload(spec: dict[str, Any] | None) -> dict[str, Any]:
@@ -89,8 +91,58 @@ def _records(workload: dict[str, Any], streaks: bool):
     return job, renderer, records
 
 
+def _thermal_build(workload: dict[str, Any]):
+    """Synthesize the deterministic build the two thermal kinds stream."""
+    from ..am.scanpath import Rect, ThermalBuildConfig, synthesize_thermal_build
+
+    # derive the plate from image_px, snapped so the grid divides evenly:
+    # region must be a multiple of cell_mm for integer cells, and the
+    # melt image (2 px/mm) is then a multiple of the 3-px cell edge
+    cell_mm = 1.5
+    region_mm = max(18.0, cell_mm * round(int(workload["image_px"]) / 2.0 / cell_mm))
+    s = region_mm / 60.0
+    config = ThermalBuildConfig(
+        job_id=workload["name"],
+        layers=int(workload["layers"]),
+        region_mm=region_mm,
+        cell_mm=cell_mm,
+        parts=(
+            Rect(5.0 * s, 5.0 * s, 27.0 * s, 55.0 * s),
+            Rect(33.0 * s, 5.0 * s, 55.0 * s, 55.0 * s),
+        ),
+        seed=int(workload["seed"]),
+    )
+    return synthesize_thermal_build(config)
+
+
+def _build_thermal_pipeline(strata: Strata, workload: dict[str, Any]):
+    from ..thermal import (
+        ThermalPipelineConfig,
+        build_forecast_pipeline,
+        build_reconstruction_pipeline,
+        calibrate_thermal_job,
+    )
+
+    build = _thermal_build(workload)
+    config = ThermalPipelineConfig(window_layers=int(workload["window"]))
+    if workload["kind"] == "forecast":
+        pipeline = build_forecast_pipeline(
+            iter(build.records), iter(build.records), build.config, config,
+            strata=strata,
+        )
+        calibrate_thermal_job(strata.kv, build, laser=False)
+    else:
+        pipeline = build_reconstruction_pipeline(
+            iter(build.records), build.config, config, strata=strata
+        )
+        calibrate_thermal_job(strata.kv, build)
+    return pipeline.sink
+
+
 def build_pipeline(strata: Strata, workload: dict[str, Any]):
     """Compose the workload's pipeline on ``strata``; returns its sink."""
+    if workload["kind"] in ("forecast", "reconstruct"):
+        return _build_thermal_pipeline(strata, workload)
     if workload["kind"] == "streaks":
         _, _, records = _records(workload, streaks=True)
         pipeline = build_streak_use_case(
@@ -124,7 +176,25 @@ def build_pipeline(strata: Strata, workload: dict[str, Any]):
 
 def result_ids(workload: dict[str, Any], results: list) -> list[list[Any]]:
     """Order-independent result identities, the divergence-gate currency."""
-    if workload["kind"] == "streaks":
+    if workload["kind"] == "forecast":
+        keys = [
+            [
+                t.job, t.layer, t.specimen,
+                round(float(t.payload["forecast_mean"]), 6),
+                round(float(t.payload["forecast_max"]), 6),
+            ]
+            for t in results
+        ]
+    elif workload["kind"] == "reconstruct":
+        keys = [
+            [
+                t.job, t.layer, t.specimen,
+                round(float(t.payload["power_w_hat"]), 6),
+                round(float(t.payload["speed_mm_s_hat"]), 6),
+            ]
+            for t in results
+        ]
+    elif workload["kind"] == "streaks":
         keys = [
             [t.job, t.layer, t.specimen, len(t.payload.get("streaks", ()))]
             for t in results

@@ -32,7 +32,14 @@ from .registry import (
     histogram_samples,
 )
 from .tracer import Span, Trace, Tracer
-from .watchdog import RECOAT_GAP_SECONDS, LayerLatency, QoSAlert, QoSWatchdog
+from .watchdog import (
+    DEADLINE_CATEGORY,
+    PREDICTIVE_CATEGORY,
+    RECOAT_GAP_SECONDS,
+    LayerLatency,
+    QoSAlert,
+    QoSWatchdog,
+)
 
 __all__ = [
     "DEFAULT_TIME_BUCKETS",
@@ -46,6 +53,8 @@ __all__ = [
     "ObsConfig",
     "ObsContext",
     "QoSAlert",
+    "DEADLINE_CATEGORY",
+    "PREDICTIVE_CATEGORY",
     "QoSWatchdog",
     "Sample",
     "Span",

@@ -27,9 +27,25 @@ RECOAT_GAP_SECONDS = 3.0
 logger = logging.getLogger("repro.obs.qos")
 
 
+#: alert category of the original hard recoat-deadline path
+DEADLINE_CATEGORY = "deadline"
+#: alert category of forecast-based events raised ahead of a breach
+PREDICTIVE_CATEGORY = "predictive"
+
+
 @dataclass(frozen=True)
 class QoSAlert:
-    """One structured deadline violation."""
+    """One structured QoS event.
+
+    The original shape — a hard deadline violation at a sink — is the
+    ``deadline`` category and keeps its exact field meanings.  Predictive
+    alerts (category ``predictive``) are raised by forecasting operators
+    *before* a threshold is breached: ``predicted_value``/``threshold``
+    carry the forecast exceedance and ``lead_time_s`` how far ahead of
+    the breach the warning landed (``latency_s`` is 0.0 — nothing is
+    late yet).  All new fields default, so pre-existing constructions and
+    checkpoints remain valid.
+    """
 
     job: str
     layer: int
@@ -38,8 +54,20 @@ class QoSAlert:
     latency_s: float
     deadline_s: float
     wall_time: float
+    category: str = DEADLINE_CATEGORY
+    lead_time_s: float | None = None
+    predicted_value: float | None = None
+    threshold: float | None = None
 
     def format(self) -> str:
+        if self.category == PREDICTIVE_CATEGORY:
+            lead = f"{self.lead_time_s:.1f}s" if self.lead_time_s is not None else "?"
+            return (
+                f"QoS predictive alert: job={self.job} layer={self.layer} "
+                f"specimen={self.specimen} forecast {self.predicted_value:.2f} "
+                f"exceeds threshold {self.threshold:.2f} "
+                f"(lead time {lead}) from {self.sink!r}"
+            )
         return (
             f"QoS violation: job={self.job} layer={self.layer} "
             f"specimen={self.specimen} took {self.latency_s:.3f}s "
@@ -85,11 +113,16 @@ class QoSWatchdog:
         self._max_layers = max_layers
         self._lock = threading.Lock()
         self._layers: dict[tuple[str, int], LayerLatency] = {}
-        self._alerted: set[tuple[str, int, str]] = set()
+        # legacy deadline alerts dedup on (job, layer, sink); other
+        # categories append themselves to the key, so old entries are
+        # never aliased by new alert shapes
+        self._alerted: set[tuple] = set()
         self.alerts: list[QoSAlert] = []
         self.results_observed = 0
         self.violations = 0
+        self.predictive_events = 0
         self._violations_total = None
+        self._predictive_total = None
         self._worst_gauge = None
 
     def add_callback(self, callback: AlertCallback) -> None:
@@ -102,6 +135,10 @@ class QoSWatchdog:
         ).set(self.deadline_s)
         self._violations_total = registry.counter(
             "strata_qos_violations_total", "results delivered past the QoS deadline"
+        )
+        self._predictive_total = registry.counter(
+            "strata_qos_predictive_alerts_total",
+            "forecast-based QoS alerts raised ahead of a threshold breach",
         )
         self._worst_gauge = registry.gauge(
             "strata_qos_worst_latency_seconds",
@@ -156,7 +193,59 @@ class QoSWatchdog:
             for callback in self._callbacks:
                 callback(alert)
 
+    def observe_forecast(
+        self,
+        job: str,
+        layer: int,
+        specimen: str | None,
+        source: str,
+        predicted_value: float,
+        threshold: float,
+        lead_time_s: float,
+    ) -> QoSAlert | None:
+        """Raise a predictive alert: a forecast exceeds a QoS threshold.
+
+        Called by forecasting operators for the layer *about to be*
+        affected, ``lead_time_s`` ahead of the breach.  Deduplicated per
+        (job, layer, source) within the predictive category, so a region
+        forecast repeatedly over a window alerts once; the legacy
+        deadline dedup keys are untouched.
+        """
+        alert: QoSAlert | None = None
+        with self._lock:
+            self.predictive_events += 1
+            if self._predictive_total is not None:
+                self._predictive_total.inc()
+            alert_key = (job, layer, source, PREDICTIVE_CATEGORY)
+            if alert_key not in self._alerted:
+                self._alerted.add(alert_key)
+                alert = QoSAlert(
+                    job=job,
+                    layer=layer,
+                    specimen=specimen,
+                    sink=source,
+                    latency_s=0.0,
+                    deadline_s=self.deadline_s,
+                    wall_time=time.time(),
+                    category=PREDICTIVE_CATEGORY,
+                    lead_time_s=lead_time_s,
+                    predicted_value=predicted_value,
+                    threshold=threshold,
+                )
+                if len(self.alerts) < self._max_alerts:
+                    self.alerts.append(alert)
+        if alert is not None:
+            logger.warning(alert.format())
+            for callback in self._callbacks:
+                callback(alert)
+        return alert
+
     # -- queries ------------------------------------------------------------
+
+    def predictive_alerts(self) -> list[QoSAlert]:
+        """Alerts raised ahead of a breach (category ``predictive``)."""
+        with self._lock:
+            return [a for a in self.alerts if a.category == PREDICTIVE_CATEGORY]
 
     def violated_layers(self) -> list[tuple[str, int]]:
         with self._lock:

@@ -1,0 +1,115 @@
+"""Raw data collectors for the thermal workloads.
+
+Same contract as :mod:`repro.core.collectors`: each collector is an SPE
+source emitting the Table 1 ``addSource`` schema over an iterable of
+:class:`~repro.am.scanpath.ThermalLayerRecord`.  Event time is the layer
+index — the natural discrete clock of a build replay — so the thermal
+frame and scan-plan collectors of one record share a ``tau`` and
+windowless ``fuse`` matches them exactly.
+
+The payload key sets of the two forecast-pipeline collectors are
+disjoint by construction (``fuse`` rejects overlap), and the hidden
+ground-truth fields of the record are deliberately *not* published: the
+pipelines see only what a real machine would emit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Iterator
+
+from ..am.scanpath import ThermalLayerRecord
+from ..spe.source import Source
+from ..spe.tuples import StreamTuple
+
+__all__ = [
+    "ThermalFrameCollector",
+    "ScanPlanCollector",
+    "MeltPoolCollector",
+]
+
+
+class ThermalFrameCollector(Source):
+    """Per-layer surface-temperature frames from the thermal sensor."""
+
+    def __init__(
+        self,
+        records: Iterable[ThermalLayerRecord],
+        name: str = "thermal-frame-collector",
+    ) -> None:
+        super().__init__(name)
+        self._records = records
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for record in self._records:
+            yield StreamTuple(
+                tau=float(record.layer),
+                job=record.job_id,
+                layer=record.layer,
+                payload={"temp_frame": record.measured_temp_cells},
+                ingest_time=time.monotonic(),
+            )
+
+
+class ScanPlanCollector(Source):
+    """Per-layer scan-plan data: planned deposition and commanded setpoints.
+
+    Everything here is known before the layer is scanned (it derives from
+    the g-code), including the *next* layer's planned deposition — which
+    is what lets the estimator forecast ahead of the scan.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[ThermalLayerRecord],
+        name: str = "scan-plan-collector",
+    ) -> None:
+        super().__init__(name)
+        self._records = records
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for record in self._records:
+            yield StreamTuple(
+                tau=float(record.layer),
+                job=record.job_id,
+                layer=record.layer,
+                payload={
+                    "energy_plan": record.energy_cells,
+                    "energy_plan_next": record.energy_next_cells,
+                    "scan_angle_deg": record.scan_angle_deg,
+                },
+                ingest_time=time.monotonic(),
+            )
+
+
+class MeltPoolCollector(Source):
+    """Per-layer on-axis melt-pool frames plus the commanded setpoints.
+
+    The commanded values ride along so the reconstruction pipeline can
+    report recovered-vs-commanded deviation; the *actual* delivered
+    values stay hidden in the record (they are the ground truth the
+    accuracy gates compare against).
+    """
+
+    def __init__(
+        self,
+        records: Iterable[ThermalLayerRecord],
+        name: str = "meltpool-collector",
+    ) -> None:
+        super().__init__(name)
+        self._records = records
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        for record in self._records:
+            yield StreamTuple(
+                tau=float(record.layer),
+                job=record.job_id,
+                layer=record.layer,
+                payload={
+                    "melt_image": record.meltpool_image,
+                    "track_length_mm": record.track_length_mm,
+                    "commanded_power_w": record.commanded_power_w,
+                    "commanded_speed_mm_s": record.commanded_speed_mm_s,
+                },
+                ingest_time=time.monotonic(),
+            )

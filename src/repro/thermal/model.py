@@ -1,0 +1,110 @@
+"""Shared calibration state of the thermal workloads, kept in the KV store.
+
+Both thermal pipelines follow the defect pipeline's calibration pattern
+(:func:`repro.core.usecase.calibrate_job`): fit once against reference
+data, persist under a per-job key, and let the streaming operators load
+lazily on the first tuple of each job.  That keeps operator construction
+cheap and makes the calibration visible to every pipeline sharing the
+store — the overlapping-pipelines story of the fleet deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..am.scanpath import ThermalModelParams
+from ..kvstore.api import KVStore
+
+__all__ = [
+    "THERMAL_MODEL_KEY_PREFIX",
+    "LASER_CALIBRATION_KEY_PREFIX",
+    "thermal_model_key",
+    "store_thermal_model",
+    "load_thermal_model",
+    "LaserCalibration",
+    "laser_calibration_key",
+    "store_laser_calibration",
+    "load_laser_calibration",
+]
+
+THERMAL_MODEL_KEY_PREFIX = "thermal/model"
+LASER_CALIBRATION_KEY_PREFIX = "thermal/laser"
+
+
+def thermal_model_key(job_id: str) -> str:
+    return f"{THERMAL_MODEL_KEY_PREFIX}/{job_id}"
+
+
+def store_thermal_model(
+    store: KVStore, job_id: str, params: ThermalModelParams
+) -> None:
+    """Persist the calibrated state-space model for ``job_id``."""
+    store.put(thermal_model_key(job_id), params.as_payload())
+
+
+def load_thermal_model(store: KVStore, job_id: str) -> ThermalModelParams:
+    payload = store.get(thermal_model_key(job_id))
+    if payload is None:
+        raise KeyError(f"no thermal model stored for job {job_id!r}")
+    return ThermalModelParams.from_payload(payload)
+
+
+@dataclass(frozen=True)
+class LaserCalibration:
+    """Fitted inverse regression from melt-pool features to setpoints.
+
+    ``weights`` is the 2×3 coefficient matrix of the log-linear model
+
+        [log P, log v] = weights · [1, log_peak, log_dose]
+
+    fitted by the recursive least-squares calibrator over labelled
+    reference frames (see :mod:`repro.thermal.reconstruct`).
+    """
+
+    weights: tuple[tuple[float, float, float], tuple[float, float, float]]
+    top_k: int = 64
+    px_per_mm: float = 2.0
+
+    def recover(self, log_peak: float, log_dose: float) -> tuple[float, float]:
+        """Invert one feature vector into (power_w, speed_mm_s)."""
+        x = (1.0, log_peak, log_dose)
+        log_p = sum(w * v for w, v in zip(self.weights[0], x))
+        log_v = sum(w * v for w, v in zip(self.weights[1], x))
+        return math.exp(log_p), math.exp(log_v)
+
+    def as_payload(self) -> dict:
+        return {
+            "weights": [list(row) for row in self.weights],
+            "top_k": self.top_k,
+            "px_per_mm": self.px_per_mm,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "LaserCalibration":
+        rows = payload["weights"]
+        return cls(
+            weights=(
+                (float(rows[0][0]), float(rows[0][1]), float(rows[0][2])),
+                (float(rows[1][0]), float(rows[1][1]), float(rows[1][2])),
+            ),
+            top_k=int(payload["top_k"]),
+            px_per_mm=float(payload["px_per_mm"]),
+        )
+
+
+def laser_calibration_key(job_id: str) -> str:
+    return f"{LASER_CALIBRATION_KEY_PREFIX}/{job_id}"
+
+
+def store_laser_calibration(
+    store: KVStore, job_id: str, calibration: LaserCalibration
+) -> None:
+    store.put(laser_calibration_key(job_id), calibration.as_payload())
+
+
+def load_laser_calibration(store: KVStore, job_id: str) -> LaserCalibration:
+    payload = store.get(laser_calibration_key(job_id))
+    if payload is None:
+        raise KeyError(f"no laser calibration stored for job {job_id!r}")
+    return LaserCalibration.from_payload(payload)

@@ -1,0 +1,177 @@
+"""Laser power/speed reconstruction: RLS calibration + streaming inversion.
+
+The melt-pool optics make the two plate features log-linear in the
+setpoints (see :func:`repro.analysis.thermal_kernels.laser_feature_vector`),
+so the inverse model
+
+    [log P, log v] = W · [1, log_peak, log_dose]
+
+is fitted by :class:`RecursiveLeastSquares` over labelled reference
+frames (known delivered power/speed, production optics and noise) and
+persisted to the KV store.  Online, the correlate stage inverts each
+layer's features through the stored weights and smooths over its event
+window — recovering the *delivered* parameters, which the expert
+compares against the commanded ones to spot actuator drift.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+import numpy as np
+
+from ..am.scanpath import LaserCalibrationSample
+from ..analysis.thermal_kernels import laser_feature_vector
+from ..kvstore.api import KVStore
+from ..spe.tuples import StreamTuple
+from .model import LaserCalibration, load_laser_calibration, store_laser_calibration
+
+__all__ = [
+    "RecursiveLeastSquares",
+    "fit_laser_calibration",
+    "calibrate_laser_job",
+    "ReconstructLaserParameters",
+]
+
+
+class RecursiveLeastSquares:
+    """Textbook RLS (forgetting factor 1): rank-1 covariance updates.
+
+    Equivalent to batch least squares with ridge ``1/delta`` but updated
+    one labelled sample at a time, so calibration can refine as reference
+    layers stream in instead of re-solving the normal equations.
+    """
+
+    def __init__(self, dim: int, *, delta: float = 1000.0) -> None:
+        self._p = np.eye(dim) * delta
+        self._theta = np.zeros(dim, dtype=np.float64)
+        self.samples = 0
+
+    def update(self, x: Iterable[float], y: float) -> None:
+        xv = np.asarray(list(x), dtype=np.float64)
+        px = self._p @ xv
+        gain = px / (1.0 + float(xv @ px))
+        error = y - float(xv @ self._theta)
+        self._theta = self._theta + gain * error
+        self._p = self._p - np.outer(gain, px)
+        self.samples += 1
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self._theta.copy()
+
+    def snapshot_state(self) -> dict[str, Any]:
+        return {
+            "p": self._p.copy(),
+            "theta": self._theta.copy(),
+            "samples": self.samples,
+        }
+
+    def restore_state(self, state: dict[str, Any]) -> None:
+        self._p = np.array(state["p"], dtype=np.float64)
+        self._theta = np.array(state["theta"], dtype=np.float64)
+        self.samples = int(state["samples"])
+
+
+def fit_laser_calibration(
+    samples: Iterable[LaserCalibrationSample],
+    *,
+    px_per_mm: float,
+    top_k: int = 64,
+) -> LaserCalibration:
+    """Fit the inverse regression over labelled reference frames."""
+    rls_power = RecursiveLeastSquares(3)
+    rls_speed = RecursiveLeastSquares(3)
+    for sample in samples:
+        log_peak, log_dose = laser_feature_vector(
+            sample.image, sample.track_length_mm * px_per_mm, top_k=top_k
+        )
+        x = (1.0, log_peak, log_dose)
+        rls_power.update(x, math.log(sample.power_w))
+        rls_speed.update(x, math.log(sample.speed_mm_s))
+    if rls_power.samples < 3:
+        raise ValueError("laser calibration needs at least 3 labelled samples")
+    return LaserCalibration(
+        weights=(
+            tuple(float(w) for w in rls_power.theta),
+            tuple(float(w) for w in rls_speed.theta),
+        ),
+        top_k=top_k,
+        px_per_mm=px_per_mm,
+    )
+
+
+def calibrate_laser_job(
+    store: KVStore,
+    job_id: str,
+    samples: Iterable[LaserCalibrationSample],
+    *,
+    px_per_mm: float,
+    top_k: int = 64,
+) -> LaserCalibration:
+    """Fit and persist the regressor for ``job_id`` (pre-deploy step)."""
+    calibration = fit_laser_calibration(samples, px_per_mm=px_per_mm, top_k=top_k)
+    store_laser_calibration(store, job_id, calibration)
+    return calibration
+
+
+class ReconstructLaserParameters:
+    """correlateEvents F: invert features to power/speed per layer.
+
+    Stateless by design — the recovered-history smoothing reads the
+    correlate operator's own L-layer window, so checkpoint, recovery,
+    and rescale semantics are inherited rather than reimplemented.  The
+    fitted weights are calibration data, loaded lazily per job from the
+    shared KV store.
+    """
+
+    def __init__(self, store: KVStore) -> None:
+        self._store = store
+        self._calibration: LaserCalibration | None = None
+        self._calibration_job: str | None = None
+
+    def _model(self, job: str) -> LaserCalibration:
+        if job != self._calibration_job:
+            self._calibration = load_laser_calibration(self._store, job)
+            self._calibration_job = job
+        assert self._calibration is not None
+        return self._calibration
+
+    def __call__(
+        self,
+        job: str,
+        layer: int,
+        specimen: str,
+        window_events: list[StreamTuple],
+    ) -> dict[str, Any] | None:
+        current = None
+        for event in window_events:
+            if event.layer == layer:
+                current = event
+        if current is None:
+            return None
+        calibration = self._model(job)
+        power, speed = calibration.recover(
+            current.payload["log_peak"], current.payload["log_dose"]
+        )
+        recovered = np.asarray(
+            [
+                calibration.recover(e.payload["log_peak"], e.payload["log_dose"])
+                for e in window_events
+            ],
+            dtype=np.float64,
+        )
+        commanded_power = float(current.payload["commanded_power_w"])
+        commanded_speed = float(current.payload["commanded_speed_mm_s"])
+        return {
+            "power_w_hat": power,
+            "speed_mm_s_hat": speed,
+            "power_w_smoothed": float(np.mean(recovered[:, 0])),
+            "speed_mm_s_smoothed": float(np.mean(recovered[:, 1])),
+            "commanded_power_w": commanded_power,
+            "commanded_speed_mm_s": commanded_speed,
+            "power_deviation": (power - commanded_power) / commanded_power,
+            "speed_deviation": (speed - commanded_speed) / commanded_speed,
+            "melt_fraction": current.payload["melt_fraction"],
+        }

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.obs import MetricsRegistry, QoSWatchdog, RECOAT_GAP_SECONDS
+from repro.obs.watchdog import DEADLINE_CATEGORY, PREDICTIVE_CATEGORY
 from repro.spe.tuples import StreamTuple
 
 
@@ -64,6 +65,86 @@ class TestLayerTracking:
         for layer in range(3):
             dog.observe(_result(layer=layer), 0.1, "s")
         assert sorted(k[1] for k in dog.layer_latencies()) == [1, 2]
+
+
+class TestLegacyDeadlinePathUnchanged:
+    """Regression: the predictive category must not perturb the original
+    deadline path — same alerts, same dedup keys, same counters."""
+
+    def test_deadline_alerts_default_to_deadline_category(self):
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe(_result(layer=5), 2.0, "sink")
+        (alert,) = dog.alerts
+        assert alert.category == DEADLINE_CATEGORY
+        assert alert.lead_time_s is None
+        assert alert.predicted_value is None
+        assert alert.threshold is None
+        assert "QoS violation" in alert.format()
+
+    def test_predictive_alerts_do_not_alias_deadline_dedup(self):
+        """Same (job, layer, name) in both categories -> both alerts fire."""
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe_forecast("j", 5, "S00", "sink", 120.0, 100.0, 3.0)
+        dog.observe(_result(layer=5), 2.0, "sink")
+        dog.observe_forecast("j", 5, "S00", "sink", 120.0, 100.0, 3.0)
+        categories = sorted(a.category for a in dog.alerts)
+        assert categories == [DEADLINE_CATEGORY, PREDICTIVE_CATEGORY]
+        assert dog.violations == 1
+        assert dog.predictive_events == 2
+
+    def test_predictive_events_do_not_count_as_violations(self):
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe_forecast("j", 5, "S00", "est", 120.0, 100.0, 3.0)
+        assert dog.violations == 0
+        assert dog.violation_rate == 0.0
+        assert dog.violated_layers() == []
+
+
+class TestPredictiveAlerts:
+    def test_alert_carries_forecast_metadata(self):
+        seen = []
+        dog = QoSWatchdog(on_alert=seen.append)
+        alert = dog.observe_forecast(
+            "j", 7, "region-0-1", "thermal-estimator", 131.5, 118.0, 3.0
+        )
+        assert alert is not None and seen == [alert]
+        assert alert.category == PREDICTIVE_CATEGORY
+        assert alert.job == "j" and alert.layer == 7
+        assert alert.specimen == "region-0-1"
+        assert alert.sink == "thermal-estimator"
+        assert alert.predicted_value == 131.5
+        assert alert.threshold == 118.0
+        assert alert.lead_time_s == 3.0
+        assert alert.latency_s == 0.0  # nothing is late yet
+        text = alert.format()
+        assert "predictive" in text and "131.50" in text and "3.0s" in text
+
+    def test_dedup_per_job_layer_source(self):
+        dog = QoSWatchdog()
+        assert dog.observe_forecast("j", 7, "S00", "est", 120.0, 100.0, 3.0)
+        assert dog.observe_forecast("j", 7, "S01", "est", 125.0, 100.0, 3.0) is None
+        assert dog.observe_forecast("j", 8, "S00", "est", 120.0, 100.0, 3.0)
+        assert dog.observe_forecast("j", 7, "S00", "other", 120.0, 100.0, 3.0)
+        assert dog.predictive_events == 4
+        assert len(dog.predictive_alerts()) == 3
+
+    def test_predictive_alerts_query_filters_by_category(self):
+        dog = QoSWatchdog(deadline_s=1.0)
+        dog.observe(_result(layer=1), 2.0, "sink")
+        dog.observe_forecast("j", 2, "S00", "est", 120.0, 100.0, 3.0)
+        predictive = dog.predictive_alerts()
+        assert [a.layer for a in predictive] == [2]
+        assert len(dog.alerts) == 2
+
+    def test_predictive_counter_exported_as_metric(self):
+        registry = MetricsRegistry()
+        dog = QoSWatchdog()
+        dog.attach_metrics(registry)
+        dog.observe_forecast("j", 1, "S00", "est", 120.0, 100.0, 3.0)
+        dog.observe_forecast("j", 1, "S00", "est", 120.0, 100.0, 3.0)
+        snap = registry.snapshot()
+        assert snap.value("strata_qos_predictive_alerts_total") == 2.0
+        assert snap.value("strata_qos_violations_total") == 0.0
 
 
 class TestMetricsExport:

@@ -1,0 +1,39 @@
+"""Shared fixtures: a small synthetic thermal build (16x16 cell grid)."""
+
+import pytest
+
+from repro.am import Rect
+from repro.am.scanpath import ThermalBuildConfig, synthesize_thermal_build
+
+#: 24 mm plate, 1.5 mm cells -> 16x16 grid, 48x48 px melt-pool frames;
+#: small enough that the scalar per-cell path stays fast in tests
+SMALL_REGION_MM = 24.0
+
+
+def small_build_config(**overrides) -> ThermalBuildConfig:
+    s = SMALL_REGION_MM / 60.0
+    defaults = dict(
+        job_id="thermal-test",
+        layers=8,
+        region_mm=SMALL_REGION_MM,
+        parts=(
+            Rect(5.0 * s, 5.0 * s, 27.0 * s, 55.0 * s),
+            Rect(33.0 * s, 5.0 * s, 55.0 * s, 55.0 * s),
+        ),
+        seed=11,
+    )
+    defaults.update(overrides)
+    return ThermalBuildConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def small_build():
+    return synthesize_thermal_build(small_build_config())
+
+
+@pytest.fixture(scope="module")
+def spike_build():
+    """A build whose scan schedule hides a power spike at layers 5-6."""
+    return synthesize_thermal_build(
+        small_build_config(layers=10, spike_layers=(5, 6), dropout_rate=0.02)
+    )
