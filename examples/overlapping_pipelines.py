@@ -48,14 +48,14 @@ def main() -> None:
     )
 
     # ---- shared stages: collectors + fuse --------------------------------
-    strata.addSource(PrintingParameterCollector(iter(records)), "pp")
-    strata.addSource(OTImageCollector(iter(records)), "OT")
+    strata.add_source(PrintingParameterCollector(iter(records)), "pp")
+    strata.add_source(OTImageCollector(iter(records)), "OT")
     strata.fuse("OT", "pp", "OT&pp")
 
     # ---- expert 1: thermal anomalies per specimen ------------------------
     strata.partition("OT&pp", "spec", IsolateSpecimens(IMAGE_PX))
-    strata.detectEvent("spec", "cells", LabelSpecimenCells(strata.kv, CELL_EDGE_PX))
-    strata.correlateEvents(
+    strata.detect_event("spec", "cells", LabelSpecimenCells(strata.kv, CELL_EDGE_PX))
+    strata.correlate_events(
         "cells", "thermal", 10,
         DBSCANCorrelator(
             eps_mm=4.0, min_samples=3, px_per_mm=IMAGE_PX / 250.0,
@@ -66,8 +66,8 @@ def main() -> None:
     thermal_sink = strata.deliver("thermal")
 
     # ---- expert 2: recoater streaks, plate-wide --------------------------
-    strata.detectEvent("OT&pp", "bands", DetectStreakRows())
-    strata.correlateEvents(
+    strata.detect_event("OT&pp", "bands", DetectStreakRows())
+    strata.correlate_events(
         "bands", "streaks", 15,
         StreakCorrelator(px_per_mm=IMAGE_PX / 250.0, min_layers=2),
     )

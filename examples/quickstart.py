@@ -49,13 +49,13 @@ def main() -> None:
         regions=specimen_regions_px(job.specimens, IMAGE_PX),
     )
 
-    strata.addSource(PrintingParameterCollector(iter(records)), "pp")
-    strata.addSource(OTImageCollector(iter(records)), "OT")
+    strata.add_source(PrintingParameterCollector(iter(records)), "pp")
+    strata.add_source(OTImageCollector(iter(records)), "OT")
     strata.fuse("OT", "pp", "OT&pp")
     strata.partition("OT&pp", "spec", IsolateSpecimens(IMAGE_PX))
     strata.partition("spec", "cell", IsolateCells(CELL_EDGE_PX))
-    strata.detectEvent("cell", "cellLabel", LabelCell(strata.kv))
-    strata.correlateEvents(
+    strata.detect_event("cell", "cellLabel", LabelCell(strata.kv))
+    strata.correlate_events(
         "cellLabel",
         "out",
         WINDOW_LAYERS,

@@ -84,6 +84,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="elastic lower bound on replicas per group")
     parser.add_argument("--max-parallelism", type=int, default=4,
                         help="elastic upper bound on replicas per group")
+    parser.add_argument("--replan", action="store_true",
+                        help="let the elastic controller rewrite the running "
+                             "plan (fuse/unfuse, mode flips) from load signals; "
+                             "implies --elastic")
+    parser.add_argument("--no-replan", action="store_true",
+                        help="force re-planning off even when --elastic is set "
+                             "or the config file enables it")
     parser.add_argument("--config", default=None, metavar="FILE",
                         help="load the full DeployConfig from a TOML file "
                              "(overrides the individual plan/elastic flags)")
@@ -121,11 +128,13 @@ def _plan_of(args: argparse.Namespace) -> PlanConfig | None:
 
 def _elastic_of(args: argparse.Namespace) -> ElasticConfig | None:
     """Elastic rescaling configuration from the common CLI knobs."""
-    if not getattr(args, "elastic", False):
+    replan = getattr(args, "replan", False) and not getattr(args, "no_replan", False)
+    if not (getattr(args, "elastic", False) or replan):
         return None
     return ElasticConfig(
         min_parallelism=args.min_parallelism,
         max_parallelism=args.max_parallelism,
+        replan=replan or None,
     )
 
 
@@ -142,6 +151,8 @@ def _deploy_of(args: argparse.Namespace) -> DeployConfig:
 
         with open(args.config, "rb") as fh:
             data = tomllib.load(fh)
+        if getattr(args, "no_replan", False) and isinstance(data.get("elastic"), dict):
+            data["elastic"].pop("replan", None)
         return DeployConfig.from_dict(data)
     return DeployConfig(plan=_plan_of(args), elastic=_elastic_of(args))
 
@@ -575,9 +586,14 @@ def _render_top(snap) -> str:
             row[s.name] = s.value
         if s.name == "spe_operator_mode":
             row["mode"] = s.label("mode") or "scalar"
+        if s.name == "elastic_last_adaptation":
+            row["adapt"] = s.label("action") or ""
         if s.label("fused_into") is not None:
             row["fused"] = 1.0
-    lines = [f"{'OPERATOR':<34} {'IN':>9} {'OUT':>9} {'BUSY_S':>8} {'MODE':<12}"]
+    lines = [
+        f"{'OPERATOR':<34} {'IN':>9} {'OUT':>9} {'BUSY_S':>8} {'MODE':<12} "
+        f"{'ADAPT':<12}"
+    ]
     for op in sorted(ops):
         row = ops[op]
         name = ("  " + op) if row.get("fused") else op
@@ -585,10 +601,12 @@ def _render_top(snap) -> str:
         fill = row.get("spe_block_fill_ratio")
         if mode == "vectorized" and fill is not None:
             mode = f"{mode} {fill * 100:.0f}%"
+        adapt = str(row.get("adapt", "")) if not row.get("fused") else ""
         lines.append(
             f"{name:<34} {int(row.get('spe_tuples_in_total', 0)):>9} "
             f"{int(row.get('spe_tuples_out_total', 0)):>9} "
-            f"{row.get('spe_busy_seconds_total', 0.0):>8.2f} {mode:<12}"
+            f"{row.get('spe_busy_seconds_total', 0.0):>8.2f} {mode:<12} "
+            f"{adapt:<12}"
         )
     queues: dict[str, dict[str, float]] = {}
     for s in snap.samples:

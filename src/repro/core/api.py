@@ -247,12 +247,16 @@ class Strata:
         s_out: str,
         f: UserFunction | None = None,
         parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> StreamHandle:
         """Split tuples into independently processable specimen portions.
 
         ``f`` maps each input tuple to output tuples tagged with
         ``specimen`` and ``portion``; without it, STRATA processes each
-        tuple as a whole (Table 1 defaults).
+        tuple as a whole (Table 1 defaults). ``replicable`` overrides the
+        automatic keyed-replication eligibility (``False`` keeps the
+        stage standalone so the compiler may fuse it into an adaptable
+        chain instead).
         """
         self._check_mutable()
         self._check_new_stream(s_out)
@@ -267,7 +271,9 @@ class Strata:
             [upstream],
             parallelism=parallelism,
             key_fn=_specimen_key,
-            replicable=s_in in self._keyed_streams,
+            replicable=(
+                s_in in self._keyed_streams if replicable is None else replicable
+            ),
         )
         self._streams[s_out] = (node, MODULE_MONITOR)
         self._keyed_streams.add(s_out)
@@ -279,8 +285,13 @@ class Strata:
         s_out: str,
         f: UserFunction,
         parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> StreamHandle:
-        """Transform tuples into event tuples via the user function ``f``."""
+        """Transform tuples into event tuples via the user function ``f``.
+
+        ``replicable=False`` keeps the stage out of keyed replica groups
+        (it stays fusable into a runtime-adaptable chain).
+        """
         self._check_mutable()
         self._check_new_stream(s_out)
         node = f"detect:{s_out}"
@@ -291,7 +302,9 @@ class Strata:
             [upstream],
             parallelism=parallelism,
             key_fn=_specimen_key,
-            replicable=s_in in self._keyed_streams,
+            replicable=(
+                s_in in self._keyed_streams if replicable is None else replicable
+            ),
         )
         self._streams[s_out] = (node, MODULE_MONITOR)
         self._keyed_streams.add(s_out)
@@ -306,9 +319,11 @@ class Strata:
         l: int,
         f: CorrelateFunction,
         parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> StreamHandle:
         """Aggregate events per (layer, specimen) plus the previous ``l-1``
-        layers; events are grouped by specimen automatically (§4)."""
+        layers; events are grouped by specimen automatically (§4).
+        ``replicable=False`` keeps the stage out of keyed replica groups."""
         self._check_mutable()
         self._check_new_stream(s_out)
         node = f"correlate:{s_out}"
@@ -319,7 +334,9 @@ class Strata:
             [upstream],
             parallelism=parallelism,
             key_fn=_specimen_key,
-            replicable=s_in in self._keyed_streams,
+            replicable=(
+                s_in in self._keyed_streams if replicable is None else replicable
+            ),
         )
         self._streams[s_out] = (node, MODULE_AGGREGATOR)
         self._keyed_streams.add(s_out)

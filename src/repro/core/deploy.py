@@ -32,6 +32,7 @@ from dataclasses import dataclass, fields
 from typing import Any
 
 from ..elastic.config import ElasticConfig
+from ..elastic.replan import ReplanConfig
 from ..obs.context import ObsConfig, ObsContext
 from ..spe.plan import PlanConfig
 from .errors import DeployConfigError
@@ -90,6 +91,12 @@ _SUB_CONFIGS: dict[str, type] = {
 _LIVE_FIELDS: dict[str, tuple[str, ...]] = {
     "recovery": ("checkpointer", "recover_from"),
     "elastic": ("policy",),
+}
+
+#: sub-config fields that are themselves dataclass tables, one nesting
+#: level down ([elastic.replan] in TOML).
+_NESTED_CONFIGS: dict[str, dict[str, type]] = {
+    "elastic": {"replan": ReplanConfig},
 }
 
 
@@ -264,14 +271,39 @@ def _sub_from_dict(key: str, table: dict[str, Any]) -> Any:
         raise DeployConfigError(
             f"unknown or non-serializable key(s) in [{key}]: {paths}"
         )
-    coerced = {
-        name: tuple(value) if isinstance(value, list) else value
-        for name, value in table.items()
-    }
+    nested = _NESTED_CONFIGS.get(key, {})
+    coerced: dict[str, Any] = {}
+    for name, value in table.items():
+        if isinstance(value, dict):
+            if name not in nested:
+                raise DeployConfigError(
+                    f"deploy config key {key}.{name} does not take a table"
+                )
+            coerced[name] = _nested_from_dict(key, name, nested[name], value)
+        elif isinstance(value, list):
+            coerced[name] = tuple(value)
+        else:
+            coerced[name] = value
     try:
         return sub_cls(**coerced)
     except (TypeError, ValueError) as exc:
         raise DeployConfigError(f"invalid [{key}] config: {exc}") from exc
+
+
+def _nested_from_dict(
+    key: str, name: str, nested_cls: type, table: dict[str, Any]
+) -> Any:
+    names = {f.name for f in fields(nested_cls)}
+    unknown = set(table) - names
+    if unknown:
+        paths = ", ".join(f"{key}.{name}.{field}" for field in sorted(unknown))
+        raise DeployConfigError(
+            f"unknown key(s) in [{key}.{name}]: {paths}"
+        )
+    try:
+        return nested_cls(**table)
+    except (TypeError, ValueError) as exc:
+        raise DeployConfigError(f"invalid [{key}.{name}] config: {exc}") from exc
 
 
 def _sub_to_dict(key: str, value: Any) -> dict[str, Any]:
@@ -286,5 +318,8 @@ def _sub_to_dict(key: str, value: Any) -> dict[str, Any]:
                 f"deploy config field {key}.{f.name} holds a live object "
                 f"({type(item).__name__}) and cannot be serialized"
             )
-        out[f.name] = list(item) if isinstance(item, tuple) else item
+        if dataclasses.is_dataclass(item) and not isinstance(item, type):
+            out[f.name] = _sub_to_dict(f"{key}.{f.name}", item)
+        else:
+            out[f.name] = list(item) if isinstance(item, tuple) else item
     return out

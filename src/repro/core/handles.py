@@ -8,7 +8,7 @@ adding:
 
 * pipeline context: the producing node, the owning module (Figure 2), and
   a schema hint describing the tuples the stream carries;
-* fluent chaining: ``handle.partition(...).detectEvent(...).deliver()``
+* fluent chaining: ``handle.partition(...).detect_event(...).deliver()``
   reads top-to-bottom like the dataflow it builds, each step returning the
   next handle (plus a generic ``then(verb, ...)`` escape hatch);
 * observability: ``handle.metrics()`` filters the pipeline-wide snapshot
@@ -18,18 +18,24 @@ adding:
 This module also hosts the case-aliasing shims shared by
 :class:`~repro.core.api.Strata` and :class:`StreamHandle`. snake_case is
 the *canonical* surface (the methods are defined under their PEP 8
-names); the paper's camelCase spellings are installed as aliases — the
-*same function objects*, no wrapper, no DeprecationWarning machinery — so
-Table 1 parity, introspection, pickling of bound methods, and identity
-checks all behave.
+names); the paper's camelCase spellings remain available as deprecated
+aliases — thin wrappers that forward to the canonical method and emit a
+one-time :class:`DeprecationWarning` naming the spelling to migrate to.
+``alias.__wrapped__`` exposes the canonical function for introspection.
 """
 
 from __future__ import annotations
 
+import functools
 import re
+import warnings
 from typing import TYPE_CHECKING, Any
 
 from .errors import PipelineDefinitionError
+
+#: aliases that already fired their one-time DeprecationWarning
+#: (keyed "ClassName.aliasName"; shared across install calls).
+_warned_aliases: set[str] = set()
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..obs.registry import MetricsSnapshot
@@ -48,13 +54,52 @@ def camel_name(snake: str) -> str:
     return head + "".join(part.title() for part in rest)
 
 
-def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
-    """Add PEP 8 aliases for camelCase methods, preserving identity.
+def _deprecated_alias(cls: type, alias: str, canonical: str, fn: Any) -> Any:
+    """A forwarding shim that warns once, then behaves as the original.
 
-    ``setattr`` installs the very same function object under the snake
-    name, so ``obj.snake.__func__ is obj.camelCase.__func__`` holds and no
-    second code object exists to fall out of sync.
+    ``functools.wraps`` keeps the docstring and sets ``__wrapped__`` to
+    the canonical function; ``__name__``/``__qualname__`` are re-pointed
+    at the alias so tracebacks name what was actually called.
     """
+    key = f"{cls.__name__}.{alias}"
+
+    @functools.wraps(fn)
+    def shim(*args: Any, **kwargs: Any) -> Any:
+        if key not in _warned_aliases:
+            _warned_aliases.add(key)
+            warnings.warn(
+                f"{key} is deprecated; use the canonical "
+                f"{cls.__name__}.{canonical}",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        return fn(*args, **kwargs)
+
+    shim.__name__ = alias
+    shim.__qualname__ = f"{cls.__qualname__}.{alias}"
+    return shim
+
+
+def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
+    """Deprecated: add PEP 8 aliases for camelCase-canonical methods.
+
+    This is the legacy direction — it exists for classes still *defined*
+    with camelCase methods. Calling it emits a one-time
+    :class:`DeprecationWarning` advising to define the methods under
+    their snake_case names (and use :func:`install_camelcase_aliases`
+    for paper-parity spellings). The installed snake_case alias is the
+    same function object, since snake_case is the canonical surface.
+    """
+    key = f"install_snake_case_aliases:{cls.__name__}"
+    if key not in _warned_aliases:
+        _warned_aliases.add(key)
+        warnings.warn(
+            f"install_snake_case_aliases({cls.__name__}) is deprecated; "
+            "define methods under their canonical snake_case names and "
+            "install_camelcase_aliases for the paper's spellings",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     for camel in names:
         alias = snake_name(camel)
         if alias != camel:
@@ -64,15 +109,18 @@ def install_snake_case_aliases(cls: type, names: tuple[str, ...]) -> None:
 def install_camelcase_aliases(cls: type, names: tuple[str, ...]) -> None:
     """Add the paper's camelCase spellings for canonical snake_case verbs.
 
-    The mirror image of :func:`install_snake_case_aliases`, used now that
-    snake_case is the defining surface: each alias is the same function
-    object as its snake_case original, so both spellings stay exact
-    synonyms under identity checks and subclass overrides.
+    Each alias is a thin deprecation shim: the first call per alias emits
+    a :class:`DeprecationWarning` naming the canonical snake_case method,
+    then forwards — so Table 1 parity code keeps running while pointing
+    migrators at the one spelling the docs show. The canonical function
+    is reachable as ``alias.__wrapped__``.
     """
     for snake in names:
         alias = camel_name(snake)
         if alias != snake:
-            setattr(cls, alias, cls.__dict__[snake])
+            setattr(
+                cls, alias, _deprecated_alias(cls, alias, snake, cls.__dict__[snake])
+            )
 
 
 class StreamHandle(str):
@@ -132,25 +180,40 @@ class StreamHandle(str):
         return self._require_strata().fuse(self, other, s_out, ws=ws, wa=wa, gb=gb)
 
     def partition(
-        self, s_out: str, f: Any | None = None, parallelism: int = 1
+        self,
+        s_out: str,
+        f: Any | None = None,
+        parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> "StreamHandle":
         """``partition(self, s_out, f)`` on the owning pipeline."""
-        return self._require_strata().partition(self, s_out, f, parallelism=parallelism)
+        return self._require_strata().partition(
+            self, s_out, f, parallelism=parallelism, replicable=replicable
+        )
 
     def detect_event(
-        self, s_out: str, f: Any, parallelism: int = 1
+        self,
+        s_out: str,
+        f: Any,
+        parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> "StreamHandle":
         """``detect_event(self, s_out, f)`` on the owning pipeline."""
         return self._require_strata().detect_event(
-            self, s_out, f, parallelism=parallelism
+            self, s_out, f, parallelism=parallelism, replicable=replicable
         )
 
     def correlate_events(
-        self, s_out: str, l: int, f: Any, parallelism: int = 1
+        self,
+        s_out: str,
+        l: int,
+        f: Any,
+        parallelism: int = 1,
+        replicable: bool | None = None,
     ) -> "StreamHandle":
         """``correlate_events(self, s_out, l, f)`` on the owning pipeline."""
         return self._require_strata().correlate_events(
-            self, s_out, l, f, parallelism=parallelism
+            self, s_out, l, f, parallelism=parallelism, replicable=replicable
         )
 
     def deliver(self, sink: "Sink | None" = None) -> "SinkHandle":
@@ -174,8 +237,8 @@ class StreamHandle(str):
     def then(self, verb: str, *args: Any, **kwargs: Any) -> Any:
         """Apply any Strata verb with this stream as its input.
 
-        ``handle.then("detectEvent", "events", fn)`` is equivalent to
-        ``strata.detectEvent(handle, "events", fn)`` — useful for verbs
+        ``handle.then("detect_event", "events", fn)`` is equivalent to
+        ``strata.detect_event(handle, "events", fn)`` — useful for verbs
         chosen at runtime or added by subclasses.
         """
         strata = self._require_strata()

@@ -202,11 +202,11 @@ def build_streak_use_case(
     if sink is None:
         sink = CollectingSink("recoater-expert")
     detect_fn = detect or DetectStreakRows()
-    strata.addSource(PrintingParameterCollector(pp_records), "pp")
-    strata.addSource(ot_source or OTImageCollector(ot_records), "OT")
+    strata.add_source(PrintingParameterCollector(pp_records), "pp")
+    strata.add_source(ot_source or OTImageCollector(ot_records), "OT")
     strata.fuse("OT", "pp", "OT&pp")
-    strata.detectEvent("OT&pp", "bands", detect_fn)
-    strata.correlateEvents(
+    strata.detect_event("OT&pp", "bands", detect_fn)
+    strata.correlate_events(
         "bands",
         "streaks",
         window_layers,

@@ -156,12 +156,12 @@ def build_use_case(
             sink = DedupSink(sink)
 
     # Alg. 1 L1-L2: raw data collectors.
-    strata.addSource(
+    strata.add_source(
         pp_source or PrintingParameterCollector(pp_records),
         "pp",
         checkpointable=checkpointable,
     )
-    strata.addSource(
+    strata.add_source(
         ot_source or OTImageCollector(ot_records),
         "OT",
         checkpointable=checkpointable,
@@ -184,13 +184,13 @@ def build_use_case(
     detect_fn: LabelSpecimenCells | LabelCell
     if detect_override is not None:
         detect_fn = detect_override
-        strata.detectEvent(
+        strata.detect_event(
             "spec", "cellLabel", detect_fn, parallelism=config.parallelism
         )
     elif config.vectorized:
         # Alg. 1 L5+L6 fused: per-cell isolation and labeling in one pass.
         detect_fn = LabelSpecimenCells(strata.kv, config.cell_edge_px)
-        strata.detectEvent(
+        strata.detect_event(
             "spec", "cellLabel", detect_fn, parallelism=config.parallelism
         )
     else:
@@ -202,11 +202,11 @@ def build_use_case(
             parallelism=config.parallelism,
         )
         detect_fn = LabelCell(strata.kv)
-        strata.detectEvent(
+        strata.detect_event(
             "cell", "cellLabel", detect_fn, parallelism=config.parallelism
         )
     # Alg. 1 L7: cluster events within and across the last L layers.
-    strata.correlateEvents("cellLabel", "out", config.window_layers, correlator)
+    strata.correlate_events("cellLabel", "out", config.window_layers, correlator)
     strata.deliver("out", sink)
     return UseCasePipeline(
         strata=strata,

@@ -25,7 +25,7 @@ import threading
 import time
 from typing import Any
 
-from ..elastic import ElasticController, discover_groups
+from ..elastic import ElasticController, discover_chains, discover_groups
 from ..net.client import BrokerClient
 from ..obs.context import ObsContext
 from ..obs.exporters import snapshot_to_dict
@@ -117,7 +117,14 @@ def run_stage(
     beater.start()
     try:
         scheduler = _scheduler_for(plan, obs_ctx)
-        if elastic is not None and discover_groups(nodes):
+        manageable = elastic is not None and (
+            discover_groups(nodes)
+            or (
+                getattr(elastic, "replan", None) is not None
+                and discover_chains(nodes)
+            )
+        )
+        if manageable:
             scheduler.start(nodes)
             controller = ElasticController(
                 scheduler, nodes, elastic, plan=plan, obs=obs_ctx
@@ -212,6 +219,22 @@ class WorkerProcess:
         self.incarnation += 1
         self.restarts += 1
         self.start()
+
+    def refork(self) -> None:
+        """Re-fork with the current stage list, outside the restart budget.
+
+        Used by planned operations (stage migration): the child picks up
+        ``self.stages`` as it stands now, and the supervision loop's
+        ``restart_limit`` — a crash budget — is not charged.
+        """
+        self.terminate()
+        self.incarnation += 1
+        self.start()
+
+    def set_stages(self, stages: list[StageSpec]) -> None:
+        """Replace the stage assignment (takes effect at the next fork)."""
+        self.stages = list(stages)
+        self.stage_names = [s.name for s in self.stages]
 
     def alive(self) -> bool:
         return self._process is not None and self._process.is_alive()

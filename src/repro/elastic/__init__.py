@@ -1,13 +1,35 @@
-"""repro.elastic — QoS-driven runtime rescaling.
+"""repro.elastic — QoS-driven runtime rescaling and re-planning.
 
-Rescales keyed-replicated operator groups while a query runs: a scoped
-aligned barrier drains the group, keyed state is re-sharded across the
-new replica count, and replacement nodes are spliced into the live
-threaded scheduler — no restart, no lost or duplicated tuples. Policies
-are pluggable; the default is a hysteresis policy driven by queue fill,
-busy fraction, and QoS watchdog alerts.
+Adapts a live query without restarting it: a scoped aligned barrier
+drains the target nodes, then replacements are spliced into the running
+threaded scheduler — no lost or duplicated tuples. Two families of
+mutation share that protocol:
+
+* **rescaling** keyed-replicated operator groups (state re-sharded
+  across the new replica count);
+* **re-planning** fused linear chains — unfuse/fuse, scalar/vectorized
+  mode flips, and dist-worker stage migration — driven by the typed
+  :data:`~repro.elastic.actions.AdaptationAction` algebra returned by an
+  :class:`~repro.elastic.actions.AdaptationPolicy` (default:
+  :class:`~repro.elastic.replan.CostModelPolicy`). Legacy
+  :class:`~repro.elastic.policy.ScalePolicy` objects still work through
+  a deprecation shim emitting only ``Rescale`` actions.
 """
 
+from .actions import (
+    AdaptationAction,
+    AdaptationPolicy,
+    ChainSignals,
+    Fuse,
+    Migrate,
+    NoOp,
+    Rescale,
+    ScalePolicyAdapter,
+    SetChainMode,
+    Unfuse,
+    WorkloadView,
+    is_legacy_scale_policy,
+)
 from .config import ElasticConfig
 from .controller import (
     ElasticController,
@@ -16,18 +38,42 @@ from .controller import (
     discover_groups,
 )
 from .policy import GroupSignals, HysteresisPolicy, ScalePolicy
+from .replan import (
+    AdaptiveChain,
+    CostModelPolicy,
+    ReplanConfig,
+    discover_chains,
+    plan_migration,
+)
 from .reshard import merge_keyed, split_keyed, split_scalar
 
 __all__ = [
+    "AdaptationAction",
+    "AdaptationPolicy",
+    "AdaptiveChain",
+    "ChainSignals",
+    "CostModelPolicy",
     "ElasticConfig",
     "ElasticController",
     "ElasticError",
     "ElasticGroup",
+    "Fuse",
     "GroupSignals",
     "HysteresisPolicy",
+    "Migrate",
+    "NoOp",
+    "ReplanConfig",
+    "Rescale",
     "ScalePolicy",
+    "ScalePolicyAdapter",
+    "SetChainMode",
+    "Unfuse",
+    "WorkloadView",
+    "discover_chains",
     "discover_groups",
+    "is_legacy_scale_policy",
     "merge_keyed",
+    "plan_migration",
     "split_keyed",
     "split_scalar",
 ]

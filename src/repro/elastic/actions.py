@@ -1,0 +1,229 @@
+"""The typed adaptation-action algebra consumed by the elastic controller.
+
+The original elastic API spoke only one word: ``ScalePolicy.decide(group,
+signals, current) -> int`` — a replica count. Runtime re-planning needs a
+richer vocabulary (Strider, arXiv 1705.05688: switch the *logical plan*
+from workload statistics), so policies now return a sequence of typed
+:data:`AdaptationAction` values:
+
+* :class:`Rescale`       — change a keyed replica group's parallelism;
+* :class:`Unfuse`        — break a fused linear chain into per-operator
+                           nodes (pipeline parallelism across threads);
+* :class:`Fuse`          — re-fuse a previously unfused chain;
+* :class:`SetChainMode`  — flip a fused chain between scalar and
+                           vectorized (columnar) execution;
+* :class:`Migrate`       — move a pipeline stage to another dist worker;
+* :class:`NoOp`          — explicitly decide nothing (with a reason).
+
+:class:`AdaptationPolicy` is the new protocol: one ``decide(view)`` over a
+:class:`WorkloadView` snapshot of every group's and chain's signals.
+Legacy :class:`~repro.elastic.policy.ScalePolicy` objects keep working
+through :class:`ScalePolicyAdapter`, which emits only :class:`Rescale`
+actions and a one-time :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Protocol, Sequence, Union, runtime_checkable
+
+from .policy import GroupSignals, ScalePolicy
+
+
+@dataclass(frozen=True)
+class Rescale:
+    """Change ``group``'s replica count to ``target`` (pre-clamping)."""
+
+    group: str
+    target: int
+    kind = "rescale"
+
+    def describe(self) -> str:
+        return f"rescale {self.group} -> x{self.target}"
+
+
+@dataclass(frozen=True)
+class Fuse:
+    """Collapse the (currently unfused) chain back into one fused node."""
+
+    chain: str
+    kind = "fuse"
+
+    def describe(self) -> str:
+        return f"fuse {self.chain}"
+
+
+@dataclass(frozen=True)
+class Unfuse:
+    """Break the fused chain into one node (and thread) per constituent."""
+
+    chain: str
+    kind = "unfuse"
+
+    def describe(self) -> str:
+        return f"unfuse {self.chain}"
+
+
+@dataclass(frozen=True)
+class SetChainMode:
+    """Flip a fused chain's execution mode (``scalar``/``vectorized``)."""
+
+    chain: str
+    mode: str
+    kind = "set_chain_mode"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("scalar", "vectorized"):
+            raise ValueError(
+                f"chain mode must be 'scalar' or 'vectorized', got {self.mode!r}"
+            )
+
+    def describe(self) -> str:
+        return f"{self.mode} {self.chain}"
+
+
+@dataclass(frozen=True)
+class Migrate:
+    """Move pipeline stage ``stage`` onto dist worker ``to_worker``."""
+
+    stage: str
+    to_worker: str
+    kind = "migrate"
+
+    def describe(self) -> str:
+        return f"migrate {self.stage} -> {self.to_worker}"
+
+
+@dataclass(frozen=True)
+class NoOp:
+    """An explicit decision to change nothing this tick."""
+
+    reason: str = ""
+    kind = "noop"
+
+    def describe(self) -> str:
+        return f"noop({self.reason})" if self.reason else "noop"
+
+
+#: The closed set of decisions an AdaptationPolicy may return.
+AdaptationAction = Union[Rescale, Fuse, Unfuse, SetChainMode, Migrate, NoOp]
+
+
+@dataclass(frozen=True)
+class ChainSignals:
+    """One tick's worth of load evidence for one adaptable linear chain.
+
+    ``mode``          ``"vectorized"``/``"scalar"`` for a fused chain,
+                      ``"unfused"`` after an :class:`Unfuse`;
+    ``members``       the constituent operators' original node names;
+    ``queue_fill``    the chain head's input-queue depth / capacity;
+    ``busy_fraction`` mean fraction of the tick the chain's node(s) spent
+                      processing;
+    ``block_fill``    mean ColumnarBlock fill since the last tick, as a
+                      fraction of the plan's edge batch size (vectorized
+                      chains only — 0.0 elsewhere);
+    ``blocks_delta``  columnar blocks formed since the last tick;
+    ``block_capable`` at least one member offers a block kernel, so
+                      ``SetChainMode("vectorized")`` is applicable.
+    """
+
+    name: str
+    mode: str
+    members: tuple[str, ...]
+    fused: bool
+    queue_fill: float = 0.0
+    busy_fraction: float = 0.0
+    block_fill: float = 0.0
+    blocks_delta: int = 0
+    block_capable: bool = False
+
+
+@dataclass(frozen=True)
+class WorkloadView:
+    """Everything a policy may look at for one decision round.
+
+    ``groups``  per-replica-group :class:`GroupSignals`;
+    ``chains``  per-adaptable-chain :class:`ChainSignals`;
+    ``workers`` per-dist-worker load summaries (busy fraction and stage
+                names), present only under a distributed coordinator;
+    ``bounds``  the live (min, max) parallelism clamp;
+    ``tick_s``  the sampling period the deltas were measured over.
+    """
+
+    groups: Mapping[str, GroupSignals] = field(default_factory=dict)
+    chains: Mapping[str, ChainSignals] = field(default_factory=dict)
+    workers: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    bounds: tuple[int, int] = (1, 4)
+    tick_s: float = 0.25
+
+
+@runtime_checkable
+class AdaptationPolicy(Protocol):
+    """Pluggable decision logic over the full workload view."""
+
+    def decide(self, view: WorkloadView) -> Sequence[AdaptationAction]:
+        """The actions to apply this tick (may be empty)."""
+        ...
+
+
+def is_legacy_scale_policy(policy: Any) -> bool:
+    """True when ``policy.decide`` has the old 3-argument ScalePolicy shape.
+
+    ``AdaptationPolicy.decide`` takes one positional argument (the view);
+    the legacy contract took three (group, signals, current). Signature
+    arity is the only reliable discriminator — both protocols name their
+    method ``decide``, so ``isinstance`` against the runtime-checkable
+    protocols cannot tell them apart.
+    """
+    decide = getattr(policy, "decide", None)
+    if decide is None or not callable(decide):
+        return False
+    try:
+        signature = inspect.signature(decide)
+    except (TypeError, ValueError):  # pragma: no cover - builtins etc.
+        return False
+    positional = [
+        p
+        for p in signature.parameters.values()
+        if p.kind
+        in (inspect.Parameter.POSITIONAL_ONLY, inspect.Parameter.POSITIONAL_OR_KEYWORD)
+        and p.name != "self"
+    ]
+    return len(positional) >= 3
+
+
+class ScalePolicyAdapter:
+    """Bridge a legacy :class:`ScalePolicy` into the action protocol.
+
+    Emits one :class:`Rescale` per group whose legacy target differs from
+    its current parallelism — exactly the decisions the old controller
+    acted on — and nothing else, so a legacy policy deploys unchanged
+    apart from the :class:`DeprecationWarning` raised here.
+    """
+
+    def __init__(self, policy: ScalePolicy, warn: bool = True) -> None:
+        self._policy = policy
+        if warn:
+            warnings.warn(
+                f"{type(policy).__name__} implements the legacy "
+                "ScalePolicy.decide(group, signals, current) -> int contract; "
+                "implement AdaptationPolicy.decide(view) -> "
+                "Sequence[AdaptationAction] to control re-planning too",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def wrapped(self) -> ScalePolicy:
+        """The legacy policy this adapter drives."""
+        return self._policy
+
+    def decide(self, view: WorkloadView) -> list[AdaptationAction]:
+        actions: list[AdaptationAction] = []
+        for name, signals in view.groups.items():
+            target = self._policy.decide(name, signals, signals.parallelism)
+            if target != signals.parallelism:
+                actions.append(Rescale(group=name, target=target))
+        return actions

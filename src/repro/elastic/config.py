@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from .replan import ReplanConfig
+
 
 @dataclass(frozen=True)
 class ElasticConfig:
@@ -16,8 +18,13 @@ class ElasticConfig:
     sampling period, ``cooldown_s`` the minimum spacing between rescales
     of one group. ``adaptive_batching`` lets the controller retune edge
     batch size between rescales, within ``batch_min``/``batch_max``.
-    ``policy`` overrides the default hysteresis policy (any object
-    implementing :class:`~repro.elastic.policy.ScalePolicy`).
+    ``policy`` overrides the default policy (any object implementing
+    :class:`~repro.elastic.actions.AdaptationPolicy`, or a legacy
+    :class:`~repro.elastic.policy.ScalePolicy`, which adapts through a
+    deprecation shim). ``replan`` enables runtime plan adaptation —
+    ``True`` for defaults or a
+    :class:`~repro.elastic.replan.ReplanConfig`; off, the controller
+    only rescales replica groups.
     """
 
     min_parallelism: int = 1
@@ -29,8 +36,13 @@ class ElasticConfig:
     batch_min: int = 1
     batch_max: int = 256
     policy: Any | None = None
+    replan: Any | None = None
 
     def __post_init__(self) -> None:
+        try:
+            object.__setattr__(self, "replan", ReplanConfig.resolve(self.replan))
+        except TypeError as exc:
+            raise ValueError(str(exc)) from exc
         if self.min_parallelism < 1:
             raise ValueError("min_parallelism must be >= 1")
         if self.max_parallelism < self.min_parallelism:
@@ -72,9 +84,12 @@ class ElasticConfig:
         )
 
     def describe(self) -> str:
-        return (
+        text = (
             f"parallelism {self.min_parallelism}..{self.max_parallelism} "
             f"(start {self.start_parallelism}), tick {self.tick_s}s, "
             f"cooldown {self.cooldown_s}s, "
             f"batching {'adaptive' if self.adaptive_batching else 'fixed'}"
         )
+        if self.replan is not None:
+            text += f", replan({self.replan.describe()})"
+        return text

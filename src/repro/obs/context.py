@@ -360,4 +360,8 @@ _HELP = {
     "elastic_batch_size": "adaptive edge batch size per elastic group",
     "elastic_rescales_total": "rescale operations executed, by direction",
     "elastic_last_rescale_seconds": "duration of the newest rescale drain-splice",
+    "elastic_chain_mode": "shape of an adaptable chain (fused, unfused, vectorized)",
+    "elastic_last_adaptation": "newest re-planning action applied per chain",
+    "elastic_replan_actions_total": "re-planning actions applied, by action kind",
+    "elastic_replan_last_action_seconds": "duration of the newest re-planning action",
 }

@@ -44,9 +44,12 @@ class TestAPISurface:
 
     def test_snake_case_aliases(self):
         strata = make_strata()
-        assert strata.add_source.__func__ is strata.addSource.__func__
-        assert strata.detect_event.__func__ is strata.detectEvent.__func__
-        assert strata.correlate_events.__func__ is strata.correlateEvents.__func__
+        assert strata.addSource.__func__.__wrapped__ is strata.add_source.__func__
+        assert strata.detectEvent.__func__.__wrapped__ is strata.detect_event.__func__
+        assert (
+            strata.correlateEvents.__func__.__wrapped__
+            is strata.correlate_events.__func__
+        )
 
 
 class TestStoreGet:

@@ -209,14 +209,14 @@ class TestVerbAliases:
         assert camel_name("correlate_events") == "correlateEvents"
         assert camel_name("deliver") == "deliver"
 
-    def test_strata_aliases_are_same_function_objects(self):
-        assert Strata.addSource is Strata.add_source
-        assert Strata.detectEvent is Strata.detect_event
-        assert Strata.correlateEvents is Strata.correlate_events
+    def test_strata_aliases_wrap_canonical_functions(self):
+        assert Strata.addSource.__wrapped__ is Strata.add_source
+        assert Strata.detectEvent.__wrapped__ is Strata.detect_event
+        assert Strata.correlateEvents.__wrapped__ is Strata.correlate_events
 
-    def test_stream_handle_aliases_are_same_function_objects(self):
-        assert StreamHandle.detectEvent is StreamHandle.detect_event
-        assert StreamHandle.correlateEvents is StreamHandle.correlate_events
+    def test_stream_handle_aliases_wrap_canonical_functions(self):
+        assert StreamHandle.detectEvent.__wrapped__ is StreamHandle.detect_event
+        assert StreamHandle.correlateEvents.__wrapped__ is StreamHandle.correlate_events
 
     def test_install_aliases_helper(self):
         class Thing:
@@ -224,8 +224,9 @@ class TestVerbAliases:
                 return "done"
 
         install_camelcase_aliases(Thing, ("do_work",))
-        assert Thing.doWork is Thing.do_work
-        assert Thing().doWork() == "done"
+        assert Thing.doWork.__wrapped__ is Thing.do_work
+        with pytest.warns(DeprecationWarning, match="Thing.do_work"):
+            assert Thing().doWork() == "done"
 
     def test_both_spellings_build_the_same_pipeline(self):
         snake, snake_sink = simple_strata()

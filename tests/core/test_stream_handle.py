@@ -1,6 +1,7 @@
 """StreamHandle: str compatibility, fluent chaining, aliases, metrics."""
 
 import pickle
+import warnings
 
 import pytest
 
@@ -118,31 +119,50 @@ class TestSnakeCaseAliases:
         assert snake_name("correlateEvents") == "correlate_events"
         assert snake_name("fuse") == "fuse"
 
-    def test_aliases_are_the_same_function_object(self):
+    def test_aliases_wrap_the_canonical_function(self):
         strata = Strata()
-        assert strata.add_source.__func__ is strata.addSource.__func__
-        assert strata.detect_event.__func__ is strata.detectEvent.__func__
-        assert strata.correlate_events.__func__ is strata.correlateEvents.__func__
+        assert strata.addSource.__func__.__wrapped__ is strata.add_source.__func__
+        assert strata.detectEvent.__func__.__wrapped__ is strata.detect_event.__func__
+        assert (
+            strata.correlateEvents.__func__.__wrapped__
+            is strata.correlate_events.__func__
+        )
 
-    def test_aliases_no_deprecation_warning(self, recwarn):
+    def test_canonical_spellings_no_deprecation_warning(self, recwarn):
         strata = Strata()
         strata.add_source(_source(), "raw")
         strata.detect_event("raw", "events", lambda t: [t])
         assert not [w for w in recwarn if issubclass(w.category, DeprecationWarning)]
+
+    def test_camelcase_alias_warns_once(self):
+        from repro.core.handles import _warned_aliases
+
+        _warned_aliases.discard("Strata.detectEvent")
+        strata = Strata()
+        strata.add_source(_source(), "raw")
+        with pytest.warns(DeprecationWarning, match="Strata.detect_event"):
+            strata.detectEvent("raw", "events", lambda t: [t])
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            strata.detectEvent("events", "events2", lambda t: [t])  # no rewarn
 
     def test_handle_aliases_work(self):
         strata = Strata()
         h = strata.add_source(_source(), "raw")
         events = h.detect_event("events", lambda t: [t])
         assert isinstance(events, StreamHandle)
-        assert h.detect_event.__func__ is h.detectEvent.__func__
+        assert h.detectEvent.__func__.__wrapped__ is h.detect_event.__func__
 
-    def test_install_skips_identity_names(self):
+    def test_install_snake_case_aliases_is_deprecated(self):
+        from repro.core.handles import _warned_aliases
+
         class Thing:
             def fuse(self):
                 return "ok"
 
-        install_snake_case_aliases(Thing, ("fuse",))
+        _warned_aliases.discard("install_snake_case_aliases:Thing")
+        with pytest.warns(DeprecationWarning, match="install_snake_case_aliases"):
+            install_snake_case_aliases(Thing, ("fuse",))
         assert Thing.fuse is Thing.__dict__["fuse"]
 
 

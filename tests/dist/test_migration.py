@@ -1,0 +1,142 @@
+"""Live stage migration between dist workers: placement surface and
+output equivalence (replay + dedup absorb the move, divergence 0)."""
+
+import threading
+import time
+
+from repro.core import (
+    Strata,
+    UseCaseConfig,
+    build_use_case,
+    calibrate_job,
+    specimen_regions_px,
+)
+from repro.dist import DistConfig, DistCoordinator
+from tests.conftest import TEST_IMAGE_PX
+
+CELL_EDGE = 5
+
+
+def build(layer_records, reference_images, test_job):
+    config = UseCaseConfig(
+        image_px=TEST_IMAGE_PX, cell_edge_px=CELL_EDGE, window_layers=4
+    )
+    strata = Strata(engine_mode="threaded", connector_mode="pubsub")
+    calibrate_job(
+        strata.kv, test_job.job_id, reference_images, CELL_EDGE,
+        regions=specimen_regions_px(test_job.specimens, TEST_IMAGE_PX),
+    )
+    pipeline = build_use_case(
+        iter(layer_records), iter(layer_records), config, strata=strata
+    )
+    return strata, pipeline
+
+
+def result_key(t):
+    return (t.job, t.layer, t.specimen, t.payload["num_events"],
+            t.payload["num_clusters"])
+
+
+def test_migrate_stage_preserves_output(
+    layer_records, reference_images, test_job
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    static_strata, static_pipeline = build(
+        layer_records, reference_images, test_job
+    )
+    static_strata.deploy()
+    baseline = sorted(map(result_key, static_pipeline.sink.results))
+
+    coordinator = DistCoordinator(
+        strata.query, strata.broker, DistConfig(workers=2),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+
+    def move():
+        time.sleep(0.05)
+        source = coordinator.workers[0]
+        dest = coordinator.workers[1]
+        if source.stage_names:
+            coordinator.migrate_stage(source.stage_names[0], dest.name)
+
+    threading.Thread(target=move, daemon=True).start()
+    report = coordinator.run()
+    assert sorted(map(result_key, pipeline.sink.results)) == baseline
+    dist = report.extra["dist"]
+    assert dist["failure"] is None
+    # the migration may race natural completion on a fast machine; when it
+    # landed, it must be recorded as a planned move, not a crash restart
+    if coordinator.migrations:
+        event = coordinator.migrations[0]
+        assert event["from_worker"] == "worker-0"
+        assert event["to_worker"] == "worker-1"
+        assert dist["restarts"] == 0
+        assert event["stage"] in coordinator.workers[1].stage_names
+        assert dist["migrations"] == coordinator.migrations
+
+
+def test_migrate_stage_refuses_bad_targets(
+    layer_records, reference_images, test_job
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker, DistConfig(workers=2),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+    try:
+        # unknown stage, unknown worker, and a self-move all refuse cleanly
+        assert not coordinator.migrate_stage("no-such-stage", "worker-1")
+        assert not coordinator.migrate_stage(
+            coordinator.workers[0].stage_names[0], "no-such-worker"
+        )
+        assert not coordinator.migrate_stage(
+            coordinator.workers[0].stage_names[0], "worker-0"
+        )
+        assert coordinator.migrations == []
+    finally:
+        coordinator.run()
+
+
+def test_worker_loads_shape(layer_records, reference_images, test_job):
+    strata, _ = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker, DistConfig(workers=2),
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+    try:
+        loads = coordinator.worker_loads()
+        assert set(loads) == {"worker-0", "worker-1"}
+        for info in loads.values():
+            assert 0.0 <= info["busy_fraction"] <= 1.0
+            assert isinstance(info["stages"], list)
+    finally:
+        coordinator.run()
+
+
+def test_refork_does_not_charge_the_restart_budget(
+    layer_records, reference_images, test_job
+):
+    strata, pipeline = build(layer_records, reference_images, test_job)
+    coordinator = DistCoordinator(
+        strata.query, strata.broker,
+        DistConfig(workers=2, restart_limit=0),  # any crash would be fatal
+        capacity=strata.capacity,
+    )
+    coordinator.start()
+
+    def replan():
+        time.sleep(0.05)
+        worker = coordinator.workers[0]
+        if not worker.finished:
+            worker.refork()
+
+    threading.Thread(target=replan, daemon=True).start()
+    report = coordinator.run()
+    dist = report.extra["dist"]
+    # a planned re-fork bumps the incarnation but never the crash budget,
+    # so restart_limit=0 must not trip
+    assert dist["failure"] is None
+    assert dist["restarts"] == 0
